@@ -1,0 +1,111 @@
+/// A1 — Ablation: sensitivity of the max-ISD result to the calibration
+/// constants the paper fixed from measurements (port-to-port calibration
+/// losses, terminal noise figure, EIRPs, SNR threshold, carrier
+/// frequency). Quantifies how much deployment margin each dB is worth.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "corridor/isd_search.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace railcorr;
+using corridor::CapacityAnalyzer;
+using corridor::IsdSearch;
+using corridor::IsdSearchConfig;
+using railcorr::TextTable;
+
+double max_isd_with(const core::Scenario& scenario, int n) {
+  const IsdSearch search(scenario.make_analyzer(), scenario.isd_search,
+                         scenario.radio);
+  const auto r = search.find_max_isd(n);
+  return r.max_isd_m.value_or(0.0);
+}
+
+void print_ablation() {
+  const int n = 5;  // mid-ladder configuration
+  core::Scenario base = core::Scenario::paper();
+  const double reference = max_isd_with(base, n);
+  std::cout << "reference: N = " << n << ", max ISD = " << reference
+            << " m (paper: 1950 m)\n\n";
+
+  TextTable t("Max ISD sensitivity (N = 5)");
+  t.set_header({"perturbation", "max ISD [m]", "delta [m]"});
+  auto row = [&](const std::string& name, const core::Scenario& s) {
+    const double isd = max_isd_with(s, n);
+    t.add_row({name, TextTable::num(isd, 0), TextTable::num(isd - reference, 0)});
+  };
+
+  {
+    auto s = base;
+    s.radio.lp_calibration = Db(s.radio.lp_calibration.value() + 3.0);
+    row("LP calibration +3 dB (worse wagons)", s);
+  }
+  {
+    auto s = base;
+    s.radio.lp_calibration = Db(s.radio.lp_calibration.value() - 3.0);
+    row("LP calibration -3 dB (FSS windows)", s);
+  }
+  {
+    auto s = base;
+    s.radio.hp_calibration = Db(s.radio.hp_calibration.value() + 3.0);
+    row("HP calibration +3 dB", s);
+  }
+  {
+    auto s = base;
+    s.link.noise.nf_mobile_terminal = Db(7.0);
+    row("terminal NF 5 -> 7 dB", s);
+  }
+  {
+    auto s = base;
+    s.radio.lp_eirp = Dbm(43.0);
+    row("LP EIRP 40 -> 43 dBm", s);
+  }
+  {
+    auto s = base;
+    s.radio.hp_eirp = Dbm(61.0);
+    row("HP EIRP 64 -> 61 dBm", s);
+  }
+  {
+    auto s = base;
+    s.isd_search.snr_threshold = Db(29.28);  // exact saturation point
+    row("threshold 29.0 -> 29.28 dB", s);
+  }
+  {
+    auto s = base;
+    s.link.carrier = rf::NrCarrier(3.4e9, 100e6, 3300);
+    row("carrier 3.5 -> 3.4 GHz", s);
+  }
+  {
+    auto s = base;
+    s.link.carrier = rf::NrCarrier(3.6e9, 100e6, 3300);
+    row("carrier 3.5 -> 3.6 GHz", s);
+  }
+  {
+    auto s = base;
+    s.link.fronthaul = rf::FronthaulModel(Db(47.0), 100.0, 0.5);
+    row("fronthaul SNR -6 dB", s);
+  }
+  std::cout << t << '\n';
+}
+
+void BM_AblatedSearch(benchmark::State& state) {
+  core::Scenario s = core::Scenario::paper();
+  s.radio.lp_eirp = Dbm(43.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_isd_with(s, 5));
+  }
+}
+BENCHMARK(BM_AblatedSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// A3 — Ablation: literal Eq. (2) repeater noise vs the fronthaul-aware
+/// model. Shows why the literal reading cannot reproduce the paper's
+/// max-ISD list (its noise term is ~60 dB below the terminal floor) and
+/// what the calibrated fronthaul model adds.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "corridor/isd_search.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace railcorr;
+using railcorr::TextTable;
+
+void print_comparison() {
+  core::Scenario literal = core::Scenario::paper();
+  literal.link.noise_model = rf::RepeaterNoiseModel::kLiteralEq2;
+  core::Scenario aware = core::Scenario::paper();
+
+  const corridor::IsdSearch literal_search(literal.make_analyzer(),
+                                           literal.isd_search);
+  const corridor::IsdSearch aware_search(aware.make_analyzer(),
+                                         aware.isd_search);
+
+  TextTable t("Max ISD [m]: literal Eq.(2) noise vs fronthaul-aware");
+  t.set_header({"N", "literal", "fronthaul-aware", "paper"});
+  const auto& paper = corridor::paper_published_max_isds();
+  double err_literal = 0.0;
+  double err_aware = 0.0;
+  for (int n = 1; n <= 10; ++n) {
+    const double lit =
+        literal_search.find_max_isd(n).max_isd_m.value_or(0.0);
+    const double awa = aware_search.find_max_isd(n).max_isd_m.value_or(0.0);
+    const double pap = paper[static_cast<std::size_t>(n - 1)];
+    err_literal += std::abs(lit - pap);
+    err_aware += std::abs(awa - pap);
+    t.add_row({std::to_string(n), TextTable::num(lit, 0),
+               TextTable::num(awa, 0), TextTable::num(pap, 0)});
+  }
+  std::cout << t << '\n';
+  std::cout << "cumulative |error| vs paper: literal = "
+            << TextTable::num(err_literal, 0)
+            << " m, fronthaul-aware = " << TextTable::num(err_aware, 0)
+            << " m\n\n";
+
+  // Noise floor comparison at the Fig. 3 operating point.
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  const auto lit_model = literal.make_analyzer().link_model(deployment);
+  const auto awa_model = aware.make_analyzer().link_model(deployment);
+  TextTable noise("Total noise [dBm] along the ISD-2400/N-8 segment");
+  noise.set_header({"pos [m]", "literal", "fronthaul-aware"});
+  for (double d = 0.0; d <= 2400.0; d += 300.0) {
+    noise.add_row({TextTable::num(d, 0),
+                   TextTable::num(lit_model.total_noise(d).to_dbm().value(), 2),
+                   TextTable::num(awa_model.total_noise(d).to_dbm().value(), 2)});
+  }
+  std::cout << noise << '\n';
+}
+
+void BM_NoiseLiteral(benchmark::State& state) {
+  core::Scenario s = core::Scenario::paper();
+  s.link.noise_model = rf::RepeaterNoiseModel::kLiteralEq2;
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  const auto model = s.make_analyzer().link_model(deployment);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.total_noise(1200.0));
+  }
+}
+BENCHMARK(BM_NoiseLiteral);
+
+void BM_NoiseFronthaulAware(benchmark::State& state) {
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  const auto model =
+      core::Scenario::paper().make_analyzer().link_model(deployment);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.total_noise(1200.0));
+  }
+}
+BENCHMARK(BM_NoiseFronthaulAware);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// A6 — Extension study: how much of the deterministic planning margin
+/// survives log-normal shadowing, and whether the uplink ever becomes
+/// the binding constraint. Complements the paper's deterministic
+/// evaluation with confidence-based planning.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "corridor/robustness.hpp"
+#include "rf/uplink.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace railcorr;
+using railcorr::TextTable;
+
+void print_robustness() {
+  TextTable t("Shadowing robustness of the ISD-2400/N-8 deployment");
+  t.set_header({"sigma [dB]", "pass prob", "outage frac", "mean margin [dB]"});
+  for (const double sigma : {0.0, 2.0, 4.0, 6.0, 8.0}) {
+    corridor::RobustnessConfig config;
+    config.sigma_db = sigma;
+    config.realizations = 200;
+    const corridor::RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, config);
+    const auto report = analyzer.study(
+        corridor::SegmentDeployment::with_repeaters(2400.0, 8));
+    t.add_row({TextTable::num(sigma, 1),
+               TextTable::num(report.pass_probability, 3),
+               TextTable::num(report.outage_fraction, 4),
+               TextTable::num(report.mean_margin_db, 2)});
+  }
+  std::cout << t << '\n';
+
+  TextTable b("Robust max ISD (90 % confidence) vs deterministic, N = 8");
+  b.set_header({"sigma [dB]", "deterministic [m]", "robust [m]", "back-off [m]"});
+  for (const double sigma : {2.0, 4.0, 6.0}) {
+    corridor::RobustnessConfig config;
+    config.sigma_db = sigma;
+    config.realizations = 80;
+    const corridor::RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, config);
+    const double robust = analyzer.robust_max_isd(8, 2500.0, 0.9);
+    b.add_row({TextTable::num(sigma, 1), "2500", TextTable::num(robust, 0),
+               TextTable::num(2500.0 - robust, 0)});
+  }
+  std::cout << b << '\n';
+
+  TextTable u("Uplink vs downlink minimum SNR at the published operating points");
+  u.set_header({"N", "ISD [m]", "DL min [dB]", "UL min [dB]", "binding"});
+  const std::vector<std::pair<int, double>> points = {
+      {1, 1250.0}, {4, 1800.0}, {8, 2400.0}, {10, 2650.0}};
+  for (const auto& [n, isd] : points) {
+    const auto deployment = corridor::SegmentDeployment::with_repeaters(isd, n);
+    rf::LinkModelConfig config;
+    const auto txs = deployment.transmitters(config.carrier);
+    const rf::CorridorLinkModel dl(config, txs);
+    const rf::UplinkModel ul(config, txs);
+    const double dl_min = dl.min_snr(0.0, isd, 10.0).value();
+    const double ul_min = ul.min_snr(0.0, isd, 10.0).value();
+    u.add_row({std::to_string(n), TextTable::num(isd, 0),
+               TextTable::num(dl_min, 1), TextTable::num(ul_min, 1),
+               dl_min - 29.0 < ul_min - 0.0 ? "downlink" : "uplink"});
+  }
+  std::cout << u << '\n'
+            << "(UL requirement ~0 dB on a 20 MHz allocation; DL "
+               "requirement 29 dB -> the corridor is downlink-limited)\n\n";
+}
+
+void BM_RobustnessStudy(benchmark::State& state) {
+  corridor::RobustnessConfig config;
+  config.sigma_db = 4.0;
+  config.realizations = static_cast<int>(state.range(0));
+  const corridor::RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, config);
+  const auto d = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.study(d));
+  }
+}
+BENCHMARK(BM_RobustnessStudy)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_UplinkProfile(benchmark::State& state) {
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  rf::LinkModelConfig config;
+  const rf::UplinkModel ul(config, deployment.transmitters(config.carrier));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ul.min_snr(0.0, 2400.0, 10.0));
+  }
+}
+BENCHMARK(BM_UplinkProfile)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_robustness();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// A4 — Cross-check: the discrete-event simulation against the
+/// closed-form duty-cycle energy model, plus DES-only effects the closed
+/// form cannot express (wake transition time, hold time, detector
+/// failures and their QoS cost).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "corridor/energy.hpp"
+#include "corridor/isd_search.hpp"
+#include "sim/corridor_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace railcorr;
+using railcorr::TextTable;
+
+void print_cross_check() {
+  TextTable t("Mains power per km [W]: analytic vs DES (sleep mode)");
+  t.set_header({"N", "ISD [m]", "analytic", "DES", "delta [%]"});
+  const corridor::CorridorEnergyModel analytic;
+  const auto& isds = corridor::paper_published_max_isds();
+  for (const int n : {1, 3, 5, 8, 10}) {
+    const double isd = isds[static_cast<std::size_t>(n - 1)];
+    corridor::SegmentGeometry g;
+    g.isd_m = isd;
+    g.repeater_count = n;
+    const double a =
+        analytic.evaluate(g, corridor::RepeaterOperationMode::kSleepMode)
+            .total_mains_per_km()
+            .value();
+    sim::SimulationConfig config;
+    config.deployment = corridor::SegmentDeployment::with_repeaters(isd, n);
+    config.mode = corridor::RepeaterOperationMode::kSleepMode;
+    const auto report = sim::CorridorSimulation(config).run();
+    const double d = report.mains_per_km.value();
+    t.add_row({std::to_string(n), TextTable::num(isd, 0),
+               TextTable::num(a, 1), TextTable::num(d, 1),
+               TextTable::num(100.0 * (d - a) / a, 2)});
+  }
+  std::cout << t << '\n';
+
+  TextTable q("QoS under detector failures (ISD 2400 m, N = 8)");
+  q.set_header({"miss prob", "missed wakes", "min SNR [dB]",
+                "degraded s/day", "mean SE [bps/Hz]"});
+  for (const double miss : {0.0, 0.01, 0.05, 0.2}) {
+    sim::SimulationConfig config;
+    config.deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+    config.mode = corridor::RepeaterOperationMode::kSleepMode;
+    config.detector_miss_probability = miss;
+    config.seed = 20240611;
+    const auto report = sim::CorridorSimulation(config).run();
+    q.add_row({TextTable::num(miss, 2), std::to_string(report.missed_wakes),
+               TextTable::num(report.train_snr_db.min(), 1),
+               TextTable::num(report.degraded_seconds, 1),
+               TextTable::num(report.train_spectral_efficiency.mean(), 3)});
+  }
+  std::cout << q << '\n';
+
+  TextTable w("Wake-transition sensitivity (ISD 2400 m, N = 8)");
+  w.set_header({"transition [s]", "min SNR [dB]", "LP avg power [W]"});
+  for (const double tr : {0.1, 0.3, 1.0, 3.0}) {
+    sim::SimulationConfig config;
+    config.deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+    config.mode = corridor::RepeaterOperationMode::kSleepMode;
+    config.wake_policy.transition_s = tr;
+    const auto report = sim::CorridorSimulation(config).run();
+    double lp_power = 0.0;
+    int lp_nodes = 0;
+    for (const auto& node : report.nodes) {
+      if (node.name.rfind("LP-service", 0) == 0) {
+        lp_power += node.average_power.value();
+        ++lp_nodes;
+      }
+    }
+    w.add_row({TextTable::num(tr, 1),
+               TextTable::num(report.train_snr_db.min(), 1),
+               TextTable::num(lp_power / lp_nodes, 2)});
+  }
+  std::cout << w << '\n';
+}
+
+void BM_DesDay(benchmark::State& state) {
+  sim::SimulationConfig config;
+  config.deployment = corridor::SegmentDeployment::with_repeaters(
+      2400.0, static_cast<int>(state.range(0)));
+  config.mode = corridor::RepeaterOperationMode::kSleepMode;
+  for (auto _ : state) {
+    sim::CorridorSimulation sim(config);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_DesDay)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_cross_check();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// E1 — Fig. 3: signal and noise power along the track for d_ISD = 2400 m
+/// and N = 8 low-power repeater nodes. Prints the series the paper plots
+/// (subsampled for the console; full resolution as CSV), then times the
+/// underlying link-model kernels.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using railcorr::Db;
+using railcorr::TextTable;
+using railcorr::core::PaperEvaluator;
+
+void print_fig3() {
+  const PaperEvaluator evaluator;
+  const auto rows = evaluator.fig3_profile(2400.0, 8, 10.0);
+
+  TextTable table(
+      "Fig. 3 — signal & noise [dBm] vs position, d_ISD = 2400 m, N = 8 "
+      "(every 100 m)");
+  table.set_header({"pos [m]", "HP left", "HP right", "best LP",
+                    "sum signal", "sum noise", "SNR [dB]"});
+  for (const auto& r : rows) {
+    if (static_cast<int>(r.position_m) % 100 != 0) continue;
+    table.add_row({TextTable::num(r.position_m, 0),
+                   TextTable::num(r.hp_left.value(), 1),
+                   TextTable::num(r.hp_right.value(), 1),
+                   TextTable::num(r.strongest_lp.value(), 1),
+                   TextTable::num(r.total_signal.value(), 1),
+                   TextTable::num(r.total_noise.value(), 1),
+                   TextTable::num(r.snr.value(), 1)});
+  }
+  std::cout << table << '\n';
+
+  double min_signal = 1e9;
+  double min_snr = 1e9;
+  for (const auto& r : rows) {
+    min_signal = std::min(min_signal, r.total_signal.value());
+    min_snr = std::min(min_snr, r.snr.value());
+  }
+  std::cout << "min total signal: " << TextTable::num(min_signal, 2)
+            << " dBm (paper: kept above -100 dBm)\n";
+  std::cout << "min SNR: " << TextTable::num(min_snr, 2)
+            << " dB (paper criterion: > 29 dB)\n";
+
+  const auto csv = railcorr::core::fig3_csv(rows);
+  const std::string path = "fig3_signal_noise.csv";
+  if (csv.write_file(path)) {
+    std::cout << "full-resolution series written to " << path << "\n\n";
+  }
+}
+
+void BM_SnrProfile2400m(benchmark::State& state) {
+  const PaperEvaluator evaluator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.fig3_profile(2400.0, 8, 10.0));
+  }
+}
+BENCHMARK(BM_SnrProfile2400m)->Unit(benchmark::kMillisecond);
+
+void BM_SingleSnrSample(benchmark::State& state) {
+  using namespace railcorr;
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  const rf::LinkModelConfig config;
+  const rf::CorridorLinkModel link(config,
+                                   deployment.transmitters(config.carrier));
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link.snr(d));
+    d += 13.0;
+    if (d > 2400.0) d = 0.0;
+  }
+}
+BENCHMARK(BM_SingleSnrSample);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// E3/E8 — Fig. 4: average energy consumption per km (Wh per km and
+/// hour) for the conventional corridor and N = 1..10 repeater-aided
+/// corridors under the three operating regimes, with savings vs the
+/// baseline. Printed twice: paper-anchored ISDs and model-derived ISDs.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using railcorr::core::PaperEvaluator;
+
+void print_fig4() {
+  const PaperEvaluator evaluator;
+  std::cout << "(a) paper-anchored max ISDs\n"
+            << railcorr::core::fig4_table(evaluator.fig4_energy(
+                   railcorr::corridor::IsdSource::kPaperPublished))
+            << '\n';
+  std::cout << "(b) model-derived max ISDs\n"
+            << railcorr::core::fig4_table(evaluator.fig4_energy(
+                   railcorr::corridor::IsdSource::kModelSearch))
+            << '\n';
+  std::cout << "paper headlines: continuous <50 % from N=3; sleep 57 % "
+               "(N=1) to 74 % (N=10); solar 59 % (N=1) to 79 % (N=10)\n\n";
+}
+
+void BM_Fig4PaperAnchored(benchmark::State& state) {
+  const PaperEvaluator evaluator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.fig4_energy(
+        railcorr::corridor::IsdSource::kPaperPublished));
+  }
+}
+BENCHMARK(BM_Fig4PaperAnchored)->Unit(benchmark::kMicrosecond);
+
+void BM_SegmentEnergyEvaluate(benchmark::State& state) {
+  using namespace railcorr::corridor;
+  const CorridorEnergyModel model;
+  SegmentGeometry g;
+  g.isd_m = 2400.0;
+  g.repeater_count = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.evaluate(g, RepeaterOperationMode::kSleepMode));
+  }
+}
+BENCHMARK(BM_SegmentEnergyEvaluate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

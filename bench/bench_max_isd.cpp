@@ -1,0 +1,49 @@
+/// E2 — Sec. V: maximum ISD per repeater count (50 m grid, SNR > 29 dB
+/// everywhere). Prints the model-derived list next to the paper's
+/// published values, then times the search.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using railcorr::core::PaperEvaluator;
+
+void print_max_isd() {
+  const PaperEvaluator evaluator;
+  std::cout << railcorr::core::max_isd_table(evaluator.max_isd_sweep())
+            << '\n';
+  std::cout << "paper list: {1250, 1450, 1600, 1800, 1950, 2100, 2250, "
+               "2400, 2500, 2650} m\n\n";
+}
+
+void BM_MaxIsdSingleCount(benchmark::State& state) {
+  using namespace railcorr::corridor;
+  const IsdSearch search(CapacityAnalyzer::paper_analyzer(),
+                         IsdSearchConfig{});
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.find_max_isd(n));
+  }
+}
+BENCHMARK(BM_MaxIsdSingleCount)->Arg(1)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_FullSweep(benchmark::State& state) {
+  const PaperEvaluator evaluator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.max_isd_sweep());
+  }
+}
+BENCHMARK(BM_FullSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_max_isd();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// E5 — Table II: EARTH power-model parameters for the high-power RRH and
+/// the low-power repeater, and the derived site powers (560/336/224 W).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "power/earth_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using railcorr::TextTable;
+using railcorr::power::EarthPowerModel;
+
+void print_table2() {
+  std::cout << railcorr::core::table2_power_model() << '\n';
+
+  // Load sweep of Eq. (3) for both node types.
+  TextTable sweep("Eq. (3) input power vs load chi [W]");
+  sweep.set_header({"chi", "HP RRH", "LP repeater"});
+  const auto hp = EarthPowerModel::paper_high_power_rrh();
+  const auto lp = EarthPowerModel::paper_low_power_repeater();
+  for (const double chi : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    sweep.add_row({TextTable::num(chi, 2),
+                   TextTable::num(hp.input_power(chi).value(), 1),
+                   TextTable::num(lp.input_power(chi).value(), 2)});
+  }
+  std::cout << sweep << '\n';
+}
+
+void BM_InputPower(benchmark::State& state) {
+  const auto hp = EarthPowerModel::paper_high_power_rrh();
+  double chi = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp.input_power(chi));
+    chi += 0.001;
+    if (chi > 1.0) chi = 0.0;
+  }
+}
+BENCHMARK(BM_InputPower);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// E6 — Table III and the duty-cycle numbers in Sec. V-A: full-load
+/// seconds per train (16-55 s), HP duty cycles (2.85 %/9.66 %), and the
+/// sleep-mode repeater average (5.17 W / 124.1 Wh/day).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+#include "corridor/isd_search.hpp"
+#include "traffic/duty.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using railcorr::TextTable;
+
+void print_table3() {
+  const railcorr::core::PaperEvaluator evaluator;
+  std::cout << railcorr::core::table3_traffic(evaluator.traffic_derived())
+            << '\n';
+
+  // Duty cycle across the paper's ISD ladder.
+  const auto tt = railcorr::traffic::TimetableConfig::paper_timetable();
+  TextTable ladder("HP mast duty cycle vs ISD");
+  ladder.set_header({"ISD [m]", "full load/train [s]", "duty [%]"});
+  auto add = [&](double isd) {
+    ladder.add_row(
+        {TextTable::num(isd, 0),
+         TextTable::num(tt.train.occupancy_seconds(isd), 1),
+         TextTable::num(100.0 * railcorr::traffic::full_load_fraction(tt, isd),
+                        2)});
+  };
+  add(railcorr::corridor::kConventionalIsdM);
+  for (const double isd : railcorr::corridor::paper_published_max_isds()) {
+    add(isd);
+  }
+  std::cout << ladder << '\n';
+}
+
+void BM_FullLoadFraction(benchmark::State& state) {
+  const auto tt = railcorr::traffic::TimetableConfig::paper_timetable();
+  double isd = 500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(railcorr::traffic::full_load_fraction(tt, isd));
+    isd += 10.0;
+    if (isd > 2650.0) isd = 500.0;
+  }
+}
+BENCHMARK(BM_FullLoadFraction);
+
+void BM_TimetableOccupiedSeconds(benchmark::State& state) {
+  using namespace railcorr::traffic;
+  const auto tt = Timetable::regular(TimetableConfig::paper_timetable());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tt.occupied_seconds(0.0, 500.0));
+  }
+}
+BENCHMARK(BM_TimetableOccupiedSeconds)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// E7 — Table IV: off-grid PV sizing for Madrid, Lyon, Vienna, Berlin
+/// (smallest ladder entry with zero-downtime operation; percentage of
+/// days with a full battery). Paper: {540/720, 540/720, 540/1440,
+/// 600/1440} Wp/Wh with {98.13, 95.15, 93.73, 88.0} % full-battery days.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+#include "solar/offgrid.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using railcorr::TextTable;
+
+void print_table4() {
+  const railcorr::core::PaperEvaluator evaluator;
+  std::cout << railcorr::core::table4_solar(evaluator.table4_sizing())
+            << '\n';
+
+  // Annual energy balance of the standard system at each region.
+  using namespace railcorr::solar;
+  const auto load = evaluator.scenario().repeater_consumption_profile();
+  TextTable balance("Standard 540 Wp / 720 Wh system — annual balance");
+  balance.set_header({"Region", "PV [kWh]", "load [kWh]", "curtailed [kWh]",
+                      "min SoC [%]", "downtime [h]"});
+  for (const auto& location : paper_locations()) {
+    OffGridSystem system;
+    const OffGridSimulator sim(location, system, load);
+    const auto r = sim.simulate(evaluator.scenario().sizing.seed, 1);
+    balance.add_row({location.name,
+                     TextTable::num(r.annual_pv_energy.value() / 1000.0, 1),
+                     TextTable::num(r.annual_load.value() / 1000.0, 1),
+                     TextTable::num(r.curtailed_energy.value() / 1000.0, 1),
+                     TextTable::num(100.0 * r.min_soc_fraction, 1),
+                     std::to_string(r.downtime_hours)});
+  }
+  std::cout << balance << '\n';
+}
+
+void BM_OffGridYear(benchmark::State& state) {
+  using namespace railcorr::solar;
+  const railcorr::core::PaperEvaluator evaluator;
+  const auto load = evaluator.scenario().repeater_consumption_profile();
+  OffGridSystem system;
+  const OffGridSimulator sim(vienna(), system, load);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(seed++, 1));
+  }
+}
+BENCHMARK(BM_OffGridYear)->Unit(benchmark::kMillisecond);
+
+void BM_SizingSearchAllRegions(benchmark::State& state) {
+  const railcorr::core::PaperEvaluator evaluator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.table4_sizing());
+  }
+}
+BENCHMARK(BM_SizingSearchAllRegions)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

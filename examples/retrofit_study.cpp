@@ -1,0 +1,97 @@
+/// Retrofit study: should an operator convert an existing conventional
+/// corridor to the repeater architecture? Combines the capacity planner,
+/// the shadowing robustness analyzer, the uplink check, and the TCO
+/// model into one decision report.
+///
+///   $ ./retrofit_study [sigma_db] [energy_price_eur_kwh]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/railcorr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace railcorr;
+  using namespace railcorr::corridor;
+
+  const double sigma = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const double price = argc > 2 ? std::atof(argv[2]) : 0.25;
+  if (sigma < 0.0 || price < 0.0) {
+    std::cerr << "usage: retrofit_study [sigma_db >= 0] [eur_per_kwh >= 0]\n";
+    return 1;
+  }
+
+  std::cout << "=== corridor retrofit study (shadowing sigma " << sigma
+            << " dB, energy " << price << " EUR/kWh) ===\n\n";
+
+  // 1. Deterministic plan (sleep-mode repeaters).
+  const auto planner = CorridorPlanner::paper_planner();
+  const auto plan = planner.plan(RepeaterOperationMode::kSleepMode);
+  const auto& best = plan.best();
+  std::cout << "deterministic optimum: N = " << best.repeater_count
+            << ", ISD " << TextTable::num(best.isd_m, 0) << " m, saves "
+            << TextTable::num(100.0 * best.savings, 1) << " %\n";
+
+  // 2. Shadowing back-off.
+  RobustnessConfig rconfig;
+  rconfig.sigma_db = sigma;
+  rconfig.realizations = 100;
+  const RobustnessAnalyzer robustness(rf::LinkModelConfig{}, rconfig);
+  const double robust_isd = robustness.robust_max_isd(
+      best.repeater_count, best.isd_m, 0.9);
+  std::cout << "90 % confidence ISD under shadowing: "
+            << TextTable::num(robust_isd, 0) << " m (back-off "
+            << TextTable::num(best.isd_m - robust_isd, 0) << " m)\n";
+
+  // 3. Uplink check on the robust deployment.
+  const double isd = robust_isd > 0.0 ? robust_isd : best.isd_m;
+  const auto deployment =
+      SegmentDeployment::with_repeaters(isd, best.repeater_count);
+  rf::LinkModelConfig link_config;
+  const rf::UplinkModel uplink(link_config,
+                               deployment.transmitters(link_config.carrier));
+  const double ul_min = uplink.min_snr(0.0, isd, 10.0).value();
+  std::cout << "uplink minimum SNR: " << TextTable::num(ul_min, 1)
+            << " dB (20 MHz allocation) -> "
+            << (ul_min >= 0.0 ? "downlink-limited design"
+                              : "UPLINK LIMITED - shrink the ISD")
+            << "\n\n";
+
+  // 4. Economics of the robust deployment.
+  CostModel cost_model;
+  cost_model.energy_price_eur_kwh = price;
+  const CostAnalyzer cost(cost_model, CorridorEnergyModel{});
+  SegmentGeometry geometry;
+  geometry.isd_m = isd;
+  geometry.repeater_count = best.repeater_count;
+
+  TextTable t("per-km economics (robust deployment)");
+  t.set_header({"config", "CAPEX [kEUR]", "OPEX [kEUR/yr]", "CO2 [kg/yr]",
+                "breakeven [yr]"});
+  const auto base = cost.conventional_baseline();
+  t.add_row({"conventional", TextTable::num(base.capex_eur_km / 1000.0, 0),
+             TextTable::num(base.opex_eur_km_year() / 1000.0, 2),
+             TextTable::num(base.co2_kg_km_year, 0), "-"});
+  for (const auto mode : {RepeaterOperationMode::kSleepMode,
+                          RepeaterOperationMode::kSolarPowered}) {
+    const auto r = cost.evaluate(geometry, mode);
+    const double be = cost.breakeven_years(geometry, mode);
+    t.add_row({to_string(mode), TextTable::num(r.capex_eur_km / 1000.0, 0),
+               TextTable::num(r.opex_eur_km_year() / 1000.0, 2),
+               TextTable::num(r.co2_kg_km_year, 0),
+               std::isinf(be) ? "never" : TextTable::num(be, 1)});
+  }
+  std::cout << t << '\n';
+
+  std::cout << "verdict: with " << TextTable::num(sigma, 0)
+            << " dB shadowing margin the retrofit still saves "
+            << TextTable::num(
+                   100.0 * (1.0 -
+                            cost.evaluate(geometry,
+                                          RepeaterOperationMode::kSolarPowered)
+                                    .energy_opex_eur_km_year /
+                                base.energy_opex_eur_km_year),
+                   1)
+            << " % of the energy bill.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// Size an off-grid PV system for a repeater node at a custom location —
+/// the paper's Sec. IV/Table IV workflow as a tool.
+///
+///   $ ./solar_autonomy [latitude_deg] [annual_ghi_kwh_m2]
+///
+/// Without arguments it reproduces the paper's four regions. With a
+/// latitude and annual irradiation it synthesizes a climatology for the
+/// custom site and sizes a system there.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/railcorr.hpp"
+
+namespace {
+
+using namespace railcorr;
+using namespace railcorr::solar;
+
+/// Scale Berlin's monthly *shape* to a custom latitude/annual total — a
+/// rough but serviceable climatology for unseen sites.
+Location synthesize_location(double latitude_deg, double annual_kwh_m2) {
+  Location base = latitude_deg < 44.0 ? madrid() : berlin();
+  Location custom = base;
+  custom.name = "custom";
+  custom.latitude_deg = latitude_deg;
+  const double scale = annual_kwh_m2 / base.annual_ghi_kwh_m2();
+  for (auto& month : custom.monthly_ghi_wh_m2_day) month *= scale;
+  return custom;
+}
+
+void report(const SizingResult& result) {
+  std::cout << result.location.name << " (lat "
+            << TextTable::num(result.location.latitude_deg, 1) << ", "
+            << TextTable::num(result.location.annual_ghi_kwh_m2(), 0)
+            << " kWh/m2/yr): ";
+  if (result.ladder_exhausted) {
+    std::cout << "NOT sizeable with the standard ladder ("
+              << result.report.downtime_days << " downtime days at "
+              << result.chosen.pv_wp << " Wp / " << result.chosen.battery_wh
+              << " Wh)\n";
+    return;
+  }
+  std::cout << TextTable::num(result.chosen.pv_wp, 0) << " Wp / "
+            << TextTable::num(result.chosen.battery_wh, 0) << " Wh, "
+            << TextTable::num(result.report.days_with_full_battery_pct, 1)
+            << " % days with full battery, zero downtime\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto load = core::Scenario::paper().repeater_consumption_profile();
+  std::cout << "repeater load: "
+            << TextTable::num(load.average_watts(), 2) << " W average, "
+            << TextTable::num(load.daily_energy().value(), 1)
+            << " Wh/day (sleep mode, paper traffic)\n\n";
+
+  if (argc >= 3) {
+    const double lat = std::atof(argv[1]);
+    const double annual = std::atof(argv[2]);
+    if (lat < -70.0 || lat > 70.0 || annual <= 100.0) {
+      std::cerr << "usage: solar_autonomy [lat in (-70, 70)] "
+                   "[annual GHI kWh/m2 > 100]\n";
+      return 1;
+    }
+    report(size_for_location(synthesize_location(lat, annual), load));
+    return 0;
+  }
+
+  std::cout << "sizing the paper's four regions (vertical south panels, "
+               "40 % cutoff):\n";
+  for (const auto& result : size_paper_locations(load)) {
+    report(result);
+  }
+  std::cout << "\npaper Table IV: Madrid/Lyon 540 Wp + 720 Wh; Vienna "
+               "540 Wp + 1440 Wh; Berlin 600 Wp + 1440 Wh\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Simulate one operating day of a repeater-aided corridor segment with
+/// the discrete-event engine: trains, photoelectric barriers, node sleep
+/// cycles, per-node energy, and the QoS passengers actually experience —
+/// including what happens when detectors fail.
+///
+///   $ ./train_day_sim [isd_m] [repeaters] [miss_probability]
+///
+/// Defaults: the paper's Fig. 3 segment (2400 m, 8 nodes), ideal barriers.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/railcorr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace railcorr;
+
+  const double isd = argc > 1 ? std::atof(argv[1]) : 2400.0;
+  const int repeaters = argc > 2 ? std::atoi(argv[2]) : 8;
+  const double miss = argc > 3 ? std::atof(argv[3]) : 0.0;
+  if (isd <= 0.0 || repeaters < 0 || miss < 0.0 || miss > 1.0) {
+    std::cerr << "usage: train_day_sim [isd_m > 0] [repeaters >= 0] "
+                 "[miss in [0, 1]]\n";
+    return 1;
+  }
+
+  sim::SimulationConfig config;
+  config.deployment =
+      corridor::SegmentDeployment::with_repeaters(isd, repeaters);
+  config.mode = corridor::RepeaterOperationMode::kSleepMode;
+  config.detector_miss_probability = miss;
+
+  sim::CorridorSimulation simulation(config);
+  const auto report = simulation.run();
+
+  std::cout << "=== one day on a " << isd << " m segment with " << repeaters
+            << " sleep-mode repeaters (miss prob " << miss << ") ===\n\n";
+  std::cout << report.trains << " trains, " << report.events_processed
+            << " events, " << report.missed_wakes << " missed wake-ups\n\n";
+
+  TextTable nodes("per-node energy");
+  nodes.set_header({"node", "avg power [W]", "energy [Wh/day]", "wakes",
+                    "full-load [s]"});
+  for (const auto& n : report.nodes) {
+    nodes.add_row({n.name, TextTable::num(n.average_power.value(), 2),
+                   TextTable::num(n.energy.value(), 1),
+                   std::to_string(n.wake_count),
+                   TextTable::num(n.full_load_seconds, 0)});
+  }
+  std::cout << nodes << '\n';
+
+  std::cout << "mains draw: " << TextTable::num(report.mains_per_km.value(), 1)
+            << " W per km (conventional baseline: ~467 W/km)\n\n";
+
+  std::cout << "passenger QoS while traversing the segment:\n"
+            << "  SNR: min " << TextTable::num(report.train_snr_db.min(), 1)
+            << " dB, mean " << TextTable::num(report.train_snr_db.mean(), 1)
+            << " dB\n"
+            << "  spectral efficiency: mean "
+            << TextTable::num(report.train_spectral_efficiency.mean(), 3)
+            << " bps/Hz (peak 5.84)\n"
+            << "  seconds below the 29 dB peak-throughput threshold: "
+            << TextTable::num(report.degraded_seconds, 1) << "\n";
+  if (miss > 0.0 && report.degraded_seconds > 0.0) {
+    std::cout << "\nmissed wake-ups leave coverage holes — the paper's "
+                 "photoelectric barriers must be engineered for high "
+                 "availability.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "power/earth_model.hpp"
+#include "power/profiles.hpp"
+
+namespace railcorr::core {
+
+namespace {
+std::string pct(double fraction, int precision = 1) {
+  return TextTable::num(fraction * 100.0, precision) + " %";
+}
+}  // namespace
+
+CsvWriter fig3_csv(const std::vector<Fig3Row>& rows) {
+  CsvWriter csv({"position_m", "hp_left_dbm", "hp_right_dbm",
+                 "strongest_lp_dbm", "total_signal_dbm", "total_noise_dbm",
+                 "snr_db"});
+  for (const auto& r : rows) {
+    csv.add_row({r.position_m, r.hp_left.value(), r.hp_right.value(),
+                 r.strongest_lp.value(), r.total_signal.value(),
+                 r.total_noise.value(), r.snr.value()});
+  }
+  return csv;
+}
+
+TextTable max_isd_table(const std::vector<corridor::MaxIsdResult>& results) {
+  TextTable t("Max ISD per repeater count (paper Sec. V)");
+  t.set_header({"N", "model max ISD [m]", "paper max ISD [m]", "delta [m]",
+                "min SNR @ max [dB]"});
+  const auto& paper = corridor::paper_published_max_isds();
+  for (const auto& r : results) {
+    const std::size_t idx = static_cast<std::size_t>(r.repeater_count) - 1;
+    const bool has_paper = r.repeater_count >= 1 && idx < paper.size();
+    const double model = r.max_isd_m.value_or(0.0);
+    std::vector<std::string> row;
+    row.push_back(std::to_string(r.repeater_count));
+    row.push_back(r.max_isd_m ? TextTable::num(model, 0) : "-");
+    row.push_back(has_paper ? TextTable::num(paper[idx], 0) : "-");
+    row.push_back(has_paper && r.max_isd_m
+                      ? TextTable::num(model - paper[idx], 0)
+                      : "-");
+    row.push_back(TextTable::num(r.min_snr_at_max.value(), 2));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+TextTable fig4_table(const std::vector<Fig4Entry>& entries) {
+  TextTable t(
+      "Fig. 4: average energy [Wh] per km and hour "
+      "(continuous / sleep / solar)");
+  t.set_header({"N", "ISD [m]", "continuous", "sleep", "solar",
+                "sav(cont)", "sav(sleep)", "sav(solar)"});
+  for (const auto& e : entries) {
+    t.add_row({e.repeater_count == 0 ? "conv" : std::to_string(e.repeater_count),
+               TextTable::num(e.isd_m, 0),
+               TextTable::num(e.continuous_wh_km_h, 1),
+               TextTable::num(e.sleep_wh_km_h, 1),
+               TextTable::num(e.solar_wh_km_h, 1),
+               pct(e.continuous_savings), pct(e.sleep_savings),
+               pct(e.solar_savings)});
+  }
+  return t;
+}
+
+TextTable table1_components(const power::RepeaterComponentModel& model) {
+  TextTable t("Table I: low-power repeater node power consumption [W]");
+  t.set_header({"Component", "Group", "Active [W]", "Sleep [W]"});
+  for (const auto& c : model.components()) {
+    const char* group = c.group == power::ComponentGroup::kCommon ? "common"
+                        : c.group == power::ComponentGroup::kDownlink
+                            ? "DL"
+                            : "UL";
+    t.add_row({c.name, group, TextTable::num(c.active.value(), 3),
+               TextTable::num(c.sleep.value(), 3)});
+  }
+  t.add_row({"paths (common/DL/UL)", "",
+             std::to_string(model.paths(power::ComponentGroup::kCommon)) + "/" +
+                 std::to_string(model.paths(power::ComponentGroup::kDownlink)) +
+                 "/" +
+                 std::to_string(model.paths(power::ComponentGroup::kUplink)),
+             ""});
+  t.add_row({"raw path-multiplied sum", "",
+             TextTable::num(model.raw_active_total().value(), 2), ""});
+  t.add_row({"total (eta = " + TextTable::num(model.efficiency(), 4) + ")", "",
+             TextTable::num(model.active_total().value(), 2),
+             TextTable::num(model.sleep_total().value(), 2)});
+  t.add_row({"paper total", "", "28.38", "4.72"});
+  return t;
+}
+
+TextTable table2_power_model() {
+  TextTable t("Table II: EARTH power-model parameters (paper values)");
+  t.set_header({"Node type", "Pmax [W]", "P0 [W]", "dp", "Psleep [W]",
+                "full [W]", "no-load [W]", "sleep [W]"});
+  const auto hp = power::EarthPowerModel::paper_high_power_rrh();
+  const auto lp = power::EarthPowerModel::paper_low_power_repeater();
+  auto add = [&](const char* name, const power::EarthPowerModel& m, int units) {
+    const auto u = static_cast<double>(units);
+    t.add_row({name, TextTable::num(m.max_rf_power().value(), 0),
+               TextTable::num(m.no_load_power().value(), 2),
+               TextTable::num(m.delta_p(), 1),
+               TextTable::num(m.sleep_power().value(), 2),
+               TextTable::num(m.full_load_power().value() * u, 1),
+               TextTable::num(m.no_load_power().value() * u, 1),
+               TextTable::num(m.sleep_power().value() * u, 1)});
+  };
+  add("High-Power RRH (per unit)", hp, 1);
+  add("High-Power mast (2 units)", hp, 2);
+  add("Low-Power repeater", lp, 1);
+  return t;
+}
+
+TextTable table3_traffic(const TrafficDerived& d) {
+  TextTable t("Table III derived quantities (model vs paper)");
+  t.set_header({"Quantity", "model", "paper"});
+  t.add_row({"full load per train @ 500 m [s]",
+             TextTable::num(d.full_load_s_at_conventional, 1), "16"});
+  t.add_row({"full load per train @ 2650 m [s]",
+             TextTable::num(d.full_load_s_at_max_isd, 1), "55"});
+  t.add_row({"HP duty @ 500 m", pct(d.duty_at_conventional, 2), "2.85 %"});
+  t.add_row({"HP duty @ 2650 m", pct(d.duty_at_max_isd, 2), "9.66 %"});
+  t.add_row({"LP node avg power (sleep mode) [W]",
+             TextTable::num(d.lp_sleep_mode_avg_w, 2), "5.17"});
+  t.add_row({"LP node daily energy [Wh]",
+             TextTable::num(d.lp_sleep_mode_wh_day, 1), "124.1"});
+  return t;
+}
+
+TextTable table4_solar(const std::vector<solar::SizingResult>& results) {
+  TextTable t("Table IV: off-grid PV sizing per region (model vs paper)");
+  t.set_header({"Region", "PV [Wp]", "Battery [Wh]", "full-batt days",
+                "downtime days", "paper PV/batt", "paper full days"});
+  static const struct {
+    const char* pv_batt;
+    const char* full_days;
+  } kPaper[4] = {{"540 / 720", "98.13 %"},
+                 {"540 / 720", "95.15 %"},
+                 {"540 / 1440", "93.73 %"},
+                 {"600 / 1440", "88.0 %"}};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({r.location.name, TextTable::num(r.chosen.pv_wp, 0),
+               TextTable::num(r.chosen.battery_wh, 0),
+               TextTable::num(r.report.days_with_full_battery_pct, 2) + " %",
+               std::to_string(r.report.downtime_days),
+               i < 4 ? kPaper[i].pv_batt : "-",
+               i < 4 ? kPaper[i].full_days : "-"});
+  }
+  return t;
+}
+
+std::string full_report(const PaperEvaluator& evaluator) {
+  std::ostringstream os;
+  os << table2_power_model() << '\n';
+  os << table1_components(power::RepeaterComponentModel::paper_table()) << '\n';
+  os << table3_traffic(evaluator.traffic_derived()) << '\n';
+  os << max_isd_table(evaluator.max_isd_sweep()) << '\n';
+  os << fig4_table(evaluator.fig4_energy()) << '\n';
+  os << table4_solar(evaluator.table4_sizing()) << '\n';
+  return os.str();
+}
+
+}  // namespace railcorr::core

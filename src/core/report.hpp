@@ -1,0 +1,43 @@
+/// \file report.hpp
+/// \brief Render evaluator results as the paper's tables/series (ASCII +
+///        CSV), shared by the benchmark harnesses and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "corridor/isd_search.hpp"
+#include "power/components.hpp"
+#include "solar/sizing.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace railcorr::core {
+
+/// Fig. 3 series as CSV (position, per-source levels, totals, SNR).
+CsvWriter fig3_csv(const std::vector<Fig3Row>& rows);
+
+/// Max-ISD sweep vs the paper's published values.
+TextTable max_isd_table(const std::vector<corridor::MaxIsdResult>& results);
+
+/// Fig. 4 bars with savings percentages.
+TextTable fig4_table(const std::vector<Fig4Entry>& entries);
+
+/// Table I reproduction (component budget).
+TextTable table1_components(const power::RepeaterComponentModel& model);
+
+/// Table II reproduction (EARTH parameters + derived site powers).
+TextTable table2_power_model();
+
+/// Table III derived quantities vs paper.
+TextTable table3_traffic(const TrafficDerived& derived);
+
+/// Table IV reproduction (off-grid sizing) vs paper.
+TextTable table4_solar(const std::vector<solar::SizingResult>& results);
+
+/// Convenience: run the full paper evaluation and return a single
+/// multi-section report string (used by the quickstart example).
+std::string full_report(const PaperEvaluator& evaluator);
+
+}  // namespace railcorr::core

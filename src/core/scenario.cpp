@@ -1,0 +1,23 @@
+#include "core/scenario.hpp"
+
+namespace railcorr::core {
+
+Scenario Scenario::paper() { return Scenario{}; }
+
+corridor::CapacityAnalyzer Scenario::make_analyzer() const {
+  return corridor::CapacityAnalyzer(link, throughput,
+                                    isd_search.sample_step_m);
+}
+
+corridor::CorridorEnergyModel Scenario::make_energy_model() const {
+  return corridor::CorridorEnergyModel(energy);
+}
+
+solar::ConsumptionProfile Scenario::repeater_consumption_profile() const {
+  // A service node covers one spacing-length section (200 m default).
+  corridor::SegmentGeometry g;
+  return solar::repeater_consumption(energy.lp_node, timetable,
+                                     g.repeater_spacing_m);
+}
+
+}  // namespace railcorr::core

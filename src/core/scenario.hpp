@@ -1,0 +1,50 @@
+/// \file scenario.hpp
+/// \brief A complete study scenario: every model parameter of the paper's
+///        evaluation in one aggregate, with the published defaults.
+#pragma once
+
+#include "corridor/capacity.hpp"
+#include "corridor/energy.hpp"
+#include "corridor/isd_search.hpp"
+#include "rf/link.hpp"
+#include "rf/throughput.hpp"
+#include "solar/offgrid.hpp"
+#include "solar/sizing.hpp"
+#include "traffic/timetable.hpp"
+
+namespace railcorr::core {
+
+/// Aggregates every tunable of the paper's study. The default-constructed
+/// scenario is the paper's configuration; ablations override members.
+struct Scenario {
+  /// Radio / link model (carrier, noise budget, fronthaul, calibration).
+  rf::LinkModelConfig link;
+  /// Deployment radio parameters (EIRPs, calibration losses).
+  corridor::RadioParameters radio = corridor::RadioParameters::paper_parameters();
+  /// Throughput mapping (TR 36.942, alpha = 0.6, 5.84 bps/Hz).
+  rf::ThroughputModel throughput = rf::ThroughputModel::paper_model();
+  /// Max-ISD sweep settings (50 m grid, SNR > 29 dB).
+  corridor::IsdSearchConfig isd_search;
+  /// Traffic pattern (8 trains/h, 5 h night pause, 400 m @ 200 km/h).
+  traffic::TimetableConfig timetable = traffic::TimetableConfig::paper_timetable();
+  /// Power models and accounting rules.
+  corridor::EnergyConfig energy = corridor::EnergyConfig::paper_config();
+  /// Repeater counts evaluated in Fig. 4 (1..10).
+  int max_repeaters = 10;
+  /// Off-grid sizing options (weather model, seed, years, mounting).
+  solar::SizingOptions sizing;
+
+  /// The paper's scenario (identical to default construction, spelled
+  /// out for call-site clarity).
+  [[nodiscard]] static Scenario paper();
+
+  /// Capacity analyzer configured from this scenario.
+  [[nodiscard]] corridor::CapacityAnalyzer make_analyzer() const;
+  /// Energy model configured from this scenario.
+  [[nodiscard]] corridor::CorridorEnergyModel make_energy_model() const;
+  /// The repeater node's off-grid consumption profile (sleep-mode node
+  /// covering one spacing section).
+  [[nodiscard]] solar::ConsumptionProfile repeater_consumption_profile() const;
+};
+
+}  // namespace railcorr::core

@@ -1,0 +1,76 @@
+/// \file capacity.hpp
+/// \brief Capacity analysis of a segment deployment: SNR / throughput
+///        profiles and the paper's peak-throughput criterion.
+#pragma once
+
+#include <vector>
+
+#include "corridor/deployment.hpp"
+#include "rf/link.hpp"
+#include "rf/throughput.hpp"
+
+namespace railcorr::corridor {
+
+/// Per-position capacity sample.
+struct CapacitySample {
+  double position_m = 0.0;
+  Db snr{0.0};
+  /// Spectral efficiency [bps/Hz].
+  double spectral_efficiency = 0.0;
+  /// Throughput over the full carrier [bps].
+  double throughput_bps = 0.0;
+};
+
+/// Summary over a whole segment.
+struct CapacitySummary {
+  Db min_snr{0.0};
+  Db mean_snr_db{0.0};
+  double min_throughput_bps = 0.0;
+  double mean_throughput_bps = 0.0;
+  /// True when every sampled position sustains peak throughput
+  /// (SNR >= the throughput model's saturation SNR).
+  bool peak_everywhere = false;
+};
+
+/// Evaluates link + throughput models over segment deployments.
+class CapacityAnalyzer {
+ public:
+  CapacityAnalyzer(rf::LinkModelConfig link_config,
+                   rf::ThroughputModel throughput,
+                   double sample_step_m = 10.0);
+
+  /// Build the link model for a deployment.
+  [[nodiscard]] rf::CorridorLinkModel link_model(
+      const SegmentDeployment& deployment) const;
+
+  /// Capacity profile sampled every `sample_step_m` across the segment.
+  [[nodiscard]] std::vector<CapacitySample> profile(
+      const SegmentDeployment& deployment) const;
+
+  /// Aggregate summary across the segment.
+  [[nodiscard]] CapacitySummary summarize(
+      const SegmentDeployment& deployment) const;
+
+  /// The paper's criterion: does the deployment sustain peak throughput
+  /// at every sampled position?
+  [[nodiscard]] bool sustains_peak_throughput(
+      const SegmentDeployment& deployment) const;
+
+  [[nodiscard]] const rf::ThroughputModel& throughput_model() const {
+    return throughput_;
+  }
+  [[nodiscard]] const rf::LinkModelConfig& link_config() const {
+    return link_config_;
+  }
+  [[nodiscard]] double sample_step_m() const { return sample_step_m_; }
+
+  /// Analyzer with all paper defaults (fronthaul-aware noise model).
+  [[nodiscard]] static CapacityAnalyzer paper_analyzer();
+
+ private:
+  rf::LinkModelConfig link_config_;
+  rf::ThroughputModel throughput_;
+  double sample_step_m_;
+};
+
+}  // namespace railcorr::corridor

@@ -1,0 +1,76 @@
+#include "corridor/cost.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "corridor/isd_search.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+
+namespace {
+constexpr double kHoursPerYear = 24.0 * 365.0;
+}
+
+CostAnalyzer::CostAnalyzer(CostModel model, CorridorEnergyModel energy)
+    : model_(model), energy_(std::move(energy)) {
+  RAILCORR_EXPECTS(model_.energy_price_eur_kwh >= 0.0);
+  RAILCORR_EXPECTS(model_.grid_co2_g_kwh >= 0.0);
+}
+
+CostReport CostAnalyzer::evaluate(const SegmentGeometry& geometry,
+                                  RepeaterOperationMode mode) const {
+  RAILCORR_EXPECTS(geometry.valid());
+  const auto energy = energy_.evaluate(geometry, mode);
+
+  const double per_km = 1000.0 / geometry.isd_m;
+  const int n = geometry.repeater_count;
+  const int donors = donor_count_for(n);
+  const double nodes_per_km = static_cast<double>(n) * per_km;
+  const double donors_per_km = static_cast<double>(donors) * per_km;
+
+  CostReport report;
+  report.capex_eur_km = model_.hp_site_capex_eur * per_km +
+                        model_.lp_node_capex_eur * nodes_per_km +
+                        model_.lp_donor_capex_eur * donors_per_km;
+  if (mode == RepeaterOperationMode::kSolarPowered) {
+    // Solar kit on every trackside node; no grid trenching to them.
+    report.capex_eur_km += model_.solar_kit_capex_eur * nodes_per_km;
+  } else if (n > 0) {
+    report.capex_eur_km += model_.lp_grid_connection_eur * nodes_per_km;
+  }
+
+  const double kwh_km_year =
+      energy.total_mains_per_km().value() * kHoursPerYear / 1000.0;
+  report.energy_opex_eur_km_year = kwh_km_year * model_.energy_price_eur_kwh;
+  report.co2_kg_km_year = kwh_km_year * model_.grid_co2_g_kwh / 1000.0;
+
+  const double powered_nodes_per_km =
+      2.0 * per_km /* two RRHs per mast, amortized as one site */ +
+      nodes_per_km + donors_per_km;
+  report.maintenance_eur_km_year =
+      model_.maintenance_eur_node_year * powered_nodes_per_km;
+  return report;
+}
+
+CostReport CostAnalyzer::conventional_baseline() const {
+  SegmentGeometry conventional;
+  conventional.isd_m = kConventionalIsdM;
+  conventional.repeater_count = 0;
+  return evaluate(conventional, RepeaterOperationMode::kContinuous);
+}
+
+double CostAnalyzer::breakeven_years(const SegmentGeometry& geometry,
+                                     RepeaterOperationMode mode) const {
+  const auto ours = evaluate(geometry, mode);
+  const auto base = conventional_baseline();
+  const double capex_gap = ours.capex_eur_km - base.capex_eur_km;
+  const double opex_saving =
+      base.opex_eur_km_year() - ours.opex_eur_km_year();
+  if (capex_gap <= 0.0) return 0.0;  // cheaper from day one
+  if (opex_saving <= 0.0) return std::numeric_limits<double>::infinity();
+  return capex_gap / opex_saving;
+}
+
+}  // namespace railcorr::corridor

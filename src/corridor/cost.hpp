@@ -1,0 +1,83 @@
+/// \file cost.hpp
+/// \brief Total-cost-of-ownership and carbon accounting for corridor
+///        deployments — the economic reading of the paper's energy
+///        argument (its §I motivates the work with the 1.24 TWh/year
+///        European corridor bill).
+///
+/// CAPEX: mast sites (civil works + two RRHs + fiber) vs repeater nodes
+/// (hardware + install; solar adds PV + battery but removes the grid
+/// connection). OPEX: mains energy at a price per kWh plus flat per-node
+/// maintenance. Carbon: grid intensity times mains energy.
+#pragma once
+
+#include "corridor/energy.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::corridor {
+
+/// Unit costs (EUR) and carbon factors. Defaults are order-of-magnitude
+/// European figures, deliberately conservative; every study should set
+/// its own.
+struct CostModel {
+  /// Full HP mast site: civil works, power, fiber, two RRHs, antennas.
+  double hp_site_capex_eur = 120'000.0;
+  /// LP repeater node: hardware + catenary-mast install.
+  double lp_node_capex_eur = 8'000.0;
+  /// Donor node at the HP mast.
+  double lp_donor_capex_eur = 6'000.0;
+  /// Off-grid kit (PV modules, battery, charge controller, mount).
+  double solar_kit_capex_eur = 2'500.0;
+  /// Cabling a mains-powered repeater to the grid (saved in solar mode —
+  /// the paper: "no cables to the relays are needed").
+  double lp_grid_connection_eur = 4'000.0;
+  /// Electricity price [EUR/kWh].
+  double energy_price_eur_kwh = 0.25;
+  /// Yearly maintenance per powered node [EUR].
+  double maintenance_eur_node_year = 150.0;
+  /// Grid carbon intensity [gCO2e/kWh] (EU mix ~250).
+  double grid_co2_g_kwh = 250.0;
+};
+
+/// Cost/carbon outcome for one corridor configuration, per kilometre.
+struct CostReport {
+  double capex_eur_km = 0.0;
+  double energy_opex_eur_km_year = 0.0;
+  double maintenance_eur_km_year = 0.0;
+  double co2_kg_km_year = 0.0;
+
+  [[nodiscard]] double opex_eur_km_year() const {
+    return energy_opex_eur_km_year + maintenance_eur_km_year;
+  }
+  /// Total cost over a horizon [EUR/km].
+  [[nodiscard]] double total_eur_km(double years) const {
+    return capex_eur_km + years * opex_eur_km_year();
+  }
+};
+
+/// Computes per-km cost/carbon for deployments evaluated by the energy
+/// model.
+class CostAnalyzer {
+ public:
+  CostAnalyzer(CostModel model, CorridorEnergyModel energy);
+
+  /// Cost report for a segment geometry under an operating mode.
+  [[nodiscard]] CostReport evaluate(const SegmentGeometry& geometry,
+                                    RepeaterOperationMode mode) const;
+
+  /// The conventional 500 m corridor's report.
+  [[nodiscard]] CostReport conventional_baseline() const;
+
+  /// Years until the repeater-aided deployment's total cost drops below
+  /// the conventional one (infinite if never: CAPEX gap exceeds OPEX
+  /// savings). Both start from green-field CAPEX.
+  [[nodiscard]] double breakeven_years(const SegmentGeometry& geometry,
+                                       RepeaterOperationMode mode) const;
+
+  [[nodiscard]] const CostModel& model() const { return model_; }
+
+ private:
+  CostModel model_;
+  CorridorEnergyModel energy_;
+};
+
+}  // namespace railcorr::corridor

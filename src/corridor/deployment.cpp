@@ -1,0 +1,52 @@
+#include "corridor/deployment.hpp"
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+
+SegmentDeployment SegmentDeployment::conventional_baseline() {
+  SegmentDeployment d;
+  d.geometry.isd_m = 500.0;
+  d.geometry.repeater_count = 0;
+  return d;
+}
+
+SegmentDeployment SegmentDeployment::with_repeaters(double isd_m,
+                                                    int repeater_count) {
+  SegmentDeployment d;
+  d.geometry.isd_m = isd_m;
+  d.geometry.repeater_count = repeater_count;
+  RAILCORR_EXPECTS(d.geometry.valid());
+  return d;
+}
+
+std::vector<rf::TrackTransmitter> SegmentDeployment::transmitters(
+    const rf::NrCarrier& carrier) const {
+  RAILCORR_EXPECTS(geometry.valid());
+  std::vector<rf::TrackTransmitter> txs;
+  txs.reserve(static_cast<std::size_t>(geometry.repeater_count) + 2);
+
+  const Dbm hp_rstp = carrier.rstp_from_eirp(radio.hp_eirp);
+  const Dbm lp_rstp = carrier.rstp_from_eirp(radio.lp_eirp);
+
+  for (const double mast : {0.0, geometry.isd_m}) {
+    rf::TrackTransmitter tx;
+    tx.kind = rf::NodeKind::kHighPowerRrh;
+    tx.position_m = mast;
+    tx.rstp = hp_rstp;
+    tx.calibration = radio.hp_calibration;
+    txs.push_back(tx);
+  }
+  for (const double p : geometry.repeater_positions()) {
+    rf::TrackTransmitter tx;
+    tx.kind = rf::NodeKind::kLowPowerRepeater;
+    tx.position_m = p;
+    tx.rstp = lp_rstp;
+    tx.calibration = radio.lp_calibration;
+    tx.donor_distance_m = geometry.donor_distance_m(p);
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+}  // namespace railcorr::corridor

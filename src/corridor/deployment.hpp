@@ -1,0 +1,50 @@
+/// \file deployment.hpp
+/// \brief Radio parameters of a corridor deployment and conversion of a
+///        segment into the RF link model's transmitter list.
+#pragma once
+
+#include <vector>
+
+#include "corridor/geometry.hpp"
+#include "rf/carrier.hpp"
+#include "rf/link.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::corridor {
+
+/// Radio-side parameters shared by all nodes of a deployment.
+struct RadioParameters {
+  /// High-power RRH EIRP (paper: 64 dBm = 2500 W).
+  Dbm hp_eirp{64.0};
+  /// Low-power repeater EIRP (paper: 40 dBm = 10 W).
+  Dbm lp_eirp{40.0};
+  /// Port-to-port calibration loss for HP sites (paper: 33 dB).
+  Db hp_calibration{33.0};
+  /// Port-to-port calibration loss for LP nodes (paper: 20 dB).
+  Db lp_calibration{20.0};
+
+  [[nodiscard]] static RadioParameters paper_parameters() {
+    return RadioParameters{};
+  }
+};
+
+/// A complete description of one corridor segment's radio deployment.
+struct SegmentDeployment {
+  SegmentGeometry geometry;
+  RadioParameters radio = RadioParameters::paper_parameters();
+
+  /// The conventional baseline: HP masts every 500 m, no repeaters.
+  [[nodiscard]] static SegmentDeployment conventional_baseline();
+
+  /// A repeater-aided segment with the given ISD and node count.
+  [[nodiscard]] static SegmentDeployment with_repeaters(double isd_m,
+                                                        int repeater_count);
+
+  /// Build the transmitter list for the RF link model: the two bounding
+  /// HP masts plus the service repeater nodes, each annotated with its
+  /// donor fronthaul distance (to the nearest mast).
+  [[nodiscard]] std::vector<rf::TrackTransmitter> transmitters(
+      const rf::NrCarrier& carrier) const;
+};
+
+}  // namespace railcorr::corridor

@@ -1,0 +1,72 @@
+#include "corridor/isd_search.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+
+IsdSearch::IsdSearch(CapacityAnalyzer analyzer, IsdSearchConfig config,
+                     RadioParameters radio)
+    : analyzer_(std::move(analyzer)), config_(config), radio_(radio) {
+  RAILCORR_EXPECTS(config_.isd_step_m > 0.0);
+  RAILCORR_EXPECTS(config_.max_isd_m > 0.0);
+  RAILCORR_EXPECTS(config_.sample_step_m > 0.0);
+}
+
+MaxIsdResult IsdSearch::find_max_isd(int repeater_count) const {
+  RAILCORR_EXPECTS(repeater_count >= 0);
+  MaxIsdResult result;
+  result.repeater_count = repeater_count;
+
+  // Smallest geometrically valid ISD on the grid: the node cluster span
+  // plus one spacing of edge gap on either side.
+  SegmentGeometry probe;
+  probe.repeater_count = repeater_count;
+  const double span =
+      repeater_count > 0
+          ? probe.repeater_spacing_m * static_cast<double>(repeater_count - 1)
+          : 0.0;
+  const double min_isd =
+      std::max(config_.isd_step_m,
+               std::ceil((span + 1.0) / config_.isd_step_m) * config_.isd_step_m);
+
+  for (double isd = min_isd; isd <= config_.max_isd_m + 1e-9;
+       isd += config_.isd_step_m) {
+    SegmentDeployment deployment;
+    deployment.geometry.isd_m = isd;
+    deployment.geometry.repeater_count = repeater_count;
+    deployment.radio = radio_;
+    if (!deployment.geometry.valid()) continue;
+    const auto model = analyzer_.link_model(deployment);
+    const Db min_snr = model.min_snr(0.0, isd, config_.sample_step_m);
+    if (min_snr >= config_.snr_threshold) {
+      result.max_isd_m = isd;
+      result.min_snr_at_max = min_snr;
+    }
+    // No early exit: min-SNR is not strictly monotone in ISD near the
+    // cluster-geometry transitions, so scan the full grid (cheap enough).
+  }
+  return result;
+}
+
+std::vector<MaxIsdResult> IsdSearch::sweep(int from, int to) const {
+  RAILCORR_EXPECTS(from >= 0);
+  RAILCORR_EXPECTS(to >= from);
+  std::vector<MaxIsdResult> results;
+  results.reserve(static_cast<std::size_t>(to - from) + 1);
+  for (int n = from; n <= to; ++n) {
+    results.push_back(find_max_isd(n));
+  }
+  return results;
+}
+
+const std::vector<double>& paper_published_max_isds() {
+  static const std::vector<double> kValues = {1250.0, 1450.0, 1600.0, 1800.0,
+                                              1950.0, 2100.0, 2250.0, 2400.0,
+                                              2500.0, 2650.0};
+  return kValues;
+}
+
+}  // namespace railcorr::corridor

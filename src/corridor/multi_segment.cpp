@@ -1,0 +1,97 @@
+#include "corridor/multi_segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+
+std::vector<rf::TrackTransmitter> CorridorDeployment::transmitters(
+    const rf::NrCarrier& carrier) const {
+  RAILCORR_EXPECTS(geometry.segments >= 1);
+  RAILCORR_EXPECTS(geometry.segment.valid());
+  std::vector<rf::TrackTransmitter> txs;
+  const Dbm hp_rstp = carrier.rstp_from_eirp(radio.hp_eirp);
+  const Dbm lp_rstp = carrier.rstp_from_eirp(radio.lp_eirp);
+
+  for (const double mast : geometry.mast_positions()) {
+    rf::TrackTransmitter tx;
+    tx.kind = rf::NodeKind::kHighPowerRrh;
+    tx.position_m = mast;
+    tx.rstp = hp_rstp;
+    tx.calibration = radio.hp_calibration;
+    txs.push_back(tx);
+  }
+  const double isd = geometry.segment.isd_m;
+  for (const double p : geometry.repeater_positions()) {
+    rf::TrackTransmitter tx;
+    tx.kind = rf::NodeKind::kLowPowerRepeater;
+    tx.position_m = p;
+    tx.rstp = lp_rstp;
+    tx.calibration = radio.lp_calibration;
+    // Donor distance within the node's own segment.
+    const double local = std::fmod(p, isd);
+    tx.donor_distance_m = std::min(local, isd - local);
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+CorridorDeployment CorridorDeployment::repeat(
+    const SegmentDeployment& segment, int segments) {
+  RAILCORR_EXPECTS(segments >= 1);
+  CorridorDeployment corridor;
+  corridor.geometry.segment = segment.geometry;
+  corridor.geometry.segments = segments;
+  corridor.radio = segment.radio;
+  return corridor;
+}
+
+MultiSegmentAnalyzer::MultiSegmentAnalyzer(rf::LinkModelConfig link_config,
+                                           double sample_step_m)
+    : link_config_(std::move(link_config)), sample_step_m_(sample_step_m) {
+  RAILCORR_EXPECTS(sample_step_m_ > 0.0);
+}
+
+rf::CorridorLinkModel MultiSegmentAnalyzer::link_model(
+    const CorridorDeployment& corridor) const {
+  return rf::CorridorLinkModel(
+      link_config_, corridor.transmitters(link_config_.carrier));
+}
+
+std::vector<SegmentCapacity> MultiSegmentAnalyzer::per_segment(
+    const CorridorDeployment& corridor) const {
+  const auto model = link_model(corridor);
+  const double isd = corridor.geometry.segment.isd_m;
+  std::vector<SegmentCapacity> out;
+  out.reserve(static_cast<std::size_t>(corridor.geometry.segments));
+  for (int s = 0; s < corridor.geometry.segments; ++s) {
+    SegmentCapacity cap;
+    cap.segment_index = s;
+    const double lo = isd * static_cast<double>(s);
+    const double hi = lo + isd;
+    cap.min_snr = model.min_snr(lo, hi, sample_step_m_);
+    cap.mean_snr_db = model.mean_snr_db(lo, hi, sample_step_m_);
+    out.push_back(cap);
+  }
+  return out;
+}
+
+Db MultiSegmentAnalyzer::interior_boundary_effect(
+    const SegmentDeployment& segment, int segments) const {
+  RAILCORR_EXPECTS(segments >= 3);
+  const auto corridor = CorridorDeployment::repeat(segment, segments);
+  const auto capacities = per_segment(corridor);
+  const auto& middle =
+      capacities[static_cast<std::size_t>(segments / 2)];
+
+  const rf::CorridorLinkModel isolated(
+      link_config_, segment.transmitters(link_config_.carrier));
+  const Db isolated_min =
+      isolated.min_snr(0.0, segment.geometry.isd_m, sample_step_m_);
+  return middle.min_snr - isolated_min;
+}
+
+}  // namespace railcorr::corridor

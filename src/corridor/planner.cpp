@@ -1,0 +1,66 @@
+#include "corridor/planner.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+
+CorridorPlanner::CorridorPlanner(CapacityAnalyzer analyzer,
+                                 CorridorEnergyModel energy,
+                                 IsdSearchConfig search_config)
+    : analyzer_(std::move(analyzer)),
+      energy_(std::move(energy)),
+      search_config_(search_config) {}
+
+CorridorPlan CorridorPlanner::plan(RepeaterOperationMode mode,
+                                   int max_repeaters, IsdSource source) const {
+  RAILCORR_EXPECTS(max_repeaters >= 1);
+  CorridorPlan plan;
+  plan.baseline = energy_.conventional_baseline();
+
+  const IsdSearch search(analyzer_, search_config_);
+  for (int n = 1; n <= max_repeaters; ++n) {
+    double isd = 0.0;
+    Db min_snr{0.0};
+    if (source == IsdSource::kPaperPublished &&
+        n <= static_cast<int>(paper_published_max_isds().size())) {
+      isd = paper_published_max_isds()[static_cast<std::size_t>(n - 1)];
+      SegmentDeployment d = SegmentDeployment::with_repeaters(isd, n);
+      min_snr = analyzer_.link_model(d).min_snr(0.0, isd,
+                                                search_config_.sample_step_m);
+    } else {
+      const auto result = search.find_max_isd(n);
+      if (!result.max_isd_m.has_value()) continue;
+      isd = *result.max_isd_m;
+      min_snr = result.min_snr_at_max;
+    }
+
+    PlanOption option;
+    option.repeater_count = n;
+    option.isd_m = isd;
+    option.min_snr = min_snr;
+    SegmentGeometry geometry;
+    geometry.isd_m = isd;
+    geometry.repeater_count = n;
+    option.energy = energy_.evaluate(geometry, mode);
+    option.savings = option.energy.savings_vs(plan.baseline);
+    plan.options.push_back(option);
+  }
+  RAILCORR_ENSURES(!plan.options.empty());
+
+  for (std::size_t i = 1; i < plan.options.size(); ++i) {
+    if (plan.options[i].energy.total_mains_per_km() <
+        plan.options[plan.best_index].energy.total_mains_per_km()) {
+      plan.best_index = i;
+    }
+  }
+  return plan;
+}
+
+CorridorPlanner CorridorPlanner::paper_planner() {
+  return CorridorPlanner(CapacityAnalyzer::paper_analyzer(),
+                         CorridorEnergyModel(EnergyConfig::paper_config()));
+}
+
+}  // namespace railcorr::corridor

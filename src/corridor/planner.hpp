@@ -1,0 +1,66 @@
+/// \file planner.hpp
+/// \brief The top-level planning API: choose the repeater count / ISD
+///        combination that minimizes corridor energy while sustaining
+///        peak throughput — the paper's contribution as a library call.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "corridor/capacity.hpp"
+#include "corridor/energy.hpp"
+#include "corridor/isd_search.hpp"
+
+namespace railcorr::corridor {
+
+/// One candidate deployment (a repeater count with its maximum ISD).
+struct PlanOption {
+  int repeater_count = 0;
+  double isd_m = 0.0;
+  Db min_snr{0.0};
+  SegmentEnergyBreakdown energy;
+  /// Saving vs the conventional baseline, in [0, 1).
+  double savings = 0.0;
+};
+
+/// The full plan: every evaluated option plus the selected optimum.
+struct CorridorPlan {
+  SegmentEnergyBreakdown baseline;
+  std::vector<PlanOption> options;
+  /// Index into `options` of the minimum-energy choice.
+  std::size_t best_index = 0;
+
+  [[nodiscard]] const PlanOption& best() const { return options.at(best_index); }
+};
+
+/// How the planner obtains the max-ISD-per-N relation.
+enum class IsdSource {
+  /// Run the calibrated capacity model's search (model-derived).
+  kModelSearch,
+  /// Use the ten values published in the paper (paper-anchored); useful
+  /// to reproduce Fig. 4 independently of the capacity calibration.
+  kPaperPublished,
+};
+
+/// Plans energy-optimal repeater-aided corridors.
+class CorridorPlanner {
+ public:
+  CorridorPlanner(CapacityAnalyzer analyzer, CorridorEnergyModel energy,
+                  IsdSearchConfig search_config = IsdSearchConfig{});
+
+  /// Evaluate repeater counts 1..max_repeaters under `mode` and pick the
+  /// minimum-energy option. Counts whose search fails are skipped.
+  [[nodiscard]] CorridorPlan plan(RepeaterOperationMode mode,
+                                  int max_repeaters = 10,
+                                  IsdSource source = IsdSource::kModelSearch) const;
+
+  /// Convenience: a fully paper-parameterized planner.
+  [[nodiscard]] static CorridorPlanner paper_planner();
+
+ private:
+  CapacityAnalyzer analyzer_;
+  CorridorEnergyModel energy_;
+  IsdSearchConfig search_config_;
+};
+
+}  // namespace railcorr::corridor

@@ -1,0 +1,112 @@
+#include "corridor/robustness.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+
+RobustnessAnalyzer::RobustnessAnalyzer(rf::LinkModelConfig link_config,
+                                       RobustnessConfig config)
+    : link_config_(std::move(link_config)), config_(config) {
+  RAILCORR_EXPECTS(config_.sigma_db >= 0.0);
+  RAILCORR_EXPECTS(config_.decorrelation_m > 0.0);
+  RAILCORR_EXPECTS(config_.realizations >= 1);
+  RAILCORR_EXPECTS(config_.sample_step_m > 0.0);
+}
+
+RobustnessReport RobustnessAnalyzer::study(
+    const SegmentDeployment& deployment) const {
+  RAILCORR_EXPECTS(deployment.geometry.valid());
+  const double isd = deployment.geometry.isd_m;
+  const auto transmitters =
+      deployment.transmitters(link_config_.carrier);
+  const rf::CorridorLinkModel link(link_config_, transmitters);
+
+  Rng rng(config_.seed);
+  RobustnessReport report;
+  std::size_t outage_samples = 0;
+  std::size_t total_samples = 0;
+  int passes = 0;
+  double margin_sum = 0.0;
+
+  for (int r = 0; r < config_.realizations; ++r) {
+    // One independent correlated trace per transmitter. The trace is
+    // indexed by terminal position: as the train moves, the shadowing of
+    // each link decorrelates over ~decorrelation_m.
+    std::vector<rf::ShadowingTrace> traces;
+    traces.reserve(transmitters.size());
+    for (std::size_t i = 0; i < transmitters.size(); ++i) {
+      traces.emplace_back(config_.sigma_db, config_.decorrelation_m,
+                          config_.sample_step_m, isd, rng);
+    }
+
+    double worst = std::numeric_limits<double>::infinity();
+    for (double d = 0.0; d <= isd + 0.5 * config_.sample_step_m;
+         d += config_.sample_step_m) {
+      const double pos = std::min(d, isd);
+      // Perturb each contribution and re-combine; noise injections move
+      // with their node's shadowing as well (same physical path).
+      double signal_mw = 0.0;
+      double noise_mw = link_config_.noise.terminal_noise()
+                            .to_milliwatts()
+                            .value();
+      for (std::size_t i = 0; i < transmitters.size(); ++i) {
+        const Db shadow = traces[i].at(pos);
+        const Dbm rsrp = link.rsrp_of(i, pos) + shadow;
+        signal_mw += rsrp.to_milliwatts().value();
+        const auto& tx = transmitters[i];
+        if (tx.kind == rf::NodeKind::kLowPowerRepeater &&
+            link_config_.noise_model ==
+                rf::RepeaterNoiseModel::kFronthaulAware) {
+          const Db fronthaul =
+              link_config_.fronthaul.snr_at(tx.donor_distance_m);
+          noise_mw += (rsrp - fronthaul).to_milliwatts().value();
+        }
+      }
+      const double snr_db = 10.0 * std::log10(signal_mw / noise_mw);
+      worst = std::min(worst, snr_db);
+      ++total_samples;
+      if (snr_db < config_.snr_threshold.value()) ++outage_samples;
+    }
+    report.min_snr_db.add(worst);
+    margin_sum += worst - config_.snr_threshold.value();
+    if (worst >= config_.snr_threshold.value()) ++passes;
+  }
+
+  report.pass_probability =
+      static_cast<double>(passes) / static_cast<double>(config_.realizations);
+  report.outage_fraction = static_cast<double>(outage_samples) /
+                           static_cast<double>(total_samples);
+  report.mean_margin_db =
+      margin_sum / static_cast<double>(config_.realizations);
+  return report;
+}
+
+double RobustnessAnalyzer::robust_max_isd(int repeater_count,
+                                          double deterministic_max_isd_m,
+                                          double confidence,
+                                          double isd_step_m) const {
+  RAILCORR_EXPECTS(repeater_count >= 0);
+  RAILCORR_EXPECTS(deterministic_max_isd_m > 0.0);
+  RAILCORR_EXPECTS(confidence > 0.0 && confidence <= 1.0);
+  RAILCORR_EXPECTS(isd_step_m > 0.0);
+
+  const double min_span =
+      repeater_count > 1
+          ? 200.0 * static_cast<double>(repeater_count - 1) + isd_step_m
+          : isd_step_m;
+  for (double isd = deterministic_max_isd_m; isd >= min_span;
+       isd -= isd_step_m) {
+    SegmentDeployment deployment;
+    deployment.geometry.isd_m = isd;
+    deployment.geometry.repeater_count = repeater_count;
+    if (!deployment.geometry.valid()) break;
+    const auto report = study(deployment);
+    if (report.pass_probability >= confidence) return isd;
+  }
+  return 0.0;  // no ISD on the grid meets the confidence target
+}
+
+}  // namespace railcorr::corridor

@@ -1,0 +1,77 @@
+/// \file robustness.hpp
+/// \brief Monte-Carlo shadowing robustness of a deployment.
+///
+/// The paper's capacity model is deterministic (calibrated Friis). Real
+/// corridors see log-normal shadowing on top; this module quantifies how
+/// much of the planned margin survives: per-realization minimum SNR,
+/// outage probability against the peak-throughput criterion, and the ISD
+/// back-off needed to restore a target confidence.
+///
+/// Shadowing model: one spatially correlated trace per transmitter
+/// (Gudmundson exponential autocorrelation along the track), independent
+/// across transmitters — nodes see different obstruction environments.
+#pragma once
+
+#include <vector>
+
+#include "corridor/capacity.hpp"
+#include "corridor/deployment.hpp"
+#include "rf/fading.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace railcorr::corridor {
+
+/// Shadowing study configuration.
+struct RobustnessConfig {
+  /// Shadowing standard deviation [dB]. Trackside line-of-sight
+  /// corridors are benign; 3-4 dB is typical, 6-8 dB pessimistic.
+  double sigma_db = 4.0;
+  /// Decorrelation distance along the track [m].
+  double decorrelation_m = 50.0;
+  /// Monte-Carlo realizations.
+  int realizations = 200;
+  /// SNR criterion (paper: 29 dB).
+  Db snr_threshold{29.0};
+  /// Track sampling step [m].
+  double sample_step_m = 10.0;
+  std::uint64_t seed = 0x5EEDC0DEULL;
+};
+
+/// Outcome of a shadowing study on one deployment.
+struct RobustnessReport {
+  /// Statistics of the per-realization minimum SNR [dB].
+  RunningStats min_snr_db;
+  /// Fraction of realizations whose minimum SNR stays above threshold.
+  double pass_probability = 0.0;
+  /// Fraction of (realization, position) samples below threshold.
+  double outage_fraction = 0.0;
+  /// Mean SNR margin above threshold at the worst position [dB].
+  double mean_margin_db = 0.0;
+};
+
+/// Runs shadowing Monte Carlo over deployments.
+class RobustnessAnalyzer {
+ public:
+  RobustnessAnalyzer(rf::LinkModelConfig link_config, RobustnessConfig config);
+
+  /// Study one deployment.
+  [[nodiscard]] RobustnessReport study(const SegmentDeployment& deployment) const;
+
+  /// Largest ISD (on `isd_step_m` grid, starting from the deterministic
+  /// maximum and shrinking) at which at least `confidence` of the
+  /// realizations keep the criterion; the difference to the
+  /// deterministic maximum is the required shadowing back-off.
+  [[nodiscard]] double robust_max_isd(int repeater_count,
+                                      double deterministic_max_isd_m,
+                                      double confidence,
+                                      double isd_step_m = 50.0) const;
+
+  [[nodiscard]] const RobustnessConfig& config() const { return config_; }
+
+ private:
+  rf::LinkModelConfig link_config_;
+  RobustnessConfig config_;
+};
+
+}  // namespace railcorr::corridor

@@ -1,0 +1,93 @@
+#include "power/components.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::power {
+
+RepeaterComponentModel::RepeaterComponentModel(
+    std::vector<RepeaterComponent> components, int common_paths, int dl_paths,
+    int ul_paths, double efficiency)
+    : components_(std::move(components)),
+      common_paths_(common_paths),
+      dl_paths_(dl_paths),
+      ul_paths_(ul_paths),
+      efficiency_(efficiency) {
+  RAILCORR_EXPECTS(!components_.empty());
+  RAILCORR_EXPECTS(common_paths_ >= 1);
+  RAILCORR_EXPECTS(dl_paths_ >= 0);
+  RAILCORR_EXPECTS(ul_paths_ >= 0);
+  RAILCORR_EXPECTS(efficiency_ > 0.0 && efficiency_ <= 1.0);
+}
+
+int RepeaterComponentModel::paths(ComponentGroup group) const {
+  switch (group) {
+    case ComponentGroup::kCommon:
+      return common_paths_;
+    case ComponentGroup::kDownlink:
+      return dl_paths_;
+    case ComponentGroup::kUplink:
+      return ul_paths_;
+  }
+  return 0;
+}
+
+Watts RepeaterComponentModel::group_total(ComponentGroup group) const {
+  Watts sum{0.0};
+  for (const auto& c : components_) {
+    if (c.group == group) sum += c.active;
+  }
+  return sum * static_cast<double>(paths(group));
+}
+
+Watts RepeaterComponentModel::raw_active_total() const {
+  return group_total(ComponentGroup::kCommon) +
+         group_total(ComponentGroup::kDownlink) +
+         group_total(ComponentGroup::kUplink);
+}
+
+Watts RepeaterComponentModel::active_total() const {
+  return raw_active_total() * efficiency_;
+}
+
+Watts RepeaterComponentModel::sleep_total() const {
+  // Sleep keeps only the common group alive (controller + disciplined
+  // oscillator + LO standby); per Table I the sleep column is zero for
+  // all path components, so path multiplicity does not matter.
+  Watts sum{0.0};
+  for (const auto& c : components_) sum += c.sleep;
+  return sum;
+}
+
+EarthPowerModel RepeaterComponentModel::to_earth_model(Watts p_max,
+                                                       double delta_p) const {
+  // P0 is the active total minus the load-proportional span dp * Pmax,
+  // so that input_power(1.0) equals the component-level active total.
+  const Watts full = active_total();
+  const Watts span = p_max * delta_p;
+  RAILCORR_EXPECTS(full.value() > span.value());
+  return EarthPowerModel(p_max, full - span, delta_p, sleep_total());
+}
+
+RepeaterComponentModel RepeaterComponentModel::paper_table() {
+  using G = ComponentGroup;
+  std::vector<RepeaterComponent> rows = {
+      {"Controller", G::kCommon, Watts(2.0), Watts(2.0)},
+      {"GNSS DOCXO", G::kCommon, Watts(2.22), Watts(2.22)},
+      {"Local Oscillator", G::kCommon, Watts(5.0), Watts(0.5)},
+      {"Frequency Doubler", G::kCommon, Watts(0.35), Watts(0.0)},
+      {"RF Switches", G::kCommon, Watts(0.195), Watts(0.0)},
+      {"RX LNA (DL)", G::kDownlink, Watts(0.27), Watts(0.0)},
+      {"TX PA (DL)", G::kDownlink, Watts(5.0), Watts(0.0)},
+      {"RX LNA (UL)", G::kUplink, Watts(0.462), Watts(0.0)},
+      {"Second RX LNA (UL)", G::kUplink, Watts(0.335), Watts(0.0)},
+      {"TX PA (UL)", G::kUplink, Watts(5.0), Watts(0.0)},
+  };
+  // Printed total 28.38 W vs raw path-multiplied sum 31.899 W; see the
+  // file comment. eta chosen to reproduce the printed total exactly.
+  const double eta = 28.38 / 31.899;
+  return RepeaterComponentModel(std::move(rows), 1, 2, 2, eta);
+}
+
+}  // namespace railcorr::power

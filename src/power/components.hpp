@@ -1,0 +1,88 @@
+/// \file components.hpp
+/// \brief Component-level power budget of the low-power repeater node
+///        (paper Table I), built from the authors' prototype hardware.
+///
+/// Each sub-component contributes to one of three functional groups —
+/// common (always required while active), downlink path, uplink path —
+/// and has a separate sleep-mode consumption. DL and UL groups are
+/// instantiated per signal path (the prototype runs two paths each,
+/// cross-polarized).
+///
+/// Note on totals: Table I prints an active total of 28.38 W, but the
+/// printed rows multiplied by the printed path counts sum to 31.90 W.
+/// The sleep total (4.72 W) is an exact row sum. We expose the raw sum
+/// and reproduce the printed total via a power-conversion efficiency
+/// factor eta = 28.38 / 31.90 (documented in DESIGN.md), so that both
+/// the component table and the published headline numbers are available.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/earth_model.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::power {
+
+/// Which functional group a sub-component belongs to.
+enum class ComponentGroup { kCommon, kDownlink, kUplink };
+
+/// One row of Table I.
+struct RepeaterComponent {
+  std::string name;
+  ComponentGroup group = ComponentGroup::kCommon;
+  /// Power while the node is active [W].
+  Watts active{0.0};
+  /// Power while the node sleeps [W].
+  Watts sleep{0.0};
+};
+
+/// The component-level repeater power model.
+class RepeaterComponentModel {
+ public:
+  /// \param components     sub-component list
+  /// \param common_paths   instances of the common group (paper: 1)
+  /// \param dl_paths       downlink path count (paper: 2)
+  /// \param ul_paths       uplink path count (paper: 2)
+  /// \param efficiency     power-conversion efficiency applied to the
+  ///                       active total (1.0 = none); in (0, 1]
+  RepeaterComponentModel(std::vector<RepeaterComponent> components,
+                         int common_paths, int dl_paths, int ul_paths,
+                         double efficiency = 1.0);
+
+  /// Raw sum of active powers times path counts, before efficiency.
+  [[nodiscard]] Watts raw_active_total() const;
+  /// Active total with the efficiency factor applied (matches the
+  /// printed 28.38 W for the paper model).
+  [[nodiscard]] Watts active_total() const;
+  /// Sleep total (exact row sum; efficiency is not applied because the
+  /// printed sleep total is already consistent).
+  [[nodiscard]] Watts sleep_total() const;
+  /// Active power of one functional group (paths applied, no efficiency).
+  [[nodiscard]] Watts group_total(ComponentGroup group) const;
+
+  [[nodiscard]] const std::vector<RepeaterComponent>& components() const {
+    return components_;
+  }
+  [[nodiscard]] int paths(ComponentGroup group) const;
+  [[nodiscard]] double efficiency() const { return efficiency_; }
+
+  /// Derive EARTH-model parameters from the component budget:
+  /// P0 = active total minus the load-dependent PA contribution,
+  /// Psleep = sleep total. `p_max` and `delta_p` are taken from the
+  /// caller (Table II: 1 W, 4.0).
+  [[nodiscard]] EarthPowerModel to_earth_model(Watts p_max,
+                                               double delta_p) const;
+
+  /// Table I exactly as printed, with eta = 28.38/31.899.
+  [[nodiscard]] static RepeaterComponentModel paper_table();
+
+ private:
+  std::vector<RepeaterComponent> components_;
+  int common_paths_;
+  int dl_paths_;
+  int ul_paths_;
+  double efficiency_;
+};
+
+}  // namespace railcorr::power

@@ -1,0 +1,69 @@
+#include "power/earth_model.hpp"
+
+#include "util/contracts.hpp"
+
+namespace railcorr::power {
+
+EarthPowerModel::EarthPowerModel(Watts p_max, Watts p0, double delta_p,
+                                 Watts p_sleep)
+    : p_max_(p_max), p0_(p0), delta_p_(delta_p), p_sleep_(p_sleep) {
+  RAILCORR_EXPECTS(p_max_.value() > 0.0);
+  RAILCORR_EXPECTS(p0_.value() >= 0.0);
+  RAILCORR_EXPECTS(delta_p_ >= 0.0);
+  RAILCORR_EXPECTS(p_sleep_.value() >= 0.0);
+}
+
+Watts EarthPowerModel::input_power(double chi) const {
+  RAILCORR_EXPECTS(chi >= 0.0 && chi <= 1.0);
+  if (chi == 0.0) return p_sleep_;
+  return p0_ + p_max_ * (delta_p_ * chi);
+}
+
+Watts EarthPowerModel::full_load_power() const { return input_power(1.0); }
+
+Watts EarthPowerModel::average_power(double full_load_fraction,
+                                     bool sleep_when_idle) const {
+  RAILCORR_EXPECTS(full_load_fraction >= 0.0 && full_load_fraction <= 1.0);
+  const Watts idle = sleep_when_idle ? p_sleep_ : p0_;
+  return full_load_power() * full_load_fraction +
+         idle * (1.0 - full_load_fraction);
+}
+
+EarthPowerModel EarthPowerModel::paper_high_power_rrh() {
+  return EarthPowerModel(Watts(40.0), Watts(168.0), 2.8, Watts(112.0));
+}
+
+EarthPowerModel EarthPowerModel::paper_low_power_repeater() {
+  return EarthPowerModel(Watts(1.0), Watts(24.26), 4.0, Watts(4.72));
+}
+
+SiteModel::SiteModel(EarthPowerModel unit, int units)
+    : unit_(unit), units_(units) {
+  RAILCORR_EXPECTS(units_ >= 1);
+}
+
+Watts SiteModel::input_power(double chi) const {
+  return unit_.input_power(chi) * static_cast<double>(units_);
+}
+
+Watts SiteModel::full_load_power() const { return input_power(1.0); }
+
+Watts SiteModel::no_load_power() const {
+  return unit_.no_load_power() * static_cast<double>(units_);
+}
+
+Watts SiteModel::sleep_power() const {
+  return unit_.sleep_power() * static_cast<double>(units_);
+}
+
+Watts SiteModel::average_power(double full_load_fraction,
+                               bool sleep_when_idle) const {
+  return unit_.average_power(full_load_fraction, sleep_when_idle) *
+         static_cast<double>(units_);
+}
+
+SiteModel SiteModel::paper_high_power_mast() {
+  return SiteModel(EarthPowerModel::paper_high_power_rrh(), 2);
+}
+
+}  // namespace railcorr::power

@@ -1,0 +1,85 @@
+/// \file earth_model.hpp
+/// \brief The EARTH parameterized base-station power model (paper Eq. 3).
+///
+/// Developed in the EU FP7 EARTH project (paper refs [12],[13],[20]):
+/// the consumed input power of a radio unit is affine in the traffic
+/// load chi in (0, 1], with a distinct constant sleep power at chi = 0:
+///
+///   P_in(chi) = P0 + dp * Pmax * chi   for 0 < chi <= 1
+///   P_in(0)   = P_sleep
+///
+/// where Pmax is the maximum RF output power, P0 the no-load baseline
+/// (supplies, oscillators, cooling) and dp the load slope.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace railcorr::power {
+
+/// Parameters of Eq. (3) for one radio unit.
+class EarthPowerModel {
+ public:
+  /// \param p_max    maximum RF output power [W], > 0
+  /// \param p0       no-load input power [W], >= 0
+  /// \param delta_p  load slope (dimensionless), >= 0
+  /// \param p_sleep  sleep-mode input power [W], >= 0
+  EarthPowerModel(Watts p_max, Watts p0, double delta_p, Watts p_sleep);
+
+  /// Input power at fractional load `chi` in [0, 1]; chi == 0 selects the
+  /// sleep mode per Eq. (3).
+  [[nodiscard]] Watts input_power(double chi) const;
+
+  /// Input power when the unit is powered but idle (chi -> 0+), i.e. P0.
+  [[nodiscard]] Watts no_load_power() const { return p0_; }
+  [[nodiscard]] Watts full_load_power() const;
+  [[nodiscard]] Watts sleep_power() const { return p_sleep_; }
+  [[nodiscard]] Watts max_rf_power() const { return p_max_; }
+  [[nodiscard]] double delta_p() const { return delta_p_; }
+
+  /// Average input power for a unit that spends `full_load_fraction` of
+  /// the time at chi = 1 and the rest at chi = 0 (sleep) or idle (P0),
+  /// selected by `sleep_when_idle`.
+  [[nodiscard]] Watts average_power(double full_load_fraction,
+                                    bool sleep_when_idle) const;
+
+  /// Table II row "High-Power RRH": Pmax 40 W, P0 168 W, dp 2.8,
+  /// Psleep 112 W (per RRH; a mast carries two).
+  [[nodiscard]] static EarthPowerModel paper_high_power_rrh();
+  /// Table II row "Low-Power Repeater": Pmax 1 W, P0 24.26 W, dp 4.0,
+  /// Psleep 4.72 W.
+  [[nodiscard]] static EarthPowerModel paper_low_power_repeater();
+
+ private:
+  Watts p_max_;
+  Watts p0_;
+  double delta_p_;
+  Watts p_sleep_;
+};
+
+/// A cell site aggregating several identical radio units (the paper's
+/// mast carries two back-to-back RRH+antenna sectors).
+class SiteModel {
+ public:
+  /// \param unit   per-unit power model
+  /// \param units  number of units at the site, >= 1
+  SiteModel(EarthPowerModel unit, int units);
+
+  [[nodiscard]] Watts input_power(double chi) const;
+  [[nodiscard]] Watts full_load_power() const;
+  [[nodiscard]] Watts no_load_power() const;
+  [[nodiscard]] Watts sleep_power() const;
+  [[nodiscard]] Watts average_power(double full_load_fraction,
+                                    bool sleep_when_idle) const;
+  [[nodiscard]] int units() const { return units_; }
+  [[nodiscard]] const EarthPowerModel& unit() const { return unit_; }
+
+  /// Paper's high-power mast: two RRH sectors -> 560 W full load,
+  /// 336 W no load, 224 W sleep.
+  [[nodiscard]] static SiteModel paper_high_power_mast();
+
+ private:
+  EarthPowerModel unit_;
+  int units_;
+};
+
+}  // namespace railcorr::power

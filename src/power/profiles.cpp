@@ -1,0 +1,60 @@
+#include "power/profiles.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::power {
+
+const char* to_string(OperatingState state) {
+  switch (state) {
+    case OperatingState::kSleep:
+      return "sleep";
+    case OperatingState::kNoLoad:
+      return "no-load";
+    case OperatingState::kFullLoad:
+      return "full-load";
+  }
+  return "?";
+}
+
+StateFractions StateFractions::full_or_idle(double full_fraction) {
+  RAILCORR_EXPECTS(full_fraction >= 0.0 && full_fraction <= 1.0);
+  return StateFractions{full_fraction, 1.0 - full_fraction, 0.0};
+}
+
+StateFractions StateFractions::full_or_sleep(double full_fraction) {
+  RAILCORR_EXPECTS(full_fraction >= 0.0 && full_fraction <= 1.0);
+  return StateFractions{full_fraction, 0.0, 1.0 - full_fraction};
+}
+
+Watts state_power(const EarthPowerModel& model, OperatingState state) {
+  switch (state) {
+    case OperatingState::kSleep:
+      return model.sleep_power();
+    case OperatingState::kNoLoad:
+      return model.no_load_power();
+    case OperatingState::kFullLoad:
+      return model.full_load_power();
+  }
+  return Watts(0.0);
+}
+
+Watts average_power(const EarthPowerModel& model,
+                    const StateFractions& fractions) {
+  RAILCORR_EXPECTS(std::abs(fractions.sum() - 1.0) < 1e-9);
+  RAILCORR_EXPECTS(fractions.full_load >= 0.0);
+  RAILCORR_EXPECTS(fractions.no_load >= 0.0);
+  RAILCORR_EXPECTS(fractions.sleep >= 0.0);
+  return model.full_load_power() * fractions.full_load +
+         model.no_load_power() * fractions.no_load +
+         model.sleep_power() * fractions.sleep;
+}
+
+WattHours daily_energy(const EarthPowerModel& model,
+                       const StateFractions& fractions) {
+  return energy(average_power(model, fractions), constants::kHoursPerDay);
+}
+
+}  // namespace railcorr::power

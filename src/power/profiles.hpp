@@ -1,0 +1,46 @@
+/// \file profiles.hpp
+/// \brief Operating-state bookkeeping: how a node divides its time among
+///        full-load / no-load / sleep, and the resulting average power
+///        and daily energy.
+#pragma once
+
+#include "power/earth_model.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::power {
+
+/// Discrete operating states of a trackside node.
+enum class OperatingState {
+  kSleep,     ///< chi = 0, P = Psleep
+  kNoLoad,    ///< powered but idle, P = P0
+  kFullLoad,  ///< chi = 1, P = P0 + dp * Pmax
+};
+
+const char* to_string(OperatingState state);
+
+/// Fractions of time spent in each state; must sum to 1.
+struct StateFractions {
+  double full_load = 0.0;
+  double no_load = 0.0;
+  double sleep = 0.0;
+
+  [[nodiscard]] double sum() const { return full_load + no_load + sleep; }
+
+  /// A node that is at full load for `full_fraction` of the time and
+  /// otherwise idles (no_load) or sleeps.
+  static StateFractions full_or_idle(double full_fraction);
+  static StateFractions full_or_sleep(double full_fraction);
+};
+
+/// Average power of a unit following the given state fractions.
+Watts average_power(const EarthPowerModel& model,
+                    const StateFractions& fractions);
+
+/// Energy consumed over 24 h at the given average state fractions.
+WattHours daily_energy(const EarthPowerModel& model,
+                       const StateFractions& fractions);
+
+/// Power drawn in one discrete state.
+Watts state_power(const EarthPowerModel& model, OperatingState state);
+
+}  // namespace railcorr::power

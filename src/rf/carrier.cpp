@@ -1,0 +1,40 @@
+#include "rf/carrier.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+NrCarrier::NrCarrier(double center_frequency_hz, double bandwidth_hz,
+                     int subcarriers)
+    : frequency_hz_(center_frequency_hz),
+      bandwidth_hz_(bandwidth_hz),
+      subcarriers_(subcarriers) {
+  RAILCORR_EXPECTS(frequency_hz_ > 0.0);
+  RAILCORR_EXPECTS(bandwidth_hz_ > 0.0);
+  RAILCORR_EXPECTS(subcarriers_ >= 1);
+}
+
+double NrCarrier::wavelength_m() const {
+  return constants::kSpeedOfLight / frequency_hz_;
+}
+
+double NrCarrier::subcarrier_spacing_hz() const {
+  return bandwidth_hz_ / static_cast<double>(subcarriers_);
+}
+
+Dbm NrCarrier::rstp_from_eirp(Dbm eirp) const {
+  return eirp - Db(10.0 * std::log10(static_cast<double>(subcarriers_)));
+}
+
+Dbm NrCarrier::eirp_from_rstp(Dbm rstp) const {
+  return rstp + Db(10.0 * std::log10(static_cast<double>(subcarriers_)));
+}
+
+NrCarrier NrCarrier::paper_carrier() {
+  return NrCarrier(3.5e9, 100e6, 3300);
+}
+
+}  // namespace railcorr::rf

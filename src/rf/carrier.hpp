@@ -1,0 +1,46 @@
+/// \file carrier.hpp
+/// \brief 5G NR carrier description: bandwidth, subcarrier grid, and the
+///        EIRP <-> per-subcarrier reference-signal power accounting the
+///        paper uses ("the overall signal power must be divided by the
+///        number of subcarriers to obtain the RSTP or RSRP").
+#pragma once
+
+#include "util/units.hpp"
+
+namespace railcorr::rf {
+
+/// A 5G NR carrier. The paper's corridor uses a 100 MHz carrier at
+/// 3.5 GHz (band n78) with 3300 subcarriers (30 kHz subcarrier spacing,
+/// 273 resource blocks x 12 subcarriers ~= 3276, rounded by the paper
+/// to 3300).
+class NrCarrier {
+ public:
+  /// \param center_frequency_hz  carrier centre frequency [Hz], > 0
+  /// \param bandwidth_hz         occupied bandwidth [Hz], > 0
+  /// \param subcarriers          number of active subcarriers, >= 1
+  NrCarrier(double center_frequency_hz, double bandwidth_hz, int subcarriers);
+
+  [[nodiscard]] double center_frequency_hz() const { return frequency_hz_; }
+  [[nodiscard]] double bandwidth_hz() const { return bandwidth_hz_; }
+  [[nodiscard]] int subcarriers() const { return subcarriers_; }
+  /// Carrier wavelength [m].
+  [[nodiscard]] double wavelength_m() const;
+  /// Subcarrier spacing implied by bandwidth / count [Hz].
+  [[nodiscard]] double subcarrier_spacing_hz() const;
+
+  /// Per-subcarrier reference-signal transmit power from the total
+  /// radiated power: RSTP = EIRP - 10 log10(N_subcarriers).
+  [[nodiscard]] Dbm rstp_from_eirp(Dbm eirp) const;
+  /// Inverse of rstp_from_eirp.
+  [[nodiscard]] Dbm eirp_from_rstp(Dbm rstp) const;
+
+  /// The paper's carrier: 100 MHz at 3.5 GHz with 3300 subcarriers.
+  [[nodiscard]] static NrCarrier paper_carrier();
+
+ private:
+  double frequency_hz_;
+  double bandwidth_hz_;
+  int subcarriers_;
+};
+
+}  // namespace railcorr::rf

@@ -1,0 +1,58 @@
+#include "rf/emf.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+namespace {
+constexpr double kFreeSpaceImpedanceOhm = 377.0;
+}
+
+double power_density_w_m2(Dbm eirp, double distance_m) {
+  RAILCORR_EXPECTS(distance_m > 0.0);
+  const double p_w = eirp.to_watts().value();
+  return p_w / (4.0 * constants::kPi * distance_m * distance_m);
+}
+
+double electric_field_v_m(Dbm eirp, double distance_m) {
+  return std::sqrt(power_density_w_m2(eirp, distance_m) *
+                   kFreeSpaceImpedanceOhm);
+}
+
+double compliance_distance_m(Dbm eirp, double limit_v_m) {
+  RAILCORR_EXPECTS(limit_v_m > 0.0);
+  // E(d) = sqrt(P Z0 / (4 pi)) / d  =>  d = sqrt(P Z0 / (4 pi)) / E_lim
+  const double p_w = eirp.to_watts().value();
+  return std::sqrt(p_w * kFreeSpaceImpedanceOhm / (4.0 * constants::kPi)) /
+         limit_v_m;
+}
+
+std::vector<EmfLimit> standard_limits() {
+  return {
+      {"ICNIRP 2020 general public", 61.0},
+      {"Switzerland NISV installation limit", 6.0},
+      {"Italy attention value", 6.0},
+      {"Poland (pre-2020)", 7.0},
+  };
+}
+
+std::vector<EmfAssessment> assess(Dbm eirp, double reference_distance_m) {
+  RAILCORR_EXPECTS(reference_distance_m > 0.0);
+  std::vector<EmfAssessment> out;
+  const double field = electric_field_v_m(eirp, reference_distance_m);
+  for (const auto& limit : standard_limits()) {
+    EmfAssessment a;
+    a.limit_name = limit.name;
+    a.limit_v_m = limit.limit_v_m;
+    a.field_at_reference_v_m = field;
+    a.compliance_distance_m = compliance_distance_m(eirp, limit.limit_v_m);
+    a.compliant = field <= limit.limit_v_m;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace railcorr::rf

@@ -1,0 +1,56 @@
+/// \file emf.hpp
+/// \brief Electromagnetic-field exposure checks.
+///
+/// The paper motivates short inter-site distances with the stringent EMF
+/// installation limits enforced in several countries (Switzerland, Italy,
+/// Poland, ...). This module computes far-field power density / field
+/// strength from EIRP and checks deployments against regulatory limits,
+/// so planning examples can verify that moving power from many HP masts
+/// to many LP repeaters also relaxes the worst-case exposure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace railcorr::rf {
+
+/// Far-field power density [W/m^2] at `distance_m` from a source with the
+/// given EIRP (free-space, main beam).
+double power_density_w_m2(Dbm eirp, double distance_m);
+
+/// Far-field RMS electric field strength [V/m] at `distance_m`
+/// (E = sqrt(S * Z0), Z0 = 377 ohm).
+double electric_field_v_m(Dbm eirp, double distance_m);
+
+/// Minimum distance [m] at which the field drops to `limit_v_m`.
+double compliance_distance_m(Dbm eirp, double limit_v_m);
+
+/// A named regulatory limit on field strength at places of sensitive use.
+struct EmfLimit {
+  std::string name;
+  double limit_v_m;
+};
+
+/// Common limits for the ~3.5 GHz range:
+///  * ICNIRP 2020 general public: 61 V/m
+///  * Switzerland NISV installation limit (sensitive use): 6 V/m (>= 1800 MHz)
+///  * Italy attention value: 6 V/m
+///  * Poland (pre-2020): 7 V/m
+std::vector<EmfLimit> standard_limits();
+
+/// Result of checking one transmitter against one limit.
+struct EmfAssessment {
+  std::string limit_name;
+  double limit_v_m = 0.0;
+  double field_at_reference_v_m = 0.0;
+  double compliance_distance_m = 0.0;
+  bool compliant = false;
+};
+
+/// Assess a transmitter of the given EIRP at a reference distance (e.g.
+/// the closest approach of a platform or building) against every limit.
+std::vector<EmfAssessment> assess(Dbm eirp, double reference_distance_m);
+
+}  // namespace railcorr::rf

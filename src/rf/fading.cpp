@@ -1,0 +1,78 @@
+#include "rf/fading.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+ShadowingTrace::ShadowingTrace(double sigma_db, double d_corr_m, double step_m,
+                               double length_m, Rng& rng)
+    : sigma_db_(sigma_db), d_corr_m_(d_corr_m), step_m_(step_m) {
+  RAILCORR_EXPECTS(sigma_db_ >= 0.0);
+  RAILCORR_EXPECTS(d_corr_m_ > 0.0);
+  RAILCORR_EXPECTS(step_m_ > 0.0);
+  RAILCORR_EXPECTS(length_m > 0.0);
+  const auto n = static_cast<std::size_t>(std::ceil(length_m / step_m_)) + 1;
+  values_db_.resize(n);
+  // First-order Gauss-Markov process: x[k+1] = rho x[k] + sqrt(1-rho^2) w.
+  const double rho = std::exp(-step_m_ / d_corr_m_);
+  const double innovation = sigma_db_ * std::sqrt(1.0 - rho * rho);
+  values_db_[0] = rng.normal(0.0, sigma_db_);
+  for (std::size_t k = 1; k < n; ++k) {
+    values_db_[k] = rho * values_db_[k - 1] + rng.normal(0.0, innovation);
+  }
+}
+
+Db ShadowingTrace::at(double position_m) const {
+  const double last =
+      static_cast<double>(values_db_.size() - 1) * step_m_;
+  const double x = std::min(std::max(position_m, 0.0), last);
+  const auto i = static_cast<std::size_t>(x / step_m_);
+  if (i + 1 >= values_db_.size()) return Db(values_db_.back());
+  const double t = (x - static_cast<double>(i) * step_m_) / step_m_;
+  return Db(values_db_[i] + t * (values_db_[i + 1] - values_db_[i]));
+}
+
+double inverse_normal_cdf(double p) {
+  RAILCORR_EXPECTS(p > 0.0 && p < 1.0);
+  // Peter Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1.0 - plow;
+  double q = 0.0;
+  double r = 0.0;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+Db lognormal_fade_margin(double sigma_db, double outage) {
+  RAILCORR_EXPECTS(sigma_db >= 0.0);
+  RAILCORR_EXPECTS(outage > 0.0 && outage < 1.0);
+  // Margin m such that P(shadowing < -m) = outage.
+  return Db(-inverse_normal_cdf(outage) * sigma_db);
+}
+
+}  // namespace railcorr::rf

@@ -1,0 +1,55 @@
+/// \file fading.hpp
+/// \brief Stochastic channel impairments for Monte-Carlo ablations:
+///        spatially correlated log-normal shadowing (Gudmundson model)
+///        and Rician/Rayleigh small-scale fading margins.
+///
+/// The paper's capacity model is deterministic (calibrated Friis); these
+/// utilities support the robustness ablations that ask how much ISD
+/// margin survives realistic shadowing along the corridor.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::rf {
+
+/// Generates a log-normal shadowing trace along the track with
+/// exponential autocorrelation R(dx) = sigma^2 * exp(-|dx|/d_corr)
+/// (Gudmundson '91), sampled on a uniform grid.
+class ShadowingTrace {
+ public:
+  /// \param sigma_db     shadowing standard deviation [dB], >= 0
+  /// \param d_corr_m     decorrelation distance [m], > 0
+  /// \param step_m       grid spacing [m], > 0
+  /// \param length_m     trace length [m], > 0
+  /// \param rng          generator (consumed by reference)
+  ShadowingTrace(double sigma_db, double d_corr_m, double step_m,
+                 double length_m, Rng& rng);
+
+  /// Shadowing value at `position_m`, linearly interpolated between grid
+  /// points; positions outside [0, length] clamp to the boundary.
+  [[nodiscard]] Db at(double position_m) const;
+
+  [[nodiscard]] double sigma_db() const { return sigma_db_; }
+  [[nodiscard]] double decorrelation_m() const { return d_corr_m_; }
+  [[nodiscard]] std::size_t samples() const { return values_db_.size(); }
+
+ private:
+  double sigma_db_;
+  double d_corr_m_;
+  double step_m_;
+  std::vector<double> values_db_;
+};
+
+/// Fade margin [dB] that a link must budget to keep outage probability
+/// below `outage` under log-normal shadowing with deviation `sigma_db`.
+/// (Inverse-Q of the outage probability times sigma.)
+Db lognormal_fade_margin(double sigma_db, double outage);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9); exposed for tests.
+double inverse_normal_cdf(double p);
+
+}  // namespace railcorr::rf

@@ -1,0 +1,134 @@
+#include "rf/link.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+CorridorLinkModel::CorridorLinkModel(LinkModelConfig config,
+                                     std::vector<TrackTransmitter> transmitters)
+    : config_(std::move(config)), transmitters_(std::move(transmitters)) {
+  RAILCORR_EXPECTS(!transmitters_.empty());
+  path_loss_.reserve(transmitters_.size());
+  const double wavelength = config_.carrier.wavelength_m();
+  for (const auto& tx : transmitters_) {
+    RAILCORR_EXPECTS(tx.donor_distance_m >= 0.0);
+    path_loss_.emplace_back(wavelength, tx.calibration, config_.min_distance_m);
+  }
+}
+
+Dbm CorridorLinkModel::rsrp_of(std::size_t node, double position_m) const {
+  RAILCORR_EXPECTS(node < transmitters_.size());
+  const auto& tx = transmitters_[node];
+  const double distance = position_m - tx.position_m;
+  return path_loss_[node].received(tx.rstp, distance);
+}
+
+MilliWatts CorridorLinkModel::total_signal(double position_m) const {
+  MilliWatts sum{0.0};
+  for (std::size_t i = 0; i < transmitters_.size(); ++i) {
+    sum += rsrp_of(i, position_m).to_milliwatts();
+  }
+  return sum;
+}
+
+MilliWatts CorridorLinkModel::total_signal(
+    double position_m, const std::vector<bool>& active) const {
+  RAILCORR_EXPECTS(active.size() == transmitters_.size());
+  MilliWatts sum{0.0};
+  for (std::size_t i = 0; i < transmitters_.size(); ++i) {
+    if (!active[i]) continue;
+    sum += rsrp_of(i, position_m).to_milliwatts();
+  }
+  return sum;
+}
+
+MilliWatts CorridorLinkModel::total_noise(double position_m) const {
+  return total_noise(position_m,
+                     std::vector<bool>(transmitters_.size(), true));
+}
+
+MilliWatts CorridorLinkModel::total_noise(
+    double position_m, const std::vector<bool>& active) const {
+  RAILCORR_EXPECTS(active.size() == transmitters_.size());
+  MilliWatts noise = config_.noise.terminal_noise().to_milliwatts();
+  const Dbm repeater_floor =
+      config_.noise.thermal_per_subcarrier + config_.noise.nf_repeater;
+  for (std::size_t i = 0; i < transmitters_.size(); ++i) {
+    const auto& tx = transmitters_[i];
+    if (tx.kind != NodeKind::kLowPowerRepeater || !active[i]) continue;
+    const double distance = position_m - tx.position_m;
+    // Literal Eq. (2) term: N_RSRP * NF_LP / L_LP,n(d).
+    noise += (repeater_floor - path_loss_[i].at(distance)).to_milliwatts();
+    if (config_.noise_model == RepeaterNoiseModel::kFronthaulAware) {
+      // Amplified fronthaul noise: the node's received SNR contribution is
+      // bounded by the donor-link SNR, so it retransmits
+      // P_LP,RSTP / SNR_fh alongside the signal.
+      const Db fronthaul_snr = config_.fronthaul.snr_at(tx.donor_distance_m);
+      const Dbm received = path_loss_[i].received(tx.rstp, distance);
+      noise += (received - fronthaul_snr).to_milliwatts();
+    }
+  }
+  return noise;
+}
+
+Db CorridorLinkModel::snr(double position_m) const {
+  const double ratio =
+      total_signal(position_m).value() / total_noise(position_m).value();
+  return Db(10.0 * std::log10(ratio));
+}
+
+Db CorridorLinkModel::snr(double position_m,
+                          const std::vector<bool>& active) const {
+  const double signal = total_signal(position_m, active).value();
+  const double noise = total_noise(position_m, active).value();
+  RAILCORR_EXPECTS(noise > 0.0);
+  // A fully dark corridor has zero signal; report a floor instead of -inf.
+  if (signal <= 0.0) return Db(-200.0);
+  return Db(10.0 * std::log10(signal / noise));
+}
+
+SignalSample CorridorLinkModel::sample(double position_m) const {
+  SignalSample s;
+  s.position_m = position_m;
+  s.total_signal = total_signal(position_m).to_dbm();
+  s.total_noise = total_noise(position_m).to_dbm();
+  s.snr = s.total_signal - s.total_noise;
+  return s;
+}
+
+std::vector<SignalSample> CorridorLinkModel::profile(
+    const std::vector<double>& positions_m) const {
+  std::vector<SignalSample> out;
+  out.reserve(positions_m.size());
+  for (const double p : positions_m) out.push_back(sample(p));
+  return out;
+}
+
+Db CorridorLinkModel::min_snr(double lo_m, double hi_m, double step_m) const {
+  RAILCORR_EXPECTS(step_m > 0.0);
+  RAILCORR_EXPECTS(hi_m >= lo_m);
+  double worst = std::numeric_limits<double>::infinity();
+  for (double d = lo_m; d <= hi_m + 0.5 * step_m; d += step_m) {
+    worst = std::min(worst, snr(std::min(d, hi_m)).value());
+  }
+  return Db(worst);
+}
+
+Db CorridorLinkModel::mean_snr_db(double lo_m, double hi_m,
+                                  double step_m) const {
+  RAILCORR_EXPECTS(step_m > 0.0);
+  RAILCORR_EXPECTS(hi_m >= lo_m);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double d = lo_m; d <= hi_m + 0.5 * step_m; d += step_m) {
+    sum += snr(std::min(d, hi_m)).value();
+    ++n;
+  }
+  RAILCORR_ENSURES(n > 0);
+  return Db(sum / static_cast<double>(n));
+}
+
+}  // namespace railcorr::rf

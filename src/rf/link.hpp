@@ -1,0 +1,128 @@
+/// \file link.hpp
+/// \brief The corridor link model: per-node RSRP, aggregate signal, noise
+///        injection, and the SNR profile of paper Eq. (2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/carrier.hpp"
+#include "rf/fronthaul.hpp"
+#include "rf/noise.hpp"
+#include "rf/path_loss.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::rf {
+
+/// What kind of trackside transmitter a node is.
+enum class NodeKind {
+  kHighPowerRrh,     ///< macro remote radio head at a mast
+  kLowPowerRepeater  ///< amplify-and-forward service repeater node
+};
+
+/// One trackside transmitter contributing signal (and, for repeaters,
+/// noise) at track positions.
+struct TrackTransmitter {
+  NodeKind kind = NodeKind::kHighPowerRrh;
+  /// Position along the track [m].
+  double position_m = 0.0;
+  /// Per-subcarrier reference-signal transmit power.
+  Dbm rstp{0.0};
+  /// Port-to-port calibration loss L_calib (paper: 33 dB HP, 20 dB LP).
+  Db calibration{0.0};
+  /// For repeaters: length of the mmWave donor link feeding this node [m].
+  /// Ignored for high-power RRHs.
+  double donor_distance_m = 0.0;
+};
+
+/// Which repeater-noise interpretation Eq. (2) is evaluated with.
+enum class RepeaterNoiseModel {
+  /// Literal reading of Eq. (2): N_LP,n(d) = N_RSRP * NF_LP / L_LP,n(d).
+  /// Numerically negligible (~60 dB below the terminal floor).
+  kLiteralEq2,
+  /// Literal term plus amplified fronthaul noise: the service node
+  /// retransmits its receive-chain noise with the same gain as the
+  /// signal, so the received repeater SNR is bounded by the fronthaul
+  /// SNR of its donor link. Reproduces the published max-ISD list.
+  kFronthaulAware,
+};
+
+/// Configuration of the corridor link model.
+struct LinkModelConfig {
+  NrCarrier carrier = NrCarrier::paper_carrier();
+  NoiseBudget noise = NoiseBudget::paper_budget();
+  RepeaterNoiseModel noise_model = RepeaterNoiseModel::kFronthaulAware;
+  FronthaulModel fronthaul = FronthaulModel::paper_calibrated();
+  /// Near-field clamp for the Friis model [m].
+  double min_distance_m = 1.0;
+};
+
+/// Aggregate link quantities at one track position.
+struct SignalSample {
+  double position_m = 0.0;
+  /// Sum of all node RSRP contributions (linear sum), as a level.
+  Dbm total_signal{0.0};
+  /// Terminal noise + all repeater noise injections, as a level.
+  Dbm total_noise{0.0};
+  /// total_signal - total_noise.
+  Db snr{0.0};
+};
+
+/// Evaluates Eq. (2) along the track for a fixed set of transmitters.
+///
+/// All powers are per-subcarrier (RSTP/RSRP domain), matching the paper.
+class CorridorLinkModel {
+ public:
+  CorridorLinkModel(LinkModelConfig config,
+                    std::vector<TrackTransmitter> transmitters);
+
+  /// RSRP contribution of transmitter `node` at `position_m`.
+  [[nodiscard]] Dbm rsrp_of(std::size_t node, double position_m) const;
+
+  /// Linear sum of all transmitter contributions at `position_m`.
+  [[nodiscard]] MilliWatts total_signal(double position_m) const;
+
+  /// Terminal noise plus repeater noise injections at `position_m`.
+  [[nodiscard]] MilliWatts total_noise(double position_m) const;
+
+  /// SNR(d) per Eq. (2).
+  [[nodiscard]] Db snr(double position_m) const;
+
+  /// \name Masked variants (for dynamic simulation)
+  /// Only transmitters whose mask entry is true contribute signal and
+  /// noise — a sleeping repeater neither amplifies nor injects noise.
+  /// The mask size must equal transmitters().size().
+  ///@{
+  [[nodiscard]] MilliWatts total_signal(double position_m,
+                                        const std::vector<bool>& active) const;
+  [[nodiscard]] MilliWatts total_noise(double position_m,
+                                       const std::vector<bool>& active) const;
+  [[nodiscard]] Db snr(double position_m,
+                       const std::vector<bool>& active) const;
+  ///@}
+
+  /// Full breakdown at one position.
+  [[nodiscard]] SignalSample sample(double position_m) const;
+
+  /// Breakdown at each requested position.
+  [[nodiscard]] std::vector<SignalSample> profile(
+      const std::vector<double>& positions_m) const;
+
+  /// Minimum SNR over [lo, hi] sampled every `step_m` (> 0).
+  [[nodiscard]] Db min_snr(double lo_m, double hi_m, double step_m) const;
+
+  /// Mean of SNR in dB over [lo, hi] sampled every `step_m` (> 0).
+  [[nodiscard]] Db mean_snr_db(double lo_m, double hi_m, double step_m) const;
+
+  [[nodiscard]] const std::vector<TrackTransmitter>& transmitters() const {
+    return transmitters_;
+  }
+  [[nodiscard]] const LinkModelConfig& config() const { return config_; }
+
+ private:
+  LinkModelConfig config_;
+  std::vector<TrackTransmitter> transmitters_;
+  std::vector<CalibratedPathLoss> path_loss_;  // one per transmitter
+};
+
+}  // namespace railcorr::rf

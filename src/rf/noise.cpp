@@ -1,0 +1,39 @@
+#include "rf/noise.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+Dbm thermal_noise(double bandwidth_hz) {
+  RAILCORR_EXPECTS(bandwidth_hz > 0.0);
+  return Dbm(constants::kThermalNoiseDbmPerHz + 10.0 * std::log10(bandwidth_hz));
+}
+
+Dbm receiver_noise_floor(double bandwidth_hz, Db nf) {
+  return thermal_noise(bandwidth_hz) + nf;
+}
+
+Db cascade_noise_figure(const std::vector<NoiseStage>& stages) {
+  RAILCORR_EXPECTS(!stages.empty());
+  double f_total = stages.front().noise_figure.linear();
+  double gain_product = stages.front().gain.linear();
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    const double f_i = stages[i].noise_figure.linear();
+    f_total += (f_i - 1.0) / gain_product;
+    gain_product *= stages[i].gain.linear();
+  }
+  return Db(10.0 * std::log10(f_total));
+}
+
+NoiseBudget NoiseBudget::paper_budget() {
+  return NoiseBudget{
+      .thermal_per_subcarrier = Dbm(-132.0),
+      .nf_mobile_terminal = Db(5.0),
+      .nf_repeater = Db(8.0),
+  };
+}
+
+}  // namespace railcorr::rf

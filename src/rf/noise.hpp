@@ -1,0 +1,46 @@
+/// \file noise.hpp
+/// \brief Thermal noise, noise figures, and cascade (Friis) combination.
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace railcorr::rf {
+
+/// Thermal noise power in a bandwidth [Hz] at the reference temperature
+/// (kTB), as a level in dBm.
+Dbm thermal_noise(double bandwidth_hz);
+
+/// Noise floor seen by a receiver with noise figure `nf` in `bandwidth_hz`.
+Dbm receiver_noise_floor(double bandwidth_hz, Db nf);
+
+/// Cascaded noise figure of a chain of stages (Friis formula).
+/// Each stage contributes its noise figure and gain (both in dB).
+struct NoiseStage {
+  Db noise_figure;
+  Db gain;
+};
+
+/// \returns the overall noise figure of the cascade; requires >= 1 stage.
+Db cascade_noise_figure(const std::vector<NoiseStage>& stages);
+
+/// Per-subcarrier noise quantities the paper's Eq. (2) uses.
+struct NoiseBudget {
+  /// Thermal floor per subcarrier, N_RSRP (paper: -132 dBm for ~30 kHz).
+  Dbm thermal_per_subcarrier;
+  /// Mobile-terminal noise figure NF_MT (paper: 5 dB).
+  Db nf_mobile_terminal;
+  /// Low-power repeater noise figure NF_LP (paper: 8 dB).
+  Db nf_repeater;
+
+  /// Effective terminal noise per subcarrier: N_RSRP * NF_MT.
+  [[nodiscard]] Dbm terminal_noise() const {
+    return thermal_per_subcarrier + nf_mobile_terminal;
+  }
+
+  /// The paper's values: N_RSRP = -132 dBm, NF_MT = 5 dB, NF_LP = 8 dB.
+  [[nodiscard]] static NoiseBudget paper_budget();
+};
+
+}  // namespace railcorr::rf

@@ -1,0 +1,49 @@
+#include "rf/path_loss.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+Db free_space_path_loss(double distance_m, double wavelength_m,
+                        double min_distance_m) {
+  RAILCORR_EXPECTS(wavelength_m > 0.0);
+  RAILCORR_EXPECTS(min_distance_m > 0.0);
+  const double d = std::max(std::abs(distance_m), min_distance_m);
+  const double ratio = 4.0 * constants::kPi * d / wavelength_m;
+  return Db(20.0 * std::log10(ratio));
+}
+
+CalibratedPathLoss::CalibratedPathLoss(double wavelength_m, Db calibration,
+                                       double min_distance_m)
+    : wavelength_m_(wavelength_m),
+      calibration_(calibration),
+      min_distance_m_(min_distance_m) {
+  RAILCORR_EXPECTS(wavelength_m_ > 0.0);
+  RAILCORR_EXPECTS(calibration_.value() >= 0.0);
+  RAILCORR_EXPECTS(min_distance_m_ > 0.0);
+}
+
+Db CalibratedPathLoss::at(double distance_m) const {
+  return free_space_path_loss(distance_m, wavelength_m_, min_distance_m_) +
+         calibration_;
+}
+
+Dbm CalibratedPathLoss::received(Dbm rstp, double distance_m) const {
+  return rstp - at(distance_m);
+}
+
+double CalibratedPathLoss::distance_for_loss(Db loss) const {
+  const Db fspl = loss - calibration_;
+  RAILCORR_EXPECTS(fspl.value() >=
+                   free_space_path_loss(min_distance_m_, wavelength_m_,
+                                        min_distance_m_).value());
+  // 20 log10(4 pi d / lambda) = fspl  =>  d = lambda 10^(fspl/20) / (4 pi)
+  const double d =
+      wavelength_m_ * std::pow(10.0, fspl.value() / 20.0) / (4.0 * constants::kPi);
+  return d;
+}
+
+}  // namespace railcorr::rf

@@ -1,0 +1,61 @@
+/// \file path_loss.hpp
+/// \brief Free-space and calibrated port-to-port attenuation models.
+///
+/// The paper (Eq. 1) models the attenuation between a trackside
+/// transmitter port and a mobile terminal inside the train as Friis
+/// free-space loss multiplied by a calibration factor that absorbs
+/// antenna-dependent losses and wagon penetration:
+///
+///   L_a(d) = (d - d_a)^2 (4 pi / lambda)^2 * L_calib
+///
+/// with L_HP,calib = 33 dB for high-power RRHs and L_LP,calib = 20 dB for
+/// low-power repeater nodes (values calibrated against the measurement
+/// campaigns in the paper's refs [17], [18]).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace railcorr::rf {
+
+/// Free-space path loss at distance `distance_m` and wavelength
+/// `wavelength_m`. Distances below `min_distance_m` are clamped to it so
+/// the near-field singularity cannot produce negative losses.
+/// \returns the loss as a positive dB value.
+Db free_space_path_loss(double distance_m, double wavelength_m,
+                        double min_distance_m = 1.0);
+
+/// Calibrated port-to-port attenuation per Eq. (1) of the paper.
+class CalibratedPathLoss {
+ public:
+  /// \param wavelength_m    carrier wavelength [m], > 0
+  /// \param calibration     L_calib, additional attenuation in dB (>= 0)
+  /// \param min_distance_m  near-field clamp distance [m], > 0
+  CalibratedPathLoss(double wavelength_m, Db calibration,
+                     double min_distance_m = 1.0);
+
+  /// Total attenuation between transmitter port and the in-train terminal
+  /// separated by `distance_m` along the track.
+  [[nodiscard]] Db at(double distance_m) const;
+
+  /// Received level for a given per-subcarrier transmit power.
+  [[nodiscard]] Dbm received(Dbm rstp, double distance_m) const;
+
+  [[nodiscard]] Db calibration() const { return calibration_; }
+  [[nodiscard]] double wavelength_m() const { return wavelength_m_; }
+
+  /// Invert the model: distance at which the attenuation reaches `loss`.
+  /// Requires loss >= at(min_distance).
+  [[nodiscard]] double distance_for_loss(Db loss) const;
+
+  /// Paper calibration for high-power RRH ports (33 dB).
+  [[nodiscard]] static Db paper_calibration_high_power() { return Db(33.0); }
+  /// Paper calibration for low-power repeater ports (20 dB).
+  [[nodiscard]] static Db paper_calibration_low_power() { return Db(20.0); }
+
+ private:
+  double wavelength_m_;
+  Db calibration_;
+  double min_distance_m_;
+};
+
+}  // namespace railcorr::rf

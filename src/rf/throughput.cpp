@@ -1,0 +1,44 @@
+#include "rf/throughput.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+ThroughputModel::ThroughputModel(double alpha, double se_max_bps_hz, Db snr_min)
+    : alpha_(alpha), se_max_(se_max_bps_hz), snr_min_(snr_min) {
+  RAILCORR_EXPECTS(alpha_ > 0.0 && alpha_ <= 1.0);
+  RAILCORR_EXPECTS(se_max_ > 0.0);
+}
+
+double ThroughputModel::spectral_efficiency(Db snr) const {
+  if (snr < snr_min_) return 0.0;
+  const double se = alpha_ * std::log2(1.0 + snr.linear());
+  return se >= se_max_ ? se_max_ : se;
+}
+
+double ThroughputModel::throughput_bps(Db snr, double bandwidth_hz) const {
+  RAILCORR_EXPECTS(bandwidth_hz > 0.0);
+  return spectral_efficiency(snr) * bandwidth_hz;
+}
+
+Db ThroughputModel::peak_snr() const {
+  // alpha * log2(1 + snr) = se_max  =>  snr = 2^(se_max/alpha) - 1
+  const double snr_linear = std::pow(2.0, se_max_ / alpha_) - 1.0;
+  return Db(10.0 * std::log10(snr_linear));
+}
+
+Db ThroughputModel::snr_for(double se_bps_hz) const {
+  RAILCORR_EXPECTS(se_bps_hz > 0.0);
+  RAILCORR_EXPECTS(se_bps_hz <= se_max_);
+  const double snr_linear = std::pow(2.0, se_bps_hz / alpha_) - 1.0;
+  const Db snr(10.0 * std::log10(snr_linear));
+  return snr < snr_min_ ? snr_min_ : snr;
+}
+
+ThroughputModel ThroughputModel::paper_model() {
+  return ThroughputModel(0.6, 5.84, Db(-10.0));
+}
+
+}  // namespace railcorr::rf

@@ -1,0 +1,93 @@
+#include "rf/uplink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+UplinkModel::UplinkModel(LinkModelConfig config,
+                         std::vector<TrackTransmitter> transmitters,
+                         UplinkBudget budget)
+    : config_(std::move(config)),
+      transmitters_(std::move(transmitters)),
+      budget_(budget) {
+  RAILCORR_EXPECTS(!transmitters_.empty());
+  RAILCORR_EXPECTS(budget_.allocated_subcarriers >= 1);
+  const double wavelength = config_.carrier.wavelength_m();
+  path_loss_.reserve(transmitters_.size());
+  for (const auto& tx : transmitters_) {
+    path_loss_.emplace_back(wavelength, tx.calibration,
+                            config_.min_distance_m);
+  }
+}
+
+Dbm UplinkModel::ue_rstp() const {
+  return budget_.ue_eirp -
+         Db(10.0 * std::log10(
+                static_cast<double>(budget_.allocated_subcarriers)));
+}
+
+std::vector<UplinkPath> UplinkModel::paths(double position_m) const {
+  std::vector<UplinkPath> out;
+  const Dbm rstp = ue_rstp();
+  // Per-subcarrier thermal floor at the base-station receiver.
+  const Dbm mast_floor =
+      config_.noise.thermal_per_subcarrier + budget_.rrh_noise_figure;
+  const Dbm repeater_floor =
+      config_.noise.thermal_per_subcarrier + config_.noise.nf_repeater;
+
+  for (std::size_t i = 0; i < transmitters_.size(); ++i) {
+    const auto& tx = transmitters_[i];
+    const double distance = position_m - tx.position_m;
+    // Channel reciprocity: the reverse link sees the same calibrated
+    // port-to-port attenuation (wagon penetration included).
+    const Dbm received = path_loss_[i].received(rstp, distance);
+    UplinkPath path;
+    path.node = i;
+    if (tx.kind == NodeKind::kHighPowerRrh) {
+      path.kind = UplinkPath::Kind::kDirectToMast;
+      path.snr = received - mast_floor;
+    } else {
+      path.kind = UplinkPath::Kind::kViaRepeater;
+      // Into the service node's UL chain, then over the fronthaul to the
+      // donor: the end-to-end SNR is capped by both the access-leg SNR
+      // at the repeater and the fronthaul SNR of its donor link
+      // (amplify-and-forward: 1/SNR_tot ~= 1/SNR_access + 1/SNR_fh).
+      const Db access = received - repeater_floor;
+      const Db fronthaul = config_.fronthaul.snr_at(tx.donor_distance_m);
+      const double combined =
+          1.0 / (1.0 / access.linear() + 1.0 / fronthaul.linear());
+      path.snr = Db(10.0 * std::log10(combined));
+    }
+    out.push_back(path);
+  }
+  return out;
+}
+
+Db UplinkModel::snr(double position_m) const {
+  const auto all = paths(position_m);
+  RAILCORR_ENSURES(!all.empty());
+  Db best = all.front().snr;
+  for (const auto& p : all) best = std::max(best, p.snr);
+  return best;
+}
+
+Db UplinkModel::min_snr(double lo_m, double hi_m, double step_m) const {
+  RAILCORR_EXPECTS(step_m > 0.0);
+  RAILCORR_EXPECTS(hi_m >= lo_m);
+  double worst = std::numeric_limits<double>::infinity();
+  for (double d = lo_m; d <= hi_m + 0.5 * step_m; d += step_m) {
+    worst = std::min(worst, snr(std::min(d, hi_m)).value());
+  }
+  return Db(worst);
+}
+
+bool UplinkModel::sustains(Db threshold, double lo_m, double hi_m,
+                           double step_m) const {
+  return min_snr(lo_m, hi_m, step_m) >= threshold;
+}
+
+}  // namespace railcorr::rf

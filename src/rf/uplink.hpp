@@ -1,0 +1,89 @@
+/// \file uplink.hpp
+/// \brief Uplink budget for the corridor: the paper treats the uplink
+///        "similarly, but in the reverse direction" (§III); this module
+///        makes that explicit so deployments can be checked for being
+///        downlink-limited (they are, by a wide margin — the repeater's
+///        UL chain re-amplifies the terminal towards the donor).
+///
+/// Model: the in-train terminal transmits with `ue_eirp` (3GPP power
+/// class 3, 23 dBm, plus the paper's wagon-penetration calibration in
+/// reverse). Each potential receive path — direct to a HP mast, or into
+/// the nearest LP service node and over the mmWave fronthaul to the
+/// donor — yields an SNR at the base station; paths combine selection-
+/// style (the scheduler picks the best).
+#pragma once
+
+#include <vector>
+
+#include "rf/carrier.hpp"
+#include "rf/fronthaul.hpp"
+#include "rf/link.hpp"
+#include "rf/noise.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::rf {
+
+/// Uplink-specific parameters.
+struct UplinkBudget {
+  /// Terminal EIRP (3GPP NR power class 3: 23 dBm).
+  Dbm ue_eirp{23.0};
+  /// Noise figure of the HP RRH receive chain.
+  Db rrh_noise_figure{3.0};
+  /// Number of subcarriers the UE's transmission occupies. Uplink
+  /// allocations are much narrower than the full carrier; the paper's
+  /// 100 MHz carrier would give a single UE ~100 PRB at most. 20 MHz
+  /// (660 subcarriers) is a representative high-load allocation.
+  int allocated_subcarriers = 660;
+
+  [[nodiscard]] static UplinkBudget paper_default() { return UplinkBudget{}; }
+};
+
+/// SNR of one uplink path and its identity, for diagnostics.
+struct UplinkPath {
+  enum class Kind { kDirectToMast, kViaRepeater } kind = Kind::kDirectToMast;
+  /// Index of the receiving mast / relaying node in the transmitter list.
+  std::size_t node = 0;
+  Db snr{0.0};
+};
+
+/// Evaluates uplink SNR along a corridor segment described by the same
+/// transmitter list the downlink model uses (masts receive; repeaters
+/// relay with their fronthaul SNR as a ceiling).
+class UplinkModel {
+ public:
+  /// \param config  the downlink link-model configuration (carrier,
+  ///                noise budget, fronthaul); calibration losses are
+  ///                reused in reverse direction (channel reciprocity)
+  /// \param transmitters  the segment's transmitter list
+  /// \param budget  uplink-specific parameters
+  UplinkModel(LinkModelConfig config, std::vector<TrackTransmitter> transmitters,
+              UplinkBudget budget = UplinkBudget::paper_default());
+
+  /// All candidate uplink paths for a terminal at `position_m`.
+  [[nodiscard]] std::vector<UplinkPath> paths(double position_m) const;
+
+  /// Best-path uplink SNR at `position_m`.
+  [[nodiscard]] Db snr(double position_m) const;
+
+  /// Minimum best-path SNR over [lo, hi] sampled every `step_m`.
+  [[nodiscard]] Db min_snr(double lo_m, double hi_m, double step_m) const;
+
+  /// True when the uplink sustains at least `threshold` everywhere —
+  /// i.e. the deployment is downlink-limited for thresholds up to the
+  /// downlink criterion.
+  [[nodiscard]] bool sustains(Db threshold, double lo_m, double hi_m,
+                              double step_m) const;
+
+  [[nodiscard]] const UplinkBudget& budget() const { return budget_; }
+
+ private:
+  /// Per-subcarrier uplink RSTP of the terminal.
+  [[nodiscard]] Dbm ue_rstp() const;
+
+  LinkModelConfig config_;
+  std::vector<TrackTransmitter> transmitters_;
+  UplinkBudget budget_;
+  std::vector<CalibratedPathLoss> path_loss_;
+};
+
+}  // namespace railcorr::rf

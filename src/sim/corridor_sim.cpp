@@ -1,0 +1,237 @@
+#include "sim/corridor_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::sim {
+
+namespace {
+
+/// Track section covered by an agent, with its wake barrier.
+struct CoverageSection {
+  double begin_m = 0.0;
+  double end_m = 0.0;
+  /// Index of the donor agent this agent depends on (-1: none).
+  int donor_agent = -1;
+  /// Index of the link-model transmitter this agent drives (-1: none,
+  /// e.g. donor nodes, which transmit out-of-band only).
+  int transmitter = -1;
+};
+
+/// Scale a per-unit EARTH model to a site with `units` identical units.
+power::EarthPowerModel scale_model(const power::EarthPowerModel& unit,
+                                   int units) {
+  const auto n = static_cast<double>(units);
+  return power::EarthPowerModel(unit.max_rf_power() * n,
+                                unit.no_load_power() * n, unit.delta_p(),
+                                unit.sleep_power() * n);
+}
+
+}  // namespace
+
+CorridorSimulation::CorridorSimulation(SimulationConfig config)
+    : config_(std::move(config)) {
+  RAILCORR_EXPECTS(config_.deployment.geometry.valid());
+  RAILCORR_EXPECTS(config_.qos_sample_period_s > 0.0);
+  RAILCORR_EXPECTS(config_.detector_miss_probability >= 0.0 &&
+                   config_.detector_miss_probability <= 1.0);
+}
+
+SimulationReport CorridorSimulation::run() {
+  const auto& geometry = config_.deployment.geometry;
+  const double isd = geometry.isd_m;
+  const double spacing = geometry.repeater_spacing_m;
+  const int n_lp = geometry.repeater_count;
+  const bool lp_can_sleep =
+      config_.mode != corridor::RepeaterOperationMode::kContinuous;
+
+  Rng rng(config_.seed);
+  const auto timetable =
+      config_.poisson_timetable
+          ? traffic::Timetable::poisson(config_.timetable, rng)
+          : traffic::Timetable::regular(config_.timetable);
+
+  // ---- Build agents -------------------------------------------------
+  // Order: [0] mast at 0, [1] mast at isd, [2..2+n) service nodes,
+  // then donors. Masked link-model transmitter order is
+  // [HP0, HP1, LP0..LPn): identical for the first 2 + n agents.
+  std::vector<NodeAgent> agents;
+  std::vector<CoverageSection> sections;
+  const auto mast_model =
+      scale_model(config_.energy.hp_rrh, config_.energy.rrhs_per_mast);
+  const double t0 = 0.0;
+
+  for (int m = 0; m < 2; ++m) {
+    agents.emplace_back("HP-mast-" + std::to_string(m), mast_model,
+                        config_.wake_policy.transition_s,
+                        config_.energy.hp_sleep_when_idle, t0);
+    sections.push_back(CoverageSection{0.0, isd, -1, m});
+  }
+
+  const auto lp_positions = geometry.repeater_positions();
+  const int donors = corridor::donor_count_for(n_lp);
+  const int left_nodes = n_lp == 0 ? 0 : (donors == 1 ? n_lp : (n_lp + 1) / 2);
+  const int first_donor_agent = 2 + n_lp;
+
+  for (int i = 0; i < n_lp; ++i) {
+    agents.emplace_back("LP-service-" + std::to_string(i),
+                        config_.energy.lp_node,
+                        config_.wake_policy.transition_s, lp_can_sleep, t0);
+    CoverageSection s;
+    s.begin_m = lp_positions[static_cast<std::size_t>(i)] - spacing / 2.0;
+    s.end_m = lp_positions[static_cast<std::size_t>(i)] + spacing / 2.0;
+    s.donor_agent = first_donor_agent + (i < left_nodes ? 0 : 1);
+    s.transmitter = 2 + i;
+    sections.push_back(s);
+  }
+
+  for (int d = 0; d < donors; ++d) {
+    agents.emplace_back("LP-donor-" + std::to_string(d),
+                        config_.energy.lp_node,
+                        config_.wake_policy.transition_s, lp_can_sleep, t0);
+    const int from = d == 0 ? 0 : left_nodes;
+    const int to = d == 0 ? left_nodes : n_lp;
+    CoverageSection s;
+    s.begin_m = lp_positions[static_cast<std::size_t>(from)] - spacing / 2.0;
+    s.end_m = lp_positions[static_cast<std::size_t>(to - 1)] + spacing / 2.0;
+    sections.push_back(s);
+  }
+
+  // ---- Schedule per-train events ------------------------------------
+  EventQueue queue;
+  std::vector<int> trains_present(agents.size(), 0);
+  int missed_wakes = 0;
+  const double lead_m =
+      config_.wake_policy.required_lead_distance_m(config_.timetable.train);
+
+  // A train departing right at midnight has pre-departure events
+  // (detection, lead margins) that belong to the previous day; clamp
+  // them to the start of the simulated day.
+  auto clamped = [](double t) { return std::max(t, 0.0); };
+
+  double last_event_s = 0.0;
+  for (const auto& passage : timetable.passages()) {
+    for (std::size_t a = 0; a < agents.size(); ++a) {
+      const auto& section = sections[a];
+      NodeAgent* agent = &agents[a];
+      const auto occupancy = passage.occupancy(section.begin_m, section.end_m);
+      const double t_detect =
+          clamped(passage.head_at(section.begin_m - lead_m));
+      const bool missed = config_.detector_miss_probability > 0.0 &&
+                          rng.uniform() < config_.detector_miss_probability;
+      if (missed) ++missed_wakes;
+
+      if (!missed) {
+        queue.schedule(t_detect, [agent, &queue](double now) {
+          const double t_active = agent->begin_wake(now);
+          if (t_active > now) {
+            queue.schedule(t_active,
+                           [agent](double t) { agent->complete_wake(t); });
+          }
+        });
+      }
+      int* counter = &trains_present[a];
+      queue.schedule(clamped(occupancy.begin_s), [agent, counter](double now) {
+        ++*counter;
+        if (agent->state() != NodePowerState::kSleep) {
+          agent->enter_full_load(now);
+        }
+      });
+      queue.schedule(clamped(occupancy.end_s), [agent, counter](double now) {
+        --*counter;
+        if (*counter == 0) agent->leave_full_load(now);
+      });
+      const double t_sleep =
+          clamped(occupancy.end_s) + config_.wake_policy.hold_s;
+      queue.schedule(t_sleep, [agent, counter](double now) {
+        if (*counter == 0) agent->sleep(now);
+      });
+      last_event_s = std::max(last_event_s, t_sleep);
+    }
+  }
+
+  // ---- QoS recorder --------------------------------------------------
+  SimulationReport report;
+  const rf::CorridorLinkModel link(
+      config_.link, config_.deployment.transmitters(config_.link.carrier));
+  const Db peak_threshold(29.0);  // paper's peak-throughput criterion
+  const double bandwidth = config_.link.carrier.bandwidth_hz();
+  (void)bandwidth;
+
+  for (const auto& passage : timetable.passages()) {
+    // Sample while the train's midpoint is inside the segment.
+    const double mid_offset = passage.train.length_m / 2.0;
+    const double t_enter = passage.head_at(0.0) + mid_offset / passage.train.speed_mps;
+    const double t_exit = passage.head_at(isd) + mid_offset / passage.train.speed_mps;
+    for (double t = t_enter; t <= t_exit; t += config_.qos_sample_period_s) {
+      auto* snr_stats = &report.train_snr_db;
+      auto* se_stats = &report.train_spectral_efficiency;
+      auto* degraded = &report.degraded_seconds;
+      const double sample_period = config_.qos_sample_period_s;
+      const rf::ThroughputModel* thr = &config_.throughput;
+      const double pos =
+          (t - passage.t0_s) * passage.train.speed_mps - mid_offset;
+      queue.schedule(t, [&agents, &sections, &link, snr_stats, se_stats,
+                         degraded, thr, pos, peak_threshold, n_lp,
+                         sample_period](double) {
+        std::vector<bool> mask(link.transmitters().size(), false);
+        for (int i = 0; i < 2 + n_lp; ++i) {
+          const auto& agent = agents[static_cast<std::size_t>(i)];
+          bool on = agent.radiating();
+          const int donor = sections[static_cast<std::size_t>(i)].donor_agent;
+          if (on && donor >= 0) {
+            on = agents[static_cast<std::size_t>(donor)].radiating();
+          }
+          mask[static_cast<std::size_t>(i)] = on;
+        }
+        const Db snr = link.snr(pos, mask);
+        snr_stats->add(snr.value());
+        se_stats->add(thr->spectral_efficiency(snr));
+        if (snr < peak_threshold) *degraded += sample_period;
+      });
+    }
+  }
+
+  // ---- Run ------------------------------------------------------------
+  queue.run_all();
+  const double t_end =
+      std::max(constants::kSecondsPerDay, last_event_s + 1.0);
+
+  // ---- Collect --------------------------------------------------------
+  report.trains = static_cast<int>(timetable.train_count());
+  report.missed_wakes = missed_wakes;
+  report.events_processed = queue.processed();
+
+  WattHours mains{0.0};
+  for (std::size_t a = 0; a < agents.size(); ++a) {
+    agents[a].finish(t_end);
+    NodeReport nr;
+    nr.name = agents[a].name();
+    nr.energy = agents[a].energy();
+    nr.average_power = agents[a].average_power();
+    nr.wake_count = agents[a].wake_count();
+    nr.full_load_seconds = agents[a].full_load_seconds();
+    report.nodes.push_back(nr);
+
+    const bool is_mast = a < 2;
+    const bool lp_counts_as_mains =
+        config_.mode != corridor::RepeaterOperationMode::kSolarPowered;
+    if (is_mast) {
+      // Each mast is shared with the neighbouring segment: count half.
+      mains += nr.energy * 0.5;
+    } else if (lp_counts_as_mains) {
+      mains += nr.energy;
+    }
+  }
+  report.mains_energy = mains;
+  const double hours = t_end / constants::kSecondsPerHour;
+  report.mains_per_km =
+      Watts(mains.value() / hours / (isd / 1000.0));
+  return report;
+}
+
+}  // namespace railcorr::sim

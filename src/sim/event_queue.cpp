@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::sim {
+
+void EventQueue::schedule(double t, EventCallback callback) {
+  RAILCORR_EXPECTS(t >= now_);
+  heap_.push(Entry{t, next_seq_++, std::move(callback)});
+}
+
+void EventQueue::run_until(double t_end) {
+  RAILCORR_EXPECTS(t_end >= now_);
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    // Copy out before pop: the callback may schedule new events.
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.time;
+    ++processed_;
+    entry.callback(now_);
+  }
+  now_ = t_end;
+}
+
+void EventQueue::run_all() {
+  while (!heap_.empty()) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.time;
+    ++processed_;
+    entry.callback(now_);
+  }
+}
+
+}  // namespace railcorr::sim

@@ -1,0 +1,53 @@
+/// \file event_queue.hpp
+/// \brief Minimal discrete-event scheduler: a time-ordered queue of
+///        callbacks with stable FIFO ordering for simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace railcorr::sim {
+
+/// Called when an event fires; receives the simulation time.
+using EventCallback = std::function<void(double)>;
+
+/// A binary-heap event queue. Events scheduled for the same instant fire
+/// in scheduling order (stable), which keeps state machines deterministic.
+class EventQueue {
+ public:
+  /// Schedule `callback` at absolute time `t` (>= now()).
+  void schedule(double t, EventCallback callback);
+
+  /// Process events up to and including `t_end`; afterwards now() == t_end.
+  void run_until(double t_end);
+
+  /// Process everything.
+  void run_all();
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventCallback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace railcorr::sim

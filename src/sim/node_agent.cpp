@@ -1,0 +1,117 @@
+#include "sim/node_agent.hpp"
+
+#include <utility>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::sim {
+
+const char* to_string(NodePowerState state) {
+  switch (state) {
+    case NodePowerState::kSleep:
+      return "sleep";
+    case NodePowerState::kWaking:
+      return "waking";
+    case NodePowerState::kActive:
+      return "active";
+    case NodePowerState::kFullLoad:
+      return "full-load";
+  }
+  return "?";
+}
+
+NodeAgent::NodeAgent(std::string name, power::EarthPowerModel model,
+                     double wake_transition_s, bool can_sleep, double t0)
+    : name_(std::move(name)),
+      model_(model),
+      wake_transition_s_(wake_transition_s),
+      can_sleep_(can_sleep),
+      state_(can_sleep ? NodePowerState::kSleep : NodePowerState::kActive) {
+  RAILCORR_EXPECTS(wake_transition_s_ >= 0.0);
+  power_trace_.set(t0, state_power(state_).value());
+}
+
+Watts NodeAgent::state_power(NodePowerState s) const {
+  switch (s) {
+    case NodePowerState::kSleep:
+      return model_.sleep_power();
+    case NodePowerState::kWaking:
+    case NodePowerState::kActive:
+      return model_.no_load_power();
+    case NodePowerState::kFullLoad:
+      return model_.full_load_power();
+  }
+  return Watts(0.0);
+}
+
+void NodeAgent::transition(double now, NodePowerState next) {
+  RAILCORR_EXPECTS(!finished_);
+  if (state_ == NodePowerState::kFullLoad &&
+      next != NodePowerState::kFullLoad && full_load_since_ >= 0.0) {
+    full_load_seconds_ += now - full_load_since_;
+    full_load_since_ = -1.0;
+  }
+  if (next == NodePowerState::kFullLoad &&
+      state_ != NodePowerState::kFullLoad) {
+    full_load_since_ = now;
+  }
+  state_ = next;
+  power_trace_.set(now, state_power(next).value());
+}
+
+double NodeAgent::begin_wake(double now) {
+  if (state_ != NodePowerState::kSleep) return now;
+  ++wake_count_;
+  transition(now, NodePowerState::kWaking);
+  return now + wake_transition_s_;
+}
+
+void NodeAgent::complete_wake(double now) {
+  if (state_ != NodePowerState::kWaking) return;
+  transition(now, NodePowerState::kActive);
+}
+
+void NodeAgent::enter_full_load(double now) {
+  RAILCORR_EXPECTS(state_ != NodePowerState::kSleep);
+  transition(now, NodePowerState::kFullLoad);
+}
+
+void NodeAgent::leave_full_load(double now) {
+  if (state_ != NodePowerState::kFullLoad) return;
+  transition(now, NodePowerState::kActive);
+}
+
+void NodeAgent::sleep(double now) {
+  if (state_ == NodePowerState::kSleep) return;
+  transition(now, can_sleep_ ? NodePowerState::kSleep
+                             : NodePowerState::kActive);
+}
+
+bool NodeAgent::radiating() const {
+  return state_ == NodePowerState::kActive ||
+         state_ == NodePowerState::kFullLoad;
+}
+
+void NodeAgent::finish(double t_end) {
+  RAILCORR_EXPECTS(!finished_);
+  if (state_ == NodePowerState::kFullLoad && full_load_since_ >= 0.0) {
+    full_load_seconds_ += t_end - full_load_since_;
+    full_load_since_ = -1.0;
+  }
+  power_trace_.finish(t_end);
+  finished_ = true;
+}
+
+WattHours NodeAgent::energy() const {
+  RAILCORR_EXPECTS(finished_);
+  // integral is W * s -> convert to Wh.
+  return WattHours(power_trace_.integral() / constants::kSecondsPerHour);
+}
+
+Watts NodeAgent::average_power() const {
+  RAILCORR_EXPECTS(finished_);
+  return Watts(power_trace_.average());
+}
+
+}  // namespace railcorr::sim

@@ -1,0 +1,83 @@
+/// \file node_agent.hpp
+/// \brief Power-state machine of one trackside node with continuous
+///        energy integration; driven by the corridor simulator.
+#pragma once
+
+#include <string>
+
+#include "power/earth_model.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::sim {
+
+/// Discrete power states of a node during simulation.
+enum class NodePowerState {
+  kSleep,     ///< P_sleep
+  kWaking,    ///< transition sleep -> active; draws P0 but radiates nothing
+  kActive,    ///< awake, no traffic: P0
+  kFullLoad,  ///< serving a train: P0 + dp * Pmax
+};
+
+const char* to_string(NodePowerState state);
+
+/// One node's power/energy bookkeeping.
+///
+/// The agent validates transitions (e.g. a sleeping node must pass
+/// through kWaking before kActive) and integrates input power over time.
+/// A node configured with `can_sleep == false` treats sleep requests as
+/// transitions to kActive (the paper's "continuous operation" regime).
+class NodeAgent {
+ public:
+  /// \param name            diagnostic name (e.g. "LP-3", "HP-mast-0")
+  /// \param model           EARTH power model of the node
+  /// \param wake_transition_s  sleep -> active latency [s]
+  /// \param can_sleep       whether sleep mode is available
+  /// \param t0              simulation start time [s]
+  NodeAgent(std::string name, power::EarthPowerModel model,
+            double wake_transition_s, bool can_sleep, double t0);
+
+  /// Begin waking at `now`; returns the time at which the node becomes
+  /// active (now + transition). No-op (returns now) unless sleeping.
+  double begin_wake(double now);
+  /// Completes the wake transition (scheduled by the simulator).
+  void complete_wake(double now);
+  /// Enter full load (requires an awake node; a waking node is brought
+  /// to full load immediately — it missed part of the train).
+  void enter_full_load(double now);
+  /// Traffic ended: back to idle/active.
+  void leave_full_load(double now);
+  /// Go to sleep (or stay active when sleep is unavailable).
+  void sleep(double now);
+
+  /// True when the node currently radiates (active or full load).
+  [[nodiscard]] bool radiating() const;
+  [[nodiscard]] NodePowerState state() const { return state_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int wake_count() const { return wake_count_; }
+  [[nodiscard]] double full_load_seconds() const { return full_load_seconds_; }
+
+  /// Close the trace at `t_end` (call exactly once, after the run).
+  void finish(double t_end);
+  /// Total energy consumed [Wh] (valid after finish()).
+  [[nodiscard]] WattHours energy() const;
+  /// Average power [W] (valid after finish()).
+  [[nodiscard]] Watts average_power() const;
+
+ private:
+  void transition(double now, NodePowerState next);
+  [[nodiscard]] Watts state_power(NodePowerState s) const;
+
+  std::string name_;
+  power::EarthPowerModel model_;
+  double wake_transition_s_;
+  bool can_sleep_;
+  NodePowerState state_;
+  TimeWeightedAverage power_trace_;
+  int wake_count_ = 0;
+  double full_load_seconds_ = 0.0;
+  double full_load_since_ = -1.0;
+  bool finished_ = false;
+};
+
+}  // namespace railcorr::sim

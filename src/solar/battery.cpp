@@ -1,0 +1,59 @@
+#include "solar/battery.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+
+Battery::Battery(double capacity_wh, double cutoff_fraction,
+                 double charge_efficiency, double discharge_efficiency)
+    : capacity_wh_(capacity_wh),
+      cutoff_fraction_(cutoff_fraction),
+      charge_efficiency_(charge_efficiency),
+      discharge_efficiency_(discharge_efficiency),
+      soc_(capacity_wh) {
+  RAILCORR_EXPECTS(capacity_wh_ > 0.0);
+  RAILCORR_EXPECTS(cutoff_fraction_ >= 0.0 && cutoff_fraction_ < 1.0);
+  RAILCORR_EXPECTS(charge_efficiency_ > 0.0 && charge_efficiency_ <= 1.0);
+  RAILCORR_EXPECTS(discharge_efficiency_ > 0.0 && discharge_efficiency_ <= 1.0);
+}
+
+double Battery::soc_fraction() const { return soc_.value() / capacity_wh_; }
+
+WattHours Battery::usable_energy() const {
+  return WattHours(std::max(0.0, soc_.value() - cutoff_fraction_ * capacity_wh_));
+}
+
+bool Battery::is_full() const {
+  return soc_.value() >= capacity_wh_ * (1.0 - 1e-9);
+}
+
+bool Battery::at_cutoff() const {
+  return soc_.value() <= cutoff_fraction_ * capacity_wh_ * (1.0 + 1e-9);
+}
+
+WattHours Battery::charge(WattHours energy) {
+  RAILCORR_EXPECTS(energy.value() >= 0.0);
+  const double stored_if_all = energy.value() * charge_efficiency_;
+  const double headroom = capacity_wh_ - soc_.value();
+  const double stored = std::min(stored_if_all, headroom);
+  soc_ += WattHours(stored);
+  // Surplus expressed at the input side of the charger.
+  const double surplus_in =
+      (stored_if_all - stored) / charge_efficiency_;
+  return WattHours(surplus_in);
+}
+
+WattHours Battery::discharge(WattHours energy) {
+  RAILCORR_EXPECTS(energy.value() >= 0.0);
+  const double wanted_from_cells = energy.value() / discharge_efficiency_;
+  const double available = usable_energy().value();
+  const double drawn = std::min(wanted_from_cells, available);
+  soc_ -= WattHours(drawn);
+  return WattHours(drawn * discharge_efficiency_);
+}
+
+void Battery::reset() { soc_ = WattHours(capacity_wh_); }
+
+}  // namespace railcorr::solar

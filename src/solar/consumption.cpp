@@ -1,0 +1,64 @@
+#include "solar/consumption.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+
+WattHours ConsumptionProfile::daily_energy() const {
+  double sum = 0.0;
+  for (const double w : hourly_watts) sum += w;
+  return WattHours(sum);
+}
+
+double ConsumptionProfile::average_watts() const {
+  return daily_energy().value() / constants::kHoursPerDay;
+}
+
+ConsumptionProfile repeater_consumption(
+    const power::EarthPowerModel& node_model,
+    const traffic::TimetableConfig& timetable, double section_m) {
+  RAILCORR_EXPECTS(section_m >= 0.0);
+  ConsumptionProfile profile;
+
+  // Average power while trains run: full load for the per-train occupancy,
+  // sleep in between.
+  const double occupancy_s = timetable.train.occupancy_seconds(section_m);
+  const double busy_fraction =
+      std::min(1.0, occupancy_s * timetable.trains_per_hour /
+                        constants::kSecondsPerHour);
+  const double busy_watts =
+      node_model.full_load_power().value() * busy_fraction +
+      node_model.sleep_power().value() * (1.0 - busy_fraction);
+  const double sleep_watts = node_model.sleep_power().value();
+
+  const double night_begin = timetable.night_start_hour;
+  const double night_end = timetable.night_start_hour + timetable.night_hours;
+  for (int h = 0; h < 24; ++h) {
+    // Fraction of [h, h+1) that lies inside the nightly pause (handles
+    // pauses that wrap past midnight).
+    auto overlap = [&](double begin, double end) {
+      const double lo = std::max(static_cast<double>(h), begin);
+      const double hi = std::min(static_cast<double>(h) + 1.0, end);
+      return std::max(0.0, hi - lo);
+    };
+    double night_overlap = overlap(night_begin, night_end) +
+                           overlap(night_begin - 24.0, night_end - 24.0) +
+                           overlap(night_begin + 24.0, night_end + 24.0);
+    night_overlap = std::min(1.0, night_overlap);
+    profile.hourly_watts[static_cast<std::size_t>(h)] =
+        sleep_watts * night_overlap + busy_watts * (1.0 - night_overlap);
+  }
+  return profile;
+}
+
+ConsumptionProfile constant_consumption(Watts power) {
+  RAILCORR_EXPECTS(power.value() >= 0.0);
+  ConsumptionProfile profile;
+  profile.hourly_watts.fill(power.value());
+  return profile;
+}
+
+}  // namespace railcorr::solar

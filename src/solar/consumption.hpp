@@ -1,0 +1,35 @@
+/// \file consumption.hpp
+/// \brief Hourly load profiles of a repeater node for the off-grid
+///        simulation (paper §V-B: 5 h per night purely in sleep mode,
+///        19 h in a mix of sleep and per-train full load).
+#pragma once
+
+#include <array>
+
+#include "power/earth_model.hpp"
+#include "traffic/timetable.hpp"
+#include "util/units.hpp"
+
+namespace railcorr::solar {
+
+/// A 24-entry hourly average-power profile [W].
+struct ConsumptionProfile {
+  std::array<double, 24> hourly_watts{};
+
+  [[nodiscard]] WattHours daily_energy() const;
+  [[nodiscard]] double average_watts() const;
+};
+
+/// Build the profile of a sleep-mode repeater node covering a
+/// `section_m`-long track section under the given timetable: sleep power
+/// during the nightly pause, duty-cycled full-load/sleep mix while trains
+/// run. With the paper's parameters this yields an average of ~5.17 W and
+/// ~124 Wh/day.
+ConsumptionProfile repeater_consumption(
+    const power::EarthPowerModel& node_model,
+    const traffic::TimetableConfig& timetable, double section_m);
+
+/// A constant-power profile (useful for bounds and tests).
+ConsumptionProfile constant_consumption(Watts power);
+
+}  // namespace railcorr::solar

@@ -1,0 +1,96 @@
+#include "solar/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+
+using constants::kPi;
+
+double declination_rad(int doy) {
+  RAILCORR_EXPECTS(doy >= 1 && doy <= 366);
+  // Cooper (1969): delta = 23.45 deg * sin(360/365 * (284 + n)).
+  const double angle = 2.0 * kPi * (284.0 + static_cast<double>(doy)) / 365.0;
+  return 23.45 * constants::kDegToRad * std::sin(angle);
+}
+
+double sunset_hour_angle_rad(double latitude_rad, double declination_rad) {
+  const double x = -std::tan(latitude_rad) * std::tan(declination_rad);
+  if (x <= -1.0) return kPi;  // polar day
+  if (x >= 1.0) return 0.0;   // polar night
+  return std::acos(x);
+}
+
+double daylength_hours(double latitude_rad, double declination_rad) {
+  return 24.0 / kPi * sunset_hour_angle_rad(latitude_rad, declination_rad);
+}
+
+double hour_angle_rad(double solar_hour) {
+  RAILCORR_EXPECTS(solar_hour >= 0.0 && solar_hour <= 24.0);
+  return (solar_hour - 12.0) * 15.0 * constants::kDegToRad;
+}
+
+double cos_zenith(double latitude_rad, double declination_rad,
+                  double hour_angle_rad) {
+  return std::sin(latitude_rad) * std::sin(declination_rad) +
+         std::cos(latitude_rad) * std::cos(declination_rad) *
+             std::cos(hour_angle_rad);
+}
+
+double cos_incidence_equator_facing(double latitude_rad,
+                                    double declination_rad,
+                                    double hour_angle_rad, double tilt_rad) {
+  // Equator-facing surface: effective latitude (phi - beta).
+  const double phi_eff = latitude_rad - tilt_rad;
+  return std::sin(declination_rad) * std::sin(phi_eff) +
+         std::cos(declination_rad) * std::cos(phi_eff) *
+             std::cos(hour_angle_rad);
+}
+
+double eccentricity_factor(int doy) {
+  RAILCORR_EXPECTS(doy >= 1 && doy <= 366);
+  return 1.0 + 0.033 * std::cos(2.0 * kPi * static_cast<double>(doy) / 365.0);
+}
+
+double daily_extraterrestrial_wh_m2(double latitude_rad, int doy) {
+  const double delta = declination_rad(doy);
+  const double ws = sunset_hour_angle_rad(latitude_rad, delta);
+  const double e0 = eccentricity_factor(doy);
+  // H0 = (24/pi) Gsc E0 [cos(phi)cos(delta)sin(ws) + ws sin(phi)sin(delta)]
+  const double h0 =
+      24.0 / kPi * constants::kSolarConstant * e0 *
+      (std::cos(latitude_rad) * std::cos(delta) * std::sin(ws) +
+       ws * std::sin(latitude_rad) * std::sin(delta));
+  return std::max(0.0, h0);
+}
+
+double hourly_extraterrestrial_wh_m2(double latitude_rad, int doy,
+                                     double hour_angle_rad) {
+  const double delta = declination_rad(doy);
+  const double cz = cos_zenith(latitude_rad, delta, hour_angle_rad);
+  if (cz <= 0.0) return 0.0;
+  return constants::kSolarConstant * eccentricity_factor(doy) * cz;
+}
+
+int representative_day_of_month(int month) {
+  RAILCORR_EXPECTS(month >= 1 && month <= 12);
+  // Klein (1977) representative days.
+  static constexpr int kDays[12] = {17,  47,  75,  105, 135, 162,
+                                    198, 228, 258, 288, 318, 344};
+  return kDays[month - 1];
+}
+
+int month_of_day(int doy) {
+  RAILCORR_EXPECTS(doy >= 1 && doy <= 365);
+  static constexpr int kCum[12] = {31,  59,  90,  120, 151, 181,
+                                   212, 243, 273, 304, 334, 365};
+  for (int m = 0; m < 12; ++m) {
+    if (doy <= kCum[m]) return m + 1;
+  }
+  return 12;
+}
+
+}  // namespace railcorr::solar

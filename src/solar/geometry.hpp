@@ -1,0 +1,53 @@
+/// \file geometry.hpp
+/// \brief Solar-position geometry: declination, hour angles, zenith and
+///        incidence angles, daylength, and extraterrestrial irradiation.
+///
+/// Standard textbook formulations (Duffie & Beckman): Cooper's equation
+/// for declination, Liu-Jordan geometry for tilted surfaces. Angles are
+/// in radians internally; public inputs are degrees where noted.
+#pragma once
+
+namespace railcorr::solar {
+
+/// Solar declination [rad] for day-of-year `doy` in [1, 365] (Cooper).
+double declination_rad(int doy);
+
+/// Sunset hour angle [rad] for latitude [rad] and declination [rad].
+/// Clamped to [0, pi] for polar day/night.
+double sunset_hour_angle_rad(double latitude_rad, double declination_rad);
+
+/// Daylength in hours.
+double daylength_hours(double latitude_rad, double declination_rad);
+
+/// Hour angle [rad] of solar time `hour` (0..24, solar noon = 12).
+double hour_angle_rad(double solar_hour);
+
+/// Cosine of the solar zenith angle; may be negative below the horizon.
+double cos_zenith(double latitude_rad, double declination_rad,
+                  double hour_angle_rad);
+
+/// Cosine of the incidence angle on a tilted, equator-facing surface
+/// (azimuth 0 = due south in the northern hemisphere).
+double cos_incidence_equator_facing(double latitude_rad,
+                                    double declination_rad,
+                                    double hour_angle_rad, double tilt_rad);
+
+/// Eccentricity correction factor E0 = (r0/r)^2 for day-of-year.
+double eccentricity_factor(int doy);
+
+/// Daily extraterrestrial irradiation on a horizontal surface
+/// [Wh/m^2/day].
+double daily_extraterrestrial_wh_m2(double latitude_rad, int doy);
+
+/// Hourly extraterrestrial irradiation on a horizontal surface centred on
+/// the given hour angle [Wh/m^2].
+double hourly_extraterrestrial_wh_m2(double latitude_rad, int doy,
+                                     double hour_angle_rad);
+
+/// Mid-month day-of-year for month in [1, 12] (Klein's representative days).
+int representative_day_of_month(int month);
+
+/// Month (1..12) containing day-of-year `doy` (non-leap year).
+int month_of_day(int doy);
+
+}  // namespace railcorr::solar

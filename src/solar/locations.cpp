@@ -1,0 +1,72 @@
+#include "solar/locations.hpp"
+
+#include "solar/geometry.hpp"
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+
+double Location::monthly_clearness(int month) const {
+  RAILCORR_EXPECTS(month >= 1 && month <= 12);
+  const int doy = representative_day_of_month(month);
+  const double h0 = daily_extraterrestrial_wh_m2(
+      latitude_deg * constants::kDegToRad, doy);
+  RAILCORR_EXPECTS(h0 > 0.0);
+  return monthly_ghi_wh_m2_day[static_cast<std::size_t>(month - 1)] / h0;
+}
+
+double Location::annual_ghi_kwh_m2() const {
+  static constexpr int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                           31, 31, 30, 31, 30, 31};
+  double sum = 0.0;
+  for (int m = 0; m < 12; ++m) {
+    sum += monthly_ghi_wh_m2_day[static_cast<std::size_t>(m)] *
+           static_cast<double>(kDaysInMonth[m]);
+  }
+  return sum / 1000.0;
+}
+
+// Monthly mean daily GHI [Wh/m^2/day], representative of long-term
+// European climatology (PVGIS-era averages, rounded).
+
+const Location& madrid() {
+  static const Location kLoc{
+      "Madrid",
+      40.42,
+      -3.70,
+      {2000, 3000, 4300, 5400, 6400, 7300, 7500, 6600, 5000, 3400, 2200, 1700}};
+  return kLoc;
+}
+
+const Location& lyon() {
+  static const Location kLoc{
+      "Lyon",
+      45.76,
+      4.84,
+      {1300, 2100, 3400, 4600, 5600, 6300, 6500, 5600, 4200, 2600, 1500, 1000}};
+  return kLoc;
+}
+
+const Location& vienna() {
+  static const Location kLoc{
+      "Vienna",
+      48.21,
+      16.37,
+      {1000, 1800, 2900, 4300, 5400, 5800, 5900, 5100, 3600, 2200, 1100, 800}};
+  return kLoc;
+}
+
+const Location& berlin() {
+  static const Location kLoc{
+      "Berlin",
+      52.52,
+      13.40,
+      {700, 1400, 2600, 4000, 5200, 5600, 5500, 4700, 3200, 1900, 900, 500}};
+  return kLoc;
+}
+
+std::vector<Location> paper_locations() {
+  return {madrid(), lyon(), vienna(), berlin()};
+}
+
+}  // namespace railcorr::solar

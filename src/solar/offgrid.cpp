@@ -1,0 +1,81 @@
+#include "solar/offgrid.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+
+OffGridSimulator::OffGridSimulator(Location location, OffGridSystem system,
+                                   ConsumptionProfile consumption,
+                                   WeatherModel weather)
+    : location_(std::move(location)),
+      system_(system),
+      consumption_(consumption),
+      weather_(weather) {
+  RAILCORR_EXPECTS(system_.battery_capacity_wh > 0.0);
+}
+
+OffGridReport OffGridSimulator::run(
+    const std::vector<DailyIrradiance>& days) const {
+  Battery battery(system_.battery_capacity_wh, system_.battery_cutoff);
+  OffGridReport report;
+  int full_days = 0;
+
+  for (const auto& day : days) {
+    bool reached_full = false;
+    bool any_unmet = false;
+    for (int h = 0; h < 24; ++h) {
+      const WattHours pv = system_.array.hourly_energy(
+          day.poa_wh_m2[static_cast<std::size_t>(h)]);
+      const WattHours load(
+          consumption_.hourly_watts[static_cast<std::size_t>(h)]);
+      report.annual_pv_energy += pv;
+      report.annual_load += load;
+
+      if (pv >= load) {
+        // Surplus charges the battery; the load is served directly.
+        const WattHours surplus = pv - load;
+        report.curtailed_energy += battery.charge(surplus);
+      } else {
+        const WattHours deficit = load - pv;
+        const WattHours delivered = battery.discharge(deficit);
+        if (delivered < deficit - WattHours(1e-9)) {
+          any_unmet = true;
+          ++report.downtime_hours;
+          report.unserved_energy += deficit - delivered;
+        }
+      }
+      if (battery.is_full()) reached_full = true;
+      report.min_soc_fraction =
+          std::min(report.min_soc_fraction, battery.soc_fraction());
+    }
+    if (reached_full) ++full_days;
+    if (any_unmet) ++report.downtime_days;
+  }
+
+  report.days_with_full_battery_pct =
+      100.0 * static_cast<double>(full_days) /
+      static_cast<double>(days.size());
+  return report;
+}
+
+OffGridReport OffGridSimulator::simulate(std::uint64_t seed, int years) const {
+  RAILCORR_EXPECTS(years >= 1);
+  IrradianceSynthesizer synth(location_, system_.plane, weather_);
+  Rng rng(seed);
+  std::vector<DailyIrradiance> days;
+  days.reserve(static_cast<std::size_t>(years) * 365);
+  for (int y = 0; y < years; ++y) {
+    auto year = synth.synthesize_year(rng);
+    days.insert(days.end(), year.begin(), year.end());
+  }
+  return run(days);
+}
+
+OffGridReport OffGridSimulator::simulate_mean_year() const {
+  IrradianceSynthesizer synth(location_, system_.plane, weather_);
+  return run(synth.synthesize_mean_year());
+}
+
+}  // namespace railcorr::solar

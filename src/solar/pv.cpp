@@ -1,0 +1,20 @@
+#include "solar/pv.hpp"
+
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+
+PvArray::PvArray(double peak_power_wp, double system_loss)
+    : peak_power_wp_(peak_power_wp), system_loss_(system_loss) {
+  RAILCORR_EXPECTS(peak_power_wp_ > 0.0);
+  RAILCORR_EXPECTS(system_loss_ >= 0.0 && system_loss_ < 1.0);
+}
+
+WattHours PvArray::hourly_energy(double poa_wh_m2) const {
+  RAILCORR_EXPECTS(poa_wh_m2 >= 0.0);
+  // E = Wp * (POA / 1000 W/m^2) * (1 - losses); POA in Wh/m^2 over 1 h.
+  return WattHours(peak_power_wp_ * poa_wh_m2 / 1000.0 *
+                   (1.0 - system_loss_));
+}
+
+}  // namespace railcorr::solar

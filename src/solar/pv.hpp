@@ -1,0 +1,41 @@
+/// \file pv.hpp
+/// \brief PV module/array electrical model.
+///
+/// PVGIS-style simplification: output power scales with plane-of-array
+/// irradiance relative to STC (1000 W/m^2), derated by a lumped system
+/// loss (soiling, wiring, inverter/charger, temperature; PVGIS default
+/// 14 %). The paper's modules: 180 Wp each, ~0.6 m x 1.4 m, up to three
+/// mounted vertically on a catenary mast.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace railcorr::solar {
+
+/// A PV array of one or more identical modules.
+class PvArray {
+ public:
+  /// \param peak_power_wp  nameplate power at STC [Wp], > 0
+  /// \param system_loss    lumped derating in [0, 1) (PVGIS default 0.14)
+  explicit PvArray(double peak_power_wp, double system_loss = 0.14);
+
+  /// DC output energy for one hour with plane-of-array irradiation
+  /// `poa_wh_m2` [Wh/m^2].
+  [[nodiscard]] WattHours hourly_energy(double poa_wh_m2) const;
+
+  [[nodiscard]] double peak_power_wp() const { return peak_power_wp_; }
+  [[nodiscard]] double system_loss() const { return system_loss_; }
+
+  /// Paper's standard module: 180 Wp, 0.6 m x 1.4 m.
+  static constexpr double kStandardModuleWp = 180.0;
+  /// Paper's default array: three modules on one mast = 540 Wp.
+  [[nodiscard]] static PvArray paper_array() {
+    return PvArray(3 * kStandardModuleWp);
+  }
+
+ private:
+  double peak_power_wp_;
+  double system_loss_;
+};
+
+}  // namespace railcorr::solar

@@ -1,0 +1,51 @@
+#include "solar/sizing.hpp"
+
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+
+std::vector<SizingCandidate> paper_sizing_ladder() {
+  return {
+      {540.0, 720.0},
+      {540.0, 1440.0},
+      {600.0, 1440.0},
+      {600.0, 2160.0},
+      {720.0, 2160.0},
+  };
+}
+
+SizingResult size_for_location(const Location& location,
+                               const ConsumptionProfile& consumption,
+                               const SizingOptions& options,
+                               const std::vector<SizingCandidate>& ladder) {
+  RAILCORR_EXPECTS(!ladder.empty());
+  SizingResult result;
+  result.location = location;
+  for (const auto& candidate : ladder) {
+    OffGridSystem system;
+    system.array = PvArray(candidate.pv_wp);
+    system.battery_capacity_wh = candidate.battery_wh;
+    system.plane = options.plane;
+    OffGridSimulator sim(location, system, consumption, options.weather);
+    const auto report = sim.simulate(options.seed, options.years);
+    result.chosen = candidate;
+    result.report = report;
+    if (report.continuous_operation()) {
+      result.ladder_exhausted = false;
+      return result;
+    }
+    result.ladder_exhausted = true;
+  }
+  return result;  // largest candidate, possibly still with downtime
+}
+
+std::vector<SizingResult> size_paper_locations(
+    const ConsumptionProfile& consumption, const SizingOptions& options) {
+  std::vector<SizingResult> results;
+  for (const auto& location : paper_locations()) {
+    results.push_back(size_for_location(location, consumption, options));
+  }
+  return results;
+}
+
+}  // namespace railcorr::solar

@@ -1,0 +1,57 @@
+/// \file sizing.hpp
+/// \brief PV/battery sizing search reproducing Table IV: the smallest
+///        standard configuration that achieves zero-downtime operation.
+///
+/// The paper starts from 540 Wp / 720 Wh (three standard modules, one
+/// battery) and, where winter resource is insufficient (Vienna, Berlin),
+/// doubles the battery and/or moves to slightly larger modules (600 Wp).
+#pragma once
+
+#include <vector>
+
+#include "solar/offgrid.hpp"
+
+namespace railcorr::solar {
+
+/// One candidate configuration on the sizing ladder.
+struct SizingCandidate {
+  double pv_wp = 540.0;
+  double battery_wh = 720.0;
+};
+
+/// The paper's ladder, in increasing cost order:
+/// 540/720 -> 540/1440 -> 600/1440 -> 600/2160 -> 720/2160.
+std::vector<SizingCandidate> paper_sizing_ladder();
+
+/// Result of sizing one location.
+struct SizingResult {
+  Location location;
+  SizingCandidate chosen;
+  OffGridReport report;
+  /// True when even the largest ladder entry had downtime.
+  bool ladder_exhausted = false;
+};
+
+/// Options for the sizing run.
+struct SizingOptions {
+  /// Weather years simulated per candidate (more years -> stricter
+  /// zero-downtime requirement).
+  int years = 3;
+  std::uint64_t seed = 0x5EEDC0DEULL;
+  WeatherModel weather;
+  PlaneOfArray plane;  ///< vertical, equator-facing by default
+};
+
+/// Walk the ladder until a configuration runs without downtime.
+SizingResult size_for_location(const Location& location,
+                               const ConsumptionProfile& consumption,
+                               const SizingOptions& options = SizingOptions{},
+                               const std::vector<SizingCandidate>& ladder =
+                                   paper_sizing_ladder());
+
+/// Size all four paper locations (Table IV).
+std::vector<SizingResult> size_paper_locations(
+    const ConsumptionProfile& consumption,
+    const SizingOptions& options = SizingOptions{});
+
+}  // namespace railcorr::solar

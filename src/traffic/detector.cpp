@@ -1,0 +1,68 @@
+#include "traffic/detector.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::traffic {
+
+double WakePolicy::required_lead_distance_m(const Train& train) const {
+  RAILCORR_EXPECTS(transition_s >= 0.0);
+  RAILCORR_EXPECTS(guard_s >= 0.0);
+  return (transition_s + guard_s) * train.speed_mps;
+}
+
+std::vector<WakeWindow> wake_windows(const Detector& detector,
+                                     const WakePolicy& policy,
+                                     const Timetable& timetable, double a_m,
+                                     double b_m, Rng& rng) {
+  RAILCORR_EXPECTS(b_m >= a_m);
+  RAILCORR_EXPECTS(detector.miss_probability >= 0.0 &&
+                   detector.miss_probability <= 1.0);
+  std::vector<WakeWindow> windows;
+  windows.reserve(timetable.train_count());
+  for (const auto& passage : timetable.passages()) {
+    WakeWindow w;
+    const double detect = passage.head_at(detector.position_m);
+    const auto occupancy = passage.occupancy(a_m, b_m);
+    w.wake_s = detect;
+    w.active_s = detect + policy.transition_s;
+    w.sleep_s = occupancy.end_s + policy.hold_s;
+    w.missed = detector.miss_probability > 0.0 &&
+               rng.uniform() < detector.miss_probability;
+    // A barrier placed too close to (or inside) the section cannot wake
+    // the node before the train arrives; the window still opens, it is
+    // just late. Callers can compare active_s with occupancy begin.
+    w.sleep_s = std::max(w.sleep_s, w.active_s);
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+double awake_seconds_per_day(const std::vector<WakeWindow>& windows) {
+  double total = 0.0;
+  // Merge overlapping awake intervals (dense headways could overlap).
+  double cur_begin = 0.0;
+  double cur_end = -1.0;
+  bool open = false;
+  for (const auto& w : windows) {
+    if (w.missed) continue;
+    if (!open) {
+      cur_begin = w.wake_s;
+      cur_end = w.sleep_s;
+      open = true;
+      continue;
+    }
+    if (w.wake_s <= cur_end) {
+      cur_end = std::max(cur_end, w.sleep_s);
+    } else {
+      total += cur_end - cur_begin;
+      cur_begin = w.wake_s;
+      cur_end = w.sleep_s;
+    }
+  }
+  if (open) total += cur_end - cur_begin;
+  return total;
+}
+
+}  // namespace railcorr::traffic

@@ -1,0 +1,65 @@
+/// \file detector.hpp
+/// \brief Photoelectric train-detection barriers and the wake/sleep
+///        windows they generate for a repeater node.
+///
+/// The paper (§IV) wakes a sleeping repeater when a photoelectric barrier
+/// detects a passing train; the wake transition takes on the order of a
+/// few hundred milliseconds. A barrier is placed far enough before the
+/// node's coverage section that the node is fully awake when the train
+/// enters.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "traffic/timetable.hpp"
+#include "traffic/train.hpp"
+
+namespace railcorr::traffic {
+
+/// A train detector at a fixed track position.
+struct Detector {
+  /// Barrier position [m].
+  double position_m = 0.0;
+  /// Probability that a passage is missed (failure injection; 0 = ideal).
+  double miss_probability = 0.0;
+};
+
+/// Wake/sleep policy for a repeater covering [section_begin, section_end].
+struct WakePolicy {
+  /// Node state-transition latency sleep -> active [s] (paper: "a few
+  /// hundred milliseconds"; default 0.3 s).
+  double transition_s = 0.3;
+  /// Extra margin added before the train arrives [s].
+  double guard_s = 0.5;
+  /// Hold time after the train leaves before sleeping again [s].
+  double hold_s = 1.0;
+
+  /// Distance ahead of the section start at which the barrier must sit so
+  /// that transition + guard complete before the train arrives.
+  [[nodiscard]] double required_lead_distance_m(const Train& train) const;
+};
+
+/// One wake interval of a node (active window including margins).
+struct WakeWindow {
+  double wake_s = 0.0;     ///< node leaves sleep (transition begins)
+  double active_s = 0.0;   ///< node fully active
+  double sleep_s = 0.0;    ///< node returns to sleep
+  bool missed = false;     ///< true if the detector missed the train
+
+  [[nodiscard]] double awake_duration() const { return sleep_s - wake_s; }
+};
+
+/// Compute the wake windows a detector + policy produce for every passage
+/// of a timetable over a node section [a_m, b_m]. Missed detections yield
+/// windows flagged `missed` (the node never wakes for that train).
+/// `rng` is only consulted when the detector's miss probability is > 0.
+std::vector<WakeWindow> wake_windows(const Detector& detector,
+                                     const WakePolicy& policy,
+                                     const Timetable& timetable, double a_m,
+                                     double b_m, Rng& rng);
+
+/// Seconds per day the node is awake (sum of non-missed window durations).
+double awake_seconds_per_day(const std::vector<WakeWindow>& windows);
+
+}  // namespace railcorr::traffic

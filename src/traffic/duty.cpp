@@ -1,0 +1,43 @@
+#include "traffic/duty.hpp"
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::traffic {
+
+double full_load_seconds_per_day(const TimetableConfig& config,
+                                 double section_m) {
+  RAILCORR_EXPECTS(section_m >= 0.0);
+  return config.trains_per_day() * config.train.occupancy_seconds(section_m);
+}
+
+double full_load_fraction(const TimetableConfig& config, double section_m) {
+  const double f =
+      full_load_seconds_per_day(config, section_m) / constants::kSecondsPerDay;
+  RAILCORR_ENSURES(f >= 0.0 && f <= 1.0);
+  return f;
+}
+
+power::StateFractions section_state_fractions(const TimetableConfig& config,
+                                              double section_m,
+                                              bool sleep_when_idle) {
+  const double f = full_load_fraction(config, section_m);
+  return sleep_when_idle ? power::StateFractions::full_or_sleep(f)
+                         : power::StateFractions::full_or_idle(f);
+}
+
+Watts average_unit_power(const power::EarthPowerModel& model,
+                         const TimetableConfig& config, double section_m,
+                         bool sleep_when_idle) {
+  return power::average_power(
+      model, section_state_fractions(config, section_m, sleep_when_idle));
+}
+
+WattHours daily_unit_energy(const power::EarthPowerModel& model,
+                            const TimetableConfig& config, double section_m,
+                            bool sleep_when_idle) {
+  return energy(average_unit_power(model, config, section_m, sleep_when_idle),
+                constants::kHoursPerDay);
+}
+
+}  // namespace railcorr::traffic

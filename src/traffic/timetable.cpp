@@ -1,0 +1,92 @@
+#include "traffic/timetable.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::traffic {
+
+TimetableConfig TimetableConfig::paper_timetable() {
+  return TimetableConfig{};  // defaults are the paper's values
+}
+
+Timetable::Timetable(TimetableConfig config, std::vector<TrainPassage> passages)
+    : config_(config), passages_(std::move(passages)) {
+  std::sort(passages_.begin(), passages_.end(),
+            [](const TrainPassage& a, const TrainPassage& b) {
+              return a.t0_s < b.t0_s;
+            });
+}
+
+Timetable Timetable::regular(const TimetableConfig& config) {
+  RAILCORR_EXPECTS(config.trains_per_hour > 0.0);
+  RAILCORR_EXPECTS(config.night_hours >= 0.0 && config.night_hours < 24.0);
+  const double headway_s = constants::kSecondsPerHour / config.trains_per_hour;
+  const double window_start_s =
+      (config.night_start_hour + config.night_hours) * constants::kSecondsPerHour;
+  const auto n = static_cast<std::size_t>(std::round(config.trains_per_day()));
+  std::vector<TrainPassage> passages;
+  passages.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TrainPassage p;
+    p.t0_s = std::fmod(window_start_s + headway_s * static_cast<double>(i),
+                       constants::kSecondsPerDay);
+    p.train = config.train;
+    passages.push_back(p);
+  }
+  return Timetable(config, std::move(passages));
+}
+
+Timetable Timetable::poisson(const TimetableConfig& config, Rng& rng) {
+  RAILCORR_EXPECTS(config.trains_per_hour > 0.0);
+  const double rate_per_s =
+      config.trains_per_hour / constants::kSecondsPerHour;
+  const double window_start_s =
+      (config.night_start_hour + config.night_hours) * constants::kSecondsPerHour;
+  const double window_len_s =
+      config.operating_hours() * constants::kSecondsPerHour;
+  std::vector<TrainPassage> passages;
+  double t = window_start_s;
+  for (;;) {
+    t += rng.exponential(rate_per_s);
+    if (t >= window_start_s + window_len_s) break;
+    TrainPassage p;
+    p.t0_s = std::fmod(t, constants::kSecondsPerDay);
+    p.train = config.train;
+    passages.push_back(p);
+  }
+  return Timetable(config, std::move(passages));
+}
+
+double Timetable::occupied_seconds(double a_m, double b_m) const {
+  RAILCORR_EXPECTS(b_m >= a_m);
+  // Union of [begin, end] intervals (already sorted by t0, and occupancy
+  // begin is monotone in t0 for identical kinematics).
+  double total = 0.0;
+  double current_begin = 0.0;
+  double current_end = -1.0;
+  bool open = false;
+  for (const auto& p : passages_) {
+    const auto iv = p.occupancy(a_m, b_m);
+    if (!open) {
+      current_begin = iv.begin_s;
+      current_end = iv.end_s;
+      open = true;
+      continue;
+    }
+    if (iv.begin_s <= current_end) {
+      current_end = std::max(current_end, iv.end_s);
+    } else {
+      total += current_end - current_begin;
+      current_begin = iv.begin_s;
+      current_end = iv.end_s;
+    }
+  }
+  if (open) total += current_end - current_begin;
+  return total;
+}
+
+}  // namespace railcorr::traffic

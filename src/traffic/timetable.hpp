@@ -1,0 +1,66 @@
+/// \file timetable.hpp
+/// \brief Daily train timetables: the paper's deterministic service
+///        pattern (8 trains/h with a 5 h night pause) plus a randomized
+///        (Poisson) variant for robustness studies.
+#pragma once
+
+#include <vector>
+
+#include "traffic/train.hpp"
+#include "util/rng.hpp"
+
+namespace railcorr::traffic {
+
+/// Service-pattern parameters (paper Table III).
+struct TimetableConfig {
+  /// Trains per hour during operating hours (paper: 8).
+  double trains_per_hour = 8.0;
+  /// Hours per night without passenger traffic (paper: 5).
+  double night_hours = 5.0;
+  /// Start of the nightly pause [h since midnight] (paper does not
+  /// specify; 00:30 keeps the pause centred on the small hours).
+  double night_start_hour = 0.5;
+  /// The rolling stock running this service.
+  Train train = Train::paper_train();
+
+  [[nodiscard]] double operating_hours() const { return 24.0 - night_hours; }
+  /// Total trains per day = trains/h x operating hours (paper: 152).
+  [[nodiscard]] double trains_per_day() const {
+    return trains_per_hour * operating_hours();
+  }
+
+  /// The paper's service: 8 trains/h, 5 h night pause, 400 m @ 200 km/h.
+  [[nodiscard]] static TimetableConfig paper_timetable();
+};
+
+/// A concrete one-day timetable: the times each train's head passes
+/// corridor position 0, sorted ascending within [0, 24 h).
+class Timetable {
+ public:
+  /// Evenly spaced departures across the operating window.
+  static Timetable regular(const TimetableConfig& config);
+
+  /// Poisson arrivals with the same mean rate across the operating
+  /// window (randomized ablation; same expected train count).
+  static Timetable poisson(const TimetableConfig& config, Rng& rng);
+
+  [[nodiscard]] const std::vector<TrainPassage>& passages() const {
+    return passages_;
+  }
+  [[nodiscard]] std::size_t train_count() const { return passages_.size(); }
+  [[nodiscard]] const TimetableConfig& config() const { return config_; }
+
+  /// Total seconds in the day during which any train overlaps the
+  /// section [a_m, b_m] (union of per-train occupancy intervals; the
+  /// paper's headways are long enough that they never overlap, but the
+  /// union handles randomized timetables correctly).
+  [[nodiscard]] double occupied_seconds(double a_m, double b_m) const;
+
+ private:
+  Timetable(TimetableConfig config, std::vector<TrainPassage> passages);
+
+  TimetableConfig config_;
+  std::vector<TrainPassage> passages_;
+};
+
+}  // namespace railcorr::traffic

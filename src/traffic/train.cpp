@@ -1,0 +1,35 @@
+#include "traffic/train.hpp"
+
+#include "util/contracts.hpp"
+
+namespace railcorr::traffic {
+
+double Train::occupancy_seconds(double section_m) const {
+  RAILCORR_EXPECTS(section_m >= 0.0);
+  RAILCORR_EXPECTS(speed_mps > 0.0);
+  RAILCORR_EXPECTS(length_m > 0.0);
+  return (section_m + length_m) / speed_mps;
+}
+
+double Train::head_transit_seconds(double section_m) const {
+  RAILCORR_EXPECTS(section_m >= 0.0);
+  RAILCORR_EXPECTS(speed_mps > 0.0);
+  return section_m / speed_mps;
+}
+
+Train Train::paper_train() { return Train{400.0, 200.0 / 3.6}; }
+
+double TrainPassage::head_at(double position_m) const {
+  return t0_s + position_m / train.speed_mps;
+}
+
+double TrainPassage::tail_clears(double position_m) const {
+  return head_at(position_m) + train.length_m / train.speed_mps;
+}
+
+TrainPassage::Interval TrainPassage::occupancy(double a_m, double b_m) const {
+  RAILCORR_EXPECTS(b_m >= a_m);
+  return Interval{head_at(a_m), tail_clears(b_m)};
+}
+
+}  // namespace railcorr::traffic

@@ -1,0 +1,49 @@
+/// \file train.hpp
+/// \brief Train geometry/kinematics and section-passage timing.
+#pragma once
+
+namespace railcorr::traffic {
+
+/// A train moving at constant speed along the corridor.
+struct Train {
+  /// Train length [m], > 0 (paper: 400 m).
+  double length_m = 400.0;
+  /// Speed [m/s], > 0 (paper: 200 km/h = 55.56 m/s).
+  double speed_mps = 200.0 / 3.6;
+
+  [[nodiscard]] double speed_kmh() const { return speed_mps * 3.6; }
+
+  /// Time during which *any part* of the train overlaps a track section
+  /// of `section_m` metres: (section + length) / speed. This is the
+  /// full-load interval of the radio unit covering that section
+  /// (paper Table III: 16 s at 500 m ISD ... 55 s at 2650 m).
+  [[nodiscard]] double occupancy_seconds(double section_m) const;
+
+  /// Time from the head entering to the head leaving the section.
+  [[nodiscard]] double head_transit_seconds(double section_m) const;
+
+  /// The paper's train: 400 m at 200 km/h.
+  [[nodiscard]] static Train paper_train();
+};
+
+/// One passage of a train through the corridor, described by the time the
+/// head of the train passes position 0 and its kinematics.
+struct TrainPassage {
+  double t0_s = 0.0;  ///< head at position 0 [s since midnight]
+  Train train;
+
+  /// Time the head reaches `position_m`.
+  [[nodiscard]] double head_at(double position_m) const;
+  /// Time the tail clears `position_m`.
+  [[nodiscard]] double tail_clears(double position_m) const;
+  /// Interval [enter, exit] during which the train overlaps the section
+  /// [a_m, b_m]; requires b_m >= a_m.
+  struct Interval {
+    double begin_s;
+    double end_s;
+    [[nodiscard]] double duration() const { return end_s - begin_s; }
+  };
+  [[nodiscard]] Interval occupancy(double a_m, double b_m) const;
+};
+
+}  // namespace railcorr::traffic

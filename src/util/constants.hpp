@@ -1,0 +1,37 @@
+/// \file constants.hpp
+/// \brief Physical constants used across the RF and solar subsystems.
+#pragma once
+
+namespace railcorr::constants {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Reference noise temperature [K] (290 K per IEEE noise-figure definition).
+inline constexpr double kNoiseTemperature = 290.0;
+
+/// Thermal noise power spectral density at 290 K [dBm/Hz] (~ -173.98).
+inline constexpr double kThermalNoiseDbmPerHz = -173.97722915699808;
+
+/// Solar constant: extraterrestrial normal irradiance [W/m^2].
+inline constexpr double kSolarConstant = 1361.0;
+
+/// Mean Earth radius [m].
+inline constexpr double kEarthRadius = 6.371e6;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Degrees -> radians.
+inline constexpr double kDegToRad = kPi / 180.0;
+/// Radians -> degrees.
+inline constexpr double kRadToDeg = 180.0 / kPi;
+
+/// Seconds per hour / hours per day, to keep unit conversions greppable.
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kHoursPerDay = 24.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+}  // namespace railcorr::constants

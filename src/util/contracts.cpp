@@ -1,0 +1,14 @@
+#include "util/contracts.hpp"
+
+#include <sstream>
+
+namespace railcorr::detail {
+
+void raise_contract_violation(const char* kind, const char* expr,
+                              const char* file, int line) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace railcorr::detail

@@ -1,0 +1,43 @@
+/// \file contracts.hpp
+/// \brief Lightweight precondition / postcondition checking in the spirit of
+///        the C++ Core Guidelines' GSL `Expects` / `Ensures`.
+///
+/// Violations throw railcorr::ContractViolation rather than calling
+/// std::terminate so that library users (and tests) can observe the failure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace railcorr {
+
+/// Thrown when a RAILCORR_EXPECTS / RAILCORR_ENSURES condition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_contract_violation(const char* kind, const char* expr,
+                                           const char* file, int line);
+}  // namespace detail
+
+}  // namespace railcorr
+
+/// Precondition check: throws railcorr::ContractViolation when `cond` is false.
+#define RAILCORR_EXPECTS(cond)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::railcorr::detail::raise_contract_violation("precondition", #cond, \
+                                                   __FILE__, __LINE__);   \
+    }                                                                      \
+  } while (false)
+
+/// Postcondition check: throws railcorr::ContractViolation when `cond` is false.
+#define RAILCORR_ENSURES(cond)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::railcorr::detail::raise_contract_violation("postcondition", #cond, \
+                                                   __FILE__, __LINE__);    \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,46 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr {
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  RAILCORR_EXPECTS(!columns_.empty());
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  RAILCORR_EXPECTS(row.size() == columns_.size());
+  rows_.push_back(row);
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << columns_[i];
+    if (i + 1 < columns_.size()) os << ',';
+  }
+  os << '\n';
+  os.precision(10);
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str();
+  return static_cast<bool>(out);
+}
+
+}  // namespace railcorr

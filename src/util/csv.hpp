@@ -1,0 +1,34 @@
+/// \file csv.hpp
+/// \brief Minimal CSV emission for benchmark series (figure data), so
+///        plots can be regenerated from bench output with any tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace railcorr {
+
+/// Accumulates rows of doubles under named columns and renders RFC-4180
+/// style CSV (no quoting needed for numeric payloads).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  /// Append one row; must match the column count.
+  void add_row(const std::vector<double>& row);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+
+  /// Render header + all rows.
+  [[nodiscard]] std::string str() const;
+  /// Write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace railcorr

@@ -1,0 +1,45 @@
+#include "util/grid.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  RAILCORR_EXPECTS(n >= 2);
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding on the last sample
+  return out;
+}
+
+std::vector<double> arange_inclusive(double lo, double hi, double step) {
+  RAILCORR_EXPECTS(step > 0.0);
+  RAILCORR_EXPECTS(hi >= lo);
+  const auto n = static_cast<std::size_t>(std::floor((hi - lo) / step + 0.5)) + 1;
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = lo + step * static_cast<double>(i);
+    if (v > hi + 0.5 * step) break;
+    out.push_back(v);
+  }
+  return out;
+}
+
+double trapezoid(const std::vector<double>& x, const std::vector<double>& y) {
+  RAILCORR_EXPECTS(x.size() == y.size());
+  RAILCORR_EXPECTS(x.size() >= 2);
+  double sum = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    RAILCORR_EXPECTS(x[i] > x[i - 1]);
+    sum += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return sum;
+}
+
+}  // namespace railcorr

@@ -1,0 +1,87 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr {
+
+namespace {
+void check_strictly_increasing(const std::vector<double>& x) {
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    RAILCORR_EXPECTS(x[i] > x[i - 1]);
+  }
+}
+}  // namespace
+
+LinearInterpolator::LinearInterpolator(std::vector<double> x,
+                                       std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  RAILCORR_EXPECTS(x_.size() >= 2);
+  RAILCORR_EXPECTS(x_.size() == y_.size());
+  check_strictly_increasing(x_);
+}
+
+double LinearInterpolator::operator()(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const auto i = static_cast<std::size_t>(it - x_.begin());
+  const double t = (x - x_[i - 1]) / (x_[i] - x_[i - 1]);
+  return y_[i - 1] + t * (y_[i] - y_[i - 1]);
+}
+
+PeriodicInterpolator::PeriodicInterpolator(std::vector<double> x,
+                                           std::vector<double> y,
+                                           double period)
+    : x_(std::move(x)), y_(std::move(y)), period_(period) {
+  RAILCORR_EXPECTS(x_.size() >= 2);
+  RAILCORR_EXPECTS(x_.size() == y_.size());
+  check_strictly_increasing(x_);
+  RAILCORR_EXPECTS(period_ > x_.back() - x_.front());
+}
+
+double PeriodicInterpolator::operator()(double x) const {
+  // Map x into [x0, x0 + period).
+  const double x0 = x_.front();
+  double u = std::fmod(x - x0, period_);
+  if (u < 0.0) u += period_;
+  u += x0;
+  if (u <= x_.back()) {
+    // Inside the tabulated span: plain linear interpolation.
+    const auto it = std::upper_bound(x_.begin(), x_.end(), u);
+    const auto i = std::max<std::size_t>(1, static_cast<std::size_t>(it - x_.begin()));
+    const auto j = std::min(i, x_.size() - 1);
+    const double t = (u - x_[j - 1]) / (x_[j] - x_[j - 1]);
+    return y_[j - 1] + t * (y_[j] - y_[j - 1]);
+  }
+  // In the wrap gap between x_.back() and x_.front() + period.
+  const double span = (x_.front() + period_) - x_.back();
+  const double t = (u - x_.back()) / span;
+  return y_.back() + t * (y_.front() - y_.back());
+}
+
+double bisect_first_reach(double lo, double hi, double target, double tol,
+                          const std::vector<double>& grid_x,
+                          const std::vector<double>& grid_y) {
+  RAILCORR_EXPECTS(hi > lo);
+  RAILCORR_EXPECTS(tol > 0.0);
+  const LinearInterpolator f(grid_x, grid_y);
+  if (f(hi) < target) return hi;
+  if (f(lo) >= target) return lo;
+  double a = lo;
+  double b = hi;
+  while (b - a > tol) {
+    const double mid = 0.5 * (a + b);
+    if (f(mid) >= target) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+  }
+  return b;
+}
+
+}  // namespace railcorr

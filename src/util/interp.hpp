@@ -1,0 +1,54 @@
+/// \file interp.hpp
+/// \brief Piecewise-linear interpolation over tabulated data, used by the
+///        solar climatology tables and the throughput-vs-SNR inversions.
+#pragma once
+
+#include <vector>
+
+namespace railcorr {
+
+/// Piecewise-linear interpolant over strictly increasing abscissae.
+/// Evaluation outside the table clamps to the boundary values
+/// (flat extrapolation), which is what climatology tables want.
+class LinearInterpolator {
+ public:
+  /// \param x strictly increasing sample positions (size >= 2)
+  /// \param y sample values, same size as x
+  LinearInterpolator(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double operator()(double x) const;
+
+  [[nodiscard]] double x_min() const { return x_.front(); }
+  [[nodiscard]] double x_max() const { return x_.back(); }
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// Periodic piecewise-linear interpolant (period given explicitly);
+/// used to interpolate month-indexed climatology through the year wrap.
+class PeriodicInterpolator {
+ public:
+  /// \param x       sample positions within one period, strictly increasing
+  /// \param y       sample values
+  /// \param period  period length; must exceed x.back() - x.front()
+  PeriodicInterpolator(std::vector<double> x, std::vector<double> y, double period);
+
+  [[nodiscard]] double operator()(double x) const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  double period_;
+};
+
+/// Find the x in [lo, hi] where the monotone non-decreasing function f
+/// first reaches `target`, by bisection to tolerance `tol`.
+/// Returns hi if f(hi) < target.
+double bisect_first_reach(double lo, double hi, double target, double tol,
+                          const std::vector<double>& grid_x,
+                          const std::vector<double>& grid_y);
+
+}  // namespace railcorr

@@ -1,0 +1,109 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RAILCORR_EXPECTS(hi > lo);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  RAILCORR_EXPECTS(n > 0);
+  // Debiased modulo via rejection (Lemire-style threshold).
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * constants::kPi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  RAILCORR_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) {
+  RAILCORR_EXPECTS(lambda > 0.0);
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  RAILCORR_EXPECTS(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 64.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+Rng Rng::split() {
+  Rng child(next_u64() ^ 0x9E3779B97F4A7C15ULL);
+  return child;
+}
+
+}  // namespace railcorr

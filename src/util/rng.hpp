@@ -1,0 +1,65 @@
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generation (xoshiro256**)
+///        with SplitMix64 seeding, plus the variate transforms the
+///        Monte-Carlo fading and randomized-timetable code needs.
+///
+/// We deliberately avoid std::mt19937 + std::*_distribution because the
+/// distributions are not reproducible across standard-library
+/// implementations; benchmark and test results must be bit-stable.
+#pragma once
+
+#include <cstdint>
+
+namespace railcorr {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, tiny state.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5EEDC0DEULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi). Requires hi > lo.
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal variate (Box-Muller with caching).
+  double normal();
+  /// Normal with given mean and standard deviation (stddev >= 0).
+  double normal(double mean, double stddev);
+  /// Exponential variate with given rate lambda > 0.
+  double exponential(double lambda);
+  /// Poisson variate with mean lambda >= 0 (Knuth for small lambda,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double lambda);
+
+  /// Split off an independent generator (for per-node streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace railcorr

@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  RAILCORR_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  RAILCORR_EXPECTS(n_ > 1);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  RAILCORR_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  RAILCORR_EXPECTS(n_ > 0);
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void TimeWeightedAverage::set(double t, double value) {
+  RAILCORR_EXPECTS(!finished_);
+  if (!started_) {
+    started_ = true;
+    t_start_ = t_last_ = t;
+    value_last_ = value;
+    return;
+  }
+  RAILCORR_EXPECTS(t >= t_last_);
+  integral_ += value_last_ * (t - t_last_);
+  t_last_ = t;
+  value_last_ = value;
+}
+
+void TimeWeightedAverage::finish(double t_end) {
+  RAILCORR_EXPECTS(started_);
+  RAILCORR_EXPECTS(!finished_);
+  RAILCORR_EXPECTS(t_end >= t_last_);
+  integral_ += value_last_ * (t_end - t_last_);
+  t_last_ = t_end;
+  finished_ = true;
+}
+
+double TimeWeightedAverage::average() const {
+  RAILCORR_EXPECTS(finished_);
+  const double span = t_last_ - t_start_;
+  RAILCORR_EXPECTS(span > 0.0);
+  return integral_ / span;
+}
+
+double TimeWeightedAverage::observed_span() const {
+  RAILCORR_EXPECTS(started_);
+  return t_last_ - t_start_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  RAILCORR_EXPECTS(hi > lo);
+  RAILCORR_EXPECTS(bins >= 1);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto bin = static_cast<std::size_t>((x - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);  // guards the x == hi_-eps edge
+    ++counts_[bin];
+  }
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  RAILCORR_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  RAILCORR_EXPECTS(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  RAILCORR_EXPECTS(total_ > 0);
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  RAILCORR_EXPECTS(q >= 0.0 && q <= 1.0);
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  RAILCORR_EXPECTS(in_range > 0);
+  const auto target = static_cast<std::size_t>(q * static_cast<double>(in_range));
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > target) return bin_center(i);
+  }
+  return bin_center(counts_.size() - 1);
+}
+
+}  // namespace railcorr

@@ -1,0 +1,42 @@
+/// \file table.hpp
+/// \brief ASCII table rendering for the benchmark harnesses, so every
+///        bench binary can print the paper's tables in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace railcorr {
+
+/// Column-aligned ASCII table with an optional title, e.g.
+///
+///   == Table II: power model parameters ==
+///   Node type          Pmax [W]  P0 [W]  dP   Psleep [W]
+///   -----------------  --------  ------  ---  ----------
+///   High-Power RRH     40        168     2.8  112
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Set the header row. Resets nothing else.
+  void set_header(std::vector<std::string> header);
+  /// Append a data row; it may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string num(double value, int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the full table.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace railcorr

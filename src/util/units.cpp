@@ -1,0 +1,44 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/contracts.hpp"
+
+namespace railcorr {
+
+double Db::linear() const { return std::pow(10.0, value_ / 10.0); }
+
+MilliWatts Dbm::to_milliwatts() const {
+  return MilliWatts(std::pow(10.0, value_ / 10.0));
+}
+
+Watts Dbm::to_watts() const { return Watts(to_milliwatts().value() * 1e-3); }
+
+Dbm MilliWatts::to_dbm() const {
+  RAILCORR_EXPECTS(value_ > 0.0);
+  return Dbm(10.0 * std::log10(value_));
+}
+
+Watts MilliWatts::to_watts() const { return Watts(value_ * 1e-3); }
+
+Dbm Watts::to_dbm() const { return to_milliwatts().to_dbm(); }
+
+double to_db(double linear_ratio) {
+  RAILCORR_EXPECTS(linear_ratio > 0.0);
+  return 10.0 * std::log10(linear_ratio);
+}
+
+double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+double milliwatts_to_dbm(double mw) { return to_db(mw); }
+
+double dbm_to_milliwatts(double dbm) { return from_db(dbm); }
+
+std::ostream& operator<<(std::ostream& os, Db v) { return os << v.value() << " dB"; }
+std::ostream& operator<<(std::ostream& os, Dbm v) { return os << v.value() << " dBm"; }
+std::ostream& operator<<(std::ostream& os, MilliWatts v) { return os << v.value() << " mW"; }
+std::ostream& operator<<(std::ostream& os, Watts v) { return os << v.value() << " W"; }
+std::ostream& operator<<(std::ostream& os, WattHours v) { return os << v.value() << " Wh"; }
+
+}  // namespace railcorr

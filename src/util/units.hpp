@@ -1,0 +1,159 @@
+/// \file units.hpp
+/// \brief Power / level quantities and decibel conversions.
+///
+/// RF work constantly mixes logarithmic (dB, dBm) and linear (mW, W)
+/// quantities; confusing the two is the classic bug in link-budget code.
+/// This header provides small strong types for the four power-like
+/// quantities used throughout railcorr plus free conversion functions.
+///
+/// Conventions:
+///  * `Db`    — a dimensionless ratio expressed in decibels (gains, losses).
+///  * `Dbm`   — an absolute power level referenced to 1 mW.
+///  * `MilliWatts` / `Watts` — absolute linear powers.
+///  * Losses are stored as *positive* dB values and subtracted explicitly.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+
+namespace railcorr {
+
+class MilliWatts;
+class Watts;
+
+/// Dimensionless ratio in decibels (e.g. gains, path losses, SNR).
+class Db {
+ public:
+  constexpr Db() = default;
+  constexpr explicit Db(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  /// Linear power ratio 10^(dB/10).
+  [[nodiscard]] double linear() const;
+
+  constexpr Db operator+(Db other) const { return Db(value_ + other.value_); }
+  constexpr Db operator-(Db other) const { return Db(value_ - other.value_); }
+  constexpr Db operator-() const { return Db(-value_); }
+  constexpr Db& operator+=(Db other) { value_ += other.value_; return *this; }
+  constexpr Db& operator-=(Db other) { value_ -= other.value_; return *this; }
+  constexpr Db operator*(double s) const { return Db(value_ * s); }
+  constexpr auto operator<=>(const Db&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Absolute power level in dB relative to one milliwatt.
+class Dbm {
+ public:
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] MilliWatts to_milliwatts() const;
+  [[nodiscard]] Watts to_watts() const;
+
+  /// Applying a gain (or negative gain = loss) to a level yields a level.
+  constexpr Dbm operator+(Db gain) const { return Dbm(value_ + gain.value()); }
+  constexpr Dbm operator-(Db loss) const { return Dbm(value_ - loss.value()); }
+  /// The difference of two levels is a ratio.
+  constexpr Db operator-(Dbm other) const { return Db(value_ - other.value_); }
+  constexpr auto operator<=>(const Dbm&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Absolute linear power in milliwatts.
+class MilliWatts {
+ public:
+  constexpr MilliWatts() = default;
+  constexpr explicit MilliWatts(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] Dbm to_dbm() const;
+  [[nodiscard]] Watts to_watts() const;
+
+  constexpr MilliWatts operator+(MilliWatts o) const { return MilliWatts(value_ + o.value_); }
+  constexpr MilliWatts operator-(MilliWatts o) const { return MilliWatts(value_ - o.value_); }
+  constexpr MilliWatts& operator+=(MilliWatts o) { value_ += o.value_; return *this; }
+  constexpr MilliWatts operator*(double s) const { return MilliWatts(value_ * s); }
+  constexpr MilliWatts operator/(double s) const { return MilliWatts(value_ / s); }
+  /// Power ratio of two linear powers (dimensionless).
+  constexpr double operator/(MilliWatts o) const { return value_ / o.value_; }
+  constexpr auto operator<=>(const MilliWatts&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Absolute linear power in watts.
+class Watts {
+ public:
+  constexpr Watts() = default;
+  constexpr explicit Watts(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] Dbm to_dbm() const;
+  [[nodiscard]] MilliWatts to_milliwatts() const { return MilliWatts(value_ * 1e3); }
+
+  constexpr Watts operator+(Watts o) const { return Watts(value_ + o.value_); }
+  constexpr Watts operator-(Watts o) const { return Watts(value_ - o.value_); }
+  constexpr Watts& operator+=(Watts o) { value_ += o.value_; return *this; }
+  constexpr Watts operator*(double s) const { return Watts(value_ * s); }
+  constexpr Watts operator/(double s) const { return Watts(value_ / s); }
+  constexpr double operator/(Watts o) const { return value_ / o.value_; }
+  constexpr auto operator<=>(const Watts&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Watts operator*(double s, Watts w) { return w * s; }
+constexpr MilliWatts operator*(double s, MilliWatts w) { return w * s; }
+
+/// Energy in watt-hours; the natural unit of the paper's evaluation.
+class WattHours {
+ public:
+  constexpr WattHours() = default;
+  constexpr explicit WattHours(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr WattHours operator+(WattHours o) const { return WattHours(value_ + o.value_); }
+  constexpr WattHours operator-(WattHours o) const { return WattHours(value_ - o.value_); }
+  constexpr WattHours& operator+=(WattHours o) { value_ += o.value_; return *this; }
+  constexpr WattHours& operator-=(WattHours o) { value_ -= o.value_; return *this; }
+  constexpr WattHours operator*(double s) const { return WattHours(value_ * s); }
+  constexpr WattHours operator/(double s) const { return WattHours(value_ / s); }
+  constexpr double operator/(WattHours o) const { return value_ / o.value_; }
+  constexpr auto operator<=>(const WattHours&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Energy accumulated by a constant power over a duration in hours.
+constexpr WattHours energy(Watts power, double hours) {
+  return WattHours(power.value() * hours);
+}
+
+/// \name Free conversion helpers (for plain-double call sites)
+///@{
+/// Linear ratio -> decibels. Requires ratio > 0.
+double to_db(double linear_ratio);
+/// Decibels -> linear ratio.
+double from_db(double db);
+/// mW -> dBm. Requires power > 0.
+double milliwatts_to_dbm(double mw);
+/// dBm -> mW.
+double dbm_to_milliwatts(double dbm);
+///@}
+
+std::ostream& operator<<(std::ostream& os, Db v);
+std::ostream& operator<<(std::ostream& os, Dbm v);
+std::ostream& operator<<(std::ostream& os, MilliWatts v);
+std::ostream& operator<<(std::ostream& os, Watts v);
+std::ostream& operator<<(std::ostream& os, WattHours v);
+
+}  // namespace railcorr

@@ -1,0 +1,114 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::core {
+namespace {
+
+TEST(Evaluator, Fig3ProfileShape) {
+  const PaperEvaluator evaluator;
+  const auto rows = evaluator.fig3_profile();
+  ASSERT_EQ(rows.size(), 241u);  // 0..2400 every 10 m
+  EXPECT_DOUBLE_EQ(rows.front().position_m, 0.0);
+  EXPECT_DOUBLE_EQ(rows.back().position_m, 2400.0);
+  // Left/right HP symmetry.
+  const auto& mid = rows[120];
+  EXPECT_NEAR(mid.hp_left.value(), mid.hp_right.value(), 1e-9);
+  // Total signal is at least the strongest single contribution.
+  for (const auto& r : rows) {
+    EXPECT_GE(r.total_signal.value() + 1e-9, r.hp_left.value());
+    EXPECT_GE(r.total_signal.value() + 1e-9, r.strongest_lp.value());
+    EXPECT_NEAR(r.snr.value(), r.total_signal.value() - r.total_noise.value(),
+                1e-9);
+  }
+  // Paper: signal stays above -100 dBm along the corridor.
+  for (const auto& r : rows) {
+    EXPECT_GT(r.total_signal.value(), -100.0) << "at " << r.position_m;
+  }
+}
+
+TEST(Evaluator, Fig3NoiseFloorAndSnrCriterion) {
+  const PaperEvaluator evaluator;
+  const auto rows = evaluator.fig3_profile();
+  for (const auto& r : rows) {
+    // The terminal floor (-127 dBm) lower-bounds the noise everywhere.
+    EXPECT_GE(r.total_noise.value(), -127.0 - 1e-6);
+    // Directly at a repeater its amplified fronthaul noise dominates the
+    // floor — but its signal rises identically, so SNR never drops below
+    // the published operating criterion.
+    EXPECT_GE(r.snr.value(), 29.0) << "at " << r.position_m;
+  }
+  // Away from the nodes (edge gap) the floor stays essentially thermal.
+  EXPECT_LT(rows[10].total_noise.value(), -126.0);  // 100 m from the mast
+}
+
+TEST(Evaluator, MaxIsdSweepReturnsTenResults) {
+  const PaperEvaluator evaluator;
+  const auto sweep = evaluator.max_isd_sweep();
+  ASSERT_EQ(sweep.size(), 10u);
+  for (const auto& r : sweep) {
+    EXPECT_TRUE(r.max_isd_m.has_value()) << "N=" << r.repeater_count;
+  }
+}
+
+TEST(Evaluator, Fig4FromPaperIsds) {
+  const PaperEvaluator evaluator;
+  const auto bars = evaluator.fig4_energy(corridor::IsdSource::kPaperPublished);
+  ASSERT_EQ(bars.size(), 11u);  // conventional + N = 1..10
+  // Baseline row.
+  EXPECT_EQ(bars[0].repeater_count, 0);
+  EXPECT_NEAR(bars[0].continuous_wh_km_h, 467.2, 1.0);
+  // Paper's headline savings.
+  EXPECT_NEAR(bars[1].sleep_savings, 0.57, 0.01);
+  EXPECT_NEAR(bars[10].sleep_savings, 0.74, 0.01);
+  EXPECT_NEAR(bars[1].solar_savings, 0.59, 0.012);
+  EXPECT_NEAR(bars[10].solar_savings, 0.79, 0.012);
+  // Ordering within a group: continuous >= sleep >= solar.
+  for (std::size_t i = 1; i < bars.size(); ++i) {
+    EXPECT_GE(bars[i].continuous_wh_km_h, bars[i].sleep_wh_km_h);
+    EXPECT_GE(bars[i].sleep_wh_km_h, bars[i].solar_wh_km_h);
+  }
+}
+
+TEST(Evaluator, Fig4ModelDerivedCloseToPaperAnchored) {
+  const PaperEvaluator evaluator;
+  const auto model = evaluator.fig4_energy(corridor::IsdSource::kModelSearch);
+  const auto paper = evaluator.fig4_energy(corridor::IsdSource::kPaperPublished);
+  ASSERT_EQ(model.size(), paper.size());
+  for (std::size_t i = 1; i < model.size(); ++i) {
+    EXPECT_NEAR(model[i].sleep_savings, paper[i].sleep_savings, 0.03)
+        << "N=" << model[i].repeater_count;
+  }
+}
+
+TEST(Evaluator, TrafficDerivedMatchesPaper) {
+  const PaperEvaluator evaluator;
+  const auto d = evaluator.traffic_derived();
+  EXPECT_NEAR(d.full_load_s_at_conventional, 16.2, 0.1);
+  EXPECT_NEAR(d.full_load_s_at_max_isd, 54.9, 0.1);
+  EXPECT_NEAR(d.duty_at_conventional, 0.0285, 0.0002);
+  EXPECT_NEAR(d.duty_at_max_isd, 0.0966, 0.0002);
+  EXPECT_NEAR(d.lp_sleep_mode_avg_w, 5.17, 0.05);
+  EXPECT_NEAR(d.lp_sleep_mode_wh_day, 124.1, 1.2);
+}
+
+TEST(Evaluator, Table4SizingReturnsFourRegions) {
+  const PaperEvaluator evaluator;
+  const auto results = evaluator.table4_sizing();
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.report.continuous_operation()) << r.location.name;
+  }
+}
+
+TEST(Evaluator, Fig3CustomParametersValidated) {
+  const PaperEvaluator evaluator;
+  EXPECT_THROW(evaluator.fig3_profile(-100.0, 8), ContractViolation);
+  EXPECT_THROW(evaluator.fig3_profile(2400.0, -1), ContractViolation);
+  EXPECT_THROW(evaluator.fig3_profile(2400.0, 8, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::core

@@ -1,0 +1,79 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace railcorr::core {
+namespace {
+
+TEST(Report, Fig3CsvColumnsAndRows) {
+  const PaperEvaluator evaluator;
+  const auto rows = evaluator.fig3_profile(2400.0, 8, 100.0);
+  const auto csv = fig3_csv(rows);
+  EXPECT_EQ(csv.column_count(), 7u);
+  EXPECT_EQ(csv.row_count(), rows.size());
+  EXPECT_NE(csv.str().find("position_m,"), std::string::npos);
+}
+
+TEST(Report, MaxIsdTableMentionsPaperValues) {
+  const PaperEvaluator evaluator;
+  const auto table = max_isd_table(evaluator.max_isd_sweep());
+  const std::string s = table.str();
+  EXPECT_NE(s.find("1250"), std::string::npos);
+  EXPECT_NE(s.find("2650"), std::string::npos);
+  EXPECT_NE(s.find("delta"), std::string::npos);
+}
+
+TEST(Report, Fig4TableHasBaselineAndSavings) {
+  const PaperEvaluator evaluator;
+  const auto table =
+      fig4_table(evaluator.fig4_energy(corridor::IsdSource::kPaperPublished));
+  const std::string s = table.str();
+  EXPECT_NE(s.find("conv"), std::string::npos);
+  EXPECT_NE(s.find('%'), std::string::npos);
+  EXPECT_EQ(table.row_count(), 11u);
+}
+
+TEST(Report, Table1PrintsPaperTotals) {
+  const auto table =
+      table1_components(power::RepeaterComponentModel::paper_table());
+  const std::string s = table.str();
+  EXPECT_NE(s.find("28.38"), std::string::npos);
+  EXPECT_NE(s.find("4.72"), std::string::npos);
+  EXPECT_NE(s.find("GNSS DOCXO"), std::string::npos);
+}
+
+TEST(Report, Table2PrintsSitePowers) {
+  const std::string s = table2_power_model().str();
+  EXPECT_NE(s.find("560"), std::string::npos);
+  EXPECT_NE(s.find("224"), std::string::npos);
+  EXPECT_NE(s.find("24.26"), std::string::npos);
+}
+
+TEST(Report, Table3ComparesModelToPaper) {
+  const PaperEvaluator evaluator;
+  const std::string s = table3_traffic(evaluator.traffic_derived()).str();
+  EXPECT_NE(s.find("2.85"), std::string::npos);
+  EXPECT_NE(s.find("5.17"), std::string::npos);
+}
+
+TEST(Report, Table4ListsFourRegions) {
+  const PaperEvaluator evaluator;
+  const std::string s = table4_solar(evaluator.table4_sizing()).str();
+  for (const char* name : {"Madrid", "Lyon", "Vienna", "Berlin"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Report, FullReportContainsAllSections) {
+  const PaperEvaluator evaluator;
+  const std::string s = full_report(evaluator);
+  EXPECT_NE(s.find("Table I"), std::string::npos);
+  EXPECT_NE(s.find("Table II"), std::string::npos);
+  EXPECT_NE(s.find("Table III"), std::string::npos);
+  EXPECT_NE(s.find("Table IV"), std::string::npos);
+  EXPECT_NE(s.find("Max ISD"), std::string::npos);
+  EXPECT_NE(s.find("Fig. 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace railcorr::core

@@ -1,0 +1,88 @@
+#include "corridor/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+namespace {
+
+TEST(CapacityAnalyzer, ConventionalBaselineSustainsPeak) {
+  const auto analyzer = CapacityAnalyzer::paper_analyzer();
+  const auto d = SegmentDeployment::conventional_baseline();
+  EXPECT_TRUE(analyzer.sustains_peak_throughput(d));
+  const auto summary = analyzer.summarize(d);
+  EXPECT_TRUE(summary.peak_everywhere);
+  // Worst point (mid-segment) still well above 29 dB at 500 m ISD.
+  EXPECT_GT(summary.min_snr.value(), 33.0);
+}
+
+TEST(CapacityAnalyzer, Fig3DeploymentSummary) {
+  const auto analyzer = CapacityAnalyzer::paper_analyzer();
+  const auto d = SegmentDeployment::with_repeaters(2400.0, 8);
+  const auto summary = analyzer.summarize(d);
+  // The published operating point: >= 29 dB everywhere, peak throughput.
+  EXPECT_GE(summary.min_snr.value(), 29.0);
+  EXPECT_NEAR(summary.min_throughput_bps, 584e6, 1e3);
+  EXPECT_NEAR(summary.mean_throughput_bps, 584e6, 1e3);
+  EXPECT_GT(summary.mean_snr_db.value(), summary.min_snr.value());
+}
+
+TEST(CapacityAnalyzer, OverstretchedIsdLosesPeak) {
+  const auto analyzer = CapacityAnalyzer::paper_analyzer();
+  // 8 nodes at 3200 m is beyond the paper's 2400 m maximum.
+  const auto d = SegmentDeployment::with_repeaters(3200.0, 8);
+  EXPECT_FALSE(analyzer.sustains_peak_throughput(d));
+  const auto summary = analyzer.summarize(d);
+  EXPECT_LT(summary.min_snr.value(), 29.0);
+  EXPECT_LT(summary.min_throughput_bps, 584e6);
+}
+
+TEST(CapacityAnalyzer, ProfileSamplesWholeSegment) {
+  const auto analyzer = CapacityAnalyzer::paper_analyzer();
+  const auto d = SegmentDeployment::with_repeaters(1250.0, 1);
+  const auto profile = analyzer.profile(d);
+  ASSERT_FALSE(profile.empty());
+  EXPECT_DOUBLE_EQ(profile.front().position_m, 0.0);
+  EXPECT_NEAR(profile.back().position_m, 1250.0, 10.0);
+  for (const auto& s : profile) {
+    EXPECT_GE(s.throughput_bps, 0.0);
+    EXPECT_LE(s.spectral_efficiency, 5.84 + 1e-12);
+  }
+}
+
+TEST(CapacityAnalyzer, SummaryConsistentWithProfile) {
+  const auto analyzer = CapacityAnalyzer::paper_analyzer();
+  const auto d = SegmentDeployment::with_repeaters(1800.0, 4);
+  const auto profile = analyzer.profile(d);
+  const auto summary = analyzer.summarize(d);
+  double min_snr = 1e9;
+  double sum_thr = 0.0;
+  for (const auto& s : profile) {
+    min_snr = std::min(min_snr, s.snr.value());
+    sum_thr += s.throughput_bps;
+  }
+  EXPECT_NEAR(summary.min_snr.value(), min_snr, 1e-9);
+  EXPECT_NEAR(summary.mean_throughput_bps,
+              sum_thr / static_cast<double>(profile.size()), 1.0);
+}
+
+TEST(CapacityAnalyzer, LiteralNoiseModelIsMoreOptimistic) {
+  rf::LinkModelConfig literal;
+  literal.noise_model = rf::RepeaterNoiseModel::kLiteralEq2;
+  const CapacityAnalyzer literal_analyzer(literal,
+                                          rf::ThroughputModel::paper_model());
+  const auto aware_analyzer = CapacityAnalyzer::paper_analyzer();
+  const auto d = SegmentDeployment::with_repeaters(2650.0, 10);
+  EXPECT_GE(literal_analyzer.summarize(d).min_snr.value(),
+            aware_analyzer.summarize(d).min_snr.value());
+}
+
+TEST(CapacityAnalyzer, SampleStepValidation) {
+  EXPECT_THROW(CapacityAnalyzer(rf::LinkModelConfig{},
+                                rf::ThroughputModel::paper_model(), 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::corridor

@@ -1,0 +1,123 @@
+#include "corridor/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+namespace {
+
+SegmentGeometry paper_n10() {
+  SegmentGeometry g;
+  g.isd_m = 2650.0;
+  g.repeater_count = 10;
+  return g;
+}
+
+CostAnalyzer paper_analyzer() {
+  return CostAnalyzer(CostModel{}, CorridorEnergyModel{});
+}
+
+TEST(Cost, BaselineCapexDominatedBySites) {
+  const auto analyzer = paper_analyzer();
+  const auto base = analyzer.conventional_baseline();
+  // Two sites per km at 120 kEUR.
+  EXPECT_NEAR(base.capex_eur_km, 240'000.0, 1.0);
+  // ~467 W/km baseline at 250 gCO2/kWh -> ~1023 kg CO2 per km and year.
+  EXPECT_NEAR(base.co2_kg_km_year, 467.2 * 24 * 365 / 1000.0 * 0.25, 1.0);
+}
+
+TEST(Cost, RepeaterCorridorCutsCapexAndOpex) {
+  const auto analyzer = paper_analyzer();
+  const auto base = analyzer.conventional_baseline();
+  const auto ours =
+      analyzer.evaluate(paper_n10(), RepeaterOperationMode::kSolarPowered);
+  // Fewer masts more than pay for the repeaters.
+  EXPECT_LT(ours.capex_eur_km, base.capex_eur_km);
+  EXPECT_LT(ours.energy_opex_eur_km_year, base.energy_opex_eur_km_year);
+  EXPECT_LT(ours.co2_kg_km_year, base.co2_kg_km_year);
+}
+
+TEST(Cost, SolarModeTradesKitForGridConnection) {
+  const auto analyzer = paper_analyzer();
+  const auto solar =
+      analyzer.evaluate(paper_n10(), RepeaterOperationMode::kSolarPowered);
+  const auto mains =
+      analyzer.evaluate(paper_n10(), RepeaterOperationMode::kSleepMode);
+  // Default numbers: the 2.5 kEUR solar kit is cheaper than the 4 kEUR
+  // grid connection, and it removes the LP mains energy.
+  EXPECT_LT(solar.capex_eur_km, mains.capex_eur_km);
+  EXPECT_LT(solar.energy_opex_eur_km_year, mains.energy_opex_eur_km_year);
+}
+
+TEST(Cost, EnergyOpexMatchesEnergyModel) {
+  const auto analyzer = paper_analyzer();
+  const CorridorEnergyModel energy;
+  const auto breakdown =
+      energy.evaluate(paper_n10(), RepeaterOperationMode::kSleepMode);
+  const auto report =
+      analyzer.evaluate(paper_n10(), RepeaterOperationMode::kSleepMode);
+  const double expected_kwh_year =
+      breakdown.total_mains_per_km().value() * 24.0 * 365.0 / 1000.0;
+  EXPECT_NEAR(report.energy_opex_eur_km_year, expected_kwh_year * 0.25, 1e-6);
+}
+
+TEST(Cost, BreakevenImmediateWhenCheaperUpFront) {
+  const auto analyzer = paper_analyzer();
+  // With defaults, a 10-repeater solar corridor is cheaper from day one.
+  EXPECT_DOUBLE_EQ(analyzer.breakeven_years(
+                       paper_n10(), RepeaterOperationMode::kSolarPowered),
+                   0.0);
+}
+
+TEST(Cost, BreakevenFiniteWhenCapexHigher) {
+  CostModel expensive;
+  expensive.lp_node_capex_eur = 60'000.0;  // exotic hardware
+  expensive.lp_donor_capex_eur = 60'000.0;
+  const CostAnalyzer analyzer(expensive, CorridorEnergyModel{});
+  const double years = analyzer.breakeven_years(
+      paper_n10(), RepeaterOperationMode::kSolarPowered);
+  EXPECT_GT(years, 0.0);
+  EXPECT_TRUE(std::isfinite(years));
+  // Total costs actually cross at the breakeven horizon.
+  const auto ours =
+      analyzer.evaluate(paper_n10(), RepeaterOperationMode::kSolarPowered);
+  const auto base = analyzer.conventional_baseline();
+  EXPECT_NEAR(ours.total_eur_km(years), base.total_eur_km(years), 1.0);
+}
+
+TEST(Cost, BreakevenInfiniteWithoutOpexSaving) {
+  CostModel free_power;
+  free_power.energy_price_eur_kwh = 0.0;
+  free_power.maintenance_eur_node_year = 0.0;
+  free_power.lp_node_capex_eur = 500'000.0;
+  const CostAnalyzer analyzer(free_power, CorridorEnergyModel{});
+  EXPECT_TRUE(std::isinf(analyzer.breakeven_years(
+      paper_n10(), RepeaterOperationMode::kSleepMode)));
+}
+
+TEST(Cost, TotalCostAccumulatesOpex) {
+  const auto analyzer = paper_analyzer();
+  const auto r =
+      analyzer.evaluate(paper_n10(), RepeaterOperationMode::kSleepMode);
+  EXPECT_NEAR(r.total_eur_km(10.0),
+              r.capex_eur_km + 10.0 * r.opex_eur_km_year(), 1e-9);
+}
+
+TEST(Cost, Contracts) {
+  CostModel bad;
+  bad.energy_price_eur_kwh = -1.0;
+  EXPECT_THROW(CostAnalyzer(bad, CorridorEnergyModel{}), ContractViolation);
+  const auto analyzer = paper_analyzer();
+  SegmentGeometry invalid;
+  invalid.isd_m = 100.0;
+  invalid.repeater_count = 5;
+  EXPECT_THROW(
+      analyzer.evaluate(invalid, RepeaterOperationMode::kSleepMode),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::corridor

@@ -1,0 +1,65 @@
+#include "corridor/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+namespace {
+
+TEST(RadioParameters, PaperValues) {
+  const auto r = RadioParameters::paper_parameters();
+  EXPECT_DOUBLE_EQ(r.hp_eirp.value(), 64.0);
+  EXPECT_DOUBLE_EQ(r.lp_eirp.value(), 40.0);
+  EXPECT_DOUBLE_EQ(r.hp_calibration.value(), 33.0);
+  EXPECT_DOUBLE_EQ(r.lp_calibration.value(), 20.0);
+}
+
+TEST(SegmentDeployment, ConventionalBaseline) {
+  const auto d = SegmentDeployment::conventional_baseline();
+  EXPECT_DOUBLE_EQ(d.geometry.isd_m, 500.0);
+  EXPECT_EQ(d.geometry.repeater_count, 0);
+}
+
+TEST(SegmentDeployment, TransmitterListLayout) {
+  const auto d = SegmentDeployment::with_repeaters(2400.0, 8);
+  const auto carrier = rf::NrCarrier::paper_carrier();
+  const auto txs = d.transmitters(carrier);
+  ASSERT_EQ(txs.size(), 10u);
+  // First two entries: the bounding HP masts.
+  EXPECT_EQ(txs[0].kind, rf::NodeKind::kHighPowerRrh);
+  EXPECT_DOUBLE_EQ(txs[0].position_m, 0.0);
+  EXPECT_EQ(txs[1].kind, rf::NodeKind::kHighPowerRrh);
+  EXPECT_DOUBLE_EQ(txs[1].position_m, 2400.0);
+  EXPECT_NEAR(txs[0].rstp.value(), 28.81, 0.01);
+  EXPECT_DOUBLE_EQ(txs[0].calibration.value(), 33.0);
+  // Then the service repeaters in ascending position.
+  for (std::size_t i = 2; i < txs.size(); ++i) {
+    EXPECT_EQ(txs[i].kind, rf::NodeKind::kLowPowerRepeater);
+    EXPECT_DOUBLE_EQ(txs[i].position_m, 500.0 + 200.0 * (i - 2));
+    EXPECT_NEAR(txs[i].rstp.value(), 4.81, 0.01);
+    EXPECT_DOUBLE_EQ(txs[i].calibration.value(), 20.0);
+  }
+}
+
+TEST(SegmentDeployment, DonorDistancesAnnotated) {
+  const auto d = SegmentDeployment::with_repeaters(2400.0, 8);
+  const auto txs = d.transmitters(rf::NrCarrier::paper_carrier());
+  EXPECT_DOUBLE_EQ(txs[2].donor_distance_m, 500.0);   // node at 500
+  EXPECT_DOUBLE_EQ(txs[5].donor_distance_m, 1100.0);  // node at 1100
+  EXPECT_DOUBLE_EQ(txs[9].donor_distance_m, 500.0);   // node at 1900
+}
+
+TEST(SegmentDeployment, InvalidGeometryRejected) {
+  EXPECT_THROW(SegmentDeployment::with_repeaters(300.0, 5), ContractViolation);
+}
+
+TEST(SegmentDeployment, CustomRadioParametersPropagate) {
+  SegmentDeployment d = SegmentDeployment::with_repeaters(1250.0, 1);
+  d.radio.lp_eirp = Dbm(46.0);
+  const auto txs = d.transmitters(rf::NrCarrier::paper_carrier());
+  EXPECT_NEAR(txs[2].rstp.value(), 46.0 - 35.19, 0.01);
+}
+
+}  // namespace
+}  // namespace railcorr::corridor

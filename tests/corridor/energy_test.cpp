@@ -1,0 +1,182 @@
+#include "corridor/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corridor/isd_search.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+namespace {
+
+SegmentGeometry geometry(double isd, int n) {
+  SegmentGeometry g;
+  g.isd_m = isd;
+  g.repeater_count = n;
+  return g;
+}
+
+TEST(Energy, DonorCountRule) {
+  // Paper Sec. V-A: one donor for one service node, two donors otherwise.
+  EXPECT_EQ(donor_count_for(0), 0);
+  EXPECT_EQ(donor_count_for(1), 1);
+  EXPECT_EQ(donor_count_for(2), 2);
+  EXPECT_EQ(donor_count_for(10), 2);
+  EXPECT_THROW(donor_count_for(-1), ContractViolation);
+}
+
+TEST(Energy, ConventionalBaselinePerKm) {
+  const CorridorEnergyModel model;
+  const auto baseline = model.conventional_baseline();
+  // 2 masts/km x (0.0285 * 560 + 0.9715 * 224) = 467.2 W/km.
+  EXPECT_NEAR(baseline.total_mains_per_km().value(), 467.2, 1.0);
+  EXPECT_NEAR(baseline.hp_full_load_fraction, 0.0285, 0.0002);
+  EXPECT_DOUBLE_EQ(baseline.lp_service_mains_per_km.value(), 0.0);
+}
+
+TEST(Energy, SleepModePaperSavings) {
+  const CorridorEnergyModel model;
+  const auto baseline = model.conventional_baseline();
+  // Paper: N = 1 (ISD 1250) saves 57 % with sleep-mode repeaters.
+  const auto n1 = model.evaluate(geometry(1250.0, 1),
+                                 RepeaterOperationMode::kSleepMode);
+  EXPECT_NEAR(n1.savings_vs(baseline), 0.57, 0.01);
+  // Paper: N = 10 (ISD 2650) saves 74 %.
+  const auto n10 = model.evaluate(geometry(2650.0, 10),
+                                  RepeaterOperationMode::kSleepMode);
+  EXPECT_NEAR(n10.savings_vs(baseline), 0.74, 0.01);
+}
+
+TEST(Energy, SolarModePaperSavings) {
+  const CorridorEnergyModel model;
+  const auto baseline = model.conventional_baseline();
+  // Paper: 59 % at N = 1, 79 % at N = 10 with solar-powered repeaters.
+  const auto n1 = model.evaluate(geometry(1250.0, 1),
+                                 RepeaterOperationMode::kSolarPowered);
+  EXPECT_NEAR(n1.savings_vs(baseline), 0.59, 0.012);
+  const auto n10 = model.evaluate(geometry(2650.0, 10),
+                                  RepeaterOperationMode::kSolarPowered);
+  EXPECT_NEAR(n10.savings_vs(baseline), 0.79, 0.012);
+}
+
+TEST(Energy, ContinuousModeAroundFiftyPercent) {
+  const CorridorEnergyModel model;
+  const auto baseline = model.conventional_baseline();
+  // Paper: with >= 3 nodes (ISD >= 1600 m) savings reach ~50 %.
+  const auto n3 = model.evaluate(geometry(1600.0, 3),
+                                 RepeaterOperationMode::kContinuous);
+  EXPECT_NEAR(n3.savings_vs(baseline), 0.50, 0.02);
+}
+
+TEST(Energy, SolarModeHasZeroLpMains) {
+  const CorridorEnergyModel model;
+  const auto b = model.evaluate(geometry(2400.0, 8),
+                                RepeaterOperationMode::kSolarPowered);
+  EXPECT_DOUBLE_EQ(b.lp_service_mains_per_km.value(), 0.0);
+  EXPECT_DOUBLE_EQ(b.lp_donor_mains_per_km.value(), 0.0);
+  EXPECT_GT(b.lp_offgrid_per_km.value(), 0.0);
+  EXPECT_DOUBLE_EQ(b.total_mains_per_km().value(),
+                   b.hp_mains_per_km.value());
+}
+
+TEST(Energy, SleepBeatsContinuousBeatsNothing) {
+  const CorridorEnergyModel model;
+  const auto g = geometry(1950.0, 5);
+  const double cont = model
+                          .evaluate(g, RepeaterOperationMode::kContinuous)
+                          .total_mains_per_km()
+                          .value();
+  const double sleep = model
+                           .evaluate(g, RepeaterOperationMode::kSleepMode)
+                           .total_mains_per_km()
+                           .value();
+  const double solar = model
+                           .evaluate(g, RepeaterOperationMode::kSolarPowered)
+                           .total_mains_per_km()
+                           .value();
+  EXPECT_GT(cont, sleep);
+  EXPECT_GT(sleep, solar);
+}
+
+TEST(Energy, LpServiceAveragePowerMatchesPaper) {
+  const CorridorEnergyModel model;
+  // Sleep-mode service node: 5.17 W (paper).
+  EXPECT_NEAR(model
+                  .lp_service_average_power(200.0,
+                                            RepeaterOperationMode::kSleepMode)
+                  .value(),
+              5.17, 0.05);
+  // Continuous node: ~24.3 W.
+  EXPECT_NEAR(model
+                  .lp_service_average_power(200.0,
+                                            RepeaterOperationMode::kContinuous)
+                  .value(),
+              24.3, 0.1);
+}
+
+TEST(Energy, DonorServingMoreNodesDrawsMore) {
+  const CorridorEnergyModel model;
+  const auto mode = RepeaterOperationMode::kSleepMode;
+  const double one = model.lp_donor_average_power(1, 200.0, mode).value();
+  const double five = model.lp_donor_average_power(5, 200.0, mode).value();
+  EXPECT_GT(five, one);
+  EXPECT_THROW(model.lp_donor_average_power(0, 200.0, mode),
+               ContractViolation);
+}
+
+TEST(Energy, HpDutyGrowsWithIsd) {
+  const CorridorEnergyModel model;
+  const auto a = model.evaluate(geometry(1250.0, 1),
+                                RepeaterOperationMode::kSleepMode);
+  const auto b = model.evaluate(geometry(2650.0, 10),
+                                RepeaterOperationMode::kSleepMode);
+  EXPECT_NEAR(a.hp_full_load_fraction, 0.0522, 0.0005);
+  EXPECT_NEAR(b.hp_full_load_fraction, 0.0966, 0.0005);
+}
+
+TEST(Energy, WhPerKmHourEqualsAveragePower) {
+  const CorridorEnergyModel model;
+  const auto b = model.evaluate(geometry(1600.0, 3),
+                                RepeaterOperationMode::kSleepMode);
+  EXPECT_DOUBLE_EQ(b.mains_wh_per_km_hour().value(),
+                   b.total_mains_per_km().value());
+  EXPECT_DOUBLE_EQ(b.mains_wh_per_km_day().value(),
+                   24.0 * b.total_mains_per_km().value());
+}
+
+TEST(Energy, InvalidGeometryRejected) {
+  const CorridorEnergyModel model;
+  EXPECT_THROW(model.evaluate(geometry(300.0, 5),
+                              RepeaterOperationMode::kSleepMode),
+               ContractViolation);
+}
+
+TEST(Energy, ModeNames) {
+  EXPECT_STREQ(to_string(RepeaterOperationMode::kContinuous), "continuous");
+  EXPECT_STREQ(to_string(RepeaterOperationMode::kSleepMode), "sleep-mode");
+  EXPECT_STREQ(to_string(RepeaterOperationMode::kSolarPowered),
+               "solar-powered");
+}
+
+// Property sweep over the paper's (N, ISD) pairs: savings grow with N in
+// sleep and solar modes.
+class SavingsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SavingsSweep, SavingsMonotoneInRepeaterCount) {
+  const int n = GetParam();
+  const CorridorEnergyModel model;
+  const auto baseline = model.conventional_baseline();
+  const auto& isds = paper_published_max_isds();
+  const auto cur = model.evaluate(
+      geometry(isds[static_cast<std::size_t>(n - 1)], n),
+      RepeaterOperationMode::kSleepMode);
+  const auto next = model.evaluate(
+      geometry(isds[static_cast<std::size_t>(n)], n + 1),
+      RepeaterOperationMode::kSleepMode);
+  EXPECT_GE(next.savings_vs(baseline), cur.savings_vs(baseline) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SavingsSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9));
+
+}  // namespace
+}  // namespace railcorr::corridor

@@ -1,0 +1,106 @@
+#include "corridor/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+namespace {
+
+TEST(SegmentGeometry, Fig3ExampleNodePositions) {
+  // Paper Fig. 3: ISD 2400 m, N = 8 -> nodes at 500, 700, ..., 1900 m.
+  SegmentGeometry g;
+  g.isd_m = 2400.0;
+  g.repeater_count = 8;
+  const auto p = g.repeater_positions();
+  ASSERT_EQ(p.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(p[static_cast<std::size_t>(i)], 500.0 + 200.0 * i);
+  }
+  EXPECT_DOUBLE_EQ(g.edge_gap_m(), 500.0);
+}
+
+TEST(SegmentGeometry, SingleNodeCentred) {
+  SegmentGeometry g;
+  g.isd_m = 1250.0;
+  g.repeater_count = 1;
+  const auto p = g.repeater_positions();
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 625.0);
+  EXPECT_DOUBLE_EQ(g.edge_gap_m(), 625.0);
+}
+
+TEST(SegmentGeometry, ClusterIsSymmetric) {
+  for (int n = 1; n <= 10; ++n) {
+    SegmentGeometry g;
+    g.isd_m = 2650.0;
+    g.repeater_count = n;
+    const auto p = g.repeater_positions();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_NEAR(p[i] + p[p.size() - 1 - i], g.isd_m, 1e-9)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SegmentGeometry, NoRepeaters) {
+  SegmentGeometry g;
+  g.isd_m = 500.0;
+  g.repeater_count = 0;
+  EXPECT_TRUE(g.repeater_positions().empty());
+  EXPECT_DOUBLE_EQ(g.edge_gap_m(), 500.0);
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(SegmentGeometry, DonorDistanceToNearestMast) {
+  SegmentGeometry g;
+  g.isd_m = 2400.0;
+  g.repeater_count = 8;
+  EXPECT_DOUBLE_EQ(g.donor_distance_m(500.0), 500.0);
+  EXPECT_DOUBLE_EQ(g.donor_distance_m(1900.0), 500.0);
+  EXPECT_DOUBLE_EQ(g.donor_distance_m(1100.0), 1100.0);
+  EXPECT_DOUBLE_EQ(g.donor_distance_m(1300.0), 1100.0);
+  EXPECT_THROW(g.donor_distance_m(-1.0), ContractViolation);
+  EXPECT_THROW(g.donor_distance_m(2401.0), ContractViolation);
+}
+
+TEST(SegmentGeometry, ValidityChecks) {
+  SegmentGeometry g;
+  g.isd_m = 300.0;
+  g.repeater_count = 3;  // span 400 > 300: gap negative
+  EXPECT_FALSE(g.valid());
+  g.isd_m = 401.0;
+  EXPECT_TRUE(g.valid());
+  g.isd_m = -5.0;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(CorridorGeometry, LengthAndPositions) {
+  CorridorGeometry c;
+  c.segment.isd_m = 1600.0;
+  c.segment.repeater_count = 3;
+  c.segments = 4;
+  EXPECT_DOUBLE_EQ(c.length_m(), 6400.0);
+  const auto masts = c.mast_positions();
+  ASSERT_EQ(masts.size(), 5u);
+  EXPECT_DOUBLE_EQ(masts.back(), 6400.0);
+  const auto reps = c.repeater_positions();
+  EXPECT_EQ(reps.size(), 12u);
+  // Second segment's first node sits one ISD after the first segment's.
+  EXPECT_DOUBLE_EQ(reps[3] - reps[0], 1600.0);
+}
+
+TEST(CorridorGeometry, PerKmDensities) {
+  CorridorGeometry c;
+  c.segment.isd_m = 500.0;
+  c.segment.repeater_count = 0;
+  EXPECT_DOUBLE_EQ(c.masts_per_km(), 2.0);
+  EXPECT_DOUBLE_EQ(c.repeaters_per_km(), 0.0);
+  c.segment.isd_m = 2000.0;
+  c.segment.repeater_count = 5;
+  EXPECT_DOUBLE_EQ(c.masts_per_km(), 0.5);
+  EXPECT_DOUBLE_EQ(c.repeaters_per_km(), 2.5);
+}
+
+}  // namespace
+}  // namespace railcorr::corridor

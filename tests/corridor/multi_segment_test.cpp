@@ -1,0 +1,105 @@
+#include "corridor/multi_segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+namespace {
+
+CorridorDeployment five_segments() {
+  return CorridorDeployment::repeat(
+      SegmentDeployment::with_repeaters(2400.0, 8), 5);
+}
+
+TEST(MultiSegment, TransmitterPopulation) {
+  const auto corridor = five_segments();
+  const auto txs = corridor.transmitters(rf::NrCarrier::paper_carrier());
+  // 6 masts + 5 x 8 repeaters.
+  ASSERT_EQ(txs.size(), 46u);
+  int masts = 0;
+  for (const auto& tx : txs) {
+    if (tx.kind == rf::NodeKind::kHighPowerRrh) ++masts;
+  }
+  EXPECT_EQ(masts, 6);
+}
+
+TEST(MultiSegment, DonorDistancesAreLocal) {
+  const auto corridor = five_segments();
+  const auto txs = corridor.transmitters(rf::NrCarrier::paper_carrier());
+  for (const auto& tx : txs) {
+    if (tx.kind != rf::NodeKind::kLowPowerRepeater) continue;
+    EXPECT_GT(tx.donor_distance_m, 0.0);
+    EXPECT_LE(tx.donor_distance_m, 1200.0);  // never beyond half an ISD
+  }
+}
+
+TEST(MultiSegment, PerSegmentSummaries) {
+  const MultiSegmentAnalyzer analyzer(rf::LinkModelConfig{});
+  const auto capacities = analyzer.per_segment(five_segments());
+  ASSERT_EQ(capacities.size(), 5u);
+  // Symmetry: first == last, second == fourth (within sampling noise).
+  EXPECT_NEAR(capacities[0].min_snr.value(), capacities[4].min_snr.value(),
+              0.05);
+  EXPECT_NEAR(capacities[1].min_snr.value(), capacities[3].min_snr.value(),
+              0.05);
+  // Every segment of the corridor still meets the paper criterion.
+  for (const auto& cap : capacities) {
+    EXPECT_GE(cap.min_snr.value(), 29.0) << "segment " << cap.segment_index;
+    EXPECT_GT(cap.mean_snr_db.value(), cap.min_snr.value());
+  }
+}
+
+TEST(MultiSegment, BoundaryEffectIsSmallAndBenign) {
+  const MultiSegmentAnalyzer analyzer(rf::LinkModelConfig{});
+  const Db effect = analyzer.interior_boundary_effect(
+      SegmentDeployment::with_repeaters(2400.0, 8));
+  // Neighbour masts/nodes contribute little at >= 500 m but they do both
+  // add signal and inject noise; net effect is a fraction of a dB and
+  // must not *reduce* the interior minimum below the isolated analysis
+  // by more than a rounding margin.
+  EXPECT_GT(effect.value(), -0.1);
+  EXPECT_LT(std::abs(effect.value()), 0.75);
+}
+
+TEST(MultiSegment, PublishedPointsSurviveNeighbours) {
+  // The single-segment criterion is what the paper publishes; verify it
+  // is not an artefact of isolation for representative points.
+  const MultiSegmentAnalyzer analyzer(rf::LinkModelConfig{});
+  const std::vector<std::pair<int, double>> points = {{3, 1600.0},
+                                                      {5, 1950.0}};
+  for (const auto& [n, isd] : points) {
+    const auto corridor =
+        CorridorDeployment::repeat(SegmentDeployment::with_repeaters(isd, n), 3);
+    const auto capacities = analyzer.per_segment(corridor);
+    EXPECT_GE(capacities[1].min_snr.value(), 29.0) << "N=" << n;
+  }
+}
+
+TEST(MultiSegment, SingleSegmentMatchesSegmentDeployment) {
+  const MultiSegmentAnalyzer analyzer(rf::LinkModelConfig{});
+  const auto segment = SegmentDeployment::with_repeaters(1800.0, 4);
+  const auto corridor = CorridorDeployment::repeat(segment, 1);
+  const auto capacities = analyzer.per_segment(corridor);
+  const rf::LinkModelConfig config;
+  const rf::CorridorLinkModel isolated(config,
+                                       segment.transmitters(config.carrier));
+  ASSERT_EQ(capacities.size(), 1u);
+  EXPECT_NEAR(capacities[0].min_snr.value(),
+              isolated.min_snr(0.0, 1800.0, 10.0).value(), 1e-9);
+}
+
+TEST(MultiSegment, Contracts) {
+  EXPECT_THROW(CorridorDeployment::repeat(
+                   SegmentDeployment::with_repeaters(1800.0, 4), 0),
+               ContractViolation);
+  const MultiSegmentAnalyzer analyzer(rf::LinkModelConfig{});
+  EXPECT_THROW(analyzer.interior_boundary_effect(
+                   SegmentDeployment::with_repeaters(1800.0, 4), 2),
+               ContractViolation);
+  EXPECT_THROW(MultiSegmentAnalyzer(rf::LinkModelConfig{}, 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::corridor

@@ -1,0 +1,71 @@
+#include "corridor/planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace railcorr::corridor {
+namespace {
+
+TEST(Planner, SolarPlanPicksManyRepeaters) {
+  const auto planner = CorridorPlanner::paper_planner();
+  const auto plan = planner.plan(RepeaterOperationMode::kSolarPowered);
+  ASSERT_FALSE(plan.options.empty());
+  // With solar-powered repeaters the LP nodes are free (mains-wise), so
+  // the energy optimum is the largest evaluated repeater count.
+  EXPECT_EQ(plan.best().repeater_count, 10);
+  EXPECT_GT(plan.best().savings, 0.75);
+}
+
+TEST(Planner, SleepPlanSavesAtLeastHalf) {
+  const auto planner = CorridorPlanner::paper_planner();
+  const auto plan = planner.plan(RepeaterOperationMode::kSleepMode);
+  EXPECT_GE(plan.best().savings, 0.55);
+  // All options beat the baseline.
+  for (const auto& o : plan.options) {
+    EXPECT_GT(o.savings, 0.0) << "N=" << o.repeater_count;
+  }
+}
+
+TEST(Planner, PaperAnchoredSourceUsesPublishedIsds) {
+  const auto planner = CorridorPlanner::paper_planner();
+  const auto plan = planner.plan(RepeaterOperationMode::kSleepMode, 10,
+                                 IsdSource::kPaperPublished);
+  const auto& paper = paper_published_max_isds();
+  ASSERT_EQ(plan.options.size(), paper.size());
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan.options[i].isd_m, paper[i]);
+  }
+  // Paper headline: 57 % at N = 1, 74 % at N = 10 (sleep mode).
+  EXPECT_NEAR(plan.options.front().savings, 0.57, 0.01);
+  EXPECT_NEAR(plan.options.back().savings, 0.74, 0.01);
+}
+
+TEST(Planner, BaselineIsConventional) {
+  const auto planner = CorridorPlanner::paper_planner();
+  const auto plan = planner.plan(RepeaterOperationMode::kContinuous, 3);
+  EXPECT_DOUBLE_EQ(plan.baseline.isd_m, 500.0);
+  EXPECT_EQ(plan.baseline.repeater_count, 0);
+  EXPECT_NEAR(plan.baseline.total_mains_per_km().value(), 467.2, 1.0);
+}
+
+TEST(Planner, OptionsCarryConsistentEnergy) {
+  const auto planner = CorridorPlanner::paper_planner();
+  const auto plan = planner.plan(RepeaterOperationMode::kSleepMode, 5);
+  for (const auto& o : plan.options) {
+    EXPECT_EQ(o.energy.repeater_count, o.repeater_count);
+    EXPECT_DOUBLE_EQ(o.energy.isd_m, o.isd_m);
+    EXPECT_NEAR(o.savings, o.energy.savings_vs(plan.baseline), 1e-12);
+    EXPECT_GE(o.min_snr.value(), 29.0);
+  }
+}
+
+TEST(Planner, BestIndexIsMinimumEnergy) {
+  const auto planner = CorridorPlanner::paper_planner();
+  const auto plan = planner.plan(RepeaterOperationMode::kSleepMode);
+  for (const auto& o : plan.options) {
+    EXPECT_LE(plan.best().energy.total_mains_per_km().value(),
+              o.energy.total_mains_per_km().value() + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace railcorr::corridor

@@ -1,0 +1,101 @@
+#include "corridor/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+namespace {
+
+RobustnessConfig fast_config(double sigma) {
+  RobustnessConfig c;
+  c.sigma_db = sigma;
+  c.realizations = 60;
+  c.sample_step_m = 20.0;
+  return c;
+}
+
+TEST(Robustness, ZeroSigmaReproducesDeterministicModel) {
+  const RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, fast_config(0.0));
+  const auto d = SegmentDeployment::with_repeaters(2400.0, 8);
+  const auto report = analyzer.study(d);
+  // Every realization identical and passing.
+  EXPECT_DOUBLE_EQ(report.pass_probability, 1.0);
+  EXPECT_DOUBLE_EQ(report.outage_fraction, 0.0);
+  EXPECT_NEAR(report.min_snr_db.min(), report.min_snr_db.max(), 1e-9);
+  EXPECT_GE(report.min_snr_db.min(), 29.0);
+}
+
+TEST(Robustness, ShadowingErodesPassProbability) {
+  const auto d = SegmentDeployment::with_repeaters(2400.0, 8);
+  const RobustnessAnalyzer mild(rf::LinkModelConfig{}, fast_config(2.0));
+  const RobustnessAnalyzer harsh(rf::LinkModelConfig{}, fast_config(8.0));
+  const auto mild_report = mild.study(d);
+  const auto harsh_report = harsh.study(d);
+  EXPECT_GE(mild_report.pass_probability, harsh_report.pass_probability);
+  EXPECT_LE(mild_report.outage_fraction, harsh_report.outage_fraction);
+  // 8 dB shadowing on a marginal deployment essentially always fails
+  // somewhere along 2.4 km.
+  EXPECT_LT(harsh_report.pass_probability, 0.2);
+}
+
+TEST(Robustness, SmallerIsdRestoresMargin) {
+  const RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, fast_config(4.0));
+  const auto tight = analyzer.study(SegmentDeployment::with_repeaters(2400.0, 8));
+  const auto relaxed =
+      analyzer.study(SegmentDeployment::with_repeaters(2000.0, 8));
+  EXPECT_GT(relaxed.mean_margin_db, tight.mean_margin_db);
+  EXPECT_GE(relaxed.pass_probability, tight.pass_probability);
+}
+
+TEST(Robustness, RobustMaxIsdBelowDeterministic) {
+  RobustnessConfig config = fast_config(4.0);
+  config.realizations = 40;
+  const RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, config);
+  const double robust = analyzer.robust_max_isd(8, 2500.0, 0.9);
+  EXPECT_GT(robust, 0.0);
+  EXPECT_LT(robust, 2500.0);
+  // Grid-aligned result.
+  EXPECT_NEAR(std::fmod(robust, 50.0), 0.0, 1e-9);
+}
+
+TEST(Robustness, DeterministicSeedsReproduce) {
+  const RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, fast_config(4.0));
+  const auto d = SegmentDeployment::with_repeaters(1950.0, 5);
+  const auto a = analyzer.study(d);
+  const auto b = analyzer.study(d);
+  EXPECT_DOUBLE_EQ(a.pass_probability, b.pass_probability);
+  EXPECT_DOUBLE_EQ(a.min_snr_db.mean(), b.min_snr_db.mean());
+}
+
+TEST(Robustness, Contracts) {
+  RobustnessConfig bad = fast_config(-1.0);
+  EXPECT_THROW(RobustnessAnalyzer(rf::LinkModelConfig{}, bad),
+               ContractViolation);
+  bad = fast_config(1.0);
+  bad.realizations = 0;
+  EXPECT_THROW(RobustnessAnalyzer(rf::LinkModelConfig{}, bad),
+               ContractViolation);
+  const RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, fast_config(2.0));
+  EXPECT_THROW(analyzer.robust_max_isd(5, 2000.0, 0.0), ContractViolation);
+  EXPECT_THROW(analyzer.robust_max_isd(-1, 2000.0, 0.9), ContractViolation);
+}
+
+// Property sweep: pass probability is non-increasing in sigma.
+class SigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmaSweep, MarginShrinksWithSigma) {
+  const double sigma = GetParam();
+  const auto d = SegmentDeployment::with_repeaters(2100.0, 6);
+  const RobustnessAnalyzer a(rf::LinkModelConfig{}, fast_config(sigma));
+  const RobustnessAnalyzer b(rf::LinkModelConfig{}, fast_config(sigma + 2.0));
+  EXPECT_GE(a.study(d).mean_margin_db, b.study(d).mean_margin_db);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, SigmaSweep,
+                         ::testing::Values(0.0, 1.0, 2.0, 4.0, 6.0));
+
+}  // namespace
+}  // namespace railcorr::corridor

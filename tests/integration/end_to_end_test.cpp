@@ -1,0 +1,76 @@
+/// End-to-end flows across modules: plan -> deploy -> simulate -> compare.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "corridor/planner.hpp"
+#include "sim/corridor_sim.hpp"
+
+namespace railcorr {
+namespace {
+
+TEST(EndToEnd, PlanThenSimulatePlannedDeployment) {
+  // Plan the energy-optimal sleep-mode corridor, then run the DES on the
+  // chosen deployment and confirm the closed-form plan's energy.
+  const auto planner = corridor::CorridorPlanner::paper_planner();
+  const auto plan = planner.plan(corridor::RepeaterOperationMode::kSleepMode);
+  const auto& best = plan.best();
+
+  sim::SimulationConfig config;
+  config.deployment = corridor::SegmentDeployment::with_repeaters(
+      best.isd_m, best.repeater_count);
+  config.mode = corridor::RepeaterOperationMode::kSleepMode;
+  const auto report = sim::CorridorSimulation(config).run();
+
+  EXPECT_NEAR(report.mains_per_km.value(),
+              best.energy.total_mains_per_km().value(),
+              best.energy.total_mains_per_km().value() * 0.03);
+  // The planned deployment serves trains at peak throughput. The DES
+  // samples continuous train positions between the planner's 10 m grid,
+  // which can sit up to ~0.1 dB below the grid minimum.
+  EXPECT_GE(report.train_snr_db.min(), 28.9);
+}
+
+TEST(EndToEnd, PlannedCorridorMeetsCapacityEverywhere) {
+  const auto planner = corridor::CorridorPlanner::paper_planner();
+  const auto analyzer = corridor::CapacityAnalyzer::paper_analyzer();
+  for (const auto mode : {corridor::RepeaterOperationMode::kContinuous,
+                          corridor::RepeaterOperationMode::kSleepMode,
+                          corridor::RepeaterOperationMode::kSolarPowered}) {
+    const auto plan = planner.plan(mode);
+    for (const auto& option : plan.options) {
+      const auto d = corridor::SegmentDeployment::with_repeaters(
+          option.isd_m, option.repeater_count);
+      // Planned options satisfy the paper's operating criterion
+      // (SNR > 29 dB everywhere, 10 m sampling).
+      const auto model = analyzer.link_model(d);
+      EXPECT_GE(model.min_snr(0.0, option.isd_m, 10.0).value(), 29.0)
+          << to_string(mode) << " N=" << option.repeater_count;
+    }
+  }
+}
+
+TEST(EndToEnd, FullReportRendersWithoutError) {
+  const core::PaperEvaluator evaluator;
+  const std::string report = core::full_report(evaluator);
+  EXPECT_GT(report.size(), 2000u);
+}
+
+TEST(EndToEnd, SolarSizingSupportsPlannedSolarCorridor) {
+  // The solar plan's repeater consumption matches the Table IV load, and
+  // the sized systems cover it at all four regions.
+  const core::PaperEvaluator evaluator;
+  const auto plan = corridor::CorridorPlanner::paper_planner().plan(
+      corridor::RepeaterOperationMode::kSolarPowered);
+  const auto profile = evaluator.scenario().repeater_consumption_profile();
+  // The per-node load the sizing uses must match what the plan assumes
+  // (5.17 W average).
+  EXPECT_NEAR(profile.average_watts(),
+              evaluator.traffic_derived().lp_sleep_mode_avg_w, 0.05);
+  for (const auto& sized : evaluator.table4_sizing()) {
+    EXPECT_TRUE(sized.report.continuous_operation()) << sized.location.name;
+  }
+  EXPECT_GT(plan.best().savings, 0.75);
+}
+
+}  // namespace
+}  // namespace railcorr

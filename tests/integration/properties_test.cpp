@@ -1,0 +1,191 @@
+/// Cross-module property batteries, parameterized over the paper's ten
+/// published operating points (N, max ISD). These pin structural
+/// invariants rather than absolute values: symmetry, monotonicity, and
+/// accounting identities that must hold for every deployment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corridor/capacity.hpp"
+#include "corridor/cost.hpp"
+#include "corridor/energy.hpp"
+#include "corridor/isd_search.hpp"
+#include "rf/uplink.hpp"
+#include "traffic/duty.hpp"
+
+namespace railcorr {
+namespace {
+
+struct OperatingPoint {
+  int n;
+  double isd;
+};
+
+OperatingPoint point(int n) {
+  return OperatingPoint{
+      n, corridor::paper_published_max_isds()[static_cast<std::size_t>(n - 1)]};
+}
+
+class OperatingPointTest : public ::testing::TestWithParam<int> {};
+
+// --- RF / capacity invariants ------------------------------------------
+
+TEST_P(OperatingPointTest, SnrProfileIsSymmetric) {
+  const auto p = point(GetParam());
+  const auto d = corridor::SegmentDeployment::with_repeaters(p.isd, p.n);
+  const rf::LinkModelConfig config;
+  const rf::CorridorLinkModel link(config, d.transmitters(config.carrier));
+  for (double x = 0.0; x <= p.isd / 2.0; x += 97.0) {
+    EXPECT_NEAR(link.snr(x).value(), link.snr(p.isd - x).value(), 1e-6)
+        << "x=" << x;
+  }
+}
+
+TEST_P(OperatingPointTest, SignalDecomposesAdditively) {
+  const auto p = point(GetParam());
+  const auto d = corridor::SegmentDeployment::with_repeaters(p.isd, p.n);
+  const rf::LinkModelConfig config;
+  const rf::CorridorLinkModel link(config, d.transmitters(config.carrier));
+  const double pos = p.isd * 0.37;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < link.transmitters().size(); ++i) {
+    sum += link.rsrp_of(i, pos).to_milliwatts().value();
+  }
+  EXPECT_NEAR(link.total_signal(pos).value(), sum, sum * 1e-12);
+}
+
+TEST_P(OperatingPointTest, MaskedSumNeverExceedsFull) {
+  const auto p = point(GetParam());
+  const auto d = corridor::SegmentDeployment::with_repeaters(p.isd, p.n);
+  const rf::LinkModelConfig config;
+  const rf::CorridorLinkModel link(config, d.transmitters(config.carrier));
+  std::vector<bool> half(link.transmitters().size(), false);
+  for (std::size_t i = 0; i < half.size(); i += 2) half[i] = true;
+  const double pos = p.isd * 0.5;
+  EXPECT_LE(link.total_signal(pos, half).value(),
+            link.total_signal(pos).value() + 1e-15);
+  EXPECT_LE(link.total_noise(pos, half).value(),
+            link.total_noise(pos).value() + 1e-15);
+}
+
+TEST_P(OperatingPointTest, PeakThroughputAtCriterion) {
+  const auto p = point(GetParam());
+  const auto analyzer = corridor::CapacityAnalyzer::paper_analyzer();
+  const auto d = corridor::SegmentDeployment::with_repeaters(p.isd, p.n);
+  const auto summary = analyzer.summarize(d);
+  // Published operating points hold the criterion within two grid steps
+  // of calibration tolerance; the mean is always comfortably above.
+  EXPECT_GE(summary.mean_snr_db.value(), 29.0);
+  EXPECT_GE(summary.min_throughput_bps, 0.97 * 584e6);
+}
+
+TEST_P(OperatingPointTest, UplinkNeverBinds) {
+  const auto p = point(GetParam());
+  const auto d = corridor::SegmentDeployment::with_repeaters(p.isd, p.n);
+  const rf::LinkModelConfig config;
+  const rf::UplinkModel ul(config, d.transmitters(config.carrier));
+  EXPECT_GE(ul.min_snr(0.0, p.isd, 25.0).value(), 0.0);
+}
+
+// --- Energy invariants ---------------------------------------------------
+
+TEST_P(OperatingPointTest, EnergyBreakdownAddsUp) {
+  const auto p = point(GetParam());
+  const corridor::CorridorEnergyModel model;
+  corridor::SegmentGeometry g;
+  g.isd_m = p.isd;
+  g.repeater_count = p.n;
+  for (const auto mode : {corridor::RepeaterOperationMode::kContinuous,
+                          corridor::RepeaterOperationMode::kSleepMode,
+                          corridor::RepeaterOperationMode::kSolarPowered}) {
+    const auto b = model.evaluate(g, mode);
+    EXPECT_NEAR(b.total_mains_per_km().value(),
+                b.hp_mains_per_km.value() + b.lp_service_mains_per_km.value() +
+                    b.lp_donor_mains_per_km.value(),
+                1e-9);
+    EXPECT_GE(b.hp_mains_per_km.value(), 0.0);
+    // Daily energy identity.
+    EXPECT_NEAR(b.mains_wh_per_km_day().value(),
+                24.0 * b.mains_wh_per_km_hour().value(), 1e-9);
+  }
+}
+
+TEST_P(OperatingPointTest, SleepSavesOverContinuousSolarOverSleep) {
+  const auto p = point(GetParam());
+  const corridor::CorridorEnergyModel model;
+  corridor::SegmentGeometry g;
+  g.isd_m = p.isd;
+  g.repeater_count = p.n;
+  const double cont =
+      model.evaluate(g, corridor::RepeaterOperationMode::kContinuous)
+          .total_mains_per_km()
+          .value();
+  const double sleep =
+      model.evaluate(g, corridor::RepeaterOperationMode::kSleepMode)
+          .total_mains_per_km()
+          .value();
+  const double solar =
+      model.evaluate(g, corridor::RepeaterOperationMode::kSolarPowered)
+          .total_mains_per_km()
+          .value();
+  EXPECT_GT(cont, sleep);
+  EXPECT_GT(sleep, solar);
+  EXPECT_GT(solar, 0.0);
+}
+
+TEST_P(OperatingPointTest, SolarOffgridEqualsSleepLpMains) {
+  // The off-grid power in solar mode equals exactly what the LP nodes
+  // would have drawn from mains in sleep mode (same duty cycles).
+  const auto p = point(GetParam());
+  const corridor::CorridorEnergyModel model;
+  corridor::SegmentGeometry g;
+  g.isd_m = p.isd;
+  g.repeater_count = p.n;
+  const auto sleep =
+      model.evaluate(g, corridor::RepeaterOperationMode::kSleepMode);
+  const auto solar =
+      model.evaluate(g, corridor::RepeaterOperationMode::kSolarPowered);
+  EXPECT_NEAR(solar.lp_offgrid_per_km.value(),
+              sleep.lp_service_mains_per_km.value() +
+                  sleep.lp_donor_mains_per_km.value(),
+              1e-9);
+}
+
+// --- Cost invariants -----------------------------------------------------
+
+TEST_P(OperatingPointTest, CostScalesWithEnergy) {
+  const auto p = point(GetParam());
+  const corridor::CostAnalyzer analyzer{corridor::CostModel{},
+                                        corridor::CorridorEnergyModel{}};
+  corridor::SegmentGeometry g;
+  g.isd_m = p.isd;
+  g.repeater_count = p.n;
+  const auto sleep =
+      analyzer.evaluate(g, corridor::RepeaterOperationMode::kSleepMode);
+  const auto solar =
+      analyzer.evaluate(g, corridor::RepeaterOperationMode::kSolarPowered);
+  EXPECT_GT(sleep.energy_opex_eur_km_year, solar.energy_opex_eur_km_year);
+  EXPECT_GT(sleep.co2_kg_km_year, solar.co2_kg_km_year);
+  // CO2 proportional to energy under a fixed grid intensity.
+  EXPECT_NEAR(sleep.co2_kg_km_year / sleep.energy_opex_eur_km_year,
+              solar.co2_kg_km_year / solar.energy_opex_eur_km_year, 1e-9);
+}
+
+// --- Duty-cycle invariants ------------------------------------------------
+
+TEST_P(OperatingPointTest, MastDutyConsistentWithOccupancy) {
+  const auto p = point(GetParam());
+  const auto tt = traffic::TimetableConfig::paper_timetable();
+  const double f = traffic::full_load_fraction(tt, p.isd);
+  EXPECT_NEAR(f,
+              tt.trains_per_day() * tt.train.occupancy_seconds(p.isd) / 86400.0,
+              1e-12);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPublishedPoints, OperatingPointTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace railcorr

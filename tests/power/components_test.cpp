@@ -1,0 +1,82 @@
+#include "power/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::power {
+namespace {
+
+TEST(Components, PaperSleepTotalIsExact) {
+  // Table I sleep column: controller 2 + GNSS DOCXO 2.22 + LO 0.5 = 4.72 W.
+  const auto m = RepeaterComponentModel::paper_table();
+  EXPECT_NEAR(m.sleep_total().value(), 4.72, 1e-12);
+}
+
+TEST(Components, PaperActiveTotalMatchesPrintedValue) {
+  const auto m = RepeaterComponentModel::paper_table();
+  // Raw path-multiplied sum: 9.765 + 2*5.27 + 2*5.797 = 31.899 W.
+  EXPECT_NEAR(m.raw_active_total().value(), 31.899, 1e-9);
+  // With the documented efficiency factor: the printed 28.38 W.
+  EXPECT_NEAR(m.active_total().value(), 28.38, 1e-9);
+}
+
+TEST(Components, GroupTotals) {
+  const auto m = RepeaterComponentModel::paper_table();
+  EXPECT_NEAR(m.group_total(ComponentGroup::kCommon).value(), 9.765, 1e-9);
+  EXPECT_NEAR(m.group_total(ComponentGroup::kDownlink).value(), 10.54, 1e-9);
+  EXPECT_NEAR(m.group_total(ComponentGroup::kUplink).value(), 11.594, 1e-9);
+  EXPECT_EQ(m.paths(ComponentGroup::kCommon), 1);
+  EXPECT_EQ(m.paths(ComponentGroup::kDownlink), 2);
+  EXPECT_EQ(m.paths(ComponentGroup::kUplink), 2);
+}
+
+TEST(Components, TableHasTenRows) {
+  const auto m = RepeaterComponentModel::paper_table();
+  EXPECT_EQ(m.components().size(), 10u);
+}
+
+TEST(Components, ConsistentWithTableIIEarthModel) {
+  // The component model's totals must agree with Table II's EARTH
+  // parameters within 0.5 W (the paper itself rounds 28.26/28.38 to 28.4).
+  const auto components = RepeaterComponentModel::paper_table();
+  const auto earth = EarthPowerModel::paper_low_power_repeater();
+  EXPECT_NEAR(components.active_total().value(),
+              earth.full_load_power().value(), 0.5);
+  EXPECT_NEAR(components.sleep_total().value(), earth.sleep_power().value(),
+              1e-9);
+}
+
+TEST(Components, ToEarthModelPreservesEndpoints) {
+  const auto components = RepeaterComponentModel::paper_table();
+  const auto earth = components.to_earth_model(Watts(1.0), 4.0);
+  EXPECT_NEAR(earth.full_load_power().value(),
+              components.active_total().value(), 1e-9);
+  EXPECT_NEAR(earth.sleep_power().value(), components.sleep_total().value(),
+              1e-12);
+  EXPECT_DOUBLE_EQ(earth.delta_p(), 4.0);
+}
+
+TEST(Components, CustomModelWithoutEfficiency) {
+  std::vector<RepeaterComponent> rows = {
+      {"ctrl", ComponentGroup::kCommon, Watts(1.0), Watts(1.0)},
+      {"pa", ComponentGroup::kDownlink, Watts(2.0), Watts(0.0)},
+  };
+  const RepeaterComponentModel m(rows, 1, 3, 0);
+  EXPECT_DOUBLE_EQ(m.raw_active_total().value(), 1.0 + 3.0 * 2.0);
+  EXPECT_DOUBLE_EQ(m.active_total().value(), 7.0);
+  EXPECT_DOUBLE_EQ(m.sleep_total().value(), 1.0);
+}
+
+TEST(Components, Contracts) {
+  EXPECT_THROW(RepeaterComponentModel({}, 1, 1, 1), ContractViolation);
+  std::vector<RepeaterComponent> rows = {
+      {"x", ComponentGroup::kCommon, Watts(1.0), Watts(0.0)}};
+  EXPECT_THROW(RepeaterComponentModel(rows, 0, 1, 1), ContractViolation);
+  EXPECT_THROW(RepeaterComponentModel(rows, 1, -1, 1), ContractViolation);
+  EXPECT_THROW(RepeaterComponentModel(rows, 1, 1, 1, 0.0), ContractViolation);
+  EXPECT_THROW(RepeaterComponentModel(rows, 1, 1, 1, 1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::power

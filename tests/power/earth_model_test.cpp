@@ -1,0 +1,98 @@
+#include "power/earth_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::power {
+namespace {
+
+TEST(EarthPowerModel, PaperHighPowerRrh) {
+  const auto m = EarthPowerModel::paper_high_power_rrh();
+  // Table II: Pmax 40, P0 168, dp 2.8, Psleep 112.
+  EXPECT_DOUBLE_EQ(m.max_rf_power().value(), 40.0);
+  EXPECT_DOUBLE_EQ(m.no_load_power().value(), 168.0);
+  EXPECT_DOUBLE_EQ(m.delta_p(), 2.8);
+  EXPECT_DOUBLE_EQ(m.sleep_power().value(), 112.0);
+  // Full load per RRH: 168 + 2.8 * 40 = 280 W.
+  EXPECT_DOUBLE_EQ(m.full_load_power().value(), 280.0);
+}
+
+TEST(EarthPowerModel, PaperLowPowerRepeater) {
+  const auto m = EarthPowerModel::paper_low_power_repeater();
+  EXPECT_DOUBLE_EQ(m.no_load_power().value(), 24.26);
+  EXPECT_DOUBLE_EQ(m.sleep_power().value(), 4.72);
+  // Full load: 24.26 + 4.0 * 1 = 28.26 W (paper text rounds to 28.4).
+  EXPECT_NEAR(m.full_load_power().value(), 28.26, 1e-12);
+}
+
+TEST(EarthPowerModel, Eq3Semantics) {
+  const auto m = EarthPowerModel::paper_high_power_rrh();
+  // chi = 0 selects sleep, not P0 (the discontinuity in Eq. 3).
+  EXPECT_DOUBLE_EQ(m.input_power(0.0).value(), 112.0);
+  // chi -> 0+ approaches P0.
+  EXPECT_NEAR(m.input_power(1e-9).value(), 168.0, 1e-6);
+  // Affine in between.
+  EXPECT_DOUBLE_EQ(m.input_power(0.5).value(), 168.0 + 2.8 * 40.0 * 0.5);
+  EXPECT_DOUBLE_EQ(m.input_power(1.0).value(), 280.0);
+}
+
+TEST(EarthPowerModel, AveragePowerSleepVsIdle) {
+  const auto m = EarthPowerModel::paper_high_power_rrh();
+  const double f = 0.0285;  // paper's 500 m duty cycle
+  const double sleeping = m.average_power(f, true).value();
+  const double idling = m.average_power(f, false).value();
+  EXPECT_NEAR(sleeping, 0.0285 * 280.0 + 0.9715 * 112.0, 1e-9);
+  EXPECT_NEAR(idling, 0.0285 * 280.0 + 0.9715 * 168.0, 1e-9);
+  EXPECT_LT(sleeping, idling);
+}
+
+TEST(EarthPowerModel, Contracts) {
+  EXPECT_THROW(EarthPowerModel(Watts(0.0), Watts(1.0), 1.0, Watts(1.0)),
+               ContractViolation);
+  EXPECT_THROW(EarthPowerModel(Watts(1.0), Watts(-1.0), 1.0, Watts(1.0)),
+               ContractViolation);
+  const auto m = EarthPowerModel::paper_low_power_repeater();
+  EXPECT_THROW(m.input_power(-0.1), ContractViolation);
+  EXPECT_THROW(m.input_power(1.1), ContractViolation);
+  EXPECT_THROW(m.average_power(1.5, true), ContractViolation);
+}
+
+TEST(SiteModel, PaperMastAggregatesTwoRrhs) {
+  const auto mast = SiteModel::paper_high_power_mast();
+  // Paper: 560 W full load, 336 W no load, 224 W sleep for the mast.
+  EXPECT_DOUBLE_EQ(mast.full_load_power().value(), 560.0);
+  EXPECT_DOUBLE_EQ(mast.no_load_power().value(), 336.0);
+  EXPECT_DOUBLE_EQ(mast.sleep_power().value(), 224.0);
+  EXPECT_EQ(mast.units(), 2);
+}
+
+TEST(SiteModel, AveragePowerScalesUnits) {
+  const auto mast = SiteModel::paper_high_power_mast();
+  const auto unit = EarthPowerModel::paper_high_power_rrh();
+  EXPECT_DOUBLE_EQ(mast.average_power(0.1, true).value(),
+                   2.0 * unit.average_power(0.1, true).value());
+}
+
+TEST(SiteModel, RejectsZeroUnits) {
+  EXPECT_THROW(SiteModel(EarthPowerModel::paper_high_power_rrh(), 0),
+               ContractViolation);
+}
+
+// Property: average power is monotone in the load fraction.
+class LoadSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweepTest, AveragePowerMonotoneInDuty) {
+  const auto m = EarthPowerModel::paper_high_power_rrh();
+  const double f = GetParam();
+  EXPECT_GE(m.average_power(f + 0.05, true).value(),
+            m.average_power(f, true).value());
+  EXPECT_GE(m.average_power(f + 0.05, false).value(),
+            m.average_power(f, false).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Duties, LoadSweepTest,
+                         ::testing::Values(0.0, 0.02, 0.1, 0.3, 0.6, 0.9));
+
+}  // namespace
+}  // namespace railcorr::power

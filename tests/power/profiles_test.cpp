@@ -1,0 +1,58 @@
+#include "power/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::power {
+namespace {
+
+TEST(Profiles, StateFractionFactories) {
+  const auto a = StateFractions::full_or_idle(0.3);
+  EXPECT_DOUBLE_EQ(a.full_load, 0.3);
+  EXPECT_DOUBLE_EQ(a.no_load, 0.7);
+  EXPECT_DOUBLE_EQ(a.sleep, 0.0);
+  const auto b = StateFractions::full_or_sleep(0.3);
+  EXPECT_DOUBLE_EQ(b.sleep, 0.7);
+  EXPECT_DOUBLE_EQ(a.sum(), 1.0);
+  EXPECT_DOUBLE_EQ(b.sum(), 1.0);
+}
+
+TEST(Profiles, StatePower) {
+  const auto m = EarthPowerModel::paper_low_power_repeater();
+  EXPECT_DOUBLE_EQ(state_power(m, OperatingState::kSleep).value(), 4.72);
+  EXPECT_DOUBLE_EQ(state_power(m, OperatingState::kNoLoad).value(), 24.26);
+  EXPECT_NEAR(state_power(m, OperatingState::kFullLoad).value(), 28.26, 1e-12);
+}
+
+TEST(Profiles, AveragePowerMixesStates) {
+  const auto m = EarthPowerModel::paper_low_power_repeater();
+  const StateFractions f{0.019, 0.0, 0.981};
+  // Paper: sleep-mode repeater averages ~5.17 W.
+  EXPECT_NEAR(average_power(m, f).value(), 5.17, 0.03);
+}
+
+TEST(Profiles, DailyEnergyIs24xAveragePower) {
+  const auto m = EarthPowerModel::paper_low_power_repeater();
+  const auto f = StateFractions::full_or_sleep(0.019);
+  EXPECT_NEAR(daily_energy(m, f).value(),
+              24.0 * average_power(m, f).value(), 1e-9);
+  // Paper: ~124.1 Wh per day.
+  EXPECT_NEAR(daily_energy(m, f).value(), 124.1, 1.0);
+}
+
+TEST(Profiles, FractionsMustSumToOne) {
+  const auto m = EarthPowerModel::paper_low_power_repeater();
+  EXPECT_THROW(average_power(m, StateFractions{0.5, 0.5, 0.5}),
+               ContractViolation);
+  EXPECT_THROW(StateFractions::full_or_idle(1.2), ContractViolation);
+}
+
+TEST(Profiles, StateNames) {
+  EXPECT_STREQ(to_string(OperatingState::kSleep), "sleep");
+  EXPECT_STREQ(to_string(OperatingState::kNoLoad), "no-load");
+  EXPECT_STREQ(to_string(OperatingState::kFullLoad), "full-load");
+}
+
+}  // namespace
+}  // namespace railcorr::power

@@ -1,0 +1,47 @@
+#include "rf/carrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+namespace {
+
+TEST(NrCarrier, PaperCarrierParameters) {
+  const auto c = NrCarrier::paper_carrier();
+  EXPECT_DOUBLE_EQ(c.center_frequency_hz(), 3.5e9);
+  EXPECT_DOUBLE_EQ(c.bandwidth_hz(), 100e6);
+  EXPECT_EQ(c.subcarriers(), 3300);
+  EXPECT_NEAR(c.wavelength_m(), 0.0857, 0.0001);
+  EXPECT_NEAR(c.subcarrier_spacing_hz(), 30303.0, 1.0);
+}
+
+TEST(NrCarrier, EirpToRstpMatchesPaper) {
+  const auto c = NrCarrier::paper_carrier();
+  // 64 dBm EIRP over 3300 subcarriers: 64 - 10log10(3300) = 28.81 dBm.
+  EXPECT_NEAR(c.rstp_from_eirp(Dbm(64.0)).value(), 28.814, 0.001);
+  // 40 dBm over 3300: 4.81 dBm.
+  EXPECT_NEAR(c.rstp_from_eirp(Dbm(40.0)).value(), 4.814, 0.001);
+}
+
+TEST(NrCarrier, EirpRstpRoundTrip) {
+  const auto c = NrCarrier::paper_carrier();
+  for (const double eirp : {20.0, 40.0, 55.0, 64.0}) {
+    EXPECT_NEAR(c.eirp_from_rstp(c.rstp_from_eirp(Dbm(eirp))).value(), eirp,
+                1e-12);
+  }
+}
+
+TEST(NrCarrier, SingleSubcarrierIsIdentity) {
+  const NrCarrier c(1e9, 1e6, 1);
+  EXPECT_DOUBLE_EQ(c.rstp_from_eirp(Dbm(30.0)).value(), 30.0);
+}
+
+TEST(NrCarrier, RejectsInvalidParameters) {
+  EXPECT_THROW(NrCarrier(0.0, 1e6, 10), ContractViolation);
+  EXPECT_THROW(NrCarrier(1e9, 0.0, 10), ContractViolation);
+  EXPECT_THROW(NrCarrier(1e9, 1e6, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::rf

@@ -1,0 +1,75 @@
+#include "rf/emf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+namespace {
+
+TEST(Emf, PowerDensityInverseSquare) {
+  const Dbm eirp(64.0);  // 2500 W
+  const double s10 = power_density_w_m2(eirp, 10.0);
+  const double s20 = power_density_w_m2(eirp, 20.0);
+  EXPECT_NEAR(s10 / s20, 4.0, 1e-9);
+  // S = P / (4 pi d^2): 2512 W at 10 m -> 2.0 W/m^2.
+  EXPECT_NEAR(s10, 2512.0 / (4.0 * M_PI * 100.0), 0.01);
+}
+
+TEST(Emf, FieldStrengthFromPowerDensity) {
+  const Dbm eirp(40.0);  // 10 W
+  const double d = 5.0;
+  const double s = power_density_w_m2(eirp, d);
+  EXPECT_NEAR(electric_field_v_m(eirp, d), std::sqrt(377.0 * s), 1e-9);
+}
+
+TEST(Emf, ComplianceDistanceInvertsField) {
+  const Dbm eirp(64.0);
+  for (const double limit : {6.0, 61.0}) {
+    const double d = compliance_distance_m(eirp, limit);
+    EXPECT_NEAR(electric_field_v_m(eirp, d), limit, 1e-6);
+  }
+}
+
+TEST(Emf, HighPowerSiteNeedsMuchMoreDistanceThanRepeater) {
+  // 2500 W vs 10 W EIRP: compliance distance scales with sqrt(P) -> ~15.8x.
+  const double d_hp = compliance_distance_m(Dbm(64.0), 6.0);
+  const double d_lp = compliance_distance_m(Dbm(40.0), 6.0);
+  EXPECT_NEAR(d_hp / d_lp, std::sqrt(std::pow(10.0, 2.4)), 0.01);
+  // Swiss installation limit: HP sites need tens of metres ...
+  EXPECT_GT(d_hp, 40.0);
+  // ... while a 10 W repeater complies within a few metres.
+  EXPECT_LT(d_lp, 5.0);
+}
+
+TEST(Emf, StandardLimitsArePresent) {
+  const auto limits = standard_limits();
+  ASSERT_EQ(limits.size(), 4u);
+  EXPECT_EQ(limits[0].name, "ICNIRP 2020 general public");
+  EXPECT_DOUBLE_EQ(limits[0].limit_v_m, 61.0);
+  EXPECT_DOUBLE_EQ(limits[1].limit_v_m, 6.0);
+}
+
+TEST(Emf, AssessFlagsViolations) {
+  // A 2500 W site 10 m away: fine for ICNIRP, violates 6 V/m limits.
+  const auto results = assess(Dbm(64.0), 10.0);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].compliant);   // 61 V/m
+  EXPECT_FALSE(results[1].compliant);  // 6 V/m
+  for (const auto& r : results) {
+    EXPECT_GT(r.compliance_distance_m, 0.0);
+    EXPECT_NEAR(r.field_at_reference_v_m,
+                electric_field_v_m(Dbm(64.0), 10.0), 1e-9);
+  }
+}
+
+TEST(Emf, Contracts) {
+  EXPECT_THROW(power_density_w_m2(Dbm(40.0), 0.0), ContractViolation);
+  EXPECT_THROW(compliance_distance_m(Dbm(40.0), 0.0), ContractViolation);
+  EXPECT_THROW(assess(Dbm(40.0), -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::rf

@@ -1,0 +1,98 @@
+#include "rf/fading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace railcorr::rf {
+namespace {
+
+TEST(ShadowingTrace, MarginalStatistics) {
+  Rng rng(99);
+  RunningStats s;
+  // Many short traces -> marginal distribution ~ N(0, sigma^2).
+  for (int t = 0; t < 400; ++t) {
+    ShadowingTrace trace(8.0, 50.0, 10.0, 500.0, rng);
+    for (double x = 0.0; x <= 500.0; x += 50.0) s.add(trace.at(x).value());
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.35);
+  EXPECT_NEAR(s.stddev(), 8.0, 0.5);
+}
+
+TEST(ShadowingTrace, CorrelationDecaysWithDistance) {
+  Rng rng(7);
+  const double sigma = 6.0;
+  const double dcorr = 100.0;
+  double c_short = 0.0;
+  double c_long = 0.0;
+  int n = 0;
+  for (int t = 0; t < 300; ++t) {
+    ShadowingTrace trace(sigma, dcorr, 5.0, 2000.0, rng);
+    for (double x = 0.0; x + 500.0 <= 2000.0; x += 100.0) {
+      c_short += trace.at(x).value() * trace.at(x + 50.0).value();
+      c_long += trace.at(x).value() * trace.at(x + 500.0).value();
+      ++n;
+    }
+  }
+  c_short /= n * sigma * sigma;
+  c_long /= n * sigma * sigma;
+  EXPECT_NEAR(c_short, std::exp(-50.0 / dcorr), 0.08);
+  EXPECT_NEAR(c_long, std::exp(-500.0 / dcorr), 0.08);
+  EXPECT_GT(c_short, c_long);
+}
+
+TEST(ShadowingTrace, InterpolatesBetweenGridPoints) {
+  Rng rng(1);
+  ShadowingTrace trace(4.0, 30.0, 10.0, 100.0, rng);
+  const double a = trace.at(20.0).value();
+  const double b = trace.at(30.0).value();
+  EXPECT_NEAR(trace.at(25.0).value(), 0.5 * (a + b), 1e-12);
+  // Clamps outside the trace.
+  EXPECT_DOUBLE_EQ(trace.at(-5.0).value(), trace.at(0.0).value());
+  EXPECT_DOUBLE_EQ(trace.at(1e6).value(), trace.at(100.0 + 10.0).value());
+}
+
+TEST(ShadowingTrace, ZeroSigmaIsFlatZero) {
+  Rng rng(5);
+  ShadowingTrace trace(0.0, 50.0, 10.0, 200.0, rng);
+  for (double x = 0.0; x <= 200.0; x += 20.0) {
+    EXPECT_DOUBLE_EQ(trace.at(x).value(), 0.0);
+  }
+}
+
+TEST(ShadowingTrace, Contracts) {
+  Rng rng(1);
+  EXPECT_THROW(ShadowingTrace(-1.0, 50.0, 10.0, 100.0, rng),
+               ContractViolation);
+  EXPECT_THROW(ShadowingTrace(1.0, 0.0, 10.0, 100.0, rng), ContractViolation);
+  EXPECT_THROW(ShadowingTrace(1.0, 50.0, 0.0, 100.0, rng), ContractViolation);
+  EXPECT_THROW(ShadowingTrace(1.0, 50.0, 10.0, 0.0, rng), ContractViolation);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.841344746), 1.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.001), -3.090232, 1e-5);
+}
+
+TEST(InverseNormalCdf, Contracts) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), ContractViolation);
+  EXPECT_THROW(inverse_normal_cdf(1.0), ContractViolation);
+}
+
+TEST(FadeMargin, MatchesInverseCdf) {
+  // 5 % outage with 8 dB shadowing: margin = 1.645 * 8 = 13.2 dB.
+  EXPECT_NEAR(lognormal_fade_margin(8.0, 0.05).value(), 13.16, 0.02);
+  // 50 % outage needs no margin.
+  EXPECT_NEAR(lognormal_fade_margin(8.0, 0.5).value(), 0.0, 1e-9);
+  // Zero sigma needs no margin.
+  EXPECT_DOUBLE_EQ(lognormal_fade_margin(0.0, 0.01).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace railcorr::rf

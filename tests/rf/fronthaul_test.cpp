@@ -1,0 +1,74 @@
+#include "rf/fronthaul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+namespace {
+
+TEST(FronthaulModel, ReferencePoint) {
+  const FronthaulModel m(Db(50.0), 100.0, 1.0);
+  EXPECT_NEAR(m.snr_at(100.0).value(), 50.0 - 0.1, 1e-9);
+}
+
+TEST(FronthaulModel, SpreadingSlope) {
+  const FronthaulModel m(Db(50.0), 100.0, 0.0);
+  // 20 dB per decade without the atmospheric term.
+  EXPECT_NEAR(m.snr_at(1000.0).value(), 30.0, 1e-9);
+  EXPECT_NEAR(m.snr_at(100.0).value() - m.snr_at(200.0).value(), 6.02, 0.01);
+}
+
+TEST(FronthaulModel, AtmosphericTermProportionalToDistance) {
+  const FronthaulModel dry(Db(50.0), 100.0, 0.0);
+  const FronthaulModel wet(Db(50.0), 100.0, 10.0);
+  EXPECT_NEAR(dry.snr_at(2000.0).value() - wet.snr_at(2000.0).value(), 20.0,
+              1e-9);
+}
+
+TEST(FronthaulModel, ClampsBelowOneMetre) {
+  const FronthaulModel m(Db(50.0), 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.snr_at(0.0).value(), m.snr_at(1.0).value());
+}
+
+TEST(FronthaulModel, PaperCalibratedValues) {
+  const auto m = FronthaulModel::paper_calibrated();
+  EXPECT_DOUBLE_EQ(m.snr_at_ref().value(), 53.0);
+  EXPECT_DOUBLE_EQ(m.ref_distance_m(), 100.0);
+  EXPECT_DOUBLE_EQ(m.atmospheric_db_per_km(), 0.5);
+  // At typical donor distances the fronthaul stays usable.
+  EXPECT_GT(m.snr_at(625.0).value(), 30.0);
+  EXPECT_GT(m.snr_at(1325.0).value(), 29.0);
+}
+
+TEST(FronthaulModel, Contracts) {
+  EXPECT_THROW(FronthaulModel(Db(50.0), 0.0, 1.0), ContractViolation);
+  EXPECT_THROW(FronthaulModel(Db(50.0), 100.0, -1.0), ContractViolation);
+}
+
+TEST(MmWaveLinkBudget, ConsistentWithCalibration) {
+  // The default explicit budget lands in the same ballpark as the
+  // calibrated reference SNR (within a few dB at 100 m).
+  const MmWaveLinkBudget budget;
+  const double snr_100m = budget.snr_at(100.0).value();
+  EXPECT_NEAR(snr_100m, FronthaulModel::paper_calibrated().snr_at(100.0).value(),
+              5.0);
+}
+
+TEST(MmWaveLinkBudget, SnrFallsWithDistance) {
+  const MmWaveLinkBudget budget;
+  EXPECT_GT(budget.snr_at(100.0).value(), budget.snr_at(1000.0).value());
+  EXPECT_NEAR(budget.snr_at(100.0).value() - budget.snr_at(1000.0).value(),
+              20.0, 1e-9);
+}
+
+TEST(OxygenAbsorption, PeaksNear60GHz) {
+  const double at_60 = oxygen_absorption_db_per_km(60e9);
+  EXPECT_NEAR(at_60, 15.0, 1.0);
+  EXPECT_LT(oxygen_absorption_db_per_km(26e9), 1.5);
+  EXPECT_LT(oxygen_absorption_db_per_km(80e9), at_60);
+  EXPECT_GT(at_60, oxygen_absorption_db_per_km(50e9));
+}
+
+}  // namespace
+}  // namespace railcorr::rf

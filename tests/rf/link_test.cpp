@@ -1,0 +1,154 @@
+#include "rf/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+namespace {
+
+// Fig. 3 deployment: HP masts at 0 and 2400 m, 8 repeaters at 500..1900 m.
+std::vector<TrackTransmitter> fig3_transmitters() {
+  const auto carrier = NrCarrier::paper_carrier();
+  std::vector<TrackTransmitter> txs;
+  for (const double mast : {0.0, 2400.0}) {
+    TrackTransmitter tx;
+    tx.kind = NodeKind::kHighPowerRrh;
+    tx.position_m = mast;
+    tx.rstp = carrier.rstp_from_eirp(Dbm(64.0));
+    tx.calibration = Db(33.0);
+    txs.push_back(tx);
+  }
+  for (int i = 0; i < 8; ++i) {
+    TrackTransmitter tx;
+    tx.kind = NodeKind::kLowPowerRepeater;
+    tx.position_m = 500.0 + 200.0 * i;
+    tx.rstp = carrier.rstp_from_eirp(Dbm(40.0));
+    tx.calibration = Db(20.0);
+    tx.donor_distance_m = std::min(tx.position_m, 2400.0 - tx.position_m);
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+CorridorLinkModel make_model(RepeaterNoiseModel noise_model) {
+  LinkModelConfig config;
+  config.noise_model = noise_model;
+  return CorridorLinkModel(config, fig3_transmitters());
+}
+
+TEST(CorridorLinkModel, RequiresTransmitters) {
+  EXPECT_THROW(CorridorLinkModel(LinkModelConfig{}, {}), ContractViolation);
+}
+
+TEST(CorridorLinkModel, RsrpOfIndividualNodes) {
+  const auto model = make_model(RepeaterNoiseModel::kLiteralEq2);
+  // HP at 0 m seen from 250 m: 28.81 - FSPL(250) - 33 ~ -95.5 dBm.
+  EXPECT_NEAR(model.rsrp_of(0, 250.0).value(), -95.5, 0.3);
+  // Symmetry: right mast at the mirrored position.
+  EXPECT_NEAR(model.rsrp_of(0, 250.0).value(),
+              model.rsrp_of(1, 2400.0 - 250.0).value(), 1e-9);
+  // LP node at 500 m seen from 100 m away: 4.81 - FSPL(100) - 20 ~ -98.5.
+  EXPECT_NEAR(model.rsrp_of(2, 600.0).value(), -98.5, 0.3);
+}
+
+TEST(CorridorLinkModel, SignalIsLinearSumOfContributions) {
+  const auto model = make_model(RepeaterNoiseModel::kLiteralEq2);
+  const double pos = 700.0;
+  double sum_mw = 0.0;
+  for (std::size_t i = 0; i < model.transmitters().size(); ++i) {
+    sum_mw += model.rsrp_of(i, pos).to_milliwatts().value();
+  }
+  EXPECT_NEAR(model.total_signal(pos).value(), sum_mw, sum_mw * 1e-12);
+}
+
+TEST(CorridorLinkModel, LiteralNoiseIsNearTerminalFloor) {
+  const auto model = make_model(RepeaterNoiseModel::kLiteralEq2);
+  // Literal Eq. (2) repeater noise is negligible: total noise within
+  // 0.01 dB of -127 dBm everywhere.
+  for (double d = 0.0; d <= 2400.0; d += 100.0) {
+    EXPECT_NEAR(model.total_noise(d).to_dbm().value(), -127.0, 0.01);
+  }
+}
+
+TEST(CorridorLinkModel, FronthaulNoiseRaisesFloorNearNodes) {
+  const auto literal = make_model(RepeaterNoiseModel::kLiteralEq2);
+  const auto aware = make_model(RepeaterNoiseModel::kFronthaulAware);
+  // Mid-corridor (far donor links) the fronthaul-aware floor is higher.
+  const double mid = 1200.0;
+  EXPECT_GT(aware.total_noise(mid).to_dbm().value(),
+            literal.total_noise(mid).to_dbm().value() + 0.1);
+  // And the SNR correspondingly lower.
+  EXPECT_LT(aware.snr(mid).value(), literal.snr(mid).value());
+}
+
+TEST(CorridorLinkModel, SnrMatchesSignalMinusNoise) {
+  const auto model = make_model(RepeaterNoiseModel::kFronthaulAware);
+  for (double d = 50.0; d < 2400.0; d += 333.0) {
+    const auto s = model.sample(d);
+    EXPECT_NEAR(s.snr.value(),
+                s.total_signal.value() - s.total_noise.value(), 1e-9);
+    EXPECT_NEAR(s.snr.value(), model.snr(d).value(), 1e-9);
+  }
+}
+
+TEST(CorridorLinkModel, Fig3DeploymentSustainsPeakSnr) {
+  // The Fig. 3 example (ISD 2400, N = 8) is a published operating point:
+  // SNR must stay above 29 dB along the whole segment.
+  const auto model = make_model(RepeaterNoiseModel::kFronthaulAware);
+  EXPECT_GE(model.min_snr(0.0, 2400.0, 10.0).value(), 29.0);
+}
+
+TEST(CorridorLinkModel, ProfileMatchesPointQueries) {
+  const auto model = make_model(RepeaterNoiseModel::kFronthaulAware);
+  const std::vector<double> positions = {0.0, 123.0, 1200.0, 2400.0};
+  const auto profile = model.profile(positions);
+  ASSERT_EQ(profile.size(), positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(profile[i].position_m, positions[i]);
+    EXPECT_NEAR(profile[i].snr.value(), model.snr(positions[i]).value(), 1e-12);
+  }
+}
+
+TEST(CorridorLinkModel, MinAndMeanSnr) {
+  const auto model = make_model(RepeaterNoiseModel::kFronthaulAware);
+  const Db min_snr = model.min_snr(0.0, 2400.0, 10.0);
+  const Db mean_snr = model.mean_snr_db(0.0, 2400.0, 10.0);
+  EXPECT_LT(min_snr.value(), mean_snr.value());
+  // Minimum must actually be attained within sampling accuracy.
+  double observed_min = 1e9;
+  for (double d = 0.0; d <= 2400.0; d += 10.0) {
+    observed_min = std::min(observed_min, model.snr(d).value());
+  }
+  EXPECT_NEAR(min_snr.value(), observed_min, 1e-9);
+}
+
+TEST(CorridorLinkModel, MaskedVariantsDropContributions) {
+  const auto model = make_model(RepeaterNoiseModel::kFronthaulAware);
+  std::vector<bool> all(model.transmitters().size(), true);
+  std::vector<bool> no_repeaters(model.transmitters().size(), false);
+  no_repeaters[0] = no_repeaters[1] = true;
+
+  const double mid = 1200.0;
+  EXPECT_NEAR(model.snr(mid, all).value(), model.snr(mid).value(), 1e-12);
+  // Without repeaters, mid-corridor SNR collapses well below the 29 dB
+  // peak criterion (two HP masts 1200 m away leave ~21 dB).
+  EXPECT_LT(model.snr(mid, no_repeaters).value(), 25.0);
+  // Noise reduces to the terminal floor when repeaters are dark.
+  EXPECT_NEAR(model.total_noise(mid, no_repeaters).to_dbm().value(), -127.0,
+              1e-6);
+  // All-dark corridor: defined floor instead of -inf.
+  std::vector<bool> none(model.transmitters().size(), false);
+  EXPECT_DOUBLE_EQ(model.snr(mid, none).value(), -200.0);
+}
+
+TEST(CorridorLinkModel, MaskSizeChecked) {
+  const auto model = make_model(RepeaterNoiseModel::kFronthaulAware);
+  EXPECT_THROW(model.snr(100.0, std::vector<bool>(3, true)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::rf

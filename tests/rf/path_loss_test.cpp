@@ -1,0 +1,102 @@
+#include "rf/path_loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rf/carrier.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+namespace {
+
+constexpr double kLambda = 0.08565510228571428;  // 3.5 GHz
+
+TEST(FreeSpacePathLoss, KnownValues) {
+  // FSPL(d) = 20 log10(4 pi d / lambda); at 1 m, 3.5 GHz: 43.33 dB.
+  EXPECT_NEAR(free_space_path_loss(1.0, kLambda).value(), 43.33, 0.01);
+  // +20 dB per decade.
+  EXPECT_NEAR(free_space_path_loss(10.0, kLambda).value(), 63.33, 0.01);
+  EXPECT_NEAR(free_space_path_loss(100.0, kLambda).value(), 83.33, 0.01);
+  EXPECT_NEAR(free_space_path_loss(1000.0, kLambda).value(), 103.33, 0.01);
+}
+
+TEST(FreeSpacePathLoss, SymmetricInSign) {
+  EXPECT_DOUBLE_EQ(free_space_path_loss(-250.0, kLambda).value(),
+                   free_space_path_loss(250.0, kLambda).value());
+}
+
+TEST(FreeSpacePathLoss, NearFieldClamp) {
+  EXPECT_DOUBLE_EQ(free_space_path_loss(0.0, kLambda).value(),
+                   free_space_path_loss(1.0, kLambda).value());
+  EXPECT_DOUBLE_EQ(free_space_path_loss(0.5, kLambda, 2.0).value(),
+                   free_space_path_loss(2.0, kLambda, 2.0).value());
+}
+
+TEST(FreeSpacePathLoss, Contracts) {
+  EXPECT_THROW(free_space_path_loss(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(free_space_path_loss(1.0, kLambda, 0.0), ContractViolation);
+}
+
+TEST(CalibratedPathLoss, AddsCalibrationConstant) {
+  const CalibratedPathLoss hp(kLambda, Db(33.0));
+  const CalibratedPathLoss lp(kLambda, Db(20.0));
+  EXPECT_NEAR(hp.at(100.0).value() - lp.at(100.0).value(), 13.0, 1e-12);
+  EXPECT_NEAR(hp.at(250.0).value(),
+              free_space_path_loss(250.0, kLambda).value() + 33.0, 1e-12);
+}
+
+TEST(CalibratedPathLoss, PaperFig3Anchors) {
+  // HP: RSTP 28.81 dBm, L_calib 33 dB. The paper's Fig. 3 shows the HP
+  // RSRP dropping below -100 dBm a few hundred metres out.
+  const auto carrier = NrCarrier::paper_carrier();
+  const CalibratedPathLoss hp(carrier.wavelength_m(),
+                              CalibratedPathLoss::paper_calibration_high_power());
+  const Dbm rstp = carrier.rstp_from_eirp(Dbm(64.0));
+  // At 250 m the signal is still above -100 dBm ...
+  EXPECT_GT(hp.received(rstp, 250.0).value(), -100.0);
+  // ... and clearly below -100 dBm by 500 m.
+  EXPECT_LT(hp.received(rstp, 500.0).value(), -100.0);
+
+  // LP: RSTP 4.81 dBm, L_calib 20 dB; at half the 200 m node spacing the
+  // level must stay above -100 dBm (the paper's coverage argument).
+  const CalibratedPathLoss lp(carrier.wavelength_m(),
+                              CalibratedPathLoss::paper_calibration_low_power());
+  const Dbm lp_rstp = carrier.rstp_from_eirp(Dbm(40.0));
+  EXPECT_GT(lp.received(lp_rstp, 100.0).value(), -100.0);
+}
+
+TEST(CalibratedPathLoss, DistanceForLossInvertsAt) {
+  const CalibratedPathLoss pl(kLambda, Db(20.0));
+  for (const double d : {10.0, 100.0, 650.0, 2400.0}) {
+    EXPECT_NEAR(pl.distance_for_loss(pl.at(d)), d, d * 1e-9);
+  }
+}
+
+TEST(CalibratedPathLoss, MonotoneInDistance) {
+  const CalibratedPathLoss pl(kLambda, Db(33.0));
+  double prev = pl.at(1.0).value();
+  for (double d = 2.0; d < 3000.0; d *= 1.5) {
+    const double cur = pl.at(d).value();
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(CalibratedPathLoss, RejectsNegativeCalibration) {
+  EXPECT_THROW(CalibratedPathLoss(kLambda, Db(-1.0)), ContractViolation);
+}
+
+// Property: received power falls exactly 6.02 dB per distance doubling.
+class InverseSquareTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(InverseSquareTest, SixDbPerDoubling) {
+  const CalibratedPathLoss pl(kLambda, Db(20.0));
+  const double d = GetParam();
+  const double drop = pl.at(2.0 * d).value() - pl.at(d).value();
+  EXPECT_NEAR(drop, 6.0206, 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, InverseSquareTest,
+                         ::testing::Values(5.0, 50.0, 200.0, 625.0, 1300.0));
+
+}  // namespace
+}  // namespace railcorr::rf

@@ -1,0 +1,122 @@
+#include "rf/uplink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corridor/deployment.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+namespace {
+
+UplinkModel paper_uplink(double isd, int n) {
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(isd, n);
+  LinkModelConfig config;
+  return UplinkModel(config, deployment.transmitters(config.carrier));
+}
+
+TEST(Uplink, BudgetDefaults) {
+  const auto b = UplinkBudget::paper_default();
+  EXPECT_DOUBLE_EQ(b.ue_eirp.value(), 23.0);
+  EXPECT_DOUBLE_EQ(b.rrh_noise_figure.value(), 3.0);
+  EXPECT_EQ(b.allocated_subcarriers, 660);
+}
+
+TEST(Uplink, PathsEnumerateAllReceivers) {
+  const auto model = paper_uplink(2400.0, 8);
+  const auto paths = model.paths(1200.0);
+  ASSERT_EQ(paths.size(), 10u);
+  int masts = 0;
+  int repeaters = 0;
+  for (const auto& p : paths) {
+    if (p.kind == UplinkPath::Kind::kDirectToMast) ++masts;
+    if (p.kind == UplinkPath::Kind::kViaRepeater) ++repeaters;
+  }
+  EXPECT_EQ(masts, 2);
+  EXPECT_EQ(repeaters, 8);
+}
+
+TEST(Uplink, BestPathNearMastIsDirect) {
+  const auto model = paper_uplink(2400.0, 8);
+  const auto paths = model.paths(30.0);
+  const UplinkPath* best = &paths.front();
+  for (const auto& p : paths) {
+    if (p.snr > best->snr) best = &p;
+  }
+  EXPECT_EQ(best->kind, UplinkPath::Kind::kDirectToMast);
+}
+
+TEST(Uplink, BestPathMidCorridorIsViaRepeater) {
+  const auto model = paper_uplink(2400.0, 8);
+  const auto paths = model.paths(1200.0);
+  const UplinkPath* best = &paths.front();
+  for (const auto& p : paths) {
+    if (p.snr > best->snr) best = &p;
+  }
+  EXPECT_EQ(best->kind, UplinkPath::Kind::kViaRepeater);
+}
+
+TEST(Uplink, RelayedSnrCappedByFronthaul) {
+  const auto model = paper_uplink(2400.0, 8);
+  const FronthaulModel fronthaul = FronthaulModel::paper_calibrated();
+  for (const auto& p : model.paths(1200.0)) {
+    if (p.kind != UplinkPath::Kind::kViaRepeater) continue;
+    // End-to-end AF SNR can never exceed either leg.
+    EXPECT_LT(p.snr.value(), fronthaul.snr_at(100.0).value());
+  }
+}
+
+TEST(Uplink, PaperDeploymentsAreDownlinkLimited) {
+  // At every published (N, max ISD) operating point the uplink SNR
+  // stays above the level needed for a robust control/data uplink
+  // (>= 0 dB on a 20 MHz allocation) — i.e. the design is DL-limited.
+  const std::vector<double> isds = {1250.0, 1800.0, 2400.0, 2650.0};
+  const std::vector<int> ns = {1, 4, 8, 10};
+  for (std::size_t i = 0; i < isds.size(); ++i) {
+    const auto model = paper_uplink(isds[i], ns[i]);
+    EXPECT_GE(model.min_snr(0.0, isds[i], 10.0).value(), 0.0)
+        << "N=" << ns[i];
+    EXPECT_TRUE(model.sustains(Db(0.0), 0.0, isds[i], 10.0));
+  }
+}
+
+TEST(Uplink, UplinkWeakerThanDownlink) {
+  // 23 dBm UE vs 64 dBm EIRP masts: UL min SNR is far below DL min SNR.
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  LinkModelConfig config;
+  const auto txs = deployment.transmitters(config.carrier);
+  const CorridorLinkModel dl(config, txs);
+  const UplinkModel ul(config, txs);
+  EXPECT_LT(ul.min_snr(0.0, 2400.0, 50.0).value(),
+            dl.min_snr(0.0, 2400.0, 50.0).value());
+}
+
+TEST(Uplink, NarrowerAllocationRaisesSnr) {
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  LinkModelConfig config;
+  UplinkBudget wide;
+  wide.allocated_subcarriers = 3300;
+  UplinkBudget narrow;
+  narrow.allocated_subcarriers = 66;  // ~2 MHz
+  const UplinkModel wide_model(config, deployment.transmitters(config.carrier),
+                               wide);
+  const UplinkModel narrow_model(config,
+                                 deployment.transmitters(config.carrier),
+                                 narrow);
+  EXPECT_GT(narrow_model.snr(1200.0).value(), wide_model.snr(1200.0).value());
+}
+
+TEST(Uplink, Contracts) {
+  LinkModelConfig config;
+  EXPECT_THROW(UplinkModel(config, {}), ContractViolation);
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(1250.0, 1);
+  UplinkBudget bad;
+  bad.allocated_subcarriers = 0;
+  EXPECT_THROW(
+      UplinkModel(config, deployment.transmitters(config.carrier), bad),
+      ContractViolation);
+  const auto model = paper_uplink(1250.0, 1);
+  EXPECT_THROW(model.min_snr(0.0, 1250.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::rf

@@ -1,0 +1,166 @@
+#include "sim/corridor_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corridor/isd_search.hpp"
+#include "traffic/duty.hpp"
+
+namespace railcorr::sim {
+namespace {
+
+SimulationConfig sleep_mode_config(double isd, int n) {
+  SimulationConfig config;
+  config.deployment = corridor::SegmentDeployment::with_repeaters(isd, n);
+  config.mode = corridor::RepeaterOperationMode::kSleepMode;
+  return config;
+}
+
+TEST(CorridorSim, RunsFullDayAndReports) {
+  CorridorSimulation sim(sleep_mode_config(1600.0, 3));
+  const auto report = sim.run();
+  EXPECT_EQ(report.trains, 152);
+  // 2 masts + 3 service + 2 donors.
+  ASSERT_EQ(report.nodes.size(), 7u);
+  EXPECT_GT(report.events_processed, 1000u);
+  EXPECT_EQ(report.missed_wakes, 0);
+}
+
+TEST(CorridorSim, EnergyMatchesAnalyticDutyCycleModel) {
+  // The DES and the closed-form duty model must agree closely; the DES
+  // adds only small wake/hold overheads.
+  const double isd = 1950.0;
+  const int n = 5;
+  CorridorSimulation sim(sleep_mode_config(isd, n));
+  const auto report = sim.run();
+
+  const corridor::CorridorEnergyModel analytic;
+  corridor::SegmentGeometry g;
+  g.isd_m = isd;
+  g.repeater_count = n;
+  const auto expected =
+      analytic.evaluate(g, corridor::RepeaterOperationMode::kSleepMode);
+  EXPECT_NEAR(report.mains_per_km.value(),
+              expected.total_mains_per_km().value(),
+              expected.total_mains_per_km().value() * 0.03);
+}
+
+TEST(CorridorSim, ServiceNodeAveragePowerNearPaperValue) {
+  CorridorSimulation sim(sleep_mode_config(1950.0, 5));
+  const auto report = sim.run();
+  for (const auto& node : report.nodes) {
+    if (node.name.rfind("LP-service", 0) == 0) {
+      // Paper: 5.17 W (DES adds wake/hold overhead of a few percent).
+      EXPECT_NEAR(node.average_power.value(), 5.17, 0.35) << node.name;
+      EXPECT_EQ(node.wake_count, 152) << node.name;
+    }
+  }
+}
+
+TEST(CorridorSim, MastFullLoadSecondsMatchDuty) {
+  const double isd = 1250.0;
+  CorridorSimulation sim(sleep_mode_config(isd, 1));
+  const auto report = sim.run();
+  const auto tt = traffic::TimetableConfig::paper_timetable();
+  const double expected =
+      traffic::full_load_seconds_per_day(tt, isd);
+  for (const auto& node : report.nodes) {
+    if (node.name.rfind("HP-mast", 0) == 0) {
+      EXPECT_NEAR(node.full_load_seconds, expected, expected * 0.01)
+          << node.name;
+    }
+  }
+}
+
+TEST(CorridorSim, QosPerfectWhenAllNodesWake) {
+  CorridorSimulation sim(sleep_mode_config(2400.0, 8));
+  const auto report = sim.run();
+  // The ISD-2400/N-8 deployment sustains > 29 dB everywhere when nodes
+  // wake correctly, so trains never see degraded SNR.
+  EXPECT_GT(report.train_snr_db.count(), 1000u);
+  EXPECT_GE(report.train_snr_db.min(), 29.0);
+  EXPECT_DOUBLE_EQ(report.degraded_seconds, 0.0);
+  // Samples between 29.0 and the 29.28 dB saturation point sit a hair
+  // below the 5.84 bps/Hz cap.
+  EXPECT_GT(report.train_spectral_efficiency.mean(), 5.82);
+}
+
+TEST(CorridorSim, MissedWakesDegradeQos) {
+  auto config = sleep_mode_config(2400.0, 8);
+  config.detector_miss_probability = 0.3;
+  config.seed = 7;
+  CorridorSimulation sim(config);
+  const auto report = sim.run();
+  EXPECT_GT(report.missed_wakes, 0);
+  // With sleeping repeaters the mid-corridor SNR collapses.
+  EXPECT_LT(report.train_snr_db.min(), 29.0);
+  EXPECT_GT(report.degraded_seconds, 0.0);
+}
+
+TEST(CorridorSim, ContinuousModeImmuneToDetectorFailures) {
+  auto config = sleep_mode_config(2400.0, 8);
+  config.mode = corridor::RepeaterOperationMode::kContinuous;
+  // The HP masts wake via the same barriers, so make them continuous
+  // too — otherwise a missed mast wake still punches a coverage hole.
+  config.energy.hp_sleep_when_idle = false;
+  config.detector_miss_probability = 0.5;
+  CorridorSimulation sim(config);
+  const auto report = sim.run();
+  // No node ever sleeps, so missed detections are irrelevant for QoS.
+  EXPECT_GE(report.train_snr_db.min(), 29.0);
+  EXPECT_DOUBLE_EQ(report.degraded_seconds, 0.0);
+}
+
+TEST(CorridorSim, SleepingMastsAreAlsoAFailurePoint) {
+  // Counterpart of the test above: with sleeping HP masts, a 50 % miss
+  // rate leaves edge gaps uncovered even though the repeaters are
+  // continuous — the wake chain matters for every node class.
+  auto config = sleep_mode_config(2400.0, 8);
+  config.mode = corridor::RepeaterOperationMode::kContinuous;
+  config.detector_miss_probability = 0.5;
+  config.seed = 99;
+  const auto report = CorridorSimulation(config).run();
+  EXPECT_LT(report.train_snr_db.min(), 29.0);
+  EXPECT_GT(report.degraded_seconds, 0.0);
+}
+
+TEST(CorridorSim, SolarModeExcludesLpFromMains) {
+  auto sleep_config = sleep_mode_config(1600.0, 3);
+  auto solar_config = sleep_config;
+  solar_config.mode = corridor::RepeaterOperationMode::kSolarPowered;
+  const auto sleep_report = CorridorSimulation(sleep_config).run();
+  const auto solar_report = CorridorSimulation(solar_config).run();
+  EXPECT_LT(solar_report.mains_per_km.value(),
+            sleep_report.mains_per_km.value());
+}
+
+TEST(CorridorSim, ConventionalBaselinePerKmMatchesAnalytic) {
+  SimulationConfig config;
+  config.deployment = corridor::SegmentDeployment::conventional_baseline();
+  config.mode = corridor::RepeaterOperationMode::kContinuous;
+  const auto report = CorridorSimulation(config).run();
+  // Analytic: ~467 W/km.
+  EXPECT_NEAR(report.mains_per_km.value(), 467.2, 10.0);
+}
+
+TEST(CorridorSim, PoissonTimetableRuns) {
+  auto config = sleep_mode_config(1600.0, 3);
+  config.poisson_timetable = true;
+  config.seed = 12345;
+  const auto report = CorridorSimulation(config).run();
+  EXPECT_GT(report.trains, 100);
+  EXPECT_LT(report.trains, 210);
+}
+
+TEST(CorridorSim, DeterministicAcrossRuns) {
+  auto config = sleep_mode_config(1800.0, 4);
+  config.detector_miss_probability = 0.1;
+  config.seed = 42;
+  const auto a = CorridorSimulation(config).run();
+  const auto b = CorridorSimulation(config).run();
+  EXPECT_EQ(a.missed_wakes, b.missed_wakes);
+  EXPECT_DOUBLE_EQ(a.mains_energy.value(), b.mains_energy.value());
+  EXPECT_DOUBLE_EQ(a.train_snr_db.mean(), b.train_snr_db.mean());
+}
+
+}  // namespace
+}  // namespace railcorr::sim

@@ -1,0 +1,90 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::sim {
+namespace {
+
+TEST(EventQueue, ProcessesInTimeOrder) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(3.0, [&](double t) { fired.push_back(t); });
+  q.schedule(1.0, [&](double t) { fired.push_back(t); });
+  q.schedule(2.0, [&](double t) { fired.push_back(t); });
+  q.run_all();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[1], 2.0);
+  EXPECT_DOUBLE_EQ(fired[2], 3.0);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, StableForSimultaneousEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i](double) { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  int count = 0;
+  q.schedule(1.0, [&](double) { ++count; });
+  q.schedule(2.0, [&](double) { ++count; });
+  q.schedule(3.0, [&](double) { ++count; });
+  q.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(1.0, [&](double t) {
+    fired.push_back(t);
+    q.schedule(t + 1.0, [&](double t2) {
+      fired.push_back(t2);
+      q.schedule(t2 + 1.0, [&](double t3) { fired.push_back(t3); });
+    });
+  });
+  q.run_all();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired[2], 3.0);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double observed = -1.0;
+  q.schedule(7.5, [&](double) { observed = q.now(); });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(observed, 7.5);
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(5.0, [](double) {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(4.0, [](double) {}), ContractViolation);
+  EXPECT_THROW(q.run_until(1.0), ContractViolation);
+}
+
+TEST(EventQueue, EmptyQueueRunAllIsNoop) {
+  EventQueue q;
+  q.run_all();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.processed(), 0u);
+}
+
+}  // namespace
+}  // namespace railcorr::sim

@@ -1,0 +1,120 @@
+#include "sim/node_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::sim {
+namespace {
+
+power::EarthPowerModel lp() {
+  return power::EarthPowerModel::paper_low_power_repeater();
+}
+
+TEST(NodeAgent, StartsAsleepWhenSleepCapable) {
+  NodeAgent agent("n", lp(), 0.3, true, 0.0);
+  EXPECT_EQ(agent.state(), NodePowerState::kSleep);
+  EXPECT_FALSE(agent.radiating());
+}
+
+TEST(NodeAgent, StartsActiveWhenContinuous) {
+  NodeAgent agent("n", lp(), 0.3, false, 0.0);
+  EXPECT_EQ(agent.state(), NodePowerState::kActive);
+  EXPECT_TRUE(agent.radiating());
+}
+
+TEST(NodeAgent, WakeCycleEnergyAccounting) {
+  NodeAgent agent("n", lp(), 0.5, true, 0.0);
+  // Sleep 0..10, waking 10..10.5, active 10.5..12, full load 12..22,
+  // active 22..25, sleep 25..3600.
+  const double t_active = agent.begin_wake(10.0);
+  EXPECT_DOUBLE_EQ(t_active, 10.5);
+  EXPECT_EQ(agent.state(), NodePowerState::kWaking);
+  agent.complete_wake(10.5);
+  EXPECT_EQ(agent.state(), NodePowerState::kActive);
+  agent.enter_full_load(12.0);
+  agent.leave_full_load(22.0);
+  agent.sleep(25.0);
+  agent.finish(3600.0);
+
+  EXPECT_EQ(agent.wake_count(), 1);
+  EXPECT_DOUBLE_EQ(agent.full_load_seconds(), 10.0);
+  // Energy: sleep(10 + 3575 s)*4.72 + P0*(0.5 + 1.5 + 3) + full*10, in Ws.
+  const double expected_ws = 4.72 * (10.0 + 3575.0) + 24.26 * 5.0 +
+                             28.26 * 10.0;
+  EXPECT_NEAR(agent.energy().value(), expected_ws / 3600.0, 1e-9);
+  EXPECT_NEAR(agent.average_power().value(), expected_ws / 3600.0, 1e-9);
+}
+
+TEST(NodeAgent, ContinuousAgentNeverSleeps) {
+  NodeAgent agent("n", lp(), 0.3, false, 0.0);
+  agent.sleep(10.0);
+  EXPECT_EQ(agent.state(), NodePowerState::kActive);
+  agent.finish(20.0);
+  // All at P0.
+  EXPECT_NEAR(agent.average_power().value(), 24.26, 1e-9);
+}
+
+TEST(NodeAgent, BeginWakeIsNoopWhenAwake) {
+  NodeAgent agent("n", lp(), 0.3, true, 0.0);
+  agent.begin_wake(1.0);
+  agent.complete_wake(1.3);
+  EXPECT_DOUBLE_EQ(agent.begin_wake(2.0), 2.0);  // already awake
+  EXPECT_EQ(agent.wake_count(), 1);
+}
+
+TEST(NodeAgent, FullLoadFromSleepViolatesContract) {
+  NodeAgent agent("n", lp(), 0.3, true, 0.0);
+  EXPECT_THROW(agent.enter_full_load(5.0), ContractViolation);
+}
+
+TEST(NodeAgent, WakingAgentCanEnterFullLoad) {
+  // A train may arrive before the transition finishes; the node joins at
+  // full load immediately (it just missed the first metres).
+  NodeAgent agent("n", lp(), 1.0, true, 0.0);
+  agent.begin_wake(5.0);
+  agent.enter_full_load(5.5);
+  EXPECT_EQ(agent.state(), NodePowerState::kFullLoad);
+}
+
+TEST(NodeAgent, LeaveFullLoadWhenNotLoadedIsNoop) {
+  NodeAgent agent("n", lp(), 0.3, true, 0.0);
+  agent.begin_wake(0.0);
+  agent.complete_wake(0.3);
+  agent.leave_full_load(1.0);
+  EXPECT_EQ(agent.state(), NodePowerState::kActive);
+}
+
+TEST(NodeAgent, SleepWhileFullLoadStopsAccumulation) {
+  NodeAgent agent("n", lp(), 0.0, true, 0.0);
+  agent.begin_wake(0.0);
+  agent.complete_wake(0.0);
+  agent.enter_full_load(10.0);
+  agent.sleep(15.0);  // e.g. hold expired while still marked loaded
+  agent.finish(20.0);
+  EXPECT_DOUBLE_EQ(agent.full_load_seconds(), 5.0);
+}
+
+TEST(NodeAgent, FinishTwiceViolatesContract) {
+  NodeAgent agent("n", lp(), 0.3, true, 0.0);
+  agent.finish(10.0);
+  EXPECT_THROW(agent.finish(20.0), ContractViolation);
+  // Any state *transition* after finish violates the contract (a sleep
+  // request on an already-sleeping node is a no-op and does not).
+  EXPECT_THROW(agent.begin_wake(15.0), ContractViolation);
+}
+
+TEST(NodeAgent, EnergyBeforeFinishViolatesContract) {
+  NodeAgent agent("n", lp(), 0.3, true, 0.0);
+  EXPECT_THROW(agent.energy(), ContractViolation);
+}
+
+TEST(NodeAgent, StateNames) {
+  EXPECT_STREQ(to_string(NodePowerState::kSleep), "sleep");
+  EXPECT_STREQ(to_string(NodePowerState::kWaking), "waking");
+  EXPECT_STREQ(to_string(NodePowerState::kActive), "active");
+  EXPECT_STREQ(to_string(NodePowerState::kFullLoad), "full-load");
+}
+
+}  // namespace
+}  // namespace railcorr::sim

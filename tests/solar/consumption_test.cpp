@@ -1,0 +1,70 @@
+#include "solar/consumption.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+namespace {
+
+TEST(Consumption, PaperRepeaterProfile) {
+  const auto profile = repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(),
+      traffic::TimetableConfig::paper_timetable(), 200.0);
+  // Paper: ~5.17 W average, ~124 Wh/day for a sleep-mode node, computed
+  // here as 5 night hours of pure sleep + 19 duty-cycled hours.
+  EXPECT_NEAR(profile.average_watts(), 5.17, 0.1);
+  EXPECT_NEAR(profile.daily_energy().value(), 124.0, 2.5);
+}
+
+TEST(Consumption, NightHoursAreSleepPower) {
+  const auto config = traffic::TimetableConfig::paper_timetable();
+  const auto profile = repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(), config, 200.0);
+  // Night pause 00:30 - 05:30: hours 1..4 fully inside.
+  for (int h = 1; h <= 4; ++h) {
+    EXPECT_NEAR(profile.hourly_watts[h], 4.72, 1e-9) << "hour " << h;
+  }
+  // Midday hours carry the duty-cycled mix (> sleep power).
+  EXPECT_GT(profile.hourly_watts[12], 4.72);
+  EXPECT_LT(profile.hourly_watts[12], 6.0);
+}
+
+TEST(Consumption, BoundaryHoursBlend) {
+  const auto config = traffic::TimetableConfig::paper_timetable();
+  const auto profile = repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(), config, 200.0);
+  // Hour 0 is half night (pause starts 00:30): between sleep and busy.
+  EXPECT_GT(profile.hourly_watts[0], 4.72);
+  EXPECT_LT(profile.hourly_watts[0], profile.hourly_watts[12]);
+}
+
+TEST(Consumption, WrappingNightPause) {
+  auto config = traffic::TimetableConfig::paper_timetable();
+  config.night_start_hour = 22.0;  // 22:00 - 03:00
+  const auto profile = repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(), config, 200.0);
+  EXPECT_NEAR(profile.hourly_watts[23], 4.72, 1e-9);
+  EXPECT_NEAR(profile.hourly_watts[1], 4.72, 1e-9);
+  EXPECT_GT(profile.hourly_watts[12], 4.72);
+}
+
+TEST(Consumption, ConstantProfile) {
+  const auto profile = constant_consumption(Watts(10.0));
+  EXPECT_DOUBLE_EQ(profile.average_watts(), 10.0);
+  EXPECT_DOUBLE_EQ(profile.daily_energy().value(), 240.0);
+  EXPECT_THROW(constant_consumption(Watts(-1.0)), ContractViolation);
+}
+
+TEST(Consumption, BusierScheduleConsumesMore) {
+  auto config = traffic::TimetableConfig::paper_timetable();
+  const auto base = repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(), config, 200.0);
+  config.trains_per_hour = 16.0;
+  const auto busy = repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(), config, 200.0);
+  EXPECT_GT(busy.average_watts(), base.average_watts());
+}
+
+}  // namespace
+}  // namespace railcorr::solar

@@ -1,0 +1,115 @@
+#include "solar/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+namespace {
+
+using constants::kDegToRad;
+
+TEST(SolarGeometry, DeclinationBoundsAndSolstices) {
+  double min_decl = 1e9;
+  double max_decl = -1e9;
+  for (int doy = 1; doy <= 365; ++doy) {
+    const double d = declination_rad(doy) / kDegToRad;
+    min_decl = std::min(min_decl, d);
+    max_decl = std::max(max_decl, d);
+  }
+  EXPECT_NEAR(max_decl, 23.45, 0.05);
+  EXPECT_NEAR(min_decl, -23.45, 0.05);
+  // Near the equinoxes declination crosses zero.
+  EXPECT_NEAR(declination_rad(81) / kDegToRad, 0.0, 1.5);
+  EXPECT_NEAR(declination_rad(265) / kDegToRad, 0.0, 1.5);
+}
+
+TEST(SolarGeometry, DaylengthSeasonality) {
+  const double berlin = 52.5 * kDegToRad;
+  const double summer = daylength_hours(berlin, declination_rad(172));
+  const double winter = daylength_hours(berlin, declination_rad(355));
+  EXPECT_NEAR(summer, 16.8, 0.5);
+  EXPECT_NEAR(winter, 7.5, 0.5);
+  // Equator: ~12 h year-round.
+  EXPECT_NEAR(daylength_hours(0.0, declination_rad(172)), 12.0, 0.1);
+}
+
+TEST(SolarGeometry, PolarDayAndNight) {
+  const double arctic = 75.0 * kDegToRad;
+  EXPECT_DOUBLE_EQ(sunset_hour_angle_rad(arctic, declination_rad(172)),
+                   constants::kPi);
+  EXPECT_DOUBLE_EQ(sunset_hour_angle_rad(arctic, declination_rad(355)), 0.0);
+}
+
+TEST(SolarGeometry, HourAngleConvention) {
+  EXPECT_DOUBLE_EQ(hour_angle_rad(12.0), 0.0);
+  EXPECT_NEAR(hour_angle_rad(13.0) / kDegToRad, 15.0, 1e-9);
+  EXPECT_NEAR(hour_angle_rad(6.0) / kDegToRad, -90.0, 1e-9);
+  EXPECT_THROW(hour_angle_rad(25.0), ContractViolation);
+}
+
+TEST(SolarGeometry, ZenithAtNoonEqualsLatMinusDecl) {
+  const double phi = 48.0 * kDegToRad;
+  const double delta = declination_rad(172);
+  const double cz = cos_zenith(phi, delta, 0.0);
+  EXPECT_NEAR(std::acos(cz), std::abs(phi - delta), 1e-9);
+}
+
+TEST(SolarGeometry, VerticalSurfaceIncidence) {
+  // Winter noon at 48 N: the low sun faces a vertical south panel almost
+  // head-on; in summer the high sun grazes it.
+  const double phi = 48.0 * kDegToRad;
+  const double winter_delta = declination_rad(355);
+  const double tilt = 90.0 * kDegToRad;
+  const double ci_winter =
+      cos_incidence_equator_facing(phi, winter_delta, 0.0, tilt);
+  const double summer_delta = declination_rad(172);
+  const double ci_summer =
+      cos_incidence_equator_facing(phi, summer_delta, 0.0, tilt);
+  // Vertical panels catch winter sun much better than summer sun.
+  EXPECT_GT(ci_winter, 0.9);
+  EXPECT_LT(ci_summer, 0.45);
+}
+
+TEST(SolarGeometry, DailyExtraterrestrialRange) {
+  const double madrid = 40.42 * kDegToRad;
+  const double june = daily_extraterrestrial_wh_m2(madrid, 172);
+  const double december = daily_extraterrestrial_wh_m2(madrid, 355);
+  // Madrid: ~11.5 kWh/m^2 in June, ~3.9 kWh/m^2 in December.
+  EXPECT_NEAR(june, 11500.0, 500.0);
+  EXPECT_NEAR(december, 3900.0, 400.0);
+  EXPECT_GT(june, december);
+}
+
+TEST(SolarGeometry, HourlyExtraterrestrialZeroAtNight) {
+  const double phi = 50.0 * kDegToRad;
+  EXPECT_DOUBLE_EQ(hourly_extraterrestrial_wh_m2(phi, 172, hour_angle_rad(0.5)),
+                   0.0);
+  EXPECT_GT(hourly_extraterrestrial_wh_m2(phi, 172, 0.0), 900.0);
+}
+
+TEST(SolarGeometry, EccentricityBounds) {
+  for (int doy = 1; doy <= 365; doy += 7) {
+    const double e = eccentricity_factor(doy);
+    EXPECT_GT(e, 0.966);
+    EXPECT_LT(e, 1.034);
+  }
+  EXPECT_GT(eccentricity_factor(3), eccentricity_factor(183));
+}
+
+TEST(SolarGeometry, MonthMapping) {
+  EXPECT_EQ(month_of_day(1), 1);
+  EXPECT_EQ(month_of_day(31), 1);
+  EXPECT_EQ(month_of_day(32), 2);
+  EXPECT_EQ(month_of_day(365), 12);
+  EXPECT_EQ(representative_day_of_month(1), 17);
+  EXPECT_EQ(representative_day_of_month(6), 162);
+  EXPECT_THROW(representative_day_of_month(0), ContractViolation);
+  EXPECT_THROW(month_of_day(366), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::solar

@@ -1,0 +1,102 @@
+#include "solar/offgrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "solar/sizing.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::solar {
+namespace {
+
+ConsumptionProfile paper_load() {
+  return repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(),
+      traffic::TimetableConfig::paper_timetable(), 200.0);
+}
+
+TEST(OffGrid, MadridStandardSystemRunsContinuously) {
+  OffGridSystem system;  // 540 Wp / 720 Wh, vertical south
+  const OffGridSimulator sim(madrid(), system, paper_load());
+  // The reference weather seed used by the Table IV sizing runs.
+  const auto report =
+      sim.simulate(SizingOptions{}.seed, /*years=*/3);
+  EXPECT_TRUE(report.continuous_operation());
+  EXPECT_GT(report.days_with_full_battery_pct, 90.0);
+  EXPECT_EQ(report.downtime_days, 0);
+}
+
+TEST(OffGrid, MeanYearIsEasierThanStochastic) {
+  OffGridSystem system;
+  const OffGridSimulator sim(vienna(), system, paper_load());
+  const auto mean = sim.simulate_mean_year();
+  EXPECT_TRUE(mean.continuous_operation());
+}
+
+TEST(OffGrid, TinyBatteryFailsInWinter) {
+  OffGridSystem system;
+  system.battery_capacity_wh = 60.0;  // < one night of sleep-mode load
+  const OffGridSimulator sim(berlin(), system, paper_load());
+  const auto report = sim.simulate(1, 1);
+  EXPECT_FALSE(report.continuous_operation());
+  EXPECT_GT(report.downtime_days, 0);
+}
+
+TEST(OffGrid, TinyPanelFails) {
+  OffGridSystem system;
+  system.array = PvArray(5.0);  // 5 Wp cannot sustain ~122 Wh/day
+  const OffGridSimulator sim(madrid(), system, paper_load());
+  const auto report = sim.simulate(1, 1);
+  EXPECT_FALSE(report.continuous_operation());
+  EXPECT_GT(report.unserved_energy.value(), 0.0);
+}
+
+TEST(OffGrid, EnergyAccountingConsistent) {
+  OffGridSystem system;
+  const OffGridSimulator sim(lyon(), system, paper_load());
+  const auto report = sim.simulate(3, 1);
+  // Load over a 365-day year at ~122 Wh/day.
+  EXPECT_NEAR(report.annual_load.value(), 365.0 * paper_load().daily_energy().value(),
+              1.0);
+  // PV production exceeds the load by a wide margin (540 Wp vs ~5 W load).
+  EXPECT_GT(report.annual_pv_energy.value(), 5.0 * report.annual_load.value());
+  // Most surplus is curtailed once the battery is full.
+  EXPECT_GT(report.curtailed_energy.value(), 0.0);
+  EXPECT_LT(report.curtailed_energy.value(), report.annual_pv_energy.value());
+  EXPECT_GE(report.min_soc_fraction, 0.4 - 1e-9);
+}
+
+TEST(OffGrid, LargerBatteryNeverWorse) {
+  ConsumptionProfile load = paper_load();
+  OffGridSystem small;
+  small.battery_capacity_wh = 240.0;
+  OffGridSystem large;
+  large.battery_capacity_wh = 1440.0;
+  const auto r_small =
+      OffGridSimulator(berlin(), small, load).simulate(11, 2);
+  const auto r_large =
+      OffGridSimulator(berlin(), large, load).simulate(11, 2);
+  EXPECT_LE(r_large.downtime_hours, r_small.downtime_hours);
+}
+
+TEST(OffGrid, DeterministicForSameSeed) {
+  OffGridSystem system;
+  const OffGridSimulator sim(vienna(), system, paper_load());
+  const auto a = sim.simulate(99, 1);
+  const auto b = sim.simulate(99, 1);
+  EXPECT_DOUBLE_EQ(a.days_with_full_battery_pct, b.days_with_full_battery_pct);
+  EXPECT_EQ(a.downtime_hours, b.downtime_hours);
+  EXPECT_DOUBLE_EQ(a.annual_pv_energy.value(), b.annual_pv_energy.value());
+}
+
+TEST(OffGrid, Contracts) {
+  OffGridSystem bad;
+  bad.battery_capacity_wh = 0.0;
+  EXPECT_THROW(OffGridSimulator(madrid(), bad, paper_load()),
+               ContractViolation);
+  OffGridSystem system;
+  const OffGridSimulator sim(madrid(), system, paper_load());
+  EXPECT_THROW(sim.simulate(1, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::solar

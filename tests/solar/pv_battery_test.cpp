@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "solar/battery.hpp"
+#include "solar/pv.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace railcorr::solar {
+namespace {
+
+TEST(PvArray, StcOutput) {
+  const PvArray array(540.0, 0.14);
+  // Full sun for one hour: 540 * 0.86 = 464.4 Wh.
+  EXPECT_NEAR(array.hourly_energy(1000.0).value(), 464.4, 1e-9);
+  // Linear in irradiance.
+  EXPECT_NEAR(array.hourly_energy(500.0).value(), 232.2, 1e-9);
+  EXPECT_DOUBLE_EQ(array.hourly_energy(0.0).value(), 0.0);
+}
+
+TEST(PvArray, PaperArray) {
+  const auto array = PvArray::paper_array();
+  EXPECT_DOUBLE_EQ(array.peak_power_wp(), 540.0);
+  EXPECT_DOUBLE_EQ(array.system_loss(), 0.14);
+}
+
+TEST(PvArray, Contracts) {
+  EXPECT_THROW(PvArray(0.0), ContractViolation);
+  EXPECT_THROW(PvArray(100.0, 1.0), ContractViolation);
+  EXPECT_THROW(PvArray(100.0).hourly_energy(-1.0), ContractViolation);
+}
+
+TEST(Battery, StartsFullAndTracksSoc) {
+  Battery b(720.0, 0.4);
+  EXPECT_TRUE(b.is_full());
+  EXPECT_DOUBLE_EQ(b.soc_fraction(), 1.0);
+  EXPECT_NEAR(b.usable_energy().value(), 720.0 * 0.6, 1e-9);
+}
+
+TEST(Battery, DischargeRespectsCutoff) {
+  Battery b(720.0, 0.4, 1.0, 1.0);  // ideal efficiencies for clarity
+  // Ask for more than the usable 432 Wh.
+  const auto delivered = b.discharge(WattHours(500.0));
+  EXPECT_NEAR(delivered.value(), 432.0, 1e-9);
+  EXPECT_TRUE(b.at_cutoff());
+  // Nothing more comes out.
+  EXPECT_NEAR(b.discharge(WattHours(10.0)).value(), 0.0, 1e-12);
+}
+
+TEST(Battery, ChargeReturnsSurplus) {
+  Battery b(100.0, 0.0, 1.0, 1.0);
+  b.discharge(WattHours(30.0));
+  const auto surplus = b.charge(WattHours(50.0));
+  EXPECT_NEAR(surplus.value(), 20.0, 1e-9);
+  EXPECT_TRUE(b.is_full());
+}
+
+TEST(Battery, EfficiencyLossesApplied) {
+  Battery b(1000.0, 0.0, 0.9, 0.8);
+  b.discharge(WattHours(400.0));  // draws 500 from cells
+  EXPECT_NEAR(b.state_of_charge().value(), 500.0, 1e-9);
+  b.charge(WattHours(100.0));  // stores 90
+  EXPECT_NEAR(b.state_of_charge().value(), 590.0, 1e-9);
+}
+
+TEST(Battery, RoundTripNeverCreatesEnergy) {
+  Battery b(720.0, 0.4);
+  const double before = b.state_of_charge().value();
+  const auto out = b.discharge(WattHours(100.0));
+  b.charge(out);
+  EXPECT_LE(b.state_of_charge().value(), before + 1e-9);
+}
+
+TEST(Battery, ResetRestoresFull) {
+  Battery b(720.0, 0.4);
+  b.discharge(WattHours(200.0));
+  EXPECT_FALSE(b.is_full());
+  b.reset();
+  EXPECT_TRUE(b.is_full());
+}
+
+TEST(Battery, Contracts) {
+  EXPECT_THROW(Battery(0.0), ContractViolation);
+  EXPECT_THROW(Battery(100.0, 1.0), ContractViolation);
+  EXPECT_THROW(Battery(100.0, 0.4, 0.0, 1.0), ContractViolation);
+  Battery b(100.0);
+  EXPECT_THROW(b.charge(WattHours(-1.0)), ContractViolation);
+  EXPECT_THROW(b.discharge(WattHours(-1.0)), ContractViolation);
+}
+
+// Property: SoC stays within [cutoff * capacity, capacity] under any
+// charge/discharge sequence.
+class BatterySocSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatterySocSweep, SocStaysWithinBounds) {
+  Rng rng(GetParam());
+  Battery b(720.0, 0.4);
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.uniform() < 0.5) {
+      b.charge(WattHours(rng.uniform(0.0, 300.0)));
+    } else {
+      b.discharge(WattHours(rng.uniform(0.0, 300.0)));
+    }
+    EXPECT_GE(b.state_of_charge().value(), 0.4 * 720.0 - 1e-9);
+    EXPECT_LE(b.state_of_charge().value(), 720.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatterySocSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+}  // namespace
+}  // namespace railcorr::solar

@@ -1,0 +1,82 @@
+#include "solar/sizing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace railcorr::solar {
+namespace {
+
+ConsumptionProfile paper_load() {
+  return repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(),
+      traffic::TimetableConfig::paper_timetable(), 200.0);
+}
+
+TEST(Sizing, LadderIsOrderedByCost) {
+  const auto ladder = paper_sizing_ladder();
+  ASSERT_GE(ladder.size(), 3u);
+  EXPECT_DOUBLE_EQ(ladder[0].pv_wp, 540.0);
+  EXPECT_DOUBLE_EQ(ladder[0].battery_wh, 720.0);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GE(ladder[i].pv_wp * ladder[i].battery_wh,
+              ladder[i - 1].pv_wp * ladder[i - 1].battery_wh);
+  }
+}
+
+TEST(Sizing, SouthernSitesNeedTheSmallConfig) {
+  // Madrid and Lyon run on 540 Wp / 720 Wh (paper Table IV).
+  const auto madrid_result = size_for_location(madrid(), paper_load());
+  EXPECT_FALSE(madrid_result.ladder_exhausted);
+  EXPECT_DOUBLE_EQ(madrid_result.chosen.pv_wp, 540.0);
+  EXPECT_DOUBLE_EQ(madrid_result.chosen.battery_wh, 720.0);
+  EXPECT_TRUE(madrid_result.report.continuous_operation());
+
+  const auto lyon_result = size_for_location(lyon(), paper_load());
+  EXPECT_DOUBLE_EQ(lyon_result.chosen.pv_wp, 540.0);
+  EXPECT_DOUBLE_EQ(lyon_result.chosen.battery_wh, 720.0);
+}
+
+TEST(Sizing, NorthernSitesNeedMore) {
+  // Vienna and Berlin require enlarged storage (paper: 1440 Wh, Berlin
+  // additionally 600 Wp). Our synthetic weather must reproduce at least
+  // the *ordering*: Berlin >= Vienna > Madrid in required capacity.
+  const auto vienna_result = size_for_location(vienna(), paper_load());
+  const auto berlin_result = size_for_location(berlin(), paper_load());
+  EXPECT_GE(vienna_result.chosen.battery_wh, 1440.0);
+  EXPECT_GE(berlin_result.chosen.battery_wh, 1440.0);
+  EXPECT_GE(berlin_result.chosen.pv_wp * berlin_result.chosen.battery_wh,
+            vienna_result.chosen.pv_wp * vienna_result.chosen.battery_wh);
+  EXPECT_TRUE(vienna_result.report.continuous_operation());
+  EXPECT_TRUE(berlin_result.report.continuous_operation());
+}
+
+TEST(Sizing, AllFourPaperLocations) {
+  const auto results = size_paper_locations(paper_load());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].location.name, "Madrid");
+  EXPECT_EQ(results[3].location.name, "Berlin");
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.report.continuous_operation()) << r.location.name;
+    // Most days end with a full battery everywhere (paper: 88-98 %).
+    EXPECT_GT(r.report.days_with_full_battery_pct, 75.0) << r.location.name;
+  }
+  // Full-battery percentage decreases northwards (paper's trend).
+  EXPECT_GT(results[0].report.days_with_full_battery_pct,
+            results[3].report.days_with_full_battery_pct);
+}
+
+TEST(Sizing, ImpossibleLoadExhaustsLadder) {
+  const auto result = size_for_location(berlin(), constant_consumption(Watts(200.0)));
+  EXPECT_TRUE(result.ladder_exhausted);
+  EXPECT_FALSE(result.report.continuous_operation());
+}
+
+TEST(Sizing, CustomLadderRespected) {
+  const std::vector<SizingCandidate> ladder = {{2000.0, 5000.0}};
+  const auto result =
+      size_for_location(berlin(), paper_load(), SizingOptions{}, ladder);
+  EXPECT_DOUBLE_EQ(result.chosen.pv_wp, 2000.0);
+  EXPECT_TRUE(result.report.continuous_operation());
+}
+
+}  // namespace
+}  // namespace railcorr::solar

@@ -1,0 +1,127 @@
+#include "traffic/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::traffic {
+namespace {
+
+TEST(WakePolicy, RequiredLeadDistance) {
+  WakePolicy policy;
+  policy.transition_s = 0.3;
+  policy.guard_s = 0.5;
+  const auto train = Train::paper_train();
+  // (0.3 + 0.5) s at 55.56 m/s = 44.4 m.
+  EXPECT_NEAR(policy.required_lead_distance_m(train), 44.4, 0.1);
+}
+
+TEST(WakeWindows, OnePerTrain) {
+  const auto config = TimetableConfig::paper_timetable();
+  const auto tt = Timetable::regular(config);
+  Rng rng(1);
+  Detector det;
+  det.position_m = 450.0;  // ahead of a node section [500, 700]
+  WakePolicy policy;
+  const auto windows = wake_windows(det, policy, tt, 500.0, 700.0, rng);
+  EXPECT_EQ(windows.size(), tt.train_count());
+  for (const auto& w : windows) {
+    EXPECT_FALSE(w.missed);
+    EXPECT_LT(w.wake_s, w.active_s);
+    EXPECT_LT(w.active_s, w.sleep_s);
+  }
+}
+
+TEST(WakeWindows, NodeAwakeBeforeTrainArrives) {
+  const auto config = TimetableConfig::paper_timetable();
+  const auto tt = Timetable::regular(config);
+  Rng rng(1);
+  WakePolicy policy;
+  const double lead = policy.required_lead_distance_m(config.train);
+  Detector det;
+  det.position_m = 500.0 - lead;
+  const auto windows = wake_windows(det, policy, tt, 500.0, 700.0, rng);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto occupancy = tt.passages()[i].occupancy(500.0, 700.0);
+    EXPECT_LE(windows[i].active_s, occupancy.begin_s + 1e-9)
+        << "train " << i << " arrived before the node was active";
+  }
+}
+
+TEST(WakeWindows, AwakeDurationCoversOccupancyPlusMargins) {
+  const auto config = TimetableConfig::paper_timetable();
+  const auto tt = Timetable::regular(config);
+  Rng rng(1);
+  WakePolicy policy;
+  Detector det;
+  det.position_m = 400.0;
+  const auto windows = wake_windows(det, policy, tt, 500.0, 700.0, rng);
+  const double occupancy = config.train.occupancy_seconds(200.0);
+  for (const auto& w : windows) {
+    EXPECT_GT(w.awake_duration(), occupancy);
+    // Awake time is bounded: occupancy + travel from detector + hold + slack.
+    EXPECT_LT(w.awake_duration(), occupancy + 10.0);
+  }
+}
+
+TEST(WakeWindows, MissProbabilityInjectsFailures) {
+  const auto config = TimetableConfig::paper_timetable();
+  const auto tt = Timetable::regular(config);
+  Rng rng(77);
+  Detector det;
+  det.position_m = 450.0;
+  det.miss_probability = 0.25;
+  WakePolicy policy;
+  const auto windows = wake_windows(det, policy, tt, 500.0, 700.0, rng);
+  int missed = 0;
+  for (const auto& w : windows) missed += w.missed ? 1 : 0;
+  // 152 trains at 25 %: expect ~38, allow generous slack.
+  EXPECT_GT(missed, 20);
+  EXPECT_LT(missed, 60);
+}
+
+TEST(AwakeSeconds, SumsNonMissedWindows) {
+  std::vector<WakeWindow> windows;
+  WakeWindow a;
+  a.wake_s = 0.0;
+  a.active_s = 0.3;
+  a.sleep_s = 10.0;
+  WakeWindow b;
+  b.wake_s = 100.0;
+  b.active_s = 100.3;
+  b.sleep_s = 110.0;
+  WakeWindow missed;
+  missed.wake_s = 200.0;
+  missed.active_s = 200.3;
+  missed.sleep_s = 210.0;
+  missed.missed = true;
+  windows = {a, b, missed};
+  EXPECT_DOUBLE_EQ(awake_seconds_per_day(windows), 20.0);
+}
+
+TEST(AwakeSeconds, MergesOverlappingWindows) {
+  WakeWindow a;
+  a.wake_s = 0.0;
+  a.active_s = 0.3;
+  a.sleep_s = 10.0;
+  WakeWindow b;
+  b.wake_s = 5.0;
+  b.active_s = 5.3;
+  b.sleep_s = 12.0;
+  EXPECT_DOUBLE_EQ(awake_seconds_per_day({a, b}), 12.0);
+}
+
+TEST(WakeWindows, Contracts) {
+  const auto tt = Timetable::regular(TimetableConfig::paper_timetable());
+  Rng rng(1);
+  Detector det;
+  WakePolicy policy;
+  EXPECT_THROW(wake_windows(det, policy, tt, 700.0, 500.0, rng),
+               ContractViolation);
+  det.miss_probability = 1.5;
+  EXPECT_THROW(wake_windows(det, policy, tt, 500.0, 700.0, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::traffic

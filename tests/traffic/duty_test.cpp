@@ -1,0 +1,79 @@
+#include "traffic/duty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::traffic {
+namespace {
+
+TEST(Duty, PaperDutyCycles) {
+  const auto c = TimetableConfig::paper_timetable();
+  // Paper Sec. V-A: 2.85 % at 500 m ISD, 9.66 % at 2650 m ISD.
+  EXPECT_NEAR(full_load_fraction(c, 500.0), 0.0285, 0.0002);
+  EXPECT_NEAR(full_load_fraction(c, 2650.0), 0.0966, 0.0002);
+}
+
+TEST(Duty, SecondsPerDay) {
+  const auto c = TimetableConfig::paper_timetable();
+  // 152 trains x 16.2 s = 2462 s.
+  EXPECT_NEAR(full_load_seconds_per_day(c, 500.0), 2462.0, 5.0);
+}
+
+TEST(Duty, RepeaterSectionDuty) {
+  const auto c = TimetableConfig::paper_timetable();
+  // 200 m section: 152 x 10.8 s / 86400 s = 1.9 %.
+  EXPECT_NEAR(full_load_fraction(c, 200.0), 0.019, 0.0002);
+}
+
+TEST(Duty, StateFractionsSelectIdleState) {
+  const auto c = TimetableConfig::paper_timetable();
+  const auto sleeping = section_state_fractions(c, 500.0, true);
+  EXPECT_GT(sleeping.sleep, 0.9);
+  EXPECT_DOUBLE_EQ(sleeping.no_load, 0.0);
+  const auto idling = section_state_fractions(c, 500.0, false);
+  EXPECT_GT(idling.no_load, 0.9);
+  EXPECT_DOUBLE_EQ(idling.sleep, 0.0);
+}
+
+TEST(Duty, AverageUnitPowerLpNode) {
+  const auto c = TimetableConfig::paper_timetable();
+  const auto lp = power::EarthPowerModel::paper_low_power_repeater();
+  // Paper: 5.17 W average for a sleep-mode node on a 200 m section.
+  EXPECT_NEAR(average_unit_power(lp, c, 200.0, true).value(), 5.17, 0.05);
+  // Continuous node: ~24.3 W (dominated by P0).
+  EXPECT_NEAR(average_unit_power(lp, c, 200.0, false).value(), 24.34, 0.05);
+}
+
+TEST(Duty, DailyUnitEnergyLpNode) {
+  const auto c = TimetableConfig::paper_timetable();
+  const auto lp = power::EarthPowerModel::paper_low_power_repeater();
+  // Paper: 124.1 Wh per day.
+  EXPECT_NEAR(daily_unit_energy(lp, c, 200.0, true).value(), 124.1, 1.2);
+}
+
+TEST(Duty, HpMastAveragePower) {
+  const auto c = TimetableConfig::paper_timetable();
+  const auto hp = power::EarthPowerModel::paper_high_power_rrh();
+  // Mast (x2 RRH) at 500 m ISD with sleep: 2x(0.0285*280 + 0.9715*112).
+  const double per_rrh = average_unit_power(hp, c, 500.0, true).value();
+  EXPECT_NEAR(2.0 * per_rrh, 233.6, 0.5);
+}
+
+TEST(Duty, MonotoneInSectionLength) {
+  const auto c = TimetableConfig::paper_timetable();
+  double prev = 0.0;
+  for (double s = 0.0; s <= 3000.0; s += 250.0) {
+    const double f = full_load_fraction(c, s);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Duty, Contracts) {
+  const auto c = TimetableConfig::paper_timetable();
+  EXPECT_THROW(full_load_fraction(c, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::traffic

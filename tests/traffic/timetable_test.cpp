@@ -1,0 +1,96 @@
+#include "traffic/timetable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hpp"
+#include "util/rng.hpp"
+
+namespace railcorr::traffic {
+namespace {
+
+TEST(TimetableConfig, PaperService) {
+  const auto c = TimetableConfig::paper_timetable();
+  EXPECT_DOUBLE_EQ(c.trains_per_hour, 8.0);
+  EXPECT_DOUBLE_EQ(c.night_hours, 5.0);
+  EXPECT_DOUBLE_EQ(c.operating_hours(), 19.0);
+  // Paper: 8 trains/h x 19 h = 152 trains/day.
+  EXPECT_DOUBLE_EQ(c.trains_per_day(), 152.0);
+}
+
+TEST(Timetable, RegularHas152Trains) {
+  const auto tt = Timetable::regular(TimetableConfig::paper_timetable());
+  EXPECT_EQ(tt.train_count(), 152u);
+}
+
+TEST(Timetable, RegularHeadwayIs450Seconds) {
+  // Departures are sorted within the day; the operating window crosses
+  // midnight, so the sorted sequence has up to two seams (the night
+  // pause and the midnight wrap). Every other headway is exactly 450 s.
+  const auto tt = Timetable::regular(TimetableConfig::paper_timetable());
+  const auto& p = tt.passages();
+  int seams = 0;
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    const double headway = p[i].t0_s - p[i - 1].t0_s;
+    if (std::abs(headway - 450.0) > 1e-9) {
+      ++seams;
+    }
+  }
+  EXPECT_LE(seams, 2);
+}
+
+TEST(Timetable, RegularRespectsNightPause) {
+  const auto config = TimetableConfig::paper_timetable();
+  const auto tt = Timetable::regular(config);
+  const double pause_begin = config.night_start_hour * 3600.0;
+  const double pause_end = pause_begin + config.night_hours * 3600.0;
+  for (const auto& p : tt.passages()) {
+    EXPECT_FALSE(p.t0_s > pause_begin && p.t0_s < pause_end)
+        << "train at " << p.t0_s << " inside the night pause";
+  }
+}
+
+TEST(Timetable, PoissonMeanTrainCount) {
+  const auto config = TimetableConfig::paper_timetable();
+  Rng rng(321);
+  double total = 0.0;
+  const int days = 200;
+  for (int d = 0; d < days; ++d) {
+    total += static_cast<double>(Timetable::poisson(config, rng).train_count());
+  }
+  EXPECT_NEAR(total / days, 152.0, 4.0);
+}
+
+TEST(Timetable, PoissonSortedWithinDay) {
+  Rng rng(11);
+  const auto tt = Timetable::poisson(TimetableConfig::paper_timetable(), rng);
+  const auto& p = tt.passages();
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_LE(p[i - 1].t0_s, p[i].t0_s);
+  }
+}
+
+TEST(Timetable, OccupiedSecondsMatchesClosedForm) {
+  const auto config = TimetableConfig::paper_timetable();
+  const auto tt = Timetable::regular(config);
+  // Headways (450 s) far exceed the occupancy (~16 s), so the union is
+  // the plain sum: 152 x (500 + 400) / 55.56.
+  const double expected =
+      config.trains_per_day() * config.train.occupancy_seconds(500.0);
+  EXPECT_NEAR(tt.occupied_seconds(0.0, 500.0), expected, 1e-6);
+}
+
+TEST(Timetable, OccupiedSecondsMergesOverlaps) {
+  // Two trains 5 s apart over a section that takes 16.2 s to clear:
+  // the union is shorter than the sum.
+  TimetableConfig config = TimetableConfig::paper_timetable();
+  config.trains_per_hour = 720.0;  // 5 s headway
+  const auto tt = Timetable::regular(config);
+  const double sum = static_cast<double>(tt.train_count()) *
+                     config.train.occupancy_seconds(500.0);
+  EXPECT_LT(tt.occupied_seconds(0.0, 500.0), sum);
+  // And never exceeds the length of the day.
+  EXPECT_LE(tt.occupied_seconds(0.0, 500.0), 86400.0 + 20.0);
+}
+
+}  // namespace
+}  // namespace railcorr::traffic

@@ -1,0 +1,79 @@
+#include "traffic/train.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::traffic {
+namespace {
+
+TEST(Train, PaperTrainParameters) {
+  const auto t = Train::paper_train();
+  EXPECT_DOUBLE_EQ(t.length_m, 400.0);
+  EXPECT_NEAR(t.speed_mps, 55.56, 0.01);
+  EXPECT_NEAR(t.speed_kmh(), 200.0, 1e-9);
+}
+
+TEST(Train, OccupancyMatchesTableIII) {
+  const auto t = Train::paper_train();
+  // Paper Table III: full load per train 16 s (500 m) to 55 s (2650 m).
+  EXPECT_NEAR(t.occupancy_seconds(500.0), 16.2, 0.1);
+  EXPECT_NEAR(t.occupancy_seconds(2650.0), 54.9, 0.1);
+  // 200 m repeater section: ~10.8 s.
+  EXPECT_NEAR(t.occupancy_seconds(200.0), 10.8, 0.1);
+}
+
+TEST(Train, HeadTransitExcludesTrainLength) {
+  const auto t = Train::paper_train();
+  EXPECT_NEAR(t.occupancy_seconds(500.0) - t.head_transit_seconds(500.0),
+              400.0 / t.speed_mps, 1e-9);
+}
+
+TEST(Train, ZeroSectionOccupancyIsTrainPassTime) {
+  const auto t = Train::paper_train();
+  EXPECT_NEAR(t.occupancy_seconds(0.0), 400.0 / t.speed_mps, 1e-12);
+}
+
+TEST(TrainPassage, HeadAndTailTimes) {
+  TrainPassage p;
+  p.t0_s = 100.0;
+  p.train = Train::paper_train();
+  EXPECT_DOUBLE_EQ(p.head_at(0.0), 100.0);
+  EXPECT_NEAR(p.head_at(555.6), 110.0, 0.01);
+  EXPECT_NEAR(p.tail_clears(0.0) - p.head_at(0.0),
+              400.0 / p.train.speed_mps, 1e-12);
+}
+
+TEST(TrainPassage, OccupancyInterval) {
+  TrainPassage p;
+  p.t0_s = 0.0;
+  p.train = Train::paper_train();
+  const auto iv = p.occupancy(1000.0, 1200.0);
+  EXPECT_NEAR(iv.begin_s, 1000.0 / p.train.speed_mps, 1e-12);
+  EXPECT_NEAR(iv.duration(), (200.0 + 400.0) / p.train.speed_mps, 1e-12);
+  EXPECT_THROW(p.occupancy(1200.0, 1000.0), ContractViolation);
+}
+
+TEST(Train, Contracts) {
+  const auto t = Train::paper_train();
+  EXPECT_THROW(t.occupancy_seconds(-1.0), ContractViolation);
+  Train bad = t;
+  bad.speed_mps = 0.0;
+  EXPECT_THROW(bad.occupancy_seconds(100.0), ContractViolation);
+}
+
+// Property: occupancy time is affine in section length with slope 1/v.
+class OccupancySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OccupancySweep, AffineInSection) {
+  const auto t = Train::paper_train();
+  const double s = GetParam();
+  EXPECT_NEAR(t.occupancy_seconds(s + 100.0) - t.occupancy_seconds(s),
+              100.0 / t.speed_mps, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sections, OccupancySweep,
+                         ::testing::Values(0.0, 200.0, 500.0, 1250.0, 2650.0));
+
+}  // namespace
+}  // namespace railcorr::traffic

@@ -1,0 +1,40 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace railcorr {
+namespace {
+
+TEST(Contracts, ExpectsPassesWhenTrue) {
+  EXPECT_NO_THROW(RAILCORR_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsWithContext) {
+  try {
+    RAILCORR_EXPECTS(false);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrowsWithPostconditionKind) {
+  try {
+    RAILCORR_ENSURES(2 < 1);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  EXPECT_THROW(RAILCORR_EXPECTS(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace railcorr

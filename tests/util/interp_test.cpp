@@ -1,0 +1,70 @@
+#include "util/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace railcorr {
+namespace {
+
+TEST(LinearInterpolator, ExactAtKnotsLinearBetween) {
+  LinearInterpolator f({0.0, 1.0, 3.0}, {10.0, 20.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 10.0);
+}
+
+TEST(LinearInterpolator, ClampsOutsideDomain) {
+  LinearInterpolator f({0.0, 1.0}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(f(-10.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(10.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.x_min(), 0.0);
+  EXPECT_DOUBLE_EQ(f.x_max(), 1.0);
+}
+
+TEST(LinearInterpolator, RejectsBadInput) {
+  EXPECT_THROW(LinearInterpolator({1.0}, {1.0}), ContractViolation);
+  EXPECT_THROW(LinearInterpolator({1.0, 1.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(LinearInterpolator({2.0, 1.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(LinearInterpolator({0.0, 1.0}, {1.0}), ContractViolation);
+}
+
+TEST(PeriodicInterpolator, WrapsAcrossPeriod) {
+  // Monthly-style table on day-of-year 15..345, period 365.
+  PeriodicInterpolator f({15.0, 180.0, 345.0}, {1.0, 10.0, 2.0}, 365.0);
+  EXPECT_DOUBLE_EQ(f(15.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(180.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(345.0), 2.0);
+  // Wrap gap: between 345 and 15 + 365 = 380 interpolates 2 -> 1.
+  EXPECT_NEAR(f(362.5), 1.5, 1e-12);
+  EXPECT_NEAR(f(-2.5), 1.5, 1e-12);  // same point, one period earlier
+  // Periodicity.
+  EXPECT_NEAR(f(15.0 + 365.0), f(15.0), 1e-12);
+  EXPECT_NEAR(f(180.0 - 365.0), f(180.0), 1e-12);
+}
+
+TEST(PeriodicInterpolator, RejectsPeriodShorterThanSpan) {
+  EXPECT_THROW(PeriodicInterpolator({0.0, 300.0}, {1.0, 2.0}, 300.0),
+               ContractViolation);
+}
+
+TEST(BisectFirstReach, FindsThreshold) {
+  // f(x) = x^2 tabulated on [0, 10].
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 100; ++i) {
+    xs.push_back(0.1 * i);
+    ys.push_back(0.01 * i * i);
+  }
+  const double x = bisect_first_reach(0.0, 10.0, 25.0, 1e-6, xs, ys);
+  EXPECT_NEAR(x, 5.0, 1e-3);
+  // Unreachable target returns hi.
+  EXPECT_DOUBLE_EQ(bisect_first_reach(0.0, 10.0, 1e9, 1e-6, xs, ys), 10.0);
+  // Already-satisfied target returns lo.
+  EXPECT_DOUBLE_EQ(bisect_first_reach(0.0, 10.0, -1.0, 1e-6, xs, ys), 0.0);
+}
+
+}  // namespace
+}  // namespace railcorr

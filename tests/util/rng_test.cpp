@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace railcorr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(0.25));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, PoissonSmallAndLargeLambda) {
+  Rng rng(19);
+  RunningStats small;
+  for (int i = 0; i < 20000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(small.variance(), 3.0, 0.25);
+
+  RunningStats large;
+  for (int i = 0; i < 20000; ++i) {
+    large.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(large.mean(), 200.0, 1.0);
+  EXPECT_NEAR(large.variance(), 200.0, 12.0);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, UniformIndexUnbiased) {
+  Rng rng(23);
+  std::vector<int> counts(7, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_index(7)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 7.0, 450.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream must differ from the parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ContractChecks) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(3.0, 3.0), ContractViolation);
+  EXPECT_THROW(rng.uniform_index(0), ContractViolation);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+  EXPECT_THROW(rng.poisson(-1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr

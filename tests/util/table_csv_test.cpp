@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace railcorr {
+namespace {
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"longvalue", "x"});
+  std::istringstream in(t.str());
+  std::string header;
+  std::string sep;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, row);
+  // 'b' column starts at the same offset in header and row.
+  EXPECT_EQ(header.find('b'), row.find('x'));
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, StreamOperator) {
+  TextTable t;
+  t.add_row({"x"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  CsvWriter csv({"a", "b", "c"});
+  csv.add_row({1.0, 2.5, -3.0});
+  csv.add_row({4.0, 5.0, 6.0});
+  const std::string s = csv.str();
+  EXPECT_NE(s.find("a,b,c\n"), std::string::npos);
+  EXPECT_NE(s.find("1,2.5,-3\n"), std::string::npos);
+  EXPECT_NE(s.find("4,5,6\n"), std::string::npos);
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_EQ(csv.column_count(), 3u);
+}
+
+TEST(CsvWriter, RowSizeMustMatchColumns) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({1.0}), ContractViolation);
+  EXPECT_THROW(csv.add_row({1.0, 2.0, 3.0}), ContractViolation);
+}
+
+TEST(CsvWriter, EmptyColumnsRejected) {
+  EXPECT_THROW(CsvWriter({}), ContractViolation);
+}
+
+TEST(CsvWriter, WritesFile) {
+  CsvWriter csv({"x"});
+  csv.add_row({42.0});
+  const std::string path = ::testing::TempDir() + "/railcorr_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), csv.str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace railcorr

@@ -1,0 +1,102 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr {
+namespace {
+
+TEST(Units, DbLinearRoundTrip) {
+  EXPECT_DOUBLE_EQ(Db(0.0).linear(), 1.0);
+  EXPECT_DOUBLE_EQ(Db(10.0).linear(), 10.0);
+  EXPECT_DOUBLE_EQ(Db(3.0103).linear(), std::pow(10.0, 0.30103));
+  EXPECT_NEAR(Db(-30.0).linear(), 1e-3, 1e-12);
+}
+
+TEST(Units, DbArithmetic) {
+  const Db a(3.0);
+  const Db b(4.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 7.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), -1.5);
+  EXPECT_DOUBLE_EQ((-a).value(), -3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 6.0);
+  Db c(1.0);
+  c += Db(2.0);
+  EXPECT_DOUBLE_EQ(c.value(), 3.0);
+  c -= Db(0.5);
+  EXPECT_DOUBLE_EQ(c.value(), 2.5);
+  EXPECT_LT(a, b);
+}
+
+TEST(Units, DbmToLinearAndBack) {
+  EXPECT_DOUBLE_EQ(Dbm(0.0).to_milliwatts().value(), 1.0);
+  EXPECT_DOUBLE_EQ(Dbm(30.0).to_milliwatts().value(), 1000.0);
+  EXPECT_DOUBLE_EQ(Dbm(30.0).to_watts().value(), 1.0);
+  EXPECT_NEAR(MilliWatts(2500e3).to_dbm().value(), 63.979400086720374, 1e-12);
+  // Paper: 2500 W EIRP = 64 dBm (rounded).
+  EXPECT_NEAR(Watts(2500.0).to_dbm().value(), 64.0, 0.05);
+  // Paper: 10 W EIRP = 40 dBm.
+  EXPECT_DOUBLE_EQ(Watts(10.0).to_dbm().value(), 40.0);
+}
+
+TEST(Units, LevelPlusGainIsLevel) {
+  const Dbm level(-90.0);
+  EXPECT_DOUBLE_EQ((level + Db(5.0)).value(), -85.0);
+  EXPECT_DOUBLE_EQ((level - Db(33.0)).value(), -123.0);
+  EXPECT_DOUBLE_EQ((Dbm(-60.0) - Dbm(-90.0)).value(), 30.0);
+}
+
+TEST(Units, MilliwattArithmetic) {
+  const MilliWatts a(2.0);
+  const MilliWatts b(3.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 5.0);
+  EXPECT_DOUBLE_EQ((b - a).value(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.to_watts().value(), 2e-3);
+}
+
+TEST(Units, WattsConversions) {
+  EXPECT_DOUBLE_EQ(Watts(1.0).to_milliwatts().value(), 1000.0);
+  EXPECT_DOUBLE_EQ((2.0 * Watts(3.0)).value(), 6.0);
+  EXPECT_DOUBLE_EQ((Watts(6.0) / 2.0).value(), 3.0);
+}
+
+TEST(Units, WattHoursAndEnergyHelper) {
+  const WattHours e = energy(Watts(560.0), 24.0);
+  EXPECT_DOUBLE_EQ(e.value(), 13440.0);
+  EXPECT_DOUBLE_EQ((WattHours(10.0) + WattHours(5.0)).value(), 15.0);
+  EXPECT_DOUBLE_EQ(WattHours(10.0) / WattHours(5.0), 2.0);
+}
+
+TEST(Units, NonPositiveLinearPowerToDbThrows) {
+  EXPECT_THROW(MilliWatts(0.0).to_dbm(), ContractViolation);
+  EXPECT_THROW(MilliWatts(-1.0).to_dbm(), ContractViolation);
+  EXPECT_THROW(to_db(0.0), ContractViolation);
+}
+
+TEST(Units, FreeFunctionRoundTrip) {
+  for (const double dbm : {-132.0, -100.0, -60.0, 0.0, 28.8, 64.0}) {
+    EXPECT_NEAR(milliwatts_to_dbm(dbm_to_milliwatts(dbm)), dbm, 1e-12);
+  }
+}
+
+// Property sweep: dB addition corresponds to linear multiplication.
+class DbPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbPropertyTest, AdditionMatchesMultiplication) {
+  const double x = GetParam();
+  const Db a(x);
+  const Db b(7.3);
+  EXPECT_NEAR((a + b).linear(), a.linear() * b.linear(), 1e-9 * a.linear() * b.linear());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DbPropertyTest,
+                         ::testing::Values(-40.0, -10.0, -3.0, 0.0, 3.0, 10.0,
+                                           20.0, 33.0));
+
+}  // namespace
+}  // namespace railcorr
