@@ -1,0 +1,112 @@
+/// \file bench_harness.hpp
+/// \brief Shared timing harness for railcorr benchmarks that need
+///        machine-readable output: wall-clock timing per benchmark and a
+///        JSON document with ns/op, throughput, and thread count.
+///
+/// google-benchmark remains the tool for microbenchmarks with statistical
+/// repetition; this harness covers the orchestration-level benchmarks
+/// (parallel scaling, CI smoke runs) where a single self-describing JSON
+/// artifact matters more than variance control.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace railcorr::bench {
+
+/// Outcome of one timed benchmark.
+struct BenchResult {
+  std::string name;
+  std::size_t threads = 1;
+  std::size_t iterations = 0;
+  double ns_per_op = 0.0;
+  double ops_per_second = 0.0;
+  /// Additional metrics (e.g. {"speedup_vs_1_thread", 3.7}).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Times callables and renders the collected results as one JSON object.
+class BenchHarness {
+ public:
+  explicit BenchHarness(std::string suite) : suite_(std::move(suite)) {}
+
+  /// Run `fn` repeatedly until at least `min_seconds` of wall clock has
+  /// accumulated (and at least once), then record and return the result.
+  template <typename Fn>
+  BenchResult& run(const std::string& name, std::size_t threads, Fn&& fn,
+                   double min_seconds = 0.2) {
+    using clock = std::chrono::steady_clock;
+    std::size_t iterations = 0;
+    double elapsed_s = 0.0;
+    const auto start = clock::now();
+    do {
+      fn();
+      ++iterations;
+      elapsed_s = std::chrono::duration<double>(clock::now() - start).count();
+    } while (elapsed_s < min_seconds);
+
+    BenchResult result;
+    result.name = name;
+    result.threads = threads;
+    result.iterations = iterations;
+    result.ns_per_op = elapsed_s * 1e9 / static_cast<double>(iterations);
+    result.ops_per_second = static_cast<double>(iterations) / elapsed_s;
+    results_.push_back(std::move(result));
+    return results_.back();
+  }
+
+  [[nodiscard]] const std::vector<BenchResult>& results() const {
+    return results_;
+  }
+
+  /// Look up a recorded result by name and thread count (nullptr if absent).
+  [[nodiscard]] const BenchResult* find(const std::string& name,
+                                        std::size_t threads) const {
+    for (const auto& r : results_) {
+      if (r.name == name && r.threads == threads) return &r;
+    }
+    return nullptr;
+  }
+
+  /// The whole suite as a JSON document.
+  [[nodiscard]] std::string json() const {
+    std::ostringstream os;
+    os << "{\n  \"suite\": \"" << suite_ << "\",\n  \"benchmarks\": [";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const auto& r = results_[i];
+      os << (i == 0 ? "\n" : ",\n");
+      os << "    {\"name\": \"" << r.name << "\", \"threads\": " << r.threads
+         << ", \"iterations\": " << r.iterations
+         << ", \"ns_per_op\": " << r.ns_per_op
+         << ", \"ops_per_second\": " << r.ops_per_second;
+      for (const auto& [key, value] : r.metrics) {
+        os << ", \"" << key << "\": " << value;
+      }
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+  }
+
+  void write_json(std::ostream& os) const { os << json(); }
+
+  /// Write the JSON document to `path`; returns false on I/O failure.
+  bool write_json_file(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << json();
+    return static_cast<bool>(file);
+  }
+
+ private:
+  std::string suite_;
+  std::vector<BenchResult> results_;
+};
+
+}  // namespace railcorr::bench

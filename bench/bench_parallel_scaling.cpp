@@ -1,0 +1,176 @@
+/// Parallel-scaling benchmark of the deterministic evaluation engine:
+/// times the two dominant workloads — the shadowing Monte Carlo and the
+/// max-ISD sweep — at 1, 2, 4, and hardware thread counts, verifies that
+/// every thread count produces bit-identical numeric results, and emits
+/// a machine-readable JSON report (ns/op, throughput, speedup vs the
+/// single-thread baseline).
+///
+/// Usage: bench_parallel_scaling [--json=PATH] [--min-seconds=S]
+/// Exit status is non-zero when any thread count's results deviate from
+/// the single-thread baseline, so CI can gate on determinism.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_harness.hpp"
+#include "corridor/isd_search.hpp"
+#include "corridor/robustness.hpp"
+#include "exec/parallel.hpp"
+
+namespace {
+
+using namespace railcorr;
+
+corridor::RobustnessConfig robustness_config() {
+  corridor::RobustnessConfig config;
+  config.sigma_db = 4.0;
+  config.realizations = 200;
+  return config;
+}
+
+/// Exact (bitwise) equality of two robustness reports.
+bool reports_identical(const corridor::RobustnessReport& a,
+                       const corridor::RobustnessReport& b) {
+  return a.min_snr_db.count() == b.min_snr_db.count() &&
+         a.min_snr_db.mean() == b.min_snr_db.mean() &&
+         a.min_snr_db.min() == b.min_snr_db.min() &&
+         a.min_snr_db.max() == b.min_snr_db.max() &&
+         a.pass_probability == b.pass_probability &&
+         a.outage_fraction == b.outage_fraction &&
+         a.mean_margin_db == b.mean_margin_db;
+}
+
+bool sweeps_identical(const std::vector<corridor::MaxIsdResult>& a,
+                      const std::vector<corridor::MaxIsdResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].repeater_count != b[i].repeater_count ||
+        a[i].max_isd_m != b[i].max_isd_m ||
+        a[i].min_snr_at_max.value() != b[i].min_snr_at_max.value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> thread_counts() {
+  std::vector<std::size_t> counts = {1, 2, 4, exec::hardware_thread_count()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+void add_speedup(bench::BenchHarness& harness, bench::BenchResult& result,
+                 const std::string& name) {
+  if (const auto* base = harness.find(name, 1)) {
+    result.metrics.emplace_back("speedup_vs_1_thread",
+                                base->ns_per_op / result.ns_per_op);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::string> json_path;
+  double min_seconds = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = std::string(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--min-seconds=", 14) == 0) {
+      try {
+        min_seconds = std::stod(argv[i] + 14);
+      } catch (const std::exception&) {
+        std::cerr << "invalid --min-seconds value: " << (argv[i] + 14) << '\n';
+        return 2;
+      }
+    } else {
+      std::cerr << "unknown argument: " << argv[i]
+                << " (usage: bench_parallel_scaling [--json=PATH]"
+                   " [--min-seconds=S])\n";
+      return 2;
+    }
+  }
+
+  bench::BenchHarness harness("parallel_scaling");
+  bool deterministic = true;
+
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  const corridor::RobustnessAnalyzer analyzer(rf::LinkModelConfig{},
+                                              robustness_config());
+  const corridor::IsdSearch search(corridor::CapacityAnalyzer::paper_analyzer(),
+                                   corridor::IsdSearchConfig{});
+
+  corridor::RobustnessReport robustness_baseline;
+  std::vector<corridor::MaxIsdResult> sweep_baseline;
+
+  for (const std::size_t threads : thread_counts()) {
+    exec::set_default_thread_count(threads);
+
+    corridor::RobustnessReport report;
+    auto& mc = harness.run(
+        "robustness_monte_carlo", threads,
+        [&] { report = analyzer.study(deployment); }, min_seconds);
+    add_speedup(harness, mc, "robustness_monte_carlo");
+    if (threads == 1) {
+      robustness_baseline = report;
+    } else if (!reports_identical(robustness_baseline, report)) {
+      std::cerr << "DETERMINISM VIOLATION: robustness report at " << threads
+                << " threads differs from the 1-thread baseline\n";
+      deterministic = false;
+    }
+
+    std::vector<corridor::MaxIsdResult> sweep;
+    auto& sw = harness.run(
+        "max_isd_sweep", threads, [&] { sweep = search.sweep(1, 10); },
+        min_seconds);
+    add_speedup(harness, sw, "max_isd_sweep");
+    if (threads == 1) {
+      sweep_baseline = sweep;
+    } else if (!sweeps_identical(sweep_baseline, sweep)) {
+      std::cerr << "DETERMINISM VIOLATION: max-ISD sweep at " << threads
+                << " threads differs from the 1-thread baseline\n";
+      deterministic = false;
+    }
+  }
+  exec::set_default_thread_count(0);  // restore automatic resolution
+
+  // Single-thread kernel comparison: the scalar dB-domain snr() path vs
+  // the batched linear-domain kernel over the same 10k positions.
+  {
+    rf::LinkModelConfig link_config;
+    const rf::CorridorLinkModel model(
+        link_config, deployment.transmitters(link_config.carrier));
+    constexpr std::size_t kPositions = 10000;
+    std::vector<double> positions(kPositions);
+    std::vector<double> snr_db(kPositions);
+    for (std::size_t i = 0; i < kPositions; ++i) {
+      positions[i] = 2400.0 * static_cast<double>(i) /
+                     static_cast<double>(kPositions - 1);
+    }
+    double sink = 0.0;
+    harness.run(
+        "snr_scalar_10k", 1,
+        [&] {
+          for (const double p : positions) sink += model.snr(p).value();
+        },
+        min_seconds);
+    auto& batch = harness.run(
+        "snr_batch_10k", 1, [&] { model.snr_batch(positions, snr_db); },
+        min_seconds);
+    if (const auto* scalar = harness.find("snr_scalar_10k", 1)) {
+      batch.metrics.emplace_back("speedup_vs_scalar",
+                                 scalar->ns_per_op / batch.ns_per_op);
+    }
+    if (sink == 42.0) std::cerr << "";  // keep the scalar loop observable
+  }
+
+  harness.write_json(std::cout);
+  if (json_path && !harness.write_json_file(*json_path)) {
+    std::cerr << "failed to write " << *json_path << '\n';
+    return 2;
+  }
+  return deterministic ? 0 : 1;
+}

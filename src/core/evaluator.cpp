@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "exec/parallel.hpp"
 #include "traffic/duty.hpp"
 #include "util/constants.hpp"
 #include "util/contracts.hpp"
@@ -53,6 +54,29 @@ std::vector<corridor::MaxIsdResult> PaperEvaluator::max_isd_sweep() const {
 
 std::vector<Fig4Entry> PaperEvaluator::fig4_energy(
     corridor::IsdSource source) const {
+  std::vector<corridor::MaxIsdResult> sweep;
+  if (source == corridor::IsdSource::kModelSearch) sweep = max_isd_sweep();
+  return fig4_from_isds(resolve_isds(source, sweep));
+}
+
+std::vector<double> PaperEvaluator::resolve_isds(
+    corridor::IsdSource source,
+    const std::vector<corridor::MaxIsdResult>& sweep) const {
+  std::vector<double> isds;
+  if (source == corridor::IsdSource::kPaperPublished) {
+    isds = corridor::paper_published_max_isds();
+    isds.resize(std::min<std::size_t>(
+        isds.size(), static_cast<std::size_t>(scenario_.max_repeaters)));
+  } else {
+    for (const auto& r : sweep) {
+      if (r.max_isd_m.has_value()) isds.push_back(*r.max_isd_m);
+    }
+  }
+  return isds;
+}
+
+std::vector<Fig4Entry> PaperEvaluator::fig4_from_isds(
+    const std::vector<double>& isds) const {
   const auto energy_model = scenario_.make_energy_model();
   const auto baseline = energy_model.conventional_baseline();
 
@@ -66,18 +90,6 @@ std::vector<Fig4Entry> PaperEvaluator::fig4_energy(
     conventional.sleep_wh_km_h = base;
     conventional.solar_wh_km_h = base;
     entries.push_back(conventional);
-  }
-
-  // Resolve max ISD per N.
-  std::vector<double> isds;
-  if (source == corridor::IsdSource::kPaperPublished) {
-    isds = corridor::paper_published_max_isds();
-    isds.resize(std::min<std::size_t>(
-        isds.size(), static_cast<std::size_t>(scenario_.max_repeaters)));
-  } else {
-    for (const auto& r : max_isd_sweep()) {
-      if (r.max_isd_m.has_value()) isds.push_back(*r.max_isd_m);
-    }
   }
 
   for (std::size_t i = 0; i < isds.size(); ++i) {
@@ -128,6 +140,36 @@ TrafficDerived PaperEvaluator::traffic_derived() const {
 std::vector<solar::SizingResult> PaperEvaluator::table4_sizing() const {
   return solar::size_paper_locations(scenario_.repeater_consumption_profile(),
                                      scenario_.sizing);
+}
+
+PaperResults PaperEvaluator::run_all(corridor::IsdSource source,
+                                     bool include_fig3) const {
+  PaperResults results;
+  // The heavy experiments are independent; run them as one task batch.
+  // Each writes only its own member, so the aggregate is identical to
+  // the sequential evaluation at any thread count. The sweep is task 0:
+  // chunk 0 runs on the calling thread, which is not a pool worker, so
+  // the sweep's own inner grid loop stays parallel.
+  const std::size_t tasks = include_fig3 ? 4 : 3;
+  exec::parallel_for(tasks, [&](std::size_t task) {
+    switch (task) {
+      case 0:
+        results.max_isd = max_isd_sweep();
+        break;
+      case 1:
+        results.traffic = traffic_derived();
+        break;
+      case 2:
+        results.table4 = table4_sizing();
+        break;
+      default:
+        results.fig3 = fig3_profile();
+        break;
+    }
+  });
+  // Fig. 4 reuses the sweep's ISDs (cheap energy arithmetic on top).
+  results.fig4 = fig4_from_isds(resolve_isds(source, results.max_isd));
+  return results;
 }
 
 }  // namespace railcorr::core

@@ -49,6 +49,16 @@ struct TrafficDerived {
   double lp_sleep_mode_wh_day = 0.0;         ///< ~124.1 Wh
 };
 
+/// Every table/figure of the paper's evaluation in one aggregate, as
+/// produced by PaperEvaluator::run_all().
+struct PaperResults {
+  std::vector<Fig3Row> fig3;
+  std::vector<corridor::MaxIsdResult> max_isd;
+  std::vector<Fig4Entry> fig4;
+  TrafficDerived traffic;
+  std::vector<solar::SizingResult> table4;
+};
+
 /// Reproduces every experiment of the paper from one Scenario.
 class PaperEvaluator {
  public:
@@ -74,9 +84,30 @@ class PaperEvaluator {
   /// E7 / Table IV: off-grid PV sizing for the four regions.
   [[nodiscard]] std::vector<solar::SizingResult> table4_sizing() const;
 
+  /// Run the full evaluation. The independent experiments (Fig. 3
+  /// profile, max-ISD sweep, traffic quantities, PV sizing) execute as
+  /// parallel tasks on the shared engine; Fig. 4 reuses the sweep's
+  /// ISDs instead of re-searching. Results are identical to calling
+  /// each method sequentially. Callers that do not consume the Fig. 3
+  /// series (e.g. the table-only report) pass `include_fig3 = false`
+  /// to skip that experiment; `PaperResults::fig3` is then empty.
+  [[nodiscard]] PaperResults run_all(
+      corridor::IsdSource source = corridor::IsdSource::kModelSearch,
+      bool include_fig3 = true) const;
+
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
  private:
+  /// Fig. 4 energy bars for the given per-N max ISDs (isds[i] = N i+1).
+  [[nodiscard]] std::vector<Fig4Entry> fig4_from_isds(
+      const std::vector<double>& isds) const;
+
+  /// Max ISD per N for Fig. 4: the paper's published list (truncated to
+  /// max_repeaters) or the ISDs found by `sweep`.
+  [[nodiscard]] std::vector<double> resolve_isds(
+      corridor::IsdSource source,
+      const std::vector<corridor::MaxIsdResult>& sweep) const;
+
   Scenario scenario_;
 };
 

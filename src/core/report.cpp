@@ -153,13 +153,18 @@ TextTable table4_solar(const std::vector<solar::SizingResult>& results) {
 }
 
 std::string full_report(const PaperEvaluator& evaluator) {
+  // One parallel evaluation of the table experiments (the Fig. 3 series
+  // is CSV-only and not rendered here); rendering stays sequential so
+  // sections keep their order.
+  const PaperResults results = evaluator.run_all(
+      corridor::IsdSource::kModelSearch, /*include_fig3=*/false);
   std::ostringstream os;
   os << table2_power_model() << '\n';
   os << table1_components(power::RepeaterComponentModel::paper_table()) << '\n';
-  os << table3_traffic(evaluator.traffic_derived()) << '\n';
-  os << max_isd_table(evaluator.max_isd_sweep()) << '\n';
-  os << fig4_table(evaluator.fig4_energy()) << '\n';
-  os << table4_solar(evaluator.table4_sizing()) << '\n';
+  os << table3_traffic(results.traffic) << '\n';
+  os << max_isd_table(results.max_isd) << '\n';
+  os << fig4_table(results.fig4) << '\n';
+  os << table4_solar(results.table4) << '\n';
   return os.str();
 }
 

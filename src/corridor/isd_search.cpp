@@ -3,9 +3,20 @@
 #include <cmath>
 #include <utility>
 
+#include "exec/parallel.hpp"
 #include "util/contracts.hpp"
 
 namespace railcorr::corridor {
+
+namespace {
+
+/// One (repeater count, candidate ISD) grid point of the sweep.
+struct GridPoint {
+  int repeater_count = 0;
+  double isd_m = 0.0;
+};
+
+}  // namespace
 
 IsdSearch::IsdSearch(CapacityAnalyzer analyzer, IsdSearchConfig config,
                      RadioParameters radio)
@@ -16,48 +27,73 @@ IsdSearch::IsdSearch(CapacityAnalyzer analyzer, IsdSearchConfig config,
 }
 
 MaxIsdResult IsdSearch::find_max_isd(int repeater_count) const {
-  RAILCORR_EXPECTS(repeater_count >= 0);
-  MaxIsdResult result;
-  result.repeater_count = repeater_count;
-
-  // Smallest geometrically valid ISD on the grid: the node cluster span
-  // plus one spacing of edge gap on either side.
-  SegmentGeometry probe;
-  probe.repeater_count = repeater_count;
-  const double span =
-      repeater_count > 0
-          ? probe.repeater_spacing_m * static_cast<double>(repeater_count - 1)
-          : 0.0;
-  const double min_isd =
-      std::max(config_.isd_step_m,
-               std::ceil((span + 1.0) / config_.isd_step_m) * config_.isd_step_m);
-
-  for (double isd = min_isd; isd <= config_.max_isd_m + 1e-9;
-       isd += config_.isd_step_m) {
-    SegmentDeployment deployment;
-    deployment.geometry.isd_m = isd;
-    deployment.geometry.repeater_count = repeater_count;
-    deployment.radio = radio_;
-    if (!deployment.geometry.valid()) continue;
-    const auto model = analyzer_.link_model(deployment);
-    const Db min_snr = model.min_snr(0.0, isd, config_.sample_step_m);
-    if (min_snr >= config_.snr_threshold) {
-      result.max_isd_m = isd;
-      result.min_snr_at_max = min_snr;
-    }
-    // No early exit: min-SNR is not strictly monotone in ISD near the
-    // cluster-geometry transitions, so scan the full grid (cheap enough).
-  }
-  return result;
+  return sweep(repeater_count, repeater_count).front();
 }
 
 std::vector<MaxIsdResult> IsdSearch::sweep(int from, int to) const {
   RAILCORR_EXPECTS(from >= 0);
   RAILCORR_EXPECTS(to >= from);
+
+  // Enumerate every valid (N, ISD) grid point up front. All points are
+  // independent link-budget evaluations, so one flat parallel loop over
+  // the whole sweep load-balances far better than parallelizing either
+  // nesting level alone.
+  std::vector<GridPoint> points;
+  std::vector<std::size_t> first_point;  // per N, index into `points`
+  first_point.reserve(static_cast<std::size_t>(to - from) + 2);
+  for (int n = from; n <= to; ++n) {
+    first_point.push_back(points.size());
+    // Smallest geometrically valid ISD on the grid: the node cluster
+    // span plus one spacing of edge gap on either side.
+    SegmentGeometry probe;
+    probe.repeater_count = n;
+    const double span =
+        n > 0 ? probe.repeater_spacing_m * static_cast<double>(n - 1) : 0.0;
+    const double min_isd = std::max(
+        config_.isd_step_m,
+        std::ceil((span + 1.0) / config_.isd_step_m) * config_.isd_step_m);
+    for (double isd = min_isd; isd <= config_.max_isd_m + 1e-9;
+         isd += config_.isd_step_m) {
+      SegmentGeometry geometry;
+      geometry.isd_m = isd;
+      geometry.repeater_count = n;
+      if (!geometry.valid()) continue;
+      points.push_back(GridPoint{n, isd});
+    }
+  }
+  first_point.push_back(points.size());
+
+  // Evaluate the min-SNR criterion at every grid point in parallel;
+  // each point writes only its own slot, so the result is independent
+  // of the thread count.
+  const std::vector<double> min_snrs = exec::parallel_map(
+      points.size(), [&](std::size_t i) {
+        SegmentDeployment deployment;
+        deployment.geometry.isd_m = points[i].isd_m;
+        deployment.geometry.repeater_count = points[i].repeater_count;
+        deployment.radio = radio_;
+        const auto model = analyzer_.link_model(deployment);
+        return model.min_snr(0.0, points[i].isd_m, config_.sample_step_m)
+            .value();
+      });
+
+  // Deterministic reduction: scan each N's grid in ascending-ISD order;
+  // the last passing point wins. No early exit: min-SNR is not strictly
+  // monotone in ISD near the cluster-geometry transitions.
   std::vector<MaxIsdResult> results;
   results.reserve(static_cast<std::size_t>(to - from) + 1);
   for (int n = from; n <= to; ++n) {
-    results.push_back(find_max_isd(n));
+    const std::size_t group = static_cast<std::size_t>(n - from);
+    MaxIsdResult result;
+    result.repeater_count = n;
+    for (std::size_t i = first_point[group]; i < first_point[group + 1]; ++i) {
+      const Db min_snr{min_snrs[i]};
+      if (min_snr >= config_.snr_threshold) {
+        result.max_isd_m = points[i].isd_m;
+        result.min_snr_at_max = min_snr;
+      }
+    }
+    results.push_back(result);
   }
   return results;
 }

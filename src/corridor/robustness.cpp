@@ -1,11 +1,25 @@
 #include "corridor/robustness.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
+#include "exec/parallel.hpp"
 #include "util/contracts.hpp"
 
 namespace railcorr::corridor {
+
+namespace {
+
+/// Per-realization outcome, reduced in realization order afterwards.
+struct RealizationOutcome {
+  double worst_snr_db = 0.0;
+  std::size_t outage_samples = 0;
+  std::size_t total_samples = 0;
+};
+
+}  // namespace
 
 RobustnessAnalyzer::RobustnessAnalyzer(rf::LinkModelConfig link_config,
                                        RobustnessConfig config)
@@ -20,61 +34,78 @@ RobustnessReport RobustnessAnalyzer::study(
     const SegmentDeployment& deployment) const {
   RAILCORR_EXPECTS(deployment.geometry.valid());
   const double isd = deployment.geometry.isd_m;
-  const auto transmitters =
-      deployment.transmitters(link_config_.carrier);
+  const auto transmitters = deployment.transmitters(link_config_.carrier);
   const rf::CorridorLinkModel link(link_config_, transmitters);
+  const auto& kernels = link.kernels();
+  const double terminal_noise_mw = link.terminal_noise_mw();
+  const double min_distance = link.min_distance_m();
+  const bool fronthaul_aware =
+      link_config_.noise_model == rf::RepeaterNoiseModel::kFronthaulAware;
+  const double threshold_db = config_.snr_threshold.value();
 
-  Rng rng(config_.seed);
+  // Each realization draws from its own SplitMix64 substream of the
+  // configured seed, so the Monte Carlo is embarrassingly parallel and
+  // its result is bit-identical at any thread count (and to a
+  // sequential run): realization r never observes the generator state
+  // of realization r-1.
+  const auto outcomes = exec::parallel_map(
+      static_cast<std::size_t>(config_.realizations), [&](std::size_t r) {
+        Rng rng = Rng::stream(config_.seed, r);
+        // One independent correlated trace per transmitter. The trace
+        // is indexed by terminal position: as the train moves, the
+        // shadowing of each link decorrelates over ~decorrelation_m.
+        std::vector<rf::ShadowingTrace> traces;
+        traces.reserve(kernels.size());
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+          traces.emplace_back(config_.sigma_db, config_.decorrelation_m,
+                              config_.sample_step_m, isd, rng);
+        }
+
+        RealizationOutcome outcome;
+        double worst = std::numeric_limits<double>::infinity();
+        for (double d = 0.0; d <= isd + 0.5 * config_.sample_step_m;
+             d += config_.sample_step_m) {
+          const double pos = std::min(d, isd);
+          // Perturb each contribution and re-combine via the link
+          // model's precomputed linear-domain constants; fronthaul
+          // noise injections move with their node's shadowing as well
+          // (same physical path).
+          double signal_mw = 0.0;
+          double noise_mw = terminal_noise_mw;
+          for (std::size_t i = 0; i < kernels.size(); ++i) {
+            const auto& k = kernels[i];
+            const double d_eff =
+                std::max(std::abs(pos - k.position_m), min_distance);
+            const double shadow_lin = from_db(traces[i].at(pos).value());
+            const double rsrp_mw =
+                k.signal_gain_lin / (d_eff * d_eff) * shadow_lin;
+            signal_mw += rsrp_mw;
+            if (k.repeater && fronthaul_aware) {
+              noise_mw += rsrp_mw * k.fronthaul_factor_lin;
+            }
+          }
+          const double snr_db = 10.0 * std::log10(signal_mw / noise_mw);
+          worst = std::min(worst, snr_db);
+          ++outcome.total_samples;
+          if (snr_db < threshold_db) ++outcome.outage_samples;
+        }
+        outcome.worst_snr_db = worst;
+        return outcome;
+      });
+
+  // Index-ordered reduction keeps the report independent of scheduling.
   RobustnessReport report;
   std::size_t outage_samples = 0;
   std::size_t total_samples = 0;
   int passes = 0;
   double margin_sum = 0.0;
-
-  for (int r = 0; r < config_.realizations; ++r) {
-    // One independent correlated trace per transmitter. The trace is
-    // indexed by terminal position: as the train moves, the shadowing of
-    // each link decorrelates over ~decorrelation_m.
-    std::vector<rf::ShadowingTrace> traces;
-    traces.reserve(transmitters.size());
-    for (std::size_t i = 0; i < transmitters.size(); ++i) {
-      traces.emplace_back(config_.sigma_db, config_.decorrelation_m,
-                          config_.sample_step_m, isd, rng);
-    }
-
-    double worst = std::numeric_limits<double>::infinity();
-    for (double d = 0.0; d <= isd + 0.5 * config_.sample_step_m;
-         d += config_.sample_step_m) {
-      const double pos = std::min(d, isd);
-      // Perturb each contribution and re-combine; noise injections move
-      // with their node's shadowing as well (same physical path).
-      double signal_mw = 0.0;
-      double noise_mw = link_config_.noise.terminal_noise()
-                            .to_milliwatts()
-                            .value();
-      for (std::size_t i = 0; i < transmitters.size(); ++i) {
-        const Db shadow = traces[i].at(pos);
-        const Dbm rsrp = link.rsrp_of(i, pos) + shadow;
-        signal_mw += rsrp.to_milliwatts().value();
-        const auto& tx = transmitters[i];
-        if (tx.kind == rf::NodeKind::kLowPowerRepeater &&
-            link_config_.noise_model ==
-                rf::RepeaterNoiseModel::kFronthaulAware) {
-          const Db fronthaul =
-              link_config_.fronthaul.snr_at(tx.donor_distance_m);
-          noise_mw += (rsrp - fronthaul).to_milliwatts().value();
-        }
-      }
-      const double snr_db = 10.0 * std::log10(signal_mw / noise_mw);
-      worst = std::min(worst, snr_db);
-      ++total_samples;
-      if (snr_db < config_.snr_threshold.value()) ++outage_samples;
-    }
-    report.min_snr_db.add(worst);
-    margin_sum += worst - config_.snr_threshold.value();
-    if (worst >= config_.snr_threshold.value()) ++passes;
+  for (const auto& outcome : outcomes) {
+    report.min_snr_db.add(outcome.worst_snr_db);
+    outage_samples += outcome.outage_samples;
+    total_samples += outcome.total_samples;
+    margin_sum += outcome.worst_snr_db - threshold_db;
+    if (outcome.worst_snr_db >= threshold_db) ++passes;
   }
-
   report.pass_probability =
       static_cast<double>(passes) / static_cast<double>(config_.realizations);
   report.outage_fraction = static_cast<double>(outage_samples) /

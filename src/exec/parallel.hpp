@@ -1,0 +1,80 @@
+/// \file parallel.hpp
+/// \brief Deterministic data-parallel primitives: parallel_for /
+///        parallel_map with static chunking over a shared thread pool.
+///
+/// Determinism contract (relied on by the sweep, Monte-Carlo, and
+/// evaluator hot paths, and pinned by tests/exec/determinism_test.cpp):
+///
+///  * `parallel_for(n, body)` invokes `body(i)` exactly once for every
+///    i in [0, n), from the calling thread or a pool worker. Each index
+///    must write only to its own output slot; no two indices may touch
+///    the same mutable state.
+///  * The index range is split into at most `threads` contiguous chunks
+///    (static chunking). Chunk boundaries depend only on `n` and the
+///    resolved thread count, never on timing.
+///  * All writes made by `body` happen-before `parallel_for` returns, so
+///    the caller can reduce the indexed results in index order. With
+///    per-index outputs and an index-ordered reduction, results are
+///    bit-identical for any thread count, including 1.
+///  * Nested parallel regions execute sequentially inline (a pool worker
+///    never re-enters the pool), which both avoids deadlock and keeps
+///    the same per-index evaluation everywhere.
+///
+/// Thread-count resolution: an explicit `ParallelOptions::threads` wins;
+/// otherwise the process-wide default set by `set_default_thread_count`;
+/// otherwise the `RAILCORR_THREADS` environment variable; otherwise
+/// `std::thread::hardware_concurrency()`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace railcorr::exec {
+
+/// Threads the hardware offers (>= 1; hardware_concurrency() of 0 maps
+/// to 1).
+[[nodiscard]] std::size_t hardware_thread_count();
+
+/// The resolved process-wide default thread count (>= 1).
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Override the process-wide default; `n == 0` restores automatic
+/// resolution (RAILCORR_THREADS env var, then hardware concurrency).
+void set_default_thread_count(std::size_t n);
+
+/// Tuning knobs for one parallel region.
+struct ParallelOptions {
+  /// Number of chunks to split the range into; 0 = default_thread_count().
+  std::size_t threads = 0;
+  /// Minimum indices per chunk; small ranges use fewer chunks so the
+  /// per-chunk overhead cannot dominate.
+  std::size_t grain = 1;
+};
+
+/// Invoke `body(i)` for every i in [0, n) under the determinism contract
+/// above. Exceptions thrown by `body` are rethrown (first one wins) on
+/// the calling thread after every chunk has finished.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ParallelOptions opts = {});
+
+/// Evaluate `f(i)` for every i in [0, n) and return the results indexed
+/// by i. The result type must be default-constructible and movable.
+template <typename F>
+[[nodiscard]] auto parallel_map(std::size_t n, F&& f, ParallelOptions opts = {})
+    -> std::vector<std::invoke_result_t<F&, std::size_t>> {
+  using R = std::invoke_result_t<F&, std::size_t>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallel_map results are pre-sized; R must be "
+                "default-constructible");
+  static_assert(!std::is_same_v<R, bool>,
+                "std::vector<bool> packs bits, so concurrent per-index "
+                "writes would race; return char/int instead");
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = f(i); }, opts);
+  return out;
+}
+
+}  // namespace railcorr::exec

@@ -1,0 +1,54 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool backing the parallel evaluation engine.
+///
+/// The pool executes opaque jobs; all chunking / determinism policy lives
+/// in parallel.hpp. Worker threads mark themselves via a thread-local flag
+/// so nested parallel regions can detect they are already inside the pool
+/// and fall back to sequential execution instead of deadlocking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace railcorr::exec {
+
+/// A fixed-size pool of worker threads consuming a FIFO job queue.
+///
+/// Jobs must not throw (the parallel_for driver catches exceptions and
+/// transports them to the submitting thread itself).
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. `workers == 0` is allowed and produces a
+  /// pool that never runs anything (callers then execute inline).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue one job for asynchronous execution.
+  void submit(std::function<void()> job);
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool). Used as the nested-parallelism guard.
+  [[nodiscard]] static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace railcorr::exec

@@ -1,8 +1,11 @@
 #include "rf/link.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
+#include "util/constants.hpp"
 #include "util/contracts.hpp"
 
 namespace railcorr::rf {
@@ -12,11 +15,74 @@ CorridorLinkModel::CorridorLinkModel(LinkModelConfig config,
     : config_(std::move(config)), transmitters_(std::move(transmitters)) {
   RAILCORR_EXPECTS(!transmitters_.empty());
   path_loss_.reserve(transmitters_.size());
+  kernels_.reserve(transmitters_.size());
   const double wavelength = config_.carrier.wavelength_m();
+  // Geometry factor of Eq. (1): L(d) = (4 pi d / lambda)^2 * L_calib, so
+  // every per-position term is <constant> / d_eff^2.
+  const double geometry_lin =
+      (4.0 * constants::kPi / wavelength) * (4.0 * constants::kPi / wavelength);
+  const Dbm repeater_floor =
+      config_.noise.thermal_per_subcarrier + config_.noise.nf_repeater;
   for (const auto& tx : transmitters_) {
     RAILCORR_EXPECTS(tx.donor_distance_m >= 0.0);
     path_loss_.emplace_back(wavelength, tx.calibration, config_.min_distance_m);
+
+    TxKernel k;
+    k.position_m = tx.position_m;
+    k.repeater = tx.kind == NodeKind::kLowPowerRepeater;
+    const double attenuation_lin = geometry_lin * tx.calibration.linear();
+    k.signal_gain_lin =
+        tx.rstp.to_milliwatts().value() / attenuation_lin;
+    if (k.repeater) {
+      k.literal_noise_gain_lin =
+          repeater_floor.to_milliwatts().value() / attenuation_lin;
+      k.fronthaul_factor_lin =
+          (-config_.fronthaul.snr_at(tx.donor_distance_m)).linear();
+    }
+    kernels_.push_back(k);
   }
+  terminal_noise_mw_ = config_.noise.terminal_noise().to_milliwatts().value();
+}
+
+double CorridorLinkModel::signal_noise_ratio_lin(double position_m) const {
+  const bool fronthaul_aware =
+      config_.noise_model == RepeaterNoiseModel::kFronthaulAware;
+  const double min_distance = config_.min_distance_m;
+  double signal_mw = 0.0;
+  double noise_mw = terminal_noise_mw_;
+  for (const auto& k : kernels_) {
+    const double d_eff =
+        std::max(std::abs(position_m - k.position_m), min_distance);
+    const double inv_d2 = 1.0 / (d_eff * d_eff);
+    const double contribution_mw = k.signal_gain_lin * inv_d2;
+    signal_mw += contribution_mw;
+    if (k.repeater) {
+      noise_mw += k.literal_noise_gain_lin * inv_d2;
+      if (fronthaul_aware) {
+        noise_mw += contribution_mw * k.fronthaul_factor_lin;
+      }
+    }
+  }
+  return signal_mw / noise_mw;
+}
+
+void CorridorLinkModel::snr_batch(std::span<const double> positions_m,
+                                  std::span<double> out_snr_db) const {
+  RAILCORR_EXPECTS(out_snr_db.size() == positions_m.size());
+  for (std::size_t i = 0; i < positions_m.size(); ++i) {
+    out_snr_db[i] = 10.0 * std::log10(signal_noise_ratio_lin(positions_m[i]));
+  }
+}
+
+Db CorridorLinkModel::min_snr(std::span<const double> positions_m) const {
+  RAILCORR_EXPECTS(!positions_m.empty());
+  double worst_ratio = std::numeric_limits<double>::infinity();
+  for (const double p : positions_m) {
+    worst_ratio = std::min(worst_ratio, signal_noise_ratio_lin(p));
+  }
+  // log10 is monotone, so reducing in the linear domain and converting
+  // once yields exactly min over the per-position dB values.
+  return Db(10.0 * std::log10(worst_ratio));
 }
 
 Dbm CorridorLinkModel::rsrp_of(std::size_t node, double position_m) const {
@@ -110,11 +176,12 @@ std::vector<SignalSample> CorridorLinkModel::profile(
 Db CorridorLinkModel::min_snr(double lo_m, double hi_m, double step_m) const {
   RAILCORR_EXPECTS(step_m > 0.0);
   RAILCORR_EXPECTS(hi_m >= lo_m);
-  double worst = std::numeric_limits<double>::infinity();
+  double worst_ratio = std::numeric_limits<double>::infinity();
   for (double d = lo_m; d <= hi_m + 0.5 * step_m; d += step_m) {
-    worst = std::min(worst, snr(std::min(d, hi_m)).value());
+    worst_ratio =
+        std::min(worst_ratio, signal_noise_ratio_lin(std::min(d, hi_m)));
   }
-  return Db(worst);
+  return Db(10.0 * std::log10(worst_ratio));
 }
 
 Db CorridorLinkModel::mean_snr_db(double lo_m, double hi_m,
@@ -124,7 +191,7 @@ Db CorridorLinkModel::mean_snr_db(double lo_m, double hi_m,
   double sum = 0.0;
   std::size_t n = 0;
   for (double d = lo_m; d <= hi_m + 0.5 * step_m; d += step_m) {
-    sum += snr(std::min(d, hi_m)).value();
+    sum += 10.0 * std::log10(signal_noise_ratio_lin(std::min(d, hi_m)));
     ++n;
   }
   RAILCORR_ENSURES(n > 0);

@@ -102,8 +102,24 @@ std::uint64_t Rng::poisson(double lambda) {
 }
 
 Rng Rng::split() {
+  // Drop any cached Box-Muller second normal before forking: the
+  // post-split sequences of parent and child must be pure functions of
+  // their 256-bit states, independent of pre-split normal() call parity.
+  have_cached_normal_ = false;
+  cached_normal_ = 0.0;
   Rng child(next_u64() ^ 0x9E3779B97F4A7C15ULL);
   return child;
+}
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream) {
+  // Jump the SplitMix64 counter to the substream's offset: one next()
+  // advances the counter by the golden-ratio increment, so starting at
+  // seed + 4*stream increments reproduces exactly the counter positions
+  // {4*stream+1, ..., 4*stream+4} of the sequence seeded with `seed`.
+  SplitMix64 sm(seed + 4u * stream * 0x9E3779B97F4A7C15ULL);
+  Rng r(0);
+  for (auto& s : r.s_) s = sm.next();
+  return r;
 }
 
 }  // namespace railcorr

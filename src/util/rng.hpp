@@ -54,7 +54,28 @@ class Rng {
   std::uint64_t poisson(double lambda);
 
   /// Split off an independent generator (for per-node streams).
+  ///
+  /// Stream-separation guarantee: the child's 256-bit state is expanded
+  /// (via SplitMix64) from one fresh parent output XOR-ed with an odd
+  /// constant, so parent and child never share xoshiro state, and two
+  /// successive splits of the same parent yield distinct children.
+  /// Splitting also discards the parent's cached Box-Muller second
+  /// normal: post-split variates of both generators are a pure function
+  /// of their 256-bit states — no half of a pre-split normal pair can
+  /// leak into either stream.
   Rng split();
+
+  /// The `stream`-th independent substream of `seed`.
+  ///
+  /// Substream k expands its state from SplitMix64 counter positions
+  /// {4k+1, ..., 4k+4} of the sequence seeded with `seed` (so
+  /// stream(seed, 0) == Rng(seed)). SplitMix64's finalizer is a
+  /// bijection over the 64-bit counter, hence distinct stream indices
+  /// consume disjoint counter ranges and never share state. This is the
+  /// primitive the parallel Monte-Carlo paths use: realization r draws
+  /// from stream(seed, r), making results independent of both thread
+  /// count and evaluation order.
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t stream);
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,131 @@
+/// Determinism contract of the parallel evaluation engine: the paper
+/// workloads must produce bit-identical results at 1, 2, and 8 threads,
+/// and the batched link kernel must agree with the scalar reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "corridor/isd_search.hpp"
+#include "corridor/robustness.hpp"
+#include "core/evaluator.hpp"
+#include "exec/parallel.hpp"
+#include "rf/link.hpp"
+
+namespace railcorr {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { exec::set_default_thread_count(0); }
+};
+
+corridor::RobustnessConfig fast_robustness() {
+  corridor::RobustnessConfig config;
+  config.sigma_db = 4.0;
+  config.realizations = 50;
+  config.sample_step_m = 20.0;
+  return config;
+}
+
+TEST_F(DeterminismTest, RobustnessReportBitIdenticalAcrossThreadCounts) {
+  const corridor::RobustnessAnalyzer analyzer(rf::LinkModelConfig{},
+                                              fast_robustness());
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+
+  exec::set_default_thread_count(1);
+  const auto baseline = analyzer.study(deployment);
+  for (const std::size_t threads : {2u, 8u}) {
+    exec::set_default_thread_count(threads);
+    const auto report = analyzer.study(deployment);
+    // Exact equality: the Monte Carlo must not depend on scheduling.
+    EXPECT_EQ(baseline.min_snr_db.count(), report.min_snr_db.count());
+    EXPECT_EQ(baseline.min_snr_db.mean(), report.min_snr_db.mean());
+    EXPECT_EQ(baseline.min_snr_db.stddev(), report.min_snr_db.stddev());
+    EXPECT_EQ(baseline.min_snr_db.min(), report.min_snr_db.min());
+    EXPECT_EQ(baseline.min_snr_db.max(), report.min_snr_db.max());
+    EXPECT_EQ(baseline.pass_probability, report.pass_probability);
+    EXPECT_EQ(baseline.outage_fraction, report.outage_fraction);
+    EXPECT_EQ(baseline.mean_margin_db, report.mean_margin_db);
+  }
+}
+
+TEST_F(DeterminismTest, MaxIsdSweepBitIdenticalAcrossThreadCounts) {
+  const corridor::IsdSearch search(corridor::CapacityAnalyzer::paper_analyzer(),
+                                   corridor::IsdSearchConfig{});
+  exec::set_default_thread_count(1);
+  const auto baseline = search.sweep(1, 10);
+  for (const std::size_t threads : {2u, 8u}) {
+    exec::set_default_thread_count(threads);
+    const auto sweep = search.sweep(1, 10);
+    ASSERT_EQ(baseline.size(), sweep.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(baseline[i].repeater_count, sweep[i].repeater_count);
+      EXPECT_EQ(baseline[i].max_isd_m, sweep[i].max_isd_m);
+      EXPECT_EQ(baseline[i].min_snr_at_max.value(),
+                sweep[i].min_snr_at_max.value());
+    }
+  }
+}
+
+TEST_F(DeterminismTest, FindMaxIsdMatchesSweep) {
+  const corridor::IsdSearch search(corridor::CapacityAnalyzer::paper_analyzer(),
+                                   corridor::IsdSearchConfig{});
+  const auto sweep = search.sweep(3, 5);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto single = search.find_max_isd(3 + static_cast<int>(i));
+    EXPECT_EQ(single.max_isd_m, sweep[i].max_isd_m);
+    EXPECT_EQ(single.min_snr_at_max.value(), sweep[i].min_snr_at_max.value());
+  }
+}
+
+TEST_F(DeterminismTest, EvaluatorRunAllMatchesIndividualExperiments) {
+  const core::PaperEvaluator evaluator;
+  exec::set_default_thread_count(4);
+  const auto all = evaluator.run_all();
+  exec::set_default_thread_count(1);
+  const auto sweep = evaluator.max_isd_sweep();
+  ASSERT_EQ(all.max_isd.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(all.max_isd[i].max_isd_m, sweep[i].max_isd_m);
+  }
+  const auto fig4 = evaluator.fig4_energy();
+  ASSERT_EQ(all.fig4.size(), fig4.size());
+  for (std::size_t i = 0; i < fig4.size(); ++i) {
+    EXPECT_EQ(all.fig4[i].sleep_wh_km_h, fig4[i].sleep_wh_km_h);
+    EXPECT_EQ(all.fig4[i].solar_savings, fig4[i].solar_savings);
+  }
+  ASSERT_FALSE(all.fig3.empty());
+  EXPECT_EQ(all.fig3.size(), evaluator.fig3_profile().size());
+}
+
+TEST_F(DeterminismTest, SnrBatchAgreesWithScalarTo1e12Over10kPositions) {
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  for (const auto noise_model : {rf::RepeaterNoiseModel::kLiteralEq2,
+                                 rf::RepeaterNoiseModel::kFronthaulAware}) {
+    rf::LinkModelConfig config;
+    config.noise_model = noise_model;
+    const rf::CorridorLinkModel model(
+        config, deployment.transmitters(config.carrier));
+
+    constexpr std::size_t kPositions = 10000;
+    std::vector<double> positions(kPositions);
+    std::vector<double> batch_db(kPositions);
+    for (std::size_t i = 0; i < kPositions; ++i) {
+      positions[i] = 2400.0 * static_cast<double>(i) /
+                     static_cast<double>(kPositions - 1);
+    }
+    model.snr_batch(positions, batch_db);
+    for (std::size_t i = 0; i < kPositions; ++i) {
+      EXPECT_NEAR(batch_db[i], model.snr(positions[i]).value(), 1e-12)
+          << "position " << positions[i];
+    }
+    // The allocation-free reductions agree with the batch output.
+    EXPECT_EQ(model.min_snr(positions).value(),
+              *std::min_element(batch_db.begin(), batch_db.end()));
+  }
+}
+
+}  // namespace
+}  // namespace railcorr

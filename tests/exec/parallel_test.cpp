@@ -1,0 +1,138 @@
+#include "exec/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace railcorr::exec {
+namespace {
+
+/// Restores automatic thread-count resolution after each test.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_default_thread_count(0); }
+};
+
+TEST_F(ParallelTest, ThreadCountResolution) {
+  EXPECT_GE(hardware_thread_count(), 1u);
+  set_default_thread_count(3);
+  EXPECT_EQ(default_thread_count(), 3u);
+  set_default_thread_count(0);
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST_F(ParallelTest, EveryIndexRunsExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 5u, 8u}) {
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ParallelOptions opts;
+    opts.threads = threads;
+    parallel_for(n, [&](std::size_t i) { ++hits[i]; }, opts);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelTest, EmptyRangeIsANoop) {
+  bool ran = false;
+  parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST_F(ParallelTest, GrainLimitsChunkCount) {
+  // With grain >= n the range must execute as a single sequential chunk
+  // on the calling thread.
+  ParallelOptions opts;
+  opts.threads = 8;
+  opts.grain = 100;
+  std::vector<int> order;
+  parallel_for(10, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: single chunk
+  }, opts);
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST_F(ParallelTest, ParallelMapReturnsIndexedResults) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ParallelOptions opts;
+    opts.threads = threads;
+    const auto squares =
+        parallel_map(257, [](std::size_t i) { return i * i; }, opts);
+    ASSERT_EQ(squares.size(), 257u);
+    for (std::size_t i = 0; i < squares.size(); ++i) {
+      EXPECT_EQ(squares[i], i * i);
+    }
+  }
+}
+
+TEST_F(ParallelTest, ExceptionsPropagateToCaller) {
+  ParallelOptions opts;
+  opts.threads = 4;
+  EXPECT_THROW(
+      parallel_for(100, [](std::size_t i) {
+        if (i == 57) throw std::runtime_error("boom");
+      }, opts),
+      std::runtime_error);
+  // The engine must remain usable after a failed batch.
+  std::atomic<int> count{0};
+  parallel_for(100, [&](std::size_t) { ++count; }, opts);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST_F(ParallelTest, NestedRegionsCompleteWithoutDeadlock) {
+  ParallelOptions opts;
+  opts.threads = 4;
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  parallel_for(8, [&](std::size_t outer) {
+    parallel_for(8, [&](std::size_t inner) { ++hits[outer * 8 + inner]; },
+                 opts);
+  }, opts);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, WorkerThreadsAreMarked) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  std::atomic<int> on_worker{0};
+  ParallelOptions opts;
+  opts.threads = 4;
+  parallel_for(4, [&](std::size_t i) {
+    // Chunk 0 runs on the caller; the rest on pool workers.
+    if (i > 0 && ThreadPool::on_worker_thread()) ++on_worker;
+  }, opts);
+  EXPECT_GE(on_worker.load(), 1);
+}
+
+TEST_F(ParallelTest, DeterministicReductionAcrossThreadCounts) {
+  // The canonical usage pattern: indexed slots + index-ordered reduce
+  // must give bit-identical sums at any thread count.
+  auto weighted_sum = [](std::size_t threads) {
+    ParallelOptions opts;
+    opts.threads = threads;
+    const auto values = parallel_map(
+        10000,
+        [](std::size_t i) {
+          return 1.0 / (1.0 + static_cast<double>(i) * 0.001);
+        },
+        opts);
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    return sum;
+  };
+  const double base = weighted_sum(1);
+  EXPECT_EQ(base, weighted_sum(2));
+  EXPECT_EQ(base, weighted_sum(8));
+}
+
+}  // namespace
+}  // namespace railcorr::exec

@@ -106,6 +106,62 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, SplitDiscardsCachedSecondNormal) {
+  // Regression: a cached Box-Muller second normal drawn before split()
+  // must not survive the split. If it did, the parent's first normal()
+  // after the split would consume no entropy and the parent's raw
+  // stream would be indistinguishable from one that never drew it.
+  Rng a(123);
+  Rng b(123);
+  a.normal();  // leaves the second normal cached
+  b.normal();
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  // Identical histories -> identical children and parents.
+  EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+  // `a` draws a normal; with the cache discarded this must consume
+  // fresh uniforms and advance the parent state past `b`'s.
+  a.normal();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitIndependentOfNormalParity) {
+  // The child stream is a function of the parent's 256-bit state alone:
+  // two parents with identical raw-stream consumption produce identical
+  // children even when one cached a second normal and the other did not.
+  Rng with_cache(77);
+  with_cache.normal();  // consumes two uniforms, caches the sine term
+  Rng manual(77);
+  manual.uniform();
+  manual.uniform();  // same raw consumption, no cache
+  Rng child_cached = with_cache.split();
+  Rng child_manual = manual.split();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child_cached.next_u64(), child_manual.next_u64());
+  }
+}
+
+TEST(Rng, StreamZeroMatchesSeedConstructor) {
+  Rng direct(2026);
+  Rng sub = Rng::stream(2026, 0);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(direct.next_u64(), sub.next_u64());
+  }
+}
+
+TEST(Rng, StreamsAreDisjointAndReproducible) {
+  Rng s1 = Rng::stream(42, 1);
+  Rng s1_again = Rng::stream(42, 1);
+  Rng s2 = Rng::stream(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t a = s1.next_u64();
+    EXPECT_EQ(a, s1_again.next_u64());
+    if (a == s2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 TEST(Rng, ContractChecks) {
   Rng rng(1);
   EXPECT_THROW(rng.uniform(3.0, 3.0), ContractViolation);
