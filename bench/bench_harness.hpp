@@ -36,6 +36,12 @@ class BenchHarness {
  public:
   explicit BenchHarness(std::string suite) : suite_(std::move(suite)) {}
 
+  /// Attach a suite-level context string (e.g. {"simd", "avx2"}),
+  /// rendered into a "context" object in the JSON document.
+  void add_context(std::string key, std::string value) {
+    context_.emplace_back(std::move(key), std::move(value));
+  }
+
   /// Run `fn` repeatedly until at least `min_seconds` of wall clock has
   /// accumulated (and at least once), then record and return the result.
   template <typename Fn>
@@ -77,7 +83,16 @@ class BenchHarness {
   /// The whole suite as a JSON document.
   [[nodiscard]] std::string json() const {
     std::ostringstream os;
-    os << "{\n  \"suite\": \"" << suite_ << "\",\n  \"benchmarks\": [";
+    os << "{\n  \"suite\": \"" << suite_ << "\",\n";
+    if (!context_.empty()) {
+      os << "  \"context\": {";
+      for (std::size_t i = 0; i < context_.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "\"" << context_[i].first << "\": \""
+           << context_[i].second << "\"";
+      }
+      os << "},\n";
+    }
+    os << "  \"benchmarks\": [";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const auto& r = results_[i];
       os << (i == 0 ? "\n" : ",\n");
@@ -106,6 +121,7 @@ class BenchHarness {
 
  private:
   std::string suite_;
+  std::vector<std::pair<std::string, std::string>> context_;
   std::vector<BenchResult> results_;
 };
 

@@ -1,24 +1,44 @@
 /// Parallel-scaling benchmark of the deterministic evaluation engine:
-/// times the two dominant workloads — the shadowing Monte Carlo and the
-/// max-ISD sweep — at 1, 2, 4, and hardware thread counts, verifies that
-/// every thread count produces bit-identical numeric results, and emits
-/// a machine-readable JSON report (ns/op, throughput, speedup vs the
-/// single-thread baseline).
+/// times the dominant workloads — shadowing Monte Carlo, max-ISD sweep,
+/// multi-segment corridor scan, uplink corridor scan, PV sizing grid,
+/// and the multi-day DES campaign — at 1, 2, 4, and hardware thread
+/// counts, verifies that every thread count produces bit-identical
+/// numeric results, and emits a machine-readable JSON report (ns/op,
+/// throughput, speedup vs the single-thread baseline). A second section
+/// times the SoA batch kernels at one thread: seed-style scalar
+/// dB-domain evaluation vs the batched linear-domain kernel, and the
+/// forced-scalar kernel vs the SIMD-dispatched one.
 ///
 /// Usage: bench_parallel_scaling [--json=PATH] [--min-seconds=S]
-/// Exit status is non-zero when any thread count's results deviate from
-/// the single-thread baseline, so CI can gate on determinism.
+///          [--baseline=PATH] [--baseline-tolerance=F] [--check-abs-times]
+///
+/// With --baseline, the run is additionally gated against a recorded
+/// baseline JSON (see bench/baselines/ and bench/baseline_gate.hpp):
+/// speedup metrics must stay within the tolerance band of the recorded
+/// floors. Exit status: 0 ok, 1 determinism violation, 2 usage error,
+/// 3 perf regression against the baseline.
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "baseline_gate.hpp"
 #include "bench_harness.hpp"
 #include "corridor/isd_search.hpp"
+#include "corridor/multi_segment.hpp"
 #include "corridor/robustness.hpp"
 #include "exec/parallel.hpp"
+#include "power/earth_model.hpp"
+#include "rf/batch_kernel.hpp"
+#include "rf/uplink.hpp"
+#include "sim/corridor_sim.hpp"
+#include "solar/consumption.hpp"
+#include "solar/sizing.hpp"
+#include "traffic/timetable.hpp"
 
 namespace {
 
@@ -56,6 +76,56 @@ bool sweeps_identical(const std::vector<corridor::MaxIsdResult>& a,
   return true;
 }
 
+bool segments_identical(const std::vector<corridor::SegmentCapacity>& a,
+                        const std::vector<corridor::SegmentCapacity>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].segment_index != b[i].segment_index ||
+        a[i].min_snr.value() != b[i].min_snr.value() ||
+        a[i].mean_snr_db.value() != b[i].mean_snr_db.value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sizings_identical(const std::vector<solar::SizingResult>& a,
+                       const std::vector<solar::SizingResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].chosen.pv_wp != b[i].chosen.pv_wp ||
+        a[i].chosen.battery_wh != b[i].chosen.battery_wh ||
+        a[i].ladder_exhausted != b[i].ladder_exhausted ||
+        a[i].report.unserved_energy.value() !=
+            b[i].report.unserved_energy.value() ||
+        a[i].report.days_with_full_battery_pct !=
+            b[i].report.days_with_full_battery_pct) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool campaigns_identical(const sim::CampaignReport& a,
+                         const sim::CampaignReport& b) {
+  if (a.days != b.days ||
+      a.total_mains_energy.value() != b.total_mains_energy.value() ||
+      a.degraded_seconds != b.degraded_seconds ||
+      a.missed_wakes != b.missed_wakes ||
+      a.events_processed != b.events_processed ||
+      a.train_snr_db.count() != b.train_snr_db.count() ||
+      a.train_snr_db.mean() != b.train_snr_db.mean()) {
+    return false;
+  }
+  for (std::size_t d = 0; d < a.day_reports.size(); ++d) {
+    if (a.day_reports[d].mains_energy.value() !=
+        b.day_reports[d].mains_energy.value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::vector<std::size_t> thread_counts() {
   std::vector<std::size_t> counts = {1, 2, 4, exec::hardware_thread_count()};
   std::sort(counts.begin(), counts.end());
@@ -75,10 +145,30 @@ void add_speedup(bench::BenchHarness& harness, bench::BenchResult& result,
 
 int main(int argc, char** argv) {
   std::optional<std::string> json_path;
+  std::optional<std::string> baseline_path;
+  double baseline_tolerance = 0.5;
+  bool check_abs_times = false;
   double min_seconds = 0.2;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = std::string(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = std::string(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--baseline-tolerance=", 21) == 0) {
+      try {
+        baseline_tolerance = std::stod(argv[i] + 21);
+      } catch (const std::exception&) {
+        std::cerr << "invalid --baseline-tolerance value: " << (argv[i] + 21)
+                  << '\n';
+        return 2;
+      }
+      if (baseline_tolerance < 0.0) {
+        std::cerr << "--baseline-tolerance must be >= 0 (got "
+                  << baseline_tolerance << ")\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--check-abs-times") == 0) {
+      check_abs_times = true;
     } else if (std::strncmp(argv[i], "--min-seconds=", 14) == 0) {
       try {
         min_seconds = std::stod(argv[i] + 14);
@@ -89,12 +179,17 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "unknown argument: " << argv[i]
                 << " (usage: bench_parallel_scaling [--json=PATH]"
-                   " [--min-seconds=S])\n";
+                   " [--min-seconds=S] [--baseline=PATH]"
+                   " [--baseline-tolerance=F] [--check-abs-times])\n";
       return 2;
     }
   }
 
   bench::BenchHarness harness("parallel_scaling");
+  harness.add_context("simd",
+                      std::string(rf::simd_level_name(rf::active_simd_level())));
+  harness.add_context("hardware_threads",
+                      std::to_string(exec::hardware_thread_count()));
   bool deterministic = true;
 
   const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
@@ -102,9 +197,35 @@ int main(int argc, char** argv) {
                                               robustness_config());
   const corridor::IsdSearch search(corridor::CapacityAnalyzer::paper_analyzer(),
                                    corridor::IsdSearchConfig{});
+  const corridor::MultiSegmentAnalyzer ms_analyzer(rf::LinkModelConfig{});
+  const auto corridor5 = corridor::CorridorDeployment::repeat(deployment, 5);
+  rf::LinkModelConfig link_config;
+  const rf::UplinkModel uplink(link_config,
+                               deployment.transmitters(link_config.carrier));
+  const auto consumption = solar::repeater_consumption(
+      power::EarthPowerModel::paper_low_power_repeater(),
+      traffic::TimetableConfig::paper_timetable(), 200.0);
+  solar::SizingOptions sizing_options;
+  sizing_options.years = 1;  // one weather year per cell keeps CI fast
+  sim::SimulationConfig sim_config;
+  sim_config.deployment = deployment;
+  sim_config.poisson_timetable = true;
+  sim_config.detector_miss_probability = 0.02;
+  const sim::CorridorSimulation des(sim_config);
+  constexpr int kCampaignDays = 4;
 
   corridor::RobustnessReport robustness_baseline;
   std::vector<corridor::MaxIsdResult> sweep_baseline;
+  std::vector<corridor::SegmentCapacity> segments_baseline;
+  double uplink_baseline = 0.0;
+  std::vector<solar::SizingResult> sizing_baseline;
+  sim::CampaignReport campaign_baseline;
+
+  auto flag_violation = [&](const char* what, std::size_t threads) {
+    std::cerr << "DETERMINISM VIOLATION: " << what << " at " << threads
+              << " threads differs from the 1-thread baseline\n";
+    deterministic = false;
+  };
 
   for (const std::size_t threads : thread_counts()) {
     exec::set_default_thread_count(threads);
@@ -117,9 +238,7 @@ int main(int argc, char** argv) {
     if (threads == 1) {
       robustness_baseline = report;
     } else if (!reports_identical(robustness_baseline, report)) {
-      std::cerr << "DETERMINISM VIOLATION: robustness report at " << threads
-                << " threads differs from the 1-thread baseline\n";
-      deterministic = false;
+      flag_violation("robustness report", threads);
     }
 
     std::vector<corridor::MaxIsdResult> sweep;
@@ -130,17 +249,64 @@ int main(int argc, char** argv) {
     if (threads == 1) {
       sweep_baseline = sweep;
     } else if (!sweeps_identical(sweep_baseline, sweep)) {
-      std::cerr << "DETERMINISM VIOLATION: max-ISD sweep at " << threads
-                << " threads differs from the 1-thread baseline\n";
-      deterministic = false;
+      flag_violation("max-ISD sweep", threads);
+    }
+
+    std::vector<corridor::SegmentCapacity> segments;
+    auto& ms = harness.run(
+        "multi_segment_per_segment", threads,
+        [&] { segments = ms_analyzer.per_segment(corridor5); }, min_seconds);
+    add_speedup(harness, ms, "multi_segment_per_segment");
+    if (threads == 1) {
+      segments_baseline = segments;
+    } else if (!segments_identical(segments_baseline, segments)) {
+      flag_violation("multi-segment scan", threads);
+    }
+
+    double uplink_min = 0.0;
+    auto& ul = harness.run(
+        "uplink_min_snr_sweep", threads,
+        [&] { uplink_min = uplink.min_snr(0.0, 2400.0, 0.25).value(); },
+        min_seconds);
+    add_speedup(harness, ul, "uplink_min_snr_sweep");
+    if (threads == 1) {
+      uplink_baseline = uplink_min;
+    } else if (uplink_baseline != uplink_min) {
+      flag_violation("uplink corridor scan", threads);
+    }
+
+    std::vector<solar::SizingResult> sizing;
+    auto& pv = harness.run(
+        "pv_sizing_grid", threads,
+        [&] { sizing = solar::size_paper_locations(consumption,
+                                                   sizing_options); },
+        min_seconds);
+    add_speedup(harness, pv, "pv_sizing_grid");
+    if (threads == 1) {
+      sizing_baseline = sizing;
+    } else if (!sizings_identical(sizing_baseline, sizing)) {
+      flag_violation("PV sizing grid", threads);
+    }
+
+    sim::CampaignReport campaign;
+    auto& dc = harness.run(
+        "des_campaign_4days", threads,
+        [&] { campaign = des.run_campaign(kCampaignDays); }, min_seconds);
+    add_speedup(harness, dc, "des_campaign_4days");
+    if (threads == 1) {
+      campaign_baseline = campaign;
+    } else if (!campaigns_identical(campaign_baseline, campaign)) {
+      flag_violation("DES campaign", threads);
     }
   }
   exec::set_default_thread_count(0);  // restore automatic resolution
 
-  // Single-thread kernel comparison: the scalar dB-domain snr() path vs
-  // the batched linear-domain kernel over the same 10k positions.
+  // ---- Single-thread kernel comparisons -------------------------------
+  // (a) seed-style scalar dB-domain evaluation vs the batched kernel,
+  // (b) forced-scalar kernel vs the SIMD-dispatched kernel, for both the
+  // dB profile (log10-bound) and the min reduction (kernel-bound), and
+  // (c) the scalar uplink reference vs the batched uplink path.
   {
-    rf::LinkModelConfig link_config;
     const rf::CorridorLinkModel model(
         link_config, deployment.transmitters(link_config.carrier));
     constexpr std::size_t kPositions = 10000;
@@ -151,6 +317,7 @@ int main(int argc, char** argv) {
                      static_cast<double>(kPositions - 1);
     }
     double sink = 0.0;
+
     harness.run(
         "snr_scalar_10k", 1,
         [&] {
@@ -164,7 +331,45 @@ int main(int argc, char** argv) {
       batch.metrics.emplace_back("speedup_vs_scalar",
                                  scalar->ns_per_op / batch.ns_per_op);
     }
-    if (sink == 42.0) std::cerr << "";  // keep the scalar loop observable
+
+    rf::force_simd_level(rf::SimdLevel::kScalar);
+    harness.run(
+        "min_snr_kernel_scalar_10k", 1,
+        [&] { sink += model.min_snr(positions).value(); }, min_seconds);
+    harness.run(
+        "snr_batch_kernel_scalar_10k", 1,
+        [&] { model.snr_batch(positions, snr_db); }, min_seconds);
+    rf::reset_simd_level();
+    auto& min_simd = harness.run(
+        "min_snr_kernel_simd_10k", 1,
+        [&] { sink += model.min_snr(positions).value(); }, min_seconds);
+    if (const auto* scalar = harness.find("min_snr_kernel_scalar_10k", 1)) {
+      min_simd.metrics.emplace_back("simd_speedup_vs_scalar_kernel",
+                                    scalar->ns_per_op / min_simd.ns_per_op);
+    }
+    auto& batch_simd = harness.run(
+        "snr_batch_kernel_simd_10k", 1,
+        [&] { model.snr_batch(positions, snr_db); }, min_seconds);
+    if (const auto* scalar = harness.find("snr_batch_kernel_scalar_10k", 1)) {
+      batch_simd.metrics.emplace_back("simd_speedup_vs_scalar_kernel",
+                                      scalar->ns_per_op / batch_simd.ns_per_op);
+    }
+
+    harness.run(
+        "uplink_scalar_10k", 1,
+        [&] {
+          for (const double p : positions) sink += uplink.snr(p).value();
+        },
+        min_seconds);
+    auto& uplink_batch = harness.run(
+        "uplink_batch_10k", 1, [&] { uplink.snr_batch(positions, snr_db); },
+        min_seconds);
+    if (const auto* scalar = harness.find("uplink_scalar_10k", 1)) {
+      uplink_batch.metrics.emplace_back("speedup_vs_scalar",
+                                        scalar->ns_per_op /
+                                            uplink_batch.ns_per_op);
+    }
+    if (sink == 42.0) std::cerr << "";  // keep the scalar loops observable
   }
 
   harness.write_json(std::cout);
@@ -172,5 +377,29 @@ int main(int argc, char** argv) {
     std::cerr << "failed to write " << *json_path << '\n';
     return 2;
   }
-  return deterministic ? 0 : 1;
+  if (!deterministic) return 1;
+
+  if (baseline_path) {
+    std::ifstream file(*baseline_path);
+    if (!file) {
+      std::cerr << "failed to read baseline " << *baseline_path << '\n';
+      return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    const auto baseline = bench::parse_harness_json(text.str());
+    if (baseline.empty()) {
+      std::cerr << "baseline " << *baseline_path
+                << " contains no benchmarks\n";
+      return 2;
+    }
+    const auto gate = bench::check_against_baseline(
+        harness.results(), baseline, baseline_tolerance, std::cerr,
+        check_abs_times);
+    std::cerr << "perf gate: " << gate.checked << " checks, "
+              << gate.violations << " violations (tolerance "
+              << baseline_tolerance << ")\n";
+    if (!gate.passed()) return 3;
+  }
+  return 0;
 }

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Fails when an intra-repo markdown link in README.md or docs/*.md
+# points to a file that does not exist. External links (http/https/
+# mailto) and pure anchors are ignored; anchor suffixes on file links
+# are stripped before the existence check.
+#
+# Usage: scripts/check_doc_links.sh [repo-root]   (default: .)
+set -u
+
+root="${1:-.}"
+status=0
+
+for file in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$file" ] || continue
+  dir=$(dirname "$file")
+  # Markdown link targets: the (...) part of [text](target).
+  links=$(grep -o ']([^)]*)' "$file" | sed 's/^](//; s/)$//') || true
+  for link in $links; do
+    case "$link" in
+      http://* | https://* | mailto:* | "#"*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN LINK: $file -> $link"
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "doc links OK"
+fi
+exit $status

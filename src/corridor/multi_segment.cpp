@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "exec/parallel.hpp"
 #include "util/contracts.hpp"
 
 namespace railcorr::corridor {
@@ -65,18 +66,21 @@ std::vector<SegmentCapacity> MultiSegmentAnalyzer::per_segment(
     const CorridorDeployment& corridor) const {
   const auto model = link_model(corridor);
   const double isd = corridor.geometry.segment.isd_m;
-  std::vector<SegmentCapacity> out;
-  out.reserve(static_cast<std::size_t>(corridor.geometry.segments));
-  for (int s = 0; s < corridor.geometry.segments; ++s) {
-    SegmentCapacity cap;
-    cap.segment_index = s;
-    const double lo = isd * static_cast<double>(s);
-    const double hi = lo + isd;
-    cap.min_snr = model.min_snr(lo, hi, sample_step_m_);
-    cap.mean_snr_db = model.mean_snr_db(lo, hi, sample_step_m_);
-    out.push_back(cap);
-  }
-  return out;
+  // Segments are independent scans over the shared immutable link
+  // model; each index writes only its own slot, so the result is
+  // bit-identical at any thread count. Within a segment the scan runs
+  // through the SIMD batch kernel.
+  return exec::parallel_map(
+      static_cast<std::size_t>(corridor.geometry.segments),
+      [&](std::size_t s) {
+        SegmentCapacity cap;
+        cap.segment_index = static_cast<int>(s);
+        const double lo = isd * static_cast<double>(s);
+        const double hi = lo + isd;
+        cap.min_snr = model.min_snr(lo, hi, sample_step_m_);
+        cap.mean_snr_db = model.mean_snr_db(lo, hi, sample_step_m_);
+        return cap;
+      });
 }
 
 Db MultiSegmentAnalyzer::interior_boundary_effect(

@@ -35,13 +35,25 @@ namespace railcorr::exec {
 
 /// Threads the hardware offers (>= 1; hardware_concurrency() of 0 maps
 /// to 1).
+///
+/// \par Thread safety
+/// Safe to call from any thread at any time.
 [[nodiscard]] std::size_t hardware_thread_count();
 
 /// The resolved process-wide default thread count (>= 1).
+///
+/// \par Thread safety
+/// Safe to call concurrently with running parallel regions.
 [[nodiscard]] std::size_t default_thread_count();
 
 /// Override the process-wide default; `n == 0` restores automatic
 /// resolution (RAILCORR_THREADS env var, then hardware concurrency).
+///
+/// \par Thread safety
+/// The store itself is atomic, but changing the default concurrently
+/// with an in-flight parallel region leaves that region on whichever
+/// count it resolved first — call it between regions (tests and
+/// benchmarks do this to pin a count).
 void set_default_thread_count(std::size_t n);
 
 /// Tuning knobs for one parallel region.
@@ -56,11 +68,30 @@ struct ParallelOptions {
 /// Invoke `body(i)` for every i in [0, n) under the determinism contract
 /// above. Exceptions thrown by `body` are rethrown (first one wins) on
 /// the calling thread after every chunk has finished.
+///
+/// \param n     extent of the index range
+/// \param body  invoked once per index, possibly from pool workers
+/// \param opts  chunking overrides (thread count, grain)
+///
+/// \par Thread safety and aliasing
+/// `body` must be callable concurrently from multiple threads: every
+/// index may write only to state owned by that index (one output slot;
+/// no shared accumulators, no `std::vector<bool>` bit-packing). `body`
+/// may *read* any state that no index writes. The call blocks until
+/// all chunks finish; all of `body`'s writes happen-before the return,
+/// so the caller needs no further synchronization to reduce results.
+/// Reentrancy: calling parallel_for from inside a `body` is allowed
+/// and runs the nested region sequentially inline.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ParallelOptions opts = {});
 
 /// Evaluate `f(i)` for every i in [0, n) and return the results indexed
 /// by i. The result type must be default-constructible and movable.
+///
+/// \par Thread safety and aliasing
+/// Same requirements as parallel_for; each `f(i)` writes only its own
+/// pre-sized slot `out[i]`, which is what makes the result independent
+/// of scheduling.
 template <typename F>
 [[nodiscard]] auto parallel_map(std::size_t n, F&& f, ParallelOptions opts = {})
     -> std::vector<std::invoke_result_t<F&, std::size_t>> {

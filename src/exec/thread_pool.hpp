@@ -21,11 +21,20 @@ namespace railcorr::exec {
 ///
 /// Jobs must not throw (the parallel_for driver catches exceptions and
 /// transports them to the submitting thread itself).
+///
+/// \par Thread safety
+/// `submit` may be called from any thread, including concurrently; the
+/// queue is internally synchronized. Destruction drains the queue:
+/// already-submitted jobs run to completion, then workers join. A job
+/// must never block on the completion of another job in the same pool
+/// (that is the deadlock `on_worker_thread` exists to prevent).
 class ThreadPool {
  public:
   /// Spawns `workers` threads. `workers == 0` is allowed and produces a
   /// pool that never runs anything (callers then execute inline).
   explicit ThreadPool(std::size_t workers);
+  /// Drains the queue (pending jobs still execute) and joins all
+  /// workers before returning.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -34,11 +43,16 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const { return threads_.size(); }
 
-  /// Enqueue one job for asynchronous execution.
+  /// Enqueue one job for asynchronous execution. The job object is
+  /// moved into the queue; any state it captures by reference must
+  /// outlive its execution (parallel_for guarantees this by blocking
+  /// until every chunk reports completion).
   void submit(std::function<void()> job);
 
   /// True when the calling thread is one of this process's pool workers
-  /// (any pool). Used as the nested-parallelism guard.
+  /// (any pool). Used as the nested-parallelism guard: a region entered
+  /// from a worker executes inline instead of waiting on the pool it
+  /// occupies.
   [[nodiscard]] static bool on_worker_thread();
 
  private:

@@ -1,0 +1,146 @@
+#include "rf/batch_kernel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+namespace {
+
+/// -1: no override; otherwise the forced SimdLevel.
+std::atomic<int> g_forced_level{-1};
+
+SimdLevel detected_level() {
+#if defined(RAILCORR_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel env_or_detected_level() {
+  // Cached once: the environment cannot change mid-process in a way we
+  // want to observe, and the hot paths query this per batch.
+  static const SimdLevel resolved = [] {
+    const char* env = std::getenv("RAILCORR_SIMD");
+    if (env != nullptr) {
+      if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+      if (std::strcmp(env, "avx2") == 0 &&
+          detected_level() == SimdLevel::kAvx2) {
+        return SimdLevel::kAvx2;
+      }
+      // "auto" and unknown values fall through to detection.
+    }
+    return detected_level();
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+SimdLevel active_simd_level() {
+  const int forced = g_forced_level.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const auto level = static_cast<SimdLevel>(forced);
+    // A forced level the build/CPU cannot run degrades to scalar.
+    if (level == SimdLevel::kAvx2 && detected_level() != SimdLevel::kAvx2) {
+      return SimdLevel::kScalar;
+    }
+    return level;
+  }
+  return env_or_detected_level();
+}
+
+void force_simd_level(SimdLevel level) {
+  g_forced_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void reset_simd_level() {
+  g_forced_level.store(-1, std::memory_order_relaxed);
+}
+
+std::string_view simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+void snr_ratio_batch_scalar(const DownlinkTxSoA& tx,
+                            std::span<const double> positions_m,
+                            std::span<double> out_ratio) {
+  RAILCORR_EXPECTS(out_ratio.size() == positions_m.size());
+  const std::size_t n_tx = tx.size();
+  const double* const tx_pos = tx.position_m.data();
+  const double* const sg = tx.signal_gain_lin.data();
+  const double* const ng = tx.noise_gain_lin.data();
+  const double min_d = tx.min_distance_m;
+  const double terminal = tx.terminal_noise_mw;
+  for (std::size_t p = 0; p < positions_m.size(); ++p) {
+    const double pos = positions_m[p];
+    double signal = 0.0;
+    double noise = terminal;
+    for (std::size_t i = 0; i < n_tx; ++i) {
+      const double d_eff = std::max(std::abs(pos - tx_pos[i]), min_d);
+      const double inv_d2 = 1.0 / (d_eff * d_eff);
+      signal += sg[i] * inv_d2;
+      noise += ng[i] * inv_d2;
+    }
+    out_ratio[p] = signal / noise;
+  }
+}
+
+void uplink_best_ratio_batch_scalar(const UplinkTxSoA& tx,
+                                    std::span<const double> positions_m,
+                                    std::span<double> out_ratio) {
+  RAILCORR_EXPECTS(out_ratio.size() == positions_m.size());
+  const std::size_t n_tx = tx.size();
+  const double* const tx_pos = tx.position_m.data();
+  const double* const gain = tx.snr_gain_lin.data();
+  const double* const inv_fh = tx.inv_fronthaul_lin.data();
+  const double min_d = tx.min_distance_m;
+  for (std::size_t p = 0; p < positions_m.size(); ++p) {
+    const double pos = positions_m[p];
+    double best = 0.0;  // path ratios are strictly positive
+    for (std::size_t i = 0; i < n_tx; ++i) {
+      const double d_eff = std::max(std::abs(pos - tx_pos[i]), min_d);
+      const double x = gain[i] / (d_eff * d_eff);
+      const double ratio = x / (1.0 + x * inv_fh[i]);
+      best = std::max(best, ratio);
+    }
+    out_ratio[p] = best;
+  }
+}
+
+void snr_ratio_batch(const DownlinkTxSoA& tx,
+                     std::span<const double> positions_m,
+                     std::span<double> out_ratio) {
+#if defined(RAILCORR_HAVE_AVX2)
+  if (active_simd_level() == SimdLevel::kAvx2) {
+    snr_ratio_batch_avx2(tx, positions_m, out_ratio);
+    return;
+  }
+#endif
+  snr_ratio_batch_scalar(tx, positions_m, out_ratio);
+}
+
+void uplink_best_ratio_batch(const UplinkTxSoA& tx,
+                             std::span<const double> positions_m,
+                             std::span<double> out_ratio) {
+#if defined(RAILCORR_HAVE_AVX2)
+  if (active_simd_level() == SimdLevel::kAvx2) {
+    uplink_best_ratio_batch_avx2(tx, positions_m, out_ratio);
+    return;
+  }
+#endif
+  uplink_best_ratio_batch_scalar(tx, positions_m, out_ratio);
+}
+
+}  // namespace railcorr::rf

@@ -1,0 +1,186 @@
+/// \file batch_kernel.hpp
+/// \brief SoA (structure-of-arrays) SIMD link-budget kernels and their
+///        runtime dispatch.
+///
+/// The scalar link model stores one `TxKernel` struct per transmitter
+/// (AoS). The hot batch paths instead iterate a handful of parallel
+/// `double` arrays — one per precomputed constant — so the compiler (and
+/// the hand-written AVX2 translation unit) can evaluate four track
+/// positions per instruction. Every per-position arithmetic sequence is
+/// *identical* across the scalar and AVX2 kernels (same operations, same
+/// transmitter order, no FMA contraction), so the two produce
+/// bit-identical output; tests/rf/batch_kernel_test.cpp pins this.
+///
+/// Dispatch: the widest kernel supported by the CPU at runtime is
+/// selected once (`__builtin_cpu_supports("avx2")`); the AVX2 TU is only
+/// compiled when the toolchain targets x86-64 (CMake option
+/// `RAILCORR_ENABLE_AVX2`, default ON). `force_simd_level()` overrides
+/// the choice for tests and benchmarks, and the `RAILCORR_SIMD`
+/// environment variable (`scalar` / `avx2` / `auto`) overrides it for
+/// whole runs.
+///
+/// \par Thread safety
+/// The SoA structs are immutable after construction and may be shared
+/// freely across threads. The batch entry points are const over the SoA
+/// data and reentrant; `force_simd_level` / `reset_simd_level` are
+/// process-global and must not race with concurrent kernel invocations
+/// that are expected to use a specific level.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace railcorr::rf {
+
+/// Instruction-set level a batch kernel runs at.
+enum class SimdLevel {
+  kScalar,  ///< portable C++ loop (auto-vectorizable)
+  kAvx2,    ///< 4-wide AVX2 intrinsics over positions
+};
+
+/// The level the dispatcher will use: a `force_simd_level` override if
+/// set, else the `RAILCORR_SIMD` environment variable, else the widest
+/// level the CPU and build support.
+[[nodiscard]] SimdLevel active_simd_level();
+
+/// Pin the dispatcher to `level` (ignored widths fall back to scalar if
+/// the build lacks the requested kernel). For tests and benchmarks.
+void force_simd_level(SimdLevel level);
+
+/// Drop any `force_simd_level` override; dispatch returns to automatic
+/// (environment variable, then CPU detection).
+void reset_simd_level();
+
+/// Human-readable name of a level ("scalar", "avx2").
+[[nodiscard]] std::string_view simd_level_name(SimdLevel level);
+
+/// SoA transmitter constants of the downlink Eq. (2) kernel. With the
+/// near-field clamp d_eff = max(|d - position_m[i]|, min_distance_m):
+///   signal [mW] = sum_i signal_gain_lin[i] / d_eff^2
+///   noise  [mW] = terminal_noise_mw + sum_i noise_gain_lin[i] / d_eff^2
+/// `noise_gain_lin` folds the literal Eq. (2) repeater term and (under
+/// the fronthaul-aware model) the amplified fronthaul noise into one
+/// constant; it is zero for high-power RRHs.
+struct DownlinkTxSoA {
+  std::vector<double> position_m;
+  std::vector<double> signal_gain_lin;
+  std::vector<double> noise_gain_lin;
+  /// Terminal noise floor N_RSRP * NF_MT [mW].
+  double terminal_noise_mw = 0.0;
+  /// Near-field clamp for the Friis model [m].
+  double min_distance_m = 1.0;
+
+  [[nodiscard]] std::size_t size() const { return position_m.size(); }
+};
+
+/// SoA constants of the uplink best-path kernel. Per transmitter i and
+/// position p, with x = snr_gain_lin[i] / d_eff^2 the single-leg SNR:
+///   path ratio = x / (1 + x * inv_fronthaul_lin[i])
+/// which is the amplify-and-forward combination x*fh/(x+fh) written so
+/// that direct-to-mast paths are the `inv_fronthaul_lin == 0` case. The
+/// kernel returns the best (max) path ratio per position.
+struct UplinkTxSoA {
+  std::vector<double> position_m;
+  /// Per-path single-leg SNR numerator: UE RSTP [mW] over the port-to-
+  /// port attenuation constant and the receiver noise floor [mW].
+  std::vector<double> snr_gain_lin;
+  /// 1 / SNR_fh of the relaying node's donor link (0 for masts).
+  std::vector<double> inv_fronthaul_lin;
+  double min_distance_m = 1.0;
+
+  [[nodiscard]] std::size_t size() const { return position_m.size(); }
+};
+
+/// \name Dispatched batch kernels
+/// `out.size()` must equal `positions_m.size()`; `out` must not alias
+/// `positions_m` or any SoA array (each slot is written exactly once,
+/// reads would observe partial results). All positions are evaluated
+/// with the active SIMD level.
+///@{
+
+/// Linear signal/noise ratio of Eq. (2) at each position.
+void snr_ratio_batch(const DownlinkTxSoA& tx,
+                     std::span<const double> positions_m,
+                     std::span<double> out_ratio);
+
+/// Best-path linear uplink SNR at each position.
+void uplink_best_ratio_batch(const UplinkTxSoA& tx,
+                             std::span<const double> positions_m,
+                             std::span<double> out_ratio);
+///@}
+
+/// \name Fixed-level kernels
+/// The concrete implementations behind the dispatcher, exposed so tests
+/// can compare levels directly. Same preconditions as above.
+///@{
+void snr_ratio_batch_scalar(const DownlinkTxSoA& tx,
+                            std::span<const double> positions_m,
+                            std::span<double> out_ratio);
+void uplink_best_ratio_batch_scalar(const UplinkTxSoA& tx,
+                                    std::span<const double> positions_m,
+                                    std::span<double> out_ratio);
+#if defined(RAILCORR_HAVE_AVX2)
+void snr_ratio_batch_avx2(const DownlinkTxSoA& tx,
+                          std::span<const double> positions_m,
+                          std::span<double> out_ratio);
+void uplink_best_ratio_batch_avx2(const UplinkTxSoA& tx,
+                                  std::span<const double> positions_m,
+                                  std::span<double> out_ratio);
+#endif
+///@}
+
+/// \name Blocked reductions over a batch kernel
+/// Allocation-free driving loops shared by every min/mean entry point:
+/// positions stream through fixed-size stack blocks (2 KiB), each block
+/// is evaluated with one kernel call, and `consume(ratio)` runs once
+/// per position in position order (so order-dependent reductions like a
+/// dB-domain mean stay deterministic).
+///@{
+
+/// Stack-block size of the blocked reductions.
+inline constexpr std::size_t kBatchBlock = 256;
+
+/// Evaluate `kernel(block_positions, block_ratios)` over fixed-size
+/// blocks of `positions_m` and feed every ratio to `consume` in order.
+template <typename Kernel, typename Consume>
+void blocked_ratios(std::span<const double> positions_m, Kernel&& kernel,
+                    Consume&& consume) {
+  std::array<double, kBatchBlock> ratios;
+  for (std::size_t begin = 0; begin < positions_m.size();
+       begin += kBatchBlock) {
+    const std::size_t count =
+        std::min(kBatchBlock, positions_m.size() - begin);
+    kernel(positions_m.subspan(begin, count),
+           std::span<double>(ratios.data(), count));
+    for (std::size_t i = 0; i < count; ++i) consume(ratios[i]);
+  }
+}
+
+/// Same over the generated arithmetic scan `lo, lo+step, ...` up to
+/// `hi + step/2`, with every sample clamped to `hi` (the historical
+/// scalar sampling sequence of the range-based min/mean overloads:
+/// accumulated steps, end clamp).
+template <typename Kernel, typename Consume>
+void blocked_range_ratios(double lo_m, double hi_m, double step_m,
+                          Kernel&& kernel, Consume&& consume) {
+  std::array<double, kBatchBlock> positions;
+  std::array<double, kBatchBlock> ratios;
+  double d = lo_m;
+  const double end = hi_m + 0.5 * step_m;
+  while (d <= end) {
+    std::size_t count = 0;
+    for (; count < kBatchBlock && d <= end; ++count, d += step_m) {
+      positions[count] = std::min(d, hi_m);
+    }
+    kernel(std::span<const double>(positions.data(), count),
+           std::span<double>(ratios.data(), count));
+    for (std::size_t i = 0; i < count; ++i) consume(ratios[i]);
+  }
+}
+///@}
+
+}  // namespace railcorr::rf

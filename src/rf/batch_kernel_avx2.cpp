@@ -1,0 +1,112 @@
+/// AVX2 lane of the SoA batch kernels: four track positions per
+/// iteration, transmitters in the inner loop in index order.
+///
+/// Bit-identity with the scalar kernels is load-bearing (the determinism
+/// contract extends across SIMD levels), so this TU restricts itself to
+/// IEEE-exact operations that match the scalar code one-to-one:
+/// vandpd (abs), vmaxpd, vmulpd, vdivpd, vaddpd. No FMA — the library
+/// is compiled with -ffp-contract=off (see CMakeLists.txt) so the
+/// scalar kernels cannot be contracted either — and no reassociation:
+/// the accumulation order over transmitters is the scalar order, only
+/// the position dimension is widened.
+///
+/// This file is compiled with -mavx2 only when CMake detects an x86-64
+/// target (RAILCORR_ENABLE_AVX2); callers reach it exclusively through
+/// the runtime dispatcher in batch_kernel.cpp.
+#include "rf/batch_kernel.hpp"
+
+#if defined(RAILCORR_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::rf {
+
+namespace {
+
+/// |x| for four doubles (clears the sign bit; exact).
+inline __m256d abs4(__m256d x) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  return _mm256_andnot_pd(sign_mask, x);
+}
+
+}  // namespace
+
+void snr_ratio_batch_avx2(const DownlinkTxSoA& tx,
+                          std::span<const double> positions_m,
+                          std::span<double> out_ratio) {
+  RAILCORR_EXPECTS(out_ratio.size() == positions_m.size());
+  const std::size_t n_tx = tx.size();
+  const double* const tx_pos = tx.position_m.data();
+  const double* const sg = tx.signal_gain_lin.data();
+  const double* const ng = tx.noise_gain_lin.data();
+  const __m256d min_d = _mm256_set1_pd(tx.min_distance_m);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d terminal = _mm256_set1_pd(tx.terminal_noise_mw);
+
+  const std::size_t n = positions_m.size();
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256d pos = _mm256_loadu_pd(positions_m.data() + p);
+    __m256d signal = _mm256_setzero_pd();
+    __m256d noise = terminal;
+    for (std::size_t i = 0; i < n_tx; ++i) {
+      const __m256d d =
+          abs4(_mm256_sub_pd(pos, _mm256_set1_pd(tx_pos[i])));
+      const __m256d d_eff = _mm256_max_pd(d, min_d);
+      const __m256d inv_d2 =
+          _mm256_div_pd(one, _mm256_mul_pd(d_eff, d_eff));
+      signal = _mm256_add_pd(signal,
+                             _mm256_mul_pd(_mm256_set1_pd(sg[i]), inv_d2));
+      noise = _mm256_add_pd(noise,
+                            _mm256_mul_pd(_mm256_set1_pd(ng[i]), inv_d2));
+    }
+    _mm256_storeu_pd(out_ratio.data() + p, _mm256_div_pd(signal, noise));
+  }
+  if (p < n) {
+    // Remainder positions go through the scalar kernel (identical math).
+    snr_ratio_batch_scalar(tx, positions_m.subspan(p), out_ratio.subspan(p));
+  }
+}
+
+void uplink_best_ratio_batch_avx2(const UplinkTxSoA& tx,
+                                  std::span<const double> positions_m,
+                                  std::span<double> out_ratio) {
+  RAILCORR_EXPECTS(out_ratio.size() == positions_m.size());
+  const std::size_t n_tx = tx.size();
+  const double* const tx_pos = tx.position_m.data();
+  const double* const gain = tx.snr_gain_lin.data();
+  const double* const inv_fh = tx.inv_fronthaul_lin.data();
+  const __m256d min_d = _mm256_set1_pd(tx.min_distance_m);
+  const __m256d one = _mm256_set1_pd(1.0);
+
+  const std::size_t n = positions_m.size();
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256d pos = _mm256_loadu_pd(positions_m.data() + p);
+    __m256d best = _mm256_setzero_pd();
+    for (std::size_t i = 0; i < n_tx; ++i) {
+      const __m256d d =
+          abs4(_mm256_sub_pd(pos, _mm256_set1_pd(tx_pos[i])));
+      const __m256d d_eff = _mm256_max_pd(d, min_d);
+      const __m256d x = _mm256_div_pd(_mm256_set1_pd(gain[i]),
+                                      _mm256_mul_pd(d_eff, d_eff));
+      const __m256d denom = _mm256_add_pd(
+          one, _mm256_mul_pd(x, _mm256_set1_pd(inv_fh[i])));
+      best = _mm256_max_pd(best, _mm256_div_pd(x, denom));
+    }
+    _mm256_storeu_pd(out_ratio.data() + p, best);
+  }
+  if (p < n) {
+    uplink_best_ratio_batch_scalar(tx, positions_m.subspan(p),
+                                   out_ratio.subspan(p));
+  }
+}
+
+}  // namespace railcorr::rf
+
+#endif  // RAILCORR_HAVE_AVX2 && __AVX2__

@@ -10,6 +10,18 @@
 
 namespace railcorr::rf {
 
+namespace {
+
+/// The dispatched downlink kernel bound to one model's SoA constants,
+/// in the callable shape the blocked reductions consume.
+auto bound_kernel(const DownlinkTxSoA& soa) {
+  return [&soa](std::span<const double> positions, std::span<double> out) {
+    snr_ratio_batch(soa, positions, out);
+  };
+}
+
+}  // namespace
+
 CorridorLinkModel::CorridorLinkModel(LinkModelConfig config,
                                      std::vector<TrackTransmitter> transmitters)
     : config_(std::move(config)), transmitters_(std::move(transmitters)) {
@@ -40,46 +52,40 @@ CorridorLinkModel::CorridorLinkModel(LinkModelConfig config,
           (-config_.fronthaul.snr_at(tx.donor_distance_m)).linear();
     }
     kernels_.push_back(k);
+
+    // The SoA mirror folds the two repeater-noise terms into one gain:
+    // with the fronthaul-aware model the injected noise is
+    // (literal + signal_gain * fronthaul_factor) / d_eff^2, under the
+    // literal model only the first summand, and zero for RRHs.
+    soa_.position_m.push_back(k.position_m);
+    soa_.signal_gain_lin.push_back(k.signal_gain_lin);
+    double noise_gain = k.literal_noise_gain_lin;
+    if (k.repeater &&
+        config_.noise_model == RepeaterNoiseModel::kFronthaulAware) {
+      noise_gain += k.signal_gain_lin * k.fronthaul_factor_lin;
+    }
+    soa_.noise_gain_lin.push_back(noise_gain);
   }
   terminal_noise_mw_ = config_.noise.terminal_noise().to_milliwatts().value();
-}
-
-double CorridorLinkModel::signal_noise_ratio_lin(double position_m) const {
-  const bool fronthaul_aware =
-      config_.noise_model == RepeaterNoiseModel::kFronthaulAware;
-  const double min_distance = config_.min_distance_m;
-  double signal_mw = 0.0;
-  double noise_mw = terminal_noise_mw_;
-  for (const auto& k : kernels_) {
-    const double d_eff =
-        std::max(std::abs(position_m - k.position_m), min_distance);
-    const double inv_d2 = 1.0 / (d_eff * d_eff);
-    const double contribution_mw = k.signal_gain_lin * inv_d2;
-    signal_mw += contribution_mw;
-    if (k.repeater) {
-      noise_mw += k.literal_noise_gain_lin * inv_d2;
-      if (fronthaul_aware) {
-        noise_mw += contribution_mw * k.fronthaul_factor_lin;
-      }
-    }
-  }
-  return signal_mw / noise_mw;
+  soa_.terminal_noise_mw = terminal_noise_mw_;
+  soa_.min_distance_m = config_.min_distance_m;
 }
 
 void CorridorLinkModel::snr_batch(std::span<const double> positions_m,
                                   std::span<double> out_snr_db) const {
   RAILCORR_EXPECTS(out_snr_db.size() == positions_m.size());
-  for (std::size_t i = 0; i < positions_m.size(); ++i) {
-    out_snr_db[i] = 10.0 * std::log10(signal_noise_ratio_lin(positions_m[i]));
-  }
+  // Linear ratios land in the output slots; one log10 pass converts in
+  // place (this is why `out_snr_db` must not alias `positions_m`).
+  snr_ratio_batch(soa_, positions_m, out_snr_db);
+  for (double& v : out_snr_db) v = 10.0 * std::log10(v);
 }
 
 Db CorridorLinkModel::min_snr(std::span<const double> positions_m) const {
   RAILCORR_EXPECTS(!positions_m.empty());
   double worst_ratio = std::numeric_limits<double>::infinity();
-  for (const double p : positions_m) {
-    worst_ratio = std::min(worst_ratio, signal_noise_ratio_lin(p));
-  }
+  blocked_ratios(positions_m, bound_kernel(soa_), [&](double ratio) {
+    worst_ratio = std::min(worst_ratio, ratio);
+  });
   // log10 is monotone, so reducing in the linear domain and converting
   // once yields exactly min over the per-position dB values.
   return Db(10.0 * std::log10(worst_ratio));
@@ -177,10 +183,10 @@ Db CorridorLinkModel::min_snr(double lo_m, double hi_m, double step_m) const {
   RAILCORR_EXPECTS(step_m > 0.0);
   RAILCORR_EXPECTS(hi_m >= lo_m);
   double worst_ratio = std::numeric_limits<double>::infinity();
-  for (double d = lo_m; d <= hi_m + 0.5 * step_m; d += step_m) {
-    worst_ratio =
-        std::min(worst_ratio, signal_noise_ratio_lin(std::min(d, hi_m)));
-  }
+  blocked_range_ratios(lo_m, hi_m, step_m, bound_kernel(soa_),
+                       [&](double ratio) {
+                         worst_ratio = std::min(worst_ratio, ratio);
+                       });
   return Db(10.0 * std::log10(worst_ratio));
 }
 
@@ -188,12 +194,15 @@ Db CorridorLinkModel::mean_snr_db(double lo_m, double hi_m,
                                   double step_m) const {
   RAILCORR_EXPECTS(step_m > 0.0);
   RAILCORR_EXPECTS(hi_m >= lo_m);
+  // dB-domain sum in position order: deterministic and identical to
+  // the historical per-position loop.
   double sum = 0.0;
   std::size_t n = 0;
-  for (double d = lo_m; d <= hi_m + 0.5 * step_m; d += step_m) {
-    sum += 10.0 * std::log10(signal_noise_ratio_lin(std::min(d, hi_m)));
-    ++n;
-  }
+  blocked_range_ratios(lo_m, hi_m, step_m, bound_kernel(soa_),
+                       [&](double ratio) {
+                         sum += 10.0 * std::log10(ratio);
+                         ++n;
+                       });
   RAILCORR_ENSURES(n > 0);
   return Db(sum / static_cast<double>(n));
 }

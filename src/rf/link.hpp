@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "rf/batch_kernel.hpp"
 #include "rf/carrier.hpp"
 #include "rf/fronthaul.hpp"
 #include "rf/noise.hpp"
@@ -130,13 +131,25 @@ class CorridorLinkModel {
   /// linear-domain transmitter constants: one multiply-add per
   /// (position, transmitter) pair and a single log10 per position,
   /// instead of the scalar path's dB->linear round-trip per pair.
-  /// Agrees with the scalar snr() to well below 1e-12 dB.
+  /// Runs at the active SIMD level (rf::active_simd_level(): AVX2 when
+  /// the CPU and build support it, portable scalar otherwise); all
+  /// levels are bit-identical. Agrees with the scalar snr() to well
+  /// below 1e-12 dB.
+  ///
+  /// \par Thread safety and aliasing
+  /// The model is immutable after construction; any number of threads
+  /// may call these concurrently on the same instance. `out_snr_db`
+  /// must not alias `positions_m` (slots are written as ratios first
+  /// and converted to dB in place) and must provide exactly
+  /// positions_m.size() slots.
   ///@{
   /// SNR [dB] at each position; `out` must have positions.size() slots.
   void snr_batch(std::span<const double> positions_m,
                  std::span<double> out_snr_db) const;
 
-  /// Minimum SNR over caller-provided positions, allocation-free.
+  /// Minimum SNR over caller-provided positions, allocation-free
+  /// (fixed-size stack blocks through the batch kernel, reduced in the
+  /// linear domain with a single final log10).
   [[nodiscard]] Db min_snr(std::span<const double> positions_m) const;
   ///@}
 
@@ -159,19 +172,20 @@ class CorridorLinkModel {
   [[nodiscard]] const std::vector<TxKernel>& kernels() const {
     return kernels_;
   }
+  /// The same constants in SoA layout, as consumed by the SIMD batch
+  /// kernels (noise gains folded per the configured RepeaterNoiseModel).
+  [[nodiscard]] const DownlinkTxSoA& soa() const { return soa_; }
   /// Terminal noise floor N_RSRP * NF_MT [mW].
   [[nodiscard]] double terminal_noise_mw() const { return terminal_noise_mw_; }
   /// Near-field clamp distance [m].
   [[nodiscard]] double min_distance_m() const { return config_.min_distance_m; }
 
  private:
-  /// signal / noise [mW] at one position via the precomputed constants.
-  [[nodiscard]] double signal_noise_ratio_lin(double position_m) const;
-
   LinkModelConfig config_;
   std::vector<TrackTransmitter> transmitters_;
   std::vector<CalibratedPathLoss> path_loss_;  // one per transmitter
   std::vector<TxKernel> kernels_;              // one per transmitter
+  DownlinkTxSoA soa_;                          // same constants, SoA layout
   double terminal_noise_mw_ = 0.0;
 };
 

@@ -13,8 +13,10 @@
 /// style (the scheduler picks the best).
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "rf/batch_kernel.hpp"
 #include "rf/carrier.hpp"
 #include "rf/fronthaul.hpp"
 #include "rf/link.hpp"
@@ -62,10 +64,36 @@ class UplinkModel {
   /// All candidate uplink paths for a terminal at `position_m`.
   [[nodiscard]] std::vector<UplinkPath> paths(double position_m) const;
 
-  /// Best-path uplink SNR at `position_m`.
+  /// Best-path uplink SNR at `position_m` (scalar dB-domain reference;
+  /// the batch paths below agree with it to well below 1e-9 dB).
   [[nodiscard]] Db snr(double position_m) const;
 
+  /// \name Batched uplink kernel
+  /// SoA evaluation of the best-path SNR over many positions via
+  /// rf::uplink_best_ratio_batch: the amplify-and-forward combination
+  /// is evaluated as x / (1 + x / SNR_fh) in the linear domain, one
+  /// division pair per (position, path) and a single log10 per
+  /// position. Runs at the active SIMD level; thread-safe on a const
+  /// model; `out_snr_db` must not alias `positions_m`.
+  ///@{
+  /// Best-path SNR [dB] at each position; `out_snr_db` needs
+  /// positions_m.size() slots.
+  void snr_batch(std::span<const double> positions_m,
+                 std::span<double> out_snr_db) const;
+
+  /// Minimum best-path SNR over caller-provided positions,
+  /// allocation-free (linear-domain reduction, one final log10).
+  [[nodiscard]] Db min_snr(std::span<const double> positions_m) const;
+  ///@}
+
   /// Minimum best-path SNR over [lo, hi] sampled every `step_m`.
+  /// Large ranges evaluate in parallel chunks through the batch kernel
+  /// (deterministic: the min reduction is exact and order-free).
+  /// Sampling note: sample k sits at `min(lo + k*step, hi)` — a pure
+  /// function of its index, so chunks regenerate positions
+  /// independently. This differs at the ULP level from the downlink
+  /// range scan's historical accumulated-step sequence when `step_m`
+  /// is not binary-exact; thread-count determinism is unaffected.
   [[nodiscard]] Db min_snr(double lo_m, double hi_m, double step_m) const;
 
   /// True when the uplink sustains at least `threshold` everywhere —
@@ -84,6 +112,7 @@ class UplinkModel {
   std::vector<TrackTransmitter> transmitters_;
   UplinkBudget budget_;
   std::vector<CalibratedPathLoss> path_loss_;
+  UplinkTxSoA soa_;  ///< per-path constants for the batch kernel
 };
 
 }  // namespace railcorr::rf

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "exec/parallel.hpp"
 #include "util/constants.hpp"
 #include "util/contracts.hpp"
 
@@ -41,7 +42,41 @@ CorridorSimulation::CorridorSimulation(SimulationConfig config)
                    config_.detector_miss_probability <= 1.0);
 }
 
-SimulationReport CorridorSimulation::run() {
+SimulationReport CorridorSimulation::run() const {
+  // Rng::stream(seed, 0) == Rng(seed): run() is day 0 of any campaign.
+  return run_day(Rng(config_.seed));
+}
+
+std::vector<SimulationReport> CorridorSimulation::run_days(int days) const {
+  RAILCORR_EXPECTS(days >= 1);
+  // Each day owns an independent RNG substream and one output slot;
+  // the per-day DES stays sequential (events are causally ordered) but
+  // days are embarrassingly parallel.
+  return exec::parallel_map(static_cast<std::size_t>(days), [&](std::size_t d) {
+    return run_day(Rng::stream(config_.seed, d));
+  });
+}
+
+CampaignReport CorridorSimulation::run_campaign(int days) const {
+  CampaignReport campaign;
+  campaign.days = days;
+  campaign.day_reports = run_days(days);
+  for (const auto& day : campaign.day_reports) {
+    campaign.total_mains_energy += day.mains_energy;
+    campaign.mean_mains_per_km += day.mains_per_km;
+    campaign.train_snr_db.merge(day.train_snr_db);
+    campaign.train_spectral_efficiency.merge(day.train_spectral_efficiency);
+    campaign.degraded_seconds += day.degraded_seconds;
+    campaign.missed_wakes += day.missed_wakes;
+    campaign.trains += day.trains;
+    campaign.events_processed += day.events_processed;
+  }
+  campaign.mean_mains_per_km =
+      campaign.mean_mains_per_km / static_cast<double>(days);
+  return campaign;
+}
+
+SimulationReport CorridorSimulation::run_day(Rng rng) const {
   const auto& geometry = config_.deployment.geometry;
   const double isd = geometry.isd_m;
   const double spacing = geometry.repeater_spacing_m;
@@ -49,7 +84,6 @@ SimulationReport CorridorSimulation::run() {
   const bool lp_can_sleep =
       config_.mode != corridor::RepeaterOperationMode::kContinuous;
 
-  Rng rng(config_.seed);
   const auto timetable =
       config_.poisson_timetable
           ? traffic::Timetable::poisson(config_.timetable, rng)

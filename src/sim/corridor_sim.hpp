@@ -77,15 +77,56 @@ struct SimulationReport {
   std::uint64_t events_processed = 0;
 };
 
-/// Runs one simulated day.
+/// Aggregate outcome of a multi-day campaign (index-ordered reduction
+/// of the per-day reports).
+struct CampaignReport {
+  /// Days simulated.
+  int days = 0;
+  /// One report per day, in day order.
+  std::vector<SimulationReport> day_reports;
+  /// Sum of the daily mains energies [Wh].
+  WattHours total_mains_energy{0.0};
+  /// Mean of the daily mains-per-km averages [W].
+  Watts mean_mains_per_km{0.0};
+  /// Onboard QoS merged across all days.
+  RunningStats train_snr_db;
+  RunningStats train_spectral_efficiency;
+  double degraded_seconds = 0.0;
+  int missed_wakes = 0;
+  int trains = 0;
+  std::uint64_t events_processed = 0;
+};
+
+/// Runs simulated corridor days.
+///
+/// Determinism contract: day `d` of a campaign draws every variate
+/// (detector failures, Poisson timetables) from `Rng::stream(seed, d)`
+/// — disjoint SplitMix64 counter ranges per day — and the days execute
+/// as independent `exec::parallel_map` tasks, one output slot each.
+/// Campaign results are therefore bit-identical at any thread count,
+/// and `run()` equals day 0 of any campaign
+/// (`Rng::stream(seed, 0) == Rng(seed)`).
 class CorridorSimulation {
  public:
   explicit CorridorSimulation(SimulationConfig config);
 
-  /// Execute the day and produce the report.
-  [[nodiscard]] SimulationReport run();
+  /// Execute one day (the configured seed's stream 0) and produce the
+  /// report.
+  [[nodiscard]] SimulationReport run() const;
+
+  /// Simulate `days` independent days in parallel; element d is day d.
+  /// With a regular timetable and no failure injection the days are
+  /// statistically identical; Poisson timetables and detector failures
+  /// draw from per-day substreams.
+  [[nodiscard]] std::vector<SimulationReport> run_days(int days) const;
+
+  /// run_days plus the index-ordered aggregate reduction.
+  [[nodiscard]] CampaignReport run_campaign(int days) const;
 
  private:
+  /// One simulated day driven by the given (already-positioned) RNG.
+  [[nodiscard]] SimulationReport run_day(Rng rng) const;
+
   SimulationConfig config_;
 };
 

@@ -1,8 +1,27 @@
 #include "solar/sizing.hpp"
 
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/contracts.hpp"
 
 namespace railcorr::solar {
+
+namespace {
+
+/// One (location, candidate) cell of the sizing grid.
+OffGridReport simulate_cell(const Location& location,
+                            const SizingCandidate& candidate,
+                            const ConsumptionProfile& consumption,
+                            const SizingOptions& options) {
+  OffGridSystem system;
+  system.array = PvArray(candidate.pv_wp);
+  system.battery_capacity_wh = candidate.battery_wh;
+  system.plane = options.plane;
+  OffGridSimulator sim(location, system, consumption, options.weather);
+  return sim.simulate(options.seed, options.years);
+}
+
+}  // namespace
 
 std::vector<SizingCandidate> paper_sizing_ladder() {
   return {
@@ -22,12 +41,8 @@ SizingResult size_for_location(const Location& location,
   SizingResult result;
   result.location = location;
   for (const auto& candidate : ladder) {
-    OffGridSystem system;
-    system.array = PvArray(candidate.pv_wp);
-    system.battery_capacity_wh = candidate.battery_wh;
-    system.plane = options.plane;
-    OffGridSimulator sim(location, system, consumption, options.weather);
-    const auto report = sim.simulate(options.seed, options.years);
+    const auto report = simulate_cell(location, candidate, consumption,
+                                      options);
     result.chosen = candidate;
     result.report = report;
     if (report.continuous_operation()) {
@@ -39,13 +54,65 @@ SizingResult size_for_location(const Location& location,
   return result;  // largest candidate, possibly still with downtime
 }
 
-std::vector<SizingResult> size_paper_locations(
-    const ConsumptionProfile& consumption, const SizingOptions& options) {
+std::vector<SizingResult> size_locations(
+    const std::vector<Location>& locations,
+    const ConsumptionProfile& consumption, const SizingOptions& options,
+    const std::vector<SizingCandidate>& ladder) {
+  RAILCORR_EXPECTS(!ladder.empty());
+  // The full locations x ladder grid costs more simulations than the
+  // sequential early-exit walk; it only pays when the cells actually
+  // run concurrently. With one thread — or inside a nested parallel
+  // region, where parallel_map executes inline — the walk does
+  // strictly less work for the identical result (pinned by
+  // tests/solar/sizing_test.cpp).
+  if (exec::ThreadPool::on_worker_thread() ||
+      exec::default_thread_count() <= 1) {
+    std::vector<SizingResult> results;
+    results.reserve(locations.size());
+    for (const auto& location : locations) {
+      results.push_back(
+          size_for_location(location, consumption, options, ladder));
+    }
+    return results;
+  }
+
+  // Flatten the locations x ladder grid: every cell is an independent
+  // multi-year off-grid simulation with a fixed per-cell seed, so the
+  // grid parallelizes like the ISD sweep and turns the dominant
+  // latency (each cell is an hourly multi-year loop) into embarrassing
+  // parallelism.
+  const std::size_t n_candidates = ladder.size();
+  const auto reports = exec::parallel_map(
+      locations.size() * n_candidates, [&](std::size_t cell) {
+        return simulate_cell(locations[cell / n_candidates],
+                             ladder[cell % n_candidates], consumption,
+                             options);
+      });
+
+  // Index-ordered reduction reproduces the sequential ladder walk
+  // exactly: first passing candidate wins, else the largest one.
   std::vector<SizingResult> results;
-  for (const auto& location : paper_locations()) {
-    results.push_back(size_for_location(location, consumption, options));
+  results.reserve(locations.size());
+  for (std::size_t l = 0; l < locations.size(); ++l) {
+    SizingResult result;
+    result.location = locations[l];
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      result.chosen = ladder[c];
+      result.report = reports[l * n_candidates + c];
+      if (result.report.continuous_operation()) {
+        result.ladder_exhausted = false;
+        break;
+      }
+      result.ladder_exhausted = true;
+    }
+    results.push_back(result);
   }
   return results;
+}
+
+std::vector<SizingResult> size_paper_locations(
+    const ConsumptionProfile& consumption, const SizingOptions& options) {
+  return size_locations(paper_locations(), consumption, options);
 }
 
 }  // namespace railcorr::solar

@@ -42,14 +42,30 @@ struct SizingOptions {
   PlaneOfArray plane;  ///< vertical, equator-facing by default
 };
 
-/// Walk the ladder until a configuration runs without downtime.
+/// Walk the ladder until a configuration runs without downtime
+/// (sequential early-exit; the single-site API).
 SizingResult size_for_location(const Location& location,
                                const ConsumptionProfile& consumption,
                                const SizingOptions& options = SizingOptions{},
                                const std::vector<SizingCandidate>& ladder =
                                    paper_sizing_ladder());
 
-/// Size all four paper locations (Table IV).
+/// Size many locations at once: the full locations x ladder grid is an
+/// independent set of off-grid simulations (like the ISD sweep's grid),
+/// evaluated through exec::parallel_map and reduced per location in
+/// ladder order. Results are identical to calling size_for_location
+/// per site — every simulation cell depends only on its fixed seed —
+/// and bit-identical at any thread count. When no concurrency is
+/// available (one thread, or called from inside a parallel region) the
+/// sequential early-exit walk runs instead: same results, fewer
+/// simulations.
+std::vector<SizingResult> size_locations(
+    const std::vector<Location>& locations,
+    const ConsumptionProfile& consumption,
+    const SizingOptions& options = SizingOptions{},
+    const std::vector<SizingCandidate>& ladder = paper_sizing_ladder());
+
+/// Size all four paper locations (Table IV) via the batched grid.
 std::vector<SizingResult> size_paper_locations(
     const ConsumptionProfile& consumption,
     const SizingOptions& options = SizingOptions{});

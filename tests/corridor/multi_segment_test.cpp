@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/parallel.hpp"
+#include "rf/batch_kernel.hpp"
 #include "util/contracts.hpp"
 
 namespace railcorr::corridor {
@@ -87,6 +89,44 @@ TEST(MultiSegment, SingleSegmentMatchesSegmentDeployment) {
   ASSERT_EQ(capacities.size(), 1u);
   EXPECT_NEAR(capacities[0].min_snr.value(),
               isolated.min_snr(0.0, 1800.0, 10.0).value(), 1e-9);
+}
+
+/// Restores automatic thread-count resolution even when an ASSERT
+/// bails out of the test body early.
+class MultiSegmentThreads : public ::testing::Test {
+ protected:
+  void TearDown() override { exec::set_default_thread_count(0); }
+};
+
+TEST_F(MultiSegmentThreads, PerSegmentBitIdenticalAcrossThreadCounts) {
+  const MultiSegmentAnalyzer analyzer(rf::LinkModelConfig{});
+  exec::set_default_thread_count(1);
+  const auto baseline = analyzer.per_segment(five_segments());
+  for (const std::size_t threads : {2u, 8u}) {
+    exec::set_default_thread_count(threads);
+    const auto capacities = analyzer.per_segment(five_segments());
+    ASSERT_EQ(capacities.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(capacities[i].segment_index, baseline[i].segment_index);
+      EXPECT_EQ(capacities[i].min_snr.value(), baseline[i].min_snr.value());
+      EXPECT_EQ(capacities[i].mean_snr_db.value(),
+                baseline[i].mean_snr_db.value());
+    }
+  }
+}
+
+TEST(MultiSegment, PerSegmentBitIdenticalAcrossSimdLevels) {
+  const MultiSegmentAnalyzer analyzer(rf::LinkModelConfig{});
+  rf::force_simd_level(rf::SimdLevel::kScalar);
+  const auto scalar = analyzer.per_segment(five_segments());
+  rf::reset_simd_level();
+  const auto dispatched = analyzer.per_segment(five_segments());
+  ASSERT_EQ(scalar.size(), dispatched.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i].min_snr.value(), dispatched[i].min_snr.value());
+    EXPECT_EQ(scalar[i].mean_snr_db.value(),
+              dispatched[i].mean_snr_db.value());
+  }
 }
 
 TEST(MultiSegment, Contracts) {

@@ -1,0 +1,116 @@
+/// Determinism contract of the parallel DES campaign: day reports are
+/// bit-identical at any thread count, day 0 equals the single-day run(),
+/// and per-day Rng substreams make randomized days independent of
+/// scheduling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "sim/corridor_sim.hpp"
+#include "util/contracts.hpp"
+
+namespace railcorr::sim {
+namespace {
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void TearDown() override { exec::set_default_thread_count(0); }
+};
+
+SimulationConfig randomized_config() {
+  SimulationConfig config;
+  config.deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  config.poisson_timetable = true;
+  config.detector_miss_probability = 0.05;
+  return config;
+}
+
+void expect_reports_identical(const SimulationReport& a,
+                              const SimulationReport& b) {
+  EXPECT_EQ(a.trains, b.trains);
+  EXPECT_EQ(a.missed_wakes, b.missed_wakes);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.mains_energy.value(), b.mains_energy.value());
+  EXPECT_EQ(a.mains_per_km.value(), b.mains_per_km.value());
+  EXPECT_EQ(a.degraded_seconds, b.degraded_seconds);
+  ASSERT_EQ(a.train_snr_db.count(), b.train_snr_db.count());
+  if (!a.train_snr_db.empty()) {
+    EXPECT_EQ(a.train_snr_db.mean(), b.train_snr_db.mean());
+    EXPECT_EQ(a.train_snr_db.min(), b.train_snr_db.min());
+    EXPECT_EQ(a.train_snr_db.max(), b.train_snr_db.max());
+  }
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].energy.value(), b.nodes[i].energy.value());
+    EXPECT_EQ(a.nodes[i].wake_count, b.nodes[i].wake_count);
+  }
+}
+
+TEST_F(CampaignTest, BitIdenticalAcrossThreadCounts) {
+  const CorridorSimulation sim(randomized_config());
+  exec::set_default_thread_count(1);
+  const auto baseline = sim.run_days(4);
+  ASSERT_EQ(baseline.size(), 4u);
+  for (const std::size_t threads : {2u, 8u}) {
+    exec::set_default_thread_count(threads);
+    const auto days = sim.run_days(4);
+    ASSERT_EQ(days.size(), baseline.size());
+    for (std::size_t d = 0; d < days.size(); ++d) {
+      SCOPED_TRACE("day " + std::to_string(d));
+      expect_reports_identical(baseline[d], days[d]);
+    }
+  }
+}
+
+TEST_F(CampaignTest, DayZeroEqualsSingleRun) {
+  const CorridorSimulation sim(randomized_config());
+  const auto single = sim.run();
+  const auto days = sim.run_days(2);
+  expect_reports_identical(single, days[0]);
+}
+
+TEST_F(CampaignTest, RandomizedDaysDiffer) {
+  const CorridorSimulation sim(randomized_config());
+  const auto days = sim.run_days(2);
+  // Different Rng substreams: Poisson timetables of different days must
+  // not coincide (equal train counts are possible, identical energy to
+  // the last bit is not).
+  EXPECT_NE(days[0].mains_energy.value(), days[1].mains_energy.value());
+}
+
+TEST_F(CampaignTest, RegularDeterministicDaysAreIdentical) {
+  SimulationConfig config;
+  config.deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  const CorridorSimulation sim(config);
+  const auto days = sim.run_days(2);
+  // No randomness consumed: every day is the same day.
+  expect_reports_identical(days[0], days[1]);
+}
+
+TEST_F(CampaignTest, CampaignAggregatesInDayOrder) {
+  const CorridorSimulation sim(randomized_config());
+  const auto campaign = sim.run_campaign(3);
+  EXPECT_EQ(campaign.days, 3);
+  ASSERT_EQ(campaign.day_reports.size(), 3u);
+  double mains = 0.0;
+  std::size_t snr_samples = 0;
+  int trains = 0;
+  for (const auto& day : campaign.day_reports) {
+    mains += day.mains_energy.value();
+    snr_samples += day.train_snr_db.count();
+    trains += day.trains;
+  }
+  EXPECT_DOUBLE_EQ(campaign.total_mains_energy.value(), mains);
+  EXPECT_EQ(campaign.train_snr_db.count(), snr_samples);
+  EXPECT_EQ(campaign.trains, trains);
+  EXPECT_GT(campaign.events_processed, 0u);
+}
+
+TEST_F(CampaignTest, Contracts) {
+  const CorridorSimulation sim(randomized_config());
+  EXPECT_THROW((void)sim.run_days(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace railcorr::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/parallel.hpp"
+
 namespace railcorr::solar {
 namespace {
 
@@ -76,6 +78,52 @@ TEST(Sizing, CustomLadderRespected) {
       size_for_location(berlin(), paper_load(), SizingOptions{}, ladder);
   EXPECT_DOUBLE_EQ(result.chosen.pv_wp, 2000.0);
   EXPECT_TRUE(result.report.continuous_operation());
+}
+
+TEST(Sizing, BatchedGridMatchesSequentialWalk) {
+  // The parallel locations x ladder grid must reproduce the sequential
+  // early-exit ladder walk exactly: same chosen candidate, same report.
+  const auto load = paper_load();
+  const auto batched = size_locations(paper_locations(), load);
+  ASSERT_EQ(batched.size(), 4u);
+  for (const auto& result : batched) {
+    const auto sequential = size_for_location(result.location, load);
+    EXPECT_EQ(result.chosen.pv_wp, sequential.chosen.pv_wp)
+        << result.location.name;
+    EXPECT_EQ(result.chosen.battery_wh, sequential.chosen.battery_wh);
+    EXPECT_EQ(result.ladder_exhausted, sequential.ladder_exhausted);
+    EXPECT_EQ(result.report.downtime_hours, sequential.report.downtime_hours);
+    EXPECT_EQ(result.report.annual_pv_energy.value(),
+              sequential.report.annual_pv_energy.value());
+    EXPECT_EQ(result.report.min_soc_fraction,
+              sequential.report.min_soc_fraction);
+  }
+}
+
+/// Restores automatic thread-count resolution even when an ASSERT
+/// bails out of the test body early.
+class SizingThreads : public ::testing::Test {
+ protected:
+  void TearDown() override { exec::set_default_thread_count(0); }
+};
+
+TEST_F(SizingThreads, BatchedGridBitIdenticalAcrossThreadCounts) {
+  const auto load = paper_load();
+  exec::set_default_thread_count(1);
+  const auto baseline = size_locations(paper_locations(), load);
+  for (const std::size_t threads : {2u, 8u}) {
+    exec::set_default_thread_count(threads);
+    const auto results = size_locations(paper_locations(), load);
+    ASSERT_EQ(results.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(results[i].chosen.pv_wp, baseline[i].chosen.pv_wp);
+      EXPECT_EQ(results[i].chosen.battery_wh, baseline[i].chosen.battery_wh);
+      EXPECT_EQ(results[i].report.unserved_energy.value(),
+                baseline[i].report.unserved_energy.value());
+      EXPECT_EQ(results[i].report.days_with_full_battery_pct,
+                baseline[i].report.days_with_full_battery_pct);
+    }
+  }
 }
 
 }  // namespace
