@@ -1,0 +1,79 @@
+/// Sweep-grid throughput: how fast the sharded sweep engine chews
+/// through scenario cells, and a byte-determinism spot check (the same
+/// shard evaluated twice must be identical — the contract `railcorr
+/// merge` enforces across processes).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sweep_runner.hpp"
+#include "corridor/sweep.hpp"
+
+namespace {
+
+using railcorr::core::run_sweep_shard;
+using railcorr::corridor::ShardSpec;
+using railcorr::corridor::SweepPlan;
+
+SweepPlan bench_plan() {
+  return SweepPlan::from_spec(
+      "base = paper\n"
+      "set max_repeaters = 4\n"
+      "set isd_search.isd_step_m = 50\n"
+      "set isd_search.sample_step_m = 25\n"
+      "axis radio.lp_eirp_dbm = 34, 37, 40, 43\n"
+      "axis timetable.trains_per_hour = 4, 8, 16\n");
+}
+
+void check_shard_determinism() {
+  const auto plan = bench_plan();
+  const std::string a = run_sweep_shard(plan, ShardSpec{0, 3});
+  const std::string b = run_sweep_shard(plan, ShardSpec{0, 3});
+  if (a != b) {
+    std::cerr << "FATAL: identical shard evaluations differ byte-wise\n";
+    std::exit(1);
+  }
+  const auto merged = railcorr::corridor::merge_shards(
+      {run_sweep_shard(plan, ShardSpec{0, 2}),
+       run_sweep_shard(plan, ShardSpec{1, 2})});
+  const auto single =
+      railcorr::corridor::merge_shards({run_sweep_shard(plan, ShardSpec{0, 1})});
+  if (!merged.ok || !single.ok || merged.merged != single.merged) {
+    std::cerr << "FATAL: sharded merge differs from single-process run\n";
+    std::exit(1);
+  }
+  std::cout << "shard determinism: 2-way merge byte-identical to 1-way ("
+            << plan.size() << " cells)\n\n";
+}
+
+void BM_SweepCell(benchmark::State& state) {
+  const auto plan = bench_plan();
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        railcorr::core::evaluate_sweep_cell(plan, index % plan.size()));
+    ++index;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SweepCell)->Unit(benchmark::kMillisecond);
+
+void BM_FullGrid(benchmark::State& state) {
+  const auto plan = bench_plan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sweep_shard(plan, ShardSpec{0, 1}));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * plan.size()));
+}
+BENCHMARK(BM_FullGrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check_shard_determinism();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

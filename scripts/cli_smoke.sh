@@ -1,0 +1,63 @@
+#!/bin/sh
+# Shard-and-merge smoke for the railcorr CLI (registered as ctest
+# `cli/shard_merge_smoke` and run by CI):
+#   1. evaluate a tiny sweep grid as 2 shards and as 1 shard,
+#   2. merge both ways — the outputs must be byte-identical
+#      (the cross-shard determinism contract),
+#   3. corrupt one shard row and check merge exits nonzero.
+#
+# usage: cli_smoke.sh <railcorr-binary>
+set -eu
+
+BIN="$1"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# A fast grid: shallow repeater sweep, coarse search steps, 2x2 axes.
+cat > "$TMP/plan.sweep" <<'PLAN'
+base = paper
+set max_repeaters = 2
+set isd_search.isd_step_m = 100
+set isd_search.sample_step_m = 50
+axis radio.lp_eirp_dbm = 37, 40
+axis timetable.trains_per_hour = 8, 12
+PLAN
+
+"$BIN" sweep --plan "$TMP/plan.sweep" --shard 0/2 --out "$TMP/shard0.csv"
+"$BIN" sweep --plan "$TMP/plan.sweep" --shard 1/2 --out "$TMP/shard1.csv"
+"$BIN" sweep --plan "$TMP/plan.sweep" --shard 0/1 --out "$TMP/full.csv"
+
+"$BIN" merge --out "$TMP/merged_sharded.csv" \
+    "$TMP/shard0.csv" "$TMP/shard1.csv"
+"$BIN" merge --out "$TMP/merged_single.csv" "$TMP/full.csv"
+
+if ! cmp "$TMP/merged_sharded.csv" "$TMP/merged_single.csv"; then
+  echo "FAIL: sharded merge differs from single-process run" >&2
+  exit 1
+fi
+
+# Overlapping cells with differing bytes must be rejected with the
+# dedicated contract-violation exit code (2, not the usage-error 1).
+sed 's/^0,37,8,/0,37,8,CORRUPTED/' "$TMP/shard0.csv" > "$TMP/shard0_bad.csv"
+set +e
+"$BIN" merge "$TMP/shard0_bad.csv" "$TMP/full.csv" >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+  echo "FAIL: corrupted duplicate row exited $code, expected 2" >&2
+  exit 1
+fi
+
+# Garbage input is a usage error (1), not a determinism violation.
+echo "not a shard document" > "$TMP/garbage.csv"
+set +e
+"$BIN" merge "$TMP/garbage.csv" >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+  echo "FAIL: garbage input exited $code, expected 1" >&2
+  exit 1
+fi
+
+echo "cli shard+merge smoke OK"

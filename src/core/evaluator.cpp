@@ -23,6 +23,7 @@ std::vector<Fig3Row> PaperEvaluator::fig3_profile(double isd_m, int repeaters,
   corridor::SegmentDeployment deployment;
   deployment.geometry.isd_m = isd_m;
   deployment.geometry.repeater_count = repeaters;
+  deployment.geometry.repeater_spacing_m = scenario_.repeater_spacing_m;
   deployment.radio = scenario_.radio;
   const rf::CorridorLinkModel link(
       scenario_.link, deployment.transmitters(scenario_.link.carrier));
@@ -47,8 +48,10 @@ std::vector<Fig3Row> PaperEvaluator::fig3_profile(double isd_m, int repeaters,
 }
 
 std::vector<corridor::MaxIsdResult> PaperEvaluator::max_isd_sweep() const {
-  const corridor::IsdSearch search(scenario_.make_analyzer(),
-                                   scenario_.isd_search, scenario_.radio);
+  corridor::IsdSearchConfig config = scenario_.isd_search;
+  config.repeater_spacing_m = scenario_.repeater_spacing_m;
+  const corridor::IsdSearch search(scenario_.make_analyzer(), config,
+                                   scenario_.radio);
   return search.sweep(1, scenario_.max_repeaters);
 }
 
@@ -97,6 +100,7 @@ std::vector<Fig4Entry> PaperEvaluator::fig4_from_isds(
     corridor::SegmentGeometry geometry;
     geometry.isd_m = isds[i];
     geometry.repeater_count = n;
+    geometry.repeater_spacing_m = scenario_.repeater_spacing_m;
     Fig4Entry e;
     e.repeater_count = n;
     e.isd_m = isds[i];
@@ -128,9 +132,8 @@ TrafficDerived PaperEvaluator::traffic_derived() const {
       traffic::full_load_fraction(tt, corridor::kConventionalIsdM);
   d.duty_at_max_isd = traffic::full_load_fraction(tt, max_isd);
 
-  corridor::SegmentGeometry g;  // default spacing
   const Watts avg = traffic::average_unit_power(
-      scenario_.energy.lp_node, tt, g.repeater_spacing_m,
+      scenario_.energy.lp_node, tt, scenario_.repeater_spacing_m,
       /*sleep_when_idle=*/true);
   d.lp_sleep_mode_avg_w = avg.value();
   d.lp_sleep_mode_wh_day = avg.value() * constants::kHoursPerDay;

@@ -14,10 +14,9 @@ corridor::CorridorEnergyModel Scenario::make_energy_model() const {
 }
 
 solar::ConsumptionProfile Scenario::repeater_consumption_profile() const {
-  // A service node covers one spacing-length section (200 m default).
-  corridor::SegmentGeometry g;
+  // A service node covers one spacing-length section (paper: 200 m).
   return solar::repeater_consumption(energy.lp_node, timetable,
-                                     g.repeater_spacing_m);
+                                     repeater_spacing_m);
 }
 
 }  // namespace railcorr::core

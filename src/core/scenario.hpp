@@ -31,6 +31,16 @@ struct Scenario {
   corridor::EnergyConfig energy = corridor::EnergyConfig::paper_config();
   /// Repeater counts evaluated in Fig. 4 (1..10).
   int max_repeaters = 10;
+  /// Identical segments chained end to end for whole-corridor analyses
+  /// (multi-segment boundary effects; 1 = the paper's single-segment
+  /// evaluation). PaperEvaluator itself is single-segment; the scenario
+  /// CLI and sweep runner consult this for the multi-segment summary.
+  int corridor_segments = 1;
+  /// Node-to-node spacing of the repeater cluster [m] (paper Table III:
+  /// 200). The corridor-geometry knob: the ISD search, Fig. 3/4
+  /// geometries, duty cycling, and the off-grid consumption profile all
+  /// derive their section lengths from it.
+  double repeater_spacing_m = 200.0;
   /// Off-grid sizing options (weather model, seed, years, mounting).
   solar::SizingOptions sizing;
 

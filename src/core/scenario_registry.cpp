@@ -1,0 +1,72 @@
+#include "core/scenario_registry.hpp"
+
+#include "core/scenario_spec.hpp"
+#include "util/config.hpp"
+
+namespace railcorr::core {
+
+const std::vector<ScenarioVariant>& scenario_registry() {
+  static const std::vector<ScenarioVariant> variants = {
+      {"paper",
+       "the published evaluation: 3.5 GHz / 100 MHz, 8 trains/h, "
+       "N = 1..10 repeaters",
+       ""},
+      {"dense-timetable",
+       "metro-grade service on the corridor: 20 trains/h with a short "
+       "2 h night pause (traffic-demand-aware operation stress case)",
+       "timetable.trains_per_hour = 20\n"
+       "timetable.night_hours = 2\n"
+       "timetable.night_start_hour = 1.5\n"},
+      {"high-band-short-isd",
+       "mmWave-style regime: 26 GHz / 400 MHz carrier with beamformed "
+       "EIRPs, short ISDs and a fine search grid",
+       "link.carrier.center_frequency_hz = 26e9\n"
+       "link.carrier.bandwidth_hz = 400e6\n"
+       "link.carrier.subcarriers = 3168\n"
+       "link.noise.thermal_per_subcarrier_dbm = -126\n"
+       "radio.hp_eirp_dbm = 78\n"
+       "radio.lp_eirp_dbm = 54\n"
+       "corridor.repeater_spacing_m = 60\n"
+       "isd_search.isd_step_m = 25\n"
+       "isd_search.max_isd_m = 1800\n"
+       "isd_search.sample_step_m = 5\n"
+       "max_repeaters = 6\n"},
+      {"long-corridor",
+       "a 10-segment corridor at the paper's densest layout, for "
+       "multi-segment boundary-effect analysis",
+       "corridor.segments = 10\n"
+       "isd_search.sample_step_m = 20\n"},
+      {"arctic-climate",
+       "off-grid sizing under a harsh winter resource: persistent "
+       "overcast spells, four weather years per candidate",
+       "sizing.weather.kt_sigma = 0.16\n"
+       "sizing.weather.kt_autocorrelation = 0.85\n"
+       "sizing.weather.kt_max = 0.65\n"
+       "sizing.weather.winter_sigma_boost = 2.5\n"
+       "sizing.years = 4\n"},
+  };
+  return variants;
+}
+
+const ScenarioVariant* find_scenario(std::string_view name) {
+  for (const auto& variant : scenario_registry()) {
+    if (variant.name == name) return &variant;
+  }
+  return nullptr;
+}
+
+Scenario make_scenario(std::string_view name) {
+  const ScenarioVariant* variant = find_scenario(name);
+  if (variant == nullptr) {
+    std::string known;
+    for (const auto& v : scenario_registry()) {
+      if (!known.empty()) known += ", ";
+      known += v.name;
+    }
+    throw util::ConfigError("unknown scenario '" + std::string(name) +
+                            "'; registry: " + known);
+  }
+  return scenario_from_spec(variant->overrides);
+}
+
+}  // namespace railcorr::core

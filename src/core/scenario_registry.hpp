@@ -1,0 +1,40 @@
+/// \file scenario_registry.hpp
+/// \brief Named scenario catalog: the paper's configuration plus
+///        non-paper corridor variants, each expressed as a ScenarioSpec
+///        override document applied to the paper defaults.
+///
+/// Every entry is pure data — a spec string consumed by
+/// core/scenario_spec.hpp — so new scenarios land as registry rows (or
+/// external spec files), never as code. docs/SCENARIOS.md catalogs the
+/// entries and the studies that motivated them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace railcorr::core {
+
+/// One catalog entry.
+struct ScenarioVariant {
+  std::string name;
+  /// One-line description for `railcorr list` and the docs catalog.
+  std::string summary;
+  /// ScenarioSpec overrides applied to the paper defaults (empty for
+  /// the paper scenario itself).
+  std::string overrides;
+};
+
+/// All registered variants, `paper` first.
+const std::vector<ScenarioVariant>& scenario_registry();
+
+/// Lookup by name; nullptr when absent.
+const ScenarioVariant* find_scenario(std::string_view name);
+
+/// Materialize a registry entry. Throws util::ConfigError for unknown
+/// names (the message lists the registry).
+Scenario make_scenario(std::string_view name);
+
+}  // namespace railcorr::core

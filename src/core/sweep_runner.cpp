@@ -1,0 +1,186 @@
+#include "core/sweep_runner.hpp"
+
+#include <algorithm>
+
+#include "core/evaluator.hpp"
+#include "core/scenario_registry.hpp"
+#include "core/scenario_spec.hpp"
+#include "corridor/multi_segment.hpp"
+#include "traffic/duty.hpp"
+#include "util/config.hpp"
+
+namespace railcorr::core {
+
+namespace {
+
+/// Headline quantities of one scenario, reduced from the evaluator's
+/// deterministic paths.
+struct CellMetrics {
+  int max_n = 0;
+  double max_isd_m = 0.0;
+  double min_snr_at_max_db = 0.0;
+  double corridor_min_snr_db = 0.0;
+  double baseline_wh_km_h = 0.0;
+  double continuous_wh_km_h = 0.0;
+  double sleep_wh_km_h = 0.0;
+  double solar_wh_km_h = 0.0;
+  double sleep_savings = 0.0;
+  double solar_savings = 0.0;
+  double duty_at_max_isd = 0.0;
+  double lp_sleep_avg_w = 0.0;
+  // Only populated with SweepRunOptions::include_sizing.
+  double sized_pv_wp_total = 0.0;
+  int ladder_exhausted = 0;
+};
+
+CellMetrics evaluate_metrics(const Scenario& scenario,
+                             const SweepRunOptions& options) {
+  CellMetrics m;
+  const PaperEvaluator evaluator(scenario);
+
+  // The deepest deployment the scenario's criterion still supports.
+  const auto sweep = evaluator.max_isd_sweep();
+  for (auto it = sweep.rbegin(); it != sweep.rend(); ++it) {
+    if (it->max_isd_m.has_value()) {
+      m.max_n = it->repeater_count;
+      m.max_isd_m = *it->max_isd_m;
+      m.min_snr_at_max_db = it->min_snr_at_max.value();
+      break;
+    }
+  }
+
+  const auto energy_model = scenario.make_energy_model();
+  const auto baseline = energy_model.conventional_baseline();
+  m.baseline_wh_km_h = baseline.mains_wh_per_km_hour().value();
+
+  if (m.max_n > 0) {
+    corridor::SegmentGeometry geometry;
+    geometry.isd_m = m.max_isd_m;
+    geometry.repeater_count = m.max_n;
+    geometry.repeater_spacing_m = scenario.repeater_spacing_m;
+    const auto continuous = energy_model.evaluate(
+        geometry, corridor::RepeaterOperationMode::kContinuous);
+    const auto sleep = energy_model.evaluate(
+        geometry, corridor::RepeaterOperationMode::kSleepMode);
+    const auto solar = energy_model.evaluate(
+        geometry, corridor::RepeaterOperationMode::kSolarPowered);
+    m.continuous_wh_km_h = continuous.mains_wh_per_km_hour().value();
+    m.sleep_wh_km_h = sleep.mains_wh_per_km_hour().value();
+    m.solar_wh_km_h = solar.mains_wh_per_km_hour().value();
+    m.sleep_savings = sleep.savings_vs(baseline);
+    m.solar_savings = solar.savings_vs(baseline);
+    m.duty_at_max_isd =
+        traffic::full_load_fraction(scenario.timetable, m.max_isd_m);
+
+    // Whole-corridor worst case with every neighbour contributing;
+    // equals the single-segment minimum when corridor.segments == 1.
+    if (scenario.corridor_segments > 1) {
+      corridor::SegmentDeployment segment;
+      segment.geometry = geometry;
+      segment.radio = scenario.radio;
+      const corridor::MultiSegmentAnalyzer analyzer(
+          scenario.link, scenario.isd_search.sample_step_m);
+      const auto per_segment = analyzer.per_segment(
+          corridor::CorridorDeployment::repeat(segment,
+                                               scenario.corridor_segments));
+      double worst = per_segment.front().min_snr.value();
+      for (const auto& seg : per_segment) {
+        worst = std::min(worst, seg.min_snr.value());
+      }
+      m.corridor_min_snr_db = worst;
+    } else {
+      m.corridor_min_snr_db = m.min_snr_at_max_db;
+    }
+  }
+
+  m.lp_sleep_avg_w =
+      traffic::average_unit_power(scenario.energy.lp_node, scenario.timetable,
+                                  scenario.repeater_spacing_m,
+                                  /*sleep_when_idle=*/true)
+          .value();
+
+  if (options.include_sizing) {
+    const auto sized = evaluator.table4_sizing();
+    for (const auto& result : sized) {
+      m.sized_pv_wp_total += result.chosen.pv_wp;
+      if (result.ladder_exhausted) ++m.ladder_exhausted;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::string> sweep_metric_columns(const SweepRunOptions& options) {
+  std::vector<std::string> columns = {
+      "max_n",           "max_isd_m",         "min_snr_at_max_db",
+      "corridor_min_snr_db", "baseline_wh_km_h", "continuous_wh_km_h",
+      "sleep_wh_km_h",   "solar_wh_km_h",     "sleep_savings",
+      "solar_savings",   "duty_at_max_isd",   "lp_sleep_avg_w",
+  };
+  if (options.include_sizing) {
+    columns.emplace_back("sized_pv_wp_total");
+    columns.emplace_back("ladder_exhausted");
+  }
+  return columns;
+}
+
+Scenario scenario_at(const corridor::SweepPlan& plan, std::size_t index) {
+  Scenario scenario = make_scenario(plan.base);
+  for (const auto& entry : plan.overrides_at(index)) {
+    apply_override(scenario, entry);
+  }
+  return scenario;
+}
+
+std::string evaluate_sweep_cell(const corridor::SweepPlan& plan,
+                                std::size_t index,
+                                const SweepRunOptions& options) {
+  const Scenario scenario = scenario_at(plan, index);
+  const CellMetrics m = evaluate_metrics(scenario, options);
+
+  std::string row = util::format_u64(index);
+  const auto field = [&row](const std::string& value) {
+    row += ',';
+    row += value;
+  };
+  // Axis values verbatim from the plan: the row echoes the cell's
+  // coordinates exactly as declared, independent of field formatting.
+  for (const auto& value : plan.axis_values_at(index)) field(value);
+
+  field(util::format_int(m.max_n));
+  field(util::format_double(m.max_isd_m));
+  field(util::format_double(m.min_snr_at_max_db));
+  field(util::format_double(m.corridor_min_snr_db));
+  field(util::format_double(m.baseline_wh_km_h));
+  field(util::format_double(m.continuous_wh_km_h));
+  field(util::format_double(m.sleep_wh_km_h));
+  field(util::format_double(m.solar_wh_km_h));
+  field(util::format_double(m.sleep_savings));
+  field(util::format_double(m.solar_savings));
+  field(util::format_double(m.duty_at_max_isd));
+  field(util::format_double(m.lp_sleep_avg_w));
+  if (options.include_sizing) {
+    field(util::format_double(m.sized_pv_wp_total));
+    field(util::format_int(m.ladder_exhausted));
+  }
+  return row;
+}
+
+std::string run_sweep_shard(const corridor::SweepPlan& plan,
+                            corridor::ShardSpec shard,
+                            const SweepRunOptions& options) {
+  std::string document = corridor::shard_banner(plan) + "\n" +
+                         corridor::shard_header(
+                             plan, sweep_metric_columns(options)) +
+                         "\n";
+  // Cells run sequentially: each cell's evaluator already saturates the
+  // exec engine's thread pool (grid parallelism is what the shards are
+  // for), and sequential emission keeps the document trivially ordered.
+  for (const std::size_t index : shard.indices(plan.size())) {
+    document += evaluate_sweep_cell(plan, index, options) + "\n";
+  }
+  return document;
+}
+
+}  // namespace railcorr::core

@@ -1,0 +1,48 @@
+/// \file sweep_runner.hpp
+/// \brief Binds corridor::SweepPlan to core::Scenario: materializes grid
+///        cells as scenarios, evaluates them on the existing parallel
+///        exec engine, and renders byte-deterministic shard documents.
+///
+/// Each grid cell's row is a pure function of (plan, index): the
+/// scenario is rebuilt from the registry base plus the cell's overrides,
+/// every metric comes from the deterministic evaluator paths, and all
+/// numbers are rendered with util::format_double. Two processes
+/// evaluating the same cell therefore emit byte-identical rows — the
+/// property corridor::merge_shards verifies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "corridor/sweep.hpp"
+
+namespace railcorr::core {
+
+/// Evaluation depth of a sweep cell.
+struct SweepRunOptions {
+  /// Also run the Table IV off-grid PV sizing per cell (adds the
+  /// sized_pv_wp_total / ladder_exhausted columns; much slower).
+  bool include_sizing = false;
+};
+
+/// The metric column names, in row order (after index + axis columns).
+std::vector<std::string> sweep_metric_columns(const SweepRunOptions& options);
+
+/// The scenario of one grid cell: registry base + cell overrides.
+/// Throws util::ConfigError on unknown base or bad overrides.
+Scenario scenario_at(const corridor::SweepPlan& plan, std::size_t index);
+
+/// Evaluate one cell into its CSV row (no trailing newline).
+std::string evaluate_sweep_cell(const corridor::SweepPlan& plan,
+                                std::size_t index,
+                                const SweepRunOptions& options = {});
+
+/// Evaluate a whole shard into a shard document (banner + header +
+/// ascending-index rows, one per owned cell).
+std::string run_sweep_shard(const corridor::SweepPlan& plan,
+                            corridor::ShardSpec shard,
+                            const SweepRunOptions& options = {});
+
+}  // namespace railcorr::core

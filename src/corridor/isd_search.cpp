@@ -24,6 +24,7 @@ IsdSearch::IsdSearch(CapacityAnalyzer analyzer, IsdSearchConfig config,
   RAILCORR_EXPECTS(config_.isd_step_m > 0.0);
   RAILCORR_EXPECTS(config_.max_isd_m > 0.0);
   RAILCORR_EXPECTS(config_.sample_step_m > 0.0);
+  RAILCORR_EXPECTS(config_.repeater_spacing_m > 0.0);
 }
 
 MaxIsdResult IsdSearch::find_max_isd(int repeater_count) const {
@@ -45,10 +46,8 @@ std::vector<MaxIsdResult> IsdSearch::sweep(int from, int to) const {
     first_point.push_back(points.size());
     // Smallest geometrically valid ISD on the grid: the node cluster
     // span plus one spacing of edge gap on either side.
-    SegmentGeometry probe;
-    probe.repeater_count = n;
     const double span =
-        n > 0 ? probe.repeater_spacing_m * static_cast<double>(n - 1) : 0.0;
+        n > 0 ? config_.repeater_spacing_m * static_cast<double>(n - 1) : 0.0;
     const double min_isd = std::max(
         config_.isd_step_m,
         std::ceil((span + 1.0) / config_.isd_step_m) * config_.isd_step_m);
@@ -57,6 +56,7 @@ std::vector<MaxIsdResult> IsdSearch::sweep(int from, int to) const {
       SegmentGeometry geometry;
       geometry.isd_m = isd;
       geometry.repeater_count = n;
+      geometry.repeater_spacing_m = config_.repeater_spacing_m;
       if (!geometry.valid()) continue;
       points.push_back(GridPoint{n, isd});
     }
@@ -71,6 +71,7 @@ std::vector<MaxIsdResult> IsdSearch::sweep(int from, int to) const {
         SegmentDeployment deployment;
         deployment.geometry.isd_m = points[i].isd_m;
         deployment.geometry.repeater_count = points[i].repeater_count;
+        deployment.geometry.repeater_spacing_m = config_.repeater_spacing_m;
         deployment.radio = radio_;
         const auto model = analyzer_.link_model(deployment);
         return model.min_snr(0.0, points[i].isd_m, config_.sample_step_m)

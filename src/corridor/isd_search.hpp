@@ -33,6 +33,9 @@ struct IsdSearchConfig {
   Db snr_threshold{29.0};
   /// Track sampling step for the min-SNR check [m].
   double sample_step_m = 10.0;
+  /// Node-to-node spacing of the candidate repeater clusters [m]
+  /// (paper: 200; scenario variants with shorter cells shrink it).
+  double repeater_spacing_m = 200.0;
 };
 
 /// Result for one repeater count.

@@ -28,6 +28,7 @@ RobustnessAnalyzer::RobustnessAnalyzer(rf::LinkModelConfig link_config,
   RAILCORR_EXPECTS(config_.decorrelation_m > 0.0);
   RAILCORR_EXPECTS(config_.realizations >= 1);
   RAILCORR_EXPECTS(config_.sample_step_m > 0.0);
+  RAILCORR_EXPECTS(config_.repeater_spacing_m > 0.0);
 }
 
 RobustnessReport RobustnessAnalyzer::study(
@@ -48,50 +49,82 @@ RobustnessReport RobustnessAnalyzer::study(
   // its result is bit-identical at any thread count (and to a
   // sequential run): realization r never observes the generator state
   // of realization r-1.
-  const auto outcomes = exec::parallel_map(
-      static_cast<std::size_t>(config_.realizations), [&](std::size_t r) {
-        Rng rng = Rng::stream(config_.seed, r);
-        // One independent correlated trace per transmitter. The trace
-        // is indexed by terminal position: as the train moves, the
-        // shadowing of each link decorrelates over ~decorrelation_m.
+  //
+  // Realizations run in contiguous chunks (one per worker) so each
+  // chunk can *pool* its per-transmitter ShadowingTrace buffers: the
+  // first realization constructs them, every later one refills in
+  // place via resample(). Chunking cannot change results — outcome r
+  // depends only on stream r — it only removes the per-realization
+  // allocation storm (#transmitters buffers per realization).
+  const auto realizations = static_cast<std::size_t>(config_.realizations);
+  const std::size_t chunks =
+      std::min(realizations, exec::default_thread_count());
+  const std::size_t base = realizations / chunks;
+  const std::size_t remainder = realizations % chunks;
+  const auto chunk_outcomes = exec::parallel_map(
+      chunks, [&](std::size_t c) {
+        const std::size_t begin =
+            c * base + std::min(c, remainder);
+        const std::size_t end = begin + base + (c < remainder ? 1 : 0);
         std::vector<rf::ShadowingTrace> traces;
         traces.reserve(kernels.size());
-        for (std::size_t i = 0; i < kernels.size(); ++i) {
-          traces.emplace_back(config_.sigma_db, config_.decorrelation_m,
-                              config_.sample_step_m, isd, rng);
-        }
-
-        RealizationOutcome outcome;
-        double worst = std::numeric_limits<double>::infinity();
-        for (double d = 0.0; d <= isd + 0.5 * config_.sample_step_m;
-             d += config_.sample_step_m) {
-          const double pos = std::min(d, isd);
-          // Perturb each contribution and re-combine via the link
-          // model's precomputed linear-domain constants; fronthaul
-          // noise injections move with their node's shadowing as well
-          // (same physical path).
-          double signal_mw = 0.0;
-          double noise_mw = terminal_noise_mw;
-          for (std::size_t i = 0; i < kernels.size(); ++i) {
-            const auto& k = kernels[i];
-            const double d_eff =
-                std::max(std::abs(pos - k.position_m), min_distance);
-            const double shadow_lin = from_db(traces[i].at(pos).value());
-            const double rsrp_mw =
-                k.signal_gain_lin / (d_eff * d_eff) * shadow_lin;
-            signal_mw += rsrp_mw;
-            if (k.repeater && fronthaul_aware) {
-              noise_mw += rsrp_mw * k.fronthaul_factor_lin;
+        std::vector<RealizationOutcome> outcomes;
+        outcomes.reserve(end - begin);
+        for (std::size_t r = begin; r < end; ++r) {
+          Rng rng = Rng::stream(config_.seed, r);
+          // One independent correlated trace per transmitter. The
+          // trace is indexed by terminal position: as the train moves,
+          // the shadowing of each link decorrelates over
+          // ~decorrelation_m.
+          if (traces.empty()) {
+            for (std::size_t i = 0; i < kernels.size(); ++i) {
+              traces.emplace_back(config_.sigma_db, config_.decorrelation_m,
+                                  config_.sample_step_m, isd, rng);
             }
+          } else {
+            for (auto& trace : traces) trace.resample(rng);
           }
-          const double snr_db = 10.0 * std::log10(signal_mw / noise_mw);
-          worst = std::min(worst, snr_db);
-          ++outcome.total_samples;
-          if (snr_db < threshold_db) ++outcome.outage_samples;
+
+          RealizationOutcome outcome;
+          double worst = std::numeric_limits<double>::infinity();
+          for (double d = 0.0; d <= isd + 0.5 * config_.sample_step_m;
+               d += config_.sample_step_m) {
+            const double pos = std::min(d, isd);
+            // Perturb each contribution and re-combine via the link
+            // model's precomputed linear-domain constants; fronthaul
+            // noise injections move with their node's shadowing as
+            // well (same physical path).
+            double signal_mw = 0.0;
+            double noise_mw = terminal_noise_mw;
+            for (std::size_t i = 0; i < kernels.size(); ++i) {
+              const auto& k = kernels[i];
+              const double d_eff =
+                  std::max(std::abs(pos - k.position_m), min_distance);
+              const double shadow_lin = from_db(traces[i].at(pos).value());
+              const double rsrp_mw =
+                  k.signal_gain_lin / (d_eff * d_eff) * shadow_lin;
+              signal_mw += rsrp_mw;
+              if (k.repeater && fronthaul_aware) {
+                noise_mw += rsrp_mw * k.fronthaul_factor_lin;
+              }
+            }
+            const double snr_db = 10.0 * std::log10(signal_mw / noise_mw);
+            worst = std::min(worst, snr_db);
+            ++outcome.total_samples;
+            if (snr_db < threshold_db) ++outcome.outage_samples;
+          }
+          outcome.worst_snr_db = worst;
+          outcomes.push_back(outcome);
         }
-        outcome.worst_snr_db = worst;
-        return outcome;
+        return outcomes;
       });
+
+  // Flatten chunk results back into realization order.
+  std::vector<RealizationOutcome> outcomes;
+  outcomes.reserve(realizations);
+  for (const auto& chunk : chunk_outcomes) {
+    outcomes.insert(outcomes.end(), chunk.begin(), chunk.end());
+  }
 
   // Index-ordered reduction keeps the report independent of scheduling.
   RobustnessReport report;
@@ -126,13 +159,16 @@ double RobustnessAnalyzer::robust_max_isd(int repeater_count,
 
   const double min_span =
       repeater_count > 1
-          ? 200.0 * static_cast<double>(repeater_count - 1) + isd_step_m
+          ? config_.repeater_spacing_m *
+                    static_cast<double>(repeater_count - 1) +
+                isd_step_m
           : isd_step_m;
   for (double isd = deterministic_max_isd_m; isd >= min_span;
        isd -= isd_step_m) {
     SegmentDeployment deployment;
     deployment.geometry.isd_m = isd;
     deployment.geometry.repeater_count = repeater_count;
+    deployment.geometry.repeater_spacing_m = config_.repeater_spacing_m;
     if (!deployment.geometry.valid()) break;
     const auto report = study(deployment);
     if (report.pass_probability >= confidence) return isd;

@@ -35,6 +35,9 @@ struct RobustnessConfig {
   Db snr_threshold{29.0};
   /// Track sampling step [m].
   double sample_step_m = 10.0;
+  /// Repeater cluster pitch of the probed deployments [m] (paper: 200;
+  /// used by robust_max_isd, which builds its own geometries).
+  double repeater_spacing_m = 200.0;
   std::uint64_t seed = 0x5EEDC0DEULL;
 };
 

@@ -1,0 +1,362 @@
+#include "corridor/sweep.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace railcorr::corridor {
+
+namespace {
+
+using util::ConfigError;
+using util::SpecEntry;
+
+std::vector<std::string> split_values(const std::string& csv,
+                                      const SpecEntry& entry) {
+  std::vector<std::string> values;
+  std::string_view rest = csv;
+  while (true) {
+    const std::size_t comma = rest.find(',');
+    std::string_view token =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token.empty()) {
+      throw ConfigError("sweep axis '" + entry.key + "' (line " +
+                        std::to_string(entry.line) + "): empty value in '" +
+                        csv + "'");
+    }
+    values.emplace_back(token);
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return values;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// First line / header / indexed rows of one shard document.
+struct ParsedShard {
+  std::string banner;
+  std::string header;
+  std::vector<std::pair<std::size_t, std::string>> rows;
+};
+
+std::optional<ParsedShard> parse_shard(const std::string& document,
+                                       std::size_t shard_no,
+                                       std::vector<std::string>& errors) {
+  ParsedShard shard;
+  std::string_view rest = document;
+  std::size_t line_no = 0;
+  while (!rest.empty()) {
+    ++line_no;
+    const std::size_t eol = rest.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    if (line_no == 1) {
+      if (!line.starts_with("# railcorr-sweep-v1 ")) {
+        errors.push_back("shard " + std::to_string(shard_no) +
+                         ": missing '# railcorr-sweep-v1' banner");
+        return std::nullopt;
+      }
+      shard.banner = std::string(line);
+      continue;
+    }
+    if (shard.header.empty()) {
+      shard.header = std::string(line);
+      continue;
+    }
+    const std::size_t comma = line.find(',');
+    std::size_t index = 0;
+    bool numeric = comma != std::string_view::npos && comma > 0;
+    if (numeric) {
+      for (const char c : line.substr(0, comma)) {
+        if (c < '0' || c > '9') {
+          numeric = false;
+          break;
+        }
+        index = index * 10 + static_cast<std::size_t>(c - '0');
+      }
+    }
+    if (!numeric) {
+      errors.push_back("shard " + std::to_string(shard_no) + " line " +
+                       std::to_string(line_no) +
+                       ": expected '<index>,...', got '" + std::string(line) +
+                       "'");
+      return std::nullopt;
+    }
+    shard.rows.emplace_back(index, std::string(line));
+  }
+  if (shard.banner.empty() || shard.header.empty()) {
+    errors.push_back("shard " + std::to_string(shard_no) +
+                     ": truncated document (banner or header missing)");
+    return std::nullopt;
+  }
+  return shard;
+}
+
+/// Grid size parsed back out of a banner line (`grid=<N>` token).
+std::optional<std::size_t> banner_grid_size(const std::string& banner) {
+  const std::size_t at = banner.find(" grid=");
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t value = 0;
+  bool any = false;
+  for (std::size_t i = at + 6; i < banner.size(); ++i) {
+    const char c = banner[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+SweepPlan SweepPlan::from_spec(std::string_view text) {
+  SweepPlan plan;
+  bool base_seen = false;
+  for (const auto& entry : util::parse_spec(text)) {
+    if (entry.key == "base") {
+      if (base_seen) {
+        throw ConfigError("sweep plan line " + std::to_string(entry.line) +
+                          ": duplicate 'base'");
+      }
+      plan.base = entry.value;
+      base_seen = true;
+    } else if (entry.key.starts_with("set ")) {
+      SpecEntry fixed = entry;
+      fixed.key = entry.key.substr(4);
+      while (!fixed.key.empty() && fixed.key.front() == ' ') {
+        fixed.key.erase(fixed.key.begin());
+      }
+      if (fixed.key.empty()) {
+        throw ConfigError("sweep plan line " + std::to_string(entry.line) +
+                          ": 'set' without a key path");
+      }
+      plan.fixed.push_back(std::move(fixed));
+    } else if (entry.key.starts_with("axis ")) {
+      SweepAxis axis;
+      axis.key = entry.key.substr(5);
+      while (!axis.key.empty() && axis.key.front() == ' ') {
+        axis.key.erase(axis.key.begin());
+      }
+      if (axis.key.empty()) {
+        throw ConfigError("sweep plan line " + std::to_string(entry.line) +
+                          ": 'axis' without a key path");
+      }
+      for (const auto& existing : plan.axes) {
+        if (existing.key == axis.key) {
+          throw ConfigError("sweep plan line " + std::to_string(entry.line) +
+                            ": duplicate axis '" + axis.key + "'");
+        }
+      }
+      axis.values = split_values(entry.value, entry);
+      plan.axes.push_back(std::move(axis));
+    } else {
+      throw ConfigError("sweep plan line " + std::to_string(entry.line) +
+                        ": expected 'base', 'set <key>', or 'axis <key>', "
+                        "got '" +
+                        entry.key + "'");
+    }
+  }
+  return plan;
+}
+
+std::size_t SweepPlan::size() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<std::string> SweepPlan::axis_values_at(std::size_t index) const {
+  RAILCORR_EXPECTS(index < size());
+  // Row-major decomposition: the last axis varies fastest.
+  std::size_t remainder = index;
+  std::vector<std::size_t> digits(axes.size(), 0);
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    const std::size_t extent = axes[a].values.size();
+    digits[a] = remainder % extent;
+    remainder /= extent;
+  }
+  std::vector<std::string> values;
+  values.reserve(axes.size());
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    values.push_back(axes[a].values[digits[a]]);
+  }
+  return values;
+}
+
+std::vector<SpecEntry> SweepPlan::overrides_at(std::size_t index) const {
+  std::vector<SpecEntry> overrides = fixed;
+  const auto values = axis_values_at(index);
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    overrides.push_back(SpecEntry{axes[a].key, values[a], 0});
+  }
+  return overrides;
+}
+
+std::string SweepPlan::canonical_spec() const {
+  std::string out = "base = " + base + "\n";
+  for (const auto& entry : fixed) {
+    out += "set " + entry.key + " = " + entry.value + "\n";
+  }
+  for (const auto& axis : axes) {
+    out += "axis " + axis.key + " = ";
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += axis.values[i];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::uint64_t SweepPlan::fingerprint() const {
+  // FNV-1a 64.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : canonical_spec()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+ShardSpec ShardSpec::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  auto parse_part = [&](std::string_view part, const char* what) {
+    std::size_t value = 0;
+    if (part.empty()) {
+      throw ConfigError("shard spec '" + std::string(text) + "': missing " +
+                        what);
+    }
+    for (const char c : part) {
+      if (c < '0' || c > '9') {
+        throw ConfigError("shard spec '" + std::string(text) +
+                          "': expected '<i>/<N>' with decimal numbers");
+      }
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return value;
+  };
+  if (slash == std::string_view::npos) {
+    throw ConfigError("shard spec '" + std::string(text) +
+                      "': expected '<i>/<N>'");
+  }
+  ShardSpec spec;
+  spec.index = parse_part(text.substr(0, slash), "shard index");
+  spec.count = parse_part(text.substr(slash + 1), "shard count");
+  if (spec.count == 0 || spec.index >= spec.count) {
+    throw ConfigError("shard spec '" + std::string(text) +
+                      "': need 0 <= i < N");
+  }
+  return spec;
+}
+
+std::vector<std::size_t> ShardSpec::indices(std::size_t grid_size) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = index; i < grid_size; i += count) out.push_back(i);
+  return out;
+}
+
+std::string shard_banner(const SweepPlan& plan) {
+  return "# railcorr-sweep-v1 fingerprint=" + hex16(plan.fingerprint()) +
+         " grid=" + std::to_string(plan.size());
+}
+
+std::string shard_header(const SweepPlan& plan,
+                         const std::vector<std::string>& metric_columns) {
+  std::string header = "index";
+  for (const auto& axis : plan.axes) header += "," + axis.key;
+  for (const auto& column : metric_columns) header += "," + column;
+  return header;
+}
+
+MergeResult merge_shards(const std::vector<std::string>& shard_documents) {
+  MergeResult result;
+  if (shard_documents.empty()) {
+    result.errors.emplace_back("no shard documents to merge");
+    return result;
+  }
+
+  std::vector<ParsedShard> shards;
+  for (std::size_t s = 0; s < shard_documents.size(); ++s) {
+    auto parsed = parse_shard(shard_documents[s], s, result.errors);
+    if (!parsed.has_value()) return result;
+    shards.push_back(std::move(*parsed));
+  }
+
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    if (shards[s].banner != shards[0].banner) {
+      result.errors.push_back(
+          "shard " + std::to_string(s) +
+          ": plan fingerprint/grid differs from shard 0 ('" +
+          shards[s].banner + "' vs '" + shards[0].banner + "')");
+    }
+    if (shards[s].header != shards[0].header) {
+      result.errors.push_back("shard " + std::to_string(s) +
+                              ": column header differs from shard 0");
+    }
+  }
+  if (!result.errors.empty()) return result;
+
+  const auto grid = banner_grid_size(shards[0].banner);
+  if (!grid.has_value()) {
+    result.errors.emplace_back("banner lacks a parsable grid=<N> token");
+    return result;
+  }
+
+  // Determinism contract: a cell evaluated by several shards must have
+  // produced byte-identical rows.
+  std::map<std::size_t, std::string> cells;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (const auto& [index, row] : shards[s].rows) {
+      if (index >= *grid) {
+        result.errors.push_back("shard " + std::to_string(s) + ": row index " +
+                                std::to_string(index) +
+                                " outside grid of " + std::to_string(*grid));
+        continue;
+      }
+      const auto [it, inserted] = cells.emplace(index, row);
+      if (!inserted && it->second != row) {
+        result.contract_violation = true;
+        result.errors.push_back(
+            "determinism violation at grid cell " + std::to_string(index) +
+            ": shard " + std::to_string(s) + " produced '" + row +
+            "' but an earlier shard produced '" + it->second + "'");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < *grid; ++i) {
+    if (!cells.contains(i)) {
+      result.contract_violation = true;
+      result.errors.push_back("grid cell " + std::to_string(i) +
+                              " missing from every shard");
+    }
+  }
+  if (!result.errors.empty()) return result;
+
+  result.ok = true;
+  result.merged = shards[0].banner + "\n" + shards[0].header + "\n";
+  for (const auto& [index, row] : cells) {
+    (void)index;
+    result.merged += row + "\n";
+  }
+  return result;
+}
+
+}  // namespace railcorr::corridor

@@ -107,6 +107,17 @@ void snr_ratio_batch(const DownlinkTxSoA& tx,
                      std::span<const double> positions_m,
                      std::span<double> out_ratio);
 
+/// Mask-aware variant for dynamic simulation: transmitter i contributes
+/// its signal and noise scaled by `active[i]` (1.0 = radiating, 0.0 =
+/// sleeping; `active.size()` must equal `tx.size()`). With an all-ones
+/// mask the output is bit-identical to snr_ratio_batch (multiplying a
+/// gain by 1.0 is exact). A fully dark mask yields ratio 0 (the caller
+/// converts to its dB floor).
+void snr_ratio_masked_batch(const DownlinkTxSoA& tx,
+                            std::span<const double> active,
+                            std::span<const double> positions_m,
+                            std::span<double> out_ratio);
+
 /// Best-path linear uplink SNR at each position.
 void uplink_best_ratio_batch(const UplinkTxSoA& tx,
                              std::span<const double> positions_m,
@@ -120,6 +131,10 @@ void uplink_best_ratio_batch(const UplinkTxSoA& tx,
 void snr_ratio_batch_scalar(const DownlinkTxSoA& tx,
                             std::span<const double> positions_m,
                             std::span<double> out_ratio);
+void snr_ratio_masked_batch_scalar(const DownlinkTxSoA& tx,
+                                   std::span<const double> active,
+                                   std::span<const double> positions_m,
+                                   std::span<double> out_ratio);
 void uplink_best_ratio_batch_scalar(const UplinkTxSoA& tx,
                                     std::span<const double> positions_m,
                                     std::span<double> out_ratio);
@@ -127,6 +142,10 @@ void uplink_best_ratio_batch_scalar(const UplinkTxSoA& tx,
 void snr_ratio_batch_avx2(const DownlinkTxSoA& tx,
                           std::span<const double> positions_m,
                           std::span<double> out_ratio);
+void snr_ratio_masked_batch_avx2(const DownlinkTxSoA& tx,
+                                 std::span<const double> active,
+                                 std::span<const double> positions_m,
+                                 std::span<double> out_ratio);
 void uplink_best_ratio_batch_avx2(const UplinkTxSoA& tx,
                                   std::span<const double> positions_m,
                                   std::span<double> out_ratio);

@@ -73,6 +73,50 @@ void snr_ratio_batch_avx2(const DownlinkTxSoA& tx,
   }
 }
 
+void snr_ratio_masked_batch_avx2(const DownlinkTxSoA& tx,
+                                 std::span<const double> active,
+                                 std::span<const double> positions_m,
+                                 std::span<double> out_ratio) {
+  RAILCORR_EXPECTS(out_ratio.size() == positions_m.size());
+  RAILCORR_EXPECTS(active.size() == tx.size());
+  const std::size_t n_tx = tx.size();
+  const double* const tx_pos = tx.position_m.data();
+  const double* const sg = tx.signal_gain_lin.data();
+  const double* const ng = tx.noise_gain_lin.data();
+  const double* const mask = active.data();
+  const __m256d min_d = _mm256_set1_pd(tx.min_distance_m);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d terminal = _mm256_set1_pd(tx.terminal_noise_mw);
+
+  const std::size_t n = positions_m.size();
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256d pos = _mm256_loadu_pd(positions_m.data() + p);
+    __m256d signal = _mm256_setzero_pd();
+    __m256d noise = terminal;
+    for (std::size_t i = 0; i < n_tx; ++i) {
+      const __m256d d =
+          abs4(_mm256_sub_pd(pos, _mm256_set1_pd(tx_pos[i])));
+      const __m256d d_eff = _mm256_max_pd(d, min_d);
+      const __m256d inv_d2 =
+          _mm256_div_pd(one, _mm256_mul_pd(d_eff, d_eff));
+      // mask * gain first, exactly like the scalar masked kernel.
+      const __m256d m = _mm256_set1_pd(mask[i]);
+      signal = _mm256_add_pd(
+          signal,
+          _mm256_mul_pd(_mm256_mul_pd(m, _mm256_set1_pd(sg[i])), inv_d2));
+      noise = _mm256_add_pd(
+          noise,
+          _mm256_mul_pd(_mm256_mul_pd(m, _mm256_set1_pd(ng[i])), inv_d2));
+    }
+    _mm256_storeu_pd(out_ratio.data() + p, _mm256_div_pd(signal, noise));
+  }
+  if (p < n) {
+    snr_ratio_masked_batch_scalar(tx, active, positions_m.subspan(p),
+                                  out_ratio.subspan(p));
+  }
+}
+
 void uplink_best_ratio_batch_avx2(const UplinkTxSoA& tx,
                                   std::span<const double> positions_m,
                                   std::span<double> out_ratio) {

@@ -15,11 +15,15 @@ ShadowingTrace::ShadowingTrace(double sigma_db, double d_corr_m, double step_m,
   RAILCORR_EXPECTS(length_m > 0.0);
   const auto n = static_cast<std::size_t>(std::ceil(length_m / step_m_)) + 1;
   values_db_.resize(n);
+  resample(rng);
+}
+
+void ShadowingTrace::resample(Rng& rng) {
   // First-order Gauss-Markov process: x[k+1] = rho x[k] + sqrt(1-rho^2) w.
   const double rho = std::exp(-step_m_ / d_corr_m_);
   const double innovation = sigma_db_ * std::sqrt(1.0 - rho * rho);
   values_db_[0] = rng.normal(0.0, sigma_db_);
-  for (std::size_t k = 1; k < n; ++k) {
+  for (std::size_t k = 1; k < values_db_.size(); ++k) {
     values_db_[k] = rho * values_db_[k - 1] + rng.normal(0.0, innovation);
   }
 }

@@ -28,6 +28,13 @@ class ShadowingTrace {
   ShadowingTrace(double sigma_db, double d_corr_m, double step_m,
                  double length_m, Rng& rng);
 
+  /// Redraw the whole trace in place from `rng` — identical variate
+  /// consumption and values as constructing a fresh trace with the same
+  /// parameters, but without reallocating the sample buffer. Monte-
+  /// Carlo loops pool traces across realizations with this (see
+  /// corridor::RobustnessAnalyzer::study).
+  void resample(Rng& rng);
+
   /// Shadowing value at `position_m`, linearly interpolated between grid
   /// points; positions outside [0, length] clamp to the boundary.
   [[nodiscard]] Db at(double position_m) const;

@@ -80,6 +80,19 @@ void CorridorLinkModel::snr_batch(std::span<const double> positions_m,
   for (double& v : out_snr_db) v = 10.0 * std::log10(v);
 }
 
+void CorridorLinkModel::snr_batch(std::span<const double> positions_m,
+                                  std::span<const double> active,
+                                  std::span<double> out_snr_db) const {
+  RAILCORR_EXPECTS(out_snr_db.size() == positions_m.size());
+  RAILCORR_EXPECTS(active.size() == transmitters_.size());
+  snr_ratio_masked_batch(soa_, active, positions_m, out_snr_db);
+  for (double& v : out_snr_db) {
+    // A fully dark corridor has zero signal; report the scalar masked
+    // path's floor instead of -inf.
+    v = v > 0.0 ? 10.0 * std::log10(v) : -200.0;
+  }
+}
+
 Db CorridorLinkModel::min_snr(std::span<const double> positions_m) const {
   RAILCORR_EXPECTS(!positions_m.empty());
   double worst_ratio = std::numeric_limits<double>::infinity();

@@ -147,6 +147,16 @@ class CorridorLinkModel {
   void snr_batch(std::span<const double> positions_m,
                  std::span<double> out_snr_db) const;
 
+  /// Masked SNR [dB] at each position: transmitter i contributes only
+  /// when `active[i]` is 1.0 (0.0 = sleeping; one multiplier per
+  /// transmitter). Linear-domain SoA evaluation like snr_batch — this
+  /// is the DES QoS recorder's kernel — with an all-ones mask the
+  /// output is bit-identical to snr_batch. Fully dark positions report
+  /// the -200 dB floor of the scalar masked snr().
+  void snr_batch(std::span<const double> positions_m,
+                 std::span<const double> active,
+                 std::span<double> out_snr_db) const;
+
   /// Minimum SNR over caller-provided positions, allocation-free
   /// (fixed-size stack blocks through the batch kernel, reduced in the
   /// linear domain with a single final log10).

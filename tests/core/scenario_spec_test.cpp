@@ -1,0 +1,179 @@
+/// Scenario serde: round-trip equality, error paths, and registry
+/// variants driving valid evaluator runs — including the acceptance
+/// check that the registry's `paper` entry reproduces the seed
+/// `PaperEvaluator::run_all` outputs exactly (bit-identical doubles).
+#include "core/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/scenario_registry.hpp"
+
+namespace railcorr::core {
+namespace {
+
+TEST(ScenarioSpec, EmptySpecIsPaper) {
+  const Scenario from_empty = scenario_from_spec("");
+  EXPECT_EQ(to_spec(from_empty), to_spec(Scenario::paper()));
+}
+
+TEST(ScenarioSpec, RoundTripIsByteStable) {
+  // Scenario -> text -> Scenario -> text must be a fixed point, for the
+  // paper defaults and for a scenario with every field class touched.
+  const Scenario paper = Scenario::paper();
+  EXPECT_EQ(to_spec(scenario_from_spec(to_spec(paper))), to_spec(paper));
+
+  Scenario tweaked = scenario_from_spec(
+      "link.carrier.center_frequency_hz = 2.6e9\n"
+      "link.noise_model = literal_eq2\n"
+      "radio.lp_eirp_dbm = 37.5\n"
+      "throughput.alpha = 0.75\n"
+      "isd_search.snr_threshold_db = 29.28\n"
+      "timetable.trains_per_hour = 12.5\n"
+      "timetable.train.speed_mps = 44.5\n"
+      "energy.lp_node.p_sleep_w = 3.3\n"
+      "energy.hp_sleep_when_idle = false\n"
+      "max_repeaters = 7\n"
+      "corridor.segments = 4\n"
+      "corridor.repeater_spacing_m = 150\n"
+      "sizing.seed = 42\n"
+      "sizing.weather.kt_sigma = 0.2\n");
+  const std::string text = to_spec(tweaked);
+  EXPECT_EQ(to_spec(scenario_from_spec(text)), text);
+}
+
+TEST(ScenarioSpec, OverridesReachTheModelLayers) {
+  const Scenario s = scenario_from_spec(
+      "radio.hp_eirp_dbm = 60\n"
+      "timetable.trains_per_hour = 16\n"
+      "link.carrier.subcarriers = 1650\n");
+  EXPECT_DOUBLE_EQ(s.radio.hp_eirp.value(), 60.0);
+  EXPECT_EQ(s.link.carrier.subcarriers(), 1650);
+  // The coherence rule: both timetable copies move together.
+  EXPECT_DOUBLE_EQ(s.timetable.trains_per_hour, 16.0);
+  EXPECT_DOUBLE_EQ(s.energy.timetable.trains_per_hour, 16.0);
+}
+
+TEST(ScenarioSpec, UnknownKeyNamesKeyAndLine) {
+  Scenario s = Scenario::paper();
+  try {
+    apply_spec(s, "radio.hp_eirp_dbm = 64\nradio.warp_drive = 9\n");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("radio.warp_drive"), std::string::npos);
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpec, MalformedValueNamesKey) {
+  Scenario s = Scenario::paper();
+  EXPECT_THROW(apply_spec(s, "radio.hp_eirp_dbm = loud\n"),
+               util::ConfigError);
+  EXPECT_THROW(apply_spec(s, "max_repeaters = 2.5\n"), util::ConfigError);
+  EXPECT_THROW(apply_spec(s, "energy.hp_sleep_when_idle = maybe\n"),
+               util::ConfigError);
+  EXPECT_THROW(apply_spec(s, "link.noise_model = psychic\n"),
+               util::ConfigError);
+}
+
+TEST(ScenarioSpec, ConstructorValidationBecomesConfigError) {
+  Scenario s = Scenario::paper();
+  // NrCarrier rejects non-positive bandwidth; the violation must
+  // surface as a ConfigError naming the key, not a ContractViolation.
+  EXPECT_THROW(apply_spec(s, "link.carrier.bandwidth_hz = -5\n"),
+               util::ConfigError);
+  EXPECT_THROW(apply_spec(s, "throughput.alpha = 0\n"), util::ConfigError);
+}
+
+TEST(ScenarioSpec, FieldCatalogIsConsistent) {
+  const auto& fields = scenario_fields();
+  ASSERT_GE(fields.size(), 40u);
+  // Every emitted line corresponds to a registered key, in order.
+  const std::string spec = to_spec(Scenario::paper());
+  std::size_t line_start = 0;
+  for (const auto& field : fields) {
+    const std::string expected_prefix = std::string(field.key) + " = ";
+    EXPECT_EQ(spec.compare(line_start, expected_prefix.size(),
+                           expected_prefix),
+              0)
+        << "at field " << field.key;
+    line_start = spec.find('\n', line_start) + 1;
+  }
+}
+
+// ---- registry ----------------------------------------------------------
+
+TEST(ScenarioRegistry, CatalogAndLookup) {
+  const auto& registry = scenario_registry();
+  ASSERT_GE(registry.size(), 5u);
+  EXPECT_EQ(registry.front().name, "paper");
+  EXPECT_NE(find_scenario("dense-timetable"), nullptr);
+  EXPECT_EQ(find_scenario("nonexistent"), nullptr);
+  EXPECT_THROW(make_scenario("nonexistent"), util::ConfigError);
+}
+
+TEST(ScenarioRegistry, VariantsProduceValidEvaluatorRuns) {
+  for (const auto& variant : scenario_registry()) {
+    SCOPED_TRACE(variant.name);
+    const Scenario scenario = make_scenario(variant.name);
+    const PaperEvaluator evaluator(scenario);
+    // The deepest-N search must find at least one feasible deployment,
+    // and the derived traffic quantities must be well-formed.
+    const auto sweep = evaluator.max_isd_sweep();
+    ASSERT_FALSE(sweep.empty());
+    bool any_feasible = false;
+    for (const auto& result : sweep) {
+      any_feasible = any_feasible || result.max_isd_m.has_value();
+    }
+    EXPECT_TRUE(any_feasible);
+    const auto traffic = evaluator.traffic_derived();
+    EXPECT_GT(traffic.lp_sleep_mode_avg_w, 0.0);
+    EXPECT_GT(traffic.duty_at_conventional, 0.0);
+  }
+}
+
+TEST(ScenarioRegistry, PaperEntryReproducesRunAllExactly) {
+  // Acceptance: the registry's paper scenario is byte-for-byte the seed
+  // configuration, so the full evaluation must match bit for bit.
+  const PaperEvaluator seed{Scenario::paper()};
+  const PaperEvaluator registry{make_scenario("paper")};
+  const auto a = seed.run_all();
+  const auto b = registry.run_all();
+
+  ASSERT_EQ(a.fig3.size(), b.fig3.size());
+  for (std::size_t i = 0; i < a.fig3.size(); ++i) {
+    EXPECT_EQ(a.fig3[i].snr.value(), b.fig3[i].snr.value());
+    EXPECT_EQ(a.fig3[i].total_signal.value(), b.fig3[i].total_signal.value());
+  }
+  ASSERT_EQ(a.max_isd.size(), b.max_isd.size());
+  for (std::size_t i = 0; i < a.max_isd.size(); ++i) {
+    ASSERT_EQ(a.max_isd[i].max_isd_m.has_value(),
+              b.max_isd[i].max_isd_m.has_value());
+    if (a.max_isd[i].max_isd_m.has_value()) {
+      EXPECT_EQ(*a.max_isd[i].max_isd_m, *b.max_isd[i].max_isd_m);
+    }
+    EXPECT_EQ(a.max_isd[i].min_snr_at_max.value(),
+              b.max_isd[i].min_snr_at_max.value());
+  }
+  ASSERT_EQ(a.fig4.size(), b.fig4.size());
+  for (std::size_t i = 0; i < a.fig4.size(); ++i) {
+    EXPECT_EQ(a.fig4[i].continuous_wh_km_h, b.fig4[i].continuous_wh_km_h);
+    EXPECT_EQ(a.fig4[i].sleep_wh_km_h, b.fig4[i].sleep_wh_km_h);
+    EXPECT_EQ(a.fig4[i].solar_wh_km_h, b.fig4[i].solar_wh_km_h);
+  }
+  EXPECT_EQ(a.traffic.duty_at_max_isd, b.traffic.duty_at_max_isd);
+  EXPECT_EQ(a.traffic.lp_sleep_mode_wh_day, b.traffic.lp_sleep_mode_wh_day);
+  ASSERT_EQ(a.table4.size(), b.table4.size());
+  for (std::size_t i = 0; i < a.table4.size(); ++i) {
+    EXPECT_EQ(a.table4[i].chosen.pv_wp, b.table4[i].chosen.pv_wp);
+    EXPECT_EQ(a.table4[i].chosen.battery_wh, b.table4[i].chosen.battery_wh);
+    EXPECT_EQ(a.table4[i].report.downtime_hours,
+              b.table4[i].report.downtime_hours);
+    EXPECT_EQ(a.table4[i].report.min_soc_fraction,
+              b.table4[i].report.min_soc_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace railcorr::core

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "exec/parallel.hpp"
 #include "util/contracts.hpp"
 
 namespace railcorr::corridor {
@@ -68,6 +69,26 @@ TEST(Robustness, DeterministicSeedsReproduce) {
   const auto b = analyzer.study(d);
   EXPECT_DOUBLE_EQ(a.pass_probability, b.pass_probability);
   EXPECT_DOUBLE_EQ(a.min_snr_db.mean(), b.min_snr_db.mean());
+}
+
+TEST(Robustness, PooledTracesAreThreadCountInvariant) {
+  // The trace-pooling chunked loop must not perturb results: each
+  // realization draws from its own Rng::stream, so the report is
+  // bit-identical whether chunks pool 60 realizations on one thread or
+  // a handful each across many.
+  const RobustnessAnalyzer analyzer(rf::LinkModelConfig{}, fast_config(4.0));
+  const auto d = SegmentDeployment::with_repeaters(1950.0, 5);
+  exec::set_default_thread_count(1);
+  const auto sequential = analyzer.study(d);
+  exec::set_default_thread_count(3);
+  const auto three = analyzer.study(d);
+  exec::set_default_thread_count(0);
+  const auto automatic = analyzer.study(d);
+  EXPECT_DOUBLE_EQ(sequential.min_snr_db.mean(), three.min_snr_db.mean());
+  EXPECT_DOUBLE_EQ(sequential.min_snr_db.min(), three.min_snr_db.min());
+  EXPECT_DOUBLE_EQ(sequential.outage_fraction, three.outage_fraction);
+  EXPECT_DOUBLE_EQ(sequential.min_snr_db.mean(), automatic.min_snr_db.mean());
+  EXPECT_DOUBLE_EQ(sequential.pass_probability, automatic.pass_probability);
 }
 
 TEST(Robustness, Contracts) {

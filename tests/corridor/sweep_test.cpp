@@ -1,0 +1,162 @@
+#include "corridor/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace railcorr::corridor {
+namespace {
+
+SweepPlan two_axis_plan() {
+  return SweepPlan::from_spec(
+      "base = paper\n"
+      "set isd_search.sample_step_m = 50\n"
+      "axis radio.lp_eirp_dbm = 37, 40, 43\n"
+      "axis timetable.trains_per_hour = 8, 16\n");
+}
+
+TEST(SweepPlan, ParseAndGridShape) {
+  const auto plan = two_axis_plan();
+  EXPECT_EQ(plan.base, "paper");
+  ASSERT_EQ(plan.fixed.size(), 1u);
+  EXPECT_EQ(plan.fixed[0].key, "isd_search.sample_step_m");
+  ASSERT_EQ(plan.axes.size(), 2u);
+  EXPECT_EQ(plan.axes[0].values.size(), 3u);
+  EXPECT_EQ(plan.axes[1].values.size(), 2u);
+  EXPECT_EQ(plan.size(), 6u);
+}
+
+TEST(SweepPlan, RowMajorDecomposition) {
+  const auto plan = two_axis_plan();
+  // Last axis fastest: index 0 -> (37, 8), 1 -> (37, 16), 2 -> (40, 8).
+  const auto cell0 = plan.overrides_at(0);
+  ASSERT_EQ(cell0.size(), 3u);  // fixed + two axes
+  EXPECT_EQ(cell0[1].value, "37");
+  EXPECT_EQ(cell0[2].value, "8");
+  const auto cell1 = plan.overrides_at(1);
+  EXPECT_EQ(cell1[1].value, "37");
+  EXPECT_EQ(cell1[2].value, "16");
+  const auto cell2 = plan.overrides_at(2);
+  EXPECT_EQ(cell2[1].value, "40");
+  EXPECT_EQ(cell2[2].value, "8");
+  const auto cell5 = plan.overrides_at(5);
+  EXPECT_EQ(cell5[1].value, "43");
+  EXPECT_EQ(cell5[2].value, "16");
+}
+
+TEST(SweepPlan, CanonicalSpecRoundTripsAndFingerprints) {
+  const auto plan = two_axis_plan();
+  const auto reparsed = SweepPlan::from_spec(plan.canonical_spec());
+  EXPECT_EQ(reparsed.canonical_spec(), plan.canonical_spec());
+  EXPECT_EQ(reparsed.fingerprint(), plan.fingerprint());
+
+  auto different = plan;
+  different.axes[0].values.push_back("46");
+  EXPECT_NE(different.fingerprint(), plan.fingerprint());
+}
+
+TEST(SweepPlan, ParseErrors) {
+  EXPECT_THROW(SweepPlan::from_spec("base = a\nbase = b\n"),
+               util::ConfigError);
+  EXPECT_THROW(SweepPlan::from_spec("axis = 1, 2\n"), util::ConfigError);
+  EXPECT_THROW(SweepPlan::from_spec("axis k = 1,,2\n"), util::ConfigError);
+  EXPECT_THROW(SweepPlan::from_spec("axis k = 1\naxis k = 2\n"),
+               util::ConfigError);
+  EXPECT_THROW(SweepPlan::from_spec("frobnicate k = 1\n"),
+               util::ConfigError);
+}
+
+TEST(ShardSpec, ParseAndPartition) {
+  const auto shard = ShardSpec::parse("1/3");
+  EXPECT_EQ(shard.index, 1u);
+  EXPECT_EQ(shard.count, 3u);
+  EXPECT_THROW(ShardSpec::parse("3/3"), util::ConfigError);
+  EXPECT_THROW(ShardSpec::parse("0/0"), util::ConfigError);
+  EXPECT_THROW(ShardSpec::parse("1-3"), util::ConfigError);
+  EXPECT_THROW(ShardSpec::parse("a/3"), util::ConfigError);
+
+  // Shards partition the grid: disjoint and covering.
+  std::set<std::size_t> seen;
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (const std::size_t i : ShardSpec{k, 3}.indices(10)) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+// ---- merge -------------------------------------------------------------
+
+std::string tiny_banner() {
+  SweepPlan plan;
+  plan.axes.push_back(SweepAxis{"k", {"1", "2", "3", "4"}});
+  return shard_banner(plan);
+}
+
+std::string make_shard(const std::vector<std::pair<int, std::string>>& rows) {
+  std::string doc = tiny_banner() + "\nindex,k,metric\n";
+  for (const auto& [index, payload] : rows) {
+    doc += std::to_string(index) + "," + payload + "\n";
+  }
+  return doc;
+}
+
+TEST(MergeShards, InterleavedShardsMergeToCanonicalOrder) {
+  const auto merged = merge_shards({
+      make_shard({{0, "1,10"}, {2, "3,30"}}),
+      make_shard({{1, "2,20"}, {3, "4,40"}}),
+  });
+  ASSERT_TRUE(merged.ok) << (merged.errors.empty() ? "" : merged.errors[0]);
+  const auto single = merge_shards({
+      make_shard({{0, "1,10"}, {1, "2,20"}, {2, "3,30"}, {3, "4,40"}}),
+  });
+  ASSERT_TRUE(single.ok);
+  EXPECT_EQ(merged.merged, single.merged);
+}
+
+TEST(MergeShards, ByteIdenticalOverlapIsAllowed) {
+  const auto merged = merge_shards({
+      make_shard({{0, "1,10"}, {1, "2,20"}}),
+      make_shard({{1, "2,20"}, {2, "3,30"}, {3, "4,40"}}),
+  });
+  EXPECT_TRUE(merged.ok);
+}
+
+TEST(MergeShards, DivergentOverlapViolatesContract) {
+  const auto merged = merge_shards({
+      make_shard({{0, "1,10"}, {1, "2,20"}, {2, "3,30"}, {3, "4,40"}}),
+      make_shard({{1, "2,DIFFERENT"}}),
+  });
+  EXPECT_FALSE(merged.ok);
+  ASSERT_FALSE(merged.errors.empty());
+  EXPECT_NE(merged.errors[0].find("determinism violation"),
+            std::string::npos);
+}
+
+TEST(MergeShards, MissingCellsAreReported) {
+  const auto merged = merge_shards({make_shard({{0, "1,10"}, {3, "4,40"}})});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_EQ(merged.errors.size(), 2u);  // cells 1 and 2
+}
+
+TEST(MergeShards, FingerprintMismatchIsRejected) {
+  SweepPlan other;
+  other.axes.push_back(SweepAxis{"k", {"9", "8", "7", "6"}});
+  std::string foreign = shard_banner(other) + "\nindex,k,metric\n2,3,30\n";
+  const auto merged = merge_shards({
+      make_shard({{0, "1,10"}, {1, "2,20"}, {3, "4,40"}}),
+      foreign,
+  });
+  EXPECT_FALSE(merged.ok);
+}
+
+TEST(MergeShards, MalformedDocumentsAreRejected) {
+  EXPECT_FALSE(merge_shards({}).ok);
+  EXPECT_FALSE(merge_shards({"not a shard at all\n"}).ok);
+  EXPECT_FALSE(merge_shards({tiny_banner() + "\nheader\nnot-a-row\n"}).ok);
+}
+
+}  // namespace
+}  // namespace railcorr::corridor

@@ -153,5 +153,86 @@ TEST_F(BatchKernelTest, DownlinkKernelHandlesTinyAndUnalignedCounts) {
   }
 }
 
+// ---- Masked kernel (DES QoS recorder path) ----------------------------
+
+/// Deterministic sample masks exercising dark, partial, and full states.
+std::vector<std::vector<double>> probe_masks(std::size_t n_tx) {
+  std::vector<std::vector<double>> masks;
+  masks.emplace_back(n_tx, 1.0);  // everything radiating
+  masks.emplace_back(n_tx, 0.0);  // fully dark
+  std::vector<double> alternating(n_tx, 0.0);
+  for (std::size_t i = 0; i < n_tx; i += 2) alternating[i] = 1.0;
+  masks.push_back(alternating);
+  std::vector<double> masts_only(n_tx, 0.0);
+  masts_only[0] = masts_only[1] = 1.0;
+  masks.push_back(masts_only);
+  std::vector<double> repeaters_only(n_tx, 1.0);
+  repeaters_only[0] = repeaters_only[1] = 0.0;
+  masks.push_back(repeaters_only);
+  return masks;
+}
+
+TEST_F(BatchKernelTest, MaskedScalarAndAvx2BitIdentical) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 lane in this build/CPU";
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  LinkModelConfig config;
+  const CorridorLinkModel model(config,
+                                deployment.transmitters(config.carrier));
+  const auto positions = probe_positions(2400.0);
+  for (const auto& mask : probe_masks(model.soa().size())) {
+    std::vector<double> scalar_out(positions.size());
+    std::vector<double> avx2_out(positions.size());
+    snr_ratio_masked_batch_scalar(model.soa(), mask, positions, scalar_out);
+    snr_ratio_masked_batch_avx2(model.soa(), mask, positions, avx2_out);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_EQ(scalar_out[i], avx2_out[i]) << "position " << positions[i];
+    }
+  }
+}
+
+TEST_F(BatchKernelTest, MaskedAllOnesBitIdenticalToUnmasked) {
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(1950.0, 5);
+  LinkModelConfig config;
+  const CorridorLinkModel model(config,
+                                deployment.transmitters(config.carrier));
+  const auto positions = probe_positions(1950.0);
+  const std::vector<double> all_on(model.soa().size(), 1.0);
+  std::vector<double> masked(positions.size());
+  std::vector<double> unmasked(positions.size());
+  for (const auto level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+    if (level == SimdLevel::kAvx2 && !avx2_available()) continue;
+    force_simd_level(level);
+    snr_ratio_masked_batch(model.soa(), all_on, positions, masked);
+    snr_ratio_batch(model.soa(), positions, unmasked);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_EQ(masked[i], unmasked[i])
+          << simd_level_name(level) << " @ " << positions[i];
+    }
+    reset_simd_level();
+  }
+}
+
+TEST_F(BatchKernelTest, MaskedBatchAgreesWithScalarMaskedSnr) {
+  // The seed QoS recorder evaluated snr(pos, active) in the dB domain
+  // per transmitter; the masked SoA kernel must agree to numerical
+  // noise for every mask state (including the -200 dB dark floor).
+  const auto deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  LinkModelConfig config;
+  const CorridorLinkModel model(config,
+                                deployment.transmitters(config.carrier));
+  const auto positions = probe_positions(2400.0);
+  const std::size_t n_tx = model.transmitters().size();
+  for (const auto& mask : probe_masks(n_tx)) {
+    std::vector<bool> active(n_tx);
+    for (std::size_t i = 0; i < n_tx; ++i) active[i] = mask[i] != 0.0;
+    std::vector<double> batch_db(positions.size());
+    model.snr_batch(positions, mask, batch_db);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_NEAR(batch_db[i], model.snr(positions[i], active).value(), 1e-9)
+          << "position " << positions[i];
+    }
+  }
+}
+
 }  // namespace
 }  // namespace railcorr::rf

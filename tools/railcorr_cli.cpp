@@ -1,0 +1,306 @@
+/// \file railcorr_cli.cpp
+/// \brief The `railcorr` command-line tool: declarative scenario runs and
+///        sharded corridor sweeps.
+///
+/// Subcommands:
+///   list                           registry catalog
+///   show   [scenario selection]    resolved ScenarioSpec of a scenario
+///   run    [scenario selection]    full paper evaluation of a scenario
+///   sweep  --plan FILE [--shard i/N] [--out FILE]
+///                                  evaluate (a shard of) a sweep grid
+///   merge  [--out FILE] SHARD...   merge shard files, enforcing the
+///                                  cross-shard determinism contract
+///
+/// Scenario selection (show / run): `--scenario NAME` picks a registry
+/// entry (default: paper), `--spec FILE` loads a ScenarioSpec document
+/// on top, and repeated `--set key=value` apply final overrides.
+///
+/// Exit codes: 0 success; 1 usage/configuration error; 2 determinism
+/// contract violation reported by merge.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/report.hpp"
+#include "core/scenario_registry.hpp"
+#include "core/scenario_spec.hpp"
+#include "core/sweep_runner.hpp"
+#include "corridor/multi_segment.hpp"
+#include "corridor/planner.hpp"
+#include "corridor/sweep.hpp"
+#include "exec/parallel.hpp"
+#include "util/config.hpp"
+#include "util/contracts.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using railcorr::util::ConfigError;
+
+int usage(std::ostream& os) {
+  os << "usage: railcorr <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                      scenario registry catalog\n"
+        "  show [selection]          print the resolved ScenarioSpec\n"
+        "  run  [selection] [--isd-source model|paper]\n"
+        "                            run the full paper evaluation\n"
+        "  sweep --plan FILE [--shard i/N] [--out FILE]\n"
+        "        [--include-sizing] [--threads N]\n"
+        "                            evaluate (a shard of) a sweep grid\n"
+        "  merge [--out FILE] SHARD_FILE...\n"
+        "                            merge shards; exit 2 on determinism\n"
+        "                            contract violations\n"
+        "\n"
+        "scenario selection (show/run):\n"
+        "  --scenario NAME           registry entry (default: paper)\n"
+        "  --spec FILE               apply a ScenarioSpec document\n"
+        "  --set KEY=VALUE           apply one override (repeatable)\n";
+  return 1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_output(const std::optional<std::string>& path,
+                  const std::string& content) {
+  if (!path.has_value()) {
+    std::cout << content;
+    return;
+  }
+  std::ofstream out(*path, std::ios::binary);
+  if (!out) throw ConfigError("cannot write '" + *path + "'");
+  out << content;
+}
+
+railcorr::util::SpecEntry parse_set_option(const std::string& text) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= text.size()) {
+    throw ConfigError("--set expects KEY=VALUE, got '" + text + "'");
+  }
+  railcorr::util::SpecEntry entry;
+  entry.key = text.substr(0, eq);
+  entry.value = text.substr(eq + 1);
+  return entry;
+}
+
+/// Common `--scenario / --spec / --set` handling; consumed args are
+/// removed from `args`.
+railcorr::core::Scenario select_scenario(std::vector<std::string>& args) {
+  std::string name = "paper";
+  std::optional<std::string> spec_path;
+  std::vector<railcorr::util::SpecEntry> overrides;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value_of = [&](const char* option) {
+      if (i + 1 >= args.size()) {
+        throw ConfigError(std::string(option) + " expects an argument");
+      }
+      return args[++i];
+    };
+    if (args[i] == "--scenario") {
+      name = value_of("--scenario");
+    } else if (args[i] == "--spec") {
+      spec_path = value_of("--spec");
+    } else if (args[i] == "--set") {
+      overrides.push_back(parse_set_option(value_of("--set")));
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+
+  railcorr::core::Scenario scenario = railcorr::core::make_scenario(name);
+  if (spec_path.has_value()) {
+    railcorr::core::apply_spec(scenario, read_file(*spec_path));
+  }
+  for (const auto& entry : overrides) {
+    railcorr::core::apply_override(scenario, entry);
+  }
+  return scenario;
+}
+
+int cmd_list() {
+  railcorr::TextTable table("Scenario registry");
+  table.set_header({"name", "summary"});
+  for (const auto& variant : railcorr::core::scenario_registry()) {
+    table.add_row({variant.name, variant.summary});
+  }
+  std::cout << table << "\nFields: railcorr show --scenario <name>\n";
+  return 0;
+}
+
+int cmd_show(std::vector<std::string> args) {
+  const auto scenario = select_scenario(args);
+  if (!args.empty()) throw ConfigError("show: unknown option '" + args[0] + "'");
+  std::cout << railcorr::core::to_spec(scenario);
+  return 0;
+}
+
+int cmd_run(std::vector<std::string> args) {
+  auto scenario = select_scenario(args);
+  auto source = railcorr::corridor::IsdSource::kModelSearch;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--isd-source") {
+      if (i + 1 >= args.size()) {
+        throw ConfigError("--isd-source expects 'model' or 'paper'");
+      }
+      const std::string& value = args[++i];
+      if (value == "model") {
+        source = railcorr::corridor::IsdSource::kModelSearch;
+      } else if (value == "paper") {
+        source = railcorr::corridor::IsdSource::kPaperPublished;
+      } else {
+        throw ConfigError("--isd-source expects 'model' or 'paper'");
+      }
+    } else {
+      throw ConfigError("run: unknown option '" + args[i] + "'");
+    }
+  }
+
+  const railcorr::core::PaperEvaluator evaluator(scenario);
+  const auto results = evaluator.run_all(source, /*include_fig3=*/false);
+  std::cout << railcorr::core::max_isd_table(results.max_isd) << "\n"
+            << railcorr::core::fig4_table(results.fig4) << "\n"
+            << railcorr::core::table3_traffic(results.traffic) << "\n"
+            << railcorr::core::table4_solar(results.table4) << "\n";
+
+  if (scenario.corridor_segments > 1 && !results.max_isd.empty() &&
+      results.max_isd.back().max_isd_m.has_value()) {
+    railcorr::corridor::SegmentDeployment segment;
+    segment.geometry.isd_m = *results.max_isd.back().max_isd_m;
+    segment.geometry.repeater_count = results.max_isd.back().repeater_count;
+    segment.geometry.repeater_spacing_m = scenario.repeater_spacing_m;
+    segment.radio = scenario.radio;
+    const railcorr::corridor::MultiSegmentAnalyzer analyzer(
+        scenario.link, scenario.isd_search.sample_step_m);
+    const auto per_segment = analyzer.per_segment(
+        railcorr::corridor::CorridorDeployment::repeat(
+            segment, scenario.corridor_segments));
+    railcorr::TextTable table("Multi-segment corridor (" +
+                              std::to_string(scenario.corridor_segments) +
+                              " segments at the deepest layout)");
+    table.set_header({"segment", "min SNR [dB]", "mean SNR [dB]"});
+    for (const auto& seg : per_segment) {
+      table.add_row({std::to_string(seg.segment_index),
+                     railcorr::TextTable::num(seg.min_snr.value()),
+                     railcorr::TextTable::num(seg.mean_snr_db.value())});
+    }
+    std::cout << table << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(std::vector<std::string> args) {
+  std::optional<std::string> plan_path;
+  std::optional<std::string> out_path;
+  railcorr::corridor::ShardSpec shard;
+  railcorr::core::SweepRunOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value_of = [&](const char* option) {
+      if (i + 1 >= args.size()) {
+        throw ConfigError(std::string(option) + " expects an argument");
+      }
+      return args[++i];
+    };
+    if (args[i] == "--plan") {
+      plan_path = value_of("--plan");
+    } else if (args[i] == "--shard") {
+      shard = railcorr::corridor::ShardSpec::parse(value_of("--shard"));
+    } else if (args[i] == "--out") {
+      out_path = value_of("--out");
+    } else if (args[i] == "--include-sizing") {
+      options.include_sizing = true;
+    } else if (args[i] == "--threads") {
+      railcorr::util::SpecEntry threads;
+      threads.key = "--threads";
+      threads.value = value_of("--threads");
+      railcorr::exec::set_default_thread_count(
+          static_cast<std::size_t>(railcorr::util::parse_u64(threads)));
+    } else {
+      throw ConfigError("sweep: unknown option '" + args[i] + "'");
+    }
+  }
+  if (!plan_path.has_value()) throw ConfigError("sweep: --plan FILE required");
+
+  const auto plan =
+      railcorr::corridor::SweepPlan::from_spec(read_file(*plan_path));
+  write_output(out_path,
+               railcorr::core::run_sweep_shard(plan, shard, options));
+  return 0;
+}
+
+int cmd_merge(std::vector<std::string> args) {
+  std::optional<std::string> out_path;
+  std::vector<std::string> shard_paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) throw ConfigError("--out expects an argument");
+      out_path = args[++i];
+    } else {
+      shard_paths.push_back(args[i]);
+    }
+  }
+  if (shard_paths.empty()) {
+    throw ConfigError("merge: at least one shard file required");
+  }
+
+  std::vector<std::string> documents;
+  documents.reserve(shard_paths.size());
+  for (const auto& path : shard_paths) documents.push_back(read_file(path));
+
+  const auto result = railcorr::corridor::merge_shards(documents);
+  if (!result.ok) {
+    for (const auto& error : result.errors) {
+      std::cerr << "merge: " << error << "\n";
+    }
+    // Exit 2 is reserved for genuine determinism-contract violations;
+    // unreadable/mismatched inputs are usage errors (exit 1), so
+    // orchestrators retrying on 2 never mistake a bad download for a
+    // nondeterministic shard.
+    if (result.contract_violation) {
+      std::cerr << "merge: determinism contract violated ("
+                << result.errors.size() << " error(s))\n";
+      return 2;
+    }
+    std::cerr << "merge: malformed or mismatched shard input\n";
+    return 1;
+  }
+  write_output(out_path, result.merged);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "show") return cmd_show(std::move(args));
+    if (command == "run") return cmd_run(std::move(args));
+    if (command == "sweep") return cmd_sweep(std::move(args));
+    if (command == "merge") return cmd_merge(std::move(args));
+    if (command == "--help" || command == "-h" || command == "help") {
+      return usage(std::cout) * 0;
+    }
+    std::cerr << "railcorr: unknown command '" << command << "'\n";
+    return usage(std::cerr);
+  } catch (const ConfigError& error) {
+    std::cerr << "railcorr " << command << ": " << error.what() << "\n";
+    return 1;
+  } catch (const railcorr::ContractViolation& violation) {
+    std::cerr << "railcorr " << command << ": " << violation.what() << "\n";
+    return 1;
+  }
+}
