@@ -6,8 +6,12 @@
 /// numeric results, and emits a machine-readable JSON report (ns/op,
 /// throughput, speedup vs the single-thread baseline). A second section
 /// times the SoA batch kernels at one thread: seed-style scalar
-/// dB-domain evaluation vs the batched linear-domain kernel, and the
-/// forced-scalar kernel vs the SIMD-dispatched one.
+/// dB-domain evaluation vs the batched linear-domain kernel, the
+/// forced-scalar kernel vs the SIMD-dispatched one, and the kFastUlp
+/// accuracy mode vs the bit-exact default. A third section times the
+/// shared-weather batched off-grid sizing (size_jobs) against the
+/// per-cell walk over an 8-cell sweep slice and checks they agree
+/// bit for bit.
 ///
 /// Usage: bench_parallel_scaling [--json=PATH] [--min-seconds=S]
 ///          [--baseline=PATH] [--baseline-tolerance=F] [--check-abs-times]
@@ -28,6 +32,7 @@
 
 #include "baseline_gate.hpp"
 #include "bench_harness.hpp"
+#include "sizing_workload.hpp"
 #include "corridor/isd_search.hpp"
 #include "corridor/multi_segment.hpp"
 #include "corridor/robustness.hpp"
@@ -39,6 +44,7 @@
 #include "solar/consumption.hpp"
 #include "solar/sizing.hpp"
 #include "traffic/timetable.hpp"
+#include "util/vmath.hpp"
 
 namespace {
 
@@ -369,7 +375,49 @@ int main(int argc, char** argv) {
                                         scalar->ns_per_op /
                                             uplink_batch.ns_per_op);
     }
+
+    // (d) the kFastUlp accuracy mode on the same snr_batch path: the
+    // polynomial dB pass plus the reciprocal-Newton kernel vs the
+    // bit-exact default (bench_vmath carries the per-function detail).
+    vmath::force_accuracy_mode(vmath::AccuracyMode::kFastUlp);
+    auto& snr_fast = harness.run(
+        "snr_batch_fast_10k", 1, [&] { model.snr_batch(positions, snr_db); },
+        min_seconds);
+    vmath::reset_accuracy_mode();
+    if (const auto* exact = harness.find("snr_batch_10k", 1)) {
+      snr_fast.metrics.emplace_back("fast_speedup_vs_exact",
+                                    exact->ns_per_op / snr_fast.ns_per_op);
+    }
     if (sink == 42.0) std::cerr << "";  // keep the scalar loops observable
+  }
+
+  // ---- Batched off-grid sizing across sweep cells ----------------------
+  // Eight cells sharing the weather tuple (only the load differs, as a
+  // traffic-axis sweep would): the size_jobs batch synthesizes each
+  // location's weather once for the whole set, vs once per cell on the
+  // per-cell path. Workload and identity check shared with bench_vmath
+  // (bench/sizing_workload.hpp) so both gates enforce one contract.
+  {
+    const auto jobs = bench::sizing_sweep_cells(consumption, sizing_options,
+                                                8);
+    std::vector<std::vector<solar::SizingResult>> per_cell;
+    harness.run(
+        "pv_sizing_per_cell_8cells", 1,
+        [&] { per_cell = bench::sizing_per_cell(jobs); }, min_seconds);
+    std::vector<std::vector<solar::SizingResult>> batched;
+    auto& sizing_batched = harness.run(
+        "pv_sizing_batched_8cells", 1,
+        [&] { batched = solar::size_jobs(jobs); }, min_seconds);
+    if (const auto* cell = harness.find("pv_sizing_per_cell_8cells", 1)) {
+      sizing_batched.metrics.emplace_back(
+          "batched_speedup_vs_per_cell",
+          cell->ns_per_op / sizing_batched.ns_per_op);
+    }
+    if (!bench::sizing_results_identical(per_cell, batched)) {
+      std::cerr << "DETERMINISM VIOLATION: batched sizing differs from"
+                   " the per-cell walk\n";
+      deterministic = false;
+    }
   }
 
   harness.write_json(std::cout);

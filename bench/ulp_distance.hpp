@@ -1,0 +1,32 @@
+/// \file ulp_distance.hpp
+/// \brief Shared ULP-distance helper for the accuracy-mode property
+///        tests and benches (bench/ is on the include path of both).
+///
+/// One definition instead of per-file copies, so every harness applies
+/// the same semantics: distance in representable doubles along the
+/// monotone total order of the IEEE bit patterns, with equal values —
+/// including two NaNs — at distance 0 (a libm-fallback lane that
+/// reproduces libm's NaN must compare clean everywhere).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace railcorr::bench {
+
+inline std::int64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) && std::isnan(b)) return 0;
+  const auto key = [](double v) {
+    const auto bits = std::bit_cast<std::int64_t>(v);
+    return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits
+                    : bits;
+  };
+  const std::int64_t ka = key(a);
+  const std::int64_t kb = key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+}  // namespace railcorr::bench

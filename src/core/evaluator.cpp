@@ -141,8 +141,12 @@ TrafficDerived PaperEvaluator::traffic_derived() const {
 }
 
 std::vector<solar::SizingResult> PaperEvaluator::table4_sizing() const {
-  return solar::size_paper_locations(scenario_.repeater_consumption_profile(),
-                                     scenario_.sizing);
+  // Locations and ladder come from the scenario (spec keys
+  // sizing.locations / sizing.ladder); the defaults are the paper's
+  // four sites and Table IV ladder.
+  return solar::size_locations(scenario_.sizing_locations,
+                               scenario_.repeater_consumption_profile(),
+                               scenario_.sizing, scenario_.sizing_ladder);
 }
 
 PaperResults PaperEvaluator::run_all(corridor::IsdSource source,

@@ -43,6 +43,15 @@ struct Scenario {
   double repeater_spacing_m = 200.0;
   /// Off-grid sizing options (weather model, seed, years, mounting).
   solar::SizingOptions sizing;
+  /// Sites of the off-grid sizing study (paper: Madrid, Lyon, Vienna,
+  /// Berlin). Spec key `sizing.locations` draws from the named catalog
+  /// in solar/locations.hpp, so climate studies are data rows.
+  std::vector<solar::Location> sizing_locations =
+      solar::paper_locations();
+  /// PV/battery candidates walked in cost order (paper Table IV ladder).
+  /// Spec key `sizing.ladder` (`wp:wh` pairs).
+  std::vector<solar::SizingCandidate> sizing_ladder =
+      solar::paper_sizing_ladder();
 
   /// The paper's scenario (identical to default construction, spelled
   /// out for call-site clarity).

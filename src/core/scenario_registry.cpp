@@ -37,13 +37,23 @@ const std::vector<ScenarioVariant>& scenario_registry() {
        "corridor.segments = 10\n"
        "isd_search.sample_step_m = 20\n"},
       {"arctic-climate",
-       "off-grid sizing under a harsh winter resource: persistent "
-       "overcast spells, four weather years per candidate",
+       "off-grid sizing under a harsh winter resource: Nordic site mix, "
+       "persistent overcast spells, an extended PV/battery ladder, four "
+       "weather years per candidate",
        "sizing.weather.kt_sigma = 0.16\n"
        "sizing.weather.kt_autocorrelation = 0.85\n"
        "sizing.weather.kt_max = 0.65\n"
        "sizing.weather.winter_sigma_boost = 2.5\n"
-       "sizing.years = 4\n"},
+       "sizing.years = 4\n"
+       "sizing.locations = oslo,vienna,berlin\n"
+       "sizing.ladder = 540:720,540:1440,600:1440,600:2160,720:2160,"
+       "720:2880,900:2880\n"},
+      {"iberian-corridor",
+       "southern high-irradiance corridor: Madrid-Sevilla climate pair "
+       "with the small end of the ladder only (catalog-driven climate "
+       "study, lands as pure data rows)",
+       "sizing.locations = madrid,sevilla\n"
+       "sizing.ladder = 360:720,540:720,540:1440\n"},
   };
   return variants;
 }

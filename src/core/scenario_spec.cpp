@@ -47,6 +47,82 @@ void set_timetable(Scenario& s, Mutate&& mutate) {
   s.energy.timetable = s.timetable;
 }
 
+/// Split a list value into trimmed, non-empty items; a malformed list
+/// (empty, or with empty items) raises ConfigError. Both ',' and ';'
+/// separate items: ',' is the canonical serialization, but the sweep
+/// `axis` syntax splits axis values on commas, so a whole list can only
+/// travel as ONE axis value in its ';' spelling (e.g.
+/// `axis sizing.ladder = 540:720;540:1440, 600:1440;600:2160` is a
+/// two-cell axis of two-rung ladders).
+std::vector<std::string> parse_list(const SpecEntry& e) {
+  std::vector<std::string> items;
+  std::size_t begin = 0;
+  const std::string& value = e.value;
+  while (begin <= value.size()) {
+    std::size_t end = value.find_first_of(",;", begin);
+    if (end == std::string::npos) end = value.size();
+    std::size_t lo = begin, hi = end;
+    while (lo < hi && value[lo] == ' ') ++lo;
+    while (hi > lo && value[hi - 1] == ' ') --hi;
+    items.push_back(value.substr(lo, hi - lo));
+    begin = end + 1;
+  }
+  for (const auto& item : items) {
+    if (item.empty()) {
+      throw util::ConfigError("malformed value for '" + e.key + "' (line " +
+                              std::to_string(e.line) +
+                              "): empty list item in '" + e.value + "'");
+    }
+  }
+  return items;
+}
+
+std::vector<solar::Location> parse_locations(const SpecEntry& e) {
+  std::vector<solar::Location> locations;
+  for (const auto& name : parse_list(e)) {
+    const solar::Location* location = solar::find_location(name);
+    if (location == nullptr) {
+      throw util::ConfigError(
+          "unknown location '" + name + "' for '" + e.key + "' (line " +
+          std::to_string(e.line) +
+          "); catalog: " + solar::location_catalog_names());
+    }
+    locations.push_back(*location);
+  }
+  return locations;
+}
+
+std::vector<solar::SizingCandidate> parse_ladder(const SpecEntry& e) {
+  std::vector<solar::SizingCandidate> ladder;
+  for (const auto& item : parse_list(e)) {
+    const std::size_t colon = item.find(':');
+    const auto fail = [&](const std::string& why) -> util::ConfigError {
+      return util::ConfigError("malformed value for '" + e.key +
+                               "' (line " + std::to_string(e.line) + "): " +
+                               why + " in rung '" + item +
+                               "' (expected <pv_wp>:<battery_wh>)");
+    };
+    if (colon == std::string::npos) throw fail("missing ':'");
+    // Reuse the strict scalar parser by wrapping each half in a
+    // synthetic entry carrying the original key and line.
+    SpecEntry half = e;
+    half.value = item.substr(0, colon);
+    solar::SizingCandidate rung;
+    try {
+      rung.pv_wp = util::parse_double(half);
+      half.value = item.substr(colon + 1);
+      rung.battery_wh = util::parse_double(half);
+    } catch (const util::ConfigError&) {
+      throw fail("unparsable number");
+    }
+    if (!(rung.pv_wp > 0.0) || !(rung.battery_wh > 0.0)) {
+      throw fail("non-positive size");
+    }
+    ladder.push_back(rung);
+  }
+  return ladder;
+}
+
 const std::vector<Field>& registry() {
   static const std::vector<Field> fields = {
       // ---- link / carrier --------------------------------------------
@@ -504,6 +580,37 @@ const std::vector<Field>& registry() {
        },
        [](Scenario& s, const SpecEntry& e) {
          s.sizing.plane.albedo = util::parse_double(e);
+       }},
+      {{"sizing.locations",
+        "comma-separated sizing sites from the named catalog "
+        "(paper: madrid,lyon,vienna,berlin); use ';' separators inside "
+        "sweep axis values"},
+       [](const Scenario& s) {
+         std::string names;
+         for (const auto& location : s.sizing_locations) {
+           if (!names.empty()) names += ',';
+           names += solar::location_spec_name(location);
+         }
+         return names;
+       },
+       [](Scenario& s, const SpecEntry& e) {
+         s.sizing_locations = parse_locations(e);
+       }},
+      {{"sizing.ladder",
+        "PV/battery candidates in cost order, <pv_wp>:<battery_wh> pairs "
+        "(paper: 540:720,...,720:2160); use ';' separators inside sweep "
+        "axis values"},
+       [](const Scenario& s) {
+         std::string rungs;
+         for (const auto& rung : s.sizing_ladder) {
+           if (!rungs.empty()) rungs += ',';
+           rungs += util::format_double(rung.pv_wp) + ':' +
+                    util::format_double(rung.battery_wh);
+         }
+         return rungs;
+       },
+       [](Scenario& s, const SpecEntry& e) {
+         s.sizing_ladder = parse_ladder(e);
        }},
   };
   return fields;

@@ -34,7 +34,8 @@ struct CellMetrics {
 };
 
 CellMetrics evaluate_metrics(const Scenario& scenario,
-                             const SweepRunOptions& options) {
+                             const SweepRunOptions& options,
+                             const std::vector<solar::SizingResult>* sized) {
   CellMetrics m;
   const PaperEvaluator evaluator(scenario);
 
@@ -100,13 +101,52 @@ CellMetrics evaluate_metrics(const Scenario& scenario,
           .value();
 
   if (options.include_sizing) {
-    const auto sized = evaluator.table4_sizing();
-    for (const auto& result : sized) {
+    // A caller-provided sizing result (the shard runner's batched
+    // simulation) is bit-identical to the per-cell evaluator path, so
+    // the reduced columns cannot depend on which route produced it.
+    const auto results = sized != nullptr ? *sized : evaluator.table4_sizing();
+    for (const auto& result : results) {
       m.sized_pv_wp_total += result.chosen.pv_wp;
       if (result.ladder_exhausted) ++m.ladder_exhausted;
     }
   }
   return m;
+}
+
+/// Render one cell row from an already-built scenario (and, for sizing
+/// runs, pre-computed sizing results).
+std::string render_row(const corridor::SweepPlan& plan, std::size_t index,
+                       const Scenario& scenario,
+                       const SweepRunOptions& options,
+                       const std::vector<solar::SizingResult>* sized) {
+  const CellMetrics m = evaluate_metrics(scenario, options, sized);
+
+  std::string row = util::format_u64(index);
+  const auto field = [&row](const std::string& value) {
+    row += ',';
+    row += value;
+  };
+  // Axis values verbatim from the plan: the row echoes the cell's
+  // coordinates exactly as declared, independent of field formatting.
+  for (const auto& value : plan.axis_values_at(index)) field(value);
+
+  field(util::format_int(m.max_n));
+  field(util::format_double(m.max_isd_m));
+  field(util::format_double(m.min_snr_at_max_db));
+  field(util::format_double(m.corridor_min_snr_db));
+  field(util::format_double(m.baseline_wh_km_h));
+  field(util::format_double(m.continuous_wh_km_h));
+  field(util::format_double(m.sleep_wh_km_h));
+  field(util::format_double(m.solar_wh_km_h));
+  field(util::format_double(m.sleep_savings));
+  field(util::format_double(m.solar_savings));
+  field(util::format_double(m.duty_at_max_isd));
+  field(util::format_double(m.lp_sleep_avg_w));
+  if (options.include_sizing) {
+    field(util::format_double(m.sized_pv_wp_total));
+    field(util::format_int(m.ladder_exhausted));
+  }
+  return row;
 }
 
 }  // namespace
@@ -137,34 +177,7 @@ std::string evaluate_sweep_cell(const corridor::SweepPlan& plan,
                                 std::size_t index,
                                 const SweepRunOptions& options) {
   const Scenario scenario = scenario_at(plan, index);
-  const CellMetrics m = evaluate_metrics(scenario, options);
-
-  std::string row = util::format_u64(index);
-  const auto field = [&row](const std::string& value) {
-    row += ',';
-    row += value;
-  };
-  // Axis values verbatim from the plan: the row echoes the cell's
-  // coordinates exactly as declared, independent of field formatting.
-  for (const auto& value : plan.axis_values_at(index)) field(value);
-
-  field(util::format_int(m.max_n));
-  field(util::format_double(m.max_isd_m));
-  field(util::format_double(m.min_snr_at_max_db));
-  field(util::format_double(m.corridor_min_snr_db));
-  field(util::format_double(m.baseline_wh_km_h));
-  field(util::format_double(m.continuous_wh_km_h));
-  field(util::format_double(m.sleep_wh_km_h));
-  field(util::format_double(m.solar_wh_km_h));
-  field(util::format_double(m.sleep_savings));
-  field(util::format_double(m.solar_savings));
-  field(util::format_double(m.duty_at_max_isd));
-  field(util::format_double(m.lp_sleep_avg_w));
-  if (options.include_sizing) {
-    field(util::format_double(m.sized_pv_wp_total));
-    field(util::format_int(m.ladder_exhausted));
-  }
-  return row;
+  return render_row(plan, index, scenario, options, nullptr);
 }
 
 std::string run_sweep_shard(const corridor::SweepPlan& plan,
@@ -174,11 +187,45 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
                          corridor::shard_header(
                              plan, sweep_metric_columns(options)) +
                          "\n";
-  // Cells run sequentially: each cell's evaluator already saturates the
-  // exec engine's thread pool (grid parallelism is what the shards are
-  // for), and sequential emission keeps the document trivially ordered.
-  for (const std::size_t index : shard.indices(plan.size())) {
-    document += evaluate_sweep_cell(plan, index, options) + "\n";
+  const auto indices = shard.indices(plan.size());
+
+  if (!options.include_sizing) {
+    // Cells run sequentially: each cell's evaluator already saturates
+    // the exec engine's thread pool (grid parallelism is what the
+    // shards are for), and sequential emission keeps the document
+    // trivially ordered.
+    for (const std::size_t index : indices) {
+      document += evaluate_sweep_cell(plan, index, options) + "\n";
+    }
+    return document;
+  }
+
+  // Sizing runs batch the off-grid simulations across the whole shard:
+  // every cell's (locations x ladder) grid goes into one size_jobs
+  // call, which synthesizes each distinct weather tuple once and steps
+  // all systems through it in SoA batches. Cells that vary only
+  // non-sizing axes therefore pay for weather once per location for
+  // the entire shard instead of once per cell. size_jobs results are
+  // bit-identical to the per-cell evaluator path, so the emitted rows
+  // are byte-identical to evaluate_sweep_cell's (the merge contract
+  // does not see the batching).
+  std::vector<Scenario> scenarios;
+  std::vector<solar::SizingJob> jobs;
+  scenarios.reserve(indices.size());
+  jobs.reserve(indices.size());
+  for (const std::size_t index : indices) {
+    Scenario scenario = scenario_at(plan, index);
+    jobs.push_back(solar::SizingJob{scenario.sizing_locations,
+                                    scenario.repeater_consumption_profile(),
+                                    scenario.sizing,
+                                    scenario.sizing_ladder});
+    scenarios.push_back(std::move(scenario));
+  }
+  const auto sized = solar::size_jobs(jobs);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    document +=
+        render_row(plan, indices[i], scenarios[i], options, &sized[i]) +
+        "\n";
   }
   return document;
 }

@@ -40,7 +40,11 @@ std::string evaluate_sweep_cell(const corridor::SweepPlan& plan,
                                 const SweepRunOptions& options = {});
 
 /// Evaluate a whole shard into a shard document (banner + header +
-/// ascending-index rows, one per owned cell).
+/// ascending-index rows, one per owned cell). With include_sizing the
+/// off-grid simulations of ALL owned cells run as one batched
+/// solar::size_jobs call (each distinct weather tuple synthesized once
+/// for the shard); the batching is bit-identical to the per-cell path,
+/// so the emitted rows byte-match evaluate_sweep_cell's.
 std::string run_sweep_shard(const corridor::SweepPlan& plan,
                             corridor::ShardSpec shard,
                             const SweepRunOptions& options = {});

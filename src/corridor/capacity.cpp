@@ -33,6 +33,10 @@ std::vector<CapacitySample> CapacityAnalyzer::profile(
       arange_inclusive(0.0, deployment.geometry.isd_m, sample_step_m_);
   std::vector<double> snr_db(positions.size());
   model.snr_batch(positions, snr_db);
+  // Shannon mapping as a second batched pass (bit-identical to the
+  // per-sample scalar path in the default accuracy mode).
+  std::vector<double> se(positions.size());
+  throughput_.spectral_efficiency_batch(snr_db, se);
 
   std::vector<CapacitySample> out(positions.size());
   const double bandwidth = link_config_.carrier.bandwidth_hz();
@@ -40,8 +44,8 @@ std::vector<CapacitySample> CapacityAnalyzer::profile(
     CapacitySample& s = out[i];
     s.position_m = positions[i];
     s.snr = Db(snr_db[i]);
-    s.spectral_efficiency = throughput_.spectral_efficiency(s.snr);
-    s.throughput_bps = throughput_.throughput_bps(s.snr, bandwidth);
+    s.spectral_efficiency = se[i];
+    s.throughput_bps = se[i] * bandwidth;
   }
   return out;
 }

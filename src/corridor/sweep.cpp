@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/vmath.hpp"
 
 namespace railcorr::corridor {
 
@@ -274,8 +275,18 @@ std::vector<std::size_t> ShardSpec::indices(std::size_t grid_size) const {
 }
 
 std::string shard_banner(const SweepPlan& plan) {
-  return "# railcorr-sweep-v1 fingerprint=" + hex16(plan.fingerprint()) +
-         " grid=" + std::to_string(plan.size());
+  std::string banner = "# railcorr-sweep-v1 fingerprint=" +
+                       hex16(plan.fingerprint()) +
+                       " grid=" + std::to_string(plan.size());
+  // Fast-accuracy runs are deterministic but not byte-stable against
+  // the default mode, so tag their documents: merge compares banners
+  // for equality and therefore rejects mixed-mode grids instead of
+  // reporting spurious cross-shard determinism violations. The default
+  // mode's banner is unchanged (byte-compatible with earlier releases).
+  if (vmath::active_accuracy_mode() == vmath::AccuracyMode::kFastUlp) {
+    banner += " accuracy=fast-ulp";
+  }
+  return banner;
 }
 
 std::string shard_header(const SweepPlan& plan,

@@ -1,10 +1,7 @@
 #include "rf/batch_kernel.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 
 #include "util/contracts.hpp"
 
@@ -12,66 +9,14 @@ namespace railcorr::rf {
 
 namespace {
 
-/// -1: no override; otherwise the forced SimdLevel.
-std::atomic<int> g_forced_level{-1};
-
-SimdLevel detected_level() {
-#if defined(RAILCORR_HAVE_AVX2)
-  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
-#endif
-  return SimdLevel::kScalar;
-}
-
-SimdLevel env_or_detected_level() {
-  // Cached once: the environment cannot change mid-process in a way we
-  // want to observe, and the hot paths query this per batch.
-  static const SimdLevel resolved = [] {
-    const char* env = std::getenv("RAILCORR_SIMD");
-    if (env != nullptr) {
-      if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
-      if (std::strcmp(env, "avx2") == 0 &&
-          detected_level() == SimdLevel::kAvx2) {
-        return SimdLevel::kAvx2;
-      }
-      // "auto" and unknown values fall through to detection.
-    }
-    return detected_level();
-  }();
-  return resolved;
+/// True when the dispatcher should take a `_fast` AVX2 kernel: fast
+/// accuracy mode requested and the AVX2+FMA lane is runnable.
+[[maybe_unused]] bool use_fast_kernels() {
+  return vmath::active_accuracy_mode() == vmath::AccuracyMode::kFastUlp &&
+         vmath::fast_avx2_active();
 }
 
 }  // namespace
-
-SimdLevel active_simd_level() {
-  const int forced = g_forced_level.load(std::memory_order_relaxed);
-  if (forced >= 0) {
-    const auto level = static_cast<SimdLevel>(forced);
-    // A forced level the build/CPU cannot run degrades to scalar.
-    if (level == SimdLevel::kAvx2 && detected_level() != SimdLevel::kAvx2) {
-      return SimdLevel::kScalar;
-    }
-    return level;
-  }
-  return env_or_detected_level();
-}
-
-void force_simd_level(SimdLevel level) {
-  g_forced_level.store(static_cast<int>(level), std::memory_order_relaxed);
-}
-
-void reset_simd_level() {
-  g_forced_level.store(-1, std::memory_order_relaxed);
-}
-
-std::string_view simd_level_name(SimdLevel level) {
-  switch (level) {
-    case SimdLevel::kAvx2:
-      return "avx2";
-    case SimdLevel::kScalar:
-      break;
-  }
-  return "scalar";
-}
 
 void snr_ratio_batch_scalar(const DownlinkTxSoA& tx,
                             std::span<const double> positions_m,
@@ -153,7 +98,11 @@ void snr_ratio_batch(const DownlinkTxSoA& tx,
                      std::span<double> out_ratio) {
 #if defined(RAILCORR_HAVE_AVX2)
   if (active_simd_level() == SimdLevel::kAvx2) {
-    snr_ratio_batch_avx2(tx, positions_m, out_ratio);
+    if (use_fast_kernels()) {
+      snr_ratio_batch_avx2_fast(tx, positions_m, out_ratio);
+    } else {
+      snr_ratio_batch_avx2(tx, positions_m, out_ratio);
+    }
     return;
   }
 #endif
@@ -166,7 +115,11 @@ void snr_ratio_masked_batch(const DownlinkTxSoA& tx,
                             std::span<double> out_ratio) {
 #if defined(RAILCORR_HAVE_AVX2)
   if (active_simd_level() == SimdLevel::kAvx2) {
-    snr_ratio_masked_batch_avx2(tx, active, positions_m, out_ratio);
+    if (use_fast_kernels()) {
+      snr_ratio_masked_batch_avx2_fast(tx, active, positions_m, out_ratio);
+    } else {
+      snr_ratio_masked_batch_avx2(tx, active, positions_m, out_ratio);
+    }
     return;
   }
 #endif
@@ -178,7 +131,11 @@ void uplink_best_ratio_batch(const UplinkTxSoA& tx,
                              std::span<double> out_ratio) {
 #if defined(RAILCORR_HAVE_AVX2)
   if (active_simd_level() == SimdLevel::kAvx2) {
-    uplink_best_ratio_batch_avx2(tx, positions_m, out_ratio);
+    if (use_fast_kernels()) {
+      uplink_best_ratio_batch_avx2_fast(tx, positions_m, out_ratio);
+    } else {
+      uplink_best_ratio_batch_avx2(tx, positions_m, out_ratio);
+    }
     return;
   }
 #endif

@@ -17,7 +17,18 @@
 /// `RAILCORR_ENABLE_AVX2`, default ON). `force_simd_level()` overrides
 /// the choice for tests and benchmarks, and the `RAILCORR_SIMD`
 /// environment variable (`scalar` / `avx2` / `auto`) overrides it for
-/// whole runs.
+/// whole runs. The dispatch machinery itself lives in util/vmath.hpp
+/// (one process-wide switch shared with the batched transcendentals)
+/// and is re-exported here under the historical rf:: names.
+///
+/// Accuracy modes: under the default vmath::AccuracyMode::kBitExact the
+/// kernels behave exactly as documented above (scalar and AVX2 lanes
+/// bit-identical). Under kFastUlp the AVX2 dispatch substitutes the
+/// `_fast` kernel variants, which replace IEEE division with the
+/// reciprocal-Newton form (vmath_detail.hpp) — each per-position ratio
+/// stays within 8 ULP of the bit-exact kernel's (property-tested in
+/// tests/rf/batch_kernel_test.cpp; < 4e-14 dB after conversion), but
+/// outputs are no longer byte-stable against the default mode.
 ///
 /// \par Thread safety
 /// The SoA structs are immutable after construction and may be shared
@@ -31,32 +42,22 @@
 #include <array>
 #include <cstddef>
 #include <span>
-#include <string_view>
 #include <vector>
+
+#include "util/vmath.hpp"
 
 namespace railcorr::rf {
 
-/// Instruction-set level a batch kernel runs at.
-enum class SimdLevel {
-  kScalar,  ///< portable C++ loop (auto-vectorizable)
-  kAvx2,    ///< 4-wide AVX2 intrinsics over positions
-};
-
-/// The level the dispatcher will use: a `force_simd_level` override if
-/// set, else the `RAILCORR_SIMD` environment variable, else the widest
-/// level the CPU and build support.
-[[nodiscard]] SimdLevel active_simd_level();
-
-/// Pin the dispatcher to `level` (ignored widths fall back to scalar if
-/// the build lacks the requested kernel). For tests and benchmarks.
-void force_simd_level(SimdLevel level);
-
-/// Drop any `force_simd_level` override; dispatch returns to automatic
-/// (environment variable, then CPU detection).
-void reset_simd_level();
-
-/// Human-readable name of a level ("scalar", "avx2").
-[[nodiscard]] std::string_view simd_level_name(SimdLevel level);
+/// \name SIMD dispatch (re-exported from util/vmath.hpp)
+/// One process-wide level switch governs the link kernels and the
+/// batched transcendentals alike; see vmath.hpp for semantics.
+///@{
+using vmath::SimdLevel;
+using vmath::active_simd_level;
+using vmath::force_simd_level;
+using vmath::reset_simd_level;
+using vmath::simd_level_name;
+///@}
 
 /// SoA transmitter constants of the downlink Eq. (2) kernel. With the
 /// near-field clamp d_eff = max(|d - position_m[i]|, min_distance_m):
@@ -149,6 +150,21 @@ void snr_ratio_masked_batch_avx2(const DownlinkTxSoA& tx,
 void uplink_best_ratio_batch_avx2(const UplinkTxSoA& tx,
                                   std::span<const double> positions_m,
                                   std::span<double> out_ratio);
+
+/// kFastUlp variants: identical arithmetic shape, but every IEEE
+/// division is the reciprocal-Newton form. Ratios within 8 ULP of the
+/// bit-exact kernels; reached by the dispatcher only when the active
+/// accuracy mode is kFastUlp and the CPU has FMA.
+void snr_ratio_batch_avx2_fast(const DownlinkTxSoA& tx,
+                               std::span<const double> positions_m,
+                               std::span<double> out_ratio);
+void snr_ratio_masked_batch_avx2_fast(const DownlinkTxSoA& tx,
+                                      std::span<const double> active,
+                                      std::span<const double> positions_m,
+                                      std::span<double> out_ratio);
+void uplink_best_ratio_batch_avx2_fast(const UplinkTxSoA& tx,
+                                       std::span<const double> positions_m,
+                                       std::span<double> out_ratio);
 #endif
 ///@}
 
@@ -164,10 +180,13 @@ void uplink_best_ratio_batch_avx2(const UplinkTxSoA& tx,
 inline constexpr std::size_t kBatchBlock = 256;
 
 /// Evaluate `kernel(block_positions, block_ratios)` over fixed-size
-/// blocks of `positions_m` and feed every ratio to `consume` in order.
-template <typename Kernel, typename Consume>
-void blocked_ratios(std::span<const double> positions_m, Kernel&& kernel,
-                    Consume&& consume) {
+/// blocks of `positions_m` and hand each ratio block to `consume_block`
+/// (a span of up to kBatchBlock ratios, in position order). The block
+/// form lets callers run a batched pass (e.g. a vmath dB conversion)
+/// per block instead of per element.
+template <typename Kernel, typename ConsumeBlock>
+void blocked_ratio_blocks(std::span<const double> positions_m,
+                          Kernel&& kernel, ConsumeBlock&& consume_block) {
   std::array<double, kBatchBlock> ratios;
   for (std::size_t begin = 0; begin < positions_m.size();
        begin += kBatchBlock) {
@@ -175,17 +194,28 @@ void blocked_ratios(std::span<const double> positions_m, Kernel&& kernel,
         std::min(kBatchBlock, positions_m.size() - begin);
     kernel(positions_m.subspan(begin, count),
            std::span<double>(ratios.data(), count));
-    for (std::size_t i = 0; i < count; ++i) consume(ratios[i]);
+    consume_block(std::span<const double>(ratios.data(), count));
   }
+}
+
+/// Per-element wrapper: feed every ratio to `consume` in order.
+template <typename Kernel, typename Consume>
+void blocked_ratios(std::span<const double> positions_m, Kernel&& kernel,
+                    Consume&& consume) {
+  blocked_ratio_blocks(positions_m, kernel,
+                       [&](std::span<const double> block) {
+                         for (const double r : block) consume(r);
+                       });
 }
 
 /// Same over the generated arithmetic scan `lo, lo+step, ...` up to
 /// `hi + step/2`, with every sample clamped to `hi` (the historical
 /// scalar sampling sequence of the range-based min/mean overloads:
 /// accumulated steps, end clamp).
-template <typename Kernel, typename Consume>
-void blocked_range_ratios(double lo_m, double hi_m, double step_m,
-                          Kernel&& kernel, Consume&& consume) {
+template <typename Kernel, typename ConsumeBlock>
+void blocked_range_ratio_blocks(double lo_m, double hi_m, double step_m,
+                                Kernel&& kernel,
+                                ConsumeBlock&& consume_block) {
   std::array<double, kBatchBlock> positions;
   std::array<double, kBatchBlock> ratios;
   double d = lo_m;
@@ -197,8 +227,18 @@ void blocked_range_ratios(double lo_m, double hi_m, double step_m,
     }
     kernel(std::span<const double>(positions.data(), count),
            std::span<double>(ratios.data(), count));
-    for (std::size_t i = 0; i < count; ++i) consume(ratios[i]);
+    consume_block(std::span<const double>(ratios.data(), count));
   }
+}
+
+/// Per-element wrapper of the range scan.
+template <typename Kernel, typename Consume>
+void blocked_range_ratios(double lo_m, double hi_m, double step_m,
+                          Kernel&& kernel, Consume&& consume) {
+  blocked_range_ratio_blocks(lo_m, hi_m, step_m, kernel,
+                             [&](std::span<const double> block) {
+                               for (const double r : block) consume(r);
+                             });
 }
 ///@}
 

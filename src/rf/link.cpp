@@ -1,12 +1,14 @@
 #include "rf/link.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "util/constants.hpp"
 #include "util/contracts.hpp"
+#include "util/vmath.hpp"
 
 namespace railcorr::rf {
 
@@ -74,10 +76,13 @@ CorridorLinkModel::CorridorLinkModel(LinkModelConfig config,
 void CorridorLinkModel::snr_batch(std::span<const double> positions_m,
                                   std::span<double> out_snr_db) const {
   RAILCORR_EXPECTS(out_snr_db.size() == positions_m.size());
-  // Linear ratios land in the output slots; one log10 pass converts in
-  // place (this is why `out_snr_db` must not alias `positions_m`).
+  // Linear ratios land in the output slots; one batched dB pass
+  // converts in place (this is why `out_snr_db` must not alias
+  // `positions_m`). Under the default accuracy mode the pass is the
+  // historical 10*log10 libm loop bit for bit; under kFastUlp it is the
+  // polynomial SIMD conversion (vmath.hpp).
   snr_ratio_batch(soa_, positions_m, out_snr_db);
-  for (double& v : out_snr_db) v = 10.0 * std::log10(v);
+  vmath::ratio_to_db_batch(out_snr_db, out_snr_db);
 }
 
 void CorridorLinkModel::snr_batch(std::span<const double> positions_m,
@@ -86,10 +91,12 @@ void CorridorLinkModel::snr_batch(std::span<const double> positions_m,
   RAILCORR_EXPECTS(out_snr_db.size() == positions_m.size());
   RAILCORR_EXPECTS(active.size() == transmitters_.size());
   snr_ratio_masked_batch(soa_, active, positions_m, out_snr_db);
+  vmath::ratio_to_db_batch(out_snr_db, out_snr_db);
   for (double& v : out_snr_db) {
-    // A fully dark corridor has zero signal; report the scalar masked
-    // path's floor instead of -inf.
-    v = v > 0.0 ? 10.0 * std::log10(v) : -200.0;
+    // A fully dark corridor has zero signal, whose ratio converts to
+    // -inf; report the scalar masked path's floor instead. (Positive
+    // ratios always convert to finite dB, so only true zeros hit this.)
+    if (std::isinf(v)) v = -200.0;
   }
 }
 
@@ -208,14 +215,22 @@ Db CorridorLinkModel::mean_snr_db(double lo_m, double hi_m,
   RAILCORR_EXPECTS(step_m > 0.0);
   RAILCORR_EXPECTS(hi_m >= lo_m);
   // dB-domain sum in position order: deterministic and identical to
-  // the historical per-position loop.
+  // the historical per-position loop. Each ratio block converts to dB
+  // through one batched vmath pass (libm loop in the default mode,
+  // polynomial SIMD under kFastUlp) before the ordered accumulation.
   double sum = 0.0;
   std::size_t n = 0;
-  blocked_range_ratios(lo_m, hi_m, step_m, bound_kernel(soa_),
-                       [&](double ratio) {
-                         sum += 10.0 * std::log10(ratio);
-                         ++n;
-                       });
+  std::array<double, kBatchBlock> db;
+  blocked_range_ratio_blocks(
+      lo_m, hi_m, step_m, bound_kernel(soa_),
+      [&](std::span<const double> ratios) {
+        const std::span<double> out(db.data(), ratios.size());
+        vmath::ratio_to_db_batch(ratios, out);
+        for (const double v : out) {
+          sum += v;
+          ++n;
+        }
+      });
   RAILCORR_ENSURES(n > 0);
   return Db(sum / static_cast<double>(n));
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/vmath.hpp"
 
 namespace railcorr::rf {
 
@@ -16,6 +17,27 @@ double ThroughputModel::spectral_efficiency(Db snr) const {
   if (snr < snr_min_) return 0.0;
   const double se = alpha_ * std::log2(1.0 + snr.linear());
   return se >= se_max_ ? se_max_ : se;
+}
+
+void ThroughputModel::spectral_efficiency_batch(
+    std::span<const double> snr_db, std::span<double> out_se) const {
+  RAILCORR_EXPECTS(out_se.size() == snr_db.size());
+  // Same call sequence as the scalar path, batched: linear ratio
+  // (Db::linear is pow(10, v/10), which db_to_ratio_batch reproduces in
+  // the default mode), 1 + x, attenuated Shannon log2, then the SNR_MIN
+  // and SE_MAX clamps per element.
+  vmath::db_to_ratio_batch(snr_db, out_se);
+  for (double& v : out_se) v = 1.0 + v;
+  vmath::log2_batch(out_se, out_se);
+  const double snr_min = snr_min_.value();
+  for (std::size_t i = 0; i < out_se.size(); ++i) {
+    if (snr_db[i] < snr_min) {
+      out_se[i] = 0.0;
+      continue;
+    }
+    const double se = alpha_ * out_se[i];
+    out_se[i] = se >= se_max_ ? se_max_ : se;
+  }
 }
 
 double ThroughputModel::throughput_bps(Db snr, double bandwidth_hz) const {

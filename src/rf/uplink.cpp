@@ -9,6 +9,7 @@
 #include "exec/parallel.hpp"
 #include "util/constants.hpp"
 #include "util/contracts.hpp"
+#include "util/vmath.hpp"
 
 namespace railcorr::rf {
 
@@ -126,7 +127,9 @@ void UplinkModel::snr_batch(std::span<const double> positions_m,
                             std::span<double> out_snr_db) const {
   RAILCORR_EXPECTS(out_snr_db.size() == positions_m.size());
   uplink_best_ratio_batch(soa_, positions_m, out_snr_db);
-  for (double& v : out_snr_db) v = 10.0 * std::log10(v);
+  // Batched dB pass: the historical 10*log10 libm loop bit for bit in
+  // the default accuracy mode, polynomial SIMD under kFastUlp.
+  vmath::ratio_to_db_batch(out_snr_db, out_snr_db);
 }
 
 Db UplinkModel::min_snr(std::span<const double> positions_m) const {

@@ -104,6 +104,10 @@ class UplinkModel {
 
   [[nodiscard]] const UplinkBudget& budget() const { return budget_; }
 
+  /// The per-path constants in SoA layout, as consumed by the SIMD
+  /// batch kernels (mirrors CorridorLinkModel::soa()).
+  [[nodiscard]] const UplinkTxSoA& soa() const { return soa_; }
+
  private:
   /// Per-subcarrier uplink RSTP of the terminal.
   [[nodiscard]] Dbm ue_rstp() const;

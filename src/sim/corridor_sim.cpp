@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <span>
 #include <utility>
 
 #include "exec/parallel.hpp"
@@ -237,18 +239,77 @@ SimulationReport CorridorSimulation::run_day(Rng rng) const {
   // ---- Run ------------------------------------------------------------
   queue.run_all();
 
-  // ---- Reduce the QoS log (event order == sample order) ---------------
-  std::vector<double> snr_db;
-  for (const auto& run : qos_runs) {
-    snr_db.resize(run.positions.size());
-    link.snr_batch(run.positions, run.active, snr_db);
-    for (const double v : snr_db) {
-      report.train_snr_db.add(v);
-      report.train_spectral_efficiency.add(
-          config_.throughput.spectral_efficiency(Db(v)));
-      if (Db(v) < peak_threshold) {
-        report.degraded_seconds += config_.qos_sample_period_s;
+  // ---- Reduce the QoS log (order-restoring mask-grouped reduction) ----
+  // Heavy detector-failure churn fragments the chronological log into
+  // many short same-mask runs. Sorting run indices by mask groups those
+  // fragments across trains, so each distinct transmitter mask feeds
+  // the masked SoA kernel one long batch instead of many short ones;
+  // the per-sample results scatter back into chronological slots and
+  // every statistic still accumulates in the scalar path's sample
+  // order. Each sample's SNR depends only on its own (position, mask),
+  // so the regrouping is bit-identical to the run-by-run evaluation.
+  std::size_t total_samples = 0;
+  std::vector<std::size_t> run_offset(qos_runs.size());
+  for (std::size_t i = 0; i < qos_runs.size(); ++i) {
+    run_offset[i] = total_samples;
+    total_samples += qos_runs[i].positions.size();
+  }
+  std::vector<std::size_t> order(qos_runs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return qos_runs[a].active < qos_runs[b].active;
+                   });
+
+  std::vector<double> snr_db(total_samples);
+  std::vector<double> group_positions;
+  std::vector<double> group_snr;
+  for (std::size_t g = 0; g < order.size();) {
+    std::size_t g_end = g + 1;
+    while (g_end < order.size() &&
+           qos_runs[order[g_end]].active == qos_runs[order[g]].active) {
+      ++g_end;
+    }
+    const auto& mask = qos_runs[order[g]].active;
+    if (g_end == g + 1) {
+      // Lone mask: evaluate in place, no concatenation copy.
+      const auto& run = qos_runs[order[g]];
+      link.snr_batch(run.positions, mask,
+                     std::span<double>(snr_db)
+                         .subspan(run_offset[order[g]],
+                                  run.positions.size()));
+    } else {
+      group_positions.clear();
+      for (std::size_t k = g; k < g_end; ++k) {
+        const auto& run = qos_runs[order[k]];
+        group_positions.insert(group_positions.end(),
+                               run.positions.begin(),
+                               run.positions.end());
       }
+      group_snr.resize(group_positions.size());
+      link.snr_batch(group_positions, mask, group_snr);
+      std::size_t consumed = 0;
+      for (std::size_t k = g; k < g_end; ++k) {
+        const auto& run = qos_runs[order[k]];
+        std::copy_n(group_snr.begin() + static_cast<std::ptrdiff_t>(consumed),
+                    run.positions.size(),
+                    snr_db.begin() +
+                        static_cast<std::ptrdiff_t>(run_offset[order[k]]));
+        consumed += run.positions.size();
+      }
+    }
+    g = g_end;
+  }
+
+  // Shannon SE as one batched pass over the whole day, then the
+  // chronological statistics sweep.
+  std::vector<double> se(total_samples);
+  config_.throughput.spectral_efficiency_batch(snr_db, se);
+  for (std::size_t i = 0; i < total_samples; ++i) {
+    report.train_snr_db.add(snr_db[i]);
+    report.train_spectral_efficiency.add(se[i]);
+    if (Db(snr_db[i]) < peak_threshold) {
+      report.degraded_seconds += config_.qos_sample_period_s;
     }
   }
   const double t_end =

@@ -11,13 +11,20 @@ namespace railcorr::solar {
 /// A simple energy-reservoir battery model.
 class Battery {
  public:
+  /// Default round-trip efficiencies, shared with the SoA batched
+  /// off-grid engine (solar/offgrid.hpp) so both paths run the exact
+  /// same arithmetic.
+  static constexpr double kDefaultChargeEfficiency = 0.95;
+  static constexpr double kDefaultDischargeEfficiency = 0.95;
+
   /// \param capacity_wh      nameplate capacity [Wh], > 0
   /// \param cutoff_fraction  discharge cutoff as a fraction of capacity in
   ///                         [0, 1): state of charge never drops below it
   /// \param charge_efficiency    energy retained when charging, in (0, 1]
   /// \param discharge_efficiency energy delivered per stored energy, (0, 1]
   Battery(double capacity_wh, double cutoff_fraction = 0.4,
-          double charge_efficiency = 0.95, double discharge_efficiency = 0.95);
+          double charge_efficiency = kDefaultChargeEfficiency,
+          double discharge_efficiency = kDefaultDischargeEfficiency);
 
   /// Current state of charge [Wh]; starts full.
   [[nodiscard]] WattHours state_of_charge() const { return soc_; }

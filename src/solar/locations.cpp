@@ -1,5 +1,7 @@
 #include "solar/locations.hpp"
 
+#include <cctype>
+
 #include "solar/geometry.hpp"
 #include "util/constants.hpp"
 #include "util/contracts.hpp"
@@ -65,8 +67,58 @@ const Location& berlin() {
   return kLoc;
 }
 
+const Location& oslo() {
+  static const Location kLoc{
+      "Oslo",
+      59.91,
+      10.75,
+      {300, 900, 2100, 3600, 5000, 5400, 5100, 4000, 2500, 1200, 500, 200}};
+  return kLoc;
+}
+
+const Location& sevilla() {
+  static const Location kLoc{
+      "Sevilla",
+      37.39,
+      -5.99,
+      {2400, 3400, 4700, 5800, 6800, 7600, 7800, 7000, 5500, 3900, 2600,
+       2100}};
+  return kLoc;
+}
+
 std::vector<Location> paper_locations() {
   return {madrid(), lyon(), vienna(), berlin()};
+}
+
+const std::vector<Location>& location_catalog() {
+  static const std::vector<Location> kCatalog = {
+      madrid(), lyon(), vienna(), berlin(), oslo(), sevilla()};
+  return kCatalog;
+}
+
+std::string location_spec_name(const Location& location) {
+  std::string name = location.name;
+  for (char& c : name) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
+const Location* find_location(std::string_view name) {
+  for (const auto& location : location_catalog()) {
+    if (location_spec_name(location) == name) return &location;
+  }
+  return nullptr;
+}
+
+std::string location_catalog_names() {
+  std::string names;
+  for (const auto& location : location_catalog()) {
+    if (!names.empty()) names += ", ";
+    names += location_spec_name(location);
+  }
+  return names;
 }
 
 }  // namespace railcorr::solar

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace railcorr::solar {
@@ -41,7 +42,26 @@ const Location& lyon();
 const Location& vienna();
 const Location& berlin();
 
-/// All four, in the paper's column order.
+/// Additional climate rows for studies beyond the paper's four sites:
+/// a Nordic winter-limited resource and a southern-Iberian one.
+const Location& oslo();
+const Location& sevilla();
+
+/// All four paper sites, in the paper's column order.
 std::vector<Location> paper_locations();
+
+/// Every named location (paper sites first, then the extra climates) —
+/// the catalog behind the ScenarioSpec `sizing.locations` key.
+const std::vector<Location>& location_catalog();
+
+/// Catalog lookup by spec name (the lowercase site name, e.g.
+/// "madrid"); nullptr when unknown.
+const Location* find_location(std::string_view name);
+
+/// The spec name of a location (its name lowercased).
+std::string location_spec_name(const Location& location);
+
+/// Comma-separated catalog names, for error messages.
+std::string location_catalog_names();
 
 }  // namespace railcorr::solar

@@ -1,10 +1,123 @@
 #include "solar/offgrid.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "solar/battery.hpp"
 #include "util/contracts.hpp"
 
 namespace railcorr::solar {
+
+std::vector<DailyIrradiance> synthesize_days(const Location& location,
+                                             const PlaneOfArray& plane,
+                                             const WeatherModel& weather,
+                                             std::uint64_t seed, int years) {
+  RAILCORR_EXPECTS(years >= 1);
+  IrradianceSynthesizer synth(location, plane, weather);
+  Rng rng(seed);
+  std::vector<DailyIrradiance> days;
+  days.reserve(static_cast<std::size_t>(years) * 365);
+  for (int y = 0; y < years; ++y) {
+    auto year = synth.synthesize_year(rng);
+    days.insert(days.end(), year.begin(), year.end());
+  }
+  return days;
+}
+
+std::vector<OffGridReport> simulate_cases(
+    std::span<const DailyIrradiance> days,
+    std::span<const OffGridCase> cases) {
+  RAILCORR_EXPECTS(!days.empty());
+  const std::size_t n = cases.size();
+  std::vector<OffGridReport> reports(n);
+  if (n == 0) return reports;
+
+  // SoA battery/report state over the cases: the per-hour update below
+  // is the exact arithmetic of Battery::charge / Battery::discharge and
+  // the historical per-system day loop, evaluated per case in
+  // chronological order — so each slot of the result is bit-identical
+  // to an independent OffGridSimulator run over the same days.
+  constexpr double kChargeEff = Battery::kDefaultChargeEfficiency;
+  constexpr double kDischargeEff = Battery::kDefaultDischargeEfficiency;
+  std::vector<double> soc(n);          // state of charge [Wh]; starts full
+  std::vector<double> capacity(n);
+  std::vector<double> cutoff_wh(n);    // cutoff_fraction * capacity
+  std::vector<double> full_level(n);   // capacity * (1 - 1e-9)
+  std::vector<double> pv_wp(n);
+  std::vector<double> one_minus_loss(n);
+  std::vector<int> full_days(n, 0);
+  std::vector<unsigned char> reached_full(n), any_unmet(n);
+
+  for (std::size_t c = 0; c < n; ++c) {
+    const OffGridSystem& system = cases[c].system;
+    RAILCORR_EXPECTS(system.battery_capacity_wh > 0.0);
+    RAILCORR_EXPECTS(system.battery_cutoff >= 0.0 &&
+                     system.battery_cutoff < 1.0);
+    soc[c] = system.battery_capacity_wh;
+    capacity[c] = system.battery_capacity_wh;
+    cutoff_wh[c] = system.battery_cutoff * system.battery_capacity_wh;
+    full_level[c] = system.battery_capacity_wh * (1.0 - 1e-9);
+    pv_wp[c] = system.array.peak_power_wp();
+    one_minus_loss[c] = 1.0 - system.array.system_loss();
+  }
+
+  for (const auto& day : days) {
+    std::fill(reached_full.begin(), reached_full.end(),
+              static_cast<unsigned char>(0));
+    std::fill(any_unmet.begin(), any_unmet.end(),
+              static_cast<unsigned char>(0));
+    for (int h = 0; h < 24; ++h) {
+      const double poa = day.poa_wh_m2[static_cast<std::size_t>(h)];
+      for (std::size_t c = 0; c < n; ++c) {
+        OffGridReport& report = reports[c];
+        // PvArray::hourly_energy, with (1 - loss) hoisted (same value
+        // every hour, so the product is unchanged).
+        const double pv = pv_wp[c] * poa / 1000.0 * one_minus_loss[c];
+        const double load =
+            cases[c].consumption.hourly_watts[static_cast<std::size_t>(h)];
+        report.annual_pv_energy += WattHours(pv);
+        report.annual_load += WattHours(load);
+
+        if (pv >= load) {
+          // Battery::charge on the surplus; the load is served directly.
+          const double stored_if_all = (pv - load) * kChargeEff;
+          const double headroom = capacity[c] - soc[c];
+          const double stored = std::min(stored_if_all, headroom);
+          soc[c] += stored;
+          report.curtailed_energy +=
+              WattHours((stored_if_all - stored) / kChargeEff);
+        } else {
+          // Battery::discharge toward the deficit.
+          const double deficit = load - pv;
+          const double wanted_from_cells = deficit / kDischargeEff;
+          const double available = std::max(0.0, soc[c] - cutoff_wh[c]);
+          const double drawn = std::min(wanted_from_cells, available);
+          soc[c] -= drawn;
+          const double delivered = drawn * kDischargeEff;
+          if (delivered < deficit - 1e-9) {
+            any_unmet[c] = 1;
+            ++report.downtime_hours;
+            report.unserved_energy += WattHours(deficit - delivered);
+          }
+        }
+        if (soc[c] >= full_level[c]) reached_full[c] = 1;
+        report.min_soc_fraction =
+            std::min(report.min_soc_fraction, soc[c] / capacity[c]);
+      }
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      if (reached_full[c] != 0) ++full_days[c];
+      if (any_unmet[c] != 0) ++reports[c].downtime_days;
+    }
+  }
+
+  for (std::size_t c = 0; c < n; ++c) {
+    reports[c].days_with_full_battery_pct =
+        100.0 * static_cast<double>(full_days[c]) /
+        static_cast<double>(days.size());
+  }
+  return reports;
+}
 
 OffGridSimulator::OffGridSimulator(Location location, OffGridSystem system,
                                    ConsumptionProfile consumption,
@@ -16,66 +129,21 @@ OffGridSimulator::OffGridSimulator(Location location, OffGridSystem system,
   RAILCORR_EXPECTS(system_.battery_capacity_wh > 0.0);
 }
 
-OffGridReport OffGridSimulator::run(
-    const std::vector<DailyIrradiance>& days) const {
-  Battery battery(system_.battery_capacity_wh, system_.battery_cutoff);
-  OffGridReport report;
-  int full_days = 0;
-
-  for (const auto& day : days) {
-    bool reached_full = false;
-    bool any_unmet = false;
-    for (int h = 0; h < 24; ++h) {
-      const WattHours pv = system_.array.hourly_energy(
-          day.poa_wh_m2[static_cast<std::size_t>(h)]);
-      const WattHours load(
-          consumption_.hourly_watts[static_cast<std::size_t>(h)]);
-      report.annual_pv_energy += pv;
-      report.annual_load += load;
-
-      if (pv >= load) {
-        // Surplus charges the battery; the load is served directly.
-        const WattHours surplus = pv - load;
-        report.curtailed_energy += battery.charge(surplus);
-      } else {
-        const WattHours deficit = load - pv;
-        const WattHours delivered = battery.discharge(deficit);
-        if (delivered < deficit - WattHours(1e-9)) {
-          any_unmet = true;
-          ++report.downtime_hours;
-          report.unserved_energy += deficit - delivered;
-        }
-      }
-      if (battery.is_full()) reached_full = true;
-      report.min_soc_fraction =
-          std::min(report.min_soc_fraction, battery.soc_fraction());
-    }
-    if (reached_full) ++full_days;
-    if (any_unmet) ++report.downtime_days;
-  }
-
-  report.days_with_full_battery_pct =
-      100.0 * static_cast<double>(full_days) /
-      static_cast<double>(days.size());
-  return report;
+OffGridReport OffGridSimulator::simulate_days(
+    std::span<const DailyIrradiance> days) const {
+  const OffGridCase single{system_, consumption_};
+  return simulate_cases(days, std::span<const OffGridCase>(&single, 1))
+      .front();
 }
 
 OffGridReport OffGridSimulator::simulate(std::uint64_t seed, int years) const {
-  RAILCORR_EXPECTS(years >= 1);
-  IrradianceSynthesizer synth(location_, system_.plane, weather_);
-  Rng rng(seed);
-  std::vector<DailyIrradiance> days;
-  days.reserve(static_cast<std::size_t>(years) * 365);
-  for (int y = 0; y < years; ++y) {
-    auto year = synth.synthesize_year(rng);
-    days.insert(days.end(), year.begin(), year.end());
-  }
-  return run(days);
+  return simulate_days(
+      synthesize_days(location_, system_.plane, weather_, seed, years));
 }
 
 OffGridReport OffGridSimulator::simulate_mean_year() const {
   IrradianceSynthesizer synth(location_, system_.plane, weather_);
-  return run(synth.synthesize_mean_year());
+  return simulate_days(synth.synthesize_mean_year());
 }
 
 }  // namespace railcorr::solar

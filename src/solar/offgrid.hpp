@@ -3,6 +3,7 @@
 ///        powering a repeater node — the engine behind Table IV.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "solar/battery.hpp"
@@ -46,6 +47,36 @@ struct OffGridReport {
   [[nodiscard]] bool continuous_operation() const { return downtime_hours == 0; }
 };
 
+/// The synthesized day sequence OffGridSimulator::simulate evaluates
+/// for (location, plane, weather, seed, years): `years` stochastic
+/// weather years from one RNG stream, concatenated. Exposed so callers
+/// evaluating many systems against the same climate (the sizing ladder,
+/// sizing sweeps across scenario cells) can synthesize the weather once
+/// — synthesis is the dominant per-simulation cost — and share it
+/// across every system via simulate_cases.
+[[nodiscard]] std::vector<DailyIrradiance> synthesize_days(
+    const Location& location, const PlaneOfArray& plane,
+    const WeatherModel& weather, std::uint64_t seed, int years);
+
+/// One system of a batched off-grid run. The weather (and with it the
+/// mounting plane) is supplied by the caller's day sequence, so
+/// `system.plane` is not consulted here.
+struct OffGridCase {
+  OffGridSystem system;
+  ConsumptionProfile consumption;
+};
+
+/// Batched off-grid simulation: every case steps hour-by-hour through
+/// the same shared `days`, with the per-case battery/report state held
+/// in SoA arrays (cases are the vectorizable inner dimension). Each
+/// case's report is bit-identical to running OffGridSimulator over the
+/// same days on its own — per-hour updates touch only that case's
+/// state, in chronological order — which is what lets sweep grids
+/// collapse N independent simulations into one batched pass.
+[[nodiscard]] std::vector<OffGridReport> simulate_cases(
+    std::span<const DailyIrradiance> days,
+    std::span<const OffGridCase> cases);
+
 /// Simulates an off-grid system through a synthetic weather year.
 class OffGridSimulator {
  public:
@@ -55,18 +86,22 @@ class OffGridSimulator {
 
   /// Run `years` weather years (each 365 days) with the given seed; the
   /// report aggregates all simulated days. More years = tighter estimate
-  /// of the rare-event downtime statistics.
+  /// of the rare-event downtime statistics. Equivalent to simulate_days
+  /// over synthesize_days(location, system.plane, weather, seed, years).
   [[nodiscard]] OffGridReport simulate(std::uint64_t seed, int years = 1) const;
 
   /// Run a single deterministic mean-climatology year (no weather noise).
   [[nodiscard]] OffGridReport simulate_mean_year() const;
 
+  /// Run this system/consumption over caller-provided days (shared
+  /// weather); the single-case view of simulate_cases.
+  [[nodiscard]] OffGridReport simulate_days(
+      std::span<const DailyIrradiance> days) const;
+
   [[nodiscard]] const OffGridSystem& system() const { return system_; }
   [[nodiscard]] const Location& location() const { return location_; }
 
  private:
-  [[nodiscard]] OffGridReport run(const std::vector<DailyIrradiance>& days) const;
-
   Location location_;
   OffGridSystem system_;
   ConsumptionProfile consumption_;

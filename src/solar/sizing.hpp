@@ -7,6 +7,7 @@
 /// doubles the battery and/or moves to slightly larger modules (600 Wp).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "solar/offgrid.hpp"
@@ -50,15 +51,15 @@ SizingResult size_for_location(const Location& location,
                                const std::vector<SizingCandidate>& ladder =
                                    paper_sizing_ladder());
 
-/// Size many locations at once: the full locations x ladder grid is an
-/// independent set of off-grid simulations (like the ISD sweep's grid),
-/// evaluated through exec::parallel_map and reduced per location in
-/// ladder order. Results are identical to calling size_for_location
-/// per site — every simulation cell depends only on its fixed seed —
-/// and bit-identical at any thread count. When no concurrency is
-/// available (one thread, or called from inside a parallel region) the
-/// sequential early-exit walk runs instead: same results, fewer
-/// simulations.
+/// Size many locations at once. The weather years are synthesized once
+/// per location (synthesis dominates each simulation) and every ladder
+/// candidate steps through them in one SoA batch (simulate_cases);
+/// locations evaluate through exec::parallel_map. Results are identical
+/// to calling size_for_location per site — every cell depends only on
+/// its fixed seed — and bit-identical at any thread count. When no
+/// concurrency is available (one thread, or called from inside a
+/// parallel region) the sequential early-exit walk runs instead: same
+/// results, fewer simulations.
 std::vector<SizingResult> size_locations(
     const std::vector<Location>& locations,
     const ConsumptionProfile& consumption,
@@ -69,5 +70,27 @@ std::vector<SizingResult> size_locations(
 std::vector<SizingResult> size_paper_locations(
     const ConsumptionProfile& consumption,
     const SizingOptions& options = SizingOptions{});
+
+/// One study of a batched sizing run: a locations x ladder grid with
+/// its own consumption profile and options — e.g. one `--include-sizing`
+/// sweep cell.
+struct SizingJob {
+  std::vector<Location> locations;
+  ConsumptionProfile consumption;
+  SizingOptions options;
+  std::vector<SizingCandidate> ladder = paper_sizing_ladder();
+};
+
+/// Run many sizing studies as ONE batched simulation: the weather-year
+/// sequence is synthesized once per distinct (location, plane, weather,
+/// seed, years) tuple across ALL jobs, and every system sharing a tuple
+/// steps through it in a single SoA pass. Sweep grids whose cells vary
+/// only non-sizing axes therefore pay for each location's weather once
+/// for the whole grid instead of once per cell. `result[j]` equals
+/// `size_locations(jobs[j].locations, ...)` element-wise, bit for bit
+/// (the full-grid reduction and the early-exit walk choose identical
+/// configurations by construction).
+std::vector<std::vector<SizingResult>> size_jobs(
+    std::span<const SizingJob> jobs);
 
 }  // namespace railcorr::solar

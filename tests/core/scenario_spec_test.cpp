@@ -175,5 +175,68 @@ TEST(ScenarioRegistry, PaperEntryReproducesRunAllExactly) {
   }
 }
 
+// ---- sizing locations & ladder as data ---------------------------------
+
+TEST(ScenarioSpec, SizingLocationsAndLadderRoundTrip) {
+  const Scenario s = scenario_from_spec(
+      "sizing.locations = oslo, madrid\n"
+      "sizing.ladder = 360:720,720:2880\n");
+  ASSERT_EQ(s.sizing_locations.size(), 2u);
+  EXPECT_EQ(s.sizing_locations[0].name, "Oslo");
+  EXPECT_EQ(s.sizing_locations[1].name, "Madrid");
+  ASSERT_EQ(s.sizing_ladder.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.sizing_ladder[0].pv_wp, 360.0);
+  EXPECT_DOUBLE_EQ(s.sizing_ladder[1].battery_wh, 2880.0);
+  // Serde fixed point with the non-default lists in place.
+  const std::string text = to_spec(s);
+  EXPECT_EQ(to_spec(scenario_from_spec(text)), text);
+  EXPECT_NE(text.find("sizing.locations = oslo,madrid\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sizing.ladder = 360:720,720:2880\n"),
+            std::string::npos);
+
+  // ';' is an equivalent item separator (the spelling that survives the
+  // sweep axis parser's comma split), normalized to ',' on output.
+  const Scenario semi = scenario_from_spec(
+      "sizing.locations = oslo;madrid\n"
+      "sizing.ladder = 360:720;720:2880\n");
+  EXPECT_EQ(to_spec(semi), text);
+}
+
+TEST(ScenarioSpec, SizingListErrorsNameKeyAndCatalog) {
+  Scenario s = Scenario::paper();
+  try {
+    apply_spec(s, "sizing.locations = madrid,atlantis\n");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("atlantis"), std::string::npos);
+    EXPECT_NE(what.find("oslo"), std::string::npos);  // catalog listed
+  }
+  EXPECT_THROW(apply_spec(s, "sizing.ladder = 540-720\n"),
+               util::ConfigError);
+  EXPECT_THROW(apply_spec(s, "sizing.ladder = 540:abc\n"),
+               util::ConfigError);
+  EXPECT_THROW(apply_spec(s, "sizing.ladder = 0:720\n"),
+               util::ConfigError);
+  EXPECT_THROW(apply_spec(s, "sizing.locations = ,\n"),
+               util::ConfigError);
+}
+
+TEST(ScenarioRegistry, ClimateVariantsAreDataRows) {
+  // The arctic and Iberian studies must land entirely through the spec
+  // layer: catalog locations and ladder rungs, no C++ constants.
+  const Scenario arctic = make_scenario("arctic-climate");
+  ASSERT_EQ(arctic.sizing_locations.size(), 3u);
+  EXPECT_EQ(arctic.sizing_locations[0].name, "Oslo");
+  EXPECT_EQ(arctic.sizing_ladder.size(), 7u);
+  EXPECT_DOUBLE_EQ(arctic.sizing_ladder.back().pv_wp, 900.0);
+
+  const Scenario iberian = make_scenario("iberian-corridor");
+  ASSERT_EQ(iberian.sizing_locations.size(), 2u);
+  EXPECT_EQ(iberian.sizing_locations[1].name, "Sevilla");
+  EXPECT_EQ(iberian.sizing_ladder.size(), 3u);
+}
+
 }  // namespace
 }  // namespace railcorr::core

@@ -97,5 +97,48 @@ TEST(SweepRunner, MetricColumnsMatchOptions) {
             sweep_metric_columns(with_sizing).size());
 }
 
+TEST(SweepRunner, ListValuedKeysSweepViaSemicolonSpelling) {
+  // An axis over a list-valued key must use ';' inside each axis value
+  // (the axis parser splits on commas): two cells, each with its whole
+  // ladder intact.
+  const auto plan = corridor::SweepPlan::from_spec(
+      "base = paper\n"
+      "axis sizing.ladder = 540:720;540:1440, 600:1440\n");
+  ASSERT_EQ(plan.size(), 2u);
+  const Scenario cell0 = scenario_at(plan, 0);
+  ASSERT_EQ(cell0.sizing_ladder.size(), 2u);
+  EXPECT_DOUBLE_EQ(cell0.sizing_ladder[1].battery_wh, 1440.0);
+  const Scenario cell1 = scenario_at(plan, 1);
+  ASSERT_EQ(cell1.sizing_ladder.size(), 1u);
+  EXPECT_DOUBLE_EQ(cell1.sizing_ladder[0].pv_wp, 600.0);
+}
+
+TEST(SweepRunner, BatchedSizingShardMatchesPerCellRowsByteExact) {
+  // --include-sizing shards run ONE batched off-grid simulation across
+  // all owned cells (shared weather per location); the emitted rows
+  // must be byte-identical to the per-cell pure-function path, or the
+  // merge determinism contract would see the batching.
+  const auto plan = corridor::SweepPlan::from_spec(
+      "base = paper\n"
+      "set max_repeaters = 2\n"
+      "set isd_search.isd_step_m = 100\n"
+      "set isd_search.sample_step_m = 50\n"
+      "set sizing.years = 1\n"
+      "axis timetable.trains_per_hour = 6, 10, 14\n");
+  SweepRunOptions options;
+  options.include_sizing = true;
+  const std::string document =
+      run_sweep_shard(plan, corridor::ShardSpec{0, 1}, options);
+
+  std::string expected = corridor::shard_banner(plan) + "\n" +
+                         corridor::shard_header(
+                             plan, sweep_metric_columns(options)) +
+                         "\n";
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    expected += evaluate_sweep_cell(plan, i, options) + "\n";
+  }
+  EXPECT_EQ(document, expected);
+}
+
 }  // namespace
 }  // namespace railcorr::core

@@ -162,5 +162,29 @@ TEST(CorridorSim, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.train_snr_db.mean(), b.train_snr_db.mean());
 }
 
+TEST(CorridorSim, QosGoldenStatsPinTheOrderRestoringReduction) {
+  // Golden values recorded from the run-by-run chronological QoS
+  // reduction (PR 3) under heavy detector-failure churn — the setup
+  // that fragments the mask log the most. The mask-grouped
+  // order-restoring reduction must reproduce them bit for bit: each
+  // sample's SNR depends only on its own (position, mask), and the
+  // statistics accumulate in chronological order regardless of how the
+  // kernel batches are grouped.
+  SimulationConfig config;
+  config.deployment = corridor::SegmentDeployment::with_repeaters(2400.0, 8);
+  config.detector_miss_probability = 0.3;
+  config.poisson_timetable = true;
+  config.seed = 1234;
+  const auto day = CorridorSimulation(config).run();
+  EXPECT_EQ(day.train_snr_db.count(), 12441u);
+  EXPECT_DOUBLE_EQ(day.train_snr_db.mean(), 22.800628069780569);
+  EXPECT_DOUBLE_EQ(day.train_snr_db.min(), -200.0);
+  EXPECT_DOUBLE_EQ(day.train_snr_db.max(), 79.485717246315645);
+  EXPECT_DOUBLE_EQ(day.train_spectral_efficiency.mean(),
+                   5.0787408033202892);
+  EXPECT_DOUBLE_EQ(day.degraded_seconds, 2846.0);
+  EXPECT_EQ(day.missed_wakes, 522);
+}
+
 }  // namespace
 }  // namespace railcorr::sim

@@ -98,5 +98,59 @@ TEST(OffGrid, Contracts) {
   EXPECT_THROW(sim.simulate(1, 0), ContractViolation);
 }
 
+TEST(OffGrid, SharedDaysReproduceSimulateBitwise) {
+  // simulate() is defined as simulate_days over synthesize_days: the
+  // decomposition must be observable (shared weather is the batched
+  // sizing engine's foundation).
+  OffGridSystem system;
+  const OffGridSimulator sim(vienna(), system, paper_load());
+  const auto days = synthesize_days(vienna(), system.plane, WeatherModel{},
+                                    77, 2);
+  const auto direct = sim.simulate(77, 2);
+  const auto shared = sim.simulate_days(days);
+  EXPECT_EQ(direct.downtime_hours, shared.downtime_hours);
+  EXPECT_EQ(direct.unserved_energy.value(), shared.unserved_energy.value());
+  EXPECT_EQ(direct.annual_pv_energy.value(),
+            shared.annual_pv_energy.value());
+  EXPECT_EQ(direct.min_soc_fraction, shared.min_soc_fraction);
+  EXPECT_EQ(direct.days_with_full_battery_pct,
+            shared.days_with_full_battery_pct);
+}
+
+TEST(OffGrid, BatchedCasesBitIdenticalToIndependentRuns) {
+  // The SoA engine must match one-system runs slot for slot, across
+  // heterogeneous arrays, batteries, and consumption profiles.
+  const auto days = synthesize_days(berlin(), PlaneOfArray{},
+                                    WeatherModel{}, 1234, 1);
+  std::vector<OffGridCase> cases;
+  for (int i = 0; i < 5; ++i) {
+    OffGridCase cell;
+    cell.system.array = PvArray(360.0 + 90.0 * i);
+    cell.system.battery_capacity_wh = 720.0 + 360.0 * i;
+    cell.consumption = paper_load();
+    for (auto& w : cell.consumption.hourly_watts) w *= 1.0 + 0.1 * i;
+    cases.push_back(cell);
+  }
+  const auto batched = simulate_cases(days, cases);
+  ASSERT_EQ(batched.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const OffGridSimulator single(berlin(), cases[i].system,
+                                  cases[i].consumption);
+    const auto reference = single.simulate_days(days);
+    EXPECT_EQ(batched[i].downtime_hours, reference.downtime_hours);
+    EXPECT_EQ(batched[i].downtime_days, reference.downtime_days);
+    EXPECT_EQ(batched[i].unserved_energy.value(),
+              reference.unserved_energy.value());
+    EXPECT_EQ(batched[i].curtailed_energy.value(),
+              reference.curtailed_energy.value());
+    EXPECT_EQ(batched[i].annual_pv_energy.value(),
+              reference.annual_pv_energy.value());
+    EXPECT_EQ(batched[i].annual_load.value(), reference.annual_load.value());
+    EXPECT_EQ(batched[i].min_soc_fraction, reference.min_soc_fraction);
+    EXPECT_EQ(batched[i].days_with_full_battery_pct,
+              reference.days_with_full_battery_pct);
+  }
+}
+
 }  // namespace
 }  // namespace railcorr::solar

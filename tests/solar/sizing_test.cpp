@@ -126,5 +126,67 @@ TEST_F(SizingThreads, BatchedGridBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Sizing, BatchedJobsBitIdenticalToPerJobRuns) {
+  // size_jobs shares one weather synthesis per distinct tuple across
+  // all jobs; every job's results must still equal an independent
+  // size_locations call bit for bit (the sweep runner's byte-identity
+  // rests on this).
+  const auto base_load = paper_load();
+  SizingOptions options;
+  options.years = 1;
+  std::vector<SizingJob> jobs;
+  for (int j = 0; j < 4; ++j) {
+    SizingJob job;
+    job.locations = paper_locations();
+    job.consumption = base_load;
+    for (auto& w : job.consumption.hourly_watts) w *= 1.0 + 0.05 * j;
+    job.options = options;
+    jobs.push_back(job);
+  }
+  // One job with a different weather tuple (its own seed) and ladder:
+  // groups must not leak across tuples.
+  SizingJob odd;
+  odd.locations = {vienna(), oslo()};
+  odd.consumption = base_load;
+  odd.options = options;
+  odd.options.seed = 99;
+  odd.ladder = {{540.0, 720.0}, {720.0, 2880.0}};
+  jobs.push_back(odd);
+
+  const auto batched = size_jobs(jobs);
+  ASSERT_EQ(batched.size(), jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto reference = size_locations(jobs[j].locations,
+                                          jobs[j].consumption,
+                                          jobs[j].options, jobs[j].ladder);
+    ASSERT_EQ(batched[j].size(), reference.size());
+    for (std::size_t l = 0; l < reference.size(); ++l) {
+      EXPECT_EQ(batched[j][l].chosen.pv_wp, reference[l].chosen.pv_wp);
+      EXPECT_EQ(batched[j][l].chosen.battery_wh,
+                reference[l].chosen.battery_wh);
+      EXPECT_EQ(batched[j][l].ladder_exhausted,
+                reference[l].ladder_exhausted);
+      EXPECT_EQ(batched[j][l].report.unserved_energy.value(),
+                reference[l].report.unserved_energy.value());
+      EXPECT_EQ(batched[j][l].report.min_soc_fraction,
+                reference[l].report.min_soc_fraction);
+      EXPECT_EQ(batched[j][l].report.days_with_full_battery_pct,
+                reference[l].report.days_with_full_battery_pct);
+    }
+  }
+}
+
+TEST(Sizing, CatalogLookupAndNames) {
+  ASSERT_GE(location_catalog().size(), 6u);
+  const Location* found = find_location("madrid");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, "Madrid");
+  EXPECT_NE(find_location("oslo"), nullptr);
+  EXPECT_NE(find_location("sevilla"), nullptr);
+  EXPECT_EQ(find_location("atlantis"), nullptr);
+  EXPECT_EQ(location_spec_name(madrid()), "madrid");
+  EXPECT_NE(location_catalog_names().find("oslo"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace railcorr::solar
