@@ -1,0 +1,112 @@
+#!/bin/sh
+# Orchestrator smoke (registered as ctest `cli/orchestrate_smoke` and
+# run by CI): the acceptance contract of `railcorr orchestrate`, end to
+# end against the real binary on a 64-cell grid:
+#
+#   1. orchestrate with 4 workers and one injected worker kill
+#      (shard 2's first attempt dies on SIGKILL mid-shard) completes
+#      via retry and merges byte-identical to the single-process sweep,
+#   2. --resume re-runs only the missing shard and reproduces the same
+#      bytes,
+#   3. a resumed run whose plan fingerprint changed is refused, exit 2,
+#   4. a resumed run under a different accuracy mode (banner mismatch)
+#      is refused, exit 2,
+#   5. a fresh (non-resume) run into a used directory is refused,
+#      exit 1.
+#
+# usage: orchestrate_smoke.sh <railcorr-binary>
+set -eu
+
+BIN="$1"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# 64 cells (4 x 4 x 2 x 2), each cheap: shallow repeater sweep, coarse
+# search steps.
+cat > "$TMP/plan.sweep" <<'PLAN'
+base = paper
+set max_repeaters = 2
+set isd_search.isd_step_m = 100
+set isd_search.sample_step_m = 50
+axis radio.lp_eirp_dbm = 37, 38, 39, 40
+axis timetable.trains_per_hour = 6, 8, 10, 12
+axis timetable.night_hours = 4, 5
+axis radio.hp_eirp_dbm = 60, 61
+PLAN
+
+"$BIN" sweep --plan "$TMP/plan.sweep" --out "$TMP/single.csv"
+
+# --- 1: worker fleet with an injected mid-shard kill -----------------
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/run" \
+    --workers 4 --inject-kill 2 2> "$TMP/orch.log"
+
+if ! grep -q "killed by signal 9" "$TMP/orch.log"; then
+  echo "FAIL: injected kill did not register in the orchestrator log" >&2
+  exit 1
+fi
+if ! grep -q "re-queued" "$TMP/orch.log"; then
+  echo "FAIL: killed shard was not re-queued" >&2
+  exit 1
+fi
+if ! cmp "$TMP/run/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: orchestrated merge differs from the single-process sweep" >&2
+  exit 1
+fi
+
+# --- 2: resume re-runs only the missing shard ------------------------
+rm "$TMP/run/merged.csv" "$TMP/run/shard_5.csv"
+"$BIN" orchestrate --resume "$TMP/run" --workers 4 --no-speculate \
+    2> "$TMP/resume.log"
+
+if ! grep -q "skipping 7 finished shard(s) of 8" "$TMP/resume.log"; then
+  echo "FAIL: resume did not skip the 7 intact shards" >&2
+  exit 1
+fi
+launches="$(grep -c "launch shard" "$TMP/resume.log")"
+if [ "$launches" -ne 1 ]; then
+  echo "FAIL: resume launched $launches workers, expected exactly 1" >&2
+  exit 1
+fi
+if ! cmp "$TMP/run/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: resumed merge differs from the single-process sweep" >&2
+  exit 1
+fi
+
+# --- 3: plan-fingerprint mismatch is refused with exit 2 -------------
+sed 's/axis radio.lp_eirp_dbm = 37, 38, 39, 40/axis radio.lp_eirp_dbm = 37/' \
+    "$TMP/run/plan.sweep" > "$TMP/run/plan.tampered"
+mv "$TMP/run/plan.tampered" "$TMP/run/plan.sweep"
+set +e
+"$BIN" orchestrate --resume "$TMP/run" > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+  echo "FAIL: tampered plan fingerprint exited $code, expected 2" >&2
+  exit 1
+fi
+# Restore the canonical plan for the accuracy check.
+cp "$TMP/plan.sweep" "$TMP/run/plan.sweep"
+
+# --- 4: accuracy-banner mismatch is refused with exit 2 --------------
+set +e
+"$BIN" orchestrate --resume "$TMP/run" --accuracy fast > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+  echo "FAIL: accuracy-mode mismatch exited $code, expected 2" >&2
+  exit 1
+fi
+
+# --- 5: fresh run into a used directory is refused (exit 1) ----------
+set +e
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/run" \
+    > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+  echo "FAIL: fresh run into a used dir exited $code, expected 1" >&2
+  exit 1
+fi
+
+echo "cli orchestrate smoke OK"

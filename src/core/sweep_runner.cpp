@@ -194,8 +194,10 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
     // the exec engine's thread pool (grid parallelism is what the
     // shards are for), and sequential emission keeps the document
     // trivially ordered.
+    std::size_t done = 0;
     for (const std::size_t index : indices) {
       document += evaluate_sweep_cell(plan, index, options) + "\n";
+      if (options.progress) options.progress(index, ++done, indices.size());
     }
     return document;
   }
@@ -226,6 +228,10 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
     document +=
         render_row(plan, indices[i], scenarios[i], options, &sized[i]) +
         "\n";
+    // Progress trails the batched simulation here: the heavy weather
+    // synthesis ran up front for the whole shard, so cells then render
+    // in a burst.
+    if (options.progress) options.progress(indices[i], i + 1, indices.size());
   }
   return document;
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,14 @@ struct SweepRunOptions {
   /// Also run the Table IV off-grid PV sizing per cell (adds the
   /// sized_pv_wp_total / ladder_exhausted columns; much slower).
   bool include_sizing = false;
+  /// Called by run_sweep_shard after each owned cell's row is rendered
+  /// with (grid cell index, cells finished, cells owned by the shard).
+  /// The CLI's `--progress` mode forwards these to the orchestrator's
+  /// line protocol. Progress emission cannot perturb the evaluation:
+  /// rows are already rendered when the callback fires. Empty = off.
+  std::function<void(std::size_t index, std::size_t done,
+                     std::size_t total)>
+      progress;
 };
 
 /// The metric column names, in row order (after index + axis columns).

@@ -36,16 +36,6 @@ std::vector<std::string> split_values(const std::string& csv,
   return values;
 }
 
-std::string hex16(std::uint64_t v) {
-  static const char* digits = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
-    v >>= 4;
-  }
-  return out;
-}
-
 /// First line / header / indexed rows of one shard document.
 struct ParsedShard {
   std::string banner;
@@ -54,7 +44,7 @@ struct ParsedShard {
 };
 
 std::optional<ParsedShard> parse_shard(const std::string& document,
-                                       std::size_t shard_no,
+                                       const std::string& label,
                                        std::vector<std::string>& errors) {
   ParsedShard shard;
   std::string_view rest = document;
@@ -70,8 +60,7 @@ std::optional<ParsedShard> parse_shard(const std::string& document,
 
     if (line_no == 1) {
       if (!line.starts_with("# railcorr-sweep-v1 ")) {
-        errors.push_back("shard " + std::to_string(shard_no) +
-                         ": missing '# railcorr-sweep-v1' banner");
+        errors.push_back(label + ": missing '# railcorr-sweep-v1' banner");
         return std::nullopt;
       }
       shard.banner = std::string(line);
@@ -94,8 +83,7 @@ std::optional<ParsedShard> parse_shard(const std::string& document,
       }
     }
     if (!numeric) {
-      errors.push_back("shard " + std::to_string(shard_no) + " line " +
-                       std::to_string(line_no) +
+      errors.push_back(label + " line " + std::to_string(line_no) +
                        ": expected '<index>,...', got '" + std::string(line) +
                        "'");
       return std::nullopt;
@@ -103,27 +91,10 @@ std::optional<ParsedShard> parse_shard(const std::string& document,
     shard.rows.emplace_back(index, std::string(line));
   }
   if (shard.banner.empty() || shard.header.empty()) {
-    errors.push_back("shard " + std::to_string(shard_no) +
-                     ": truncated document (banner or header missing)");
+    errors.push_back(label + ": truncated document (banner or header missing)");
     return std::nullopt;
   }
   return shard;
-}
-
-/// Grid size parsed back out of a banner line (`grid=<N>` token).
-std::optional<std::size_t> banner_grid_size(const std::string& banner) {
-  const std::size_t at = banner.find(" grid=");
-  if (at == std::string::npos) return std::nullopt;
-  std::size_t value = 0;
-  bool any = false;
-  for (std::size_t i = at + 6; i < banner.size(); ++i) {
-    const char c = banner[i];
-    if (c < '0' || c > '9') break;
-    value = value * 10 + static_cast<std::size_t>(c - '0');
-    any = true;
-  }
-  if (!any) return std::nullopt;
-  return value;
 }
 
 }  // namespace
@@ -274,9 +245,56 @@ std::vector<std::size_t> ShardSpec::indices(std::size_t grid_size) const {
   return out;
 }
 
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[fingerprint & 0xF];
+    fingerprint >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> banner_fingerprint(std::string_view banner) {
+  const std::size_t at = banner.find(" fingerprint=");
+  if (at == std::string_view::npos) return std::nullopt;
+  std::uint64_t value = 0;
+  std::size_t digits = 0;
+  for (std::size_t i = at + 13; i < banner.size(); ++i) {
+    const char c = banner[i];
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = 10 + (c - 'a');
+    } else {
+      break;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(nibble);
+    ++digits;
+  }
+  if (digits != 16) return std::nullopt;
+  return value;
+}
+
+std::optional<std::size_t> banner_grid(std::string_view banner) {
+  const std::size_t at = banner.find(" grid=");
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t value = 0;
+  bool any = false;
+  for (std::size_t i = at + 6; i < banner.size(); ++i) {
+    const char c = banner[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return value;
+}
+
 std::string shard_banner(const SweepPlan& plan) {
   std::string banner = "# railcorr-sweep-v1 fingerprint=" +
-                       hex16(plan.fingerprint()) +
+                       fingerprint_hex(plan.fingerprint()) +
                        " grid=" + std::to_string(plan.size());
   // Fast-accuracy runs are deterministic but not byte-stable against
   // the default mode, so tag their documents: merge compares banners
@@ -297,75 +315,102 @@ std::string shard_header(const SweepPlan& plan,
   return header;
 }
 
-MergeResult merge_shards(const std::vector<std::string>& shard_documents) {
+MergeResult merge_shards(const std::vector<std::string>& shard_documents,
+                         const std::vector<std::string>& shard_names) {
   MergeResult result;
   if (shard_documents.empty()) {
     result.errors.emplace_back("no shard documents to merge");
     return result;
   }
+  RAILCORR_EXPECTS(shard_names.empty() ||
+                   shard_names.size() == shard_documents.size());
+  // Diagnostics label: the caller's file path when given (so a failed
+  // merge names the file to inspect), else the document's position.
+  const auto label = [&](std::size_t s) {
+    return shard_names.empty() ? "shard " + std::to_string(s)
+                               : "shard '" + shard_names[s] + "'";
+  };
 
   std::vector<ParsedShard> shards;
   for (std::size_t s = 0; s < shard_documents.size(); ++s) {
-    auto parsed = parse_shard(shard_documents[s], s, result.errors);
+    auto parsed = parse_shard(shard_documents[s], label(s), result.errors);
     if (!parsed.has_value()) return result;
     shards.push_back(std::move(*parsed));
   }
 
   for (std::size_t s = 1; s < shards.size(); ++s) {
     if (shards[s].banner != shards[0].banner) {
-      result.errors.push_back(
-          "shard " + std::to_string(s) +
-          ": plan fingerprint/grid differs from shard 0 ('" +
-          shards[s].banner + "' vs '" + shards[0].banner + "')");
+      result.errors.push_back(label(s) +
+                              ": plan fingerprint/grid differs from " +
+                              label(0) + " ('" + shards[s].banner + "' vs '" +
+                              shards[0].banner + "')");
     }
     if (shards[s].header != shards[0].header) {
-      result.errors.push_back("shard " + std::to_string(s) +
-                              ": column header differs from shard 0");
+      result.errors.push_back(label(s) + ": column header differs from " +
+                              label(0));
     }
   }
   if (!result.errors.empty()) return result;
 
-  const auto grid = banner_grid_size(shards[0].banner);
+  const auto grid = banner_grid(shards[0].banner);
   if (!grid.has_value()) {
     result.errors.emplace_back("banner lacks a parsable grid=<N> token");
     return result;
   }
 
   // Determinism contract: a cell evaluated by several shards must have
-  // produced byte-identical rows.
-  std::map<std::size_t, std::string> cells;
+  // produced byte-identical rows. Each kept row remembers which shard
+  // supplied it, so a violation names both sides of the disagreement.
+  struct CellRow {
+    std::string row;
+    std::size_t source;
+  };
+  std::map<std::size_t, CellRow> cells;
   for (std::size_t s = 0; s < shards.size(); ++s) {
     for (const auto& [index, row] : shards[s].rows) {
       if (index >= *grid) {
-        result.errors.push_back("shard " + std::to_string(s) + ": row index " +
-                                std::to_string(index) +
-                                " outside grid of " + std::to_string(*grid));
+        result.errors.push_back(label(s) + ": row index " +
+                                std::to_string(index) + " outside grid of " +
+                                std::to_string(*grid));
         continue;
       }
-      const auto [it, inserted] = cells.emplace(index, row);
-      if (!inserted && it->second != row) {
+      const auto [it, inserted] = cells.emplace(index, CellRow{row, s});
+      if (!inserted && it->second.row != row) {
         result.contract_violation = true;
         result.errors.push_back(
             "determinism violation at grid cell " + std::to_string(index) +
-            ": shard " + std::to_string(s) + " produced '" + row +
-            "' but an earlier shard produced '" + it->second + "'");
+            ": " + label(s) + " produced '" + row + "' but " +
+            label(it->second.source) + " produced '" + it->second.row + "'");
       }
     }
   }
+  std::size_t missing = 0;
   for (std::size_t i = 0; i < *grid; ++i) {
     if (!cells.contains(i)) {
       result.contract_violation = true;
       result.errors.push_back("grid cell " + std::to_string(i) +
                               " missing from every shard");
+      ++missing;
     }
+  }
+  if (missing > 0) {
+    // One summary line naming every searched input, so a coverage gap
+    // is traceable to the shard set actually merged.
+    std::string searched = "coverage gap: " + std::to_string(missing) +
+                           " cell(s) missing after searching ";
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (s > 0) searched += ", ";
+      searched += label(s);
+    }
+    result.errors.push_back(std::move(searched));
   }
   if (!result.errors.empty()) return result;
 
   result.ok = true;
   result.merged = shards[0].banner + "\n" + shards[0].header + "\n";
-  for (const auto& [index, row] : cells) {
+  for (const auto& [index, cell] : cells) {
     (void)index;
-    result.merged += row + "\n";
+    result.merged += cell.row + "\n";
   }
   return result;
 }

@@ -107,6 +107,17 @@ struct ShardSpec {
 /// The `# railcorr-sweep-v1 ...` line (no trailing newline).
 std::string shard_banner(const SweepPlan& plan);
 
+/// A fingerprint rendered as the banner's fixed-width lowercase hex.
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// The `fingerprint=<hex16>` token parsed back out of a banner line;
+/// std::nullopt when absent or malformed. Orchestrator manifests and
+/// resume validation key on this.
+std::optional<std::uint64_t> banner_fingerprint(std::string_view banner);
+
+/// The `grid=<N>` token parsed back out of a banner line.
+std::optional<std::size_t> banner_grid(std::string_view banner);
+
 /// The CSV header row: index, one column per axis key, then `metrics`.
 std::string shard_header(const SweepPlan& plan,
                          const std::vector<std::string>& metric_columns);
@@ -135,6 +146,14 @@ struct MergeResult {
 /// are byte-identical; the merged output is independent of shard order
 /// and of how cells were distributed (a single-shard 0/1 run merges to
 /// the same bytes as any sharded run of the same plan).
-MergeResult merge_shards(const std::vector<std::string>& shard_documents);
+///
+/// `shard_names` (when non-empty; must then match `shard_documents` in
+/// size) labels each document in diagnostics — the CLI and the
+/// orchestrator pass file paths, so an overlap violation names the
+/// offending cell index *and both shard files* that disagreed, and a
+/// coverage violation lists every file searched. Without names the
+/// labels fall back to "shard <position>".
+MergeResult merge_shards(const std::vector<std::string>& shard_documents,
+                         const std::vector<std::string>& shard_names = {});
 
 }  // namespace railcorr::corridor

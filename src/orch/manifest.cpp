@@ -1,0 +1,194 @@
+#include "orch/manifest.hpp"
+
+#include "util/config.hpp"
+
+namespace railcorr::orch {
+
+namespace {
+
+using util::ConfigError;
+
+constexpr std::string_view kMagic = "# railcorr-orchestrate-v1";
+
+/// "key = " prefix match; returns the value tail.
+bool key_value(std::string_view line, std::string_view key,
+               std::string_view& value) {
+  if (!line.starts_with(key)) return false;
+  std::string_view rest = line.substr(key.size());
+  if (!rest.starts_with(" = ")) return false;
+  value = rest.substr(3);
+  return true;
+}
+
+std::size_t parse_size(std::string_view text, const char* what) {
+  std::size_t value = 0;
+  if (text.empty()) {
+    throw ConfigError(std::string("manifest: empty ") + what);
+  }
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw ConfigError(std::string("manifest: malformed ") + what + " '" +
+                        std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+std::uint64_t parse_hex16(std::string_view text) {
+  // Delegate to the banner-token parser so the manifest and the shard
+  // banners can never disagree about the fingerprint format; the size
+  // guard keeps trailing junk after 16 valid digits an error here.
+  const auto value = text.size() == 16
+                         ? corridor::banner_fingerprint(" fingerprint=" +
+                                                        std::string(text))
+                         : std::nullopt;
+  if (!value.has_value()) {
+    throw ConfigError("manifest: fingerprint must be 16 hex digits, got '" +
+                      std::string(text) + "'");
+  }
+  return *value;
+}
+
+}  // namespace
+
+RunManifest RunManifest::plan_run(const corridor::SweepPlan& plan,
+                                  std::size_t shards, bool include_sizing) {
+  RunManifest manifest;
+  manifest.fingerprint = plan.fingerprint();
+  manifest.grid = plan.size();
+  manifest.shards = shards;
+  manifest.include_sizing = include_sizing;
+  manifest.banner = corridor::shard_banner(plan);
+  return manifest;
+}
+
+RunManifest RunManifest::parse(std::string_view text) {
+  RunManifest manifest;
+  bool magic_seen = false;
+  bool fingerprint_seen = false, grid_seen = false, shards_seen = false,
+       sizing_seen = false, banner_seen = false;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    if (!magic_seen) {
+      if (line != kMagic) {
+        throw ConfigError("manifest: missing '" + std::string(kMagic) +
+                          "' magic on line 1");
+      }
+      magic_seen = true;
+      continue;
+    }
+
+    std::string_view value;
+    if (key_value(line, "fingerprint", value)) {
+      manifest.fingerprint = parse_hex16(value);
+      fingerprint_seen = true;
+    } else if (key_value(line, "grid", value)) {
+      manifest.grid = parse_size(value, "grid");
+      grid_seen = true;
+    } else if (key_value(line, "shards", value)) {
+      manifest.shards = parse_size(value, "shards");
+      shards_seen = true;
+    } else if (key_value(line, "sizing", value)) {
+      if (value != "0" && value != "1") {
+        throw ConfigError("manifest: sizing must be 0 or 1, got '" +
+                          std::string(value) + "'");
+      }
+      manifest.include_sizing = value == "1";
+      sizing_seen = true;
+    } else if (key_value(line, "banner", value)) {
+      manifest.banner = std::string(value);
+      banner_seen = true;
+    } else if (line.starts_with("done ")) {
+      std::string_view rest = line.substr(5);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos || space == 0 ||
+          space + 1 >= rest.size()) {
+        throw ConfigError("manifest line " + std::to_string(line_no) +
+                          ": expected 'done <shard> <file>'");
+      }
+      manifest.done.emplace_back(
+          parse_size(rest.substr(0, space), "done shard index"),
+          std::string(rest.substr(space + 1)));
+    } else {
+      throw ConfigError("manifest line " + std::to_string(line_no) +
+                        ": unrecognized entry '" + std::string(line) + "'");
+    }
+  }
+  if (!magic_seen) throw ConfigError("manifest: empty document");
+  if (!fingerprint_seen || !grid_seen || !shards_seen || !sizing_seen ||
+      !banner_seen) {
+    throw ConfigError(
+        "manifest: header incomplete (fingerprint/grid/shards/sizing/banner "
+        "all required)");
+  }
+  for (const auto& [shard, file] : manifest.done) {
+    if (shard >= manifest.shards) {
+      throw ConfigError("manifest: done shard " + std::to_string(shard) +
+                        " outside shard count " +
+                        std::to_string(manifest.shards));
+    }
+    (void)file;
+  }
+  return manifest;
+}
+
+std::string RunManifest::header_text() const {
+  return std::string(kMagic) + "\n" +
+         "fingerprint = " + corridor::fingerprint_hex(fingerprint) + "\n" +
+         "grid = " + std::to_string(grid) + "\n" +
+         "shards = " + std::to_string(shards) + "\n" +
+         "sizing = " + (include_sizing ? "1" : "0") + "\n" +
+         "banner = " + banner + "\n";
+}
+
+std::string RunManifest::done_line(std::size_t shard,
+                                   const std::string& file) {
+  return "done " + std::to_string(shard) + " " + file;
+}
+
+bool RunManifest::is_done(std::size_t shard) const {
+  for (const auto& [done_shard, file] : done) {
+    (void)file;
+    if (done_shard == shard) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> RunManifest::mismatches_against(
+    const RunManifest& wanted) const {
+  std::vector<std::string> errors;
+  if (fingerprint != wanted.fingerprint) {
+    errors.push_back("plan fingerprint mismatch: manifest has " +
+                     corridor::fingerprint_hex(fingerprint) +
+                     ", this invocation's plan is " +
+                     corridor::fingerprint_hex(wanted.fingerprint));
+  }
+  if (banner != wanted.banner) {
+    errors.push_back("banner mismatch (plan or accuracy mode): manifest has '" +
+                     banner + "', this invocation would produce '" +
+                     wanted.banner + "'");
+  }
+  if (shards != wanted.shards) {
+    errors.push_back("shard count mismatch: manifest has " +
+                     std::to_string(shards) + ", this invocation wants " +
+                     std::to_string(wanted.shards));
+  }
+  if (include_sizing != wanted.include_sizing) {
+    errors.push_back(std::string("sizing mismatch: manifest recorded ") +
+                     (include_sizing ? "--include-sizing" : "no sizing") +
+                     ", this invocation wants " +
+                     (wanted.include_sizing ? "--include-sizing" : "no sizing"));
+  }
+  return errors;
+}
+
+}  // namespace railcorr::orch

@@ -1,0 +1,92 @@
+/// \file manifest.hpp
+/// \brief The resumable-run manifest: which plan an orchestrated sweep
+///        is evaluating, how the grid is sharded, and which shard
+///        files are already durable.
+///
+/// An orchestrated run directory contains:
+///
+///     plan.sweep             canonical plan spec (written once)
+///     orchestrate.manifest   this manifest
+///     shard_<i>.csv          finalized shard documents
+///     merged.csv             the merged grid (written on success)
+///
+/// The manifest is line-oriented and append-only past its header:
+///
+///     # railcorr-orchestrate-v1
+///     fingerprint = <hex16>
+///     grid = <N>
+///     shards = <S>
+///     sizing = 0|1
+///     banner = # railcorr-sweep-v1 fingerprint=<hex16> grid=<N> [...]
+///     done <shard index> <file name>
+///
+/// `done` lines are appended (and flushed) as workers finish, so a
+/// crashed or interrupted orchestrator leaves behind exactly the set
+/// of shards whose files are complete. `railcorr orchestrate --resume
+/// <dir>` replays the manifest: finished shards are skipped, and a
+/// manifest whose fingerprint, banner (which encodes the accuracy
+/// mode), shard count, or sizing flag disagrees with the resumed
+/// invocation is refused — mixing plans or accuracy modes across a
+/// resume would poison the merge.
+///
+/// The banner is stored verbatim (not re-derived) because it is the
+/// exact string every shard file and worker must reproduce; comparing
+/// it byte-for-byte is the same check `merge_shards` applies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "corridor/sweep.hpp"
+
+namespace railcorr::orch {
+
+/// Parsed (or freshly planned) state of one orchestrated run.
+struct RunManifest {
+  std::uint64_t fingerprint = 0;
+  /// Grid cells in the plan.
+  std::size_t grid = 0;
+  /// Shards the grid is partitioned into.
+  std::size_t shards = 0;
+  /// Whether the run evaluates the off-grid sizing columns.
+  bool include_sizing = false;
+  /// The run's shard banner, verbatim (fingerprint, grid, accuracy).
+  std::string banner;
+  /// Finalized shards: (shard index, file name relative to the run
+  /// directory), in completion order. May contain repeats when a run
+  /// was resumed; consumers treat it as a set.
+  std::vector<std::pair<std::size_t, std::string>> done;
+
+  /// The manifest a fresh orchestration of `plan` starts from. The
+  /// banner captures the *current* accuracy mode via
+  /// corridor::shard_banner.
+  static RunManifest plan_run(const corridor::SweepPlan& plan,
+                              std::size_t shards, bool include_sizing);
+
+  /// Parse a manifest document. Throws util::ConfigError on a missing
+  /// magic line, malformed fields, or missing header keys.
+  static RunManifest parse(std::string_view text);
+
+  /// Header block (magic through banner, trailing newline); `done`
+  /// lines are appended after this.
+  [[nodiscard]] std::string header_text() const;
+
+  /// One `done <shard> <file>` line (no trailing newline).
+  static std::string done_line(std::size_t shard, const std::string& file);
+
+  /// True when `shard` has a done entry.
+  [[nodiscard]] bool is_done(std::size_t shard) const;
+
+  /// Human-readable mismatches between this (parsed) manifest and the
+  /// run another invocation is about to perform — empty means the
+  /// resume is safe. Checks fingerprint, banner (and therefore the
+  /// accuracy mode), shard count, and the sizing flag.
+  [[nodiscard]] std::vector<std::string> mismatches_against(
+      const RunManifest& wanted) const;
+};
+
+}  // namespace railcorr::orch

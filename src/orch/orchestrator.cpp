@@ -1,0 +1,487 @@
+#include "orch/orchestrator.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "orch/manifest.hpp"
+#include "orch/process.hpp"
+#include "orch/progress.hpp"
+#include "util/config.hpp"
+
+namespace railcorr::orch {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// True when `path` holds an intact shard document for `shard`: the
+/// expected banner and one data row per owned cell. A banner-only
+/// check would let a file truncated after its first line pass resume
+/// validation and wedge every subsequent --resume in the same merge
+/// failure; counting rows makes resume self-healing.
+bool shard_file_intact(const fs::path& path, std::string_view banner,
+                       corridor::ShardSpec shard, std::size_t grid) {
+  const auto document = read_file(path);
+  if (!document.has_value()) return false;
+  std::string_view rest = *document;
+  std::size_t lines = 0;
+  std::string_view first;
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    if (lines == 0) first = line;
+    ++lines;
+  }
+  if (lines < 2 || first != banner) return false;
+  // Banner + header + one row per owned cell.
+  return lines - 2 == shard.indices(grid).size();
+}
+
+/// One live worker attempt tracked by the scheduler.
+struct ActiveAttempt {
+  WorkerAttempt info;
+  ChildProcess proc;
+  Clock::time_point started;
+  /// A twin already finalized this shard; this attempt's exit (however
+  /// it ends) is ignored and its output discarded.
+  bool canceled = false;
+  bool timed_out = false;
+};
+
+double elapsed_s(const ActiveAttempt& attempt, Clock::time_point now) {
+  return std::chrono::duration<double>(now - attempt.started).count();
+}
+
+}  // namespace
+
+std::string shard_file_name(std::size_t shard) {
+  return "shard_" + std::to_string(shard) + ".csv";
+}
+
+OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
+                              const std::string& out_dir,
+                              const OrchestrateOptions& options) {
+  OrchestrateResult result;
+  const auto fail = [&result](std::string message) -> OrchestrateResult& {
+    result.errors.push_back(std::move(message));
+    return result;
+  };
+  const auto log = [&options](const std::string& line) {
+    if (options.log != nullptr) *options.log << "[orchestrate] " << line
+                                            << std::endl;
+  };
+
+  if (options.workers == 0) return fail("need at least one worker");
+  if (!options.command) return fail("no worker command builder configured");
+
+  const std::size_t grid = plan.size();
+
+  // --- run directory + manifest -------------------------------------
+  const fs::path dir(out_dir);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return fail("cannot create out dir '" + out_dir + "': " +
+                      ec.message());
+  const fs::path manifest_path = dir / "orchestrate.manifest";
+
+  std::optional<RunManifest> previous;
+  if (options.resume) {
+    const auto text = read_file(manifest_path);
+    if (!text.has_value()) {
+      return fail("--resume: cannot read '" + manifest_path.string() +
+                  "' (was this directory produced by orchestrate?)");
+    }
+    try {
+      previous = RunManifest::parse(*text);
+    } catch (const util::ConfigError& error) {
+      return fail("--resume: " + std::string(error.what()));
+    }
+  } else if (fs::exists(manifest_path)) {
+    return fail("out dir '" + out_dir +
+                "' already holds an orchestrate.manifest; pass --resume to "
+                "continue it or choose a fresh directory");
+  }
+
+  // Shard count: explicit > resumed manifest > 2x workers. The 2x
+  // default keeps the queue deep enough that a straggling shard does
+  // not serialize the tail.
+  std::size_t shards = options.shards;
+  if (shards == 0) {
+    shards = previous.has_value() ? previous->shards : options.workers * 2;
+  }
+  if (shards > grid) shards = grid;
+  if (shards == 0) shards = 1;
+
+  const RunManifest wanted =
+      RunManifest::plan_run(plan, shards, options.include_sizing);
+
+  std::vector<bool> completed(shards, false);
+  std::size_t completed_count = 0;
+  ProgressAggregator aggregator(grid, shards);
+
+  if (previous.has_value()) {
+    const auto mismatches = previous->mismatches_against(wanted);
+    if (!mismatches.empty()) {
+      result.manifest_mismatch = true;
+      for (const auto& mismatch : mismatches) {
+        result.errors.push_back("--resume refused: " + mismatch);
+      }
+      return result;
+    }
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      if (!previous->is_done(shard)) continue;
+      // A done entry only counts when its file is still intact (the
+      // recorded banner plus every owned row); otherwise the shard
+      // re-runs.
+      if (shard_file_intact(dir / shard_file_name(shard), wanted.banner,
+                            corridor::ShardSpec{shard, shards}, grid)) {
+        completed[shard] = true;
+        ++completed_count;
+        ++result.stats.resumed;
+        for (const std::size_t index :
+             corridor::ShardSpec{shard, shards}.indices(grid)) {
+          ProgressEvent event;
+          event.kind = ProgressEvent::Kind::kCell;
+          event.index = index;
+          aggregator.on_event(shard, event);
+        }
+        aggregator.on_shard_complete(shard);
+      } else {
+        log("resume: shard " + std::to_string(shard) +
+            " marked done but its file is missing or stale; re-running");
+      }
+    }
+    log("resume: skipping " + std::to_string(result.stats.resumed) +
+        " finished shard(s) of " + std::to_string(shards));
+  } else {
+    std::ofstream header(manifest_path, std::ios::binary | std::ios::trunc);
+    if (!header) {
+      return fail("cannot write '" + manifest_path.string() + "'");
+    }
+    header << wanted.header_text();
+  }
+
+  // Fresh runs (re)write the canonical plan unconditionally: a stale
+  // plan.sweep left in a reused directory must never feed the workers
+  // a different grid than the manifest records. Resumes keep the
+  // existing copy (its fingerprint was just validated).
+  const fs::path plan_path = dir / "plan.sweep";
+  if (!options.resume || !fs::exists(plan_path)) {
+    std::ofstream plan_out(plan_path, std::ios::binary | std::ios::trunc);
+    if (!plan_out) return fail("cannot write '" + plan_path.string() + "'");
+    plan_out << plan.canonical_spec();
+  }
+
+  std::ofstream manifest_out(manifest_path,
+                             std::ios::binary | std::ios::app);
+  if (!manifest_out) {
+    return fail("cannot append to '" + manifest_path.string() + "'");
+  }
+
+  // --- scheduler ----------------------------------------------------
+  std::deque<std::size_t> pending;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    if (!completed[shard]) pending.push_back(shard);
+  }
+  std::vector<std::size_t> fail_count(shards, 0);
+  std::vector<std::size_t> attempt_no(shards, 0);
+  std::vector<std::size_t> speculated(shards, 0);
+  std::vector<double> shard_durations;
+  std::vector<ActiveAttempt> active;
+  std::size_t attempt_serial = 0;
+  std::string last_summary;
+
+  const auto active_attempts_of = [&active](std::size_t shard) {
+    std::size_t n = 0;
+    for (const auto& attempt : active) {
+      if (attempt.info.shard == shard && !attempt.canceled) ++n;
+    }
+    return n;
+  };
+
+  const auto launch = [&](std::size_t shard, bool speculative) {
+    WorkerAttempt info;
+    info.shard = shard;
+    info.shard_count = shards;
+    info.attempt = attempt_no[shard]++;
+    info.speculative = speculative;
+    info.out_path =
+        (dir / ("shard_" + std::to_string(shard) + ".attempt" +
+                std::to_string(attempt_serial++) + ".tmp"))
+            .string();
+    ActiveAttempt attempt{info, ChildProcess::spawn(options.command(info)),
+                         Clock::now(), false, false};
+    ++result.stats.attempts;
+    if (speculative) ++result.stats.speculative;
+    log("launch shard " + std::to_string(shard) + "/" +
+        std::to_string(shards) + " attempt " + std::to_string(info.attempt) +
+        (speculative ? " (speculative)" : "") + " pid " +
+        std::to_string(attempt.proc.pid()));
+    active.push_back(std::move(attempt));
+  };
+
+  const auto drain_into_aggregator = [&](ActiveAttempt& attempt) {
+    std::vector<std::string> lines;
+    attempt.proc.drain(lines);
+    for (const auto& line : lines) {
+      const auto event = parse_progress_line(line);
+      if (event.has_value()) aggregator.on_event(attempt.info.shard, *event);
+    }
+  };
+
+  while (completed_count < shards) {
+    while (active.size() < options.workers && !pending.empty()) {
+      launch(pending.front(), /*speculative=*/false);
+      pending.pop_front();
+    }
+
+    if (pending.empty() && options.speculate &&
+        active.size() < options.workers && !active.empty() &&
+        !shard_durations.empty()) {
+      // Idle slots and an empty queue: speculatively duplicate the
+      // longest-running shard with only one attempt in flight — but
+      // only once it actually looks like a straggler (2x the median
+      // finished-shard duration), at most one twin per shard, and
+      // never before the first shard has finished (otherwise a fleet
+      // with more workers than shards would duplicate every shard at
+      // t=0 and double the run's CPU for nothing).
+      std::vector<double> durations = shard_durations;
+      const auto mid =
+          durations.begin() +
+          static_cast<std::vector<double>::difference_type>(durations.size() /
+                                                            2);
+      std::nth_element(durations.begin(), mid, durations.end());
+      const double threshold = std::max(0.05, 2.0 * *mid);
+      const auto now = Clock::now();
+      std::size_t best_shard = shards;
+      double best_elapsed = threshold;
+      for (const auto& attempt : active) {
+        if (attempt.canceled || speculated[attempt.info.shard] > 0 ||
+            active_attempts_of(attempt.info.shard) != 1) {
+          continue;
+        }
+        const double running = elapsed_s(attempt, now);
+        if (running > best_elapsed) {
+          best_elapsed = running;
+          best_shard = attempt.info.shard;
+        }
+      }
+      if (best_shard < shards) {
+        ++speculated[best_shard];
+        launch(best_shard, /*speculative=*/true);
+      }
+    }
+
+    if (active.empty()) {
+      // Unreachable by construction (incomplete shards are pending or
+      // in flight); bail rather than spin if the invariant breaks.
+      fail("internal: no workers in flight with " +
+           std::to_string(shards - completed_count) + " shard(s) incomplete");
+      return result;
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(active.size());
+    for (const auto& attempt : active) {
+      if (attempt.proc.stdout_fd() >= 0) {
+        fds.push_back(pollfd{attempt.proc.stdout_fd(), POLLIN, 0});
+      }
+    }
+    if (!fds.empty()) {
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    } else {
+      // Every live worker's pipe already hit EOF (e.g. a worker closed
+      // its stdout but keeps running): sleep the tick instead of
+      // busy-spinning on try_reap.
+      ::poll(nullptr, 0, 50);
+    }
+
+    for (auto& attempt : active) drain_into_aggregator(attempt);
+
+    if (options.log != nullptr) {
+      std::string summary = aggregator.summary();
+      if (summary != last_summary) {
+        log(summary);
+        last_summary = std::move(summary);
+      }
+    }
+
+    if (options.timeout_s > 0.0) {
+      const auto now = Clock::now();
+      for (auto& attempt : active) {
+        if (!attempt.timed_out && !attempt.canceled &&
+            elapsed_s(attempt, now) > options.timeout_s) {
+          attempt.timed_out = true;
+          log("shard " + std::to_string(attempt.info.shard) + " attempt " +
+              std::to_string(attempt.info.attempt) + " exceeded " +
+              util::format_double(options.timeout_s) + "s, killing");
+          attempt.proc.kill();
+        }
+      }
+    }
+
+    for (std::size_t i = active.size(); i-- > 0;) {
+      const auto status = active[i].proc.try_reap();
+      if (!status.has_value()) continue;
+      drain_into_aggregator(active[i]);
+      ActiveAttempt attempt = std::move(active[i]);
+      active.erase(active.begin() +
+                   static_cast<std::vector<ActiveAttempt>::difference_type>(i));
+
+      const std::size_t shard = attempt.info.shard;
+      if (completed[shard]) {
+        // A twin finalized this shard first; discard regardless of how
+        // this attempt ended (its bytes would have been identical).
+        fs::remove(attempt.info.out_path, ec);
+        continue;
+      }
+
+      bool finalized = false;
+      if (status->code == 0 && !attempt.canceled) {
+        const fs::path durable = dir / shard_file_name(shard);
+        fs::rename(attempt.info.out_path, durable, ec);
+        if (ec) {
+          log("shard " + std::to_string(shard) +
+              ": cannot finalize shard file: " + ec.message());
+        } else {
+          finalized = true;
+          completed[shard] = true;
+          ++completed_count;
+          shard_durations.push_back(elapsed_s(attempt, Clock::now()));
+          manifest_out << RunManifest::done_line(shard,
+                                                shard_file_name(shard))
+                       << '\n'
+                       << std::flush;
+          aggregator.on_shard_complete(shard);
+          log("shard " + std::to_string(shard) + " done (attempt " +
+              std::to_string(attempt.info.attempt) + "; " +
+              aggregator.summary() + ")");
+          for (auto& other : active) {
+            if (other.info.shard == shard) {
+              other.canceled = true;
+              other.proc.kill();
+            }
+          }
+        }
+      }
+      if (finalized) continue;
+
+      fs::remove(attempt.info.out_path, ec);
+      if (attempt.canceled) continue;
+
+      const std::string how =
+          attempt.timed_out
+              ? " timed out"
+              : (status->signaled
+                     ? " killed by signal " + std::to_string(status->code -
+                                                             128)
+                     : " exited " + std::to_string(status->code));
+      // Speculative twins are optimistic duplicates: their failures
+      // never charge the shard's retry budget (a shard whose original
+      // and twin both time out in one pass must not be double-billed
+      // into a spurious abort).
+      if (attempt.info.speculative) {
+        log("speculative twin of shard " + std::to_string(shard) + how +
+            "; not counted against retries");
+      } else {
+        ++fail_count[shard];
+        log("shard " + std::to_string(shard) + " attempt " +
+            std::to_string(attempt.info.attempt) + how + " (failure " +
+            std::to_string(fail_count[shard]) + "/" +
+            std::to_string(options.retries + 1) + ")");
+      }
+
+      if (active_attempts_of(shard) > 0) {
+        // A twin is still racing this shard; let it decide the outcome.
+        continue;
+      }
+      if (fail_count[shard] > options.retries) {
+        fail("shard " + std::to_string(shard) + " failed " +
+             std::to_string(fail_count[shard]) +
+             " time(s); retry budget exhausted");
+        return result;  // ActiveAttempt destructors kill the fleet.
+      }
+      pending.push_back(shard);
+      // A fresh launch may straggle again; let it earn a fresh twin.
+      speculated[shard] = 0;
+      ++result.stats.retried;
+      log("shard " + std::to_string(shard) + " re-queued");
+    }
+  }
+
+  // --- merge --------------------------------------------------------
+  for (const auto& error : aggregator.banner_errors()) {
+    result.errors.push_back(error);
+  }
+  // The fleet's banner must be the one this invocation planned — a
+  // divergence means the workers evaluated a different plan or
+  // accuracy mode than the manifest records (e.g. a tampered
+  // plan.sweep), and the merged output would be mislabeled.
+  if (!aggregator.banner().empty() && aggregator.banner() != wanted.banner) {
+    result.errors.push_back("worker fleet produced banner '" +
+                            aggregator.banner() +
+                            "' but this run planned '" + wanted.banner + "'");
+  }
+
+  std::vector<std::string> documents;
+  std::vector<std::string> names;
+  documents.reserve(shards);
+  names.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const fs::path path = dir / shard_file_name(shard);
+    auto document = read_file(path);
+    if (!document.has_value()) {
+      fail("finalized shard file vanished: '" + path.string() + "'");
+      return result;
+    }
+    documents.push_back(std::move(*document));
+    names.push_back(path.string());
+  }
+  auto merge = corridor::merge_shards(documents, names);
+  if (!merge.ok) {
+    result.contract_violation = merge.contract_violation;
+    for (auto& error : merge.errors) result.errors.push_back(std::move(error));
+    return result;
+  }
+  if (!result.errors.empty()) return result;
+
+  const fs::path merged_path = dir / "merged.csv";
+  {
+    std::ofstream out(merged_path, std::ios::binary | std::ios::trunc);
+    if (!out) return fail("cannot write '" + merged_path.string() + "'");
+    out << merge.merged;
+  }
+  result.ok = true;
+  result.merged_path = merged_path.string();
+  result.merged = std::move(merge.merged);
+  log("merged " + std::to_string(grid) + " cells from " +
+      std::to_string(shards) + " shard(s) into " + result.merged_path + " (" +
+      std::to_string(result.stats.attempts) + " attempt(s), " +
+      std::to_string(result.stats.retried) + " retried, " +
+      std::to_string(result.stats.speculative) + " speculative, " +
+      std::to_string(result.stats.resumed) + " resumed)");
+  return result;
+}
+
+}  // namespace railcorr::orch

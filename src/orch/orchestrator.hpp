@@ -1,0 +1,131 @@
+/// \file orchestrator.hpp
+/// \brief The multi-process sweep orchestrator: a worker fleet over the
+///        shard work queue, straggler/failure retry, speculative
+///        re-execution, streaming progress, and resumable runs.
+///
+/// The orchestrator turns one SweepPlan into a fleet of `railcorr
+/// sweep --shard i/S` worker processes (orch/process.hpp), feeds them
+/// from a queue of shard specs, follows their progress through the
+/// line protocol (orch/progress.hpp), records durable shards in the
+/// run manifest (orch/manifest.hpp), and finally merges the shard
+/// files with corridor::merge_shards.
+///
+/// Why retry and speculation are safe: a grid cell's row is a pure
+/// function of (plan, index), and `merge_shards` accepts overlapping
+/// cells exactly when their rows are byte-identical. A worker killed
+/// mid-shard therefore costs nothing but time — the re-queued attempt
+/// reproduces the same bytes — and a speculative duplicate of the
+/// slowest tail shard can race its original with no coordination: the
+/// first finisher's file is renamed into place, the loser is killed
+/// and its partial output discarded. Any divergence (a worker fleet
+/// mixing plans or accuracy modes) is caught twice: live, by the
+/// aggregator comparing worker banners, and at the end, by the merge's
+/// banner and byte-identity checks.
+///
+/// The scheduler is transport-agnostic: it launches whatever argv the
+/// `command` callback builds for an attempt, so tests drive it with
+/// toy shell workers and the CLI drives it with the real binary.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corridor/sweep.hpp"
+
+namespace railcorr::orch {
+
+/// One scheduled execution of one shard.
+struct WorkerAttempt {
+  /// Shard index in 0..shard_count-1.
+  std::size_t shard = 0;
+  std::size_t shard_count = 1;
+  /// Per-shard attempt ordinal (0 = first launch; retries and
+  /// speculative twins increment it).
+  std::size_t attempt = 0;
+  /// True when this attempt races a still-running attempt of the same
+  /// shard (tail-latency speculation) rather than replacing a failed
+  /// one.
+  bool speculative = false;
+  /// Where the worker must write its shard document; the orchestrator
+  /// renames it to the durable `shard_<i>.csv` on success.
+  std::string out_path;
+};
+
+/// Knobs of one orchestrated run.
+struct OrchestrateOptions {
+  /// Concurrent worker processes.
+  std::size_t workers = 4;
+  /// Shards to split the grid into; 0 picks 2x workers (clamped to the
+  /// grid size) so the queue stays deep enough to absorb stragglers.
+  std::size_t shards = 0;
+  /// Failed (nonzero-exit, killed, or timed-out) attempts tolerated
+  /// per shard beyond the first launch.
+  std::size_t retries = 2;
+  /// Per-attempt wall-clock budget in seconds; expired attempts are
+  /// killed and count as failures. 0 = unlimited.
+  double timeout_s = 0.0;
+  /// Launch a speculative duplicate of the slowest still-running shard
+  /// when workers would otherwise idle (classic straggler mitigation).
+  bool speculate = true;
+  /// The run evaluates the off-grid sizing columns (recorded in the
+  /// manifest; a resume with the opposite setting is refused).
+  bool include_sizing = false;
+  /// Resume `out_dir`: skip shards whose manifest `done` entries have
+  /// intact files; refuse a manifest that mismatches this invocation.
+  bool resume = false;
+  /// Builds the argv of one worker attempt (required). The CLI builds
+  /// `<self> sweep --plan ... --shard i/S --out <out_path> --progress`;
+  /// tests substitute toy commands.
+  std::function<std::vector<std::string>(const WorkerAttempt&)> command;
+  /// Streaming progress sink (one line per update); nullptr = silent.
+  std::ostream* log = nullptr;
+};
+
+/// Fleet statistics of a finished (or failed) orchestration.
+struct OrchestrateStats {
+  /// Worker processes launched, including retries and speculation.
+  std::size_t attempts = 0;
+  /// Failed attempts that were re-queued.
+  std::size_t retried = 0;
+  /// Speculative duplicates launched.
+  std::size_t speculative = 0;
+  /// Shards skipped because a resumed manifest had them done.
+  std::size_t resumed = 0;
+};
+
+/// Outcome of an orchestrated run.
+struct OrchestrateResult {
+  /// True when every shard completed and the merge satisfied the
+  /// determinism contract.
+  bool ok = false;
+  /// Merge-level determinism-contract violation (CLI exit 2).
+  bool contract_violation = false;
+  /// Resume refused: the run directory's manifest disagrees with this
+  /// invocation's plan fingerprint, banner/accuracy, shard count, or
+  /// sizing flag (CLI exit 2).
+  bool manifest_mismatch = false;
+  std::vector<std::string> errors;
+  /// Path of the merged grid (`<out_dir>/merged.csv`); empty unless ok.
+  std::string merged_path;
+  /// The merged document itself; empty unless ok.
+  std::string merged;
+  OrchestrateStats stats;
+};
+
+/// Durable shard file name within the run directory.
+std::string shard_file_name(std::size_t shard);
+
+/// Run the whole orchestration: plan -> worker fleet -> durable shard
+/// files + manifest in `out_dir` -> merged grid. Creates `out_dir` if
+/// needed; refuses a non-resume run into a directory that already has
+/// a manifest (a half-finished run must be resumed or removed
+/// explicitly). Writes the canonical plan to `<out_dir>/plan.sweep`.
+OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
+                              const std::string& out_dir,
+                              const OrchestrateOptions& options);
+
+}  // namespace railcorr::orch

@@ -1,0 +1,97 @@
+/// \file process.hpp
+/// \brief Worker-process plumbing for the sweep orchestrator: fork+exec
+///        of a command line with the child's stdout captured through a
+///        non-blocking pipe, plus kill/reap primitives.
+///
+/// A ChildProcess owns one spawned worker: its pid and the read end of
+/// the stdout pipe. The orchestrator's event loop poll()s the pipe fds
+/// of every active worker, calls `drain()` to split the available bytes
+/// into complete lines (the workers speak the line-delimited progress
+/// protocol of orch/progress.hpp), and `try_reap()`s exited children
+/// without blocking. stderr is inherited so worker diagnostics reach
+/// the operator unfiltered.
+///
+/// The module is deliberately POSIX-only (fork/execv/waitpid/poll) —
+/// the orchestrator ships local process fleets; remote transports would
+/// sit behind the same line protocol.
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace railcorr::orch {
+
+/// How a reaped worker ended.
+struct ExitStatus {
+  /// Exit code for a normal exit; 128 + signal number when the child
+  /// was terminated by a signal (the shell convention, so orchestrator
+  /// logs read like a terminal).
+  int code = 0;
+  /// True when the child died on a signal (kill, crash) rather than
+  /// calling exit().
+  bool signaled = false;
+};
+
+/// One spawned worker process with captured stdout.
+///
+/// Move-only; the destructor kills (SIGKILL) and reaps a child that is
+/// still running, so a throwing orchestrator never leaks workers.
+class ChildProcess {
+ public:
+  /// Spawn `argv` (argv[0] is the executable path, resolved via PATH
+  /// when it contains no '/'). The child's stdout is redirected into a
+  /// pipe whose read end this object owns (non-blocking); stderr and
+  /// stdin are inherited. Throws std::runtime_error when the pipe,
+  /// fork, or (detectably) the exec fails.
+  static ChildProcess spawn(const std::vector<std::string>& argv);
+
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+  ~ChildProcess();
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+
+  /// Read end of the stdout pipe (non-blocking), for poll(). -1 once
+  /// the pipe has reached EOF and been closed.
+  [[nodiscard]] int stdout_fd() const { return stdout_fd_; }
+
+  /// Read whatever the pipe currently holds and append every complete
+  /// line (without the trailing '\n') to `lines`; a trailing partial
+  /// line is buffered for the next call. Returns false once the pipe
+  /// has reached EOF (any buffered partial line is flushed then).
+  bool drain(std::vector<std::string>& lines);
+
+  /// Send `sig` (default SIGKILL) to the child. No-op once reaped.
+  void kill(int sig = 9);
+
+  /// Non-blocking waitpid: the exit status when the child has exited,
+  /// std::nullopt while it is still running. Idempotent after the
+  /// child has been reaped.
+  std::optional<ExitStatus> try_reap();
+
+  /// Blocking waitpid. Idempotent after the child has been reaped.
+  ExitStatus wait();
+
+ private:
+  ChildProcess() = default;
+
+  void close_stdout();
+
+  pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  ExitStatus status_{};
+  std::string partial_;
+};
+
+/// Absolute path of the currently running executable (/proc/self/exe),
+/// falling back to `argv0` when the proc link is unreadable. The
+/// orchestrator re-execs this binary as its sweep workers.
+std::string self_executable_path(const char* argv0);
+
+}  // namespace railcorr::orch

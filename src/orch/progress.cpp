@@ -1,0 +1,153 @@
+#include "orch/progress.hpp"
+
+namespace railcorr::orch {
+
+namespace {
+
+constexpr std::string_view kMagic = "@railcorr 1 ";
+
+/// Consume "<name>=<decimal>" from the front of `rest` (preceded by a
+/// single space when `leading_space`); false on any mismatch.
+bool take_field(std::string_view& rest, std::string_view name,
+                std::size_t& out, bool leading_space) {
+  if (leading_space) {
+    if (rest.empty() || rest.front() != ' ') return false;
+    rest.remove_prefix(1);
+  }
+  if (!rest.starts_with(name)) return false;
+  rest.remove_prefix(name.size());
+  if (rest.empty() || rest.front() != '=') return false;
+  rest.remove_prefix(1);
+  std::size_t value = 0;
+  bool any = false;
+  while (!rest.empty() && rest.front() >= '0' && rest.front() <= '9') {
+    value = value * 10 + static_cast<std::size_t>(rest.front() - '0');
+    rest.remove_prefix(1);
+    any = true;
+  }
+  if (!any) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string banner_line(std::string_view banner) {
+  return std::string(kMagic) + "banner " + std::string(banner);
+}
+
+std::string start_line(std::size_t shard, std::size_t shard_count,
+                       std::size_t cells) {
+  return std::string(kMagic) + "start shard=" + std::to_string(shard) + "/" +
+         std::to_string(shard_count) + " cells=" + std::to_string(cells);
+}
+
+std::string cell_line(std::size_t index, std::size_t done,
+                      std::size_t total) {
+  return std::string(kMagic) + "cell index=" + std::to_string(index) +
+         " done=" + std::to_string(done) + " total=" + std::to_string(total);
+}
+
+std::string done_line(std::size_t rows) {
+  return std::string(kMagic) + "done rows=" + std::to_string(rows);
+}
+
+std::optional<ProgressEvent> parse_progress_line(std::string_view line) {
+  if (!line.starts_with(kMagic)) return std::nullopt;
+  std::string_view rest = line.substr(kMagic.size());
+  ProgressEvent event;
+
+  if (rest.starts_with("banner ")) {
+    event.kind = ProgressEvent::Kind::kBanner;
+    event.banner = std::string(rest.substr(7));
+    return event;
+  }
+  if (rest.starts_with("start ")) {
+    rest.remove_prefix(6);
+    event.kind = ProgressEvent::Kind::kStart;
+    if (!take_field(rest, "shard", event.shard, /*leading_space=*/false)) {
+      return std::nullopt;
+    }
+    if (rest.empty() || rest.front() != '/') return std::nullopt;
+    rest.remove_prefix(1);
+    std::size_t count = 0;
+    bool any = false;
+    while (!rest.empty() && rest.front() >= '0' && rest.front() <= '9') {
+      count = count * 10 + static_cast<std::size_t>(rest.front() - '0');
+      rest.remove_prefix(1);
+      any = true;
+    }
+    if (!any) return std::nullopt;
+    event.shard_count = count;
+    if (!take_field(rest, "cells", event.cells, /*leading_space=*/true)) {
+      return std::nullopt;
+    }
+    return rest.empty() ? std::optional<ProgressEvent>(event) : std::nullopt;
+  }
+  if (rest.starts_with("cell ")) {
+    rest.remove_prefix(5);
+    event.kind = ProgressEvent::Kind::kCell;
+    if (!take_field(rest, "index", event.index, /*leading_space=*/false) ||
+        !take_field(rest, "done", event.done, /*leading_space=*/true) ||
+        !take_field(rest, "total", event.total, /*leading_space=*/true)) {
+      return std::nullopt;
+    }
+    return rest.empty() ? std::optional<ProgressEvent>(event) : std::nullopt;
+  }
+  if (rest.starts_with("done ")) {
+    rest.remove_prefix(5);
+    event.kind = ProgressEvent::Kind::kDone;
+    if (!take_field(rest, "rows", event.rows, /*leading_space=*/false)) {
+      return std::nullopt;
+    }
+    return rest.empty() ? std::optional<ProgressEvent>(event) : std::nullopt;
+  }
+  return std::nullopt;
+}
+
+ProgressAggregator::ProgressAggregator(std::size_t grid_cells,
+                                       std::size_t shard_count)
+    : grid_cells_(grid_cells),
+      shard_count_(shard_count),
+      cell_seen_(grid_cells, false),
+      shard_done_(shard_count, false) {}
+
+void ProgressAggregator::on_event(std::size_t shard,
+                                  const ProgressEvent& event) {
+  switch (event.kind) {
+    case ProgressEvent::Kind::kBanner:
+      if (banner_.empty()) {
+        banner_ = event.banner;
+      } else if (event.banner != banner_) {
+        banner_errors_.push_back(
+            "shard " + std::to_string(shard) + ": worker banner '" +
+            event.banner + "' differs from the run's banner '" + banner_ +
+            "'");
+      }
+      break;
+    case ProgressEvent::Kind::kCell:
+      if (event.index < cell_seen_.size() && !cell_seen_[event.index]) {
+        cell_seen_[event.index] = true;
+        ++cells_done_;
+      }
+      break;
+    case ProgressEvent::Kind::kStart:
+    case ProgressEvent::Kind::kDone:
+      break;
+  }
+}
+
+void ProgressAggregator::on_shard_complete(std::size_t shard) {
+  if (shard < shard_done_.size() && !shard_done_[shard]) {
+    shard_done_[shard] = true;
+    ++shards_done_;
+  }
+}
+
+std::string ProgressAggregator::summary() const {
+  return "cells " + std::to_string(cells_done_) + "/" +
+         std::to_string(grid_cells_) + ", shards " +
+         std::to_string(shards_done_) + "/" + std::to_string(shard_count_);
+}
+
+}  // namespace railcorr::orch

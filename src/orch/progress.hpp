@@ -1,0 +1,114 @@
+/// \file progress.hpp
+/// \brief The line-delimited worker progress protocol and its
+///        orchestrator-side aggregator.
+///
+/// A sweep worker running with `--progress` writes its shard CSV to
+/// `--out` and speaks this protocol on stdout, one event per line,
+/// flushed per line so the orchestrator streams it live through the
+/// worker's pipe:
+///
+///     @railcorr 1 banner # railcorr-sweep-v1 fingerprint=<hex16> grid=<N>
+///     @railcorr 1 start shard=<i>/<N> cells=<n>
+///     @railcorr 1 cell index=<grid index> done=<k> total=<n>
+///     @railcorr 1 done rows=<n>
+///
+/// `@railcorr 1` is the protocol magic + version; unknown lines (a
+/// worker's stray print, a future protocol extension) parse to
+/// std::nullopt and are ignored by the aggregator, so the protocol is
+/// forward-compatible by construction.
+///
+/// The banner event carries the worker's shard banner *verbatim* —
+/// plan fingerprint, grid size, and the accuracy tag when the worker
+/// runs in fast mode. The aggregator compares every worker's banner
+/// against the first one seen and flags divergence immediately, so a
+/// mis-configured worker (wrong plan file, wrong accuracy mode) is
+/// caught while it runs instead of at merge time.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace railcorr::orch {
+
+/// One parsed protocol event.
+struct ProgressEvent {
+  enum class Kind { kBanner, kStart, kCell, kDone };
+  Kind kind = Kind::kBanner;
+  /// kBanner: the shard banner, verbatim.
+  std::string banner;
+  /// kStart: which shard of how many, and how many cells it owns.
+  std::size_t shard = 0;
+  std::size_t shard_count = 0;
+  std::size_t cells = 0;
+  /// kCell: the grid cell just finished and the shard-local tally.
+  std::size_t index = 0;
+  std::size_t done = 0;
+  std::size_t total = 0;
+  /// kDone: CSV rows written (excluding banner + header).
+  std::size_t rows = 0;
+};
+
+/// \name Emitters — each returns one protocol line (no trailing '\n').
+///@{
+std::string banner_line(std::string_view banner);
+std::string start_line(std::size_t shard, std::size_t shard_count,
+                       std::size_t cells);
+std::string cell_line(std::size_t index, std::size_t done, std::size_t total);
+std::string done_line(std::size_t rows);
+///@}
+
+/// Parse one line; std::nullopt for anything that is not a well-formed
+/// protocol event (non-protocol output, wrong version, bad fields).
+std::optional<ProgressEvent> parse_progress_line(std::string_view line);
+
+/// Orchestrator-side roll-up of the per-worker event streams into one
+/// live picture of the run: grid cells finished, shards finished, and
+/// banner consistency across the fleet.
+class ProgressAggregator {
+ public:
+  /// \param grid_cells   total cells of the plan's grid
+  /// \param shard_count  shards the grid is partitioned into
+  ProgressAggregator(std::size_t grid_cells, std::size_t shard_count);
+
+  /// Fold one event from `shard`'s worker into the tally. Duplicate
+  /// cell events (a retried or speculative attempt re-evaluating cells
+  /// its predecessor already reported) do not double-count: a grid
+  /// cell is counted once, ever.
+  void on_event(std::size_t shard, const ProgressEvent& event);
+
+  /// Mark a shard's output as finalized (its file is durable).
+  void on_shard_complete(std::size_t shard);
+
+  [[nodiscard]] std::size_t cells_done() const { return cells_done_; }
+  [[nodiscard]] std::size_t shards_done() const { return shards_done_; }
+
+  /// The first banner any worker reported (empty until then).
+  [[nodiscard]] const std::string& banner() const { return banner_; }
+
+  /// Banners that differed from the first one, as human-readable
+  /// errors ("shard 3: banner ... differs from ..."). Non-empty means
+  /// the fleet is evaluating inconsistent plans or accuracy modes and
+  /// the merge is guaranteed to fail.
+  [[nodiscard]] const std::vector<std::string>& banner_errors() const {
+    return banner_errors_;
+  }
+
+  /// One-line status, e.g. "cells 37/64, shards 3/8". The orchestrator
+  /// streams this after every event batch.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t grid_cells_;
+  std::size_t shard_count_;
+  std::size_t cells_done_ = 0;
+  std::size_t shards_done_ = 0;
+  std::vector<bool> cell_seen_;
+  std::vector<bool> shard_done_;
+  std::string banner_;
+  std::vector<std::string> banner_errors_;
+};
+
+}  // namespace railcorr::orch

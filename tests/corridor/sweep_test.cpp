@@ -138,7 +138,50 @@ TEST(MergeShards, DivergentOverlapViolatesContract) {
 TEST(MergeShards, MissingCellsAreReported) {
   const auto merged = merge_shards({make_shard({{0, "1,10"}, {3, "4,40"}})});
   EXPECT_FALSE(merged.ok);
-  EXPECT_EQ(merged.errors.size(), 2u);  // cells 1 and 2
+  // Cells 1 and 2, plus the coverage-gap summary naming the searched
+  // shard set.
+  ASSERT_EQ(merged.errors.size(), 3u);
+  EXPECT_NE(merged.errors[0].find("grid cell 1"), std::string::npos);
+  EXPECT_NE(merged.errors[1].find("grid cell 2"), std::string::npos);
+  EXPECT_NE(merged.errors[2].find("coverage gap: 2 cell(s)"),
+            std::string::npos);
+}
+
+TEST(MergeShards, DiagnosticsNameBothShardFilesOnDivergence) {
+  const auto merged = merge_shards(
+      {
+          make_shard({{0, "1,10"}, {1, "2,20"}, {2, "3,30"}, {3, "4,40"}}),
+          make_shard({{1, "2,DIFFERENT"}}),
+      },
+      {"runs/shard_a.csv", "runs/shard_b.csv"});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_TRUE(merged.contract_violation);
+  ASSERT_FALSE(merged.errors.empty());
+  // The violation must localize the failure: the offending cell index
+  // and the paths of BOTH disagreeing shard files.
+  EXPECT_NE(merged.errors[0].find("grid cell 1"), std::string::npos);
+  EXPECT_NE(merged.errors[0].find("runs/shard_a.csv"), std::string::npos);
+  EXPECT_NE(merged.errors[0].find("runs/shard_b.csv"), std::string::npos);
+}
+
+TEST(MergeShards, DiagnosticsNameSearchedFilesOnCoverageGap) {
+  const auto merged = merge_shards({make_shard({{0, "1,10"}, {3, "4,40"}})},
+                                   {"out/shard_0.csv"});
+  EXPECT_FALSE(merged.ok);
+  ASSERT_EQ(merged.errors.size(), 3u);
+  EXPECT_NE(merged.errors[2].find("out/shard_0.csv"), std::string::npos);
+}
+
+TEST(BannerHelpers, RoundTripFingerprintAndGrid) {
+  const auto plan = SweepPlan::from_spec("axis k = 1, 2, 3\n");
+  const std::string banner = shard_banner(plan);
+  ASSERT_TRUE(banner_fingerprint(banner).has_value());
+  EXPECT_EQ(*banner_fingerprint(banner), plan.fingerprint());
+  ASSERT_TRUE(banner_grid(banner).has_value());
+  EXPECT_EQ(*banner_grid(banner), 3u);
+  EXPECT_EQ(fingerprint_hex(plan.fingerprint()).size(), 16u);
+  EXPECT_FALSE(banner_fingerprint("# no tokens here").has_value());
+  EXPECT_FALSE(banner_grid("# no tokens here").has_value());
 }
 
 TEST(MergeShards, FingerprintMismatchIsRejected) {

@@ -1,0 +1,110 @@
+/// The resumable-run manifest: header round trips, done-line append
+/// semantics, and the resume-safety checks (fingerprint, banner /
+/// accuracy, shard count, sizing flag).
+#include "orch/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/config.hpp"
+#include "util/vmath.hpp"
+
+namespace railcorr::orch {
+namespace {
+
+corridor::SweepPlan tiny_plan() {
+  return corridor::SweepPlan::from_spec("axis k = 1, 2, 3, 4\n");
+}
+
+TEST(RunManifest, PlanRunCapturesPlanAndBanner) {
+  const auto plan = tiny_plan();
+  const auto manifest = RunManifest::plan_run(plan, 2, false);
+  EXPECT_EQ(manifest.fingerprint, plan.fingerprint());
+  EXPECT_EQ(manifest.grid, 4u);
+  EXPECT_EQ(manifest.shards, 2u);
+  EXPECT_EQ(manifest.banner, corridor::shard_banner(plan));
+  EXPECT_FALSE(manifest.include_sizing);
+}
+
+TEST(RunManifest, HeaderAndDoneLinesRoundTrip) {
+  const auto manifest = RunManifest::plan_run(tiny_plan(), 3, true);
+  std::string text = manifest.header_text();
+  text += RunManifest::done_line(1, "shard_1.csv") + "\n";
+  text += RunManifest::done_line(0, "shard_0.csv") + "\n";
+
+  const auto parsed = RunManifest::parse(text);
+  EXPECT_EQ(parsed.fingerprint, manifest.fingerprint);
+  EXPECT_EQ(parsed.grid, manifest.grid);
+  EXPECT_EQ(parsed.shards, manifest.shards);
+  EXPECT_EQ(parsed.include_sizing, manifest.include_sizing);
+  EXPECT_EQ(parsed.banner, manifest.banner);
+  ASSERT_EQ(parsed.done.size(), 2u);
+  EXPECT_TRUE(parsed.is_done(0));
+  EXPECT_TRUE(parsed.is_done(1));
+  EXPECT_FALSE(parsed.is_done(2));
+}
+
+TEST(RunManifest, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(RunManifest::parse(""), util::ConfigError);
+  EXPECT_THROW(RunManifest::parse("not a manifest\n"), util::ConfigError);
+  // Incomplete header.
+  EXPECT_THROW(
+      RunManifest::parse("# railcorr-orchestrate-v1\nfingerprint = "
+                         "0123456789abcdef\n"),
+      util::ConfigError);
+  // Done entry outside the shard count.
+  const auto manifest = RunManifest::plan_run(tiny_plan(), 2, false);
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() +
+                                  RunManifest::done_line(7, "x.csv") + "\n"),
+               util::ConfigError);
+  // Malformed fingerprint.
+  EXPECT_THROW(
+      RunManifest::parse("# railcorr-orchestrate-v1\nfingerprint = zzz\n"),
+      util::ConfigError);
+}
+
+TEST(RunManifest, MismatchChecksCoverFingerprintShardsAndSizing) {
+  const auto plan = tiny_plan();
+  const auto recorded = RunManifest::plan_run(plan, 2, false);
+
+  EXPECT_TRUE(
+      recorded.mismatches_against(RunManifest::plan_run(plan, 2, false))
+          .empty());
+
+  const auto other_plan =
+      corridor::SweepPlan::from_spec("axis k = 9, 8, 7, 6\n");
+  const auto fingerprint_diff =
+      recorded.mismatches_against(RunManifest::plan_run(other_plan, 2, false));
+  ASSERT_FALSE(fingerprint_diff.empty());
+  EXPECT_NE(fingerprint_diff[0].find("fingerprint mismatch"),
+            std::string::npos);
+
+  EXPECT_FALSE(
+      recorded.mismatches_against(RunManifest::plan_run(plan, 4, false))
+          .empty());
+  EXPECT_FALSE(
+      recorded.mismatches_against(RunManifest::plan_run(plan, 2, true))
+          .empty());
+}
+
+TEST(RunManifest, AccuracyModeChangesTheBannerAndIsRefused) {
+  const auto plan = tiny_plan();
+  const auto bitexact = RunManifest::plan_run(plan, 2, false);
+
+  vmath::force_accuracy_mode(vmath::AccuracyMode::kFastUlp);
+  const auto fast = RunManifest::plan_run(plan, 2, false);
+  vmath::reset_accuracy_mode();
+
+  ASSERT_NE(bitexact.banner, fast.banner);
+  const auto mismatches = bitexact.mismatches_against(fast);
+  ASSERT_FALSE(mismatches.empty());
+  bool banner_named = false;
+  for (const auto& mismatch : mismatches) {
+    if (mismatch.find("accuracy") != std::string::npos) banner_named = true;
+  }
+  EXPECT_TRUE(banner_named);
+  // Same fingerprint though: the plan itself did not change.
+  EXPECT_EQ(bitexact.fingerprint, fast.fingerprint);
+}
+
+}  // namespace
+}  // namespace railcorr::orch

@@ -1,0 +1,393 @@
+/// The orchestrator's contract: any worker count, any failure pattern
+/// the retry budget absorbs, and any resume produce a merged grid
+/// byte-identical to the single-process sweep.
+///
+/// Scheduler behavior (queueing, retry, timeout, speculation, resume,
+/// manifest safety) is driven with toy /bin/sh workers copying
+/// precomputed shard documents, so those tests run in milliseconds.
+/// The end-to-end kill-mid-shard test execs the real `railcorr` binary
+/// (located next to this test executable, or via RAILCORR_CLI) and is
+/// skipped when the CLI is not built.
+#include "orch/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/sweep_runner.hpp"
+#include "orch/manifest.hpp"
+#include "orch/process.hpp"
+
+namespace railcorr::orch {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Self-deleting unique run directory.
+struct TempDir {
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "railcorr_orch_XXXXXX").string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+/// A 4-cell plan whose rows the toy workers fabricate (the scheduler
+/// never interprets rows, only the merge's framing does).
+corridor::SweepPlan toy_plan() {
+  return corridor::SweepPlan::from_spec("axis k = 1, 2, 3, 4\n");
+}
+
+/// The shard document a (well-behaved) toy worker produces: correct
+/// banner, shared header, one deterministic row per owned cell.
+std::string toy_doc(const corridor::SweepPlan& plan, std::size_t shard,
+                    std::size_t shard_count) {
+  std::string doc = corridor::shard_banner(plan) + "\nindex,k,metric\n";
+  for (const std::size_t index :
+       corridor::ShardSpec{shard, shard_count}.indices(plan.size())) {
+    doc += std::to_string(index) + "," + plan.axis_values_at(index)[0] +
+           ",10\n";
+  }
+  return doc;
+}
+
+/// Stage the per-shard documents a toy fleet copies into place.
+std::vector<std::string> stage_toy_docs(const corridor::SweepPlan& plan,
+                                        const fs::path& dir,
+                                        std::size_t shard_count) {
+  std::vector<std::string> paths;
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    const fs::path path = dir / ("doc_" + std::to_string(shard) + ".txt");
+    write_file(path, toy_doc(plan, shard, shard_count));
+    paths.push_back(path.string());
+  }
+  return paths;
+}
+
+std::vector<std::string> sh(const std::string& script) {
+  return {"/bin/sh", "-c", script};
+}
+
+TEST(Orchestrate, ToyFleetCompletesAndMergesAllCells) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 2);
+
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+
+  // The merged document equals the merge of the toy docs themselves.
+  const auto expected =
+      corridor::merge_shards({toy_doc(plan, 0, 2), toy_doc(plan, 1, 2)});
+  ASSERT_TRUE(expected.ok);
+  EXPECT_EQ(result.merged, expected.merged);
+  EXPECT_EQ(read_file(run.path / "merged.csv"), expected.merged);
+
+  // The manifest records both shards done and round-trips.
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  EXPECT_TRUE(manifest.is_done(0));
+  EXPECT_TRUE(manifest.is_done(1));
+  EXPECT_EQ(manifest.fingerprint, plan.fingerprint());
+  // The canonical plan is materialized for workers and resumes.
+  EXPECT_EQ(read_file(run.path / "plan.sweep"), plan.canonical_spec());
+}
+
+TEST(Orchestrate, FlakyWorkerIsRetriedToCompletion) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 2);
+
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.retries = 2;
+  options.speculate = false;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    if (attempt.shard == 1 && attempt.attempt == 0) {
+      // First attempt of shard 1 crashes without output.
+      return sh("exit 1");
+    }
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GE(result.stats.retried, 1u);
+  EXPECT_GE(result.stats.attempts, 3u);
+}
+
+TEST(Orchestrate, RetryBudgetExhaustionFailsTheRun) {
+  const auto plan = toy_plan();
+  TempDir run;
+
+  OrchestrateOptions options;
+  options.workers = 1;
+  options.shards = 1;
+  options.retries = 1;
+  options.speculate = false;
+  options.command = [](const WorkerAttempt&) { return sh("exit 7"); };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.contract_violation);
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_NE(result.errors[0].find("retry budget exhausted"),
+            std::string::npos);
+  // First launch + one retry.
+  EXPECT_EQ(result.stats.attempts, 2u);
+}
+
+TEST(Orchestrate, TimedOutStragglerIsKilledAndRetried) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 1);
+
+  OrchestrateOptions options;
+  options.workers = 1;
+  options.shards = 1;
+  options.retries = 1;
+  options.timeout_s = 0.3;
+  options.speculate = false;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    if (attempt.attempt == 0) return sh("sleep 30");
+    return sh("cat '" + docs[0] + "' > '" + attempt.out_path + "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GE(result.stats.retried, 1u);
+}
+
+TEST(Orchestrate, SpeculativeTwinFinishesAStuckTailShard) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 2);
+
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.retries = 0;
+  options.speculate = true;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    if (attempt.shard == 1 && attempt.attempt == 0) {
+      // The original attempt of shard 1 hangs forever; only the
+      // speculative twin (attempt 1) can finish the run.
+      return sh("sleep 60");
+    }
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GE(result.stats.speculative, 1u);
+}
+
+TEST(Orchestrate, RefusesFreshRunIntoExistingRunDirectory) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 1);
+
+  OrchestrateOptions options;
+  options.workers = 1;
+  options.shards = 1;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    return sh("cat '" + docs[0] + "' > '" + attempt.out_path + "'");
+  };
+  ASSERT_TRUE(orchestrate(plan, run.path.string(), options).ok);
+
+  const auto second = orchestrate(plan, run.path.string(), options);
+  EXPECT_FALSE(second.ok);
+  ASSERT_FALSE(second.errors.empty());
+  EXPECT_NE(second.errors[0].find("--resume"), std::string::npos);
+}
+
+TEST(Orchestrate, ResumeRerunsOnlyMissingShards) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 4);
+
+  std::size_t launches = 0;
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 4;
+  options.speculate = false;
+  options.command = [&docs, &launches](const WorkerAttempt& attempt) {
+    ++launches;
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto first = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(first.ok) << (first.errors.empty() ? "" : first.errors[0]);
+  ASSERT_EQ(launches, 4u);
+
+  // Lose one shard file and the merged output; resume must re-run
+  // exactly that shard.
+  fs::remove(run.path / "merged.csv");
+  fs::remove(run.path / shard_file_name(2));
+  launches = 0;
+  options.resume = true;
+  const auto resumed = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(resumed.ok)
+      << (resumed.errors.empty() ? "" : resumed.errors[0]);
+  EXPECT_EQ(launches, 1u);
+  EXPECT_EQ(resumed.stats.resumed, 3u);
+  EXPECT_EQ(resumed.merged, first.merged);
+}
+
+TEST(Orchestrate, ResumeRefusesAMismatchedPlanFingerprint) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 1);
+
+  OrchestrateOptions options;
+  options.workers = 1;
+  options.shards = 1;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    return sh("cat '" + docs[0] + "' > '" + attempt.out_path + "'");
+  };
+  ASSERT_TRUE(orchestrate(plan, run.path.string(), options).ok);
+
+  const auto other = corridor::SweepPlan::from_spec("axis k = 9, 8\n");
+  options.resume = true;
+  const auto result = orchestrate(other, run.path.string(), options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.manifest_mismatch);
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_NE(result.errors[0].find("fingerprint"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end against the real binary: worker killed mid-shard, retried,
+// merged bytes identical to the single-process sweep.
+
+/// The railcorr CLI next to this test executable (both land in the
+/// build root), overridable via RAILCORR_CLI; empty when absent.
+std::string find_cli() {
+  if (const char* env = std::getenv("RAILCORR_CLI")) return env;
+  const fs::path sibling =
+      fs::path(self_executable_path(nullptr)).parent_path() / "railcorr";
+  if (fs::exists(sibling)) return sibling.string();
+  return {};
+}
+
+corridor::SweepPlan real_plan() {
+  return corridor::SweepPlan::from_spec(
+      "base = paper\n"
+      "set max_repeaters = 2\n"
+      "set isd_search.isd_step_m = 100\n"
+      "set isd_search.sample_step_m = 50\n"
+      "axis radio.lp_eirp_dbm = 37, 40\n"
+      "axis timetable.trains_per_hour = 8, 12\n");
+}
+
+TEST(OrchestrateEndToEnd, KilledWorkerIsRetriedByteIdentically) {
+  const std::string cli = find_cli();
+  if (cli.empty()) {
+    GTEST_SKIP() << "railcorr CLI not built next to the test binary";
+  }
+  const auto plan = real_plan();
+  TempDir run;
+
+  OrchestrateOptions options;
+  options.workers = 3;
+  options.shards = 4;
+  options.retries = 2;
+  const std::string worker_plan = (run.path / "plan.sweep").string();
+  options.command = [&cli, &worker_plan](const WorkerAttempt& attempt) {
+    std::vector<std::string> argv = {
+        cli,     "sweep",
+        "--plan", worker_plan,
+        "--shard", std::to_string(attempt.shard) + "/" +
+                       std::to_string(attempt.shard_count),
+        "--out",  attempt.out_path,
+        "--progress", "--threads", "2",
+    };
+    if (attempt.shard == 1 && attempt.attempt == 0) {
+      // SIGKILL after the first cell: a genuine mid-shard worker death.
+      argv.push_back("--abort-after-cells");
+      argv.push_back("1");
+    }
+    return argv;
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GE(result.stats.retried, 1u);
+
+  const std::string single =
+      core::run_sweep_shard(plan, corridor::ShardSpec{0, 1});
+  EXPECT_EQ(result.merged, single);
+}
+
+TEST(OrchestrateEndToEnd, ResumeMatchesSingleProcessBytes) {
+  const std::string cli = find_cli();
+  if (cli.empty()) {
+    GTEST_SKIP() << "railcorr CLI not built next to the test binary";
+  }
+  const auto plan = real_plan();
+  TempDir run;
+
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 4;
+  const std::string worker_plan = (run.path / "plan.sweep").string();
+  options.command = [&cli, &worker_plan](const WorkerAttempt& attempt) {
+    return std::vector<std::string>{
+        cli,     "sweep",
+        "--plan", worker_plan,
+        "--shard", std::to_string(attempt.shard) + "/" +
+                       std::to_string(attempt.shard_count),
+        "--out",  attempt.out_path,
+        "--progress", "--threads", "1",
+    };
+  };
+  ASSERT_TRUE(orchestrate(plan, run.path.string(), options).ok);
+
+  fs::remove(run.path / "merged.csv");
+  fs::remove(run.path / shard_file_name(3));
+  options.resume = true;
+  const auto resumed = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(resumed.ok)
+      << (resumed.errors.empty() ? "" : resumed.errors[0]);
+  EXPECT_EQ(resumed.stats.resumed, 3u);
+  EXPECT_EQ(resumed.merged,
+            core::run_sweep_shard(plan, corridor::ShardSpec{0, 1}));
+}
+
+}  // namespace
+}  // namespace railcorr::orch

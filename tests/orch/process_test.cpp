@@ -1,0 +1,104 @@
+/// ChildProcess: spawn/drain/kill/reap semantics the orchestrator's
+/// event loop is built on. Workers here are tiny /bin/sh scripts, so
+/// the tests run in milliseconds and need no railcorr binary.
+#include "orch/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace railcorr::orch {
+namespace {
+
+std::vector<std::string> sh(const std::string& script) {
+  return {"/bin/sh", "-c", script};
+}
+
+/// Drain until EOF, collecting every line.
+std::vector<std::string> drain_all(ChildProcess& child) {
+  std::vector<std::string> lines;
+  while (child.drain(lines)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return lines;
+}
+
+TEST(ChildProcess, CapturesStdoutLinesAndExitCode) {
+  auto child = ChildProcess::spawn(sh("echo one; echo two; exit 0"));
+  const auto lines = drain_all(child);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  const auto status = child.wait();
+  EXPECT_EQ(status.code, 0);
+  EXPECT_FALSE(status.signaled);
+}
+
+TEST(ChildProcess, FlushesUnterminatedTailLineAtEof) {
+  // A worker killed mid-line leaves a partial record; the last line is
+  // still delivered as evidence.
+  auto child = ChildProcess::spawn(sh("printf 'complete\\npartial'"));
+  const auto lines = drain_all(child);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "complete");
+  EXPECT_EQ(lines[1], "partial");
+  child.wait();
+}
+
+TEST(ChildProcess, ReportsNonzeroExit) {
+  auto child = ChildProcess::spawn(sh("exit 3"));
+  const auto status = child.wait();
+  EXPECT_EQ(status.code, 3);
+  EXPECT_FALSE(status.signaled);
+}
+
+TEST(ChildProcess, ReportsExecFailureAs127) {
+  auto child =
+      ChildProcess::spawn({"/nonexistent/definitely-not-a-binary-xyz"});
+  const auto status = child.wait();
+  EXPECT_EQ(status.code, 127);
+}
+
+TEST(ChildProcess, KillIsReportedAsSignal) {
+  auto child = ChildProcess::spawn(sh("sleep 30"));
+  child.kill();
+  const auto status = child.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.code, 128 + 9);
+}
+
+TEST(ChildProcess, TryReapIsNonBlockingAndIdempotent) {
+  auto child = ChildProcess::spawn(sh("sleep 30"));
+  EXPECT_FALSE(child.try_reap().has_value());
+  child.kill();
+  // The kill is asynchronous; poll until the reap lands.
+  std::optional<ExitStatus> status;
+  for (int i = 0; i < 1000 && !status.has_value(); ++i) {
+    status = child.try_reap();
+    if (!status.has_value()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->signaled);
+  // Reaping again returns the recorded status.
+  const auto again = child.try_reap();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->code, status->code);
+}
+
+TEST(ChildProcess, DestructorReapsARunningChild) {
+  // Must not hang or leak: the destructor kills and reaps.
+  auto child = ChildProcess::spawn(sh("sleep 30"));
+  (void)child;
+}
+
+TEST(SelfExecutablePath, ResolvesToAnAbsolutePath) {
+  const std::string path = self_executable_path("fallback");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), '/');
+}
+
+}  // namespace
+}  // namespace railcorr::orch

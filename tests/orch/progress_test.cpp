@@ -1,0 +1,91 @@
+/// The worker progress protocol: emit/parse round trips, rejection of
+/// non-protocol lines, and the aggregator's dedup + banner-consistency
+/// guarantees.
+#include "orch/progress.hpp"
+
+#include <gtest/gtest.h>
+
+namespace railcorr::orch {
+namespace {
+
+TEST(ProgressProtocol, BannerRoundTrips) {
+  const std::string banner =
+      "# railcorr-sweep-v1 fingerprint=0123456789abcdef grid=64";
+  const auto event = parse_progress_line(banner_line(banner));
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, ProgressEvent::Kind::kBanner);
+  EXPECT_EQ(event->banner, banner);
+}
+
+TEST(ProgressProtocol, StartRoundTrips) {
+  const auto event = parse_progress_line(start_line(3, 8, 9));
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, ProgressEvent::Kind::kStart);
+  EXPECT_EQ(event->shard, 3u);
+  EXPECT_EQ(event->shard_count, 8u);
+  EXPECT_EQ(event->cells, 9u);
+}
+
+TEST(ProgressProtocol, CellRoundTrips) {
+  const auto event = parse_progress_line(cell_line(42, 5, 9));
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, ProgressEvent::Kind::kCell);
+  EXPECT_EQ(event->index, 42u);
+  EXPECT_EQ(event->done, 5u);
+  EXPECT_EQ(event->total, 9u);
+}
+
+TEST(ProgressProtocol, DoneRoundTrips) {
+  const auto event = parse_progress_line(done_line(64));
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, ProgressEvent::Kind::kDone);
+  EXPECT_EQ(event->rows, 64u);
+}
+
+TEST(ProgressProtocol, NonProtocolLinesAreIgnored) {
+  EXPECT_FALSE(parse_progress_line("").has_value());
+  EXPECT_FALSE(parse_progress_line("0,37,8,2,1200").has_value());
+  EXPECT_FALSE(parse_progress_line("@railcorr 2 cell index=0 done=1 total=1")
+                   .has_value());
+  EXPECT_FALSE(parse_progress_line("@railcorr 1 unknown x=1").has_value());
+  EXPECT_FALSE(parse_progress_line("@railcorr 1 cell index=x done=1 total=1")
+                   .has_value());
+  EXPECT_FALSE(
+      parse_progress_line("@railcorr 1 cell index=0 done=1 total=1 junk")
+          .has_value());
+}
+
+TEST(ProgressAggregator, CountsEachGridCellOnce) {
+  ProgressAggregator aggregator(/*grid_cells=*/8, /*shard_count=*/2);
+  aggregator.on_event(0, *parse_progress_line(cell_line(0, 1, 4)));
+  aggregator.on_event(0, *parse_progress_line(cell_line(2, 2, 4)));
+  // A retried attempt re-reports cell 2: no double count.
+  aggregator.on_event(0, *parse_progress_line(cell_line(2, 1, 4)));
+  EXPECT_EQ(aggregator.cells_done(), 2u);
+  aggregator.on_shard_complete(0);
+  aggregator.on_shard_complete(0);
+  EXPECT_EQ(aggregator.shards_done(), 1u);
+  EXPECT_EQ(aggregator.summary(), "cells 2/8, shards 1/2");
+}
+
+TEST(ProgressAggregator, FlagsDivergentWorkerBanners) {
+  ProgressAggregator aggregator(4, 2);
+  aggregator.on_event(0, *parse_progress_line(banner_line("# banner A")));
+  aggregator.on_event(1, *parse_progress_line(banner_line("# banner A")));
+  EXPECT_TRUE(aggregator.banner_errors().empty());
+  // Worker 1 restarts in the wrong accuracy mode: caught live.
+  aggregator.on_event(1, *parse_progress_line(banner_line("# banner B")));
+  ASSERT_EQ(aggregator.banner_errors().size(), 1u);
+  EXPECT_NE(aggregator.banner_errors()[0].find("# banner B"),
+            std::string::npos);
+  EXPECT_EQ(aggregator.banner(), "# banner A");
+}
+
+TEST(ProgressAggregator, IgnoresOutOfGridCellIndices) {
+  ProgressAggregator aggregator(4, 1);
+  aggregator.on_event(0, *parse_progress_line(cell_line(99, 1, 4)));
+  EXPECT_EQ(aggregator.cells_done(), 0u);
+}
+
+}  // namespace
+}  // namespace railcorr::orch

@@ -1,6 +1,6 @@
 /// \file railcorr_cli.cpp
-/// \brief The `railcorr` command-line tool: declarative scenario runs and
-///        sharded corridor sweeps.
+/// \brief The `railcorr` command-line tool: declarative scenario runs,
+///        sharded corridor sweeps, and the multi-process orchestrator.
 ///
 /// Subcommands:
 ///   list                           registry catalog
@@ -10,18 +10,32 @@
 ///                                  evaluate (a shard of) a sweep grid
 ///   merge  [--out FILE] SHARD...   merge shard files, enforcing the
 ///                                  cross-shard determinism contract
+///   orchestrate --plan FILE --out-dir DIR | --resume DIR
+///                                  shard a grid across a local worker
+///                                  fleet with retry + resume
 ///
 /// Scenario selection (show / run): `--scenario NAME` picks a registry
 /// entry (default: paper), `--spec FILE` loads a ScenarioSpec document
 /// on top, and repeated `--set key=value` apply final overrides.
 ///
+/// `--accuracy bitexact|fast` (run / sweep / orchestrate) pins the
+/// vector-math accuracy mode from the command line; it wins over the
+/// RAILCORR_ACCURACY environment variable. Orchestrate propagates the
+/// resolved mode to every worker explicitly.
+///
 /// Exit codes: 0 success; 1 usage/configuration error; 2 determinism
-/// contract violation reported by merge.
+/// contract violation reported by merge or orchestrate, or a refused
+/// `orchestrate --resume` (plan-fingerprint / accuracy-banner
+/// mismatch).
+#include <signal.h>
+
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/evaluator.hpp"
@@ -33,9 +47,13 @@
 #include "corridor/planner.hpp"
 #include "corridor/sweep.hpp"
 #include "exec/parallel.hpp"
+#include "orch/orchestrator.hpp"
+#include "orch/process.hpp"
+#include "orch/progress.hpp"
 #include "util/config.hpp"
 #include "util/contracts.hpp"
 #include "util/table.hpp"
+#include "util/vmath.hpp"
 
 namespace {
 
@@ -47,19 +65,34 @@ int usage(std::ostream& os) {
         "commands:\n"
         "  list                      scenario registry catalog\n"
         "  show [selection]          print the resolved ScenarioSpec\n"
-        "  run  [selection] [--isd-source model|paper]\n"
+        "  run  [selection] [--isd-source model|paper] [--accuracy MODE]\n"
         "                            run the full paper evaluation\n"
         "  sweep --plan FILE [--shard i/N] [--out FILE]\n"
-        "        [--include-sizing] [--threads N]\n"
-        "                            evaluate (a shard of) a sweep grid\n"
+        "        [--include-sizing] [--threads N] [--accuracy MODE]\n"
+        "        [--progress]\n"
+        "                            evaluate (a shard of) a sweep grid;\n"
+        "                            --progress streams the worker line\n"
+        "                            protocol on stdout (requires --out)\n"
         "  merge [--out FILE] SHARD_FILE...\n"
         "                            merge shards; exit 2 on determinism\n"
         "                            contract violations\n"
+        "  orchestrate --plan FILE --out-dir DIR [--workers N] [--shards N]\n"
+        "              [--retries N] [--timeout SECONDS] [--include-sizing]\n"
+        "              [--threads N] [--accuracy MODE] [--no-speculate]\n"
+        "              [--out FILE]\n"
+        "  orchestrate --resume DIR [same options]\n"
+        "                            evaluate a grid with a local worker\n"
+        "                            fleet: shard queue, straggler retry,\n"
+        "                            speculative tail execution, live\n"
+        "                            progress, resumable manifest\n"
         "\n"
         "scenario selection (show/run):\n"
         "  --scenario NAME           registry entry (default: paper)\n"
         "  --spec FILE               apply a ScenarioSpec document\n"
-        "  --set KEY=VALUE           apply one override (repeatable)\n";
+        "  --set KEY=VALUE           apply one override (repeatable)\n"
+        "\n"
+        "--accuracy MODE is 'bitexact' (default; byte-stable everywhere)\n"
+        "or 'fast' (SIMD transcendentals with tested ULP bounds).\n";
   return 1;
 }
 
@@ -80,6 +113,44 @@ void write_output(const std::optional<std::string>& path,
   std::ofstream out(*path, std::ios::binary);
   if (!out) throw ConfigError("cannot write '" + *path + "'");
   out << content;
+}
+
+/// Strip `--accuracy MODE` from `args` and pin the vector-math mode.
+/// Shared by run / sweep / orchestrate; the flag wins over the
+/// RAILCORR_ACCURACY environment variable (it calls
+/// force_accuracy_mode).
+void apply_accuracy_option(std::vector<std::string>& args) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != "--accuracy") {
+      rest.push_back(args[i]);
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      throw ConfigError("--accuracy expects 'bitexact' or 'fast'");
+    }
+    const std::string& value = args[++i];
+    if (value == "bitexact") {
+      railcorr::vmath::force_accuracy_mode(
+          railcorr::vmath::AccuracyMode::kBitExact);
+    } else if (value == "fast") {
+      railcorr::vmath::force_accuracy_mode(
+          railcorr::vmath::AccuracyMode::kFastUlp);
+    } else {
+      throw ConfigError("--accuracy expects 'bitexact' or 'fast', got '" +
+                        value + "'");
+    }
+  }
+  args = std::move(rest);
+}
+
+/// The active accuracy mode as its CLI spelling, for propagation to
+/// orchestrated workers.
+std::string active_accuracy_spelling() {
+  return railcorr::vmath::active_accuracy_mode() ==
+                 railcorr::vmath::AccuracyMode::kFastUlp
+             ? "fast"
+             : "bitexact";
 }
 
 railcorr::util::SpecEntry parse_set_option(const std::string& text) {
@@ -147,6 +218,7 @@ int cmd_show(std::vector<std::string> args) {
 }
 
 int cmd_run(std::vector<std::string> args) {
+  apply_accuracy_option(args);
   auto scenario = select_scenario(args);
   auto source = railcorr::corridor::IsdSource::kModelSearch;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -200,11 +272,23 @@ int cmd_run(std::vector<std::string> args) {
   return 0;
 }
 
+/// Parse a decimal size_t CLI value via the spec machinery (uniform
+/// error messages).
+std::size_t parse_u64_option(const char* option, const std::string& value) {
+  railcorr::util::SpecEntry entry;
+  entry.key = option;
+  entry.value = value;
+  return static_cast<std::size_t>(railcorr::util::parse_u64(entry));
+}
+
 int cmd_sweep(std::vector<std::string> args) {
+  apply_accuracy_option(args);
   std::optional<std::string> plan_path;
   std::optional<std::string> out_path;
   railcorr::corridor::ShardSpec shard;
   railcorr::core::SweepRunOptions options;
+  bool progress = false;
+  std::optional<std::size_t> abort_after_cells;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto value_of = [&](const char* option) {
       if (i + 1 >= args.size()) {
@@ -220,22 +304,59 @@ int cmd_sweep(std::vector<std::string> args) {
       out_path = value_of("--out");
     } else if (args[i] == "--include-sizing") {
       options.include_sizing = true;
+    } else if (args[i] == "--progress") {
+      progress = true;
+    } else if (args[i] == "--abort-after-cells") {
+      // Failure-injection hook for orchestrator tests: evaluate N
+      // cells, report them on the progress stream, then die on
+      // SIGKILL mid-shard exactly like a crashed/killed worker (no
+      // output file is written).
+      abort_after_cells =
+          parse_u64_option("--abort-after-cells",
+                           value_of("--abort-after-cells"));
     } else if (args[i] == "--threads") {
-      railcorr::util::SpecEntry threads;
-      threads.key = "--threads";
-      threads.value = value_of("--threads");
       railcorr::exec::set_default_thread_count(
-          static_cast<std::size_t>(railcorr::util::parse_u64(threads)));
+          parse_u64_option("--threads", value_of("--threads")));
     } else {
       throw ConfigError("sweep: unknown option '" + args[i] + "'");
     }
   }
   if (!plan_path.has_value()) throw ConfigError("sweep: --plan FILE required");
+  if (progress && !out_path.has_value()) {
+    throw ConfigError(
+        "sweep: --progress requires --out (stdout carries the protocol)");
+  }
 
   const auto plan =
       railcorr::corridor::SweepPlan::from_spec(read_file(*plan_path));
+
+  const std::size_t owned = shard.indices(plan.size()).size();
+  if (progress) {
+    std::cout << railcorr::orch::banner_line(
+                     railcorr::corridor::shard_banner(plan))
+              << std::endl;
+    std::cout << railcorr::orch::start_line(shard.index, shard.count, owned)
+              << std::endl;
+  }
+  if (progress || abort_after_cells.has_value()) {
+    options.progress = [progress, abort_after_cells](
+                           std::size_t index, std::size_t done,
+                           std::size_t total) {
+      if (progress) {
+        std::cout << railcorr::orch::cell_line(index, done, total)
+                  << std::endl;
+      }
+      if (abort_after_cells.has_value() && done >= *abort_after_cells) {
+        std::cout.flush();
+        ::raise(SIGKILL);
+      }
+    };
+  }
   write_output(out_path,
                railcorr::core::run_sweep_shard(plan, shard, options));
+  if (progress) {
+    std::cout << railcorr::orch::done_line(owned) << std::endl;
+  }
   return 0;
 }
 
@@ -258,7 +379,7 @@ int cmd_merge(std::vector<std::string> args) {
   documents.reserve(shard_paths.size());
   for (const auto& path : shard_paths) documents.push_back(read_file(path));
 
-  const auto result = railcorr::corridor::merge_shards(documents);
+  const auto result = railcorr::corridor::merge_shards(documents, shard_paths);
   if (!result.ok) {
     for (const auto& error : result.errors) {
       std::cerr << "merge: " << error << "\n";
@@ -279,6 +400,160 @@ int cmd_merge(std::vector<std::string> args) {
   return 0;
 }
 
+int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
+  apply_accuracy_option(args);
+  std::optional<std::string> plan_path;
+  std::optional<std::string> out_dir;
+  std::optional<std::string> resume_dir;
+  std::optional<std::string> out_path;
+  std::optional<std::size_t> worker_threads;
+  std::optional<std::size_t> inject_kill;
+  railcorr::orch::OrchestrateOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value_of = [&](const char* option) {
+      if (i + 1 >= args.size()) {
+        throw ConfigError(std::string(option) + " expects an argument");
+      }
+      return args[++i];
+    };
+    if (args[i] == "--plan") {
+      plan_path = value_of("--plan");
+    } else if (args[i] == "--out-dir") {
+      out_dir = value_of("--out-dir");
+    } else if (args[i] == "--resume") {
+      resume_dir = value_of("--resume");
+    } else if (args[i] == "--out") {
+      out_path = value_of("--out");
+    } else if (args[i] == "--workers") {
+      options.workers = parse_u64_option("--workers", value_of("--workers"));
+      if (options.workers == 0) {
+        throw ConfigError("--workers must be at least 1");
+      }
+    } else if (args[i] == "--shards") {
+      options.shards = parse_u64_option("--shards", value_of("--shards"));
+    } else if (args[i] == "--retries") {
+      options.retries = parse_u64_option("--retries", value_of("--retries"));
+    } else if (args[i] == "--timeout") {
+      railcorr::util::SpecEntry entry;
+      entry.key = "--timeout";
+      entry.value = value_of("--timeout");
+      options.timeout_s = railcorr::util::parse_double(entry);
+      if (options.timeout_s < 0) {
+        throw ConfigError("--timeout must be >= 0 seconds");
+      }
+    } else if (args[i] == "--include-sizing") {
+      options.include_sizing = true;
+    } else if (args[i] == "--no-speculate") {
+      options.speculate = false;
+    } else if (args[i] == "--threads") {
+      worker_threads = parse_u64_option("--threads", value_of("--threads"));
+    } else if (args[i] == "--inject-kill") {
+      // Testing aid: SIGKILL the *first* attempt of this shard after
+      // one cell (via the worker's --abort-after-cells hook), proving
+      // the retry path reproduces byte-identical output.
+      inject_kill =
+          parse_u64_option("--inject-kill", value_of("--inject-kill"));
+    } else {
+      throw ConfigError("orchestrate: unknown option '" + args[i] + "'");
+    }
+  }
+
+  std::string dir;
+  std::string plan_file;
+  if (resume_dir.has_value()) {
+    if (out_dir.has_value()) {
+      throw ConfigError("orchestrate: --resume DIR already names the run "
+                        "directory; drop --out-dir");
+    }
+    dir = *resume_dir;
+    options.resume = true;
+    // The resumed plan is the run directory's canonical copy unless
+    // the caller insists on a file (whose fingerprint the manifest
+    // check then validates).
+    plan_file = plan_path.has_value() ? *plan_path : dir + "/plan.sweep";
+  } else {
+    if (!plan_path.has_value() || !out_dir.has_value()) {
+      throw ConfigError(
+          "orchestrate: --plan FILE and --out-dir DIR required (or --resume "
+          "DIR)");
+    }
+    dir = *out_dir;
+    plan_file = *plan_path;
+  }
+
+  const auto plan =
+      railcorr::corridor::SweepPlan::from_spec(read_file(plan_file));
+
+  // Worker command line: re-exec this binary's sweep verb against the
+  // run directory's canonical plan. The accuracy mode is propagated
+  // explicitly so a worker under a different environment cannot
+  // diverge from the fleet; threads are split across workers so the
+  // fleet does not oversubscribe the machine (each worker's evaluator
+  // is itself parallel, and its rows are thread-count invariant).
+  const std::string self = railcorr::orch::self_executable_path(argv0);
+  const std::string accuracy = active_accuracy_spelling();
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  // Split cores by the fleet's real width: no more workers can run
+  // concurrently than there are shards (small grids and explicit
+  // --shards clamp it), so dividing by the raw worker count would idle
+  // cores whenever the grid is narrower than the fleet.
+  const std::size_t grid = plan.size();
+  std::size_t fleet_width = options.workers;
+  if (options.shards != 0) fleet_width = std::min(fleet_width, options.shards);
+  fleet_width = std::max<std::size_t>(1, std::min(fleet_width, grid));
+  const std::size_t threads_per_worker =
+      worker_threads.has_value() ? *worker_threads
+                                 : std::max<std::size_t>(1, hw / fleet_width);
+  const std::string worker_plan = dir + "/plan.sweep";
+  const bool sizing = options.include_sizing;
+  options.command =
+      [self, worker_plan, accuracy, threads_per_worker, sizing,
+       inject_kill](const railcorr::orch::WorkerAttempt& attempt) {
+        std::vector<std::string> argv = {
+            self,
+            "sweep",
+            "--plan",
+            worker_plan,
+            "--shard",
+            std::to_string(attempt.shard) + "/" +
+                std::to_string(attempt.shard_count),
+            "--out",
+            attempt.out_path,
+            "--progress",
+            "--accuracy",
+            accuracy,
+            "--threads",
+            std::to_string(threads_per_worker),
+        };
+        if (sizing) argv.push_back("--include-sizing");
+        if (inject_kill.has_value() && attempt.shard == *inject_kill &&
+            attempt.attempt == 0) {
+          argv.push_back("--abort-after-cells");
+          argv.push_back("1");
+        }
+        return argv;
+      };
+  options.log = &std::cerr;
+
+  const auto result = railcorr::orch::orchestrate(plan, dir, options);
+  if (!result.ok) {
+    for (const auto& error : result.errors) {
+      std::cerr << "orchestrate: " << error << "\n";
+    }
+    // Exit 2 mirrors merge: determinism-contract violations AND
+    // refused resumes (fingerprint / accuracy-banner mismatch) are
+    // "the grid you asked for is not the grid on disk" conditions.
+    return (result.contract_violation || result.manifest_mismatch) ? 2 : 1;
+  }
+  if (out_path.has_value()) write_output(out_path, result.merged);
+  std::cout << "orchestrate: merged " << result.merged_path << " ("
+            << result.stats.attempts << " attempt(s), "
+            << result.stats.retried << " retried, "
+            << result.stats.speculative << " speculative, "
+            << result.stats.resumed << " resumed)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -291,6 +566,9 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(std::move(args));
     if (command == "sweep") return cmd_sweep(std::move(args));
     if (command == "merge") return cmd_merge(std::move(args));
+    if (command == "orchestrate") {
+      return cmd_orchestrate(std::move(args), argv[0]);
+    }
     if (command == "--help" || command == "-h" || command == "help") {
       return usage(std::cout) * 0;
     }
@@ -301,6 +579,12 @@ int main(int argc, char** argv) {
     return 1;
   } catch (const railcorr::ContractViolation& violation) {
     std::cerr << "railcorr " << command << ": " << violation.what() << "\n";
+    return 1;
+  } catch (const std::exception& error) {
+    // Orchestrator plumbing (pipe/fork/filesystem) reports through
+    // std::runtime_error; treat it as an environment error, not a
+    // determinism violation.
+    std::cerr << "railcorr " << command << ": " << error.what() << "\n";
     return 1;
   }
 }
