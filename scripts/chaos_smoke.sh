@@ -1,0 +1,88 @@
+#!/bin/sh
+# Seeded chaos harness (registered as ctest `cli/chaos_smoke` and run
+# by CI): the orchestrator's whole failure model exercised at once, end
+# to end against the real binary on a 64-cell grid.
+#
+#   1. `orchestrate --chaos-seed` drives the worker fleet through a
+#      deterministic random schedule of injected faults — torn writes,
+#      corrupted integrity trailers, progress stalls, mid-shard kills —
+#      and must still converge (attempts at or past the retry budget run
+#      clean by construction) with merged.csv byte-identical to the
+#      clean single-process sweep,
+#   2. the run's manifest carries classified `fail` audit lines for the
+#      injected failures,
+#   3. a resume over a deliberately truncated shard file recomputes
+#      exactly that shard (not a fatal contract violation) and again
+#      reproduces the same bytes.
+#
+# usage: chaos_smoke.sh <railcorr-binary>
+set -eu
+
+BIN="$1"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# The same cheap 64-cell grid as orchestrate_smoke.sh.
+cat > "$TMP/plan.sweep" <<'PLAN'
+base = paper
+set max_repeaters = 2
+set isd_search.isd_step_m = 100
+set isd_search.sample_step_m = 50
+axis radio.lp_eirp_dbm = 37, 38, 39, 40
+axis timetable.trains_per_hour = 6, 8, 10, 12
+axis timetable.night_hours = 4, 5
+axis radio.hp_eirp_dbm = 60, 61
+PLAN
+
+"$BIN" sweep --plan "$TMP/plan.sweep" --out "$TMP/single.csv"
+
+# --- 1: seeded fault storm must converge byte-identically -------------
+# Seed 7 exercises a mixed schedule (torn writes, trailer corruption,
+# stalls, kills) across the 8 shards; any seed must converge, this one
+# is pinned so failures reproduce.
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/run" \
+    --workers 4 --retries 3 --timeout 120 --stall-timeout 2 \
+    --chaos-seed 7 2> "$TMP/chaos.log"
+
+if ! grep -q "chaos: shard" "$TMP/chaos.log"; then
+  echo "FAIL: chaos schedule injected no faults (seed too clean?)" >&2
+  exit 1
+fi
+if ! cmp "$TMP/run/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: chaos-run merge differs from the single-process sweep" >&2
+  exit 1
+fi
+
+# --- 2: the manifest audits the injected failures ---------------------
+if ! grep -q "^fail " "$TMP/run/orchestrate.manifest"; then
+  echo "FAIL: manifest has no classified fail lines after a fault storm" >&2
+  exit 1
+fi
+
+# --- 3: resume over a truncated shard recomputes it -------------------
+# Truncate one durable shard file mid-document (a crash between rename
+# and fsync on a torn filesystem): its manifest entry still says done,
+# so resume must detect the damage, reclassify the shard as not done,
+# and re-run exactly it.
+head -c 40 "$TMP/run/shard_3.csv" > "$TMP/run/shard_3.csv.tmp"
+mv "$TMP/run/shard_3.csv.tmp" "$TMP/run/shard_3.csv"
+rm "$TMP/run/merged.csv"
+"$BIN" orchestrate --resume "$TMP/run" --workers 4 --no-speculate \
+    2> "$TMP/resume.log"
+
+if ! grep -q "re-running" "$TMP/resume.log"; then
+  echo "FAIL: resume did not reclassify the truncated shard" >&2
+  exit 1
+fi
+launches="$(grep -c "launch shard" "$TMP/resume.log")"
+if [ "$launches" -ne 1 ]; then
+  echo "FAIL: resume launched $launches workers, expected exactly 1" >&2
+  exit 1
+fi
+if ! cmp "$TMP/run/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: resumed merge differs from the single-process sweep" >&2
+  exit 1
+fi
+
+echo "cli chaos smoke OK"

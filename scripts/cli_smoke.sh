@@ -37,9 +37,24 @@ if ! cmp "$TMP/merged_sharded.csv" "$TMP/merged_single.csv"; then
   exit 1
 fi
 
-# Overlapping cells with differing bytes must be rejected with the
-# dedicated contract-violation exit code (2, not the usage-error 1).
-sed 's/^0,37,8,/0,37,8,CORRUPTED/' "$TMP/shard0.csv" > "$TMP/shard0_bad.csv"
+# A corrupted row under a now-stale integrity trailer is caught by the
+# trailer check first: an I/O-integrity input error (exit 1), not a
+# determinism-contract violation.
+sed 's/^0,37,8,/0,37,8,CORRUPTED/' "$TMP/shard0.csv" > "$TMP/shard0_stale.csv"
+set +e
+"$BIN" merge "$TMP/shard0_stale.csv" "$TMP/full.csv" >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+  echo "FAIL: stale-trailer corruption exited $code, expected 1" >&2
+  exit 1
+fi
+
+# With the trailer stripped the document is structurally valid again,
+# so the same corrupted row now means overlapping cells with differing
+# bytes — the dedicated contract-violation exit code (2, not 1).
+grep -v '^@railcorr-crc ' "$TMP/shard0.csv" \
+    | sed 's/^0,37,8,/0,37,8,CORRUPTED/' > "$TMP/shard0_bad.csv"
 set +e
 "$BIN" merge "$TMP/shard0_bad.csv" "$TMP/full.csv" >/dev/null 2>&1
 code=$?

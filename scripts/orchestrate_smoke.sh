@@ -41,8 +41,14 @@ PLAN
 "$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/run" \
     --workers 4 --inject-kill 2 2> "$TMP/orch.log"
 
-if ! grep -q "killed by signal 9" "$TMP/orch.log"; then
+# The classified failure cause (signal-9) must appear in both the
+# retry log and the manifest's fail audit line.
+if ! grep -q "signal-9" "$TMP/orch.log"; then
   echo "FAIL: injected kill did not register in the orchestrator log" >&2
+  exit 1
+fi
+if ! grep -q "^fail 2 0 signal-9" "$TMP/run/orchestrate.manifest"; then
+  echo "FAIL: manifest lacks the classified fail line for the killed attempt" >&2
   exit 1
 fi
 if ! grep -q "re-queued" "$TMP/orch.log"; then

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/durable_io.hpp"
 #include "util/vmath.hpp"
 
 namespace railcorr::corridor {
@@ -43,7 +44,7 @@ struct ParsedShard {
   std::vector<std::pair<std::size_t, std::string>> rows;
 };
 
-std::optional<ParsedShard> parse_shard(const std::string& document,
+std::optional<ParsedShard> parse_shard(std::string_view document,
                                        const std::string& label,
                                        std::vector<std::string>& errors) {
   ParsedShard shard;
@@ -333,7 +334,19 @@ MergeResult merge_shards(const std::vector<std::string>& shard_documents,
 
   std::vector<ParsedShard> shards;
   for (std::size_t s = 0; s < shard_documents.size(); ++s) {
-    auto parsed = parse_shard(shard_documents[s], label(s), result.errors);
+    // Integrity first: a document whose `@railcorr-crc` trailer does
+    // not match its bytes was truncated or corrupted on disk — an I/O
+    // failure of that file, not a determinism-contract breach, so
+    // contract_violation stays false and the orchestrator recomputes
+    // the shard instead of aborting. A document with no trailer (a
+    // hand-built shard, a legacy file) is parsed as-is.
+    const auto trailer = util::check_integrity_trailer(shard_documents[s]);
+    if (trailer.status == util::TrailerStatus::kCorrupt) {
+      result.errors.push_back(
+          label(s) + ": integrity trailer mismatch (truncated or corrupted)");
+      return result;
+    }
+    auto parsed = parse_shard(trailer.body, label(s), result.errors);
     if (!parsed.has_value()) return result;
     shards.push_back(std::move(*parsed));
   }

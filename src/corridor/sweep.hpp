@@ -147,6 +147,13 @@ struct MergeResult {
 /// and of how cells were distributed (a single-shard 0/1 run merges to
 /// the same bytes as any sharded run of the same plan).
 ///
+/// Documents carrying a util::durable_io integrity trailer are verified
+/// and stripped before parsing; a mismatching trailer fails the merge
+/// as an *input* error (`contract_violation` stays false — the file was
+/// damaged on disk, determinism is not in question). Trailer-less
+/// documents are accepted unchanged. The merged output never carries a
+/// trailer; callers writing it to disk add one.
+///
 /// `shard_names` (when non-empty; must then match `shard_documents` in
 /// size) labels each document in diagnostics — the CLI and the
 /// orchestrator pass file paths, so an overlap violation names the

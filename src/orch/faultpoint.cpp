@@ -1,0 +1,114 @@
+#include "orch/faultpoint.hpp"
+
+#include <cstdlib>
+
+#include "util/config.hpp"
+
+namespace railcorr::orch {
+
+namespace {
+
+using util::ConfigError;
+
+struct KindName {
+  FaultKind kind;
+  std::string_view name;
+  bool takes_param;
+};
+
+constexpr KindName kKinds[] = {
+    {FaultKind::kTornWrite, "torn-write", true},
+    {FaultKind::kCorruptTrailer, "corrupt-trailer", false},
+    {FaultKind::kStall, "stall", true},
+    {FaultKind::kKillAfterCells, "kill", true},
+};
+
+std::size_t parse_param(std::string_view text, std::string_view spec) {
+  if (text.empty()) {
+    throw ConfigError("fault spec '" + std::string(spec) + "': empty value");
+  }
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw ConfigError("fault spec '" + std::string(spec) +
+                        "': expected a decimal value");
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string fault_spec_string(const FaultSpec& spec) {
+  for (const auto& entry : kKinds) {
+    if (entry.kind != spec.kind) continue;
+    std::string out(entry.name);
+    if (entry.takes_param) {
+      out += '=';
+      out += std::to_string(spec.param);
+    }
+    return out;
+  }
+  return "?";
+}
+
+FaultSpec parse_fault_spec(std::string_view text) {
+  const std::size_t eq = text.find('=');
+  const std::string_view name =
+      eq == std::string_view::npos ? text : text.substr(0, eq);
+  for (const auto& entry : kKinds) {
+    if (name != entry.name) continue;
+    FaultSpec spec;
+    spec.kind = entry.kind;
+    if (entry.takes_param) {
+      if (eq == std::string_view::npos) {
+        throw ConfigError("fault spec '" + std::string(text) + "': '" +
+                          std::string(entry.name) + "' needs '=N'");
+      }
+      spec.param = parse_param(text.substr(eq + 1), text);
+    } else if (eq != std::string_view::npos) {
+      throw ConfigError("fault spec '" + std::string(text) + "': '" +
+                        std::string(entry.name) + "' takes no value");
+    }
+    return spec;
+  }
+  throw ConfigError(
+      "fault spec '" + std::string(text) +
+      "': expected torn-write=N, corrupt-trailer, stall=N, or kill=N");
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultSpec& spec) { armed_.push_back(spec); }
+
+void FaultInjector::arm_from_env() {
+  const char* env = std::getenv("RAILCORR_FAULT");
+  if (env == nullptr) return;
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view token =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest.remove_prefix(comma == std::string_view::npos ? rest.size()
+                                                       : comma + 1);
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token.empty()) continue;
+    arm(parse_fault_spec(token));
+  }
+}
+
+void FaultInjector::clear() { armed_.clear(); }
+
+std::optional<std::size_t> FaultInjector::armed(FaultKind kind) const {
+  for (const auto& spec : armed_) {
+    if (spec.kind == kind) return spec.param;
+  }
+  return std::nullopt;
+}
+
+}  // namespace railcorr::orch

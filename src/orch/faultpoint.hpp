@@ -1,0 +1,98 @@
+/// \file faultpoint.hpp
+/// \brief Named, env/flag-armed fault-injection points for adversarial
+///        testing of the orchestrator's failure model.
+///
+/// A fault point is a *named site* in the worker where a specific
+/// failure can be provoked on demand — generalizing the original
+/// `--abort-after-cells` kill hook into a small vocabulary covering
+/// every failure class the orchestrator claims to survive:
+///
+///   torn-write=N       write only the first N bytes of the output
+///                      file (no fsync, no atomic rename), then report
+///                      success — a torn write the supervisor must
+///                      catch as corrupt output, not trust.
+///   corrupt-trailer    write the full document but flip one hex digit
+///                      of its integrity trailer — silent on-disk
+///                      corruption, caught only by trailer
+///                      verification.
+///   stall=N            after N cells, stop emitting progress and
+///                      sleep forever — a hung worker only the
+///                      supervisor's --stall-timeout liveness check
+///                      can clear.
+///   kill=N             raise SIGKILL after N cells — a crashed
+///                      worker, mid-shard (`--abort-after-cells N`
+///                      is an alias).
+///
+/// Faults are armed per process through the `railcorr sweep --fault
+/// SPEC` flag (the orchestrator's chaos mode appends it to selected
+/// worker attempts) or the `RAILCORR_FAULT` environment variable
+/// (comma-separated specs), and queried at the injection sites via the
+/// process-wide `FaultInjector`. The sites are compiled in
+/// unconditionally — they are a handful of branch checks on a cold
+/// path, and an unarmed injector answers every query with "no fault",
+/// so production behavior is untouched.
+///
+/// The seeded chaos harness (`scripts/chaos_smoke.sh`, ctest
+/// `cli/chaos_smoke`) drives a whole grid through a deterministic
+/// random schedule of these faults and asserts the merged output is
+/// byte-identical to a clean single-process sweep.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace railcorr::orch {
+
+enum class FaultKind {
+  kTornWrite,
+  kCorruptTrailer,
+  kStall,
+  kKillAfterCells,
+};
+
+/// One armed fault: the kind plus its parameter (bytes for torn-write,
+/// cells for stall/kill; unused for corrupt-trailer).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kKillAfterCells;
+  std::size_t param = 0;
+};
+
+/// The spec's canonical flag spelling ("torn-write=64", "stall=2", ...).
+std::string fault_spec_string(const FaultSpec& spec);
+
+/// Parse "torn-write=N" / "corrupt-trailer" / "stall=N" / "kill=N".
+/// Throws util::ConfigError on an unknown kind, a missing required
+/// parameter, or malformed digits.
+FaultSpec parse_fault_spec(std::string_view text);
+
+/// Process-wide fault registry. Worker code queries it at each
+/// injection site; the CLI arms it from --fault flags and the
+/// RAILCORR_FAULT environment variable. Not thread-safe by design:
+/// arming happens during argument parsing, before any worker threads
+/// exist.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  void arm(const FaultSpec& spec);
+
+  /// Arm every comma-separated spec in RAILCORR_FAULT (no-op when the
+  /// variable is unset or empty). Throws util::ConfigError on a
+  /// malformed spec.
+  void arm_from_env();
+
+  /// Disarm everything (tests).
+  void clear();
+
+  /// The parameter of the first armed fault of `kind`; std::nullopt
+  /// when that kind is not armed.
+  [[nodiscard]] std::optional<std::size_t> armed(FaultKind kind) const;
+
+ private:
+  std::vector<FaultSpec> armed_;
+};
+
+}  // namespace railcorr::orch

@@ -68,25 +68,15 @@ RunManifest RunManifest::parse(std::string_view text) {
   bool magic_seen = false;
   bool fingerprint_seen = false, grid_seen = false, shards_seen = false,
        sizing_seen = false, banner_seen = false;
+  // The manifest is appended one synced line at a time, so the only
+  // torn state a crash can leave is a final line with no trailing
+  // newline. Such a line is dropped, not diagnosed: the entry it was
+  // recording simply never became durable, which is exactly the
+  // recovery semantic resume wants. Mid-document damage still throws.
+  const bool ends_with_newline = !text.empty() && text.back() == '\n';
   std::size_t line_no = 0;
-  while (!text.empty()) {
-    ++line_no;
-    const std::size_t eol = text.find('\n');
-    std::string_view line =
-        eol == std::string_view::npos ? text : text.substr(0, eol);
-    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (line.empty()) continue;
 
-    if (!magic_seen) {
-      if (line != kMagic) {
-        throw ConfigError("manifest: missing '" + std::string(kMagic) +
-                          "' magic on line 1");
-      }
-      magic_seen = true;
-      continue;
-    }
-
+  const auto apply_line = [&](std::string_view line) {
     std::string_view value;
     if (key_value(line, "fingerprint", value)) {
       manifest.fingerprint = parse_hex16(value);
@@ -118,10 +108,62 @@ RunManifest RunManifest::parse(std::string_view text) {
       manifest.done.emplace_back(
           parse_size(rest.substr(0, space), "done shard index"),
           std::string(rest.substr(space + 1)));
+    } else if (line.starts_with("fail ")) {
+      std::string_view rest = line.substr(5);
+      const std::size_t first = rest.find(' ');
+      const std::size_t second =
+          first == std::string_view::npos ? first : rest.find(' ', first + 1);
+      if (first == std::string_view::npos ||
+          second == std::string_view::npos || first == 0 ||
+          second == first + 1 || second + 1 >= rest.size()) {
+        throw ConfigError("manifest line " + std::to_string(line_no) +
+                          ": expected 'fail <shard> <attempt> <class>'");
+      }
+      Failure failure;
+      failure.shard = parse_size(rest.substr(0, first), "fail shard index");
+      failure.attempt = parse_size(rest.substr(first + 1, second - first - 1),
+                                   "fail attempt");
+      failure.cause = std::string(rest.substr(second + 1));
+      manifest.failures.push_back(std::move(failure));
     } else {
       throw ConfigError("manifest line " + std::to_string(line_no) +
                         ": unrecognized entry '" + std::string(line) + "'");
     }
+  };
+
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    const bool torn_final =
+        eol == std::string_view::npos && !ends_with_newline;
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    if (!magic_seen) {
+      if (line != kMagic) {
+        throw ConfigError("manifest: missing '" + std::string(kMagic) +
+                          "' magic on line 1");
+      }
+      magic_seen = true;
+      continue;
+    }
+
+    if (torn_final) {
+      // A malformed final line with no trailing newline is the one torn
+      // state a crashed synced-append writer can leave; the entry it
+      // was recording never became durable, so drop it. A final line
+      // that parses cleanly is kept (its newline just never landed).
+      // Mid-document damage still throws above.
+      try {
+        apply_line(line);
+      } catch (const ConfigError&) {
+      }
+      break;
+    }
+    apply_line(line);
   }
   if (!magic_seen) throw ConfigError("manifest: empty document");
   if (!fingerprint_seen || !grid_seen || !shards_seen || !sizing_seen ||
@@ -138,6 +180,14 @@ RunManifest RunManifest::parse(std::string_view text) {
     }
     (void)file;
   }
+  for (const auto& failure : manifest.failures) {
+    if (failure.shard >= manifest.shards) {
+      throw ConfigError("manifest: fail shard " +
+                        std::to_string(failure.shard) +
+                        " outside shard count " +
+                        std::to_string(manifest.shards));
+    }
+  }
   return manifest;
 }
 
@@ -153,6 +203,12 @@ std::string RunManifest::header_text() const {
 std::string RunManifest::done_line(std::size_t shard,
                                    const std::string& file) {
   return "done " + std::to_string(shard) + " " + file;
+}
+
+std::string RunManifest::fail_line(std::size_t shard, std::size_t attempt,
+                                   const std::string& cause) {
+  return "fail " + std::to_string(shard) + " " + std::to_string(attempt) +
+         " " + cause;
 }
 
 bool RunManifest::is_done(std::size_t shard) const {

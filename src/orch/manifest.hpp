@@ -19,15 +19,20 @@
 ///     sizing = 0|1
 ///     banner = # railcorr-sweep-v1 fingerprint=<hex16> grid=<N> [...]
 ///     done <shard index> <file name>
+///     fail <shard index> <attempt> <class>
 ///
-/// `done` lines are appended (and flushed) as workers finish, so a
+/// `done` lines are appended (and synced) as workers finish, so a
 /// crashed or interrupted orchestrator leaves behind exactly the set
-/// of shards whose files are complete. `railcorr orchestrate --resume
-/// <dir>` replays the manifest: finished shards are skipped, and a
-/// manifest whose fingerprint, banner (which encodes the accuracy
-/// mode), shard count, or sizing flag disagrees with the resumed
-/// invocation is refused — mixing plans or accuracy modes across a
-/// resume would poison the merge.
+/// of shards whose files are complete. `fail` lines record every
+/// failed worker attempt with its classified cause (`exit-<code>`,
+/// `signal-<n>`, `timeout`, `stalled`, `corrupt-output`) — a
+/// post-mortem audit trail of what the fleet survived; they carry no
+/// resume semantics. `railcorr orchestrate --resume <dir>` replays the
+/// manifest: finished shards are skipped, and a manifest whose
+/// fingerprint, banner (which encodes the accuracy mode), shard count,
+/// or sizing flag disagrees with the resumed invocation is refused —
+/// mixing plans or accuracy modes across a resume would poison the
+/// merge.
 ///
 /// The banner is stored verbatim (not re-derived) because it is the
 /// exact string every shard file and worker must reproduce; comparing
@@ -61,6 +66,17 @@ struct RunManifest {
   /// was resumed; consumers treat it as a set.
   std::vector<std::pair<std::size_t, std::string>> done;
 
+  /// One recorded failed worker attempt (post-mortem only).
+  struct Failure {
+    std::size_t shard = 0;
+    std::size_t attempt = 0;
+    /// Classified cause: exit-<code>, signal-<n>, timeout, stalled,
+    /// or corrupt-output.
+    std::string cause;
+  };
+  /// Every `fail` line, in append order (possibly across resumes).
+  std::vector<Failure> failures;
+
   /// The manifest a fresh orchestration of `plan` starts from. The
   /// banner captures the *current* accuracy mode via
   /// corridor::shard_banner.
@@ -68,7 +84,11 @@ struct RunManifest {
                               std::size_t shards, bool include_sizing);
 
   /// Parse a manifest document. Throws util::ConfigError on a missing
-  /// magic line, malformed fields, or missing header keys.
+  /// magic line, malformed fields, or missing header keys. A malformed
+  /// *final* line lacking its trailing newline is silently dropped —
+  /// the torn state a crash during a synced append leaves behind; the
+  /// half-written entry never became durable, so resume proceeds
+  /// without it.
   static RunManifest parse(std::string_view text);
 
   /// Header block (magic through banner, trailing newline); `done`
@@ -77,6 +97,10 @@ struct RunManifest {
 
   /// One `done <shard> <file>` line (no trailing newline).
   static std::string done_line(std::size_t shard, const std::string& file);
+
+  /// One `fail <shard> <attempt> <class>` line (no trailing newline).
+  static std::string fail_line(std::size_t shard, std::size_t attempt,
+                               const std::string& cause);
 
   /// True when `shard` has a done entry.
   [[nodiscard]] bool is_done(std::size_t shard) const;

@@ -1,12 +1,12 @@
 #include "orch/orchestrator.hpp"
 
 #include <poll.h>
+#include <signal.h>
 
 #include <algorithm>
 #include <chrono>
 #include <deque>
 #include <filesystem>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -15,6 +15,7 @@
 #include "orch/process.hpp"
 #include "orch/progress.hpp"
 #include "util/config.hpp"
+#include "util/durable_io.hpp"
 
 namespace railcorr::orch {
 
@@ -23,24 +24,23 @@ namespace {
 namespace fs = std::filesystem;
 using Clock = std::chrono::steady_clock;
 
-std::optional<std::string> read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-/// True when `path` holds an intact shard document for `shard`: the
-/// expected banner and one data row per owned cell. A banner-only
-/// check would let a file truncated after its first line pass resume
-/// validation and wedge every subsequent --resume in the same merge
-/// failure; counting rows makes resume self-healing.
-bool shard_file_intact(const fs::path& path, std::string_view banner,
-                       corridor::ShardSpec shard, std::size_t grid) {
-  const auto document = read_file(path);
-  if (!document.has_value()) return false;
-  std::string_view rest = *document;
+/// True when `document` holds an intact shard payload for `shard`: a
+/// verified (or absent) integrity trailer, the expected banner, and one
+/// data row per owned cell. A banner-only check would let a file
+/// truncated after its first line pass validation and wedge every
+/// subsequent --resume in the same merge failure; the trailer catches
+/// bit corruption the row count cannot, and the row count catches a
+/// cleanly-truncated legacy file with no trailer. `why` (never null)
+/// names the defect.
+bool shard_document_intact(std::string_view document, std::string_view banner,
+                           corridor::ShardSpec shard, std::size_t grid,
+                           std::string* why) {
+  const auto trailer = util::check_integrity_trailer(document);
+  if (trailer.status == util::TrailerStatus::kCorrupt) {
+    *why = "integrity trailer mismatch (truncated or corrupted)";
+    return false;
+  }
+  std::string_view rest = trailer.body;
   std::size_t lines = 0;
   std::string_view first;
   while (!rest.empty()) {
@@ -53,24 +53,57 @@ bool shard_file_intact(const fs::path& path, std::string_view banner,
     if (lines == 0) first = line;
     ++lines;
   }
-  if (lines < 2 || first != banner) return false;
+  if (lines < 2 || first != banner) {
+    *why = "missing or wrong banner/header";
+    return false;
+  }
   // Banner + header + one row per owned cell.
-  return lines - 2 == shard.indices(grid).size();
+  if (lines - 2 != shard.indices(grid).size()) {
+    *why = "row count " + std::to_string(lines - 2) + " != owned cells " +
+           std::to_string(shard.indices(grid).size());
+    return false;
+  }
+  return true;
 }
+
+bool shard_file_intact(const fs::path& path, std::string_view banner,
+                       corridor::ShardSpec shard, std::size_t grid,
+                       std::string* why) {
+  const auto document = util::read_file_fully(path.string());
+  if (!document.has_value()) {
+    *why = "file missing or unreadable";
+    return false;
+  }
+  return shard_document_intact(*document, banner, shard, grid, why);
+}
+
+/// Why a worker attempt failed — drives the retry log, the manifest's
+/// `fail` audit lines, and the per-class stats.
+enum class FailureClass {
+  kExit,
+  kSignal,
+  kTimeout,
+  kStalled,
+  kCorruptOutput,
+};
 
 /// One live worker attempt tracked by the scheduler.
 struct ActiveAttempt {
   WorkerAttempt info;
   ChildProcess proc;
   Clock::time_point started;
+  /// Last parsed protocol event (== started until the first one): the
+  /// liveness signal the stall timeout watches.
+  Clock::time_point last_progress;
   /// A twin already finalized this shard; this attempt's exit (however
   /// it ends) is ignored and its output discarded.
   bool canceled = false;
   bool timed_out = false;
+  bool stalled = false;
 };
 
-double elapsed_s(const ActiveAttempt& attempt, Clock::time_point now) {
-  return std::chrono::duration<double>(now - attempt.started).count();
+double elapsed_s(Clock::time_point since, Clock::time_point now) {
+  return std::chrono::duration<double>(now - since).count();
 }
 
 }  // namespace
@@ -95,6 +128,11 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   if (options.workers == 0) return fail("need at least one worker");
   if (!options.command) return fail("no worker command builder configured");
 
+  // A worker dying with its pipe mid-write must never take the
+  // supervisor down with SIGPIPE; write failures surface as error
+  // returns instead.
+  ::signal(SIGPIPE, SIG_IGN);
+
   const std::size_t grid = plan.size();
 
   // --- run directory + manifest -------------------------------------
@@ -107,7 +145,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
 
   std::optional<RunManifest> previous;
   if (options.resume) {
-    const auto text = read_file(manifest_path);
+    const auto text = util::read_file_fully(manifest_path.string());
     if (!text.has_value()) {
       return fail("--resume: cannot read '" + manifest_path.string() +
                   "' (was this directory produced by orchestrate?)");
@@ -152,10 +190,13 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
     for (std::size_t shard = 0; shard < shards; ++shard) {
       if (!previous->is_done(shard)) continue;
       // A done entry only counts when its file is still intact (the
-      // recorded banner plus every owned row); otherwise the shard
-      // re-runs.
+      // recorded banner, a verified or absent integrity trailer, and
+      // every owned row); a truncated or corrupted shard is
+      // reclassified as *not done* and recomputed — resume is
+      // self-healing, not a fatal contract check.
+      std::string why;
       if (shard_file_intact(dir / shard_file_name(shard), wanted.banner,
-                            corridor::ShardSpec{shard, shards}, grid)) {
+                            corridor::ShardSpec{shard, shards}, grid, &why)) {
         completed[shard] = true;
         ++completed_count;
         ++result.stats.resumed;
@@ -169,17 +210,17 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
         aggregator.on_shard_complete(shard);
       } else {
         log("resume: shard " + std::to_string(shard) +
-            " marked done but its file is missing or stale; re-running");
+            " marked done but its file is stale (" + why + "); re-running");
       }
     }
     log("resume: skipping " + std::to_string(result.stats.resumed) +
         " finished shard(s) of " + std::to_string(shards));
   } else {
-    std::ofstream header(manifest_path, std::ios::binary | std::ios::trunc);
-    if (!header) {
-      return fail("cannot write '" + manifest_path.string() + "'");
+    std::string error;
+    if (!util::atomic_write_file(manifest_path.string(), wanted.header_text(),
+                                 &error)) {
+      return fail("cannot write manifest: " + error);
     }
-    header << wanted.header_text();
   }
 
   // Fresh runs (re)write the canonical plan unconditionally: a stale
@@ -188,15 +229,19 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   // existing copy (its fingerprint was just validated).
   const fs::path plan_path = dir / "plan.sweep";
   if (!options.resume || !fs::exists(plan_path)) {
-    std::ofstream plan_out(plan_path, std::ios::binary | std::ios::trunc);
-    if (!plan_out) return fail("cannot write '" + plan_path.string() + "'");
-    plan_out << plan.canonical_spec();
+    std::string error;
+    if (!util::atomic_write_file(plan_path.string(), plan.canonical_spec(),
+                                 &error)) {
+      return fail("cannot write plan: " + error);
+    }
   }
 
-  std::ofstream manifest_out(manifest_path,
-                             std::ios::binary | std::ios::app);
-  if (!manifest_out) {
-    return fail("cannot append to '" + manifest_path.string() + "'");
+  util::AppendLog manifest_log;
+  {
+    std::string error;
+    if (!manifest_log.open(manifest_path.string(), &error)) {
+      return fail("cannot append to manifest: " + error);
+    }
   }
 
   // --- scheduler ----------------------------------------------------
@@ -207,6 +252,10 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   std::vector<std::size_t> fail_count(shards, 0);
   std::vector<std::size_t> attempt_no(shards, 0);
   std::vector<std::size_t> speculated(shards, 0);
+  // Earliest relaunch time per shard (exponential backoff); the epoch
+  // default means "ready now".
+  std::vector<Clock::time_point> not_before(shards, Clock::time_point{});
+  std::vector<bool> slot_used(options.workers, false);
   std::vector<double> shard_durations;
   std::vector<ActiveAttempt> active;
   std::size_t attempt_serial = 0;
@@ -226,207 +275,358 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
     info.shard_count = shards;
     info.attempt = attempt_no[shard]++;
     info.speculative = speculative;
+    // Lowest free worker slot; launch is only called when
+    // active.size() < workers, so one must be free.
+    std::size_t slot = 0;
+    while (slot + 1 < slot_used.size() && slot_used[slot]) ++slot;
+    slot_used[slot] = true;
+    info.slot = slot;
     info.out_path =
         (dir / ("shard_" + std::to_string(shard) + ".attempt" +
                 std::to_string(attempt_serial++) + ".tmp"))
             .string();
+    const auto now = Clock::now();
     ActiveAttempt attempt{info, ChildProcess::spawn(options.command(info)),
-                         Clock::now(), false, false};
+                         now, now, false, false, false};
     ++result.stats.attempts;
     if (speculative) ++result.stats.speculative;
     log("launch shard " + std::to_string(shard) + "/" +
         std::to_string(shards) + " attempt " + std::to_string(info.attempt) +
-        (speculative ? " (speculative)" : "") + " pid " +
-        std::to_string(attempt.proc.pid()));
+        (speculative ? " (speculative)" : "") + " slot " +
+        std::to_string(slot) + " pid " + std::to_string(attempt.proc.pid()));
     active.push_back(std::move(attempt));
   };
 
   const auto drain_into_aggregator = [&](ActiveAttempt& attempt) {
     std::vector<std::string> lines;
     attempt.proc.drain(lines);
+    bool any_event = false;
     for (const auto& line : lines) {
       const auto event = parse_progress_line(line);
-      if (event.has_value()) aggregator.on_event(attempt.info.shard, *event);
+      if (event.has_value()) {
+        aggregator.on_event(attempt.info.shard, *event);
+        any_event = true;
+      }
     }
+    if (any_event) attempt.last_progress = Clock::now();
   };
 
-  while (completed_count < shards) {
-    while (active.size() < options.workers && !pending.empty()) {
-      launch(pending.front(), /*speculative=*/false);
-      pending.pop_front();
+  /// Classify one failed (non-canceled, non-finalized) attempt, bump
+  /// its stats bucket, append the manifest `fail` line, and return the
+  /// classified cause label for the retry log.
+  const auto record_failure = [&](const ActiveAttempt& attempt,
+                                  FailureClass cls, const ExitStatus& status) {
+    std::string cause;
+    switch (cls) {
+      case FailureClass::kTimeout:
+        cause = "timeout";
+        ++result.stats.timed_out;
+        break;
+      case FailureClass::kStalled:
+        cause = "stalled";
+        ++result.stats.stalled;
+        break;
+      case FailureClass::kCorruptOutput:
+        cause = "corrupt-output";
+        ++result.stats.corrupt;
+        break;
+      case FailureClass::kSignal:
+        cause = "signal-" + std::to_string(status.code - 128);
+        break;
+      case FailureClass::kExit:
+        cause = "exit-" + std::to_string(status.code);
+        break;
     }
+    // Every failed attempt — speculative twins included — lands in the
+    // manifest for post-mortem; only non-speculative ones charge the
+    // retry budget (see below).
+    manifest_log.append_line(
+        RunManifest::fail_line(attempt.info.shard, attempt.info.attempt,
+                               cause));
+    return cause;
+  };
 
-    if (pending.empty() && options.speculate &&
-        active.size() < options.workers && !active.empty() &&
-        !shard_durations.empty()) {
-      // Idle slots and an empty queue: speculatively duplicate the
-      // longest-running shard with only one attempt in flight — but
-      // only once it actually looks like a straggler (2x the median
-      // finished-shard duration), at most one twin per shard, and
-      // never before the first shard has finished (otherwise a fleet
-      // with more workers than shards would duplicate every shard at
-      // t=0 and double the run's CPU for nothing).
-      std::vector<double> durations = shard_durations;
-      const auto mid =
-          durations.begin() +
-          static_cast<std::vector<double>::difference_type>(durations.size() /
-                                                            2);
-      std::nth_element(durations.begin(), mid, durations.end());
-      const double threshold = std::max(0.05, 2.0 * *mid);
-      const auto now = Clock::now();
-      std::size_t best_shard = shards;
-      double best_elapsed = threshold;
-      for (const auto& attempt : active) {
-        if (attempt.canceled || speculated[attempt.info.shard] > 0 ||
-            active_attempts_of(attempt.info.shard) != 1) {
-          continue;
-        }
-        const double running = elapsed_s(attempt, now);
-        if (running > best_elapsed) {
-          best_elapsed = running;
-          best_shard = attempt.info.shard;
-        }
-      }
-      if (best_shard < shards) {
-        ++speculated[best_shard];
-        launch(best_shard, /*speculative=*/true);
-      }
-    }
+  /// Exponential, deterministic backoff before the shard's relaunch.
+  const auto apply_backoff = [&](std::size_t shard) {
+    if (options.backoff_base_s <= 0.0) return 0.0;
+    const std::size_t failures = std::max<std::size_t>(1, fail_count[shard]);
+    const double factor =
+        static_cast<double>(1ULL << std::min<std::size_t>(failures - 1, 16));
+    const double backoff =
+        std::min(options.backoff_cap_s, options.backoff_base_s * factor);
+    not_before[shard] =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(backoff));
+    return backoff;
+  };
 
-    if (active.empty()) {
-      // Unreachable by construction (incomplete shards are pending or
-      // in flight); bail rather than spin if the invariant breaks.
-      fail("internal: no workers in flight with " +
-           std::to_string(shards - completed_count) + " shard(s) incomplete");
-      return result;
-    }
-
-    std::vector<pollfd> fds;
-    fds.reserve(active.size());
-    for (const auto& attempt : active) {
-      if (attempt.proc.stdout_fd() >= 0) {
-        fds.push_back(pollfd{attempt.proc.stdout_fd(), POLLIN, 0});
-      }
-    }
-    if (!fds.empty()) {
-      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
-    } else {
-      // Every live worker's pipe already hit EOF (e.g. a worker closed
-      // its stdout but keeps running): sleep the tick instead of
-      // busy-spinning on try_reap.
-      ::poll(nullptr, 0, 50);
-    }
-
-    for (auto& attempt : active) drain_into_aggregator(attempt);
-
-    if (options.log != nullptr) {
-      std::string summary = aggregator.summary();
-      if (summary != last_summary) {
-        log(summary);
-        last_summary = std::move(summary);
-      }
-    }
-
-    if (options.timeout_s > 0.0) {
-      const auto now = Clock::now();
-      for (auto& attempt : active) {
-        if (!attempt.timed_out && !attempt.canceled &&
-            elapsed_s(attempt, now) > options.timeout_s) {
-          attempt.timed_out = true;
-          log("shard " + std::to_string(attempt.info.shard) + " attempt " +
-              std::to_string(attempt.info.attempt) + " exceeded " +
-              util::format_double(options.timeout_s) + "s, killing");
-          attempt.proc.kill();
-        }
-      }
-    }
-
-    for (std::size_t i = active.size(); i-- > 0;) {
-      const auto status = active[i].proc.try_reap();
-      if (!status.has_value()) continue;
-      drain_into_aggregator(active[i]);
-      ActiveAttempt attempt = std::move(active[i]);
-      active.erase(active.begin() +
-                   static_cast<std::vector<ActiveAttempt>::difference_type>(i));
-
-      const std::size_t shard = attempt.info.shard;
-      if (completed[shard]) {
-        // A twin finalized this shard first; discard regardless of how
-        // this attempt ended (its bytes would have been identical).
-        fs::remove(attempt.info.out_path, ec);
-        continue;
-      }
-
-      bool finalized = false;
-      if (status->code == 0 && !attempt.canceled) {
-        const fs::path durable = dir / shard_file_name(shard);
-        fs::rename(attempt.info.out_path, durable, ec);
-        if (ec) {
-          log("shard " + std::to_string(shard) +
-              ": cannot finalize shard file: " + ec.message());
-        } else {
-          finalized = true;
-          completed[shard] = true;
-          ++completed_count;
-          shard_durations.push_back(elapsed_s(attempt, Clock::now()));
-          manifest_out << RunManifest::done_line(shard,
-                                                shard_file_name(shard))
-                       << '\n'
-                       << std::flush;
-          aggregator.on_shard_complete(shard);
-          log("shard " + std::to_string(shard) + " done (attempt " +
-              std::to_string(attempt.info.attempt) + "; " +
-              aggregator.summary() + ")");
-          for (auto& other : active) {
-            if (other.info.shard == shard) {
-              other.canceled = true;
-              other.proc.kill();
-            }
+  while (true) {
+    while (completed_count < shards) {
+      {
+        const auto now = Clock::now();
+        for (std::size_t scan = pending.size();
+             scan > 0 && active.size() < options.workers; --scan) {
+          const std::size_t shard = pending.front();
+          pending.pop_front();
+          if (not_before[shard] <= now) {
+            launch(shard, /*speculative=*/false);
+          } else {
+            pending.push_back(shard);  // Still backing off.
           }
         }
       }
-      if (finalized) continue;
 
-      fs::remove(attempt.info.out_path, ec);
-      if (attempt.canceled) continue;
+      if (pending.empty() && options.speculate &&
+          active.size() < options.workers && !active.empty() &&
+          !shard_durations.empty()) {
+        // Idle slots and an empty queue: speculatively duplicate the
+        // longest-running shard with only one attempt in flight — but
+        // only once it actually looks like a straggler (2x the median
+        // finished-shard duration), at most one twin per shard, and
+        // never before the first shard has finished (otherwise a fleet
+        // with more workers than shards would duplicate every shard at
+        // t=0 and double the run's CPU for nothing).
+        std::vector<double> durations = shard_durations;
+        const auto mid =
+            durations.begin() +
+            static_cast<std::vector<double>::difference_type>(
+                durations.size() / 2);
+        std::nth_element(durations.begin(), mid, durations.end());
+        const double threshold = std::max(0.05, 2.0 * *mid);
+        const auto now = Clock::now();
+        std::size_t best_shard = shards;
+        double best_elapsed = threshold;
+        for (const auto& attempt : active) {
+          if (attempt.canceled || speculated[attempt.info.shard] > 0 ||
+              active_attempts_of(attempt.info.shard) != 1) {
+            continue;
+          }
+          const double running = elapsed_s(attempt.started, now);
+          if (running > best_elapsed) {
+            best_elapsed = running;
+            best_shard = attempt.info.shard;
+          }
+        }
+        if (best_shard < shards) {
+          ++speculated[best_shard];
+          launch(best_shard, /*speculative=*/true);
+        }
+      }
 
-      const std::string how =
-          attempt.timed_out
-              ? " timed out"
-              : (status->signaled
-                     ? " killed by signal " + std::to_string(status->code -
-                                                             128)
-                     : " exited " + std::to_string(status->code));
-      // Speculative twins are optimistic duplicates: their failures
-      // never charge the shard's retry budget (a shard whose original
-      // and twin both time out in one pass must not be double-billed
-      // into a spurious abort).
-      if (attempt.info.speculative) {
-        log("speculative twin of shard " + std::to_string(shard) + how +
-            "; not counted against retries");
+      if (active.empty()) {
+        if (!pending.empty()) {
+          // Every incomplete shard is backing off; sleep a tick until
+          // the earliest becomes launchable.
+          ::poll(nullptr, 0, 10);
+          continue;
+        }
+        // Unreachable by construction (incomplete shards are pending or
+        // in flight); bail rather than spin if the invariant breaks.
+        fail("internal: no workers in flight with " +
+             std::to_string(shards - completed_count) +
+             " shard(s) incomplete");
+        return result;
+      }
+
+      std::vector<pollfd> fds;
+      fds.reserve(active.size());
+      for (const auto& attempt : active) {
+        if (attempt.proc.stdout_fd() >= 0) {
+          fds.push_back(pollfd{attempt.proc.stdout_fd(), POLLIN, 0});
+        }
+      }
+      if (!fds.empty()) {
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
       } else {
-        ++fail_count[shard];
-        log("shard " + std::to_string(shard) + " attempt " +
-            std::to_string(attempt.info.attempt) + how + " (failure " +
-            std::to_string(fail_count[shard]) + "/" +
-            std::to_string(options.retries + 1) + ")");
+        // Every live worker's pipe already hit EOF (e.g. a worker closed
+        // its stdout but keeps running): sleep the tick instead of
+        // busy-spinning on try_reap.
+        ::poll(nullptr, 0, 50);
       }
 
-      if (active_attempts_of(shard) > 0) {
-        // A twin is still racing this shard; let it decide the outcome.
-        continue;
+      for (auto& attempt : active) drain_into_aggregator(attempt);
+
+      if (options.log != nullptr) {
+        std::string summary = aggregator.summary();
+        if (summary != last_summary) {
+          log(summary);
+          last_summary = std::move(summary);
+        }
       }
+
+      const auto now = Clock::now();
+      if (options.timeout_s > 0.0) {
+        for (auto& attempt : active) {
+          if (!attempt.timed_out && !attempt.stalled && !attempt.canceled &&
+              elapsed_s(attempt.started, now) > options.timeout_s) {
+            attempt.timed_out = true;
+            log("shard " + std::to_string(attempt.info.shard) + " attempt " +
+                std::to_string(attempt.info.attempt) + " exceeded " +
+                util::format_double(options.timeout_s) + "s, killing");
+            attempt.proc.kill();
+          }
+        }
+      }
+      if (options.stall_timeout_s > 0.0) {
+        for (auto& attempt : active) {
+          if (!attempt.timed_out && !attempt.stalled && !attempt.canceled &&
+              elapsed_s(attempt.last_progress, now) >
+                  options.stall_timeout_s) {
+            attempt.stalled = true;
+            log("shard " + std::to_string(attempt.info.shard) + " attempt " +
+                std::to_string(attempt.info.attempt) + " silent for " +
+                util::format_double(options.stall_timeout_s) +
+                "s, killing (stalled)");
+            attempt.proc.kill();
+          }
+        }
+      }
+
+      for (std::size_t i = active.size(); i-- > 0;) {
+        const auto status = active[i].proc.try_reap();
+        if (!status.has_value()) continue;
+        drain_into_aggregator(active[i]);
+        ActiveAttempt attempt = std::move(active[i]);
+        active.erase(
+            active.begin() +
+            static_cast<std::vector<ActiveAttempt>::difference_type>(i));
+        slot_used[attempt.info.slot] = false;
+
+        const std::size_t shard = attempt.info.shard;
+        if (completed[shard]) {
+          // A twin finalized this shard first; discard regardless of how
+          // this attempt ended (its bytes would have been identical).
+          fs::remove(attempt.info.out_path, ec);
+          continue;
+        }
+
+        bool finalized = false;
+        bool corrupt_output = false;
+        if (status->code == 0 && !attempt.canceled) {
+          // Exit 0 is a claim, not proof: verify the document (trailer,
+          // banner, row count) before renaming it into the durable
+          // name. A torn write or silent corruption becomes a
+          // classified, retryable failure here instead of poisoning
+          // the merge or a later resume.
+          std::string why;
+          if (!shard_file_intact(attempt.info.out_path, wanted.banner,
+                                 corridor::ShardSpec{shard, shards}, grid,
+                                 &why)) {
+            corrupt_output = true;
+            log("shard " + std::to_string(shard) + " attempt " +
+                std::to_string(attempt.info.attempt) +
+                " exited 0 but its output is invalid: " + why);
+          } else {
+            const fs::path durable = dir / shard_file_name(shard);
+            std::string error;
+            if (!util::rename_durable(attempt.info.out_path, durable.string(),
+                                      &error)) {
+              log("shard " + std::to_string(shard) +
+                  ": cannot finalize shard file: " + error);
+            } else {
+              finalized = true;
+              completed[shard] = true;
+              ++completed_count;
+              shard_durations.push_back(
+                  elapsed_s(attempt.started, Clock::now()));
+              manifest_log.append_line(
+                  RunManifest::done_line(shard, shard_file_name(shard)));
+              aggregator.on_shard_complete(shard);
+              log("shard " + std::to_string(shard) + " done (attempt " +
+                  std::to_string(attempt.info.attempt) + "; " +
+                  aggregator.summary() + ")");
+              for (auto& other : active) {
+                if (other.info.shard == shard) {
+                  other.canceled = true;
+                  other.proc.kill();
+                }
+              }
+            }
+          }
+        }
+        if (finalized) continue;
+
+        fs::remove(attempt.info.out_path, ec);
+        if (attempt.canceled) continue;
+
+        const FailureClass cls =
+            attempt.timed_out  ? FailureClass::kTimeout
+            : attempt.stalled  ? FailureClass::kStalled
+            : corrupt_output   ? FailureClass::kCorruptOutput
+            : status->signaled ? FailureClass::kSignal
+                               : FailureClass::kExit;
+        const std::string cause = record_failure(attempt, cls, *status);
+        // Speculative twins are optimistic duplicates: their failures
+        // never charge the shard's retry budget (a shard whose original
+        // and twin both time out in one pass must not be double-billed
+        // into a spurious abort).
+        if (attempt.info.speculative) {
+          log("speculative twin of shard " + std::to_string(shard) + " " +
+              cause + "; not counted against retries");
+        } else {
+          ++fail_count[shard];
+          log("shard " + std::to_string(shard) + " attempt " +
+              std::to_string(attempt.info.attempt) + " " + cause +
+              " (failure " + std::to_string(fail_count[shard]) + "/" +
+              std::to_string(options.retries + 1) + ")");
+        }
+
+        if (active_attempts_of(shard) > 0) {
+          // A twin is still racing this shard; let it decide the outcome.
+          continue;
+        }
+        if (fail_count[shard] > options.retries) {
+          fail("shard " + std::to_string(shard) + " failed " +
+               std::to_string(fail_count[shard]) +
+               " time(s); retry budget exhausted");
+          return result;  // ActiveAttempt destructors kill the fleet.
+        }
+        const double backoff = apply_backoff(shard);
+        pending.push_back(shard);
+        // A fresh launch may straggle again; let it earn a fresh twin.
+        speculated[shard] = 0;
+        ++result.stats.retried;
+        log("shard " + std::to_string(shard) + " re-queued" +
+            (backoff > 0.0
+                 ? " (backoff " + util::format_double(backoff) + "s)"
+                 : ""));
+      }
+    }
+
+    // --- pre-merge verification -------------------------------------
+    // Every shard file was verified at finalize time, but a resume may
+    // race external tampering and a finalized file can rot between
+    // fsync and merge; re-verify and reclassify any bad shard as not
+    // done — recompute, don't abort — before trusting its bytes.
+    std::vector<std::size_t> bad;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      std::string why;
+      if (!shard_file_intact(dir / shard_file_name(shard), wanted.banner,
+                             corridor::ShardSpec{shard, shards}, grid,
+                             &why)) {
+        log("pre-merge: shard " + std::to_string(shard) + " is invalid (" +
+            why + "); recomputing");
+        bad.push_back(shard);
+      }
+    }
+    if (bad.empty()) break;
+    for (const std::size_t shard : bad) {
+      ++fail_count[shard];
+      ++result.stats.corrupt;
+      manifest_log.append_line(RunManifest::fail_line(
+          shard, attempt_no[shard], "corrupt-output"));
       if (fail_count[shard] > options.retries) {
-        fail("shard " + std::to_string(shard) + " failed " +
-             std::to_string(fail_count[shard]) +
-             " time(s); retry budget exhausted");
-        return result;  // ActiveAttempt destructors kill the fleet.
+        fail("shard " + std::to_string(shard) +
+             " repeatedly corrupt; retry budget exhausted");
+        return result;
       }
+      fs::remove(dir / shard_file_name(shard), ec);
+      completed[shard] = false;
+      --completed_count;
+      apply_backoff(shard);
       pending.push_back(shard);
-      // A fresh launch may straggle again; let it earn a fresh twin.
       speculated[shard] = 0;
       ++result.stats.retried;
-      log("shard " + std::to_string(shard) + " re-queued");
     }
   }
 
@@ -450,7 +650,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   names.reserve(shards);
   for (std::size_t shard = 0; shard < shards; ++shard) {
     const fs::path path = dir / shard_file_name(shard);
-    auto document = read_file(path);
+    auto document = util::read_file_fully(path.string());
     if (!document.has_value()) {
       fail("finalized shard file vanished: '" + path.string() + "'");
       return result;
@@ -468,9 +668,12 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
 
   const fs::path merged_path = dir / "merged.csv";
   {
-    std::ofstream out(merged_path, std::ios::binary | std::ios::trunc);
-    if (!out) return fail("cannot write '" + merged_path.string() + "'");
-    out << merge.merged;
+    std::string error;
+    if (!util::atomic_write_file(merged_path.string(),
+                                 util::with_integrity_trailer(merge.merged),
+                                 &error)) {
+      return fail("cannot write merged output: " + error);
+    }
   }
   result.ok = true;
   result.merged_path = merged_path.string();
@@ -480,7 +683,10 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
       std::to_string(result.stats.attempts) + " attempt(s), " +
       std::to_string(result.stats.retried) + " retried, " +
       std::to_string(result.stats.speculative) + " speculative, " +
-      std::to_string(result.stats.resumed) + " resumed)");
+      std::to_string(result.stats.resumed) + " resumed, " +
+      std::to_string(result.stats.timed_out) + " timed out, " +
+      std::to_string(result.stats.stalled) + " stalled, " +
+      std::to_string(result.stats.corrupt) + " corrupt)");
   return result;
 }
 

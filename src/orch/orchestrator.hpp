@@ -25,6 +25,18 @@
 /// The scheduler is transport-agnostic: it launches whatever argv the
 /// `command` callback builds for an attempt, so tests drive it with
 /// toy shell workers and the CLI drives it with the real binary.
+///
+/// Failure model (see docs/ARCHITECTURE.md "Failure model"): every
+/// durable artifact is written through util/durable_io (atomic rename
+/// + fsync discipline, synced manifest appends), worker output is
+/// verified (integrity trailer when present, banner, row count) before
+/// it is renamed into place, failed attempts are classified
+/// (exit/signal/timeout/stalled/corrupt-output) and recorded as
+/// manifest `fail` lines, retries back off exponentially and
+/// deterministically, and a corrupt or truncated shard discovered at
+/// resume or merge time is recomputed rather than treated as a fatal
+/// contract violation — corruption is an I/O failure; only
+/// byte-differing *valid* duplicate rows indicate broken determinism.
 #pragma once
 
 #include <cstddef>
@@ -50,6 +62,11 @@ struct WorkerAttempt {
   /// shard (tail-latency speculation) rather than replacing a failed
   /// one.
   bool speculative = false;
+  /// Worker slot (0..workers-1) this attempt occupies: the lowest slot
+  /// free at launch time. Command builders can key per-slot resources
+  /// (e.g. heterogeneous `--threads` splits) on it — a slot never holds
+  /// two live attempts at once.
+  std::size_t slot = 0;
   /// Where the worker must write its shard document; the orchestrator
   /// renames it to the durable `shard_<i>.csv` on success.
   std::string out_path;
@@ -68,6 +85,19 @@ struct OrchestrateOptions {
   /// Per-attempt wall-clock budget in seconds; expired attempts are
   /// killed and count as failures. 0 = unlimited.
   double timeout_s = 0.0;
+  /// Progress-silence liveness budget in seconds: an attempt that has
+  /// emitted no parsable protocol event for this long is presumed hung
+  /// (deadlock, unkillable I/O wait, fault-injected stall) and killed,
+  /// independently of the wall-clock timeout — a healthy worker on a
+  /// big shard streams a cell line per finished cell, so silence, not
+  /// total runtime, is the hang signal. 0 = disabled.
+  double stall_timeout_s = 0.0;
+  /// Deterministic exponential retry backoff: a shard's k-th failure
+  /// delays its relaunch by backoff_base_s * 2^(k-1), capped at
+  /// backoff_cap_s. No jitter — reproducibility beats thundering-herd
+  /// avoidance at this fleet size. backoff_base_s = 0 disables it.
+  double backoff_base_s = 0.05;
+  double backoff_cap_s = 2.0;
   /// Launch a speculative duplicate of the slowest still-running shard
   /// when workers would otherwise idle (classic straggler mitigation).
   bool speculate = true;
@@ -95,6 +125,13 @@ struct OrchestrateStats {
   std::size_t speculative = 0;
   /// Shards skipped because a resumed manifest had them done.
   std::size_t resumed = 0;
+  /// Attempts killed for exceeding the wall-clock timeout.
+  std::size_t timed_out = 0;
+  /// Attempts killed for progress silence (--stall-timeout).
+  std::size_t stalled = 0;
+  /// Attempts whose output failed integrity/structure verification
+  /// (torn write, corrupt trailer, wrong banner or row count).
+  std::size_t corrupt = 0;
 };
 
 /// Outcome of an orchestrated run.

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/durable_io.hpp"
+
 namespace railcorr::orch {
 
 namespace {
@@ -35,10 +37,14 @@ namespace {
   }
   // Exec failed: exit with the conventional "command not runnable"
   // code so the orchestrator's retry accounting sees a plain failure.
+  // write_fully is async-signal-safe and retries short writes and
+  // EINTR — a bare ::write could drop part of the diagnostic when a
+  // signal lands or stderr is a nearly-full pipe.
   const char* msg = "orch: exec failed: ";
-  (void)!::write(STDERR_FILENO, msg, std::strlen(msg));
-  (void)!::write(STDERR_FILENO, c_argv[0], std::strlen(c_argv[0]));
-  (void)!::write(STDERR_FILENO, "\n", 1);
+  (void)railcorr::util::write_fully(STDERR_FILENO, msg, std::strlen(msg));
+  (void)railcorr::util::write_fully(STDERR_FILENO, c_argv[0],
+                                    std::strlen(c_argv[0]));
+  (void)railcorr::util::write_fully(STDERR_FILENO, "\n", 1);
   ::_exit(127);
 }
 

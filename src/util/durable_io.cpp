@@ -1,0 +1,255 @@
+#include "util/durable_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+namespace railcorr::util {
+
+namespace {
+
+void set_error(std::string* error, const char* what, const std::string& path) {
+  if (error == nullptr) return;
+  *error = std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Directory component of `path` ("." when it has none) — for the
+/// parent-directory fsync that makes a rename durable.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool fsync_dir(const std::string& dir, std::string* error) {
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    set_error(error, "cannot open directory", dir);
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  // Some filesystems refuse fsync on a directory fd (EINVAL); the
+  // rename is then as durable as that filesystem allows.
+  if (rc != 0 && errno != EINVAL) {
+    set_error(error, "cannot fsync directory", dir);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+constexpr std::string_view kTrailerTag = "@railcorr-crc ";
+
+}  // namespace
+
+bool write_fully(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> read_file_fully(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return std::nullopt;
+  std::string content;
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n > 0) {
+      content.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return std::nullopt;
+  }
+  ::close(fd);
+  return content;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       std::string* error) {
+  // Same-directory staging: rename(2) is only atomic within one
+  // filesystem. The pid suffix keeps concurrent writers of the same
+  // target from clobbering each other's staging file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    set_error(error, "cannot create", tmp);
+    return false;
+  }
+  if (!write_fully(fd, content.data(), content.size())) {
+    set_error(error, "cannot write", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    set_error(error, "cannot fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "cannot rename into", path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return fsync_dir(parent_dir(path), error);
+}
+
+bool rename_durable(const std::string& from, const std::string& to,
+                    std::string* error) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    set_error(error, "cannot rename into", to);
+    return false;
+  }
+  return fsync_dir(parent_dir(to), error);
+}
+
+std::string integrity_trailer_line(std::string_view body) {
+  return std::string(kTrailerTag) + hex16(fnv1a64(body));
+}
+
+std::string with_integrity_trailer(std::string_view body) {
+  std::string out(body);
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += integrity_trailer_line(out);
+  out += '\n';
+  return out;
+}
+
+TrailerCheck check_integrity_trailer(std::string_view document) {
+  TrailerCheck check;
+  check.body = document;
+  std::string_view rest = document;
+  if (!rest.empty() && rest.back() == '\n') rest.remove_suffix(1);
+  const std::size_t eol = rest.find_last_of('\n');
+  const std::string_view last =
+      eol == std::string_view::npos ? rest : rest.substr(eol + 1);
+  if (!last.starts_with(kTrailerTag)) {
+    check.status = TrailerStatus::kMissing;
+    return check;
+  }
+  // The body is everything before the trailer line (keeping the body's
+  // own trailing newline), which is exactly what was hashed.
+  check.body =
+      eol == std::string_view::npos ? std::string_view{} : document.substr(0, eol + 1);
+  const std::string_view hex = last.substr(kTrailerTag.size());
+  std::uint64_t value = 0;
+  bool well_formed = hex.size() == 16;
+  for (const char c : hex) {
+    if (c >= '0' && c <= '9') {
+      value = (value << 4) | static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value = (value << 4) | static_cast<std::uint64_t>(10 + c - 'a');
+    } else {
+      well_formed = false;
+      break;
+    }
+  }
+  check.status = well_formed && value == fnv1a64(check.body)
+                     ? TrailerStatus::kVerified
+                     : TrailerStatus::kCorrupt;
+  return check;
+}
+
+AppendLog::AppendLog(AppendLog&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+AppendLog& AppendLog::operator=(AppendLog&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendLog::~AppendLog() { close(); }
+
+bool AppendLog::open(const std::string& path, std::string* error) {
+  close();
+  do {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                 0644);
+  } while (fd_ < 0 && errno == EINTR);
+  if (fd_ < 0) {
+    set_error(error, "cannot open for append", path);
+    return false;
+  }
+  return true;
+}
+
+bool AppendLog::append_line(std::string_view line) {
+  if (fd_ < 0) return false;
+  std::string buffer(line);
+  buffer += '\n';
+  if (!write_fully(fd_, buffer.data(), buffer.size())) return false;
+  int rc;
+  do {
+    rc = ::fdatasync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  return rc == 0;
+}
+
+void AppendLog::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace railcorr::util

@@ -1,0 +1,95 @@
+/// The fault-injection vocabulary: spec parsing round trips, the
+/// process-wide injector's arm/query/clear lifecycle, and env-var
+/// arming (RAILCORR_FAULT).
+#include "orch/faultpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/config.hpp"
+
+namespace railcorr::orch {
+namespace {
+
+/// Restores the injector and RAILCORR_FAULT around each test — the
+/// injector is process-wide state shared with every other test in this
+/// binary.
+class FaultpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().clear();
+    ::unsetenv("RAILCORR_FAULT");
+  }
+  void TearDown() override {
+    FaultInjector::instance().clear();
+    ::unsetenv("RAILCORR_FAULT");
+  }
+};
+
+TEST_F(FaultpointTest, SpecsParseAndRoundTripTheirCanonicalSpelling) {
+  const auto torn = parse_fault_spec("torn-write=64");
+  EXPECT_EQ(torn.kind, FaultKind::kTornWrite);
+  EXPECT_EQ(torn.param, 64u);
+  EXPECT_EQ(fault_spec_string(torn), "torn-write=64");
+
+  const auto trailer = parse_fault_spec("corrupt-trailer");
+  EXPECT_EQ(trailer.kind, FaultKind::kCorruptTrailer);
+  EXPECT_EQ(fault_spec_string(trailer), "corrupt-trailer");
+
+  EXPECT_EQ(parse_fault_spec("stall=2").kind, FaultKind::kStall);
+  EXPECT_EQ(parse_fault_spec("kill=1").kind, FaultKind::kKillAfterCells);
+  EXPECT_EQ(fault_spec_string(parse_fault_spec("kill=3")), "kill=3");
+}
+
+TEST_F(FaultpointTest, MalformedSpecsAreRejected) {
+  EXPECT_THROW(parse_fault_spec("unknown-fault"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec(""), util::ConfigError);
+  // Parameter required but missing.
+  EXPECT_THROW(parse_fault_spec("torn-write"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec("kill"), util::ConfigError);
+  // Parameter supplied where none is taken.
+  EXPECT_THROW(parse_fault_spec("corrupt-trailer=1"), util::ConfigError);
+  // Malformed digits.
+  EXPECT_THROW(parse_fault_spec("stall=abc"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec("stall="), util::ConfigError);
+}
+
+TEST_F(FaultpointTest, InjectorArmsQueriesAndClears) {
+  auto& injector = FaultInjector::instance();
+  EXPECT_FALSE(injector.armed(FaultKind::kTornWrite).has_value());
+
+  injector.arm({FaultKind::kTornWrite, 32});
+  injector.arm({FaultKind::kStall, 2});
+  ASSERT_TRUE(injector.armed(FaultKind::kTornWrite).has_value());
+  EXPECT_EQ(*injector.armed(FaultKind::kTornWrite), 32u);
+  EXPECT_EQ(*injector.armed(FaultKind::kStall), 2u);
+  EXPECT_FALSE(injector.armed(FaultKind::kCorruptTrailer).has_value());
+  EXPECT_FALSE(injector.armed(FaultKind::kKillAfterCells).has_value());
+
+  injector.clear();
+  EXPECT_FALSE(injector.armed(FaultKind::kTornWrite).has_value());
+  EXPECT_FALSE(injector.armed(FaultKind::kStall).has_value());
+}
+
+TEST_F(FaultpointTest, EnvArmingParsesCommaSeparatedSpecs) {
+  auto& injector = FaultInjector::instance();
+  ::setenv("RAILCORR_FAULT", "torn-write=10, corrupt-trailer", 1);
+  injector.arm_from_env();
+  ASSERT_TRUE(injector.armed(FaultKind::kTornWrite).has_value());
+  EXPECT_EQ(*injector.armed(FaultKind::kTornWrite), 10u);
+  EXPECT_TRUE(injector.armed(FaultKind::kCorruptTrailer).has_value());
+  EXPECT_FALSE(injector.armed(FaultKind::kStall).has_value());
+}
+
+TEST_F(FaultpointTest, EnvArmingIsANoOpWhenUnsetAndThrowsOnGarbage) {
+  auto& injector = FaultInjector::instance();
+  injector.arm_from_env();  // Unset: nothing armed.
+  EXPECT_FALSE(injector.armed(FaultKind::kTornWrite).has_value());
+
+  ::setenv("RAILCORR_FAULT", "bogus-fault", 1);
+  EXPECT_THROW(injector.arm_from_env(), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace railcorr::orch

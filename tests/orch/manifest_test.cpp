@@ -62,6 +62,68 @@ TEST(RunManifest, ParseRejectsMalformedDocuments) {
       util::ConfigError);
 }
 
+TEST(RunManifest, FailLinesRoundTripWithClassifiedCauses) {
+  const auto manifest = RunManifest::plan_run(tiny_plan(), 3, false);
+  std::string text = manifest.header_text();
+  text += RunManifest::fail_line(2, 0, "signal-9") + "\n";
+  text += RunManifest::fail_line(2, 1, "timeout") + "\n";
+  text += RunManifest::done_line(2, "shard_2.csv") + "\n";
+  text += RunManifest::fail_line(0, 0, "corrupt-output") + "\n";
+
+  const auto parsed = RunManifest::parse(text);
+  ASSERT_EQ(parsed.failures.size(), 3u);
+  EXPECT_EQ(parsed.failures[0].shard, 2u);
+  EXPECT_EQ(parsed.failures[0].attempt, 0u);
+  EXPECT_EQ(parsed.failures[0].cause, "signal-9");
+  EXPECT_EQ(parsed.failures[1].cause, "timeout");
+  EXPECT_EQ(parsed.failures[2].shard, 0u);
+  EXPECT_EQ(parsed.failures[2].cause, "corrupt-output");
+  // Fail lines carry no resume semantics.
+  EXPECT_TRUE(parsed.is_done(2));
+  EXPECT_FALSE(parsed.is_done(0));
+}
+
+TEST(RunManifest, ParseRejectsMalformedFailLines) {
+  const auto manifest = RunManifest::plan_run(tiny_plan(), 2, false);
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() + "fail 1\n"),
+               util::ConfigError);
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() + "fail 1 0\n"),
+               util::ConfigError);
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() + "fail x 0 tmo\n"),
+               util::ConfigError);
+  // Fail entry outside the shard count.
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() +
+                                  RunManifest::fail_line(7, 0, "timeout") +
+                                  "\n"),
+               util::ConfigError);
+}
+
+TEST(RunManifest, TornFinalLineIsDroppedNotFatal) {
+  const auto manifest = RunManifest::plan_run(tiny_plan(), 2, false);
+  std::string text = manifest.header_text();
+  text += RunManifest::done_line(0, "shard_0.csv") + "\n";
+
+  // A crash mid-append leaves a prefix of the next line with no
+  // trailing newline; resume must keep everything durable before it.
+  const auto torn = RunManifest::parse(text + "don");
+  EXPECT_TRUE(torn.is_done(0));
+  EXPECT_FALSE(torn.is_done(1));
+
+  const auto torn_fail = RunManifest::parse(text + "fail 1");
+  EXPECT_TRUE(torn_fail.is_done(0));
+  EXPECT_TRUE(torn_fail.failures.empty());
+
+  // A final line that is complete except for its newline is kept.
+  const auto kept =
+      RunManifest::parse(text + RunManifest::done_line(1, "shard_1.csv"));
+  EXPECT_TRUE(kept.is_done(1));
+
+  // Mid-document damage is still fatal.
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() + "don\n" +
+                                  RunManifest::done_line(0, "x.csv") + "\n"),
+               util::ConfigError);
+}
+
 TEST(RunManifest, MismatchChecksCoverFingerprintShardsAndSizing) {
   const auto plan = tiny_plan();
   const auto recorded = RunManifest::plan_run(plan, 2, false);

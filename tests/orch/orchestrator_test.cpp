@@ -20,6 +20,7 @@
 #include "core/sweep_runner.hpp"
 #include "orch/manifest.hpp"
 #include "orch/process.hpp"
+#include "util/durable_io.hpp"
 
 namespace railcorr::orch {
 namespace {
@@ -112,7 +113,11 @@ TEST(Orchestrate, ToyFleetCompletesAndMergesAllCells) {
       corridor::merge_shards({toy_doc(plan, 0, 2), toy_doc(plan, 1, 2)});
   ASSERT_TRUE(expected.ok);
   EXPECT_EQ(result.merged, expected.merged);
-  EXPECT_EQ(read_file(run.path / "merged.csv"), expected.merged);
+  // On disk the merged grid carries the crash-safe integrity trailer;
+  // the in-memory result stays trailer-free for direct comparison
+  // against run_sweep_shard output.
+  EXPECT_EQ(read_file(run.path / "merged.csv"),
+            util::with_integrity_trailer(expected.merged));
 
   // The manifest records both shards done and round-trips.
   const auto manifest =
@@ -188,6 +193,121 @@ TEST(Orchestrate, TimedOutStragglerIsKilledAndRetried) {
   const auto result = orchestrate(plan, run.path.string(), options);
   ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
   EXPECT_GE(result.stats.retried, 1u);
+}
+
+TEST(Orchestrate, StalledWorkerIsKilledAndRetried) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 1);
+
+  OrchestrateOptions options;
+  options.workers = 1;
+  options.shards = 1;
+  options.retries = 1;
+  // No wall-clock timeout at all: only the progress-silence liveness
+  // check can clear the hung first attempt.
+  options.timeout_s = 0.0;
+  options.stall_timeout_s = 0.3;
+  options.backoff_base_s = 0.0;
+  options.speculate = false;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    if (attempt.attempt == 0) return sh("sleep 30");
+    return sh("cat '" + docs[0] + "' > '" + attempt.out_path + "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GE(result.stats.stalled, 1u);
+  EXPECT_EQ(result.stats.timed_out, 0u);
+
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  ASSERT_FALSE(manifest.failures.empty());
+  EXPECT_EQ(manifest.failures[0].cause, "stalled");
+}
+
+TEST(Orchestrate, CorruptWorkerOutputIsRetried) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 1);
+
+  OrchestrateOptions options;
+  options.workers = 1;
+  options.shards = 1;
+  options.retries = 1;
+  options.backoff_base_s = 0.0;
+  options.speculate = false;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    if (attempt.attempt == 0) {
+      // Torn write: a 20-byte prefix of the document, then exit 0 —
+      // the worker *claims* success with invalid output on disk.
+      return sh("head -c 20 '" + docs[0] + "' > '" + attempt.out_path + "'");
+    }
+    return sh("cat '" + docs[0] + "' > '" + attempt.out_path + "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GE(result.stats.corrupt, 1u);
+  EXPECT_GE(result.stats.retried, 1u);
+
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  ASSERT_FALSE(manifest.failures.empty());
+  EXPECT_EQ(manifest.failures[0].cause, "corrupt-output");
+}
+
+TEST(Orchestrate, ManifestRecordsClassifiedExitFailures) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 2);
+
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.retries = 2;
+  options.backoff_base_s = 0.0;
+  options.speculate = false;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    if (attempt.shard == 1 && attempt.attempt == 0) return sh("exit 7");
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  ASSERT_EQ(manifest.failures.size(), 1u);
+  EXPECT_EQ(manifest.failures[0].shard, 1u);
+  EXPECT_EQ(manifest.failures[0].attempt, 0u);
+  EXPECT_EQ(manifest.failures[0].cause, "exit-7");
+}
+
+TEST(Orchestrate, WorkerSlotsStayWithinFleetAndNeverCollide) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 4);
+
+  std::vector<std::size_t> slots;
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 4;
+  options.speculate = false;
+  options.command = [&docs, &slots](const WorkerAttempt& attempt) {
+    slots.push_back(attempt.slot);
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  ASSERT_EQ(slots.size(), 4u);
+  for (const std::size_t slot : slots) EXPECT_LT(slot, options.workers);
+  // Both slots of the 2-wide fleet are actually used (the first two
+  // launches fill slots 0 and 1 before either can finish).
+  EXPECT_NE(slots[0], slots[1]);
 }
 
 TEST(Orchestrate, SpeculativeTwinFinishesAStuckTailShard) {
@@ -266,6 +386,79 @@ TEST(Orchestrate, ResumeRerunsOnlyMissingShards) {
       << (resumed.errors.empty() ? "" : resumed.errors[0]);
   EXPECT_EQ(launches, 1u);
   EXPECT_EQ(resumed.stats.resumed, 3u);
+  EXPECT_EQ(resumed.merged, first.merged);
+}
+
+TEST(Orchestrate, ResumeRecomputesATruncatedShard) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 4);
+
+  std::size_t launches = 0;
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 4;
+  options.speculate = false;
+  options.command = [&docs, &launches](const WorkerAttempt& attempt) {
+    ++launches;
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto first = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(first.ok) << (first.errors.empty() ? "" : first.errors[0]);
+
+  // Truncate shard 2's file mid-banner (a crash between write and
+  // fsync on a torn filesystem) while its manifest entry says done.
+  // Resume must reclassify it as not-done and recompute exactly it —
+  // not exit with a fatal merge failure.
+  const auto intact = read_file(run.path / shard_file_name(2));
+  write_file(run.path / shard_file_name(2), intact.substr(0, 20));
+  fs::remove(run.path / "merged.csv");
+  launches = 0;
+  options.resume = true;
+  const auto resumed = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(resumed.ok)
+      << (resumed.errors.empty() ? "" : resumed.errors[0]);
+  EXPECT_EQ(launches, 1u);
+  EXPECT_EQ(resumed.stats.resumed, 3u);
+  EXPECT_EQ(resumed.merged, first.merged);
+}
+
+TEST(Orchestrate, ResumeRecomputesAShardWithACorruptTrailer) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 2);
+
+  std::size_t launches = 0;
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.speculate = false;
+  options.command = [&docs, &launches](const WorkerAttempt& attempt) {
+    ++launches;
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto first = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(first.ok) << (first.errors.empty() ? "" : first.errors[0]);
+
+  // Rewrite shard 1 with a trailered document whose checksum lies (one
+  // flipped hex digit): structurally perfect, so only the trailer
+  // verification can catch it — and resume must recompute, not trust.
+  std::string trailered = util::with_integrity_trailer(toy_doc(plan, 1, 2));
+  const std::size_t digit = trailered.size() - 2;
+  trailered[digit] = trailered[digit] == '0' ? '1' : '0';
+  write_file(run.path / shard_file_name(1), trailered);
+  fs::remove(run.path / "merged.csv");
+  launches = 0;
+  options.resume = true;
+  const auto resumed = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(resumed.ok)
+      << (resumed.errors.empty() ? "" : resumed.errors[0]);
+  EXPECT_EQ(launches, 1u);
+  EXPECT_EQ(resumed.stats.resumed, 1u);
   EXPECT_EQ(resumed.merged, first.merged);
 }
 

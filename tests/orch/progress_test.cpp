@@ -1,9 +1,17 @@
 /// The worker progress protocol: emit/parse round trips, rejection of
-/// non-protocol lines, and the aggregator's dedup + banner-consistency
-/// guarantees.
+/// non-protocol lines, the aggregator's dedup + banner-consistency
+/// guarantees, and a seeded fuzz pass feeding the parser truncated,
+/// mutated, and garbage lines — it must never crash, never mis-parse,
+/// and never let a damaged line corrupt the aggregator's dedup.
 #include "orch/progress.hpp"
 
 #include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace railcorr::orch {
 namespace {
@@ -85,6 +93,83 @@ TEST(ProgressAggregator, IgnoresOutOfGridCellIndices) {
   ProgressAggregator aggregator(4, 1);
   aggregator.on_event(0, *parse_progress_line(cell_line(99, 1, 4)));
   EXPECT_EQ(aggregator.cells_done(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded fuzz: the parser sits directly on bytes from worker pipes, so
+// a crashed or malicious worker can hand it any prefix, mutation, or
+// garbage. The invariants: parse_progress_line never crashes, a
+// mutated line either fails to parse or parses to *some* well-formed
+// event, and the aggregator's cell tally exactly equals the set of
+// distinct valid in-grid cell indices it accepted — damaged lines can
+// drop events (their write never completed) but never invent or
+// double-count cells.
+
+TEST(ProgressFuzz, TruncatedProtocolLinesNeverCrashTheParser) {
+  SplitMix64 rng(0x5eed0001);
+  const std::vector<std::string> wellformed = {
+      banner_line("# railcorr-sweep-v1 fingerprint=0123456789abcdef grid=64"),
+      start_line(3, 8, 9),
+      cell_line(42, 5, 9),
+      done_line(64),
+  };
+  for (const auto& line : wellformed) {
+    // Every strict prefix is a torn pipe read: must parse to nothing
+    // or to a well-formed event, never crash.
+    for (std::size_t len = 0; len < line.size(); ++len) {
+      (void)parse_progress_line(std::string_view(line).substr(0, len));
+    }
+    // Random single-byte mutations.
+    for (int round = 0; round < 200; ++round) {
+      std::string mutated = line;
+      const std::size_t pos = rng.next() % mutated.size();
+      mutated[pos] = static_cast<char>(rng.next() % 256);
+      (void)parse_progress_line(mutated);
+    }
+  }
+}
+
+TEST(ProgressFuzz, GarbageLinesNeverParse) {
+  SplitMix64 rng(0x5eed0002);
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    const std::size_t len = rng.next() % 64;
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.next() % 256);
+    }
+    // Random bytes essentially never start with the protocol magic;
+    // skip the astronomically unlikely collision instead of asserting
+    // on it.
+    if (garbage.starts_with("@railcorr 1 ")) continue;
+    EXPECT_FALSE(parse_progress_line(garbage).has_value())
+        << "round " << round;
+  }
+}
+
+TEST(ProgressFuzz, AggregatorTallyMatchesTheDistinctValidCellsItSaw) {
+  SplitMix64 rng(0x5eed0003);
+  const std::size_t grid = 32;
+  ProgressAggregator aggregator(grid, 4);
+  std::set<std::size_t> reference;
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t index = rng.next() % (grid + 8);  // Some out-of-grid.
+    std::string line = cell_line(index, 1, 8);
+    const bool damage = rng.next() % 4 == 0;
+    if (damage) {
+      const std::size_t pos = rng.next() % line.size();
+      line[pos] = static_cast<char>(rng.next() % 256);
+    }
+    const auto event = parse_progress_line(line);
+    if (!event.has_value()) continue;
+    // Whatever survived mutation is what the aggregator actually saw;
+    // mirror exactly its accepted, in-grid cell events.
+    if (event->kind == ProgressEvent::Kind::kCell && event->index < grid) {
+      reference.insert(event->index);
+    }
+    aggregator.on_event(rng.next() % 4, *event);
+  }
+  EXPECT_EQ(aggregator.cells_done(), reference.size());
+  EXPECT_GE(reference.size(), 1u);
 }
 
 }  // namespace

@@ -47,11 +47,14 @@
 #include "corridor/planner.hpp"
 #include "corridor/sweep.hpp"
 #include "exec/parallel.hpp"
+#include "orch/faultpoint.hpp"
 #include "orch/orchestrator.hpp"
 #include "orch/process.hpp"
 #include "orch/progress.hpp"
 #include "util/config.hpp"
 #include "util/contracts.hpp"
+#include "util/durable_io.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/vmath.hpp"
 
@@ -69,22 +72,34 @@ int usage(std::ostream& os) {
         "                            run the full paper evaluation\n"
         "  sweep --plan FILE [--shard i/N] [--out FILE]\n"
         "        [--include-sizing] [--threads N] [--accuracy MODE]\n"
-        "        [--progress]\n"
+        "        [--progress] [--fault SPEC]\n"
         "                            evaluate (a shard of) a sweep grid;\n"
         "                            --progress streams the worker line\n"
-        "                            protocol on stdout (requires --out)\n"
+        "                            protocol on stdout (requires --out);\n"
+        "                            --out files carry a crash-safe\n"
+        "                            @railcorr-crc integrity trailer;\n"
+        "                            --fault arms a named fault point\n"
+        "                            (torn-write=N, corrupt-trailer,\n"
+        "                            stall=N, kill=N; also RAILCORR_FAULT)\n"
         "  merge [--out FILE] SHARD_FILE...\n"
-        "                            merge shards; exit 2 on determinism\n"
-        "                            contract violations\n"
+        "                            merge shards (integrity trailers\n"
+        "                            verified+stripped); exit 2 on\n"
+        "                            determinism contract violations\n"
         "  orchestrate --plan FILE --out-dir DIR [--workers N] [--shards N]\n"
-        "              [--retries N] [--timeout SECONDS] [--include-sizing]\n"
-        "              [--threads N] [--accuracy MODE] [--no-speculate]\n"
-        "              [--out FILE]\n"
+        "              [--retries N] [--timeout SECONDS]\n"
+        "              [--stall-timeout SECONDS] [--backoff SECONDS]\n"
+        "              [--include-sizing]\n"
+        "              [--threads N[,N...]] [--accuracy MODE]\n"
+        "              [--no-speculate] [--chaos-seed N] [--out FILE]\n"
         "  orchestrate --resume DIR [same options]\n"
         "                            evaluate a grid with a local worker\n"
         "                            fleet: shard queue, straggler retry,\n"
         "                            speculative tail execution, live\n"
-        "                            progress, resumable manifest\n"
+        "                            progress, resumable manifest;\n"
+        "                            --threads N,N,... assigns per-slot\n"
+        "                            thread counts; --stall-timeout kills\n"
+        "                            progress-silent workers; --chaos-seed\n"
+        "                            runs a deterministic fault storm\n"
         "\n"
         "scenario selection (show/run):\n"
         "  --scenario NAME           registry entry (default: paper)\n"
@@ -113,6 +128,24 @@ void write_output(const std::optional<std::string>& path,
   std::ofstream out(*path, std::ios::binary);
   if (!out) throw ConfigError("cannot write '" + *path + "'");
   out << content;
+}
+
+/// Write a grid document (shard or merged CSV) durably: crash-safe
+/// atomic rename plus the `@railcorr-crc` integrity trailer, so a torn
+/// write or later bit rot is detected instead of merged. Stdout stays
+/// trailer-free — trailers are a property of files at rest, and piped
+/// consumers should not need to strip them.
+void write_grid_output(const std::optional<std::string>& path,
+                       const std::string& content) {
+  if (!path.has_value()) {
+    std::cout << content;
+    return;
+  }
+  std::string error;
+  if (!railcorr::util::atomic_write_file(
+          *path, railcorr::util::with_integrity_trailer(content), &error)) {
+    throw ConfigError("cannot write '" + *path + "': " + error);
+  }
 }
 
 /// Strip `--accuracy MODE` from `args` and pin the vector-math mode.
@@ -281,6 +314,38 @@ std::size_t parse_u64_option(const char* option, const std::string& value) {
   return static_cast<std::size_t>(railcorr::util::parse_u64(entry));
 }
 
+/// Write one sweep shard document to `out_path`, honoring any armed
+/// write-side fault points. The faults simulate exactly the failure the
+/// durability layer must survive: a torn write leaves a prefix of the
+/// document claiming success (exit 0), a corrupted trailer leaves a
+/// full-length file whose checksum lies. Both bypass atomic_write_file
+/// on purpose — a fault-free write must be atomic, a faulty one must be
+/// visible to the orchestrator's verification, not hidden by rename.
+void write_shard_output(const std::string& out_path,
+                        const std::string& document) {
+  auto& faults = railcorr::orch::FaultInjector::instance();
+  std::string trailered = railcorr::util::with_integrity_trailer(document);
+  if (const auto torn = faults.armed(railcorr::orch::FaultKind::kTornWrite)) {
+    trailered.resize(std::min(trailered.size(), std::max<std::size_t>(1,
+                                                                      *torn)));
+    write_output(out_path, trailered);
+    return;
+  }
+  if (faults.armed(railcorr::orch::FaultKind::kCorruptTrailer).has_value()) {
+    // Flip one hex digit of the trailer: the document body stays
+    // structurally perfect (banner, rows, row count all check out), so
+    // only the checksum verification can catch it.
+    const std::size_t digit = trailered.size() - 2;  // last digit, pre-'\n'
+    trailered[digit] = trailered[digit] == '0' ? '1' : '0';
+    write_output(out_path, trailered);
+    return;
+  }
+  std::string error;
+  if (!railcorr::util::atomic_write_file(out_path, trailered, &error)) {
+    throw ConfigError("cannot write '" + out_path + "': " + error);
+  }
+}
+
 int cmd_sweep(std::vector<std::string> args) {
   apply_accuracy_option(args);
   std::optional<std::string> plan_path;
@@ -288,7 +353,8 @@ int cmd_sweep(std::vector<std::string> args) {
   railcorr::corridor::ShardSpec shard;
   railcorr::core::SweepRunOptions options;
   bool progress = false;
-  std::optional<std::size_t> abort_after_cells;
+  auto& faults = railcorr::orch::FaultInjector::instance();
+  faults.arm_from_env();
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto value_of = [&](const char* option) {
       if (i + 1 >= args.size()) {
@@ -306,14 +372,18 @@ int cmd_sweep(std::vector<std::string> args) {
       options.include_sizing = true;
     } else if (args[i] == "--progress") {
       progress = true;
+    } else if (args[i] == "--fault") {
+      // Seeded fault injection (chaos testing): arm a named failure —
+      // torn-write=N, corrupt-trailer, stall=N, kill=N. Also armable
+      // via RAILCORR_FAULT for workers the orchestrator launches.
+      faults.arm(railcorr::orch::parse_fault_spec(value_of("--fault")));
     } else if (args[i] == "--abort-after-cells") {
-      // Failure-injection hook for orchestrator tests: evaluate N
-      // cells, report them on the progress stream, then die on
-      // SIGKILL mid-shard exactly like a crashed/killed worker (no
-      // output file is written).
-      abort_after_cells =
-          parse_u64_option("--abort-after-cells",
-                           value_of("--abort-after-cells"));
+      // Legacy spelling of --fault kill=N: evaluate N cells, report
+      // them on the progress stream, then die on SIGKILL mid-shard
+      // exactly like a crashed/killed worker.
+      faults.arm({railcorr::orch::FaultKind::kKillAfterCells,
+                  parse_u64_option("--abort-after-cells",
+                                   value_of("--abort-after-cells"))});
     } else if (args[i] == "--threads") {
       railcorr::exec::set_default_thread_count(
           parse_u64_option("--threads", value_of("--threads")));
@@ -338,22 +408,38 @@ int cmd_sweep(std::vector<std::string> args) {
     std::cout << railcorr::orch::start_line(shard.index, shard.count, owned)
               << std::endl;
   }
-  if (progress || abort_after_cells.has_value()) {
-    options.progress = [progress, abort_after_cells](
+  const auto kill_after = faults.armed(railcorr::orch::FaultKind::kKillAfterCells);
+  const auto stall_after = faults.armed(railcorr::orch::FaultKind::kStall);
+  if (progress || kill_after.has_value() || stall_after.has_value()) {
+    options.progress = [progress, kill_after, stall_after](
                            std::size_t index, std::size_t done,
                            std::size_t total) {
       if (progress) {
         std::cout << railcorr::orch::cell_line(index, done, total)
                   << std::endl;
       }
-      if (abort_after_cells.has_value() && done >= *abort_after_cells) {
+      if (kill_after.has_value() &&
+          done >= std::max<std::size_t>(1, *kill_after)) {
         std::cout.flush();
         ::raise(SIGKILL);
       }
+      if (stall_after.has_value() &&
+          done >= std::max<std::size_t>(1, *stall_after)) {
+        // Hang silently, forever: the process stays alive but emits no
+        // further protocol events — the shape of a deadlocked worker.
+        // Only the orchestrator's --stall-timeout can clear it.
+        std::cout.flush();
+        while (true) ::pause();
+      }
     };
   }
-  write_output(out_path,
-               railcorr::core::run_sweep_shard(plan, shard, options));
+  const std::string document =
+      railcorr::core::run_sweep_shard(plan, shard, options);
+  if (out_path.has_value()) {
+    write_shard_output(*out_path, document);
+  } else {
+    std::cout << document;
+  }
   if (progress) {
     std::cout << railcorr::orch::done_line(owned) << std::endl;
   }
@@ -396,7 +482,7 @@ int cmd_merge(std::vector<std::string> args) {
     std::cerr << "merge: malformed or mismatched shard input\n";
     return 1;
   }
-  write_output(out_path, result.merged);
+  write_grid_output(out_path, result.merged);
   return 0;
 }
 
@@ -406,8 +492,9 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
   std::optional<std::string> out_dir;
   std::optional<std::string> resume_dir;
   std::optional<std::string> out_path;
-  std::optional<std::size_t> worker_threads;
+  std::vector<std::size_t> worker_threads;
   std::optional<std::size_t> inject_kill;
+  std::optional<std::uint64_t> chaos_seed;
   railcorr::orch::OrchestrateOptions options;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto value_of = [&](const char* option) {
@@ -441,18 +528,64 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
       if (options.timeout_s < 0) {
         throw ConfigError("--timeout must be >= 0 seconds");
       }
+    } else if (args[i] == "--stall-timeout") {
+      // Liveness, not wall-clock: kill a worker whose progress stream
+      // has been silent this long (deadlock, fault-injected stall),
+      // independently of --timeout.
+      railcorr::util::SpecEntry entry;
+      entry.key = "--stall-timeout";
+      entry.value = value_of("--stall-timeout");
+      options.stall_timeout_s = railcorr::util::parse_double(entry);
+      if (options.stall_timeout_s < 0) {
+        throw ConfigError("--stall-timeout must be >= 0 seconds");
+      }
+    } else if (args[i] == "--backoff") {
+      // Base of the deterministic exponential backoff between a
+      // shard's attempts (base * 2^(fails-1), capped); 0 disables.
+      railcorr::util::SpecEntry entry;
+      entry.key = "--backoff";
+      entry.value = value_of("--backoff");
+      options.backoff_base_s = railcorr::util::parse_double(entry);
+      if (options.backoff_base_s < 0) {
+        throw ConfigError("--backoff must be >= 0 seconds");
+      }
     } else if (args[i] == "--include-sizing") {
       options.include_sizing = true;
     } else if (args[i] == "--no-speculate") {
       options.speculate = false;
     } else if (args[i] == "--threads") {
-      worker_threads = parse_u64_option("--threads", value_of("--threads"));
+      // One value for a homogeneous fleet, or a comma-separated list
+      // assigning worker slot k the k-th entry (the last entry repeats
+      // for higher slots) — heterogeneous machines give their big
+      // cores more threads than their little ones.
+      std::string_view rest = value_of("--threads");
+      worker_threads.clear();
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string token(
+            comma == std::string_view::npos ? rest : rest.substr(0, comma));
+        rest.remove_prefix(comma == std::string_view::npos ? rest.size()
+                                                           : comma + 1);
+        worker_threads.push_back(parse_u64_option("--threads", token));
+      }
+      if (worker_threads.empty()) {
+        throw ConfigError("--threads expects N or N,N,...");
+      }
     } else if (args[i] == "--inject-kill") {
       // Testing aid: SIGKILL the *first* attempt of this shard after
-      // one cell (via the worker's --abort-after-cells hook), proving
-      // the retry path reproduces byte-identical output.
+      // one cell (via the worker's kill fault point), proving the
+      // retry path reproduces byte-identical output.
       inject_kill =
           parse_u64_option("--inject-kill", value_of("--inject-kill"));
+    } else if (args[i] == "--chaos-seed") {
+      // Seeded chaos mode: derive a deterministic fault schedule over
+      // (shard, attempt) and arm each worker accordingly — torn
+      // writes, corrupted trailers, stalls, kills. Attempts at or past
+      // the retry budget stay clean, so a chaos run always converges,
+      // and the merged grid must still be byte-identical to a clean
+      // single-process sweep.
+      chaos_seed = railcorr::util::parse_u64(railcorr::util::SpecEntry{
+          "--chaos-seed", value_of("--chaos-seed"), 0});
     } else {
       throw ConfigError("orchestrate: unknown option '" + args[i] + "'");
     }
@@ -501,14 +634,19 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
   std::size_t fleet_width = options.workers;
   if (options.shards != 0) fleet_width = std::min(fleet_width, options.shards);
   fleet_width = std::max<std::size_t>(1, std::min(fleet_width, grid));
-  const std::size_t threads_per_worker =
-      worker_threads.has_value() ? *worker_threads
-                                 : std::max<std::size_t>(1, hw / fleet_width);
+  if (worker_threads.empty()) {
+    worker_threads.push_back(std::max<std::size_t>(1, hw / fleet_width));
+  }
   const std::string worker_plan = dir + "/plan.sweep";
   const bool sizing = options.include_sizing;
+  const std::size_t retries = options.retries;
   options.command =
-      [self, worker_plan, accuracy, threads_per_worker, sizing,
-       inject_kill](const railcorr::orch::WorkerAttempt& attempt) {
+      [self, worker_plan, accuracy, worker_threads, sizing, inject_kill,
+       chaos_seed, retries](const railcorr::orch::WorkerAttempt& attempt) {
+        // Slot k gets the k-th --threads entry; the last entry covers
+        // every higher slot, so a single value stays homogeneous.
+        const std::size_t threads = worker_threads[std::min(
+            attempt.slot, worker_threads.size() - 1)];
         std::vector<std::string> argv = {
             self,
             "sweep",
@@ -523,13 +661,53 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
             "--accuracy",
             accuracy,
             "--threads",
-            std::to_string(threads_per_worker),
+            std::to_string(threads),
         };
         if (sizing) argv.push_back("--include-sizing");
         if (inject_kill.has_value() && attempt.shard == *inject_kill &&
             attempt.attempt == 0) {
-          argv.push_back("--abort-after-cells");
-          argv.push_back("1");
+          argv.push_back("--fault");
+          argv.push_back("kill=1");
+        }
+        // Chaos schedule: a pure function of (seed, shard, attempt),
+        // so the same seed replays the same fault storm. Attempts at
+        // or past the retry budget are never faulted — fail_count can
+        // only reach the budget through faulted earlier attempts, and
+        // attempt ordinals grow at least as fast as fail_count, so the
+        // last allowed attempt of every shard runs clean and the run
+        // converges by construction.
+        if (chaos_seed.has_value() && attempt.attempt < retries) {
+          railcorr::SplitMix64 rng(
+              *chaos_seed ^ (0x9e3779b97f4a7c15ULL * (attempt.shard + 1)) ^
+              (0xbf58476d1ce4e5b9ULL * (attempt.attempt + 1)));
+          const std::uint64_t u = rng.next();
+          std::optional<railcorr::orch::FaultSpec> fault;
+          switch (u % 8) {
+            case 0:
+              fault = {railcorr::orch::FaultKind::kTornWrite,
+                       1 + static_cast<std::size_t>((u >> 8) % 120)};
+              break;
+            case 1:
+              fault = {railcorr::orch::FaultKind::kCorruptTrailer, 0};
+              break;
+            case 2:
+              fault = {railcorr::orch::FaultKind::kStall, 1};
+              break;
+            case 3:
+              fault = {railcorr::orch::FaultKind::kKillAfterCells, 1};
+              break;
+            default:
+              break;  // Clean attempt: faults on half the schedule.
+          }
+          if (fault.has_value()) {
+            const std::string spec =
+                railcorr::orch::fault_spec_string(*fault);
+            std::cerr << "[orchestrate] chaos: shard " << attempt.shard
+                      << " attempt " << attempt.attempt << " fault " << spec
+                      << "\n";
+            argv.push_back("--fault");
+            argv.push_back(spec);
+          }
         }
         return argv;
       };
@@ -545,12 +723,15 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
     // "the grid you asked for is not the grid on disk" conditions.
     return (result.contract_violation || result.manifest_mismatch) ? 2 : 1;
   }
-  if (out_path.has_value()) write_output(out_path, result.merged);
+  if (out_path.has_value()) write_grid_output(out_path, result.merged);
   std::cout << "orchestrate: merged " << result.merged_path << " ("
             << result.stats.attempts << " attempt(s), "
             << result.stats.retried << " retried, "
             << result.stats.speculative << " speculative, "
-            << result.stats.resumed << " resumed)\n";
+            << result.stats.resumed << " resumed, "
+            << result.stats.timed_out << " timed out, "
+            << result.stats.stalled << " stalled, "
+            << result.stats.corrupt << " corrupt)\n";
   return 0;
 }
 
