@@ -13,7 +13,13 @@
 #      injected failures,
 #   3. a resume over a deliberately truncated shard file recomputes
 #      exactly that shard (not a fatal contract violation) and again
-#      reproduces the same bytes.
+#      reproduces the same bytes,
+#   4. a fault storm over a shared result cache — pre-poisoned with a
+#      corrupt segment, then battered with cache-torn-write /
+#      cache-corrupt-segment faults and a hostile concurrent evictor —
+#      must never change merged.csv bytes (a poisoned cache costs
+#      recomputes, never correctness), and `cache verify` must leave
+#      the store clean afterwards.
 #
 # usage: chaos_smoke.sh <railcorr-binary>
 set -eu
@@ -82,6 +88,45 @@ if [ "$launches" -ne 1 ]; then
 fi
 if ! cmp "$TMP/run/merged.csv" "$TMP/single.csv"; then
   echo "FAIL: resumed merge differs from the single-process sweep" >&2
+  exit 1
+fi
+
+# --- 4: a poisoned shared cache never changes output bytes ------------
+# Warm a store, then flip one byte of a published segment: silent
+# on-disk corruption a worker will meet at open.
+"$BIN" sweep --plan "$TMP/plan.sweep" --out "$TMP/warmup.csv" \
+    --cache-dir "$TMP/cache"
+seg="$(ls "$TMP/cache"/*.seg | head -n 1)"
+dd if=/dev/zero of="$seg" bs=1 seek=100 count=1 conv=notrunc 2>/dev/null
+
+# The storm: the same seeded schedule, now with cache-torn-write and
+# cache-corrupt-segment faults in the mix (chaos cases 4/5 arm only
+# when --cache-dir is set), plus a hostile evictor unlinking other
+# segments at every flush of shard 0's workers.
+RAILCORR_FAULT="" "$BIN" orchestrate --plan "$TMP/plan.sweep" \
+    --out-dir "$TMP/cacherun" --workers 4 --retries 3 --timeout 120 \
+    --stall-timeout 2 --chaos-seed 7 --cache-dir "$TMP/cache" \
+    2> "$TMP/cachechaos.log"
+
+if ! cmp "$TMP/cacherun/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: poisoned-cache chaos merge differs from the clean sweep" >&2
+  exit 1
+fi
+
+# A concurrent evictor racing a full re-sweep: rows vanish mid-run, the
+# sweep must still emit identical bytes (vanished segments are misses).
+RAILCORR_FAULT="cache-evict" "$BIN" sweep --plan "$TMP/plan.sweep" \
+    --out "$TMP/evicted.csv" --cache-dir "$TMP/cache"
+if ! cmp "$TMP/evicted.csv" "$TMP/single.csv"; then
+  echo "FAIL: concurrent-evictor sweep differs from the clean sweep" >&2
+  exit 1
+fi
+
+# After the storm: verify repairs whatever damage remains, and a
+# strict re-verify must then pass.
+"$BIN" cache verify --dir "$TMP/cache" > /dev/null
+if ! "$BIN" cache verify --dir "$TMP/cache" --strict > /dev/null; then
+  echo "FAIL: cache verify --strict failed after a repair pass" >&2
   exit 1
 fi
 

@@ -4,7 +4,11 @@
 #   1. evaluate a tiny sweep grid as 2 shards and as 1 shard,
 #   2. merge both ways — the outputs must be byte-identical
 #      (the cross-shard determinism contract),
-#   3. corrupt one shard row and check merge exits nonzero.
+#   3. corrupt one shard row and check merge exits nonzero,
+#   4. pin the CLI error matrix: exit codes AND messages of the
+#      sweep/orchestrate/cache usage-error paths (wrong-flag
+#      combinations, refused resumes) so orchestrating scripts can rely
+#      on them.
 #
 # usage: cli_smoke.sh <railcorr-binary>
 set -eu
@@ -74,5 +78,67 @@ if [ "$code" -ne 1 ]; then
   echo "FAIL: garbage input exited $code, expected 1" >&2
   exit 1
 fi
+
+# --- 4: the CLI error matrix ------------------------------------------
+# Each case pins BOTH the exit code and a stable message fragment:
+# exit 1 = usage/configuration error, exit 2 = the grid you asked for
+# is not the grid on disk (refused resume).
+#
+#   expect_error <code> <message-fragment> <args...>
+expect_error() {
+  want_code="$1"; want_msg="$2"; shift 2
+  set +e
+  got_msg="$("$BIN" "$@" 2>&1 >/dev/null)"
+  got_code=$?
+  set -e
+  if [ "$got_code" -ne "$want_code" ]; then
+    echo "FAIL: '$*' exited $got_code, expected $want_code" >&2
+    exit 1
+  fi
+  case "$got_msg" in
+    *"$want_msg"*) ;;
+    *)
+      echo "FAIL: '$*' stderr lacks '$want_msg': $got_msg" >&2
+      exit 1
+      ;;
+  esac
+}
+
+# sweep flag misuse.
+expect_error 1 "--progress requires --out" \
+    sweep --plan "$TMP/plan.sweep" --progress
+expect_error 1 "--cache-max-mb requires --cache-dir" \
+    sweep --plan "$TMP/plan.sweep" --cache-max-mb 64
+expect_error 1 "--plan FILE required" sweep
+expect_error 1 "cannot read" sweep --plan "$TMP/no_such_plan.sweep"
+
+# orchestrate argument misuse.
+expect_error 1 "--plan FILE and --out-dir DIR required" \
+    orchestrate --workers 2
+expect_error 1 "drop --out-dir" \
+    orchestrate --resume "$TMP/run" --out-dir "$TMP/other"
+expect_error 1 "--cache-max-mb requires --cache-dir" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/x" --cache-max-mb 8
+
+# orchestrate resume error paths.
+expect_error 1 "cannot read" orchestrate --resume "$TMP/no_such_run"
+mkdir -p "$TMP/freshrun"
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/freshrun" \
+    --workers 2 2>/dev/null >/dev/null
+expect_error 1 "already holds an orchestrate.manifest" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/freshrun"
+# A resume whose --plan disagrees with the recorded run: refused, and
+# with the dedicated exit code 2, not a generic usage error.
+sed 's/axis radio.lp_eirp_dbm = 37, 40/axis radio.lp_eirp_dbm = 37, 41/' \
+    "$TMP/plan.sweep" > "$TMP/other_plan.sweep"
+expect_error 2 "--resume refused" \
+    orchestrate --resume "$TMP/freshrun" --plan "$TMP/other_plan.sweep"
+
+# cache verb misuse.
+expect_error 1 "expected a verb" cache
+expect_error 1 "unknown verb" cache prune --dir "$TMP/cache"
+expect_error 1 "--dir DIR required" cache stats
+expect_error 1 "--max-mb N required" cache gc --dir "$TMP/cache"
+expect_error 1 "unknown option '--strict'" cache stats --dir x --strict
 
 echo "cli shard+merge smoke OK"

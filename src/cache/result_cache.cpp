@@ -1,0 +1,421 @@
+#include "cache/result_cache.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "orch/faultpoint.hpp"
+#include "util/durable_io.hpp"
+
+namespace railcorr::cache {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kMagicPrefix = "# railcorr-cache-v1 schema=";
+
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t hash = 0xCBF29CE484222325ULL) {
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex16(std::string_view text, std::uint64_t& out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c >= '0' && c <= '9') {
+      value = (value << 4) | static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value = (value << 4) | static_cast<std::uint64_t>(10 + c - 'a');
+    } else {
+      return false;
+    }
+  }
+  out = value;
+  return true;
+}
+
+bool parse_decimal(std::string_view text, std::size_t& out) {
+  if (text.empty()) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+/// Evictors (and corrupt-segment droppers) must not race each other on
+/// the same file: the first to create `<path>.lock` owns the unlink.
+/// The lock is removed right after, so the crash window leaving a
+/// stale lock is one unlink wide; orphaned locks (no segment left) are
+/// swept by list_segments.
+bool try_lock_segment(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open((path + ".lock").c_str(),
+                O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+void unlock_segment(const std::string& path) {
+  ::unlink((path + ".lock").c_str());
+}
+
+/// Remove a segment under its lock. False when another process holds
+/// the lock (it is handling this segment); the unlink itself tolerates
+/// the file already being gone.
+bool remove_segment(const std::string& path) {
+  if (!try_lock_segment(path)) return false;
+  ::unlink(path.c_str());
+  unlock_segment(path);
+  return true;
+}
+
+struct SegmentFile {
+  std::string path;
+  std::size_t size = 0;
+  /// Mtime as the filesystem reports it; the LRU eviction order key.
+  fs::file_time_type mtime{};
+};
+
+/// Every `*.seg` in `dir`, plus a sweep of orphaned `*.lock` files
+/// whose segment no longer exists (a crashed evictor's leftovers —
+/// without the sweep such a segment name would be locked forever).
+std::vector<SegmentFile> list_segments(const std::string& dir) {
+  std::vector<SegmentFile> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const fs::path& path = entry.path();
+    if (path.extension() == ".lock") {
+      fs::path owner = path;
+      owner.replace_extension();
+      if (!fs::exists(owner, ec)) fs::remove(path, ec);
+      continue;
+    }
+    if (path.extension() != ".seg") continue;
+    SegmentFile segment;
+    segment.path = path.string();
+    segment.size = static_cast<std::size_t>(fs::file_size(path, ec));
+    if (ec) continue;  // Vanished under a concurrent evictor.
+    segment.mtime = fs::last_write_time(path, ec);
+    if (ec) continue;
+    segments.push_back(std::move(segment));
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.path < b.path;
+            });
+  return segments;
+}
+
+}  // namespace
+
+std::uint64_t cell_key(std::string_view banner, std::size_t index,
+                       std::string_view header,
+                       std::uint32_t schema_version) {
+  // Hash the tuple as length-unambiguous framed fields: each component
+  // ends with '\n' (none of them can contain one), so no two distinct
+  // tuples serialize to the same byte stream.
+  std::uint64_t hash = fnv1a64(banner);
+  hash = fnv1a64("\n", hash);
+  hash = fnv1a64(std::to_string(index), hash);
+  hash = fnv1a64("\n", hash);
+  hash = fnv1a64(header, hash);
+  hash = fnv1a64("\n", hash);
+  hash = fnv1a64(std::to_string(schema_version), hash);
+  return hash;
+}
+
+std::string render_segment(const std::vector<SegmentEntry>& entries) {
+  std::string body(kMagicPrefix);
+  body += std::to_string(kResultSchemaVersion);
+  body += '\n';
+  for (const auto& entry : entries) {
+    body += "entry ";
+    body += hex16(entry.key);
+    body += ' ';
+    body += std::to_string(entry.row.size());
+    body += '\n';
+    body += entry.row;
+    body += '\n';
+  }
+  return util::with_integrity_trailer(body);
+}
+
+SegmentParse parse_segment(std::string_view document) {
+  SegmentParse parse;
+  const auto trailer = util::check_integrity_trailer(document);
+  if (trailer.status != util::TrailerStatus::kVerified) {
+    // A cache segment is always published with a trailer, so "missing"
+    // means truncated before the trailer line — the same torn-write
+    // damage a mismatch means.
+    parse.error = trailer.status == util::TrailerStatus::kMissing
+                      ? "missing integrity trailer (truncated segment)"
+                      : "integrity trailer mismatch (corrupt segment)";
+    return parse;
+  }
+  std::string_view rest = trailer.body;
+
+  const std::size_t magic_eol = rest.find('\n');
+  if (magic_eol == std::string_view::npos) {
+    parse.error = "missing magic line";
+    return parse;
+  }
+  const std::string_view magic = rest.substr(0, magic_eol);
+  rest.remove_prefix(magic_eol + 1);
+  if (!magic.starts_with(kMagicPrefix)) {
+    parse.error = "bad magic line '" + std::string(magic) + "'";
+    return parse;
+  }
+  std::size_t schema = 0;
+  if (!parse_decimal(magic.substr(kMagicPrefix.size()), schema) ||
+      schema != kResultSchemaVersion) {
+    // A foreign schema is not corruption, but its rows mean something
+    // else; dropping the segment is the only safe read.
+    parse.error = "unsupported schema in '" + std::string(magic) + "'";
+    return parse;
+  }
+
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find('\n');
+    if (eol == std::string_view::npos) {
+      parse.error = "truncated entry header";
+      return parse;
+    }
+    const std::string_view line = rest.substr(0, eol);
+    rest.remove_prefix(eol + 1);
+    if (!line.starts_with("entry ")) {
+      parse.error = "malformed entry line '" + std::string(line) + "'";
+      return parse;
+    }
+    const std::string_view fields = line.substr(6);
+    const std::size_t space = fields.find(' ');
+    if (space == std::string_view::npos) {
+      parse.error = "malformed entry line '" + std::string(line) + "'";
+      return parse;
+    }
+    SegmentEntry entry;
+    std::size_t length = 0;
+    if (!parse_hex16(fields.substr(0, space), entry.key) ||
+        !parse_decimal(fields.substr(space + 1), length)) {
+      parse.error = "malformed entry key/length in '" + std::string(line) +
+                    "'";
+      return parse;
+    }
+    // The payload is length-prefixed raw bytes plus one separator
+    // newline; anything shorter is truncation.
+    if (rest.size() < length + 1 || rest[length] != '\n') {
+      parse.error = "truncated entry payload";
+      return parse;
+    }
+    entry.row = std::string(rest.substr(0, length));
+    rest.remove_prefix(length + 1);
+    parse.entries.push_back(std::move(entry));
+  }
+  parse.ok = true;
+  return parse;
+}
+
+DirReport scan_dir(const std::string& dir, bool drop_corrupt) {
+  DirReport report;
+  for (const auto& segment : list_segments(dir)) {
+    const auto document = util::read_file_fully(segment.path);
+    if (!document.has_value()) continue;  // Evicted under us.
+    const auto parse = parse_segment(*document);
+    if (!parse.ok) {
+      report.corrupt_files.push_back(segment.path);
+      if (drop_corrupt) remove_segment(segment.path);
+      continue;
+    }
+    ++report.segments;
+    report.entries += parse.entries.size();
+    report.bytes += document->size();
+  }
+  return report;
+}
+
+std::size_t gc_dir(const std::string& dir, std::size_t max_bytes) {
+  auto segments = list_segments(dir);
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.mtime < b.mtime;
+            });
+  std::size_t total = 0;
+  for (const auto& segment : segments) total += segment.size;
+  std::size_t evicted = 0;
+  for (const auto& segment : segments) {
+    if (total <= max_bytes) break;
+    if (remove_segment(segment.path)) {
+      total -= segment.size;
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+bool ResultCache::open(const Options& options, std::string* error) {
+  open_ = false;
+  options_ = options;
+  stats_ = {};
+  index_.clear();
+  segments_.clear();
+  segment_hit_.clear();
+  staged_.clear();
+
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create cache dir '" + options_.dir + "': " +
+               ec.message();
+    }
+    return false;
+  }
+
+  for (const auto& segment : list_segments(options_.dir)) {
+    const auto document = util::read_file_fully(segment.path);
+    if (!document.has_value()) continue;  // Evicted under us.
+    const auto parse = parse_segment(*document);
+    if (!parse.ok) {
+      // Verified-then-dropped, like a damaged shard: the segment is
+      // recomputable by definition, so the only wrong move would be
+      // trusting any part of it.
+      remove_segment(segment.path);
+      ++stats_.dropped_segments;
+      continue;
+    }
+    const std::size_t segment_id = segments_.size();
+    segments_.push_back(segment.path);
+    for (const auto& entry : parse.entries) {
+      index_[entry.key] = IndexedRow{entry.row, segment_id};
+    }
+    ++stats_.segments;
+  }
+  segment_hit_.assign(segments_.size(), false);
+  stats_.entries = index_.size();
+  open_ = true;
+  return true;
+}
+
+std::optional<std::string_view> ResultCache::lookup(std::uint64_t key) {
+  if (!open_) return std::nullopt;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  if (it->second.segment != npos) segment_hit_[it->second.segment] = true;
+  return std::string_view(it->second.row);
+}
+
+void ResultCache::insert(std::uint64_t key, std::string_view row) {
+  if (!open_) return;
+  // The byte-identity contract makes a duplicate's bytes identical to
+  // the indexed ones, so re-staging an already-known key only bloats
+  // the store.
+  if (index_.find(key) != index_.end()) return;
+  index_[key] = IndexedRow{std::string(row), npos};
+  staged_.push_back(SegmentEntry{key, std::string(row)});
+  ++stats_.inserted;
+}
+
+bool ResultCache::flush(std::string* error) {
+  if (!open_) return true;
+  auto& faults = orch::FaultInjector::instance();
+
+  std::string published_path;
+  if (!staged_.empty()) {
+    std::string document = render_segment(staged_);
+    published_path =
+        options_.dir + "/seg_" + hex16(fnv1a64(document)) + ".seg";
+    if (const auto torn =
+            faults.armed(orch::FaultKind::kCacheTornWrite)) {
+      // A torn publish: only a prefix of the document lands under the
+      // final name — the state a crashed writer without the atomic
+      // staging discipline leaves. Readers must verify-and-drop it.
+      document.resize(
+          std::min(document.size(), std::max<std::size_t>(1, *torn)));
+      std::string write_error;
+      if (!util::atomic_write_file(published_path, document, &write_error)) {
+        if (error != nullptr) *error = write_error;
+        return false;
+      }
+      staged_.clear();
+      return true;
+    }
+    if (faults.armed(orch::FaultKind::kCacheCorruptSegment).has_value()) {
+      // Bit rot after the trailer was computed: the file is full
+      // length and structurally plausible, only the checksum can
+      // reject it.
+      const std::size_t digit = document.size() - 2;
+      document[digit] = document[digit] == '0' ? '1' : '0';
+    }
+    std::string write_error;
+    if (!util::atomic_write_file(published_path, document, &write_error)) {
+      if (error != nullptr) *error = write_error;
+      return false;
+    }
+    staged_.clear();
+  }
+
+  // Recency: a segment that answered hits since the last flush is
+  // "recently used" — bump its mtime so the eviction pass below (and
+  // any concurrent process's) ranks it young.
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (!segment_hit_[i]) continue;
+    ::utimensat(AT_FDCWD, segments_[i].c_str(), nullptr, 0);
+    segment_hit_[i] = false;
+  }
+
+  const bool evict_all =
+      faults.armed(orch::FaultKind::kCacheEvict).has_value();
+  if (options_.max_bytes == 0 && !evict_all) return true;
+
+  auto segments = list_segments(options_.dir);
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.mtime < b.mtime;
+            });
+  std::size_t total = 0;
+  for (const auto& segment : segments) total += segment.size;
+  for (const auto& segment : segments) {
+    if (!evict_all && total <= options_.max_bytes) break;
+    // The segment just published carries this flush's fresh rows;
+    // evicting it immediately would make an over-budget store a
+    // write-only device.
+    if (segment.path == published_path) continue;
+    if (remove_segment(segment.path)) {
+      total -= segment.size;
+      ++stats_.evicted_segments;
+    }
+  }
+  return true;
+}
+
+}  // namespace railcorr::cache

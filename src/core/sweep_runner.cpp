@@ -183,11 +183,22 @@ std::string evaluate_sweep_cell(const corridor::SweepPlan& plan,
 std::string run_sweep_shard(const corridor::SweepPlan& plan,
                             corridor::ShardSpec shard,
                             const SweepRunOptions& options) {
-  std::string document = corridor::shard_banner(plan) + "\n" +
-                         corridor::shard_header(
-                             plan, sweep_metric_columns(options)) +
-                         "\n";
+  const std::string banner = corridor::shard_banner(plan);
+  const std::string header =
+      corridor::shard_header(plan, sweep_metric_columns(options));
+  std::string document = banner + "\n" + header + "\n";
   const auto indices = shard.indices(plan.size());
+
+  // The cache key covers everything a row's bytes depend on: the
+  // banner (plan fingerprint + grid + accuracy tag), the cell index,
+  // and the header (column set). A hit therefore IS the row a cold
+  // evaluation would render, byte for byte.
+  cache::ResultCache* cache =
+      options.cache != nullptr && options.cache->is_open() ? options.cache
+                                                           : nullptr;
+  const auto key_of = [&](std::size_t index) {
+    return cache::cell_key(banner, index, header);
+  };
 
   if (!options.include_sizing) {
     // Cells run sequentially: each cell's evaluator already saturates
@@ -196,9 +207,22 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
     // trivially ordered.
     std::size_t done = 0;
     for (const std::size_t index : indices) {
-      document += evaluate_sweep_cell(plan, index, options) + "\n";
+      std::string row;
+      if (cache != nullptr) {
+        const std::uint64_t key = key_of(index);
+        if (const auto hit = cache->lookup(key)) {
+          row = std::string(*hit);
+        } else {
+          row = evaluate_sweep_cell(plan, index, options);
+          cache->insert(key, row);
+        }
+      } else {
+        row = evaluate_sweep_cell(plan, index, options);
+      }
+      document += row + "\n";
       if (options.progress) options.progress(index, ++done, indices.size());
     }
+    if (cache != nullptr) cache->flush();
     return document;
   }
 
@@ -211,12 +235,30 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
   // bit-identical to the per-cell evaluator path, so the emitted rows
   // are byte-identical to evaluate_sweep_cell's (the merge contract
   // does not see the batching).
+  // Cache hits are resolved before the batch is formed, so only missed
+  // cells pay for weather synthesis — the incremental-sweep win
+  // compounds with the batching one.
+  std::vector<std::string> rows(indices.size());
+  std::vector<std::size_t> missed;
+  missed.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (cache == nullptr) {
+      missed.push_back(i);
+      continue;
+    }
+    if (const auto hit = cache->lookup(key_of(indices[i]))) {
+      rows[i] = std::string(*hit);
+    } else {
+      missed.push_back(i);
+    }
+  }
+
   std::vector<Scenario> scenarios;
   std::vector<solar::SizingJob> jobs;
-  scenarios.reserve(indices.size());
-  jobs.reserve(indices.size());
-  for (const std::size_t index : indices) {
-    Scenario scenario = scenario_at(plan, index);
+  scenarios.reserve(missed.size());
+  jobs.reserve(missed.size());
+  for (const std::size_t i : missed) {
+    Scenario scenario = scenario_at(plan, indices[i]);
     jobs.push_back(solar::SizingJob{scenario.sizing_locations,
                                     scenario.repeater_consumption_profile(),
                                     scenario.sizing,
@@ -224,15 +266,20 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
     scenarios.push_back(std::move(scenario));
   }
   const auto sized = solar::size_jobs(jobs);
+  for (std::size_t j = 0; j < missed.size(); ++j) {
+    const std::size_t i = missed[j];
+    rows[i] = render_row(plan, indices[i], scenarios[j], options, &sized[j]);
+    if (cache != nullptr) cache->insert(key_of(indices[i]), rows[i]);
+  }
+
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    document +=
-        render_row(plan, indices[i], scenarios[i], options, &sized[i]) +
-        "\n";
+    document += rows[i] + "\n";
     // Progress trails the batched simulation here: the heavy weather
     // synthesis ran up front for the whole shard, so cells then render
     // in a burst.
     if (options.progress) options.progress(indices[i], i + 1, indices.size());
   }
+  if (cache != nullptr) cache->flush();
   return document;
 }
 

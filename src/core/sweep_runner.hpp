@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "core/scenario.hpp"
 #include "corridor/sweep.hpp"
 
@@ -26,6 +27,13 @@ struct SweepRunOptions {
   /// Also run the Table IV off-grid PV sizing per cell (adds the
   /// sized_pv_wp_total / ladder_exhausted columns; much slower).
   bool include_sizing = false;
+  /// Content-addressed result store: cells whose (banner, index,
+  /// header, schema) key is already cached skip evaluation and emit the
+  /// stored bytes; evaluated cells are inserted and flushed at the end
+  /// of the shard. Null or unopened = every cell computes. The
+  /// byte-identity contract makes the two paths indistinguishable in
+  /// the output.
+  cache::ResultCache* cache = nullptr;
   /// Called by run_sweep_shard after each owned cell's row is rendered
   /// with (grid cell index, cells finished, cells owned by the shard).
   /// The CLI's `--progress` mode forwards these to the orchestrator's

@@ -21,6 +21,9 @@ constexpr KindName kKinds[] = {
     {FaultKind::kCorruptTrailer, "corrupt-trailer", false},
     {FaultKind::kStall, "stall", true},
     {FaultKind::kKillAfterCells, "kill", true},
+    {FaultKind::kCacheTornWrite, "cache-torn-write", true},
+    {FaultKind::kCacheCorruptSegment, "cache-corrupt-segment", false},
+    {FaultKind::kCacheEvict, "cache-evict", false},
 };
 
 std::size_t parse_param(std::string_view text, std::string_view spec) {
@@ -75,7 +78,8 @@ FaultSpec parse_fault_spec(std::string_view text) {
   }
   throw ConfigError(
       "fault spec '" + std::string(text) +
-      "': expected torn-write=N, corrupt-trailer, stall=N, or kill=N");
+      "': expected torn-write=N, corrupt-trailer, stall=N, kill=N, "
+      "cache-torn-write=N, cache-corrupt-segment, or cache-evict");
 }
 
 FaultInjector& FaultInjector::instance() {

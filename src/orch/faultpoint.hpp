@@ -23,6 +23,21 @@
 ///                      worker, mid-shard (`--abort-after-cells N`
 ///                      is an alias).
 ///
+/// Cache fault points (sites in cache::ResultCache::flush) model an
+/// adversarial shared result store; a poisoned cache must never change
+/// output bytes, only cost recomputes:
+///
+///   cache-torn-write=N     publish only the first N bytes of the next
+///                          cache segment — a torn publish readers
+///                          must verify-and-drop.
+///   cache-corrupt-segment  flip one trailer hex digit of the next
+///                          published segment — silent corruption,
+///                          caught only by trailer verification.
+///   cache-evict            run a hostile evictor at every flush,
+///                          unlinking every other segment — readers
+///                          and writers must tolerate segments
+///                          vanishing at any time.
+///
 /// Faults are armed per process through the `railcorr sweep --fault
 /// SPEC` flag (the orchestrator's chaos mode appends it to selected
 /// worker attempts) or the `RAILCORR_FAULT` environment variable
@@ -51,6 +66,9 @@ enum class FaultKind {
   kCorruptTrailer,
   kStall,
   kKillAfterCells,
+  kCacheTornWrite,
+  kCacheCorruptSegment,
+  kCacheEvict,
 };
 
 /// One armed fault: the kind plus its parameter (bytes for torn-write,

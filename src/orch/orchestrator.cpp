@@ -631,6 +631,8 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   }
 
   // --- merge --------------------------------------------------------
+  result.stats.cache_hits = aggregator.cache_hits();
+  result.stats.cache_misses = aggregator.cache_misses();
   for (const auto& error : aggregator.banner_errors()) {
     result.errors.push_back(error);
   }
@@ -686,7 +688,13 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
       std::to_string(result.stats.resumed) + " resumed, " +
       std::to_string(result.stats.timed_out) + " timed out, " +
       std::to_string(result.stats.stalled) + " stalled, " +
-      std::to_string(result.stats.corrupt) + " corrupt)");
+      std::to_string(result.stats.corrupt) + " corrupt" +
+      (result.stats.cache_hits + result.stats.cache_misses > 0
+           ? ", cache " + std::to_string(result.stats.cache_hits) +
+                 " hit(s) / " + std::to_string(result.stats.cache_misses) +
+                 " miss(es)"
+           : "") +
+      ")");
   return result;
 }
 

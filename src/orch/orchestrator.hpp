@@ -132,6 +132,10 @@ struct OrchestrateStats {
   /// Attempts whose output failed integrity/structure verification
   /// (torn write, corrupt trailer, wrong banner or row count).
   std::size_t corrupt = 0;
+  /// Fleet-wide result-cache tallies, summed from each shard's latest
+  /// cache progress report. Zero when workers ran without --cache-dir.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 /// Outcome of an orchestrated run.

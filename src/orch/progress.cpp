@@ -48,6 +48,11 @@ std::string cell_line(std::size_t index, std::size_t done,
          " done=" + std::to_string(done) + " total=" + std::to_string(total);
 }
 
+std::string cache_line(std::size_t hits, std::size_t misses) {
+  return std::string(kMagic) + "cache hits=" + std::to_string(hits) +
+         " misses=" + std::to_string(misses);
+}
+
 std::string done_line(std::size_t rows) {
   return std::string(kMagic) + "done rows=" + std::to_string(rows);
 }
@@ -94,6 +99,15 @@ std::optional<ProgressEvent> parse_progress_line(std::string_view line) {
     }
     return rest.empty() ? std::optional<ProgressEvent>(event) : std::nullopt;
   }
+  if (rest.starts_with("cache ")) {
+    rest.remove_prefix(6);
+    event.kind = ProgressEvent::Kind::kCache;
+    if (!take_field(rest, "hits", event.hits, /*leading_space=*/false) ||
+        !take_field(rest, "misses", event.misses, /*leading_space=*/true)) {
+      return std::nullopt;
+    }
+    return rest.empty() ? std::optional<ProgressEvent>(event) : std::nullopt;
+  }
   if (rest.starts_with("done ")) {
     rest.remove_prefix(5);
     event.kind = ProgressEvent::Kind::kDone;
@@ -110,7 +124,9 @@ ProgressAggregator::ProgressAggregator(std::size_t grid_cells,
     : grid_cells_(grid_cells),
       shard_count_(shard_count),
       cell_seen_(grid_cells, false),
-      shard_done_(shard_count, false) {}
+      shard_done_(shard_count, false),
+      shard_cache_hits_(shard_count, 0),
+      shard_cache_misses_(shard_count, 0) {}
 
 void ProgressAggregator::on_event(std::size_t shard,
                                   const ProgressEvent& event) {
@@ -131,10 +147,31 @@ void ProgressAggregator::on_event(std::size_t shard,
         ++cells_done_;
       }
       break;
+    case ProgressEvent::Kind::kCache:
+      // Latest report wins: a retried attempt re-reports its own
+      // whole-shard tallies, superseding (not adding to) the dead
+      // attempt's.
+      if (shard < shard_cache_hits_.size()) {
+        shard_cache_hits_[shard] = event.hits;
+        shard_cache_misses_[shard] = event.misses;
+      }
+      break;
     case ProgressEvent::Kind::kStart:
     case ProgressEvent::Kind::kDone:
       break;
   }
+}
+
+std::size_t ProgressAggregator::cache_hits() const {
+  std::size_t total = 0;
+  for (const std::size_t hits : shard_cache_hits_) total += hits;
+  return total;
+}
+
+std::size_t ProgressAggregator::cache_misses() const {
+  std::size_t total = 0;
+  for (const std::size_t misses : shard_cache_misses_) total += misses;
+  return total;
 }
 
 void ProgressAggregator::on_shard_complete(std::size_t shard) {

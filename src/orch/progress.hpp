@@ -10,7 +10,13 @@
 ///     @railcorr 1 banner # railcorr-sweep-v1 fingerprint=<hex16> grid=<N>
 ///     @railcorr 1 start shard=<i>/<N> cells=<n>
 ///     @railcorr 1 cell index=<grid index> done=<k> total=<n>
+///     @railcorr 1 cache hits=<h> misses=<m>
 ///     @railcorr 1 done rows=<n>
+///
+/// The cache event reports the worker's result-cache tallies (emitted
+/// just before `done`, only when a `--cache-dir` store is attached);
+/// per shard the aggregator keeps the latest report, so a retried
+/// attempt replaces — never double-counts — its predecessor's.
 ///
 /// `@railcorr 1` is the protocol magic + version; unknown lines (a
 /// worker's stray print, a future protocol extension) parse to
@@ -35,7 +41,7 @@ namespace railcorr::orch {
 
 /// One parsed protocol event.
 struct ProgressEvent {
-  enum class Kind { kBanner, kStart, kCell, kDone };
+  enum class Kind { kBanner, kStart, kCell, kCache, kDone };
   Kind kind = Kind::kBanner;
   /// kBanner: the shard banner, verbatim.
   std::string banner;
@@ -47,6 +53,9 @@ struct ProgressEvent {
   std::size_t index = 0;
   std::size_t done = 0;
   std::size_t total = 0;
+  /// kCache: the worker's result-cache lookup tallies.
+  std::size_t hits = 0;
+  std::size_t misses = 0;
   /// kDone: CSV rows written (excluding banner + header).
   std::size_t rows = 0;
 };
@@ -57,6 +66,7 @@ std::string banner_line(std::string_view banner);
 std::string start_line(std::size_t shard, std::size_t shard_count,
                        std::size_t cells);
 std::string cell_line(std::size_t index, std::size_t done, std::size_t total);
+std::string cache_line(std::size_t hits, std::size_t misses);
 std::string done_line(std::size_t rows);
 ///@}
 
@@ -85,6 +95,12 @@ class ProgressAggregator {
   [[nodiscard]] std::size_t cells_done() const { return cells_done_; }
   [[nodiscard]] std::size_t shards_done() const { return shards_done_; }
 
+  /// Fleet-wide result-cache tallies: the sum over shards of each
+  /// shard's latest cache report. Zero when no worker reported one
+  /// (no --cache-dir).
+  [[nodiscard]] std::size_t cache_hits() const;
+  [[nodiscard]] std::size_t cache_misses() const;
+
   /// The first banner any worker reported (empty until then).
   [[nodiscard]] const std::string& banner() const { return banner_; }
 
@@ -107,6 +123,9 @@ class ProgressAggregator {
   std::size_t shards_done_ = 0;
   std::vector<bool> cell_seen_;
   std::vector<bool> shard_done_;
+  /// Latest cache report per shard (a retried attempt overwrites).
+  std::vector<std::size_t> shard_cache_hits_;
+  std::vector<std::size_t> shard_cache_misses_;
   std::string banner_;
   std::vector<std::string> banner_errors_;
 };

@@ -1,0 +1,282 @@
+/// The content-addressed result cache: key derivation sensitivity,
+/// segment render/parse round trips, cross-process persistence via the
+/// on-disk store, verified-then-dropped corruption handling, LRU
+/// eviction under a byte budget, and the offline scan/gc helpers.
+#include "cache/result_cache.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "util/durable_io.hpp"
+
+namespace railcorr::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh empty directory per test, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    path_ = fs::temp_directory_path() /
+            (std::string("railcorr_cache_test_") + tag + "_" +
+             std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::size_t segment_count(const fs::path& dir) {
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seg") ++count;
+  }
+  return count;
+}
+
+TEST(CellKey, EveryTupleComponentChangesTheKey) {
+  const std::string banner =
+      "# railcorr-sweep-v1 fingerprint=0123456789abcdef grid=64";
+  const std::string header = "index,radio.lp_eirp_dbm,max_n";
+  const std::uint64_t base = cell_key(banner, 7, header);
+  EXPECT_EQ(base, cell_key(banner, 7, header));
+  EXPECT_NE(base, cell_key(banner + " accuracy=fast-ulp", 7, header));
+  EXPECT_NE(base, cell_key(banner, 8, header));
+  EXPECT_NE(base, cell_key(banner, 7, header + ",sized_pv_wp_total"));
+  EXPECT_NE(base, cell_key(banner, 7, header, kResultSchemaVersion + 1));
+}
+
+TEST(CellKey, FieldFramingIsUnambiguous) {
+  // "banner" + index 12 must not collide with "banner1" + index 2:
+  // the components are newline-framed inside the hash input.
+  EXPECT_NE(cell_key("banner", 12, "h"), cell_key("banner1", 2, "h"));
+  EXPECT_NE(cell_key("b", 1, "23,h"), cell_key("b", 12, "3,h"));
+}
+
+TEST(Segment, RenderParseRoundTripsArbitraryRowBytes) {
+  std::vector<SegmentEntry> entries = {
+      {0x0123456789abcdefULL, "0,37,6,2,1200.5"},
+      {0xfedcba9876543210ULL, ""},
+      // Rows are length-prefixed, so bytes that look like segment
+      // structure must survive verbatim.
+      {42, "entry ffff 3\n@railcorr-crc 00"},
+  };
+  const std::string document = render_segment(entries);
+  const auto parse = parse_segment(document);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  ASSERT_EQ(parse.entries.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(parse.entries[i].key, entries[i].key);
+    EXPECT_EQ(parse.entries[i].row, entries[i].row);
+  }
+}
+
+TEST(Segment, EmptySegmentRoundTrips) {
+  const auto parse = parse_segment(render_segment({}));
+  EXPECT_TRUE(parse.ok) << parse.error;
+  EXPECT_TRUE(parse.entries.empty());
+}
+
+TEST(Segment, MissingTrailerIsAParseFailure) {
+  // Unlike legacy shard documents, a cache segment without a trailer
+  // can only be a truncated publish — never trusted.
+  std::string document = render_segment({{1, "row"}});
+  const std::size_t trailer_at = document.rfind("@railcorr-crc");
+  const auto parse = parse_segment(document.substr(0, trailer_at));
+  EXPECT_FALSE(parse.ok);
+}
+
+TEST(Segment, DuplicateKeysParseInWriterOrder) {
+  const std::string document =
+      render_segment({{7, "first"}, {7, "second"}});
+  const auto parse = parse_segment(document);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  ASSERT_EQ(parse.entries.size(), 2u);
+  EXPECT_EQ(parse.entries[0].row, "first");
+  EXPECT_EQ(parse.entries[1].row, "second");
+}
+
+TEST(ResultCache, InsertFlushThenReopenServesTheRow) {
+  TempDir dir("roundtrip");
+  const std::uint64_t key = cell_key("banner", 3, "header");
+
+  ResultCache writer;
+  ASSERT_TRUE(writer.open({dir.str(), 0}));
+  EXPECT_FALSE(writer.lookup(key).has_value());
+  writer.insert(key, "3,37,8,2,1200.5");
+  // Staged rows are visible to the inserting process immediately.
+  ASSERT_TRUE(writer.lookup(key).has_value());
+  ASSERT_TRUE(writer.flush());
+  EXPECT_EQ(segment_count(dir.path()), 1u);
+
+  // A second process (fresh instance) sees the published segment.
+  ResultCache reader;
+  ASSERT_TRUE(reader.open({dir.str(), 0}));
+  const auto hit = reader.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "3,37,8,2,1200.5");
+  EXPECT_EQ(reader.stats().hits, 1u);
+  EXPECT_EQ(reader.stats().misses, 0u);
+}
+
+TEST(ResultCache, ASecondWriterOfTheSameRowsPublishesNothingNew) {
+  TempDir dir("contentaddr");
+  for (int round = 0; round < 2; ++round) {
+    ResultCache cache;
+    ASSERT_TRUE(cache.open({dir.str(), 0}));
+    cache.insert(1, "row-a");
+    cache.insert(2, "row-b");
+    ASSERT_TRUE(cache.flush());
+  }
+  // Round 1's cache loaded both keys from round 0's segment, so its
+  // insert() calls were duplicate-skipped and nothing new published.
+  EXPECT_EQ(segment_count(dir.path()), 1u);
+}
+
+TEST(ResultCache, RacingWritersOfIdenticalBatchesCollideOnOneName) {
+  // Two processes that never saw each other's publish stage identical
+  // entries: content-addressed naming makes their renames land on the
+  // same (byte-identical) file instead of accumulating duplicates.
+  TempDir dir("race");
+  ResultCache a;
+  ResultCache b;
+  ASSERT_TRUE(a.open({dir.str(), 0}));
+  ASSERT_TRUE(b.open({dir.str(), 0}));  // Opens before a publishes.
+  a.insert(1, "row-a");
+  b.insert(1, "row-a");
+  ASSERT_TRUE(a.flush());
+  ASSERT_TRUE(b.flush());
+  EXPECT_EQ(segment_count(dir.path()), 1u);
+}
+
+TEST(ResultCache, CorruptSegmentIsDroppedAtOpenNeverServed) {
+  TempDir dir("corrupt");
+  {
+    ResultCache cache;
+    ASSERT_TRUE(cache.open({dir.str(), 0}));
+    cache.insert(9, "poisoned-row");
+    ASSERT_TRUE(cache.flush());
+  }
+  // Flip one byte inside the published segment.
+  fs::path segment;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".seg") segment = entry.path();
+  }
+  ASSERT_FALSE(segment.empty());
+  auto bytes = util::read_file_fully(segment.string());
+  ASSERT_TRUE(bytes.has_value());
+  (*bytes)[bytes->size() / 2] ^= 0x20;
+  std::ofstream(segment, std::ios::binary) << *bytes;
+
+  ResultCache cache;
+  ASSERT_TRUE(cache.open({dir.str(), 0}));
+  EXPECT_EQ(cache.stats().dropped_segments, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.lookup(9).has_value());
+  // Verified-then-dropped: the damaged file is gone from disk.
+  EXPECT_EQ(segment_count(dir.path()), 0u);
+}
+
+TEST(ResultCache, BudgetEvictsOldSegmentsButNotTheJustPublishedOne) {
+  TempDir dir("evict");
+  // Publish several distinct segments with fat rows.
+  const std::string fat(512, 'x');
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    ResultCache cache;
+    ASSERT_TRUE(cache.open({dir.str(), 0}));
+    cache.insert(1000 + k, fat + std::to_string(k));
+    ASSERT_TRUE(cache.flush());
+  }
+  EXPECT_EQ(segment_count(dir.path()), 4u);
+
+  // A tight budget evicts down to roughly one segment — and the
+  // publishing flush never evicts its own fresh segment.
+  ResultCache cache;
+  ASSERT_TRUE(cache.open({dir.str(), /*max_bytes=*/600}));
+  cache.insert(2000, fat + "new");
+  ASSERT_TRUE(cache.flush());
+  EXPECT_GT(cache.stats().evicted_segments, 0u);
+  ASSERT_GE(segment_count(dir.path()), 1u);
+
+  ResultCache reader;
+  ASSERT_TRUE(reader.open({dir.str(), 0}));
+  const auto hit = reader.lookup(2000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, fat + "new");
+}
+
+TEST(ResultCache, LockFileShieldsASegmentFromEviction) {
+  TempDir dir("lock");
+  {
+    ResultCache cache;
+    ASSERT_TRUE(cache.open({dir.str(), 0}));
+    cache.insert(5, "keep-me");
+    ASSERT_TRUE(cache.flush());
+  }
+  fs::path segment;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".seg") segment = entry.path();
+  }
+  ASSERT_FALSE(segment.empty());
+  // A concurrent evictor "holds" the lock: gc must skip the segment.
+  std::ofstream(segment.string() + ".lock").put('\n');
+  EXPECT_EQ(gc_dir(dir.str(), 0), 0u);
+  EXPECT_TRUE(fs::exists(segment));
+  fs::remove(segment.string() + ".lock");
+  EXPECT_EQ(gc_dir(dir.str(), 0), 1u);
+  EXPECT_FALSE(fs::exists(segment));
+}
+
+TEST(DirHelpers, ScanReportsAndOptionallyDropsCorruption) {
+  TempDir dir("scan");
+  {
+    ResultCache cache;
+    ASSERT_TRUE(cache.open({dir.str(), 0}));
+    cache.insert(1, "alpha");
+    cache.insert(2, "beta");
+    ASSERT_TRUE(cache.flush());
+  }
+  // Plant one garbage segment alongside the intact one.
+  std::ofstream(dir.path() / "seg_0000000000000000.seg") << "garbage\n";
+
+  const auto report = scan_dir(dir.str(), /*drop_corrupt=*/false);
+  EXPECT_EQ(report.segments, 1u);
+  EXPECT_EQ(report.entries, 2u);
+  ASSERT_EQ(report.corrupt_files.size(), 1u);
+  // Non-dropping scan left it in place.
+  EXPECT_TRUE(fs::exists(report.corrupt_files[0]));
+
+  const auto repair = scan_dir(dir.str(), /*drop_corrupt=*/true);
+  EXPECT_EQ(repair.corrupt_files.size(), 1u);
+  EXPECT_FALSE(fs::exists(repair.corrupt_files[0]));
+  EXPECT_TRUE(scan_dir(dir.str(), false).corrupt_files.empty());
+}
+
+TEST(DirHelpers, ScanOfAMissingDirectoryIsEmptyNotFatal) {
+  const auto report =
+      scan_dir("/nonexistent/railcorr/cache/dir", /*drop_corrupt=*/false);
+  EXPECT_EQ(report.segments, 0u);
+  EXPECT_TRUE(report.corrupt_files.empty());
+}
+
+TEST(DirHelpers, OrphanedLockFilesAreSweptByGc) {
+  TempDir dir("orphan");
+  std::ofstream(dir.path() / "seg_deadbeefdeadbeef.seg.lock").put('\n');
+  (void)gc_dir(dir.str(), 1 << 20);
+  EXPECT_FALSE(fs::exists(dir.path() / "seg_deadbeefdeadbeef.seg.lock"));
+}
+
+}  // namespace
+}  // namespace railcorr::cache

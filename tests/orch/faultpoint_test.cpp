@@ -40,6 +40,14 @@ TEST_F(FaultpointTest, SpecsParseAndRoundTripTheirCanonicalSpelling) {
   EXPECT_EQ(parse_fault_spec("stall=2").kind, FaultKind::kStall);
   EXPECT_EQ(parse_fault_spec("kill=1").kind, FaultKind::kKillAfterCells);
   EXPECT_EQ(fault_spec_string(parse_fault_spec("kill=3")), "kill=3");
+
+  const auto cache_torn = parse_fault_spec("cache-torn-write=16");
+  EXPECT_EQ(cache_torn.kind, FaultKind::kCacheTornWrite);
+  EXPECT_EQ(cache_torn.param, 16u);
+  EXPECT_EQ(fault_spec_string(cache_torn), "cache-torn-write=16");
+  EXPECT_EQ(parse_fault_spec("cache-corrupt-segment").kind,
+            FaultKind::kCacheCorruptSegment);
+  EXPECT_EQ(parse_fault_spec("cache-evict").kind, FaultKind::kCacheEvict);
 }
 
 TEST_F(FaultpointTest, MalformedSpecsAreRejected) {
@@ -48,8 +56,10 @@ TEST_F(FaultpointTest, MalformedSpecsAreRejected) {
   // Parameter required but missing.
   EXPECT_THROW(parse_fault_spec("torn-write"), util::ConfigError);
   EXPECT_THROW(parse_fault_spec("kill"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec("cache-torn-write"), util::ConfigError);
   // Parameter supplied where none is taken.
   EXPECT_THROW(parse_fault_spec("corrupt-trailer=1"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec("cache-evict=1"), util::ConfigError);
   // Malformed digits.
   EXPECT_THROW(parse_fault_spec("stall=abc"), util::ConfigError);
   EXPECT_THROW(parse_fault_spec("stall="), util::ConfigError);

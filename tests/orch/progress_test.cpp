@@ -43,6 +43,23 @@ TEST(ProgressProtocol, CellRoundTrips) {
   EXPECT_EQ(event->total, 9u);
 }
 
+TEST(ProgressProtocol, CacheRoundTrips) {
+  const auto event = parse_progress_line(cache_line(57, 7));
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, ProgressEvent::Kind::kCache);
+  EXPECT_EQ(event->hits, 57u);
+  EXPECT_EQ(event->misses, 7u);
+}
+
+TEST(ProgressProtocol, MalformedCacheLinesAreRejected) {
+  EXPECT_FALSE(parse_progress_line("@railcorr 1 cache hits=1").has_value());
+  EXPECT_FALSE(
+      parse_progress_line("@railcorr 1 cache hits=x misses=1").has_value());
+  EXPECT_FALSE(
+      parse_progress_line("@railcorr 1 cache hits=1 misses=2 junk")
+          .has_value());
+}
+
 TEST(ProgressProtocol, DoneRoundTrips) {
   const auto event = parse_progress_line(done_line(64));
   ASSERT_TRUE(event.has_value());
@@ -95,6 +112,22 @@ TEST(ProgressAggregator, IgnoresOutOfGridCellIndices) {
   EXPECT_EQ(aggregator.cells_done(), 0u);
 }
 
+TEST(ProgressAggregator, CacheTalliesSumLatestReportPerShard) {
+  ProgressAggregator aggregator(/*grid_cells=*/16, /*shard_count=*/2);
+  EXPECT_EQ(aggregator.cache_hits(), 0u);
+  EXPECT_EQ(aggregator.cache_misses(), 0u);
+  aggregator.on_event(0, *parse_progress_line(cache_line(3, 5)));
+  aggregator.on_event(1, *parse_progress_line(cache_line(8, 0)));
+  EXPECT_EQ(aggregator.cache_hits(), 11u);
+  EXPECT_EQ(aggregator.cache_misses(), 5u);
+  // Shard 0 retried: its new report replaces (not adds to) the dead
+  // attempt's, and an out-of-range shard id is ignored.
+  aggregator.on_event(0, *parse_progress_line(cache_line(8, 0)));
+  aggregator.on_event(9, *parse_progress_line(cache_line(100, 100)));
+  EXPECT_EQ(aggregator.cache_hits(), 16u);
+  EXPECT_EQ(aggregator.cache_misses(), 0u);
+}
+
 // ---------------------------------------------------------------------
 // Seeded fuzz: the parser sits directly on bytes from worker pipes, so
 // a crashed or malicious worker can hand it any prefix, mutation, or
@@ -111,6 +144,7 @@ TEST(ProgressFuzz, TruncatedProtocolLinesNeverCrashTheParser) {
       banner_line("# railcorr-sweep-v1 fingerprint=0123456789abcdef grid=64"),
       start_line(3, 8, 9),
       cell_line(42, 5, 9),
+      cache_line(57, 7),
       done_line(64),
   };
   for (const auto& line : wellformed) {

@@ -13,6 +13,14 @@
 ///   orchestrate --plan FILE --out-dir DIR | --resume DIR
 ///                                  shard a grid across a local worker
 ///                                  fleet with retry + resume
+///   cache  stats|verify|gc --dir DIR
+///                                  inspect / repair / bound the
+///                                  content-addressed result cache
+///
+/// `--cache-dir DIR` (sweep / orchestrate) attaches a content-addressed
+/// result store (src/cache): cells whose rows are already cached skip
+/// evaluation, evaluated cells are published for the next run, and the
+/// output stays byte-identical either way.
 ///
 /// Scenario selection (show / run): `--scenario NAME` picks a registry
 /// entry (default: paper), `--spec FILE` loads a ScenarioSpec document
@@ -38,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "core/evaluator.hpp"
 #include "core/report.hpp"
 #include "core/scenario_registry.hpp"
@@ -73,14 +82,20 @@ int usage(std::ostream& os) {
         "  sweep --plan FILE [--shard i/N] [--out FILE]\n"
         "        [--include-sizing] [--threads N] [--accuracy MODE]\n"
         "        [--progress] [--fault SPEC]\n"
+        "        [--cache-dir DIR] [--cache-max-mb N]\n"
         "                            evaluate (a shard of) a sweep grid;\n"
         "                            --progress streams the worker line\n"
         "                            protocol on stdout (requires --out);\n"
         "                            --out files carry a crash-safe\n"
         "                            @railcorr-crc integrity trailer;\n"
+        "                            --cache-dir serves already-computed\n"
+        "                            cells from a content-addressed store\n"
+        "                            (byte-identical by contract);\n"
         "                            --fault arms a named fault point\n"
         "                            (torn-write=N, corrupt-trailer,\n"
-        "                            stall=N, kill=N; also RAILCORR_FAULT)\n"
+        "                            stall=N, kill=N, cache-torn-write=N,\n"
+        "                            cache-corrupt-segment, cache-evict;\n"
+        "                            also RAILCORR_FAULT)\n"
         "  merge [--out FILE] SHARD_FILE...\n"
         "                            merge shards (integrity trailers\n"
         "                            verified+stripped); exit 2 on\n"
@@ -91,6 +106,7 @@ int usage(std::ostream& os) {
         "              [--include-sizing]\n"
         "              [--threads N[,N...]] [--accuracy MODE]\n"
         "              [--no-speculate] [--chaos-seed N] [--out FILE]\n"
+        "              [--cache-dir DIR] [--cache-max-mb N]\n"
         "  orchestrate --resume DIR [same options]\n"
         "                            evaluate a grid with a local worker\n"
         "                            fleet: shard queue, straggler retry,\n"
@@ -99,7 +115,18 @@ int usage(std::ostream& os) {
         "                            --threads N,N,... assigns per-slot\n"
         "                            thread counts; --stall-timeout kills\n"
         "                            progress-silent workers; --chaos-seed\n"
-        "                            runs a deterministic fault storm\n"
+        "                            runs a deterministic fault storm;\n"
+        "                            --cache-dir shares one result store\n"
+        "                            across the fleet (hit/miss tallies\n"
+        "                            in the summary)\n"
+        "  cache stats  --dir DIR    segment/entry/byte counts + corrupt\n"
+        "  cache verify --dir DIR [--strict]\n"
+        "                            verify every segment, dropping any\n"
+        "                            corrupt one; --strict exits 1 if a\n"
+        "                            corrupt segment was found\n"
+        "  cache gc     --dir DIR --max-mb N\n"
+        "                            evict least-recently-used segments\n"
+        "                            until the store fits N MiB\n"
         "\n"
         "scenario selection (show/run):\n"
         "  --scenario NAME           registry entry (default: paper)\n"
@@ -350,6 +377,8 @@ int cmd_sweep(std::vector<std::string> args) {
   apply_accuracy_option(args);
   std::optional<std::string> plan_path;
   std::optional<std::string> out_path;
+  std::optional<std::string> cache_dir;
+  std::size_t cache_max_mb = 0;
   railcorr::corridor::ShardSpec shard;
   railcorr::core::SweepRunOptions options;
   bool progress = false;
@@ -387,6 +416,11 @@ int cmd_sweep(std::vector<std::string> args) {
     } else if (args[i] == "--threads") {
       railcorr::exec::set_default_thread_count(
           parse_u64_option("--threads", value_of("--threads")));
+    } else if (args[i] == "--cache-dir") {
+      cache_dir = value_of("--cache-dir");
+    } else if (args[i] == "--cache-max-mb") {
+      cache_max_mb =
+          parse_u64_option("--cache-max-mb", value_of("--cache-max-mb"));
     } else {
       throw ConfigError("sweep: unknown option '" + args[i] + "'");
     }
@@ -396,9 +430,24 @@ int cmd_sweep(std::vector<std::string> args) {
     throw ConfigError(
         "sweep: --progress requires --out (stdout carries the protocol)");
   }
+  if (cache_max_mb != 0 && !cache_dir.has_value()) {
+    throw ConfigError("sweep: --cache-max-mb requires --cache-dir");
+  }
 
   const auto plan =
       railcorr::corridor::SweepPlan::from_spec(read_file(*plan_path));
+
+  railcorr::cache::ResultCache cache;
+  if (cache_dir.has_value()) {
+    railcorr::cache::ResultCache::Options cache_options;
+    cache_options.dir = *cache_dir;
+    cache_options.max_bytes = cache_max_mb * std::size_t{1024} * 1024;
+    std::string error;
+    if (!cache.open(cache_options, &error)) {
+      throw ConfigError("sweep: " + error);
+    }
+    options.cache = &cache;
+  }
 
   const std::size_t owned = shard.indices(plan.size()).size();
   if (progress) {
@@ -441,7 +490,17 @@ int cmd_sweep(std::vector<std::string> args) {
     std::cout << document;
   }
   if (progress) {
+    if (cache.is_open()) {
+      std::cout << railcorr::orch::cache_line(cache.stats().hits,
+                                              cache.stats().misses)
+                << std::endl;
+    }
     std::cout << railcorr::orch::done_line(owned) << std::endl;
+  } else if (cache.is_open() && out_path.has_value()) {
+    // Human-facing runs report the tallies on stderr, leaving stdout's
+    // document byte-identical to a cache-less run.
+    std::cerr << "sweep: cache " << cache.stats().hits << " hit(s) / "
+              << cache.stats().misses << " miss(es)\n";
   }
   return 0;
 }
@@ -492,6 +551,8 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
   std::optional<std::string> out_dir;
   std::optional<std::string> resume_dir;
   std::optional<std::string> out_path;
+  std::optional<std::string> cache_dir;
+  std::size_t cache_max_mb = 0;
   std::vector<std::size_t> worker_threads;
   std::optional<std::size_t> inject_kill;
   std::optional<std::uint64_t> chaos_seed;
@@ -586,9 +647,17 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
       // single-process sweep.
       chaos_seed = railcorr::util::parse_u64(railcorr::util::SpecEntry{
           "--chaos-seed", value_of("--chaos-seed"), 0});
+    } else if (args[i] == "--cache-dir") {
+      cache_dir = value_of("--cache-dir");
+    } else if (args[i] == "--cache-max-mb") {
+      cache_max_mb =
+          parse_u64_option("--cache-max-mb", value_of("--cache-max-mb"));
     } else {
       throw ConfigError("orchestrate: unknown option '" + args[i] + "'");
     }
+  }
+  if (cache_max_mb != 0 && !cache_dir.has_value()) {
+    throw ConfigError("orchestrate: --cache-max-mb requires --cache-dir");
   }
 
   std::string dir;
@@ -642,7 +711,8 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
   const std::size_t retries = options.retries;
   options.command =
       [self, worker_plan, accuracy, worker_threads, sizing, inject_kill,
-       chaos_seed, retries](const railcorr::orch::WorkerAttempt& attempt) {
+       chaos_seed, retries, cache_dir,
+       cache_max_mb](const railcorr::orch::WorkerAttempt& attempt) {
         // Slot k gets the k-th --threads entry; the last entry covers
         // every higher slot, so a single value stays homogeneous.
         const std::size_t threads = worker_threads[std::min(
@@ -664,6 +734,18 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
             std::to_string(threads),
         };
         if (sizing) argv.push_back("--include-sizing");
+        if (cache_dir.has_value()) {
+          // The whole fleet shares one store: the segment publish /
+          // lock protocol makes concurrent workers safe, and the
+          // byte-identity contract makes their hits indistinguishable
+          // from recomputes.
+          argv.push_back("--cache-dir");
+          argv.push_back(*cache_dir);
+          if (cache_max_mb != 0) {
+            argv.push_back("--cache-max-mb");
+            argv.push_back(std::to_string(cache_max_mb));
+          }
+        }
         if (inject_kill.has_value() && attempt.shard == *inject_kill &&
             attempt.attempt == 0) {
           argv.push_back("--fault");
@@ -695,6 +777,21 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
               break;
             case 3:
               fault = {railcorr::orch::FaultKind::kKillAfterCells, 1};
+              break;
+            case 4:
+              // Cache faults poison the shared store, not the worker:
+              // the attempt still succeeds, the damage must surface
+              // only as recomputes. Without a cache they stay clean
+              // slots, preserving the non-cache schedule.
+              if (cache_dir.has_value()) {
+                fault = {railcorr::orch::FaultKind::kCacheTornWrite,
+                         1 + static_cast<std::size_t>((u >> 8) % 120)};
+              }
+              break;
+            case 5:
+              if (cache_dir.has_value()) {
+                fault = {railcorr::orch::FaultKind::kCacheCorruptSegment, 0};
+              }
               break;
             default:
               break;  // Clean attempt: faults on half the schedule.
@@ -732,6 +829,81 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
             << result.stats.timed_out << " timed out, "
             << result.stats.stalled << " stalled, "
             << result.stats.corrupt << " corrupt)\n";
+  if (result.stats.cache_hits + result.stats.cache_misses > 0) {
+    std::cout << "orchestrate: cache " << result.stats.cache_hits
+              << " hit(s) / " << result.stats.cache_misses << " miss(es)\n";
+  }
+  return 0;
+}
+
+/// `railcorr cache stats|verify|gc`: offline inspection and maintenance
+/// of a content-addressed result store. Exit 0 on success, 1 on usage
+/// errors and on `verify --strict` finding corruption.
+int cmd_cache(std::vector<std::string> args) {
+  if (args.empty()) {
+    throw ConfigError("cache: expected a verb (stats, verify, or gc)");
+  }
+  const std::string verb = args.front();
+  args.erase(args.begin());
+  if (verb != "stats" && verb != "verify" && verb != "gc") {
+    throw ConfigError("cache: unknown verb '" + verb +
+                      "' (expected stats, verify, or gc)");
+  }
+
+  std::optional<std::string> dir;
+  std::optional<std::size_t> max_mb;
+  bool strict = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value_of = [&](const char* option) {
+      if (i + 1 >= args.size()) {
+        throw ConfigError(std::string(option) + " expects an argument");
+      }
+      return args[++i];
+    };
+    if (args[i] == "--dir") {
+      dir = value_of("--dir");
+    } else if (args[i] == "--max-mb" && verb == "gc") {
+      max_mb = parse_u64_option("--max-mb", value_of("--max-mb"));
+    } else if (args[i] == "--strict" && verb == "verify") {
+      strict = true;
+    } else {
+      throw ConfigError("cache " + verb + ": unknown option '" + args[i] +
+                        "'");
+    }
+  }
+  if (!dir.has_value()) {
+    throw ConfigError("cache " + verb + ": --dir DIR required");
+  }
+
+  if (verb == "gc") {
+    if (!max_mb.has_value()) {
+      throw ConfigError("cache gc: --max-mb N required");
+    }
+    const std::size_t evicted =
+        railcorr::cache::gc_dir(*dir, *max_mb * std::size_t{1024} * 1024);
+    const auto after = railcorr::cache::scan_dir(*dir, /*drop_corrupt=*/false);
+    std::cout << "cache gc: evicted " << evicted << " segment(s); "
+              << after.segments << " segment(s), " << after.bytes
+              << " byte(s) remain\n";
+    return 0;
+  }
+
+  // stats reports corruption without touching it; verify repairs by
+  // dropping every corrupt segment (they are recomputable by
+  // definition) and --strict turns their existence into a failure.
+  const auto report =
+      railcorr::cache::scan_dir(*dir, /*drop_corrupt=*/verb == "verify");
+  std::cout << "cache " << verb << ": " << report.segments << " segment(s), "
+            << report.entries << " entrie(s), " << report.bytes
+            << " byte(s), " << report.corrupt_files.size() << " corrupt"
+            << (verb == "verify" && !report.corrupt_files.empty()
+                    ? " (dropped)"
+                    : "")
+            << "\n";
+  for (const auto& path : report.corrupt_files) {
+    std::cerr << "cache " << verb << ": corrupt segment " << path << "\n";
+  }
+  if (strict && !report.corrupt_files.empty()) return 1;
   return 0;
 }
 
@@ -750,6 +922,7 @@ int main(int argc, char** argv) {
     if (command == "orchestrate") {
       return cmd_orchestrate(std::move(args), argv[0]);
     }
+    if (command == "cache") return cmd_cache(std::move(args));
     if (command == "--help" || command == "-h" || command == "help") {
       return usage(std::cout) * 0;
     }
