@@ -515,7 +515,7 @@ const std::vector<Field>& registry() {
        [](Scenario& s, const SpecEntry& e) {
          s.sizing.years = util::parse_int(e);
        }},
-      {{"sizing.seed", "sizing RNG seed (default: 1592639710)"},
+      {{"sizing.seed", "sizing RNG seed (default: 1592639491)"},
        [](const Scenario& s) { return util::format_u64(s.sizing.seed); },
        [](Scenario& s, const SpecEntry& e) {
          s.sizing.seed = util::parse_u64(e);

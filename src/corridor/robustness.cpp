@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <utility>
 
 #include "exec/parallel.hpp"
@@ -51,11 +52,15 @@ RobustnessReport RobustnessAnalyzer::study(
   // of realization r-1.
   //
   // Realizations run in contiguous chunks (one per worker) so each
-  // chunk can *pool* its per-transmitter ShadowingTrace buffers: the
-  // first realization constructs them, every later one refills in
-  // place via resample(). Chunking cannot change results — outcome r
-  // depends only on stream r — it only removes the per-realization
-  // allocation storm (#transmitters buffers per realization).
+  // chunk can *pool* its per-transmitter ShadowingTrace buffers and a
+  // single normal_batch scratch buffer: every realization draws all
+  // (#transmitters x #samples) unit normals in one batched call, the
+  // first realization in a chunk constructs the traces from it, every
+  // later one refills in place via resample_from(). Chunking cannot
+  // change results — outcome r depends only on stream r and every
+  // realization consumes exactly one batch — it only removes the
+  // per-realization allocation storm and the per-draw generator
+  // round-trips.
   const auto realizations = static_cast<std::size_t>(config_.realizations);
   const std::size_t chunks =
       std::min(realizations, exec::default_thread_count());
@@ -66,23 +71,35 @@ RobustnessReport RobustnessAnalyzer::study(
         const std::size_t begin =
             c * base + std::min(c, remainder);
         const std::size_t end = begin + base + (c < remainder ? 1 : 0);
+        const std::size_t samples =
+            rf::ShadowingTrace::sample_count(isd, config_.sample_step_m);
+        std::vector<double> noise(kernels.size() * samples);
         std::vector<rf::ShadowingTrace> traces;
         traces.reserve(kernels.size());
         std::vector<RealizationOutcome> outcomes;
         outcomes.reserve(end - begin);
         for (std::size_t r = begin; r < end; ++r) {
           Rng rng = Rng::stream(config_.seed, r);
-          // One independent correlated trace per transmitter. The
-          // trace is indexed by terminal position: as the train moves,
-          // the shadowing of each link decorrelates over
-          // ~decorrelation_m.
+          // One independent correlated trace per transmitter, all
+          // regenerated SoA from a single pooled normal_batch (one raw
+          // draw from stream r regardless of chunk position, so chunk
+          // boundaries — and with them the thread count — cannot shift
+          // any realization's variates). The trace is indexed by
+          // terminal position: as the train moves, the shadowing of
+          // each link decorrelates over ~decorrelation_m.
+          rng.normal_batch(noise);
+          const std::span<const double> noise_span(noise);
           if (traces.empty()) {
             for (std::size_t i = 0; i < kernels.size(); ++i) {
               traces.emplace_back(config_.sigma_db, config_.decorrelation_m,
-                                  config_.sample_step_m, isd, rng);
+                                  config_.sample_step_m, isd,
+                                  noise_span.subspan(i * samples, samples));
             }
           } else {
-            for (auto& trace : traces) trace.resample(rng);
+            for (std::size_t i = 0; i < kernels.size(); ++i) {
+              traces[i].resample_from(
+                  noise_span.subspan(i * samples, samples));
+            }
           }
 
           RealizationOutcome outcome;

@@ -8,6 +8,8 @@
 /// margin survives realistic shadowing along the corridor.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -28,12 +30,30 @@ class ShadowingTrace {
   ShadowingTrace(double sigma_db, double d_corr_m, double step_m,
                  double length_m, Rng& rng);
 
-  /// Redraw the whole trace in place from `rng` — identical variate
-  /// consumption and values as constructing a fresh trace with the same
-  /// parameters, but without reallocating the sample buffer. Monte-
-  /// Carlo loops pool traces across realizations with this (see
+  /// Construct the trace from pre-drawn unit normals instead of an Rng:
+  /// `unit_normals.size()` must equal `sample_count(length_m, step_m)`.
+  /// Monte-Carlo loops that pool one `Rng::normal_batch` across several
+  /// traces per realization use this (see
   /// corridor::RobustnessAnalyzer::study).
+  ShadowingTrace(double sigma_db, double d_corr_m, double step_m,
+                 double length_m, std::span<const double> unit_normals);
+
+  /// Number of grid samples a trace with these parameters holds — the
+  /// exact unit-normal count resample_from / the span constructor need.
+  [[nodiscard]] static std::size_t sample_count(double length_m,
+                                                double step_m);
+
+  /// Redraw the whole trace in place from `rng` — same number of grid
+  /// samples as constructing a fresh trace with the same parameters,
+  /// but without reallocating the sample buffer. Draws all samples with
+  /// one `Rng::normal_batch` (one raw parent output per call).
   void resample(Rng& rng);
+
+  /// Redraw the whole trace from pre-drawn unit normals;
+  /// `unit_normals.size()` must equal samples(). Applying the AR(1)
+  /// recursion to a batch from any SIMD lane yields bit-identical
+  /// traces — the recursion itself is scalar either way.
+  void resample_from(std::span<const double> unit_normals);
 
   /// Shadowing value at `position_m`, linearly interpolated between grid
   /// points; positions outside [0, length] clamp to the boundary.
@@ -48,6 +68,7 @@ class ShadowingTrace {
   double d_corr_m_;
   double step_m_;
   std::vector<double> values_db_;
+  std::vector<double> scratch_;  ///< batch buffer reused by resample(Rng&)
 };
 
 /// Fade margin [dB] that a link must budget to keep outage probability

@@ -150,15 +150,22 @@ SimulationReport CorridorSimulation::run_day(Rng rng) const {
   auto clamped = [](double t) { return std::max(t, 0.0); };
 
   double last_event_s = 0.0;
+  // Detector-miss noise injection draws one uniform per (passage, agent)
+  // pair, batched per passage: with misses disabled the generator is
+  // never touched (as before), with misses enabled each passage consumes
+  // exactly one raw draw however many agents the corridor has.
+  const bool inject_misses = config_.detector_miss_probability > 0.0;
+  std::vector<double> miss_draws(inject_misses ? agents.size() : 0);
   for (const auto& passage : timetable.passages()) {
+    if (inject_misses) rng.uniform_batch(miss_draws);
     for (std::size_t a = 0; a < agents.size(); ++a) {
       const auto& section = sections[a];
       NodeAgent* agent = &agents[a];
       const auto occupancy = passage.occupancy(section.begin_m, section.end_m);
       const double t_detect =
           clamped(passage.head_at(section.begin_m - lead_m));
-      const bool missed = config_.detector_miss_probability > 0.0 &&
-                          rng.uniform() < config_.detector_miss_probability;
+      const bool missed =
+          inject_misses && miss_draws[a] < config_.detector_miss_probability;
       if (missed) ++missed_wakes;
 
       if (!missed) {

@@ -129,6 +129,10 @@ std::vector<DailyIrradiance> IrradianceSynthesizer::synthesize_year(
     Rng& rng) const {
   std::vector<DailyIrradiance> year;
   year.reserve(365);
+  // All 365 unit normals for the AR(1) clearness deviation come from one
+  // batched draw; the seasonal sigma scales each one below.
+  std::vector<double> noise(365);
+  rng.normal_batch(noise);
   double deviation = 0.0;  // AR(1) state of the clearness deviation
   const double rho = weather_.kt_autocorrelation;
   for (int doy = 1; doy <= 365; ++doy) {
@@ -140,7 +144,8 @@ std::vector<DailyIrradiance> IrradianceSynthesizer::synthesize_year(
     const double sigma =
         weather_.kt_sigma * (1.0 + weather_.winter_sigma_boost * season * season);
     deviation = rho * deviation +
-                std::sqrt(1.0 - rho * rho) * rng.normal(0.0, sigma);
+                std::sqrt(1.0 - rho * rho) *
+                    (sigma * noise[static_cast<std::size_t>(doy - 1)]);
     const double kt =
         std::clamp(mean_kt + deviation, weather_.kt_min, weather_.kt_max);
     year.push_back(make_day(doy, kt));

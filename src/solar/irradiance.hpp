@@ -28,7 +28,9 @@ namespace railcorr::solar {
 /// The defaults are calibrated so that the off-grid sizing decisions of
 /// Table IV reproduce the paper's ladder exactly (Madrid/Lyon run on
 /// 540 Wp / 720 Wh, Vienna needs 1440 Wh, Berlin needs 600 Wp / 1440 Wh)
-/// under the default sizing seed; see EXPERIMENTS.md (E7).
+/// under the default sizing seed (a calibration constant, re-pinned in
+/// PR 8 when the batched sampler changed the draw sequence — see
+/// SizingOptions::seed); see docs/PAPER_MAP.md (E7).
 struct WeatherModel {
   /// Standard deviation of the daily clearness index around the monthly
   /// mean (absolute units of K_T).

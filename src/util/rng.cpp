@@ -4,6 +4,9 @@
 
 #include "util/constants.hpp"
 #include "util/contracts.hpp"
+#include "util/rng_batch.hpp"
+#include "util/vmath.hpp"
+#include "util/vmath_detail.hpp"
 
 namespace railcorr {
 
@@ -11,7 +14,49 @@ namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
+
+/// SplitMix64's golden-ratio counter increment.
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
 }  // namespace
+
+namespace rng_detail {
+
+void normal_fill_scalar(std::uint64_t base, std::span<double> out,
+                        std::size_t first_pair) {
+  // Pair p consumes side-stream outputs 2p (u1) and 2p+1 (u2); seeding
+  // the generator at base + 2p*gamma starts it exactly there.
+  SplitMix64 sm(base + 2u * first_pair * kGamma);
+  const std::size_t n = out.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t a = sm.next();
+    const std::uint64_t b = sm.next();
+    // Rejection-free Box-Muller: u1 in (0,1] (no log(0), no
+    // data-dependent redraw — lane invariance needs fixed consumption),
+    // u2 in [0,1). Both conversions are exact (53-bit integers).
+    const double u1 = static_cast<double>((a >> 11) + 1) * 0x1.0p-53;
+    const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+    // Every operation here is mirrored instruction-for-instruction by
+    // normal_fill_avx2: ln/sincos are the shared polynomial cores,
+    // sqrt/mul are correctly rounded on both lanes.
+    const double r = std::sqrt(-2.0 * vmath::detail::ln_core(u1));
+    double s = 0.0;
+    double c = 0.0;
+    vmath::detail::sincos_two_pi(u2, s, c);
+    out[i++] = r * c;
+    if (i < n) out[i++] = r * s;  // odd-length batch drops the sine half
+  }
+}
+
+void uniform_fill_scalar(std::uint64_t base, std::span<double> out,
+                         std::size_t first_index) {
+  SplitMix64 sm(base + first_index * kGamma);
+  for (auto& v : out) {
+    v = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+}
+
+}  // namespace rng_detail
 
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm(seed);
@@ -71,6 +116,58 @@ double Rng::normal() {
 double Rng::normal(double mean, double stddev) {
   RAILCORR_EXPECTS(stddev >= 0.0);
   return mean + stddev * normal();
+}
+
+namespace {
+
+/// True when the batch fills should take the AVX2 lane — the same check
+/// the vmath fast dispatch uses (level forced/env/detected, plus FMA).
+bool use_batch_avx2() {
+#if defined(RAILCORR_HAVE_AVX2)
+  return vmath::active_simd_level() == vmath::SimdLevel::kAvx2 &&
+         vmath::cpu_has_fma();
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void Rng::normal_batch(std::span<double> out) {
+  if (out.empty()) return;
+  // Like split(): the batch is a pure function of the 256-bit state, so
+  // any cached Box-Muller second normal from per-call normal() must not
+  // survive across the batch boundary.
+  have_cached_normal_ = false;
+  cached_normal_ = 0.0;
+  const std::uint64_t base = next_u64() ^ rng_detail::kNormalBatchSalt;
+#if defined(RAILCORR_HAVE_AVX2)
+  if (use_batch_avx2()) {
+    rng_detail::normal_fill_avx2(base, out);
+    return;
+  }
+#endif
+  rng_detail::normal_fill_scalar(base, out);
+}
+
+void Rng::normal_batch(std::span<double> out, double mean, double stddev) {
+  RAILCORR_EXPECTS(stddev >= 0.0);
+  normal_batch(out);
+  // Plain mul + add (the library builds with -ffp-contract=off), so the
+  // affine map rounds identically no matter which lane filled `out`.
+  for (auto& v : out) v = mean + stddev * v;
+}
+
+void Rng::uniform_batch(std::span<double> out) {
+  if (out.empty()) return;
+  const std::uint64_t base = next_u64() ^ rng_detail::kUniformBatchSalt;
+#if defined(RAILCORR_HAVE_AVX2)
+  if (use_batch_avx2()) {
+    rng_detail::uniform_fill_avx2(base, out);
+    return;
+  }
+#endif
+  rng_detail::uniform_fill_scalar(base, out);
 }
 
 double Rng::exponential(double lambda) {

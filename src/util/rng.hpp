@@ -8,7 +8,9 @@
 /// implementations; benchmark and test results must be bit-stable.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace railcorr {
 
@@ -47,6 +49,38 @@ class Rng {
   double normal();
   /// Normal with given mean and standard deviation (stddev >= 0).
   double normal(double mean, double stddev);
+
+  /// \name Batched variates
+  ///
+  /// Fill `out` with independent draws in one call. A non-empty batch
+  /// consumes exactly ONE raw output — `next_u64()` XOR a per-kind odd
+  /// salt seeds a SplitMix64 side stream whose counter positions are
+  /// consumed in output order — so consumption is independent of
+  /// `out.size()` and the counters are embarrassingly parallel: the
+  /// scalar reference lane and the runtime-dispatched AVX2 lane (see
+  /// util/rng_batch.hpp; selected via vmath::active_simd_level())
+  /// produce bit-identical results. An empty batch is a no-op.
+  ///
+  /// The batched draw sequence is a fixed, golden-pinned contract
+  /// (tests/util/rng_batch_test.cpp) distinct from the per-call
+  /// sequences above: normal_batch uses a rejection-free Box-Muller
+  /// (u1 in (0,1], so no data-dependent redraws break lane invariance)
+  /// over polynomial ln/sin/cos cores, NOT the libm-backed normal().
+  /// Like split(), normal_batch first discards any cached Box-Muller
+  /// second normal: batch results are a pure function of the 256-bit
+  /// state. uniform_batch, like uniform(), leaves the cache untouched.
+  ///@{
+
+  /// out[i] ~ N(0, 1).
+  void normal_batch(std::span<double> out);
+  /// out[i] ~ N(mean, stddev^2), stddev >= 0 — the batch form of
+  /// normal(mean, stddev) for bulk callers, which would otherwise
+  /// funnel every draw through the cached-pair scalar path.
+  void normal_batch(std::span<double> out, double mean, double stddev);
+  /// out[i] uniform in [0, 1).
+  void uniform_batch(std::span<double> out);
+  ///@}
+
   /// Exponential variate with given rate lambda > 0.
   double exponential(double lambda);
   /// Poisson variate with mean lambda >= 0 (Knuth for small lambda,

@@ -1,0 +1,153 @@
+/// AVX2+FMA lane of the batched random variates: four SplitMix64
+/// counters advance in lockstep, so four uniforms (or four Box-Muller
+/// pairs, eight normals) materialize per iteration with zero serial
+/// dependency on the xoshiro state — the parent generator contributed
+/// exactly one output (the side-stream base) before this kernel runs.
+///
+/// Bit-identity with util/rng.cpp's scalar fills is load-bearing (the
+/// batch draw sequence is a golden-pinned contract). Every step here is
+/// either integer-exact (counter adds wrap like uint64, the finalizer is
+/// the same xor-shift-multiply lane-wise) or an IEEE-exact / correctly
+/// rounded float op mirroring the scalar code one-to-one: the u64 ->
+/// double conversion is exact for the 53-bit values involved, sqrt /
+/// mul are correctly rounded on both lanes, and ln_core4 /
+/// sincos_two_pi4 are the op-for-op vector twins of the scalar cores in
+/// vmath_detail.hpp (FMA mirrored by std::fma).
+///
+/// This TU is compiled with -mavx2 -mfma only when CMake detects an
+/// x86-64 target (RAILCORR_ENABLE_AVX2); callers reach it exclusively
+/// through Rng::normal_batch / Rng::uniform_batch, which check the
+/// active SIMD level and the FMA CPU bit at runtime.
+#include "util/rng_batch.hpp"
+
+#if defined(RAILCORR_HAVE_AVX2) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "util/vmath_detail.hpp"
+
+namespace railcorr::rng_detail {
+
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+inline __m256i set1_u64(std::uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// Low 64 bits of a 64x64 product per lane, composed from the 32x32->64
+/// partial products AVX2 does have.
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i mid = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                       _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+/// SplitMix64 finalizer over four already-incremented counters: lane k
+/// holding `base + (j+1) * kGamma` yields side-stream output j.
+inline __m256i splitmix_fin4(__m256i z) {
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+  z = mullo64(z, set1_u64(0xBF58476D1CE4E5B9ULL));
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+  z = mullo64(z, set1_u64(0x94D049BB133111EBULL));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// Exact u64 -> double for values <= 2^53 (all we convert are 53-bit
+/// mantissas): split into 32-bit halves, graft each onto a power-of-two
+/// exponent, and recombine. Both the subtraction and the addition are
+/// exact for this range, matching the scalar static_cast bit-for-bit.
+inline __m256d u53_to_double4(__m256i v) {
+  const __m256i hi_bits = _mm256_or_si256(
+      _mm256_srli_epi64(v, 32),
+      _mm256_castpd_si256(_mm256_set1_pd(0x1.0p84)));
+  const __m256i lo_bits = _mm256_or_si256(
+      _mm256_and_si256(v, set1_u64(0xFFFFFFFFULL)),
+      _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52)));
+  const __m256d hi = _mm256_sub_pd(_mm256_castsi256_pd(hi_bits),
+                                   _mm256_set1_pd(0x1.0p84 + 0x1.0p52));
+  return _mm256_add_pd(hi, _mm256_castsi256_pd(lo_bits));
+}
+
+}  // namespace
+
+void normal_fill_avx2(std::uint64_t base, std::span<double> out) {
+  const std::size_t n = out.size();
+  std::size_t i = 0;
+  if (n >= 8) {
+    const __m256d two_m53 = _mm256_set1_pd(0x1.0p-53);
+    const __m256i one = set1_u64(1);
+    const __m256i gamma = set1_u64(kGamma);
+    const __m256i step = set1_u64(8 * kGamma);
+    // Lane k handles pair k (outputs 2k / 2k+1): its u1 counter is
+    // base + (2k+1)*gamma. _mm256_set_epi64x lists lanes high-to-low.
+    __m256i c1 = _mm256_add_epi64(
+        set1_u64(base),
+        _mm256_set_epi64x(static_cast<long long>(7 * kGamma),
+                          static_cast<long long>(5 * kGamma),
+                          static_cast<long long>(3 * kGamma),
+                          static_cast<long long>(1 * kGamma)));
+    for (; i + 8 <= n; i += 8) {
+      const __m256i a = splitmix_fin4(c1);
+      const __m256i b = splitmix_fin4(_mm256_add_epi64(c1, gamma));
+      // u1 = ((a >> 11) + 1) * 2^-53 in (0,1]; u2 = (b >> 11) * 2^-53
+      // in [0,1) — the scalar lane's exact conversions and rounding.
+      const __m256d u1 = _mm256_mul_pd(
+          u53_to_double4(_mm256_add_epi64(_mm256_srli_epi64(a, 11), one)),
+          two_m53);
+      const __m256d u2 =
+          _mm256_mul_pd(u53_to_double4(_mm256_srli_epi64(b, 11)), two_m53);
+      const __m256d r = _mm256_sqrt_pd(
+          _mm256_mul_pd(_mm256_set1_pd(-2.0), vmath::detail::ln_core4(u1)));
+      __m256d s;
+      __m256d c;
+      vmath::detail::sincos_two_pi4(u2, s, c);
+      const __m256d even = _mm256_mul_pd(r, c);  // outputs 2k
+      const __m256d odd = _mm256_mul_pd(r, s);   // outputs 2k+1
+      // Interleave pairs back into output order: [e0 o0 e1 o1 e2 o2 ...].
+      const __m256d lo = _mm256_unpacklo_pd(even, odd);  // e0 o0 e2 o2
+      const __m256d hi = _mm256_unpackhi_pd(even, odd);  // e1 o1 e3 o3
+      _mm256_storeu_pd(out.data() + i, _mm256_permute2f128_pd(lo, hi, 0x20));
+      _mm256_storeu_pd(out.data() + i + 4,
+                       _mm256_permute2f128_pd(lo, hi, 0x31));
+      c1 = _mm256_add_epi64(c1, step);
+    }
+  }
+  // Sub-block tail (< 4 pairs): the scalar fill resumes at pair i/2 —
+  // i is even here, so the tail starts on a pair boundary.
+  if (i < n) normal_fill_scalar(base, out.subspan(i), i / 2);
+}
+
+void uniform_fill_avx2(std::uint64_t base, std::span<double> out) {
+  const std::size_t n = out.size();
+  std::size_t i = 0;
+  if (n >= 4) {
+    const __m256d two_m53 = _mm256_set1_pd(0x1.0p-53);
+    const __m256i step = set1_u64(4 * kGamma);
+    // Lane k handles output k: counter base + (k+1)*gamma.
+    __m256i c = _mm256_add_epi64(
+        set1_u64(base),
+        _mm256_set_epi64x(static_cast<long long>(4 * kGamma),
+                          static_cast<long long>(3 * kGamma),
+                          static_cast<long long>(2 * kGamma),
+                          static_cast<long long>(1 * kGamma)));
+    for (; i + 4 <= n; i += 4) {
+      const __m256i z = splitmix_fin4(c);
+      _mm256_storeu_pd(
+          out.data() + i,
+          _mm256_mul_pd(u53_to_double4(_mm256_srli_epi64(z, 11)), two_m53));
+      c = _mm256_add_epi64(c, step);
+    }
+  }
+  if (i < n) uniform_fill_scalar(base, out.subspan(i), i);
+}
+
+}  // namespace railcorr::rng_detail
+
+#endif  // RAILCORR_HAVE_AVX2 && __AVX2__ && __FMA__

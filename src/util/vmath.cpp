@@ -150,6 +150,13 @@ void exp2_batch_exact(std::span<const double> x, std::span<double> out) {
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::exp2(x[i]);
 }
 
+void exp10_batch_exact(std::span<const double> x, std::span<double> out) {
+  RAILCORR_EXPECTS(out.size() == x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::pow(10.0, x[i]);
+  }
+}
+
 void ratio_to_db_batch_exact(std::span<const double> x,
                              std::span<double> out) {
   RAILCORR_EXPECTS(out.size() == x.size());
@@ -202,6 +209,17 @@ void exp2_batch_fast_scalar(std::span<const double> x,
     out[i] = (v >= detail::kExp2Lo && v <= detail::kExp2Hi)
                  ? detail::exp2_core(v)
                  : std::exp2(v);
+  }
+}
+
+void exp10_batch_fast_scalar(std::span<const double> x,
+                             std::span<double> out) {
+  RAILCORR_EXPECTS(out.size() == x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = x[i];
+    out[i] = (v >= -detail::kExp10Range && v <= detail::kExp10Range)
+                 ? detail::exp10_core(v)
+                 : std::pow(10.0, v);
   }
 }
 
@@ -263,6 +281,10 @@ void log2_batch(std::span<const double> x, std::span<double> out) {
 
 void exp2_batch(std::span<const double> x, std::span<double> out) {
   RAILCORR_VMATH_DISPATCH(exp2_batch, x, out);
+}
+
+void exp10_batch(std::span<const double> x, std::span<double> out) {
+  RAILCORR_VMATH_DISPATCH(exp10_batch, x, out);
 }
 
 void ratio_to_db_batch(std::span<const double> x, std::span<double> out) {

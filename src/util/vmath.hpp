@@ -38,6 +38,9 @@
 ///  - `db_to_ratio_batch` (10^(x/10)): <= 4 ULP against the scalar
 ///    composition `std::pow(10.0, x / 10.0)` (the fast path divides by
 ///    10 first, sharing the composition's argument rounding).
+///  - `exp10_batch` (10^x): <= 4 ULP against scalar `std::pow(10.0, x)`
+///    for |x| <= 300; larger magnitudes fall back to libm element-wise
+///    and are therefore exact.
 ///  - `rcp_batch` / the in-kernel reciprocal-Newton form: <= 2 ULP
 ///    against IEEE division (seeded by `vrcpps`, three Newton steps
 ///    with FMA residuals).
@@ -118,6 +121,8 @@ void log10_batch(std::span<const double> x, std::span<double> out);
 void log2_batch(std::span<const double> x, std::span<double> out);
 /// out[i] = 2^x[i].
 void exp2_batch(std::span<const double> x, std::span<double> out);
+/// out[i] = 10^x[i].
+void exp10_batch(std::span<const double> x, std::span<double> out);
 /// out[i] = 10 * log10(x[i]) — linear power ratio to dB.
 void ratio_to_db_batch(std::span<const double> x, std::span<double> out);
 /// out[i] = 10^(x[i] / 10) — dB to linear power ratio.
@@ -138,6 +143,7 @@ void rcp_batch(std::span<const double> x, std::span<double> out);
 void log10_batch_exact(std::span<const double> x, std::span<double> out);
 void log2_batch_exact(std::span<const double> x, std::span<double> out);
 void exp2_batch_exact(std::span<const double> x, std::span<double> out);
+void exp10_batch_exact(std::span<const double> x, std::span<double> out);
 void ratio_to_db_batch_exact(std::span<const double> x,
                              std::span<double> out);
 void db_to_ratio_batch_exact(std::span<const double> x,
@@ -150,6 +156,8 @@ void log2_batch_fast_scalar(std::span<const double> x,
                             std::span<double> out);
 void exp2_batch_fast_scalar(std::span<const double> x,
                             std::span<double> out);
+void exp10_batch_fast_scalar(std::span<const double> x,
+                             std::span<double> out);
 void ratio_to_db_batch_fast_scalar(std::span<const double> x,
                                    std::span<double> out);
 void db_to_ratio_batch_fast_scalar(std::span<const double> x,
@@ -159,6 +167,7 @@ void db_to_ratio_batch_fast_scalar(std::span<const double> x,
 void log10_batch_fast_avx2(std::span<const double> x, std::span<double> out);
 void log2_batch_fast_avx2(std::span<const double> x, std::span<double> out);
 void exp2_batch_fast_avx2(std::span<const double> x, std::span<double> out);
+void exp10_batch_fast_avx2(std::span<const double> x, std::span<double> out);
 void ratio_to_db_batch_fast_avx2(std::span<const double> x,
                                  std::span<double> out);
 void db_to_ratio_batch_fast_avx2(std::span<const double> x,

@@ -23,130 +23,10 @@
 
 namespace railcorr::vmath {
 
-namespace {
-
+// The vector cores (log_reduce4, ln_reduced4, the log/exp cores, and
+// the domain guards) live in vmath_detail.hpp's AVX2 section so the
+// batched-RNG lane (util/rng_batch_avx2.cpp) can share them.
 using namespace detail;
-
-/// Mantissa/exponent split, vector form of detail::reduce_log.
-inline __m256d log_reduce4(__m256d x, __m256d& e_out) {
-  const __m256i bits = _mm256_castpd_si256(x);
-  // Biased exponent to double via the 2^52 magic-number trick (the
-  // 11-bit field is far below the magic's mantissa width).
-  const __m256i magic = _mm256_set1_epi64x(0x4330000000000000LL);
-  const __m256d e_biased = _mm256_sub_pd(
-      _mm256_castsi256_pd(_mm256_or_si256(_mm256_srli_epi64(bits, 52),
-                                          magic)),
-      _mm256_set1_pd(0x1p52));
-  __m256d e = _mm256_sub_pd(e_biased, _mm256_set1_pd(1023.0));
-  const __m256d mant_mask =
-      _mm256_castsi256_pd(_mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL));
-  __m256d m =
-      _mm256_or_pd(_mm256_and_pd(x, mant_mask), _mm256_set1_pd(1.0));
-  const __m256d fold =
-      _mm256_cmp_pd(m, _mm256_set1_pd(kSqrt2), _CMP_GE_OQ);
-  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), fold);
-  e = _mm256_add_pd(e, _mm256_and_pd(fold, _mm256_set1_pd(1.0)));
-  e_out = e;
-  return m;
-}
-
-/// ln(m) for m in [sqrt2/2, sqrt2) as the hi/lo pair of
-/// detail::ln_reduced (hi = 2r exact, division residual folded into lo).
-inline void ln_reduced4(__m256d m, __m256d& hi, __m256d& lo) {
-  const __m256d one = _mm256_set1_pd(1.0);
-  const __m256d a = _mm256_sub_pd(m, one);
-  const __m256d b = _mm256_add_pd(m, one);
-  const __m256d r = _mm256_div_pd(a, b);
-  const __m256d r_lo = _mm256_mul_pd(_mm256_fnmadd_pd(r, b, a),
-                                     _mm256_set1_pd(0.5));
-  const __m256d t = _mm256_mul_pd(r, r);
-  __m256d p = _mm256_set1_pd(kAtanhC[9]);
-  for (int k = 8; k >= 0; --k) {
-    p = _mm256_fmadd_pd(p, t, _mm256_set1_pd(kAtanhC[k]));
-  }
-  hi = _mm256_add_pd(r, r);
-  lo = _mm256_fmadd_pd(_mm256_mul_pd(r, t), p, _mm256_add_pd(r_lo, r_lo));
-}
-
-inline __m256d log10_core4(__m256d x) {
-  __m256d e, hi, lo;
-  ln_reduced4(log_reduce4(x, e), hi, lo);
-  const __m256d k_hi = _mm256_set1_pd(kLog10EHi);
-  const __m256d p_hi = _mm256_mul_pd(hi, k_hi);
-  const __m256d p_res =
-      _mm256_fmsub_pd(hi, k_hi, p_hi);  // exact product residual
-  __m256d tail = _mm256_fmadd_pd(lo, k_hi, p_res);
-  tail = _mm256_fmadd_pd(hi, _mm256_set1_pd(kLog10ELo), tail);
-  tail = _mm256_fmadd_pd(e, _mm256_set1_pd(kLog10_2Lo), tail);
-  return _mm256_fmadd_pd(e, _mm256_set1_pd(kLog10_2Hi),
-                         _mm256_add_pd(p_hi, tail));
-}
-
-inline __m256d log2_core4(__m256d x) {
-  __m256d e, hi, lo;
-  ln_reduced4(log_reduce4(x, e), hi, lo);
-  const __m256d k_hi = _mm256_set1_pd(kLog2EHi);
-  const __m256d p_hi = _mm256_mul_pd(hi, k_hi);
-  const __m256d p_res = _mm256_fmsub_pd(hi, k_hi, p_hi);
-  __m256d tail = _mm256_fmadd_pd(lo, k_hi, p_res);
-  tail = _mm256_fmadd_pd(hi, _mm256_set1_pd(kLog2ELo), tail);
-  return _mm256_add_pd(e, _mm256_add_pd(p_hi, tail));
-}
-
-/// 2^f for |f| <~ 0.51, vector form of detail::exp2_reduced.
-inline __m256d exp2_reduced4(__m256d f) {
-  __m256d p = _mm256_set1_pd(kExp2C[12]);
-  for (int k = 11; k >= 0; --k) {
-    p = _mm256_fmadd_pd(p, f, _mm256_set1_pd(kExp2C[k]));
-  }
-  return _mm256_fmadd_pd(p, f, _mm256_set1_pd(1.0));
-}
-
-/// 2^k for integral-valued k in [-1022, 1023].
-inline __m256d pow2_int4(__m256d k) {
-  const __m256i ik = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(k));
-  const __m256i bits = _mm256_slli_epi64(
-      _mm256_add_epi64(ik, _mm256_set1_epi64x(1023)), 52);
-  return _mm256_castsi256_pd(bits);
-}
-
-inline __m256d exp2_core4(__m256d x) {
-  const __m256d k =
-      _mm256_round_pd(x, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  const __m256d f = _mm256_sub_pd(x, k);
-  return _mm256_mul_pd(exp2_reduced4(f), pow2_int4(k));
-}
-
-/// 10^q, vector form of detail::exp10_core.
-inline __m256d exp10_core4(__m256d q) {
-  const __m256d hi = _mm256_set1_pd(kLog2_10Hi);
-  const __m256d u = _mm256_mul_pd(q, hi);
-  const __m256d k =
-      _mm256_round_pd(u, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  const __m256d f =
-      _mm256_add_pd(_mm256_fmsub_pd(q, hi, k),
-                    _mm256_mul_pd(q, _mm256_set1_pd(kLog2_10Lo)));
-  return _mm256_mul_pd(exp2_reduced4(f), pow2_int4(k));
-}
-
-/// All four lanes positive, normal, finite (the log-core domain)?
-inline bool log_domain_ok4(__m256d x) {
-  const __m256d ok = _mm256_and_pd(
-      _mm256_cmp_pd(x, _mm256_set1_pd(0x1p-1022), _CMP_GE_OQ),
-      _mm256_cmp_pd(x, _mm256_set1_pd(0x1.fffffffffffffp+1023),
-                    _CMP_LE_OQ));
-  return _mm256_movemask_pd(ok) == 0xF;
-}
-
-/// All four lanes inside [lo, hi] (rejects NaN)?
-inline bool range_ok4(__m256d x, double lo, double hi) {
-  const __m256d ok =
-      _mm256_and_pd(_mm256_cmp_pd(x, _mm256_set1_pd(lo), _CMP_GE_OQ),
-                    _mm256_cmp_pd(x, _mm256_set1_pd(hi), _CMP_LE_OQ));
-  return _mm256_movemask_pd(ok) == 0xF;
-}
-
-}  // namespace
 
 void log10_batch_fast_avx2(std::span<const double> x,
                            std::span<double> out) {
@@ -210,6 +90,21 @@ void ratio_to_db_batch_fast_avx2(std::span<const double> x,
     }
   }
   if (i < n) ratio_to_db_batch_fast_scalar(x.subspan(i), out.subspan(i));
+}
+
+void exp10_batch_fast_avx2(std::span<const double> x, std::span<double> out) {
+  RAILCORR_EXPECTS(out.size() == x.size());
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x.data() + i);
+    if (range_ok4(v, -kExp10Range, kExp10Range)) {
+      _mm256_storeu_pd(out.data() + i, exp10_core4(v));
+    } else {
+      exp10_batch_fast_scalar(x.subspan(i, 4), out.subspan(i, 4));
+    }
+  }
+  if (i < n) exp10_batch_fast_scalar(x.subspan(i), out.subspan(i));
 }
 
 void db_to_ratio_batch_fast_avx2(std::span<const double> x,

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "bench_harness.hpp"
 
@@ -106,6 +108,28 @@ TEST(BaselineGate, MissingSpeedupMetricIsAViolation) {
   std::ostringstream log;
   const auto gate = check_against_baseline(current, baseline, 10.0, log);
   EXPECT_EQ(gate.violations, 1);
+}
+
+TEST(BaselineGate, EveryRecordedBaselineFileParses) {
+  // The fixture list of recorded baselines CI gates against: each file
+  // must exist and parse to a non-empty benchmark list, and every entry
+  // must carry at least one metric (a floor with nothing to enforce is
+  // a recording mistake). A new baseline file must be added here.
+  const char* files[] = {"cache.json", "parallel_scaling.json",
+                         "robustness_mc.json", "vmath.json"};
+  for (const char* name : files) {
+    const std::string path = std::string(RAILCORR_BASELINE_DIR) + "/" + name;
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good()) << "missing recorded baseline " << path;
+    std::ostringstream text;
+    text << file.rdbuf();
+    const auto parsed = parse_harness_json(text.str());
+    EXPECT_FALSE(parsed.empty()) << name << " parses to no benchmarks";
+    for (const auto& entry : parsed) {
+      EXPECT_FALSE(entry.metrics.empty())
+          << name << " entry " << entry.name << " has no metrics";
+    }
+  }
 }
 
 TEST(BaselineGate, AbsoluteTimesOnlyCheckedOnRequest) {

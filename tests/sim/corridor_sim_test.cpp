@@ -176,14 +176,17 @@ TEST(CorridorSim, QosGoldenStatsPinTheOrderRestoringReduction) {
   config.poisson_timetable = true;
   config.seed = 1234;
   const auto day = CorridorSimulation(config).run();
+  // Re-recorded in PR 8 when the detector-miss draws moved to
+  // Rng::uniform_batch (one batch per passage), which changes the miss
+  // pattern for a given seed (ARCHITECTURE.md, "Random variates").
   EXPECT_EQ(day.train_snr_db.count(), 12441u);
-  EXPECT_DOUBLE_EQ(day.train_snr_db.mean(), 22.800628069780569);
+  EXPECT_DOUBLE_EQ(day.train_snr_db.mean(), 14.457607078627376);
   EXPECT_DOUBLE_EQ(day.train_snr_db.min(), -200.0);
   EXPECT_DOUBLE_EQ(day.train_snr_db.max(), 79.485717246315645);
   EXPECT_DOUBLE_EQ(day.train_spectral_efficiency.mean(),
-                   5.0787408033202892);
-  EXPECT_DOUBLE_EQ(day.degraded_seconds, 2846.0);
-  EXPECT_EQ(day.missed_wakes, 522);
+                   4.8875895715913336);
+  EXPECT_DOUBLE_EQ(day.degraded_seconds, 2988.5);
+  EXPECT_EQ(day.missed_wakes, 547);
 }
 
 }  // namespace

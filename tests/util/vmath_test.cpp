@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -78,6 +79,7 @@ void expect_within_ulp(BatchFn batch, ScalarFn reference,
 double ref_log10(double x) { return std::log10(x); }
 double ref_log2(double x) { return std::log2(x); }
 double ref_exp2(double x) { return std::exp2(x); }
+double ref_exp10(double x) { return std::pow(10.0, x); }
 double ref_ratio_to_db(double x) { return 10.0 * std::log10(x); }
 double ref_db_to_ratio(double x) { return std::pow(10.0, x / 10.0); }
 double ref_rcp(double x) { return 1.0 / x; }
@@ -164,6 +166,8 @@ TEST_F(VmathTest, FastScalarLaneWithinDocumentedUlpBounds) {
                     "exp2 fast scalar");
   expect_within_ulp(db_to_ratio_batch_fast_scalar, ref_db_to_ratio, dbs, 4,
                     "db_to_ratio fast scalar");
+  expect_within_ulp(exp10_batch_fast_scalar, ref_exp10, dbs, 4,
+                    "exp10 fast scalar");
 }
 
 TEST_F(VmathTest, FastAvx2LaneWithinDocumentedUlpBounds) {
@@ -183,7 +187,94 @@ TEST_F(VmathTest, FastAvx2LaneWithinDocumentedUlpBounds) {
                     "db_to_ratio fast avx2");
   expect_within_ulp(rcp_batch_fast_avx2, ref_rcp, logs, 2,
                     "rcp fast avx2");
+  expect_within_ulp(exp10_batch_fast_avx2, ref_exp10, dbs, 4,
+                    "exp10 fast avx2");
 #endif
+}
+
+TEST_F(VmathTest, Exp10ExactModeBitIdenticalToLibmAtEverySimdLevel) {
+  const auto dbs = db_domain_inputs();
+  std::vector<double> out(dbs.size());
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+    force_simd_level(level);
+    exp10_batch(dbs, out);
+    for (std::size_t i = 0; i < dbs.size(); ++i) {
+      ASSERT_EQ(ulp_distance(out[i], std::pow(10.0, dbs[i])), 0)
+          << "exp10 at level " << simd_level_name(level);
+    }
+  }
+}
+
+// ---- monotonicity properties -------------------------------------------
+
+/// Strictly increasing grids whose consecutive reference values are far
+/// enough apart (many ULP) that a lane honouring its documented ULP
+/// bound must preserve order. exp10 spans the fast domain plus the
+/// libm-fallback edges beyond |x| = 300.
+std::vector<double> sorted_exp10_grid() {
+  std::mt19937_64 rng(0xD1CE);
+  std::uniform_real_distribution<double> db(-320.0, 320.0);
+  std::vector<double> x;
+  for (int i = 0; i < 20000; ++i) x.push_back(db(rng));
+  std::sort(x.begin(), x.end());
+  // Collapse near-duplicates: 1e-9 in the exponent is ~2e-9 relative in
+  // the value, orders of magnitude above a 4-ULP wiggle.
+  std::vector<double> grid;
+  for (const double v : x) {
+    if (grid.empty() || v - grid.back() > 1e-9) grid.push_back(v);
+  }
+  return grid;
+}
+
+std::vector<double> sorted_log10_grid() {
+  std::mt19937_64 rng(0xFACE);
+  std::uniform_real_distribution<double> decades(-30.0, 30.0);
+  std::vector<double> x;
+  for (int i = 0; i < 20000; ++i) x.push_back(std::pow(10.0, decades(rng)));
+  std::sort(x.begin(), x.end());
+  std::vector<double> grid;
+  for (const double v : x) {
+    if (grid.empty() || v > grid.back() * (1.0 + 1e-9)) grid.push_back(v);
+  }
+  return grid;
+}
+
+TEST_F(VmathTest, Exp10MonotoneInBothAccuracyModes) {
+  const auto grid = sorted_exp10_grid();
+  std::vector<double> out(grid.size());
+  for (const AccuracyMode mode : {AccuracyMode::kBitExact,
+                                  AccuracyMode::kFastUlp}) {
+    force_accuracy_mode(mode);
+    for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+      force_simd_level(level);
+      exp10_batch(grid, out);
+      for (std::size_t i = 1; i < out.size(); ++i) {
+        ASSERT_LE(out[i - 1], out[i])
+            << "exp10 non-monotone at x = " << grid[i] << " mode "
+            << accuracy_mode_name(mode) << " level "
+            << simd_level_name(level);
+      }
+    }
+  }
+}
+
+TEST_F(VmathTest, Log10MonotoneInBothAccuracyModes) {
+  const auto grid = sorted_log10_grid();
+  std::vector<double> out(grid.size());
+  for (const AccuracyMode mode : {AccuracyMode::kBitExact,
+                                  AccuracyMode::kFastUlp}) {
+    force_accuracy_mode(mode);
+    for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+      force_simd_level(level);
+      log10_batch(grid, out);
+      for (std::size_t i = 1; i < out.size(); ++i) {
+        ASSERT_LE(out[i - 1], out[i])
+            << "log10 non-monotone at x = " << grid[i] << " mode "
+            << accuracy_mode_name(mode) << " level "
+            << simd_level_name(level);
+      }
+    }
+  }
 }
 
 TEST_F(VmathTest, FastDispatchHonoursForcedModeAndLevel) {

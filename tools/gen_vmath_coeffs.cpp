@@ -50,6 +50,8 @@ int main() {
       0.69314718055994530941723212145817657Q;
   const __float128 kLn10 =
       2.30258509299404568401799145468436421Q;
+  const __float128 kTwoPi =
+      6.28318530717958647692528676655900577Q;
   const __float128 kLog2E = 1.0Q / kLn2;          // log2(e)
   const __float128 kLog10E = 1.0Q / kLn10;        // log10(e)
   const __float128 kLog10_2 = kLn2 / kLn10;       // log10(2)
@@ -73,6 +75,40 @@ int main() {
     char name[32];
     std::snprintf(name, sizeof(name), "kExp2C%d", n);
     emit(name, static_cast<double>(term));
+  }
+
+  std::printf("// ln(x) = e * ln2 + ln(m); low 27 bits of hi cleared so\n"
+              "// e * kLn2Hi is exact for |e| <= 1074\n");
+  emit_split("kLn2Hi", "kLn2Lo", kLn2, 27);
+
+  // sin(2 pi u) / cos(2 pi u) quadrant cores for u in [0, 1): after the
+  // reduction f = u - nearbyint(4u)/4 (|f| <= 1/8, so |2 pi f| <= pi/4)
+  // the Taylor series in t = f^2 truncates below 2^-58 relative with ten
+  // terms — Taylor is within a small factor of minimax on an interval
+  // this short.
+  std::printf("// sin(2 pi f) = f * sum_k kSinTwoPiC[k] * f^(2k), "
+              "|f| <= 1/8\n");
+  __float128 sin_term = kTwoPi;  // (2 pi)^(2k+1) / (2k+1)!, sign (-1)^k
+  for (int k = 0; k < 10; ++k) {
+    if (k > 0) {
+      sin_term = -sin_term * kTwoPi * kTwoPi /
+                 static_cast<__float128>((2 * k) * (2 * k + 1));
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "kSinTwoPiC%d", k);
+    emit(name, static_cast<double>(sin_term));
+  }
+  std::printf("// cos(2 pi f) = sum_k kCosTwoPiC[k] * f^(2k), "
+              "|f| <= 1/8\n");
+  __float128 cos_term = 1.0Q;  // (2 pi)^(2k) / (2k)!, sign (-1)^k
+  for (int k = 0; k < 10; ++k) {
+    if (k > 0) {
+      cos_term = -cos_term * kTwoPi * kTwoPi /
+                 static_cast<__float128>((2 * k - 1) * (2 * k));
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "kCosTwoPiC%d", k);
+    emit(name, static_cast<double>(cos_term));
   }
   return 0;
 }
