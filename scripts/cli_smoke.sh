@@ -134,6 +134,35 @@ sed 's/axis radio.lp_eirp_dbm = 37, 40/axis radio.lp_eirp_dbm = 37, 41/' \
 expect_error 2 "--resume refused" \
     orchestrate --resume "$TMP/freshrun" --plan "$TMP/other_plan.sweep"
 
+# distributed-orchestration flag misuse: every transport flag is
+# validated before any filesystem work, so a typo never strands a run.
+expect_error 1 "requires --hosts" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d1" \
+    --launcher 'ssh {host} {cmd}'
+expect_error 1 "requires --hosts" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d2" \
+    --fetch 'scp {host}:{remote} {local}'
+expect_error 1 "--fetch-timeout requires --fetch" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d3" \
+    --hosts h1 --launcher 'ssh {host} {cmd}' --fetch-timeout 5
+expect_error 1 "unknown placeholder" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d4" \
+    --hosts h1 --launcher 'ssh {hots} {cmd}'
+expect_error 1 "must contain '{cmd}'" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d5" \
+    --hosts h1 --launcher 'ssh {host}'
+expect_error 1 "no --launcher template" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d6" --hosts h1,local
+expect_error 1 "must match --hosts" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d7" \
+    --hosts h1,h2 --launcher 'ssh {host} {cmd}' --threads 2,4,8
+expect_error 1 "empty host name" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d8" \
+    --hosts "h1,,h2" --launcher 'ssh {host} {cmd}'
+expect_error 1 "duplicate host" \
+    orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/d9" \
+    --hosts h1,h1 --launcher 'ssh {host} {cmd}'
+
 # cache verb misuse.
 expect_error 1 "expected a verb" cache
 expect_error 1 "unknown verb" cache prune --dir "$TMP/cache"

@@ -1,0 +1,179 @@
+#!/bin/sh
+# Distributed-orchestration smoke (registered as ctest
+# `cli/distributed_smoke` and run by CI): the pluggable transport
+# layer, verified shard fetch, and host-failure model exercised end to
+# end against the real binary — a 3-"host" localhost fleet whose
+# "remote" launches are plain subshells, so every network behaviour is
+# simulated deterministically on one machine.
+#
+#   1. a clean fleet (`--hosts h1,h2,h3 --launcher ... --fetch ...`)
+#      merges byte-identical to the single-process sweep,
+#   2. the same fleet under `--chaos-seed` — refused launches, torn and
+#      stalled transfers, flapping hosts — still converges to the same
+#      bytes, and the manifest audits every corrupt-transfer rejection
+#      and quarantine/recover transition,
+#   3. a fleet with one permanently refusing host degrades onto the
+#      survivors (quarantine audit, identical bytes),
+#   4. a fleet with every host dead stops with exit 1 and a resumable
+#      manifest; resuming onto a healthy fleet completes the run,
+#   5. killing one host after the fact (its shard files lost) and
+#      resuming recomputes exactly the lost shards, nothing else.
+#
+# usage: distributed_smoke.sh <railcorr-binary>
+set -eu
+
+BIN="$1"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# The same cheap 64-cell grid as chaos_smoke.sh.
+cat > "$TMP/plan.sweep" <<'PLAN'
+base = paper
+set max_repeaters = 2
+set isd_search.isd_step_m = 100
+set isd_search.sample_step_m = 50
+axis radio.lp_eirp_dbm = 37, 38, 39, 40
+axis timetable.trains_per_hour = 6, 8, 10, 12
+axis timetable.night_hours = 4, 5
+axis radio.hp_eirp_dbm = 60, 61
+PLAN
+
+"$BIN" sweep --plan "$TMP/plan.sweep" --out "$TMP/single.csv"
+
+# A stand-in for ssh: drop the host argument, run the quoted worker
+# command in a local subshell. The {cmd} placeholder expands to one
+# shell-quoted word, exactly the `ssh host 'cmd...'` calling shape.
+cat > "$TMP/fake_launch.sh" <<'EOF'
+#!/bin/sh
+shift
+exec /bin/sh -c "$1"
+EOF
+# Same, but hosts named bad* refuse every launch with ssh's own
+# connection-failure code (255) — a dead machine.
+cat > "$TMP/refuse_launch.sh" <<'EOF'
+#!/bin/sh
+case "$1" in bad*) exit 255 ;; esac
+shift
+exec /bin/sh -c "$1"
+EOF
+chmod +x "$TMP/fake_launch.sh" "$TMP/refuse_launch.sh"
+
+LAUNCH="$TMP/fake_launch.sh {host} {cmd}"
+REFUSE="$TMP/refuse_launch.sh {host} {cmd}"
+FETCH='cp {remote} {local}'
+
+# --- 1: a clean fleet is invisible in the output bytes ----------------
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/clean" \
+    --hosts h1,h2,h3 --launcher "$LAUNCH" --fetch "$FETCH" \
+    --workers 3 --timeout 120 2> "$TMP/clean.log"
+if ! cmp "$TMP/clean/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: clean-fleet merge differs from the single-process sweep" >&2
+  exit 1
+fi
+
+# --- 2: network chaos must converge byte-identically ------------------
+# Seed 7 over 3 hosts schedules refused launches, host flaps
+# (connection-lost), torn and stalled transfers, and worker stalls —
+# plus one quarantine/probe/recover cycle. Pinned so failures
+# reproduce; any seed must converge.
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/run" \
+    --hosts h1,h2,h3 --launcher "$LAUNCH" --fetch "$FETCH" \
+    --fetch-timeout 2 --workers 3 --retries 3 --timeout 120 \
+    --stall-timeout 2 --chaos-seed 7 2> "$TMP/chaos.log"
+
+if ! grep -q "chaos: shard" "$TMP/chaos.log"; then
+  echo "FAIL: chaos schedule injected no faults (seed too clean?)" >&2
+  exit 1
+fi
+if ! cmp "$TMP/run/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: chaos-fleet merge differs from the single-process sweep" >&2
+  exit 1
+fi
+MANIFEST="$TMP/run/orchestrate.manifest"
+# The fetched-but-corrupt path: rejected by the integrity check,
+# audited, recomputed — never trusted.
+if ! grep -q "corrupt-transfer$" "$MANIFEST"; then
+  echo "FAIL: no corrupt-transfer audit despite torn-transfer faults" >&2
+  exit 1
+fi
+# Transport failures are classified, not lumped into worker errors.
+for cause in launch-refused connection-lost; do
+  if ! grep -q " $cause\$" "$MANIFEST"; then
+    echo "FAIL: no $cause fail line in the chaos manifest" >&2
+    exit 1
+  fi
+done
+# The host-health state machine left its audit trail.
+for event in quarantine probe recover; do
+  if ! grep -q "^host h[0-9]* $event\$" "$MANIFEST"; then
+    echo "FAIL: no host $event audit line in the chaos manifest" >&2
+    exit 1
+  fi
+done
+
+# --- 3: one dead host degrades the fleet, not the run -----------------
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/degraded" \
+    --hosts bad1,h2,h3 --launcher "$REFUSE" --fetch "$FETCH" \
+    --workers 3 --timeout 120 2> "$TMP/degraded.log"
+if ! cmp "$TMP/degraded/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: degraded-fleet merge differs from the single-process sweep" >&2
+  exit 1
+fi
+if ! grep -q "^host bad1 quarantine\$" "$TMP/degraded/orchestrate.manifest"
+then
+  echo "FAIL: refusing host was never quarantined" >&2
+  exit 1
+fi
+
+# --- 4: an all-dead fleet stops resumably, never hangs ----------------
+set +e
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/dead" \
+    --hosts bad1,bad2 --launcher "$REFUSE" --fetch "$FETCH" \
+    --workers 2 --timeout 120 2> "$TMP/dead.log"
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+  echo "FAIL: all-dead fleet exited $code, expected 1" >&2
+  exit 1
+fi
+deaths="$(grep -c "^host bad[0-9]* dead\$" "$TMP/dead/orchestrate.manifest")"
+if [ "$deaths" -ne 2 ]; then
+  echo "FAIL: expected 2 host-dead audits, found $deaths" >&2
+  exit 1
+fi
+if ! grep -q -- "--resume" "$TMP/dead.log"; then
+  echo "FAIL: the all-dead error does not point at --resume" >&2
+  exit 1
+fi
+# The fleet recovered (here: replaced): resume finishes the run.
+"$BIN" orchestrate --resume "$TMP/dead" \
+    --hosts h1,h2,h3 --launcher "$LAUNCH" --fetch "$FETCH" \
+    --workers 3 --timeout 120 2> "$TMP/dead_resume.log"
+if ! cmp "$TMP/dead/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: resumed all-dead run differs from the single-process sweep" >&2
+  exit 1
+fi
+
+# --- 5: resume recomputes only a killed host's lost shards ------------
+# Simulate losing one machine (and the shards it held) after the run:
+# the durable shard files vanish, the manifest still says done.
+rm "$TMP/run/shard_1.csv" "$TMP/run/shard_4.csv" "$TMP/run/merged.csv"
+"$BIN" orchestrate --resume "$TMP/run" \
+    --hosts h1,h2,h3 --launcher "$LAUNCH" --fetch "$FETCH" \
+    --workers 3 --timeout 120 --no-speculate 2> "$TMP/lost.log"
+if ! grep -q "re-running" "$TMP/lost.log"; then
+  echo "FAIL: resume did not reclassify the lost shards" >&2
+  exit 1
+fi
+launches="$(grep -c "launch shard" "$TMP/lost.log")"
+if [ "$launches" -ne 2 ]; then
+  echo "FAIL: resume launched $launches workers, expected exactly 2" >&2
+  exit 1
+fi
+if ! cmp "$TMP/run/merged.csv" "$TMP/single.csv"; then
+  echo "FAIL: lost-shard resume differs from the single-process sweep" >&2
+  exit 1
+fi
+
+echo "cli distributed smoke OK"

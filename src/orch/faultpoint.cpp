@@ -24,6 +24,10 @@ constexpr KindName kKinds[] = {
     {FaultKind::kCacheTornWrite, "cache-torn-write", true},
     {FaultKind::kCacheCorruptSegment, "cache-corrupt-segment", false},
     {FaultKind::kCacheEvict, "cache-evict", false},
+    {FaultKind::kLaunchRefused, "launch-refused", false},
+    {FaultKind::kHostFlap, "host-flap", true},
+    {FaultKind::kTransferTorn, "transfer-torn", true},
+    {FaultKind::kTransferStalled, "transfer-stalled", false},
 };
 
 std::size_t parse_param(std::string_view text, std::string_view spec) {
@@ -79,7 +83,8 @@ FaultSpec parse_fault_spec(std::string_view text) {
   throw ConfigError(
       "fault spec '" + std::string(text) +
       "': expected torn-write=N, corrupt-trailer, stall=N, kill=N, "
-      "cache-torn-write=N, cache-corrupt-segment, or cache-evict");
+      "cache-torn-write=N, cache-corrupt-segment, cache-evict, "
+      "launch-refused, host-flap=N, transfer-torn=N, or transfer-stalled");
 }
 
 FaultInjector& FaultInjector::instance() {

@@ -38,6 +38,25 @@
 ///                          and writers must tolerate segments
 ///                          vanishing at any time.
 ///
+/// Network fault points model a flaky distributed fleet (see
+/// orch/remote.hpp); the first two fire in the worker, the transfer
+/// pair is consumed by the CLI's chaos-mode fetch builder, which
+/// substitutes a sabotaged transfer command:
+///
+///   launch-refused         exit 255 before emitting any protocol
+///                          event — ssh's connect-refused signature,
+///                          which the orchestrator must charge to the
+///                          host, not the shard.
+///   host-flap=N            emit normal progress for N cells, then
+///                          exit 255 mid-shard without writing output
+///                          — a connection dropped by a flapping host.
+///   transfer-torn=N        the fetch delivers only the first N bytes
+///                          of the shard file — a torn transfer the
+///                          verify-after-fetch step must classify as
+///                          corrupt-transfer, never trust.
+///   transfer-stalled       the fetch hangs forever — cleared only by
+///                          the orchestrator's fetch timeout.
+///
 /// Faults are armed per process through the `railcorr sweep --fault
 /// SPEC` flag (the orchestrator's chaos mode appends it to selected
 /// worker attempts) or the `RAILCORR_FAULT` environment variable
@@ -69,6 +88,10 @@ enum class FaultKind {
   kCacheTornWrite,
   kCacheCorruptSegment,
   kCacheEvict,
+  kLaunchRefused,
+  kHostFlap,
+  kTransferTorn,
+  kTransferStalled,
 };
 
 /// One armed fault: the kind plus its parameter (bytes for torn-write,

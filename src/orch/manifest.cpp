@@ -125,6 +125,18 @@ RunManifest RunManifest::parse(std::string_view text) {
                                    "fail attempt");
       failure.cause = std::string(rest.substr(second + 1));
       manifest.failures.push_back(std::move(failure));
+    } else if (line.starts_with("host ")) {
+      std::string_view rest = line.substr(5);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos || space == 0 ||
+          space + 1 >= rest.size()) {
+        throw ConfigError("manifest line " + std::to_string(line_no) +
+                          ": expected 'host <name> <event>'");
+      }
+      HostEvent event;
+      event.host = std::string(rest.substr(0, space));
+      event.event = std::string(rest.substr(space + 1));
+      manifest.host_events.push_back(std::move(event));
     } else {
       throw ConfigError("manifest line " + std::to_string(line_no) +
                         ": unrecognized entry '" + std::string(line) + "'");
@@ -209,6 +221,11 @@ std::string RunManifest::fail_line(std::size_t shard, std::size_t attempt,
                                    const std::string& cause) {
   return "fail " + std::to_string(shard) + " " + std::to_string(attempt) +
          " " + cause;
+}
+
+std::string RunManifest::host_line(const std::string& host,
+                                   const std::string& event) {
+  return "host " + host + " " + event;
 }
 
 bool RunManifest::is_done(std::size_t shard) const {

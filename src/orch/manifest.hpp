@@ -20,14 +20,21 @@
 ///     banner = # railcorr-sweep-v1 fingerprint=<hex16> grid=<N> [...]
 ///     done <shard index> <file name>
 ///     fail <shard index> <attempt> <class>
+///     host <name> <event>
 ///
 /// `done` lines are appended (and synced) as workers finish, so a
 /// crashed or interrupted orchestrator leaves behind exactly the set
 /// of shards whose files are complete. `fail` lines record every
 /// failed worker attempt with its classified cause (`exit-<code>`,
-/// `signal-<n>`, `timeout`, `stalled`, `corrupt-output`) — a
-/// post-mortem audit trail of what the fleet survived; they carry no
-/// resume semantics. `railcorr orchestrate --resume <dir>` replays the
+/// `signal-<n>`, `timeout`, `stalled`, `corrupt-output`, and the
+/// transport classes `launch-refused`, `connection-lost`,
+/// `corrupt-transfer`, `transfer-stalled`) — a post-mortem audit trail
+/// of what the fleet survived; they carry no resume semantics. `host`
+/// lines audit the host-health state machine of a distributed run
+/// (`quarantine`, `probe`, `recover`, `dead`; see orch/remote.hpp) —
+/// like `fail` lines they are history, not resume state: a resumed run
+/// starts with a fresh fleet and re-discovers host health itself.
+/// `railcorr orchestrate --resume <dir>` replays the
 /// manifest: finished shards are skipped, and a manifest whose
 /// fingerprint, banner (which encodes the accuracy mode), shard count,
 /// or sizing flag disagrees with the resumed invocation is refused —
@@ -77,6 +84,15 @@ struct RunManifest {
   /// Every `fail` line, in append order (possibly across resumes).
   std::vector<Failure> failures;
 
+  /// One audited host-health transition of a distributed run.
+  struct HostEvent {
+    std::string host;
+    /// quarantine, probe, recover, or dead (future events tolerated).
+    std::string event;
+  };
+  /// Every `host` line, in append order (possibly across resumes).
+  std::vector<HostEvent> host_events;
+
   /// The manifest a fresh orchestration of `plan` starts from. The
   /// banner captures the *current* accuracy mode via
   /// corridor::shard_banner.
@@ -101,6 +117,10 @@ struct RunManifest {
   /// One `fail <shard> <attempt> <class>` line (no trailing newline).
   static std::string fail_line(std::size_t shard, std::size_t attempt,
                                const std::string& cause);
+
+  /// One `host <name> <event>` line (no trailing newline).
+  static std::string host_line(const std::string& host,
+                               const std::string& event);
 
   /// True when `shard` has a done entry.
   [[nodiscard]] bool is_done(std::size_t shard) const;

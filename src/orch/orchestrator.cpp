@@ -78,17 +78,43 @@ bool shard_file_intact(const fs::path& path, std::string_view banner,
 }
 
 /// Why a worker attempt failed — drives the retry log, the manifest's
-/// `fail` audit lines, and the per-class stats.
+/// `fail` audit lines, and the per-class stats. The last four are
+/// *transport* classes: they charge the host's health (orch/remote.hpp)
+/// instead of the shard's retry budget, because the shard never got a
+/// fair chance to compute — it migrates to the surviving fleet.
 enum class FailureClass {
   kExit,
   kSignal,
   kTimeout,
   kStalled,
   kCorruptOutput,
+  kLaunchRefused,
+  kConnectionLost,
+  kCorruptTransfer,
+  kTransferStalled,
 };
 
-/// One live worker attempt tracked by the scheduler.
+bool is_transport_class(FailureClass cls) {
+  return cls == FailureClass::kLaunchRefused ||
+         cls == FailureClass::kConnectionLost ||
+         cls == FailureClass::kCorruptTransfer ||
+         cls == FailureClass::kTransferStalled;
+}
+
+/// No host assigned (non-distributed run).
+constexpr std::size_t kNoHost = static_cast<std::size_t>(-1);
+
+/// One live worker attempt tracked by the scheduler. A remote attempt
+/// with a fetch step has two phases: the worker process, then — after
+/// it exits 0 — the fetch subprocess pulling the shard file back; the
+/// attempt keeps its slot and host for both.
 struct ActiveAttempt {
+  ActiveAttempt(WorkerAttempt info_, ChildProcess proc_, Clock::time_point now)
+      : info(std::move(info_)),
+        proc(std::move(proc_)),
+        started(now),
+        last_progress(now) {}
+
   WorkerAttempt info;
   ChildProcess proc;
   Clock::time_point started;
@@ -100,6 +126,18 @@ struct ActiveAttempt {
   bool canceled = false;
   bool timed_out = false;
   bool stalled = false;
+  /// Any protocol event was parsed from this worker — distinguishes a
+  /// launch the transport refused outright (exit 255, silent) from a
+  /// connection lost mid-shard (exit 255 after events).
+  bool saw_event = false;
+  /// FleetHealth index, kNoHost when the run is not distributed.
+  std::size_t host = kNoHost;
+  /// The in-flight fetch subprocess (phase two); engaged only for
+  /// remote attempts whose worker exited 0 under a fetch builder.
+  std::optional<ChildProcess> fetch;
+  Clock::time_point fetch_started{};
+  /// The fetch exceeded its wall-clock budget and was killed.
+  bool fetch_timed_out = false;
 };
 
 double elapsed_s(Clock::time_point since, Clock::time_point now) {
@@ -244,6 +282,39 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
     }
   }
 
+  // --- distributed fleet --------------------------------------------
+  // Host health runs on run-relative seconds so FleetHealth stays a
+  // pure, time-injected state machine (unit-testable without sleeping).
+  const bool fleet_mode = !options.hosts.empty();
+  FleetHealth fleet(options.hosts, options.health);
+  const auto run_epoch = Clock::now();
+  const auto now_s = [&run_epoch] {
+    return elapsed_s(run_epoch, Clock::now());
+  };
+  /// Turn pending FleetHealth transitions into manifest `host` audit
+  /// lines, log lines, and stats; called after every acquire/release.
+  const auto audit_fleet = [&] {
+    if (!fleet_mode) return;
+    for (const auto& event : fleet.drain_events()) {
+      manifest_log.append_line(RunManifest::host_line(event.host,
+                                                      event.event));
+      if (event.event == "quarantine") {
+        ++result.stats.host_quarantines;
+        log("host " + event.host + " quarantined; degrading onto " +
+            std::to_string(fleet.healthy()) + " healthy host(s)");
+      } else if (event.event == "recover") {
+        ++result.stats.host_recoveries;
+        log("host " + event.host + " recovered (re-probe succeeded)");
+      } else if (event.event == "dead") {
+        ++result.stats.hosts_dead;
+        log("host " + event.host + " declared dead for this run (" +
+            std::to_string(options.health.dead_after) + " quarantines)");
+      } else {
+        log("host " + event.host + " " + event.event);
+      }
+    }
+  };
+
   // --- scheduler ----------------------------------------------------
   std::deque<std::size_t> pending;
   for (std::size_t shard = 0; shard < shards; ++shard) {
@@ -269,7 +340,8 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
     return n;
   };
 
-  const auto launch = [&](std::size_t shard, bool speculative) {
+  const auto launch = [&](std::size_t shard, bool speculative,
+                          std::size_t host) {
     WorkerAttempt info;
     info.shard = shard;
     info.shard_count = shards;
@@ -285,19 +357,39 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
         (dir / ("shard_" + std::to_string(shard) + ".attempt" +
                 std::to_string(attempt_serial++) + ".tmp"))
             .string();
+    if (host != kNoHost) info.host = fleet.name(host);
+    // Remote workers under a fetch step write to a distinct remote-side
+    // name: on a real fleet that path lives on the remote machine, and
+    // on the localhost fleets tests use it keeps the fetch from
+    // degenerating into copying a file onto itself.
+    const bool fetched = options.fetch && host != kNoHost &&
+                         info.host != kLocalHost;
+    info.worker_out_path = fetched ? info.out_path + ".remote"
+                                   : info.out_path;
     const auto now = Clock::now();
-    ActiveAttempt attempt{info, ChildProcess::spawn(options.command(info)),
-                         now, now, false, false, false};
+    ActiveAttempt attempt(info, ChildProcess::spawn(options.command(info)),
+                          now);
+    attempt.host = host;
     ++result.stats.attempts;
     if (speculative) ++result.stats.speculative;
     log("launch shard " + std::to_string(shard) + "/" +
         std::to_string(shards) + " attempt " + std::to_string(info.attempt) +
         (speculative ? " (speculative)" : "") + " slot " +
-        std::to_string(slot) + " pid " + std::to_string(attempt.proc.pid()));
+        std::to_string(slot) +
+        (info.host.empty() ? "" : " host " + info.host) + " pid " +
+        std::to_string(attempt.proc.pid()));
     active.push_back(std::move(attempt));
   };
 
   const auto drain_into_aggregator = [&](ActiveAttempt& attempt) {
+    if (attempt.fetch.has_value()) {
+      // Fetch tools speak no protocol; drain (and discard) their
+      // output so a chatty transfer command cannot fill the pipe and
+      // block itself.
+      std::vector<std::string> lines;
+      attempt.fetch->drain(lines);
+      return;
+    }
     std::vector<std::string> lines;
     attempt.proc.drain(lines);
     bool any_event = false;
@@ -308,7 +400,10 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
         any_event = true;
       }
     }
-    if (any_event) attempt.last_progress = Clock::now();
+    if (any_event) {
+      attempt.last_progress = Clock::now();
+      attempt.saw_event = true;
+    }
   };
 
   /// Classify one failed (non-canceled, non-finalized) attempt, bump
@@ -336,6 +431,22 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
       case FailureClass::kExit:
         cause = "exit-" + std::to_string(status.code);
         break;
+      case FailureClass::kLaunchRefused:
+        cause = "launch-refused";
+        ++result.stats.launch_refused;
+        break;
+      case FailureClass::kConnectionLost:
+        cause = "connection-lost";
+        ++result.stats.connection_lost;
+        break;
+      case FailureClass::kCorruptTransfer:
+        cause = "corrupt-transfer";
+        ++result.stats.transfer_corrupt;
+        break;
+      case FailureClass::kTransferStalled:
+        cause = "transfer-stalled";
+        ++result.stats.transfer_stalled;
+        break;
     }
     // Every failed attempt — speculative twins included — lands in the
     // manifest for post-mortem; only non-speculative ones charge the
@@ -360,6 +471,125 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
     return backoff;
   };
 
+  /// Poll timeout until the next scheduled wake: the earliest pending
+  /// shard's backoff expiry and the fleet's earliest due re-probe,
+  /// clamped to [1, 50] ms. Next-wake bookkeeping instead of a
+  /// blocking backoff sleep — a shard waiting out its backoff must
+  /// never delay launching other ready shards, and an expired backoff
+  /// or due probe must not wait out a full fixed tick either.
+  const auto next_wake_ms = [&]() -> int {
+    double wake = 0.050;
+    const auto now = Clock::now();
+    for (const std::size_t shard : pending) {
+      if (not_before[shard] <= now) continue;
+      wake = std::min(wake, elapsed_s(now, not_before[shard]));
+    }
+    if (fleet_mode) {
+      const auto probe = fleet.next_probe_s();
+      if (probe.has_value()) {
+        wake = std::min(wake, std::max(0.0, *probe - now_s()));
+      }
+    }
+    return std::max(1, static_cast<int>(wake * 1000.0 + 0.999));
+  };
+
+  /// Release the attempt's host back to the fleet (no-op for
+  /// non-distributed attempts) and audit any health transitions.
+  const auto release_host = [&](const ActiveAttempt& attempt,
+                                bool transport_failure) {
+    if (attempt.host == kNoHost) return;
+    fleet.release(attempt.host, transport_failure, now_s());
+    audit_fleet();
+  };
+
+  /// The attempt's verified output at `out_path` becomes the durable
+  /// shard file: rename, record the done line, cancel racing twins.
+  /// False when the rename itself failed (counts as a failure).
+  const auto finalize_shard = [&](const ActiveAttempt& attempt) -> bool {
+    const std::size_t shard = attempt.info.shard;
+    const fs::path durable = dir / shard_file_name(shard);
+    std::string error;
+    if (!util::rename_durable(attempt.info.out_path, durable.string(),
+                              &error)) {
+      log("shard " + std::to_string(shard) +
+          ": cannot finalize shard file: " + error);
+      return false;
+    }
+    completed[shard] = true;
+    ++completed_count;
+    shard_durations.push_back(elapsed_s(attempt.started, Clock::now()));
+    manifest_log.append_line(
+        RunManifest::done_line(shard, shard_file_name(shard)));
+    aggregator.on_shard_complete(shard);
+    log("shard " + std::to_string(shard) + " done (attempt " +
+        std::to_string(attempt.info.attempt) + "; " + aggregator.summary() +
+        ")");
+    for (auto& other : active) {
+      if (other.info.shard == shard) {
+        other.canceled = true;
+        other.proc.kill();
+        if (other.fetch.has_value()) other.fetch->kill();
+      }
+    }
+    return true;
+  };
+
+  /// Shared post-mortem of one failed (non-canceled) attempt: record
+  /// the classified manifest `fail` line, then charge either the host
+  /// (transport classes — the shard never got a fair chance to
+  /// compute) or the shard's retry budget (compute classes), and
+  /// re-queue the shard when no twin is still racing it. A
+  /// transport-failed shard re-queues with no backoff: it migrates to
+  /// the surviving fleet immediately. Returns false when the retry
+  /// budget is exhausted and the run must abort.
+  const auto settle_failure = [&](const ActiveAttempt& attempt,
+                                  FailureClass cls,
+                                  const ExitStatus& status) -> bool {
+    const std::size_t shard = attempt.info.shard;
+    const std::string cause = record_failure(attempt, cls, status);
+    const bool transport = is_transport_class(cls);
+    release_host(attempt, transport);
+    if (transport) {
+      log("shard " + std::to_string(shard) + " attempt " +
+          std::to_string(attempt.info.attempt) + " " + cause + " on host " +
+          attempt.info.host +
+          "; charged to the host, not the shard's retry budget");
+    } else if (attempt.info.speculative) {
+      // Speculative twins are optimistic duplicates: their failures
+      // never charge the shard's retry budget (a shard whose original
+      // and twin both time out in one pass must not be double-billed
+      // into a spurious abort).
+      log("speculative twin of shard " + std::to_string(shard) + " " +
+          cause + "; not counted against retries");
+    } else {
+      ++fail_count[shard];
+      log("shard " + std::to_string(shard) + " attempt " +
+          std::to_string(attempt.info.attempt) + " " + cause + " (failure " +
+          std::to_string(fail_count[shard]) + "/" +
+          std::to_string(options.retries + 1) + ")");
+    }
+    if (active_attempts_of(shard) > 0) {
+      // A twin is still racing this shard; let it decide the outcome.
+      return true;
+    }
+    if (fail_count[shard] > options.retries) {
+      fail("shard " + std::to_string(shard) + " failed " +
+           std::to_string(fail_count[shard]) +
+           " time(s); retry budget exhausted");
+      return false;  // ActiveAttempt destructors kill the fleet.
+    }
+    const double backoff = transport ? 0.0 : apply_backoff(shard);
+    pending.push_back(shard);
+    // A fresh launch may straggle again; let it earn a fresh twin.
+    speculated[shard] = 0;
+    ++result.stats.retried;
+    log("shard " + std::to_string(shard) + " re-queued" +
+        (backoff > 0.0
+             ? " (backoff " + util::format_double(backoff) + "s)"
+             : ""));
+    return true;
+  };
+
   while (true) {
     while (completed_count < shards) {
       {
@@ -368,11 +598,24 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
              scan > 0 && active.size() < options.workers; --scan) {
           const std::size_t shard = pending.front();
           pending.pop_front();
-          if (not_before[shard] <= now) {
-            launch(shard, /*speculative=*/false);
-          } else {
+          if (not_before[shard] > now) {
             pending.push_back(shard);  // Still backing off.
+            continue;
           }
+          std::size_t host = kNoHost;
+          if (fleet_mode) {
+            const auto acquired = fleet.acquire(now_s());
+            audit_fleet();
+            if (!acquired.has_value()) {
+              // No host can take work right now (all quarantined or
+              // dead, probes not yet due); no other pending shard
+              // would fare better this pass.
+              pending.push_back(shard);
+              break;
+            }
+            host = *acquired;
+          }
+          launch(shard, /*speculative=*/false, host);
         }
       }
 
@@ -408,16 +651,48 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
           }
         }
         if (best_shard < shards) {
-          ++speculated[best_shard];
-          launch(best_shard, /*speculative=*/true);
+          std::size_t host = kNoHost;
+          bool placeable = true;
+          if (fleet_mode) {
+            const auto acquired = fleet.acquire(now_s());
+            audit_fleet();
+            if (acquired.has_value()) {
+              host = *acquired;
+            } else {
+              placeable = false;  // Degraded fleet: no host to spare.
+            }
+          }
+          if (placeable) {
+            ++speculated[best_shard];
+            launch(best_shard, /*speculative=*/true, host);
+          }
         }
       }
 
       if (active.empty()) {
         if (!pending.empty()) {
-          // Every incomplete shard is backing off; sleep a tick until
-          // the earliest becomes launchable.
-          ::poll(nullptr, 0, 10);
+          if (fleet_mode && fleet.all_dead()) {
+            // The hard stop: every host dead, shards incomplete, no
+            // attempt in flight. The manifest already audits every
+            // quarantine and `host <name> dead` transition, and its
+            // `done` lines make the run resumable once the fleet
+            // recovers.
+            result.fleet_dead = true;
+            log("fleet exhausted: all " + std::to_string(fleet.size()) +
+                " host(s) dead, " +
+                std::to_string(shards - completed_count) +
+                " shard(s) incomplete; stopping (resume with --resume "
+                "once hosts recover)");
+            fail("all " + std::to_string(fleet.size()) +
+                 " host(s) are dead with " +
+                 std::to_string(shards - completed_count) +
+                 " shard(s) incomplete; the manifest is resumable — "
+                 "re-run with --resume once the fleet recovers");
+            return result;
+          }
+          // Every incomplete shard is backing off (or waiting on a
+          // host re-probe); sleep exactly until the earliest wake.
+          ::poll(nullptr, 0, next_wake_ms());
           continue;
         }
         // Unreachable by construction (incomplete shards are pending or
@@ -431,17 +706,18 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
       std::vector<pollfd> fds;
       fds.reserve(active.size());
       for (const auto& attempt : active) {
-        if (attempt.proc.stdout_fd() >= 0) {
-          fds.push_back(pollfd{attempt.proc.stdout_fd(), POLLIN, 0});
-        }
+        const int fd = attempt.fetch.has_value()
+                           ? attempt.fetch->stdout_fd()
+                           : attempt.proc.stdout_fd();
+        if (fd >= 0) fds.push_back(pollfd{fd, POLLIN, 0});
       }
       if (!fds.empty()) {
-        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), next_wake_ms());
       } else {
         // Every live worker's pipe already hit EOF (e.g. a worker closed
         // its stdout but keeps running): sleep the tick instead of
         // busy-spinning on try_reap.
-        ::poll(nullptr, 0, 50);
+        ::poll(nullptr, 0, next_wake_ms());
       }
 
       for (auto& attempt : active) drain_into_aggregator(attempt);
@@ -457,7 +733,8 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
       const auto now = Clock::now();
       if (options.timeout_s > 0.0) {
         for (auto& attempt : active) {
-          if (!attempt.timed_out && !attempt.stalled && !attempt.canceled &&
+          if (!attempt.fetch.has_value() && !attempt.timed_out &&
+              !attempt.stalled && !attempt.canceled &&
               elapsed_s(attempt.started, now) > options.timeout_s) {
             attempt.timed_out = true;
             log("shard " + std::to_string(attempt.info.shard) + " attempt " +
@@ -469,7 +746,8 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
       }
       if (options.stall_timeout_s > 0.0) {
         for (auto& attempt : active) {
-          if (!attempt.timed_out && !attempt.stalled && !attempt.canceled &&
+          if (!attempt.fetch.has_value() && !attempt.timed_out &&
+              !attempt.stalled && !attempt.canceled &&
               elapsed_s(attempt.last_progress, now) >
                   options.stall_timeout_s) {
             attempt.stalled = true;
@@ -481,11 +759,114 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
           }
         }
       }
+      // A fetch has its own wall-clock budget (a stuck transfer must
+      // not consume the worker timeout of the *next* attempt).
+      {
+        const double fetch_budget = options.fetch_timeout_s > 0.0
+                                        ? options.fetch_timeout_s
+                                        : options.timeout_s;
+        if (fetch_budget > 0.0) {
+          for (auto& attempt : active) {
+            if (attempt.fetch.has_value() && !attempt.fetch_timed_out &&
+                !attempt.canceled &&
+                elapsed_s(attempt.fetch_started, now) > fetch_budget) {
+              attempt.fetch_timed_out = true;
+              log("shard " + std::to_string(attempt.info.shard) +
+                  " attempt " + std::to_string(attempt.info.attempt) +
+                  " fetch exceeded " + util::format_double(fetch_budget) +
+                  "s, killing (transfer-stalled)");
+              attempt.fetch->kill();
+            }
+          }
+        }
+      }
 
       for (std::size_t i = active.size(); i-- > 0;) {
+        // --- phase two: an in-flight fetch subprocess ---------------
+        if (active[i].fetch.has_value()) {
+          const auto status = active[i].fetch->try_reap();
+          if (!status.has_value()) continue;
+          drain_into_aggregator(active[i]);
+          ActiveAttempt attempt = std::move(active[i]);
+          active.erase(
+              active.begin() +
+              static_cast<std::vector<ActiveAttempt>::difference_type>(i));
+          slot_used[attempt.info.slot] = false;
+
+          const std::size_t shard = attempt.info.shard;
+          if (completed[shard] || attempt.canceled) {
+            fs::remove(attempt.info.out_path, ec);
+            fs::remove(attempt.info.worker_out_path, ec);
+            release_host(attempt, /*transport_failure=*/false);
+            continue;
+          }
+
+          // A fetched file is accepted only after the same integrity
+          // checks a local worker's output must pass (trailer, banner,
+          // row count): fetched-but-corrupt is `corrupt-transfer` and
+          // the shard is recomputed, never trusted.
+          std::string why;
+          bool finalized = false;
+          if (status->code != 0) {
+            why = attempt.fetch_timed_out
+                      ? "fetch killed after exceeding its transfer timeout"
+                      : "fetch exited " + std::to_string(status->code);
+          } else if (shard_file_intact(attempt.info.out_path, wanted.banner,
+                                       corridor::ShardSpec{shard, shards},
+                                       grid, &why)) {
+            finalized = finalize_shard(attempt);
+            if (!finalized) why = "cannot finalize the fetched file";
+          }
+          if (finalized) {
+            fs::remove(attempt.info.worker_out_path, ec);
+            release_host(attempt, /*transport_failure=*/false);
+            continue;
+          }
+          log("shard " + std::to_string(shard) + " attempt " +
+              std::to_string(attempt.info.attempt) + " fetch from host " +
+              attempt.info.host + " rejected: " + why);
+          fs::remove(attempt.info.out_path, ec);
+          fs::remove(attempt.info.worker_out_path, ec);
+          if (!settle_failure(attempt,
+                              attempt.fetch_timed_out
+                                  ? FailureClass::kTransferStalled
+                                  : FailureClass::kCorruptTransfer,
+                              *status)) {
+            return result;
+          }
+          continue;
+        }
+
+        // --- phase one: the worker process --------------------------
         const auto status = active[i].proc.try_reap();
         if (!status.has_value()) continue;
         drain_into_aggregator(active[i]);
+
+        // A remote worker that exited 0 under a fetch builder enters
+        // phase two: the attempt keeps its slot and host while the
+        // fetch subprocess pulls the shard file back.
+        const bool wants_fetch = options.fetch != nullptr &&
+                                 active[i].host != kNoHost &&
+                                 active[i].info.host != kLocalHost;
+        bool fetch_spawn_failed = false;
+        if (status->code == 0 && !active[i].canceled &&
+            !completed[active[i].info.shard] && wants_fetch) {
+          try {
+            active[i].fetch.emplace(
+                ChildProcess::spawn(options.fetch(active[i].info)));
+            active[i].fetch_started = Clock::now();
+            log("shard " + std::to_string(active[i].info.shard) +
+                " attempt " + std::to_string(active[i].info.attempt) +
+                " worker done; fetching from host " + active[i].info.host);
+            continue;
+          } catch (const std::exception& error) {
+            fetch_spawn_failed = true;
+            log("shard " + std::to_string(active[i].info.shard) +
+                " attempt " + std::to_string(active[i].info.attempt) +
+                ": cannot spawn fetch: " + std::string(error.what()));
+          }
+        }
+
         ActiveAttempt attempt = std::move(active[i]);
         active.erase(
             active.begin() +
@@ -497,12 +878,14 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
           // A twin finalized this shard first; discard regardless of how
           // this attempt ended (its bytes would have been identical).
           fs::remove(attempt.info.out_path, ec);
+          fs::remove(attempt.info.worker_out_path, ec);
+          release_host(attempt, /*transport_failure=*/false);
           continue;
         }
 
         bool finalized = false;
         bool corrupt_output = false;
-        if (status->code == 0 && !attempt.canceled) {
+        if (status->code == 0 && !attempt.canceled && !wants_fetch) {
           // Exit 0 is a claim, not proof: verify the document (trailer,
           // banner, row count) before renaming it into the durable
           // name. A torn write or silent corruption becomes a
@@ -517,79 +900,40 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
                 std::to_string(attempt.info.attempt) +
                 " exited 0 but its output is invalid: " + why);
           } else {
-            const fs::path durable = dir / shard_file_name(shard);
-            std::string error;
-            if (!util::rename_durable(attempt.info.out_path, durable.string(),
-                                      &error)) {
-              log("shard " + std::to_string(shard) +
-                  ": cannot finalize shard file: " + error);
-            } else {
-              finalized = true;
-              completed[shard] = true;
-              ++completed_count;
-              shard_durations.push_back(
-                  elapsed_s(attempt.started, Clock::now()));
-              manifest_log.append_line(
-                  RunManifest::done_line(shard, shard_file_name(shard)));
-              aggregator.on_shard_complete(shard);
-              log("shard " + std::to_string(shard) + " done (attempt " +
-                  std::to_string(attempt.info.attempt) + "; " +
-                  aggregator.summary() + ")");
-              for (auto& other : active) {
-                if (other.info.shard == shard) {
-                  other.canceled = true;
-                  other.proc.kill();
-                }
-              }
-            }
+            finalized = finalize_shard(attempt);
           }
         }
-        if (finalized) continue;
+        if (finalized) {
+          release_host(attempt, /*transport_failure=*/false);
+          continue;
+        }
 
         fs::remove(attempt.info.out_path, ec);
-        if (attempt.canceled) continue;
+        fs::remove(attempt.info.worker_out_path, ec);
+        if (attempt.canceled) {
+          release_host(attempt, /*transport_failure=*/false);
+          continue;
+        }
 
-        const FailureClass cls =
+        FailureClass cls =
             attempt.timed_out  ? FailureClass::kTimeout
             : attempt.stalled  ? FailureClass::kStalled
             : corrupt_output   ? FailureClass::kCorruptOutput
             : status->signaled ? FailureClass::kSignal
                                : FailureClass::kExit;
-        const std::string cause = record_failure(attempt, cls, *status);
-        // Speculative twins are optimistic duplicates: their failures
-        // never charge the shard's retry budget (a shard whose original
-        // and twin both time out in one pass must not be double-billed
-        // into a spurious abort).
-        if (attempt.info.speculative) {
-          log("speculative twin of shard " + std::to_string(shard) + " " +
-              cause + "; not counted against retries");
-        } else {
-          ++fail_count[shard];
-          log("shard " + std::to_string(shard) + " attempt " +
-              std::to_string(attempt.info.attempt) + " " + cause +
-              " (failure " + std::to_string(fail_count[shard]) + "/" +
-              std::to_string(options.retries + 1) + ")");
+        if (fetch_spawn_failed) {
+          cls = FailureClass::kCorruptTransfer;
+        } else if (cls == FailureClass::kExit && status->code == 255 &&
+                   attempt.host != kNoHost &&
+                   attempt.info.host != kLocalHost) {
+          // Exit 255 is the transport's own signature (ssh reserves it
+          // for connection failures; the worker binary never uses it):
+          // before any protocol event it is a refused launch, after
+          // events it is a connection dropped mid-shard.
+          cls = attempt.saw_event ? FailureClass::kConnectionLost
+                                  : FailureClass::kLaunchRefused;
         }
-
-        if (active_attempts_of(shard) > 0) {
-          // A twin is still racing this shard; let it decide the outcome.
-          continue;
-        }
-        if (fail_count[shard] > options.retries) {
-          fail("shard " + std::to_string(shard) + " failed " +
-               std::to_string(fail_count[shard]) +
-               " time(s); retry budget exhausted");
-          return result;  // ActiveAttempt destructors kill the fleet.
-        }
-        const double backoff = apply_backoff(shard);
-        pending.push_back(shard);
-        // A fresh launch may straggle again; let it earn a fresh twin.
-        speculated[shard] = 0;
-        ++result.stats.retried;
-        log("shard " + std::to_string(shard) + " re-queued" +
-            (backoff > 0.0
-                 ? " (backoff " + util::format_double(backoff) + "s)"
-                 : ""));
+        if (!settle_failure(attempt, cls, *status)) return result;
       }
     }
 
@@ -689,6 +1033,18 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
       std::to_string(result.stats.timed_out) + " timed out, " +
       std::to_string(result.stats.stalled) + " stalled, " +
       std::to_string(result.stats.corrupt) + " corrupt" +
+      (fleet_mode
+           ? ", transport " + std::to_string(result.stats.launch_refused) +
+                 " refused / " + std::to_string(result.stats.connection_lost) +
+                 " lost / " + std::to_string(result.stats.transfer_corrupt) +
+                 " corrupt / " + std::to_string(result.stats.transfer_stalled) +
+                 " stalled, hosts " +
+                 std::to_string(result.stats.host_quarantines) +
+                 " quarantine(s) / " +
+                 std::to_string(result.stats.host_recoveries) +
+                 " recover(ies) / " + std::to_string(result.stats.hosts_dead) +
+                 " dead"
+           : "") +
       (result.stats.cache_hits + result.stats.cache_misses > 0
            ? ", cache " + std::to_string(result.stats.cache_hits) +
                  " hit(s) / " + std::to_string(result.stats.cache_misses) +

@@ -26,6 +26,20 @@
 /// `command` callback builds for an attempt, so tests drive it with
 /// toy shell workers and the CLI drives it with the real binary.
 ///
+/// Distributed runs (orch/remote.hpp) layer onto the same scheduler:
+/// when `hosts` is non-empty every attempt is placed on a host chosen
+/// by the FleetHealth state machine, the `command` callback wraps the
+/// worker argv in the launcher template, and — when a `fetch` builder
+/// is configured — a finished remote worker's shard file is pulled
+/// back by a fetch subprocess and verified (trailer + banner + row
+/// count) before it is finalized; a fetched-but-corrupt file is
+/// classified `corrupt-transfer` and the shard recomputed, never
+/// trusted. Transport failures (launch refused, connection lost,
+/// corrupt or stalled transfer) charge the *host's* health, not the
+/// shard's retry budget: the shard migrates to the surviving fleet,
+/// and only when every host is dead does the run hard-stop with a
+/// resumable manifest.
+///
 /// Failure model (see docs/ARCHITECTURE.md "Failure model"): every
 /// durable artifact is written through util/durable_io (atomic rename
 /// + fsync discipline, synced manifest appends), worker output is
@@ -47,6 +61,7 @@
 #include <vector>
 
 #include "corridor/sweep.hpp"
+#include "orch/remote.hpp"
 
 namespace railcorr::orch {
 
@@ -67,9 +82,17 @@ struct WorkerAttempt {
   /// (e.g. heterogeneous `--threads` splits) on it — a slot never holds
   /// two live attempts at once.
   std::size_t slot = 0;
-  /// Where the worker must write its shard document; the orchestrator
-  /// renames it to the durable `shard_<i>.csv` on success.
+  /// Where the finished shard document must land *locally*; the
+  /// orchestrator renames it to the durable `shard_<i>.csv` on success.
   std::string out_path;
+  /// Where the worker itself writes. Equal to `out_path` except for
+  /// remote attempts with a fetch step, where it is the remote-side
+  /// path the fetch command copies from ({remote} in the template).
+  std::string worker_out_path;
+  /// Host this attempt is placed on (a `--hosts` name, or
+  /// orch::kLocalHost for the local-execution member of a fleet).
+  /// Empty in non-distributed runs.
+  std::string host;
 };
 
 /// Knobs of one orchestrated run.
@@ -108,11 +131,28 @@ struct OrchestrateOptions {
   /// intact files; refuse a manifest that mismatches this invocation.
   bool resume = false;
   /// Builds the argv of one worker attempt (required). The CLI builds
-  /// `<self> sweep --plan ... --shard i/S --out <out_path> --progress`;
-  /// tests substitute toy commands.
+  /// `<self> sweep --plan ... --shard i/S --out <out_path> --progress`
+  /// (wrapped in the launcher template for remote hosts); tests
+  /// substitute toy commands.
   std::function<std::vector<std::string>(const WorkerAttempt&)> command;
   /// Streaming progress sink (one line per update); nullptr = silent.
   std::ostream* log = nullptr;
+  /// Distributed fleet: host names attempts are placed on (see
+  /// orch/remote.hpp; the reserved name `local` runs plain fork/exec).
+  /// Empty = classic single-machine run, every field below ignored.
+  std::vector<std::string> hosts;
+  /// Builds the argv that copies `worker_out_path` on `host` to the
+  /// local `out_path` after a remote worker exits 0; the fetched file
+  /// is verified before finalization. Unset = workers write locally
+  /// (shared filesystem, or the localhost fleets tests use).
+  std::function<std::vector<std::string>(const WorkerAttempt&)> fetch;
+  /// Wall-clock budget for one fetch subprocess; a fetch running
+  /// longer is killed and classified `transfer-stalled`. 0 falls back
+  /// to `timeout_s`.
+  double fetch_timeout_s = 0.0;
+  /// Host-health knobs (quarantine threshold, re-probe backoff, dead
+  /// threshold).
+  FleetHealthOptions health;
 };
 
 /// Fleet statistics of a finished (or failed) orchestration.
@@ -136,6 +176,17 @@ struct OrchestrateStats {
   /// cache progress report. Zero when workers ran without --cache-dir.
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Transport failures of a distributed run (charged to host health,
+  /// not the shard retry budget).
+  std::size_t launch_refused = 0;
+  std::size_t connection_lost = 0;
+  std::size_t transfer_corrupt = 0;
+  std::size_t transfer_stalled = 0;
+  /// Host-health transitions (each also audited as a manifest `host`
+  /// line).
+  std::size_t host_quarantines = 0;
+  std::size_t host_recoveries = 0;
+  std::size_t hosts_dead = 0;
 };
 
 /// Outcome of an orchestrated run.
@@ -149,6 +200,10 @@ struct OrchestrateResult {
   /// invocation's plan fingerprint, banner/accuracy, shard count, or
   /// sizing flag (CLI exit 2).
   bool manifest_mismatch = false;
+  /// Every host of a distributed fleet died before the grid finished;
+  /// the manifest is resumable once the fleet recovers (CLI exit 1 —
+  /// an environment failure, not a contract violation).
+  bool fleet_dead = false;
   std::vector<std::string> errors;
   /// Path of the merged grid (`<out_dir>/merged.csv`); empty unless ok.
   std::string merged_path;

@@ -1,5 +1,7 @@
 #include "orch/progress.hpp"
 
+#include <chrono>
+
 namespace railcorr::orch {
 
 namespace {
@@ -52,6 +54,8 @@ std::string cache_line(std::size_t hits, std::size_t misses) {
   return std::string(kMagic) + "cache hits=" + std::to_string(hits) +
          " misses=" + std::to_string(misses);
 }
+
+std::string heartbeat_line() { return std::string(kMagic) + "heartbeat"; }
 
 std::string done_line(std::size_t rows) {
   return std::string(kMagic) + "done rows=" + std::to_string(rows);
@@ -108,6 +112,10 @@ std::optional<ProgressEvent> parse_progress_line(std::string_view line) {
     }
     return rest.empty() ? std::optional<ProgressEvent>(event) : std::nullopt;
   }
+  if (rest == "heartbeat") {
+    event.kind = ProgressEvent::Kind::kHeartbeat;
+    return event;
+  }
   if (rest.starts_with("done ")) {
     rest.remove_prefix(5);
     event.kind = ProgressEvent::Kind::kDone;
@@ -157,6 +165,9 @@ void ProgressAggregator::on_event(std::size_t shard,
       }
       break;
     case ProgressEvent::Kind::kStart:
+    case ProgressEvent::Kind::kHeartbeat:
+      // Heartbeats are pure liveness: the orchestrator's stall clock
+      // resets on any parsed event, and the tallies ignore them.
     case ProgressEvent::Kind::kDone:
       break;
   }
@@ -185,6 +196,33 @@ std::string ProgressAggregator::summary() const {
   return "cells " + std::to_string(cells_done_) + "/" +
          std::to_string(grid_cells_) + ", shards " +
          std::to_string(shards_done_) + "/" + std::to_string(shard_count_);
+}
+
+HeartbeatThread::HeartbeatThread(double period_s,
+                                 std::function<void(const std::string&)> emit)
+    : thread_([this, period_s, emit = std::move(emit)] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto period = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(period_s));
+        while (!stopped_) {
+          if (cv_.wait_for(lock, period, [this] { return stopped_; })) break;
+          lock.unlock();
+          emit(heartbeat_line());
+          lock.lock();
+        }
+      }) {}
+
+HeartbeatThread::~HeartbeatThread() { stop(); }
+
+void HeartbeatThread::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ && !thread_.joinable()) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
 }
 
 }  // namespace railcorr::orch

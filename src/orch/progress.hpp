@@ -11,12 +11,21 @@
 ///     @railcorr 1 start shard=<i>/<N> cells=<n>
 ///     @railcorr 1 cell index=<grid index> done=<k> total=<n>
 ///     @railcorr 1 cache hits=<h> misses=<m>
+///     @railcorr 1 heartbeat
 ///     @railcorr 1 done rows=<n>
 ///
 /// The cache event reports the worker's result-cache tallies (emitted
 /// just before `done`, only when a `--cache-dir` store is attached);
 /// per shard the aggregator keeps the latest report, so a retried
 /// attempt replaces — never double-counts — its predecessor's.
+///
+/// The heartbeat event carries no payload and is ignored by the
+/// aggregator's tallies; its only job is liveness. A worker grinding
+/// through one slow cell emits no `cell` line for that whole stretch,
+/// so without heartbeats the orchestrator's `--stall-timeout` cannot
+/// tell "slow cell" from "dead transport" (a remote pipe buffering a
+/// vanished host's silence looks identical). Workers emit it from a
+/// timer thread (HeartbeatThread) between cells.
 ///
 /// `@railcorr 1` is the protocol magic + version; unknown lines (a
 /// worker's stray print, a future protocol extension) parse to
@@ -31,17 +40,21 @@
 /// caught while it runs instead of at merge time.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 namespace railcorr::orch {
 
 /// One parsed protocol event.
 struct ProgressEvent {
-  enum class Kind { kBanner, kStart, kCell, kCache, kDone };
+  enum class Kind { kBanner, kStart, kCell, kCache, kHeartbeat, kDone };
   Kind kind = Kind::kBanner;
   /// kBanner: the shard banner, verbatim.
   std::string banner;
@@ -67,6 +80,7 @@ std::string start_line(std::size_t shard, std::size_t shard_count,
                        std::size_t cells);
 std::string cell_line(std::size_t index, std::size_t done, std::size_t total);
 std::string cache_line(std::size_t hits, std::size_t misses);
+std::string heartbeat_line();
 std::string done_line(std::size_t rows);
 ///@}
 
@@ -128,6 +142,33 @@ class ProgressAggregator {
   std::vector<std::size_t> shard_cache_misses_;
   std::string banner_;
   std::vector<std::string> banner_errors_;
+};
+
+/// A worker-side heartbeat timer: calls `emit` with heartbeat_line()
+/// every `period_s` seconds until stopped (or destroyed). `emit` runs
+/// on the timer thread, so it must be synchronized with the worker's
+/// other protocol writes — in practice both go through one mutex-
+/// guarded "write a line to stdout and flush" lambda.
+///
+/// stop() is idempotent and joins the thread; a worker that is about
+/// to simulate a hang (the `stall` fault point) must stop its
+/// heartbeat first, or the liveness signal it keeps emitting would
+/// defeat the very --stall-timeout the fault exists to exercise.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(double period_s,
+                  std::function<void(const std::string&)> emit);
+  ~HeartbeatThread();
+  HeartbeatThread(const HeartbeatThread&) = delete;
+  HeartbeatThread& operator=(const HeartbeatThread&) = delete;
+
+  void stop();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
 };
 
 }  // namespace railcorr::orch

@@ -48,6 +48,22 @@ TEST_F(FaultpointTest, SpecsParseAndRoundTripTheirCanonicalSpelling) {
   EXPECT_EQ(parse_fault_spec("cache-corrupt-segment").kind,
             FaultKind::kCacheCorruptSegment);
   EXPECT_EQ(parse_fault_spec("cache-evict").kind, FaultKind::kCacheEvict);
+
+  // The network fault vocabulary (distributed chaos).
+  EXPECT_EQ(parse_fault_spec("launch-refused").kind,
+            FaultKind::kLaunchRefused);
+  EXPECT_EQ(fault_spec_string(parse_fault_spec("launch-refused")),
+            "launch-refused");
+  const auto flap = parse_fault_spec("host-flap=2");
+  EXPECT_EQ(flap.kind, FaultKind::kHostFlap);
+  EXPECT_EQ(flap.param, 2u);
+  EXPECT_EQ(fault_spec_string(flap), "host-flap=2");
+  const auto torn_transfer = parse_fault_spec("transfer-torn=48");
+  EXPECT_EQ(torn_transfer.kind, FaultKind::kTransferTorn);
+  EXPECT_EQ(torn_transfer.param, 48u);
+  EXPECT_EQ(fault_spec_string(torn_transfer), "transfer-torn=48");
+  EXPECT_EQ(parse_fault_spec("transfer-stalled").kind,
+            FaultKind::kTransferStalled);
 }
 
 TEST_F(FaultpointTest, MalformedSpecsAreRejected) {
@@ -57,9 +73,13 @@ TEST_F(FaultpointTest, MalformedSpecsAreRejected) {
   EXPECT_THROW(parse_fault_spec("torn-write"), util::ConfigError);
   EXPECT_THROW(parse_fault_spec("kill"), util::ConfigError);
   EXPECT_THROW(parse_fault_spec("cache-torn-write"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec("host-flap"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec("transfer-torn"), util::ConfigError);
   // Parameter supplied where none is taken.
   EXPECT_THROW(parse_fault_spec("corrupt-trailer=1"), util::ConfigError);
   EXPECT_THROW(parse_fault_spec("cache-evict=1"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec("launch-refused=1"), util::ConfigError);
+  EXPECT_THROW(parse_fault_spec("transfer-stalled=1"), util::ConfigError);
   // Malformed digits.
   EXPECT_THROW(parse_fault_spec("stall=abc"), util::ConfigError);
   EXPECT_THROW(parse_fault_spec("stall="), util::ConfigError);

@@ -98,6 +98,40 @@ TEST(RunManifest, ParseRejectsMalformedFailLines) {
                util::ConfigError);
 }
 
+TEST(RunManifest, HostLinesRoundTripAsAuditHistory) {
+  const auto manifest = RunManifest::plan_run(tiny_plan(), 2, false);
+  std::string text = manifest.header_text();
+  text += RunManifest::fail_line(0, 0, "launch-refused") + "\n";
+  text += RunManifest::host_line("h1", "quarantine") + "\n";
+  text += RunManifest::host_line("h1", "probe") + "\n";
+  text += RunManifest::host_line("h1", "recover") + "\n";
+  text += RunManifest::host_line("h2", "dead") + "\n";
+  text += RunManifest::done_line(0, "shard_0.csv") + "\n";
+
+  const auto parsed = RunManifest::parse(text);
+  ASSERT_EQ(parsed.host_events.size(), 4u);
+  EXPECT_EQ(parsed.host_events[0].host, "h1");
+  EXPECT_EQ(parsed.host_events[0].event, "quarantine");
+  EXPECT_EQ(parsed.host_events[1].event, "probe");
+  EXPECT_EQ(parsed.host_events[2].event, "recover");
+  EXPECT_EQ(parsed.host_events[3].host, "h2");
+  EXPECT_EQ(parsed.host_events[3].event, "dead");
+  // Host lines are history, not resume state: done/fail unaffected.
+  EXPECT_TRUE(parsed.is_done(0));
+  ASSERT_EQ(parsed.failures.size(), 1u);
+  EXPECT_EQ(parsed.failures[0].cause, "launch-refused");
+}
+
+TEST(RunManifest, ParseRejectsMalformedHostLines) {
+  const auto manifest = RunManifest::plan_run(tiny_plan(), 2, false);
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() + "host h1\n"),
+               util::ConfigError);
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() + "host  x\n"),
+               util::ConfigError);
+  EXPECT_THROW(RunManifest::parse(manifest.header_text() + "host h1 \n"),
+               util::ConfigError);
+}
+
 TEST(RunManifest, TornFinalLineIsDroppedNotFatal) {
   const auto manifest = RunManifest::plan_run(tiny_plan(), 2, false);
   std::string text = manifest.header_text();

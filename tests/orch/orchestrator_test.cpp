@@ -486,6 +486,242 @@ TEST(Orchestrate, ResumeRefusesAMismatchedPlanFingerprint) {
 }
 
 // ---------------------------------------------------------------------
+// Distributed fleets: toy hosts that refuse, flap, or corrupt
+// transfers, driven through the same scheduler via options.hosts.
+
+TEST(OrchestrateFleet, RefusingHostIsQuarantinedAndRunDegrades) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 4);
+
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 4;
+  // Zero retry budget on purpose: every launch-refused failure charges
+  // the *host*, never the shard — a run that completes proves it.
+  options.retries = 0;
+  options.speculate = false;
+  options.backoff_base_s = 0.0;
+  options.hosts = {"bad", "good"};
+  options.health.quarantine_after = 2;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    if (attempt.host == "bad") return sh("exit 255");  // refused launch
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GE(result.stats.launch_refused, 2u);
+  EXPECT_GE(result.stats.host_quarantines, 1u);
+
+  // Byte-identical to a non-distributed toy merge: which host computed
+  // a shard is invisible in its bytes.
+  const auto expected =
+      corridor::merge_shards({toy_doc(plan, 0, 4), toy_doc(plan, 1, 4),
+                              toy_doc(plan, 2, 4), toy_doc(plan, 3, 4)});
+  ASSERT_TRUE(expected.ok);
+  EXPECT_EQ(result.merged, expected.merged);
+
+  // The quarantine is audited in the manifest.
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  bool quarantined = false;
+  for (const auto& event : manifest.host_events) {
+    if (event.host == "bad" && event.event == "quarantine") {
+      quarantined = true;
+    }
+  }
+  EXPECT_TRUE(quarantined);
+  bool refused_recorded = false;
+  for (const auto& failure : manifest.failures) {
+    if (failure.cause == "launch-refused") refused_recorded = true;
+  }
+  EXPECT_TRUE(refused_recorded);
+}
+
+TEST(OrchestrateFleet, AllHostsDeadStopsWithAResumableManifest) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 2);
+
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.retries = 5;
+  options.speculate = false;
+  options.backoff_base_s = 0.0;
+  options.hosts = {"bad1", "bad2"};
+  options.health.quarantine_after = 1;
+  options.health.dead_after = 1;
+  options.command = [](const WorkerAttempt&) { return sh("exit 255"); };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.fleet_dead);
+  EXPECT_FALSE(result.contract_violation);
+  EXPECT_EQ(result.stats.hosts_dead, 2u);
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_NE(result.errors[0].find("dead"), std::string::npos);
+  EXPECT_NE(result.errors[0].find("--resume"), std::string::npos);
+
+  // Both deaths are audited; the manifest parses and is resumable.
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  std::size_t dead = 0;
+  for (const auto& event : manifest.host_events) {
+    if (event.event == "dead") ++dead;
+  }
+  EXPECT_EQ(dead, 2u);
+
+  // Resume onto a healthy fleet finishes the grid byte-identically.
+  options.hosts = {"good"};
+  options.health = FleetHealthOptions{};
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  options.resume = true;
+  const auto resumed = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(resumed.ok)
+      << (resumed.errors.empty() ? "" : resumed.errors[0]);
+  const auto expected =
+      corridor::merge_shards({toy_doc(plan, 0, 2), toy_doc(plan, 1, 2)});
+  ASSERT_TRUE(expected.ok);
+  EXPECT_EQ(resumed.merged, expected.merged);
+}
+
+TEST(OrchestrateFleet, QuarantinedHostRecoversViaReProbe) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 4);
+
+  std::size_t flaky_launches = 0;
+  OrchestrateOptions options;
+  options.workers = 1;  // one slot: every attempt lands on the fleet's pick
+  options.shards = 4;
+  options.retries = 0;
+  options.speculate = false;
+  options.backoff_base_s = 0.0;
+  options.hosts = {"flaky"};
+  options.health.quarantine_after = 2;
+  options.health.probe_base_s = 0.05;  // fast re-probe for the test
+  options.health.dead_after = 5;
+  options.command = [&docs, &flaky_launches](const WorkerAttempt& attempt) {
+    // The first two launches hit a broken transport; every later one
+    // (the re-probe and onward) succeeds.
+    if (flaky_launches++ < 2) return sh("exit 255");
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.stats.host_quarantines, 1u);
+  EXPECT_EQ(result.stats.host_recoveries, 1u);
+
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  bool probed = false, recovered = false;
+  for (const auto& event : manifest.host_events) {
+    if (event.event == "probe") probed = true;
+    if (event.event == "recover") recovered = true;
+  }
+  EXPECT_TRUE(probed);
+  EXPECT_TRUE(recovered);
+}
+
+TEST(OrchestrateFleet, CorruptTransferIsRejectedAndRecomputed) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 2);
+
+  std::size_t fetches = 0;
+  OrchestrateOptions options;
+  options.workers = 1;
+  options.shards = 2;
+  options.retries = 0;  // transfer corruption must not charge the shard
+  options.speculate = false;
+  options.backoff_base_s = 0.0;
+  options.hosts = {"h1"};
+  options.health.quarantine_after = 5;
+  options.command = [&docs](const WorkerAttempt& attempt) {
+    // Remote workers write to the remote-side path; the fetch step
+    // brings it back.
+    return sh("cat '" + docs[attempt.shard] + "' > '" +
+              attempt.worker_out_path + "'");
+  };
+  options.fetch = [&fetches](const WorkerAttempt& attempt) {
+    if (fetches++ == 0) {
+      // A torn transfer: only a prefix of the shard file arrives.
+      return sh("head -c 20 '" + attempt.worker_out_path + "' > '" +
+                attempt.out_path + "'");
+    }
+    return sh("cat '" + attempt.worker_out_path + "' > '" +
+              attempt.out_path + "'");
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.stats.transfer_corrupt, 1u);
+
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  bool corrupt_recorded = false;
+  for (const auto& failure : manifest.failures) {
+    if (failure.cause == "corrupt-transfer") corrupt_recorded = true;
+  }
+  EXPECT_TRUE(corrupt_recorded);
+
+  // The fetched-then-recomputed grid is byte-identical.
+  const auto expected =
+      corridor::merge_shards({toy_doc(plan, 0, 2), toy_doc(plan, 1, 2)});
+  ASSERT_TRUE(expected.ok);
+  EXPECT_EQ(result.merged, expected.merged);
+}
+
+TEST(OrchestrateFleet, LocalHostRunsWithoutFetchOrExitCodeMapping) {
+  const auto plan = toy_plan();
+  TempDir staging;
+  TempDir run;
+  const auto docs = stage_toy_docs(plan, staging.path, 2);
+
+  OrchestrateOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.retries = 1;
+  options.speculate = false;
+  options.backoff_base_s = 0.0;
+  options.hosts = {std::string(kLocalHost)};
+  std::size_t failures = 0;
+  options.command = [&docs, &failures](const WorkerAttempt& attempt) {
+    // worker_out_path == out_path on the local host even with a fetch
+    // builder configured: no fetch step applies.
+    EXPECT_EQ(attempt.worker_out_path, attempt.out_path);
+    if (attempt.shard == 0 && failures++ == 0) {
+      // Exit 255 on the *local* host is a plain worker failure, not a
+      // transport signature — it must charge the shard's retry budget.
+      return sh("exit 255");
+    }
+    return sh("cat '" + docs[attempt.shard] + "' > '" + attempt.out_path +
+              "'");
+  };
+  options.fetch = [](const WorkerAttempt&) -> std::vector<std::string> {
+    return {"/bin/false"};  // must never be invoked for local attempts
+  };
+  const auto result = orchestrate(plan, run.path.string(), options);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.stats.launch_refused, 0u);
+  EXPECT_EQ(result.stats.connection_lost, 0u);
+  EXPECT_GE(result.stats.retried, 1u);
+
+  const auto manifest =
+      RunManifest::parse(read_file(run.path / "orchestrate.manifest"));
+  ASSERT_FALSE(manifest.failures.empty());
+  EXPECT_EQ(manifest.failures[0].cause, "exit-255");
+}
+
+// ---------------------------------------------------------------------
 // End-to-end against the real binary: worker killed mid-shard, retried,
 // merged bytes identical to the single-process sweep.
 

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -58,6 +61,14 @@ TEST(ProgressProtocol, MalformedCacheLinesAreRejected) {
   EXPECT_FALSE(
       parse_progress_line("@railcorr 1 cache hits=1 misses=2 junk")
           .has_value());
+}
+
+TEST(ProgressProtocol, HeartbeatRoundTrips) {
+  const auto event = parse_progress_line(heartbeat_line());
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, ProgressEvent::Kind::kHeartbeat);
+  // Heartbeats carry no fields; trailing junk is not a heartbeat.
+  EXPECT_FALSE(parse_progress_line("@railcorr 1 heartbeat x=1").has_value());
 }
 
 TEST(ProgressProtocol, DoneRoundTrips) {
@@ -110,6 +121,56 @@ TEST(ProgressAggregator, IgnoresOutOfGridCellIndices) {
   ProgressAggregator aggregator(4, 1);
   aggregator.on_event(0, *parse_progress_line(cell_line(99, 1, 4)));
   EXPECT_EQ(aggregator.cells_done(), 0u);
+}
+
+TEST(ProgressAggregator, HeartbeatsAreLivenessOnlyAndNeverChangeTallies) {
+  ProgressAggregator aggregator(/*grid_cells=*/8, /*shard_count=*/2);
+  aggregator.on_event(0, *parse_progress_line(cell_line(0, 1, 4)));
+  const auto heartbeat = parse_progress_line(heartbeat_line());
+  ASSERT_TRUE(heartbeat.has_value());
+  for (int i = 0; i < 5; ++i) aggregator.on_event(0, *heartbeat);
+  EXPECT_EQ(aggregator.cells_done(), 1u);
+  EXPECT_EQ(aggregator.shards_done(), 0u);
+  EXPECT_EQ(aggregator.cache_hits(), 0u);
+  EXPECT_TRUE(aggregator.banner_errors().empty());
+}
+
+TEST(HeartbeatThreadTest, EmitsPeriodicallyAndStopIsIdempotent) {
+  std::vector<std::string> lines;
+  std::mutex lines_mutex;
+  {
+    HeartbeatThread heartbeat(0.01, [&](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(lines_mutex);
+      lines.push_back(line);
+    });
+    // Wait for at least two beats (bounded, not timing-exact).
+    for (int spin = 0; spin < 500; ++spin) {
+      {
+        const std::lock_guard<std::mutex> lock(lines_mutex);
+        if (lines.size() >= 2) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    heartbeat.stop();
+    heartbeat.stop();  // Idempotent.
+  }  // Destructor after stop() must also be safe.
+  ASSERT_GE(lines.size(), 2u);
+  for (const auto& line : lines) {
+    const auto event = parse_progress_line(line);
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->kind, ProgressEvent::Kind::kHeartbeat);
+  }
+}
+
+TEST(HeartbeatThreadTest, StopBeforeFirstBeatEmitsNothing) {
+  std::vector<std::string> lines;
+  {
+    HeartbeatThread heartbeat(60.0, [&](const std::string& line) {
+      lines.push_back(line);
+    });
+    heartbeat.stop();
+  }
+  EXPECT_TRUE(lines.empty());
 }
 
 TEST(ProgressAggregator, CacheTalliesSumLatestReportPerShard) {

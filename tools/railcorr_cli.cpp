@@ -36,10 +36,13 @@
 /// `orchestrate --resume` (plan-fingerprint / accuracy-banner
 /// mismatch).
 #include <signal.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -60,6 +63,7 @@
 #include "orch/orchestrator.hpp"
 #include "orch/process.hpp"
 #include "orch/progress.hpp"
+#include "orch/remote.hpp"
 #include "util/config.hpp"
 #include "util/contracts.hpp"
 #include "util/durable_io.hpp"
@@ -81,11 +85,13 @@ int usage(std::ostream& os) {
         "                            run the full paper evaluation\n"
         "  sweep --plan FILE [--shard i/N] [--out FILE]\n"
         "        [--include-sizing] [--threads N] [--accuracy MODE]\n"
-        "        [--progress] [--fault SPEC]\n"
+        "        [--progress] [--heartbeat SECONDS] [--fault SPEC]\n"
         "        [--cache-dir DIR] [--cache-max-mb N]\n"
         "                            evaluate (a shard of) a sweep grid;\n"
         "                            --progress streams the worker line\n"
         "                            protocol on stdout (requires --out);\n"
+        "                            --heartbeat emits a liveness line\n"
+        "                            this often even between slow cells;\n"
         "                            --out files carry a crash-safe\n"
         "                            @railcorr-crc integrity trailer;\n"
         "                            --cache-dir serves already-computed\n"
@@ -94,7 +100,9 @@ int usage(std::ostream& os) {
         "                            --fault arms a named fault point\n"
         "                            (torn-write=N, corrupt-trailer,\n"
         "                            stall=N, kill=N, cache-torn-write=N,\n"
-        "                            cache-corrupt-segment, cache-evict;\n"
+        "                            cache-corrupt-segment, cache-evict,\n"
+        "                            launch-refused, host-flap=N,\n"
+        "                            transfer-torn=N, transfer-stalled;\n"
         "                            also RAILCORR_FAULT)\n"
         "  merge [--out FILE] SHARD_FILE...\n"
         "                            merge shards (integrity trailers\n"
@@ -107,18 +115,30 @@ int usage(std::ostream& os) {
         "              [--threads N[,N...]] [--accuracy MODE]\n"
         "              [--no-speculate] [--chaos-seed N] [--out FILE]\n"
         "              [--cache-dir DIR] [--cache-max-mb N]\n"
+        "              [--hosts H1,H2,...] [--launcher TEMPLATE]\n"
+        "              [--fetch TEMPLATE] [--fetch-timeout SECONDS]\n"
         "  orchestrate --resume DIR [same options]\n"
-        "                            evaluate a grid with a local worker\n"
-        "                            fleet: shard queue, straggler retry,\n"
+        "                            evaluate a grid with a worker fleet:\n"
+        "                            shard queue, straggler retry,\n"
         "                            speculative tail execution, live\n"
         "                            progress, resumable manifest;\n"
         "                            --threads N,N,... assigns per-slot\n"
-        "                            thread counts; --stall-timeout kills\n"
+        "                            (per-host with --hosts) thread\n"
+        "                            counts; --stall-timeout kills\n"
         "                            progress-silent workers; --chaos-seed\n"
         "                            runs a deterministic fault storm;\n"
         "                            --cache-dir shares one result store\n"
         "                            across the fleet (hit/miss tallies\n"
-        "                            in the summary)\n"
+        "                            in the summary);\n"
+        "                            --hosts places attempts on a fleet\n"
+        "                            (the name 'local' means plain\n"
+        "                            fork/exec), --launcher wraps worker\n"
+        "                            command lines (placeholders {host}\n"
+        "                            {cmd}, e.g. 'ssh {host} {cmd}'),\n"
+        "                            --fetch pulls each remote shard back\n"
+        "                            ({host} {remote} {local}, e.g.\n"
+        "                            'scp {host}:{remote} {local}') and\n"
+        "                            verifies it before acceptance\n"
         "  cache stats  --dir DIR    segment/entry/byte counts + corrupt\n"
         "  cache verify --dir DIR [--strict]\n"
         "                            verify every segment, dropping any\n"
@@ -341,6 +361,65 @@ std::size_t parse_u64_option(const char* option, const std::string& value) {
   return static_cast<std::size_t>(railcorr::util::parse_u64(entry));
 }
 
+/// The seeded chaos schedule: which fault (if any) attempt `attempt`
+/// of shard `shard` suffers. A pure function of its arguments, so the
+/// same seed replays the same fault storm across runs and across the
+/// worker-command and fetch-command builders (which must agree on
+/// whether an attempt's transfer is sabotaged). Without hosts the
+/// schedule is the original `u % 8` draw, byte-for-byte — adding a
+/// fleet must not silently reshuffle the single-machine storms chaos
+/// tests have pinned; with hosts the draw widens to `u % 12`, adding
+/// the four network faults. Cache slots stay clean without a cache
+/// (preserving the non-cache schedule), and callers must only consult
+/// this for attempts below the retry budget — the last allowed attempt
+/// of every shard runs clean, so a chaos run converges by
+/// construction.
+std::optional<railcorr::orch::FaultSpec> chaos_fault_for(
+    std::uint64_t seed, std::size_t shard, std::size_t attempt,
+    bool with_hosts, bool with_cache) {
+  using railcorr::orch::FaultKind;
+  using railcorr::orch::FaultSpec;
+  railcorr::SplitMix64 rng(seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)) ^
+                           (0xbf58476d1ce4e5b9ULL * (attempt + 1)));
+  const std::uint64_t u = rng.next();
+  switch (u % (with_hosts ? 12 : 8)) {
+    case 0:
+      return FaultSpec{FaultKind::kTornWrite,
+                       1 + static_cast<std::size_t>((u >> 8) % 120)};
+    case 1:
+      return FaultSpec{FaultKind::kCorruptTrailer, 0};
+    case 2:
+      return FaultSpec{FaultKind::kStall, 1};
+    case 3:
+      return FaultSpec{FaultKind::kKillAfterCells, 1};
+    case 4:
+      // Cache faults poison the shared store, not the worker: the
+      // attempt still succeeds, the damage must surface only as
+      // recomputes.
+      if (with_cache) {
+        return FaultSpec{FaultKind::kCacheTornWrite,
+                         1 + static_cast<std::size_t>((u >> 8) % 120)};
+      }
+      return std::nullopt;
+    case 5:
+      if (with_cache) {
+        return FaultSpec{FaultKind::kCacheCorruptSegment, 0};
+      }
+      return std::nullopt;
+    case 6:
+      return FaultSpec{FaultKind::kLaunchRefused, 0};
+    case 7:
+      return FaultSpec{FaultKind::kTransferTorn,
+                       1 + static_cast<std::size_t>((u >> 8) % 120)};
+    case 8:
+      return FaultSpec{FaultKind::kTransferStalled, 0};
+    case 9:
+      return FaultSpec{FaultKind::kHostFlap, 1};
+    default:
+      return std::nullopt;  // Clean attempt.
+  }
+}
+
 /// Write one sweep shard document to `out_path`, honoring any armed
 /// write-side fault points. The faults simulate exactly the failure the
 /// durability layer must survive: a torn write leaves a prefix of the
@@ -382,6 +461,7 @@ int cmd_sweep(std::vector<std::string> args) {
   railcorr::corridor::ShardSpec shard;
   railcorr::core::SweepRunOptions options;
   bool progress = false;
+  double heartbeat_s = 0.0;
   auto& faults = railcorr::orch::FaultInjector::instance();
   faults.arm_from_env();
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -401,6 +481,17 @@ int cmd_sweep(std::vector<std::string> args) {
       options.include_sizing = true;
     } else if (args[i] == "--progress") {
       progress = true;
+    } else if (args[i] == "--heartbeat") {
+      // Periodic liveness lines on the progress stream: a supervisor's
+      // --stall-timeout can then tell a slow cell (heartbeats keep
+      // flowing) from a dead transport (silence).
+      railcorr::util::SpecEntry entry;
+      entry.key = "--heartbeat";
+      entry.value = value_of("--heartbeat");
+      heartbeat_s = railcorr::util::parse_double(entry);
+      if (heartbeat_s <= 0) {
+        throw ConfigError("--heartbeat must be > 0 seconds");
+      }
     } else if (args[i] == "--fault") {
       // Seeded fault injection (chaos testing): arm a named failure —
       // torn-write=N, corrupt-trailer, stall=N, kill=N. Also armable
@@ -430,8 +521,20 @@ int cmd_sweep(std::vector<std::string> args) {
     throw ConfigError(
         "sweep: --progress requires --out (stdout carries the protocol)");
   }
+  if (heartbeat_s > 0 && !progress) {
+    throw ConfigError(
+        "sweep: --heartbeat requires --progress (heartbeats ride the "
+        "protocol stream)");
+  }
   if (cache_max_mb != 0 && !cache_dir.has_value()) {
     throw ConfigError("sweep: --cache-max-mb requires --cache-dir");
+  }
+
+  if (faults.armed(railcorr::orch::FaultKind::kLaunchRefused).has_value()) {
+    // ssh's connect-refused signature: exit 255 before any protocol
+    // event, before touching the plan — the supervisor must charge
+    // this to the host's health, not the shard's retry budget.
+    return 255;
   }
 
   const auto plan =
@@ -457,13 +560,30 @@ int cmd_sweep(std::vector<std::string> args) {
     std::cout << railcorr::orch::start_line(shard.index, shard.count, owned)
               << std::endl;
   }
+  // The heartbeat timer thread and the evaluator's progress callback
+  // both write protocol lines to stdout; one mutex keeps every line
+  // whole. The thread starts after the banner/start lines and stops
+  // before the cache/done lines, so only cell lines need the lock.
+  auto protocol_mutex = std::make_shared<std::mutex>();
+  std::optional<railcorr::orch::HeartbeatThread> heartbeat;
+  if (heartbeat_s > 0) {
+    heartbeat.emplace(heartbeat_s, [protocol_mutex](const std::string& line) {
+      std::lock_guard<std::mutex> lock(*protocol_mutex);
+      std::cout << line << std::endl;
+    });
+  }
+  auto* heartbeat_ptr = heartbeat.has_value() ? &*heartbeat : nullptr;
   const auto kill_after = faults.armed(railcorr::orch::FaultKind::kKillAfterCells);
   const auto stall_after = faults.armed(railcorr::orch::FaultKind::kStall);
-  if (progress || kill_after.has_value() || stall_after.has_value()) {
-    options.progress = [progress, kill_after, stall_after](
+  const auto flap_after = faults.armed(railcorr::orch::FaultKind::kHostFlap);
+  if (progress || kill_after.has_value() || stall_after.has_value() ||
+      flap_after.has_value()) {
+    options.progress = [progress, kill_after, stall_after, flap_after,
+                        protocol_mutex, heartbeat_ptr](
                            std::size_t index, std::size_t done,
                            std::size_t total) {
       if (progress) {
+        std::lock_guard<std::mutex> lock(*protocol_mutex);
         std::cout << railcorr::orch::cell_line(index, done, total)
                   << std::endl;
       }
@@ -472,11 +592,23 @@ int cmd_sweep(std::vector<std::string> args) {
         std::cout.flush();
         ::raise(SIGKILL);
       }
+      if (flap_after.has_value() &&
+          done >= std::max<std::size_t>(1, *flap_after)) {
+        // A flapping host: normal progress so far, then the connection
+        // drops — exit 255 mid-shard, no output file, no goodbye. The
+        // lock keeps a concurrent heartbeat from being torn mid-line.
+        std::lock_guard<std::mutex> lock(*protocol_mutex);
+        std::cout.flush();
+        ::_exit(255);
+      }
       if (stall_after.has_value() &&
           done >= std::max<std::size_t>(1, *stall_after)) {
         // Hang silently, forever: the process stays alive but emits no
         // further protocol events — the shape of a deadlocked worker.
-        // Only the orchestrator's --stall-timeout can clear it.
+        // The heartbeat must die first (a hung worker that kept
+        // heartbeating would defeat the very liveness check this fault
+        // exists to exercise); only --stall-timeout can clear us.
+        if (heartbeat_ptr != nullptr) heartbeat_ptr->stop();
         std::cout.flush();
         while (true) ::pause();
       }
@@ -484,6 +616,7 @@ int cmd_sweep(std::vector<std::string> args) {
   }
   const std::string document =
       railcorr::core::run_sweep_shard(plan, shard, options);
+  if (heartbeat.has_value()) heartbeat->stop();
   if (out_path.has_value()) {
     write_shard_output(*out_path, document);
   } else {
@@ -556,6 +689,9 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
   std::vector<std::size_t> worker_threads;
   std::optional<std::size_t> inject_kill;
   std::optional<std::uint64_t> chaos_seed;
+  std::optional<std::string> launcher_text;
+  std::optional<std::string> fetch_text;
+  bool fetch_timeout_given = false;
   railcorr::orch::OrchestrateOptions options;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto value_of = [&](const char* option) {
@@ -652,12 +788,69 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
     } else if (args[i] == "--cache-max-mb") {
       cache_max_mb =
           parse_u64_option("--cache-max-mb", value_of("--cache-max-mb"));
+    } else if (args[i] == "--hosts") {
+      options.hosts = railcorr::orch::parse_host_list(value_of("--hosts"));
+    } else if (args[i] == "--launcher") {
+      launcher_text = value_of("--launcher");
+    } else if (args[i] == "--fetch") {
+      fetch_text = value_of("--fetch");
+    } else if (args[i] == "--fetch-timeout") {
+      railcorr::util::SpecEntry entry;
+      entry.key = "--fetch-timeout";
+      entry.value = value_of("--fetch-timeout");
+      options.fetch_timeout_s = railcorr::util::parse_double(entry);
+      if (options.fetch_timeout_s < 0) {
+        throw ConfigError("--fetch-timeout must be >= 0 seconds");
+      }
+      fetch_timeout_given = true;
     } else {
       throw ConfigError("orchestrate: unknown option '" + args[i] + "'");
     }
   }
   if (cache_max_mb != 0 && !cache_dir.has_value()) {
     throw ConfigError("orchestrate: --cache-max-mb requires --cache-dir");
+  }
+
+  // The distributed-flag matrix is validated before any filesystem
+  // work, so a misconfigured fleet fails fast with a usage error, not
+  // halfway into a run directory.
+  if (launcher_text.has_value() && options.hosts.empty()) {
+    throw ConfigError(
+        "orchestrate: --launcher requires --hosts (a launcher template "
+        "without a fleet has nothing to launch onto)");
+  }
+  if (fetch_text.has_value() && options.hosts.empty()) {
+    throw ConfigError(
+        "orchestrate: --fetch requires --hosts (fetching only applies to "
+        "remote workers)");
+  }
+  if (fetch_timeout_given && !fetch_text.has_value()) {
+    throw ConfigError("orchestrate: --fetch-timeout requires --fetch");
+  }
+  std::optional<railcorr::orch::LaunchTemplate> launcher;
+  if (launcher_text.has_value()) {
+    launcher = railcorr::orch::LaunchTemplate::parse(*launcher_text);
+  }
+  std::optional<railcorr::orch::FetchTemplate> fetch_template;
+  if (fetch_text.has_value()) {
+    fetch_template = railcorr::orch::FetchTemplate::parse(*fetch_text);
+  }
+  for (const auto& host : options.hosts) {
+    if (host != railcorr::orch::kLocalHost && !launcher.has_value()) {
+      throw ConfigError("orchestrate: --hosts lists remote host '" + host +
+                        "' but no --launcher template is configured (only "
+                        "the reserved name 'local' runs without one)");
+    }
+  }
+  if (!options.hosts.empty() && worker_threads.size() > 1 &&
+      worker_threads.size() != options.hosts.size()) {
+    throw ConfigError(
+        "orchestrate: --threads list (" +
+        std::to_string(worker_threads.size()) +
+        " entries) must match --hosts (" +
+        std::to_string(options.hosts.size()) +
+        " host(s)) — with a fleet, thread counts are per host, not per "
+        "slot");
   }
 
   std::string dir;
@@ -709,14 +902,39 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
   const std::string worker_plan = dir + "/plan.sweep";
   const bool sizing = options.include_sizing;
   const std::size_t retries = options.retries;
+  const std::vector<std::string> fleet_hosts = options.hosts;
+  // Workers heartbeat at a quarter of the stall budget: a slow cell
+  // keeps the liveness stream alive, so --stall-timeout only fires on
+  // genuinely dead workers (hung evaluators, dropped transports).
+  const double heartbeat_s =
+      options.stall_timeout_s > 0
+          ? std::max(0.05, options.stall_timeout_s / 4.0)
+          : 0.0;
   options.command =
       [self, worker_plan, accuracy, worker_threads, sizing, inject_kill,
-       chaos_seed, retries, cache_dir,
-       cache_max_mb](const railcorr::orch::WorkerAttempt& attempt) {
-        // Slot k gets the k-th --threads entry; the last entry covers
-        // every higher slot, so a single value stays homogeneous.
+       chaos_seed, retries, cache_dir, cache_max_mb, fleet_hosts, launcher,
+       heartbeat_s](const railcorr::orch::WorkerAttempt& attempt) {
+        // Slot k gets the k-th --threads entry — or host k with a
+        // fleet, where thread counts describe machines, not slots; the
+        // last entry covers every higher index, so a single value
+        // stays homogeneous.
+        std::size_t thread_index = attempt.slot;
+        if (!fleet_hosts.empty()) {
+          for (std::size_t h = 0; h < fleet_hosts.size(); ++h) {
+            if (fleet_hosts[h] == attempt.host) {
+              thread_index = h;
+              break;
+            }
+          }
+        }
         const std::size_t threads = worker_threads[std::min(
-            attempt.slot, worker_threads.size() - 1)];
+            thread_index, worker_threads.size() - 1)];
+        // The worker writes to worker_out_path (== out_path except for
+        // remote attempts under a fetch step, whose file the fetch
+        // command pulls back to out_path afterwards).
+        const std::string& worker_out = attempt.worker_out_path.empty()
+                                            ? attempt.out_path
+                                            : attempt.worker_out_path;
         std::vector<std::string> argv = {
             self,
             "sweep",
@@ -726,7 +944,7 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
             std::to_string(attempt.shard) + "/" +
                 std::to_string(attempt.shard_count),
             "--out",
-            attempt.out_path,
+            worker_out,
             "--progress",
             "--accuracy",
             accuracy,
@@ -734,6 +952,10 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
             std::to_string(threads),
         };
         if (sizing) argv.push_back("--include-sizing");
+        if (heartbeat_s > 0) {
+          argv.push_back("--heartbeat");
+          argv.push_back(std::to_string(heartbeat_s));
+        }
         if (cache_dir.has_value()) {
           // The whole fleet shares one store: the segment publish /
           // lock protocol makes concurrent workers safe, and the
@@ -751,52 +973,20 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
           argv.push_back("--fault");
           argv.push_back("kill=1");
         }
-        // Chaos schedule: a pure function of (seed, shard, attempt),
-        // so the same seed replays the same fault storm. Attempts at
-        // or past the retry budget are never faulted — fail_count can
-        // only reach the budget through faulted earlier attempts, and
+        // Chaos schedule (see chaos_fault_for): attempts at or past
+        // the retry budget are never faulted — fail_count can only
+        // reach the budget through faulted earlier attempts, and
         // attempt ordinals grow at least as fast as fail_count, so the
         // last allowed attempt of every shard runs clean and the run
-        // converges by construction.
+        // converges by construction. Transfer faults belong to the
+        // fetch builder, not the worker.
         if (chaos_seed.has_value() && attempt.attempt < retries) {
-          railcorr::SplitMix64 rng(
-              *chaos_seed ^ (0x9e3779b97f4a7c15ULL * (attempt.shard + 1)) ^
-              (0xbf58476d1ce4e5b9ULL * (attempt.attempt + 1)));
-          const std::uint64_t u = rng.next();
-          std::optional<railcorr::orch::FaultSpec> fault;
-          switch (u % 8) {
-            case 0:
-              fault = {railcorr::orch::FaultKind::kTornWrite,
-                       1 + static_cast<std::size_t>((u >> 8) % 120)};
-              break;
-            case 1:
-              fault = {railcorr::orch::FaultKind::kCorruptTrailer, 0};
-              break;
-            case 2:
-              fault = {railcorr::orch::FaultKind::kStall, 1};
-              break;
-            case 3:
-              fault = {railcorr::orch::FaultKind::kKillAfterCells, 1};
-              break;
-            case 4:
-              // Cache faults poison the shared store, not the worker:
-              // the attempt still succeeds, the damage must surface
-              // only as recomputes. Without a cache they stay clean
-              // slots, preserving the non-cache schedule.
-              if (cache_dir.has_value()) {
-                fault = {railcorr::orch::FaultKind::kCacheTornWrite,
-                         1 + static_cast<std::size_t>((u >> 8) % 120)};
-              }
-              break;
-            case 5:
-              if (cache_dir.has_value()) {
-                fault = {railcorr::orch::FaultKind::kCacheCorruptSegment, 0};
-              }
-              break;
-            default:
-              break;  // Clean attempt: faults on half the schedule.
-          }
-          if (fault.has_value()) {
+          const auto fault =
+              chaos_fault_for(*chaos_seed, attempt.shard, attempt.attempt,
+                              !fleet_hosts.empty(), cache_dir.has_value());
+          if (fault.has_value() &&
+              fault->kind != railcorr::orch::FaultKind::kTransferTorn &&
+              fault->kind != railcorr::orch::FaultKind::kTransferStalled) {
             const std::string spec =
                 railcorr::orch::fault_spec_string(*fault);
             std::cerr << "[orchestrate] chaos: shard " << attempt.shard
@@ -806,8 +996,51 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
             argv.push_back(spec);
           }
         }
+        // A remote attempt's command line is wrapped in the launcher
+        // template ({cmd} becomes one shell-quoted word); the reserved
+        // host 'local' and non-fleet runs fork/exec the argv directly.
+        if (launcher.has_value() && !attempt.host.empty() &&
+            attempt.host != railcorr::orch::kLocalHost) {
+          return launcher->build(attempt.host, argv);
+        }
         return argv;
       };
+  if (fetch_template.has_value()) {
+    options.fetch = [fetch = *fetch_template, chaos_seed, retries,
+                     has_cache = cache_dir.has_value()](
+                        const railcorr::orch::WorkerAttempt& attempt)
+        -> std::vector<std::string> {
+      // The chaos schedule sabotages selected transfers instead of the
+      // worker: a torn transfer delivers a prefix of the shard file
+      // (the verify-after-fetch step must catch it), a stalled one
+      // hangs until the fetch timeout kills it.
+      if (chaos_seed.has_value() && attempt.attempt < retries) {
+        const auto fault =
+            chaos_fault_for(*chaos_seed, attempt.shard, attempt.attempt,
+                            /*with_hosts=*/true, has_cache);
+        if (fault.has_value() &&
+            fault->kind == railcorr::orch::FaultKind::kTransferTorn) {
+          std::cerr << "[orchestrate] chaos: shard " << attempt.shard
+                    << " attempt " << attempt.attempt << " fetch fault "
+                    << railcorr::orch::fault_spec_string(*fault) << "\n";
+          return {"/bin/sh", "-c",
+                  "head -c " + std::to_string(fault->param) + " " +
+                      railcorr::orch::shell_quote(attempt.worker_out_path) +
+                      " > " +
+                      railcorr::orch::shell_quote(attempt.out_path)};
+        }
+        if (fault.has_value() &&
+            fault->kind == railcorr::orch::FaultKind::kTransferStalled) {
+          std::cerr << "[orchestrate] chaos: shard " << attempt.shard
+                    << " attempt " << attempt.attempt << " fetch fault "
+                    << railcorr::orch::fault_spec_string(*fault) << "\n";
+          return {"/bin/sh", "-c", "sleep 3600"};
+        }
+      }
+      return fetch.build(attempt.host, attempt.worker_out_path,
+                         attempt.out_path);
+    };
+  }
   options.log = &std::cerr;
 
   const auto result = railcorr::orch::orchestrate(plan, dir, options);
@@ -832,6 +1065,15 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
   if (result.stats.cache_hits + result.stats.cache_misses > 0) {
     std::cout << "orchestrate: cache " << result.stats.cache_hits
               << " hit(s) / " << result.stats.cache_misses << " miss(es)\n";
+  }
+  if (!options.hosts.empty()) {
+    std::cout << "orchestrate: transport " << result.stats.launch_refused
+              << " refused / " << result.stats.connection_lost << " lost / "
+              << result.stats.transfer_corrupt << " corrupt / "
+              << result.stats.transfer_stalled << " stalled; hosts "
+              << result.stats.host_quarantines << " quarantine(s) / "
+              << result.stats.host_recoveries << " recover(ies) / "
+              << result.stats.hosts_dead << " dead\n";
   }
   return 0;
 }
