@@ -1,0 +1,199 @@
+/// Observability overhead benchmark: the price of an instrumented call
+/// site, measured.
+///
+/// The telemetry contract (docs/ARCHITECTURE.md, "Observability") says
+/// a disabled recorder costs one relaxed atomic load per ObsSpan or
+/// instant call site — cheap enough to leave the instrumentation in the
+/// sweep/cache/pool hot paths unconditionally. This benchmark measures
+/// that disabled path against the fully-enabled path and emits the
+/// ratio as `disabled_vs_enabled_speedup`, the metric CI gates against
+/// a recorded floor (bench/baselines/obs.json): if the disabled path
+/// ever grows real work — an allocation, a clock read, a mutex — the
+/// ratio collapses and the gate fails before the regression taxes every
+/// un-traced run. Counter adds and histogram records (the always-on
+/// metrics hot path) are timed alongside for the record.
+///
+/// The enabled measurement uses a deliberately tiny ring so the steady
+/// state includes wrap-around (the worst case), and the run doubles as
+/// a correctness check: ring occupancy, drop accounting, and a parse of
+/// the serialized document are verified in-process.
+///
+/// Usage: bench_obs [--json=PATH] [--min-seconds=S]
+///          [--baseline=PATH] [--baseline-tolerance=F] [--check-abs-times]
+///
+/// Exit status: 0 ok, 1 recorder-correctness violation, 2 usage error,
+/// 3 perf regression against the baseline.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "baseline_gate.hpp"
+#include "bench_harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace railcorr;
+
+/// Spans per harness iteration: amortizes the lambda-call overhead so
+/// the per-op figures compare call-site costs, not harness plumbing.
+constexpr std::size_t kBatch = 4096;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::string> json_path;
+  std::optional<std::string> baseline_path;
+  double baseline_tolerance = 0.5;
+  bool check_abs_times = false;
+  double min_seconds = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = std::string(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = std::string(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--baseline-tolerance=", 21) == 0) {
+      try {
+        baseline_tolerance = std::stod(argv[i] + 21);
+      } catch (const std::exception&) {
+        std::cerr << "invalid --baseline-tolerance value: " << (argv[i] + 21)
+                  << '\n';
+        return 2;
+      }
+      if (baseline_tolerance < 0.0) {
+        std::cerr << "--baseline-tolerance must be >= 0 (got "
+                  << baseline_tolerance << ")\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--check-abs-times") == 0) {
+      check_abs_times = true;
+    } else if (std::strncmp(argv[i], "--min-seconds=", 14) == 0) {
+      try {
+        min_seconds = std::stod(argv[i] + 14);
+      } catch (const std::exception&) {
+        std::cerr << "invalid --min-seconds value: " << (argv[i] + 14) << '\n';
+        return 2;
+      }
+    } else {
+      std::cerr << "unknown argument: " << argv[i]
+                << " (usage: bench_obs [--json=PATH] [--min-seconds=S]"
+                   " [--baseline=PATH] [--baseline-tolerance=F]"
+                   " [--check-abs-times])\n";
+      return 2;
+    }
+  }
+
+  bench::BenchHarness harness("obs");
+  harness.add_context("batch", std::to_string(kBatch));
+  auto& recorder = obs::TraceRecorder::instance();
+  bool correct = true;
+
+  // ---- Recorder correctness under wrap (before any timing) -----------
+  recorder.enable(/*ring_capacity=*/8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    recorder.instant("tick", "bench", "i", i);
+  }
+  if (recorder.snapshot().size() != 8 || recorder.dropped() != 12) {
+    std::cerr << "CORRECTNESS VIOLATION: ring holds "
+              << recorder.snapshot().size() << " events, dropped "
+              << recorder.dropped() << " (want 8 kept / 12 dropped)\n";
+    correct = false;
+  }
+  if (!obs::parse_trace(recorder.serialize()).ok) {
+    std::cerr << "CORRECTNESS VIOLATION: serialized trace fails its own"
+                 " parser\n";
+    correct = false;
+  }
+  recorder.disable();
+
+  // ---- Disabled span call site (the always-on cost) -------------------
+  // This is the price every sweep cell, cache lookup, and pool task
+  // pays in an un-traced run: one relaxed load, no clock, no write.
+  const auto& disabled = harness.run(
+      "span_disabled_x4096", 1,
+      [&] {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          const obs::ObsSpan span("cell", "bench", "i", i);
+        }
+      },
+      min_seconds);
+
+  // ---- Enabled span call site (ring in steady wrap) -------------------
+  recorder.enable(/*ring_capacity=*/1 << 10);
+  auto& enabled = harness.run(
+      "span_enabled_x4096", 1,
+      [&] {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          const obs::ObsSpan span("cell", "bench", "i", i);
+        }
+      },
+      min_seconds);
+  enabled.metrics.emplace_back("disabled_vs_enabled_speedup",
+                               enabled.ns_per_op / disabled.ns_per_op);
+  if (recorder.snapshot().size() != (1u << 10) || recorder.dropped() == 0) {
+    std::cerr << "CORRECTNESS VIOLATION: enabled benchmark ring not in"
+                 " steady wrap (" << recorder.snapshot().size()
+              << " events, " << recorder.dropped() << " dropped)\n";
+    correct = false;
+  }
+  recorder.disable();
+
+  // ---- Metrics hot path: counter add, histogram record ----------------
+  auto& registry = obs::MetricsRegistry::instance();
+  auto& counter = registry.counter("bench.counter");
+  harness.run(
+      "counter_add_x4096", 1,
+      [&] {
+        for (std::size_t i = 0; i < kBatch; ++i) counter.add(1);
+      },
+      min_seconds);
+  auto& hist = registry.histogram("bench.usec");
+  harness.run(
+      "histogram_record_x4096", 1,
+      [&] {
+        for (std::size_t i = 0; i < kBatch; ++i) hist.record(i & 1023);
+      },
+      min_seconds);
+  if (counter.value() == 0 || hist.count() == 0 ||
+      !obs::parse_metrics_json(registry.snapshot_json()).ok) {
+    std::cerr << "CORRECTNESS VIOLATION: metrics registry lost the"
+                 " benchmark's samples or renders an unparseable"
+                 " snapshot\n";
+    correct = false;
+  }
+
+  harness.write_json(std::cout);
+  if (json_path && !harness.write_json_file(*json_path)) {
+    std::cerr << "failed to write " << *json_path << '\n';
+    return 2;
+  }
+  if (!correct) return 1;
+
+  if (baseline_path) {
+    std::ifstream file(*baseline_path);
+    if (!file) {
+      std::cerr << "failed to read baseline " << *baseline_path << '\n';
+      return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    const auto baseline = bench::parse_harness_json(text.str());
+    if (baseline.empty()) {
+      std::cerr << "baseline " << *baseline_path
+                << " contains no benchmarks\n";
+      return 2;
+    }
+    const auto gate = bench::check_against_baseline(
+        harness.results(), baseline, baseline_tolerance, std::cerr,
+        check_abs_times);
+    std::cerr << "perf gate: " << gate.checked << " checks, "
+              << gate.violations << " violations (tolerance "
+              << baseline_tolerance << ")\n";
+    if (!gate.passed()) return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+#!/bin/sh
+# Observability smoke (registered as ctest `cli/obs_smoke` and run by
+# CI): the run-telemetry contract on the same 64-cell grid as the other
+# smokes —
+#   1. telemetry is provably inert: a traced 4-worker orchestrate (and a
+#      traced standalone sweep, and a traced chaos-seeded orchestrate)
+#      produce result artifacts byte-identical to their untraced twins,
+#   2. the traced orchestrate assembles a fleet timeline: trace.json is
+#      plain valid JSON with one process_name lane per worker plus the
+#      orchestrator's own, and run_metrics.json is the plain-JSON
+#      counter/histogram rollup,
+#   3. the run summary is always printed (and appended to the manifest
+#      as an `info` line), traced or not,
+#   4. `railcorr trace merge|stats` consume worker `.trace` files, and
+#      a torn input fails cleanly: exit 1, no partial output file.
+#
+# The disabled-path overhead itself is measured by bench_obs (and gated
+# against a recorded floor in CI); this smoke pins the byte-identity
+# contract that makes enabling telemetry free of risk.
+#
+# usage: obs_smoke.sh <railcorr-binary>
+set -eu
+
+BIN="$1"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Plain-JSON validation needs a JSON parser; python3 is present in CI
+# and on dev boxes, but the smoke degrades to structural greps without.
+if command -v python3 > /dev/null 2>&1; then
+  JSON_CHECK="python3 -m json.tool"
+else
+  JSON_CHECK=""
+fi
+
+# The same cheap 64-cell grid as the orchestrate/chaos/cache smokes.
+cat > "$TMP/plan.sweep" <<'PLAN'
+base = paper
+set max_repeaters = 2
+set isd_search.isd_step_m = 100
+set isd_search.sample_step_m = 50
+axis radio.lp_eirp_dbm = 37, 38, 39, 40
+axis timetable.trains_per_hour = 6, 8, 10, 12
+axis timetable.night_hours = 4, 5
+axis radio.hp_eirp_dbm = 60, 61
+PLAN
+
+# --- 1a: untraced baselines ------------------------------------------
+"$BIN" sweep --plan "$TMP/plan.sweep" --out "$TMP/plain.csv"
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/run_plain" \
+    --workers 4 > "$TMP/orch_plain.log"
+
+# The run summary prints on every orchestrate, traced or not, and is
+# appended to the manifest as an `info` audit line.
+if ! grep -q "run summary: wall=" "$TMP/orch_plain.log"; then
+  echo "FAIL: untraced orchestrate printed no run summary:" >&2
+  cat "$TMP/orch_plain.log" >&2
+  exit 1
+fi
+if ! grep -q "^info run summary: " "$TMP/run_plain/orchestrate.manifest"; then
+  echo "FAIL: manifest carries no info summary line" >&2
+  exit 1
+fi
+
+# --- 1b: traced standalone sweep is byte-identical --------------------
+"$BIN" sweep --plan "$TMP/plan.sweep" --out "$TMP/traced.csv" \
+    --trace "$TMP/sweep.trace" --metrics "$TMP/sweep.metrics.json"
+if ! cmp "$TMP/traced.csv" "$TMP/plain.csv"; then
+  echo "FAIL: traced sweep output differs from the untraced sweep" >&2
+  exit 1
+fi
+for f in "$TMP/sweep.trace" "$TMP/sweep.metrics.json"; do
+  if [ ! -s "$f" ]; then
+    echo "FAIL: traced sweep did not write $f" >&2
+    exit 1
+  fi
+done
+
+# --- 2: traced orchestrate assembles the fleet timeline ---------------
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/run_traced" \
+    --workers 4 --trace-dir "$TMP/run_traced/telemetry" \
+    > "$TMP/orch_traced.log"
+
+if ! cmp "$TMP/run_traced/merged.csv" "$TMP/run_plain/merged.csv"; then
+  echo "FAIL: traced orchestrate merge differs from the untraced merge" >&2
+  exit 1
+fi
+TRACE="$TMP/run_traced/telemetry/trace.json"
+METRICS="$TMP/run_traced/telemetry/run_metrics.json"
+for f in "$TRACE" "$METRICS"; do
+  if [ ! -s "$f" ]; then
+    echo "FAIL: traced orchestrate did not write $f" >&2
+    exit 1
+  fi
+  if [ -n "$JSON_CHECK" ] && ! $JSON_CHECK "$f" > /dev/null; then
+    echo "FAIL: $f is not valid JSON" >&2
+    exit 1
+  fi
+done
+# One lane per worker shard (8 shards by default) plus the
+# orchestrator's own; lanes are process_name metadata rows.
+lanes="$(grep -c '"process_name"' "$TRACE")"
+if [ "$lanes" -lt 5 ]; then
+  echo "FAIL: merged trace has only $lanes lane(s)" >&2
+  exit 1
+fi
+if ! grep -q '"orchestrator"' "$TRACE"; then
+  echo "FAIL: merged trace lacks the orchestrator lane" >&2
+  exit 1
+fi
+if ! grep -q '"sweep.cells":64' "$METRICS"; then
+  echo "FAIL: run_metrics.json did not roll up 64 swept cells:" >&2
+  cat "$METRICS" >&2
+  exit 1
+fi
+if ! grep -q "run summary: wall=" "$TMP/orch_traced.log"; then
+  echo "FAIL: traced orchestrate printed no run summary" >&2
+  exit 1
+fi
+
+# --- 3: inert under seeded chaos too ----------------------------------
+# The chaos schedule keys on (seed, shard, attempt) — never on argv —
+# so the traced storm replays the identical fault sequence.
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/chaos_plain" \
+    --workers 4 --chaos-seed 7 > /dev/null 2>&1
+"$BIN" orchestrate --plan "$TMP/plan.sweep" --out-dir "$TMP/chaos_traced" \
+    --workers 4 --chaos-seed 7 \
+    --trace-dir "$TMP/chaos_traced/telemetry" > /dev/null 2>&1
+if ! cmp "$TMP/chaos_plain/merged.csv" "$TMP/chaos_traced/merged.csv"; then
+  echo "FAIL: tracing changed the chaos run's merged bytes" >&2
+  exit 1
+fi
+if ! cmp "$TMP/chaos_traced/merged.csv" "$TMP/plain.csv"; then
+  echo "FAIL: traced chaos merge differs from the single-process sweep" >&2
+  exit 1
+fi
+
+# --- 4: trace merge|stats, and torn inputs fail cleanly ---------------
+"$BIN" trace stats "$TMP/sweep.trace" > "$TMP/stats.log"
+if ! grep -q "events=" "$TMP/stats.log"; then
+  echo "FAIL: trace stats printed no event tally:" >&2
+  cat "$TMP/stats.log" >&2
+  exit 1
+fi
+first_two="$(ls "$TMP/run_traced/telemetry/"*.trace | head -n 2)"
+# shellcheck disable=SC2086
+"$BIN" trace merge --out "$TMP/merged_pair.json" $first_two
+if [ -n "$JSON_CHECK" ] && ! $JSON_CHECK "$TMP/merged_pair.json" > /dev/null
+then
+  echo "FAIL: trace merge output is not valid JSON" >&2
+  exit 1
+fi
+
+# A torn worker trace (crash mid-write) must be rejected: exit 1 and no
+# partial --out file left behind.
+head -c 100 "$TMP/sweep.trace" > "$TMP/torn.trace"
+if "$BIN" trace merge --out "$TMP/torn_out.json" \
+    "$TMP/sweep.trace" "$TMP/torn.trace" 2> /dev/null; then
+  echo "FAIL: trace merge accepted a torn input" >&2
+  exit 1
+fi
+if [ -e "$TMP/torn_out.json" ]; then
+  echo "FAIL: trace merge left partial output for a torn input" >&2
+  exit 1
+fi
+
+echo "cli obs smoke OK"

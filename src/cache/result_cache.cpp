@@ -9,6 +9,8 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orch/faultpoint.hpp"
 #include "util/durable_io.hpp"
 
@@ -279,6 +281,7 @@ std::size_t gc_dir(const std::string& dir, std::size_t max_bytes) {
 }
 
 bool ResultCache::open(const Options& options, std::string* error) {
+  const obs::ObsSpan span("open", "cache");
   open_ = false;
   options_ = options;
   stats_ = {};
@@ -324,13 +327,24 @@ bool ResultCache::open(const Options& options, std::string* error) {
 
 std::optional<std::string_view> ResultCache::lookup(std::uint64_t key) {
   if (!open_) return std::nullopt;
+  auto& metrics = obs::MetricsRegistry::instance();
+  static obs::Counter& hits_counter = metrics.counter("cache.hits");
+  static obs::Counter& misses_counter = metrics.counter("cache.misses");
+  static obs::Histogram& hit_hist = metrics.histogram("cache.hit_usec");
+  static obs::Histogram& miss_hist = metrics.histogram("cache.miss_usec");
+  const bool timed = metrics.enabled();
+  const std::uint64_t start = timed ? obs::usec_now() : 0;
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    misses_counter.add();
+    if (timed) miss_hist.record(obs::usec_now() - start);
     return std::nullopt;
   }
   ++stats_.hits;
+  hits_counter.add();
   if (it->second.segment != npos) segment_hit_[it->second.segment] = true;
+  if (timed) hit_hist.record(obs::usec_now() - start);
   return std::string_view(it->second.row);
 }
 
@@ -343,10 +357,17 @@ void ResultCache::insert(std::uint64_t key, std::string_view row) {
   index_[key] = IndexedRow{std::string(row), npos};
   staged_.push_back(SegmentEntry{key, std::string(row)});
   ++stats_.inserted;
+  static obs::Counter& inserts_counter =
+      obs::MetricsRegistry::instance().counter("cache.inserts");
+  inserts_counter.add();
 }
 
 bool ResultCache::flush(std::string* error) {
   if (!open_) return true;
+  const obs::ObsSpan span("flush", "cache", "staged", staged_.size());
+  static obs::Histogram& flush_hist =
+      obs::MetricsRegistry::instance().histogram("cache.flush_usec");
+  const obs::ScopedUsecTimer flush_timer(flush_hist);
   auto& faults = orch::FaultInjector::instance();
 
   std::string published_path;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/evaluator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/scenario_registry.hpp"
 #include "core/scenario_spec.hpp"
 #include "corridor/multi_segment.hpp"
@@ -189,6 +191,23 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
   std::string document = banner + "\n" + header + "\n";
   const auto indices = shard.indices(plan.size());
 
+  // Telemetry is observation only: timing wraps rows that are already
+  // (or about to be) rendered by the unchanged evaluation paths, so
+  // traced and untraced runs emit byte-identical documents. Per-cell
+  // clocks are read only when someone consumes them (a progress
+  // callback or an enabled metrics registry).
+  auto& metrics = obs::MetricsRegistry::instance();
+  static obs::Counter& cells_counter = metrics.counter("sweep.cells");
+  static obs::Counter& cached_counter = metrics.counter("sweep.cells_cached");
+  static obs::Histogram& cell_hist = metrics.histogram("sweep.cell_usec");
+  const bool timed = static_cast<bool>(options.progress) || metrics.enabled();
+  const auto cell_usec = [timed](std::uint64_t start) -> std::uint64_t {
+    if (!timed) return 0;
+    const std::uint64_t now = obs::usec_now();
+    return now >= start ? now - start : 0;
+  };
+  const obs::ObsSpan shard_span("shard", "sweep", "cells", indices.size());
+
   // The cache key covers everything a row's bytes depend on: the
   // banner (plan fingerprint + grid + accuracy tag), the cell index,
   // and the header (column set). A hit therefore IS the row a cold
@@ -207,20 +226,31 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
     // trivially ordered.
     std::size_t done = 0;
     for (const std::size_t index : indices) {
-      std::string row;
-      if (cache != nullptr) {
-        const std::uint64_t key = key_of(index);
-        if (const auto hit = cache->lookup(key)) {
-          row = std::string(*hit);
+      const std::uint64_t start = timed ? obs::usec_now() : 0;
+      std::uint64_t usec = 0;
+      {
+        const obs::ObsSpan span("cell", "sweep", "index", index);
+        std::string row;
+        if (cache != nullptr) {
+          const std::uint64_t key = key_of(index);
+          if (const auto hit = cache->lookup(key)) {
+            row = std::string(*hit);
+            cached_counter.add();
+          } else {
+            row = evaluate_sweep_cell(plan, index, options);
+            cache->insert(key, row);
+          }
         } else {
           row = evaluate_sweep_cell(plan, index, options);
-          cache->insert(key, row);
         }
-      } else {
-        row = evaluate_sweep_cell(plan, index, options);
+        document += row + "\n";
+        usec = cell_usec(start);
       }
-      document += row + "\n";
-      if (options.progress) options.progress(index, ++done, indices.size());
+      cells_counter.add();
+      if (metrics.enabled()) cell_hist.record(usec);
+      if (options.progress) {
+        options.progress(index, ++done, indices.size(), usec);
+      }
     }
     if (cache != nullptr) cache->flush();
     return document;
@@ -239,6 +269,7 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
   // cells pay for weather synthesis — the incremental-sweep win
   // compounds with the batching one.
   std::vector<std::string> rows(indices.size());
+  std::vector<std::uint64_t> usecs(indices.size(), 0);
   std::vector<std::size_t> missed;
   missed.reserve(indices.size());
   for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -246,8 +277,11 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
       missed.push_back(i);
       continue;
     }
+    const std::uint64_t start = timed ? obs::usec_now() : 0;
     if (const auto hit = cache->lookup(key_of(indices[i]))) {
       rows[i] = std::string(*hit);
+      usecs[i] = cell_usec(start);
+      cached_counter.add();
     } else {
       missed.push_back(i);
     }
@@ -265,19 +299,34 @@ std::string run_sweep_shard(const corridor::SweepPlan& plan,
                                     scenario.sizing_ladder});
     scenarios.push_back(std::move(scenario));
   }
-  const auto sized = solar::size_jobs(jobs);
+  const auto sized = [&] {
+    // The batch is shared across cells, so it gets its own span rather
+    // than being smeared into per-cell figures.
+    const obs::ObsSpan batch_span("sizing_batch", "sweep", "cells",
+                                  missed.size());
+    return solar::size_jobs(jobs);
+  }();
   for (std::size_t j = 0; j < missed.size(); ++j) {
     const std::size_t i = missed[j];
-    rows[i] = render_row(plan, indices[i], scenarios[j], options, &sized[j]);
+    const std::uint64_t start = timed ? obs::usec_now() : 0;
+    {
+      const obs::ObsSpan span("cell", "sweep", "index", indices[i]);
+      rows[i] = render_row(plan, indices[i], scenarios[j], options, &sized[j]);
+    }
+    usecs[i] = cell_usec(start);
     if (cache != nullptr) cache->insert(key_of(indices[i]), rows[i]);
   }
 
   for (std::size_t i = 0; i < indices.size(); ++i) {
     document += rows[i] + "\n";
+    cells_counter.add();
+    if (metrics.enabled()) cell_hist.record(usecs[i]);
     // Progress trails the batched simulation here: the heavy weather
     // synthesis ran up front for the whole shard, so cells then render
     // in a burst.
-    if (options.progress) options.progress(indices[i], i + 1, indices.size());
+    if (options.progress) {
+      options.progress(indices[i], i + 1, indices.size(), usecs[i]);
+    }
   }
   if (cache != nullptr) cache->flush();
   return document;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -35,12 +36,20 @@ struct SweepRunOptions {
   /// the output.
   cache::ResultCache* cache = nullptr;
   /// Called by run_sweep_shard after each owned cell's row is rendered
-  /// with (grid cell index, cells finished, cells owned by the shard).
-  /// The CLI's `--progress` mode forwards these to the orchestrator's
-  /// line protocol. Progress emission cannot perturb the evaluation:
-  /// rows are already rendered when the callback fires. Empty = off.
-  std::function<void(std::size_t index, std::size_t done,
-                     std::size_t total)>
+  /// with (grid cell index, cells finished, cells owned by the shard,
+  /// the cell's compute wall time in usec). The CLI's `--progress`
+  /// mode forwards these to the orchestrator's line protocol. Progress
+  /// emission cannot perturb the evaluation: rows are already rendered
+  /// when the callback fires. Empty = off.
+  ///
+  /// Timing semantics: cache hits report (near-)zero usec, and on the
+  /// batched sizing path a cell reports only its per-cell render time
+  /// — the shard-wide batched weather synthesis is shared and is not
+  /// attributed to individual cells (it appears as the `sizing_batch`
+  /// span in a trace instead). The figure is a scheduling signal for
+  /// adaptive shard sizing, not an exact cost accounting.
+  std::function<void(std::size_t index, std::size_t done, std::size_t total,
+                     std::uint64_t usec)>
       progress;
 };
 

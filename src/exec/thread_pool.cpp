@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace railcorr::exec {
 
 namespace {
@@ -25,6 +27,34 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  // Task-latency telemetry wraps the job only when the metrics
+  // registry is on at submit time (the disabled path pays one relaxed
+  // load and nothing else). The wrapper runs the identical job on the
+  // identical thread — scheduling order and results are untouched.
+  auto& metrics = obs::MetricsRegistry::instance();
+  if (metrics.enabled()) {
+    static obs::Counter& tasks_counter = metrics.counter("exec.tasks");
+    static obs::Histogram& wait_hist =
+        metrics.histogram("exec.task_wait_usec");
+    static obs::Histogram& run_hist = metrics.histogram("exec.task_run_usec");
+    static obs::Gauge& depth_gauge = metrics.gauge("exec.queue_depth_max");
+    tasks_counter.add();
+    const std::uint64_t enqueued = obs::usec_now();
+    std::function<void()> wrapped = [job = std::move(job), enqueued] {
+      const std::uint64_t started = obs::usec_now();
+      wait_hist.record(started >= enqueued ? started - enqueued : 0);
+      job();
+      const std::uint64_t finished = obs::usec_now();
+      run_hist.record(finished >= started ? finished - started : 0);
+    };
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(wrapped));
+      depth_gauge.record_max(static_cast<std::int64_t>(queue_.size()));
+    }
+    wake_.notify_one();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));

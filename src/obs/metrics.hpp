@@ -1,0 +1,208 @@
+/// \file metrics.hpp
+/// \brief Process-wide metrics registry: counters, gauges, and
+///        log2-bucket histograms, snapshotted to a deterministic JSON
+///        document.
+///
+/// The registry complements obs/trace.hpp: traces answer "where did
+/// this particular run spend its time", metrics answer "how many, how
+/// big, how long on aggregate". The same inertness contract applies —
+/// metrics never touch result bytes, and the only always-on cost is a
+/// relaxed atomic add at counter call sites. Latency sites (which must
+/// read a clock) are additionally gated on `MetricsRegistry::enabled()`
+/// via ScopedUsecTimer, so an un-instrumented run pays no clock reads.
+///
+/// Call sites cache their metric handles (`static auto& c =
+/// MetricsRegistry::instance().counter("...")`): the registry is
+/// node-based and `reset_values()` zeroes values without ever removing
+/// entries, so cached references stay valid for the process lifetime.
+///
+/// Worker processes write `snapshot_json()` + a durable_io integrity
+/// trailer as `metrics.json`; the orchestrator parses those files
+/// (`parse_metrics_json`), merges them with its own registry
+/// (`merge_metrics`), and writes the plain-JSON `run_metrics.json`
+/// rollup (no trailer — external JSON tooling must load it directly).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace railcorr::obs {
+
+/// Monotonic event count. Always cheap enough to leave on.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins level, with a high-watermark helper.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raise the gauge to `v` if above the current value.
+  void record_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucket histogram of non-negative values: bucket k counts the
+/// values whose bit width is k, i.e. bucket 0 = {0}, bucket k =
+/// [2^(k-1), 2^k). Coarse by design — latency distributions need shape
+/// (tail vs mode), not precision, and power-of-two buckets merge
+/// across processes without rebinning.
+class Histogram {
+ public:
+  /// 0..64 inclusive (bit widths of uint64_t values).
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Min/max of recorded values; min() is 0 when empty.
+  [[nodiscard]] std::uint64_t min() const;
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t k) const {
+    return buckets_[k].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// A parsed or merged metrics document (also what the registry
+/// snapshots into). Vectors are sorted by name.
+struct MetricsSnapshot {
+  bool ok = false;
+  std::string error;  ///< Parse failure reason when !ok.
+  /// How many per-process documents this snapshot aggregates.
+  std::uint64_t sources = 1;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  struct Hist {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    /// (bucket index, count), nonzero buckets only, ascending index.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+  };
+  std::vector<std::pair<std::string, Hist>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Gates the latency call sites (clock reads). Counters count either
+  /// way — they are too cheap to gate and too useful to lose.
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Find-or-create. Returned references are stable for the process
+  /// lifetime (entries are never removed).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// `render_metrics_json(snapshot())` — deterministic (sorted names).
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Zero every registered metric; never removes entries, so handles
+  /// cached at call sites stay valid. Test isolation hook.
+  void reset_values();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+
+  std::atomic<bool> enabled_{false};
+};
+
+/// Microseconds on the steady clock (metrics timeline; distinct from
+/// the injectable trace clock — histogram tests pin *values*, not
+/// clocks, so this one stays real).
+[[nodiscard]] std::uint64_t usec_now();
+
+/// Scoped latency sample: records elapsed usec into `hist` at scope
+/// exit. Reads no clock at all when the registry is disabled at
+/// construction.
+class ScopedUsecTimer {
+ public:
+  explicit ScopedUsecTimer(Histogram& hist)
+      : hist_(&hist), active_(MetricsRegistry::instance().enabled()) {
+    if (active_) start_ = usec_now();
+  }
+  ~ScopedUsecTimer() {
+    if (active_) {
+      const std::uint64_t now = usec_now();
+      hist_->record(now >= start_ ? now - start_ : 0);
+    }
+  }
+  ScopedUsecTimer(const ScopedUsecTimer&) = delete;
+  ScopedUsecTimer& operator=(const ScopedUsecTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  bool active_;
+  std::uint64_t start_ = 0;
+};
+
+/// The document `snapshot_json` emits:
+///   {"railcorrMetrics":1,"sources":N,
+///   "counters":{...},
+///   "gauges":{...},
+///   "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+///                         "buckets":[[k,c],...]}}}
+/// Plain valid JSON; worker files append an integrity trailer on top.
+[[nodiscard]] std::string render_metrics_json(const MetricsSnapshot& snap);
+
+/// Strict parser for exactly that document shape. An integrity
+/// trailer, when present, is verified and stripped (corrupt fails).
+[[nodiscard]] MetricsSnapshot parse_metrics_json(std::string_view document);
+
+/// Fleet rollup: counters are summed, histograms merged
+/// (count/sum added, min/max widened, buckets added), gauges take the
+/// maximum across inputs (a fleet-level "highest watermark" — summing
+/// levels across processes would be meaningless), sources are summed.
+[[nodiscard]] MetricsSnapshot merge_metrics(
+    const std::vector<MetricsSnapshot>& inputs);
+
+}  // namespace railcorr::obs

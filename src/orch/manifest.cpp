@@ -137,6 +137,8 @@ RunManifest RunManifest::parse(std::string_view text) {
       event.host = std::string(rest.substr(0, space));
       event.event = std::string(rest.substr(space + 1));
       manifest.host_events.push_back(std::move(event));
+    } else if (line.starts_with("info ")) {
+      manifest.infos.emplace_back(line.substr(5));
     } else {
       throw ConfigError("manifest line " + std::to_string(line_no) +
                         ": unrecognized entry '" + std::string(line) + "'");
@@ -226,6 +228,10 @@ std::string RunManifest::fail_line(std::size_t shard, std::size_t attempt,
 std::string RunManifest::host_line(const std::string& host,
                                    const std::string& event) {
   return "host " + host + " " + event;
+}
+
+std::string RunManifest::info_line(const std::string& text) {
+  return "info " + text;
 }
 
 bool RunManifest::is_done(std::size_t shard) const {

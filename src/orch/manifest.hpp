@@ -21,6 +21,7 @@
 ///     done <shard index> <file name>
 ///     fail <shard index> <attempt> <class>
 ///     host <name> <event>
+///     info <free text>
 ///
 /// `done` lines are appended (and synced) as workers finish, so a
 /// crashed or interrupted orchestrator leaves behind exactly the set
@@ -34,6 +35,9 @@
 /// (`quarantine`, `probe`, `recover`, `dead`; see orch/remote.hpp) —
 /// like `fail` lines they are history, not resume state: a resumed run
 /// starts with a fresh fleet and re-discovers host health itself.
+/// `info` lines carry free-form human-readable annotations (the
+/// orchestrator appends its one-line run summary as one); they too are
+/// history only and never influence a resume.
 /// `railcorr orchestrate --resume <dir>` replays the
 /// manifest: finished shards are skipped, and a manifest whose
 /// fingerprint, banner (which encodes the accuracy mode), shard count,
@@ -93,6 +97,10 @@ struct RunManifest {
   /// Every `host` line, in append order (possibly across resumes).
   std::vector<HostEvent> host_events;
 
+  /// Every `info` line's free text, in append order. Pure audit trail
+  /// (run summaries and the like); never consulted on resume.
+  std::vector<std::string> infos;
+
   /// The manifest a fresh orchestration of `plan` starts from. The
   /// banner captures the *current* accuracy mode via
   /// corridor::shard_banner.
@@ -121,6 +129,9 @@ struct RunManifest {
   /// One `host <name> <event>` line (no trailing newline).
   static std::string host_line(const std::string& host,
                                const std::string& event);
+
+  /// One `info <free text>` line (no trailing newline).
+  static std::string info_line(const std::string& text);
 
   /// True when `shard` has a done entry.
   [[nodiscard]] bool is_done(std::size_t shard) const;

@@ -11,6 +11,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orch/manifest.hpp"
 #include "orch/process.hpp"
 #include "orch/progress.hpp"
@@ -138,6 +140,10 @@ struct ActiveAttempt {
   Clock::time_point fetch_started{};
   /// The fetch exceeded its wall-clock budget and was killed.
   bool fetch_timed_out = false;
+  /// Recorder-timeline launch/fetch-start stamps backing the
+  /// orchestrator's "attempt" and "fetch" spans (0 when telemetry off).
+  std::uint64_t launch_usec = 0;
+  std::uint64_t fetch_usec = 0;
 };
 
 double elapsed_s(Clock::time_point since, Clock::time_point now) {
@@ -150,10 +156,21 @@ std::string shard_file_name(std::size_t shard) {
   return "shard_" + std::to_string(shard) + ".csv";
 }
 
+std::string trace_file_name(std::size_t shard, std::size_t attempt) {
+  return "shard_" + std::to_string(shard) + ".attempt" +
+         std::to_string(attempt) + ".trace";
+}
+
+std::string metrics_file_name(std::size_t shard, std::size_t attempt) {
+  return "shard_" + std::to_string(shard) + ".attempt" +
+         std::to_string(attempt) + ".metrics.json";
+}
+
 OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
                               const std::string& out_dir,
                               const OrchestrateOptions& options) {
   OrchestrateResult result;
+  const auto wall_start = Clock::now();
   const auto fail = [&result](std::string message) -> OrchestrateResult& {
     result.errors.push_back(std::move(message));
     return result;
@@ -180,6 +197,24 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   if (ec) return fail("cannot create out dir '" + out_dir + "': " +
                       ec.message());
   const fs::path manifest_path = dir / "orchestrate.manifest";
+
+  // --- run telemetry ------------------------------------------------
+  // Enabling the recorder/registry only changes what the orchestrator
+  // *observes*: every scheduling decision, chaos fault, and result byte
+  // is identical with telemetry on or off (the inertness contract
+  // scripts/obs_smoke.sh byte-compares).
+  const bool telemetry = !options.trace_dir.empty();
+  const fs::path trace_dir(options.trace_dir);
+  auto& recorder = obs::TraceRecorder::instance();
+  if (telemetry) {
+    fs::create_directories(trace_dir, ec);
+    if (ec) {
+      return fail("cannot create trace dir '" + options.trace_dir + "': " +
+                  ec.message());
+    }
+    if (!recorder.enabled()) recorder.enable();
+    obs::MetricsRegistry::instance().enable();
+  }
 
   std::optional<RunManifest> previous;
   if (options.resume) {
@@ -298,6 +333,16 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
     for (const auto& event : fleet.drain_events()) {
       manifest_log.append_line(RunManifest::host_line(event.host,
                                                       event.event));
+      if (telemetry) {
+        // Static-name mapping: the recorder's hot path stores const
+        // char* without copying, so event labels must be literals.
+        const char* name = event.event == "quarantine" ? "quarantine"
+                           : event.event == "probe"    ? "probe"
+                           : event.event == "recover"  ? "recover"
+                           : event.event == "dead"     ? "dead"
+                                                       : "host-event";
+        recorder.instant(name, "fleet");
+      }
       if (event.event == "quarantine") {
         ++result.stats.host_quarantines;
         log("host " + event.host + " quarantined; degrading onto " +
@@ -331,6 +376,9 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   std::vector<ActiveAttempt> active;
   std::size_t attempt_serial = 0;
   std::string last_summary;
+  // Trace-lane host annotations, keyed by the attempt's trace-file stem
+  // ("shard_<i>.attempt<a>"); filled at launch, consumed at merge.
+  std::map<std::string, std::string> attempt_hosts;
 
   const auto active_attempts_of = [&active](std::size_t shard) {
     std::size_t n = 0;
@@ -366,10 +414,28 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
                          info.host != kLocalHost;
     info.worker_out_path = fetched ? info.out_path + ".remote"
                                    : info.out_path;
+    if (telemetry) {
+      info.trace_path =
+          (trace_dir / trace_file_name(shard, info.attempt)).string();
+      info.metrics_path =
+          (trace_dir / metrics_file_name(shard, info.attempt)).string();
+      info.worker_trace_path =
+          fetched ? info.trace_path + ".remote" : info.trace_path;
+      info.worker_metrics_path =
+          fetched ? info.metrics_path + ".remote" : info.metrics_path;
+      if (!info.host.empty()) {
+        attempt_hosts[fs::path(info.trace_path).stem().string()] = info.host;
+      }
+    }
     const auto now = Clock::now();
     ActiveAttempt attempt(info, ChildProcess::spawn(options.command(info)),
                           now);
     attempt.host = host;
+    if (telemetry) {
+      attempt.launch_usec = recorder.now_usec();
+      recorder.instant(speculative ? "speculate" : "launch", "orch", "shard",
+                       shard);
+    }
     ++result.stats.attempts;
     if (speculative) ++result.stats.speculative;
     log("launch shard " + std::to_string(shard) + "/" +
@@ -448,6 +514,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
         ++result.stats.transfer_stalled;
         break;
     }
+    ++result.stats.failures_by_class[cause];
     // Every failed attempt — speculative twins included — lands in the
     // manifest for post-mortem; only non-speculative ones charge the
     // retry budget (see below).
@@ -583,11 +650,189 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
     // A fresh launch may straggle again; let it earn a fresh twin.
     speculated[shard] = 0;
     ++result.stats.retried;
+    if (telemetry) recorder.instant("retry", "orch", "shard", shard);
     log("shard " + std::to_string(shard) + " re-queued" +
         (backoff > 0.0
              ? " (backoff " + util::format_double(backoff) + "s)"
              : ""));
     return true;
+  };
+
+  /// Build the one-line run summary, log it, append it to the manifest
+  /// as an `info` audit line, and store it in the result. Called once
+  /// on every exit path that got as far as an open manifest.
+  const auto emit_summary = [&] {
+    result.stats.cache_hits = aggregator.cache_hits();
+    result.stats.cache_misses = aggregator.cache_misses();
+    std::string s =
+        "run summary: wall=" +
+        util::format_double(elapsed_s(wall_start, Clock::now())) +
+        "s attempts=" + std::to_string(result.stats.attempts) +
+        " retried=" + std::to_string(result.stats.retried);
+    if (!result.stats.failures_by_class.empty()) {
+      s += " [";
+      bool first = true;
+      for (const auto& [cls, n] : result.stats.failures_by_class) {
+        if (!first) s += " ";
+        first = false;
+        s += cls + "=" + std::to_string(n);
+      }
+      s += "]";
+    }
+    s += " speculative=" + std::to_string(result.stats.speculative) +
+         " resumed=" + std::to_string(result.stats.resumed);
+    const std::size_t cache_total =
+        result.stats.cache_hits + result.stats.cache_misses;
+    if (cache_total > 0) {
+      s += " cache=" + std::to_string(result.stats.cache_hits) + "/" +
+           std::to_string(cache_total);
+    }
+    result.summary = s;
+    manifest_log.append_line(RunManifest::info_line(s));
+    log(s);
+  };
+
+  /// Pull a finished remote attempt's telemetry files back over the
+  /// same transport that fetched its shard file. Strictly best-effort
+  /// and synchronous with a bounded wait: a failed or slow telemetry
+  /// fetch costs one trace lane, never a retry, never the run.
+  const auto fetch_telemetry = [&](const WorkerAttempt& worker) {
+    if (!telemetry || !options.fetch) return;
+    if (worker.trace_path.empty() ||
+        worker.worker_trace_path == worker.trace_path) {
+      return;  // The worker wrote its telemetry locally already.
+    }
+    const double budget = options.fetch_timeout_s > 0.0
+                              ? options.fetch_timeout_s
+                          : options.timeout_s > 0.0 ? options.timeout_s
+                                                    : 10.0;
+    const std::pair<const std::string*, const std::string*> files[] = {
+        {&worker.worker_trace_path, &worker.trace_path},
+        {&worker.worker_metrics_path, &worker.metrics_path}};
+    for (const auto& [remote, local] : files) {
+      WorkerAttempt synthetic = worker;
+      synthetic.worker_out_path = *remote;
+      synthetic.out_path = *local;
+      try {
+        ChildProcess proc = ChildProcess::spawn(options.fetch(synthetic));
+        const auto started = Clock::now();
+        std::optional<ExitStatus> status;
+        while (!(status = proc.try_reap()).has_value()) {
+          std::vector<std::string> lines;
+          proc.drain(lines);
+          if (elapsed_s(started, Clock::now()) > budget) {
+            proc.kill();
+            proc.wait();
+            break;
+          }
+          ::poll(nullptr, 0, 5);
+        }
+        if (!status.has_value() || status->code != 0) {
+          log("telemetry fetch of '" + *local + "' from host " + worker.host +
+              " failed (best-effort; that trace lane will be missing)");
+          fs::remove(*local, ec);
+        }
+      } catch (const std::exception& error) {
+        log("telemetry fetch: cannot spawn: " + std::string(error.what()));
+      }
+      fs::remove(*remote, ec);
+    }
+  };
+
+  /// On success: dump the orchestrator's own trace, merge every intact
+  /// `.trace` lane in the trace dir into the plain-JSON `trace.json`
+  /// fleet timeline, and roll every worker `.metrics.json` plus the
+  /// orchestrator's own registry into `run_metrics.json`. Best-effort
+  /// throughout: a missing or torn lane is logged and skipped, never
+  /// fatal — a killed worker leaves no telemetry behind, and that must
+  /// not fail the run that killed it.
+  const auto write_telemetry = [&] {
+    if (!telemetry) return;
+    auto& metrics = obs::MetricsRegistry::instance();
+    {
+      // Fleet-level rollups mirrored into the orchestrator's registry
+      // under their own namespaces (the workers' own sweep.*/cache.*
+      // counters arrive via their metrics files and must not be
+      // double-counted here).
+      std::size_t cells = 0;
+      std::uint64_t cell_usec = 0;
+      for (const auto& timing : aggregator.shard_timings()) {
+        cells += timing.cells;
+        cell_usec += timing.usec_total;
+      }
+      metrics.counter("fleet.cells").add(cells);
+      metrics.counter("fleet.cell_usec").add(cell_usec);
+      metrics.counter("orch.attempts").add(result.stats.attempts);
+      metrics.counter("orch.retried").add(result.stats.retried);
+      metrics.counter("orch.speculative").add(result.stats.speculative);
+      metrics.counter("orch.resumed").add(result.stats.resumed);
+      metrics.counter("orch.cache_hits").add(aggregator.cache_hits());
+      metrics.counter("orch.cache_misses").add(aggregator.cache_misses());
+    }
+    std::string error;
+    if (!util::atomic_write_file(
+            (trace_dir / "orchestrator.trace").string(),
+            util::with_integrity_trailer(recorder.serialize()), &error)) {
+      log("trace: cannot write orchestrator.trace: " + error);
+    }
+    std::vector<fs::path> trace_files;
+    std::vector<fs::path> metrics_files;
+    for (const auto& entry : fs::directory_iterator(trace_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.ends_with(".trace")) trace_files.push_back(entry.path());
+      if (name.ends_with(".metrics.json")) {
+        metrics_files.push_back(entry.path());
+      }
+    }
+    std::sort(trace_files.begin(), trace_files.end());
+    std::sort(metrics_files.begin(), metrics_files.end());
+    std::vector<obs::TraceInput> lanes;
+    for (const auto& path : trace_files) {
+      const auto text = util::read_file_fully(path.string());
+      if (!text.has_value()) {
+        log("trace: skipping unreadable '" + path.string() + "'");
+        continue;
+      }
+      auto parsed = obs::parse_trace(*text);
+      if (!parsed.ok) {
+        // A torn trace costs its lane, never the run — and never a
+        // recompute: telemetry files sit outside shard verification.
+        log("trace: skipping corrupt '" + path.string() + "': " +
+            parsed.error);
+        continue;
+      }
+      std::string label = path.stem().string();
+      const auto host = attempt_hosts.find(label);
+      if (host != attempt_hosts.end()) label += " (" + host->second + ")";
+      lanes.push_back(obs::TraceInput{std::move(label), std::move(parsed)});
+    }
+    if (!lanes.empty()) {
+      if (!util::atomic_write_file((trace_dir / "trace.json").string(),
+                                   obs::merge_traces(lanes), &error)) {
+        log("trace: cannot write trace.json: " + error);
+      } else {
+        log("trace: merged " + std::to_string(lanes.size()) +
+            " lane(s) into " + (trace_dir / "trace.json").string());
+      }
+    }
+    std::vector<obs::MetricsSnapshot> snaps;
+    for (const auto& path : metrics_files) {
+      const auto text = util::read_file_fully(path.string());
+      if (!text.has_value()) continue;
+      auto snap = obs::parse_metrics_json(*text);
+      if (!snap.ok) {
+        log("metrics: skipping corrupt '" + path.string() + "': " +
+            snap.error);
+        continue;
+      }
+      snaps.push_back(std::move(snap));
+    }
+    snaps.push_back(metrics.snapshot());
+    if (!util::atomic_write_file(
+            (trace_dir / "run_metrics.json").string(),
+            obs::render_metrics_json(obs::merge_metrics(snaps)), &error)) {
+      log("metrics: cannot write run_metrics.json: " + error);
+    }
   };
 
   while (true) {
@@ -688,6 +933,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
                  std::to_string(shards - completed_count) +
                  " shard(s) incomplete; the manifest is resumable — "
                  "re-run with --resume once the fleet recovers");
+            emit_summary();
             return result;
           }
           // Every incomplete shard is backing off (or waiting on a
@@ -700,6 +946,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
         fail("internal: no workers in flight with " +
              std::to_string(shards - completed_count) +
              " shard(s) incomplete");
+        emit_summary();
         return result;
       }
 
@@ -787,6 +1034,12 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
           const auto status = active[i].fetch->try_reap();
           if (!status.has_value()) continue;
           drain_into_aggregator(active[i]);
+          if (telemetry) {
+            const std::uint64_t now_u = recorder.now_usec();
+            recorder.complete_at("fetch", "orch", active[i].fetch_usec,
+                                 now_u - active[i].fetch_usec, "shard",
+                                 active[i].info.shard);
+          }
           ActiveAttempt attempt = std::move(active[i]);
           active.erase(
               active.begin() +
@@ -818,6 +1071,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
             if (!finalized) why = "cannot finalize the fetched file";
           }
           if (finalized) {
+            fetch_telemetry(attempt.info);
             fs::remove(attempt.info.worker_out_path, ec);
             release_host(attempt, /*transport_failure=*/false);
             continue;
@@ -832,6 +1086,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
                                   ? FailureClass::kTransferStalled
                                   : FailureClass::kCorruptTransfer,
                               *status)) {
+            emit_summary();
             return result;
           }
           continue;
@@ -841,6 +1096,12 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
         const auto status = active[i].proc.try_reap();
         if (!status.has_value()) continue;
         drain_into_aggregator(active[i]);
+        if (telemetry) {
+          const std::uint64_t now_u = recorder.now_usec();
+          recorder.complete_at("attempt", "orch", active[i].launch_usec,
+                               now_u - active[i].launch_usec, "shard",
+                               active[i].info.shard);
+        }
 
         // A remote worker that exited 0 under a fetch builder enters
         // phase two: the attempt keeps its slot and host while the
@@ -855,6 +1116,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
             active[i].fetch.emplace(
                 ChildProcess::spawn(options.fetch(active[i].info)));
             active[i].fetch_started = Clock::now();
+            if (telemetry) active[i].fetch_usec = recorder.now_usec();
             log("shard " + std::to_string(active[i].info.shard) +
                 " attempt " + std::to_string(active[i].info.attempt) +
                 " worker done; fetching from host " + active[i].info.host);
@@ -933,7 +1195,10 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
           cls = attempt.saw_event ? FailureClass::kConnectionLost
                                   : FailureClass::kLaunchRefused;
         }
-        if (!settle_failure(attempt, cls, *status)) return result;
+        if (!settle_failure(attempt, cls, *status)) {
+          emit_summary();
+          return result;
+        }
       }
     }
 
@@ -962,6 +1227,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
       if (fail_count[shard] > options.retries) {
         fail("shard " + std::to_string(shard) +
              " repeatedly corrupt; retry budget exhausted");
+        emit_summary();
         return result;
       }
       fs::remove(dir / shard_file_name(shard), ec);
@@ -1008,9 +1274,13 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   if (!merge.ok) {
     result.contract_violation = merge.contract_violation;
     for (auto& error : merge.errors) result.errors.push_back(std::move(error));
+    emit_summary();
     return result;
   }
-  if (!result.errors.empty()) return result;
+  if (!result.errors.empty()) {
+    emit_summary();
+    return result;
+  }
 
   const fs::path merged_path = dir / "merged.csv";
   {
@@ -1024,6 +1294,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
   result.ok = true;
   result.merged_path = merged_path.string();
   result.merged = std::move(merge.merged);
+  write_telemetry();
   log("merged " + std::to_string(grid) + " cells from " +
       std::to_string(shards) + " shard(s) into " + result.merged_path + " (" +
       std::to_string(result.stats.attempts) + " attempt(s), " +
@@ -1051,6 +1322,7 @@ OrchestrateResult orchestrate(const corridor::SweepPlan& plan,
                  " miss(es)"
            : "") +
       ")");
+  emit_summary();
   return result;
 }
 

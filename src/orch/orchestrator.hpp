@@ -56,6 +56,7 @@
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -93,6 +94,19 @@ struct WorkerAttempt {
   /// orch::kLocalHost for the local-execution member of a fleet).
   /// Empty in non-distributed runs.
   std::string host;
+  /// Run-telemetry file paths (empty unless the run sets `trace_dir`).
+  /// `trace_path`/`metrics_path` are where the attempt's telemetry must
+  /// land locally; the `worker_*` variants are where the worker itself
+  /// writes — equal to the local paths except for remote attempts with
+  /// a fetch step, mirroring `out_path`/`worker_out_path`. Command
+  /// builders pass the worker paths as `--trace`/`--metrics` flags.
+  /// Telemetry files are best-effort: they are never verified the way
+  /// shard files are, and a missing or torn one costs a trace lane,
+  /// never a recompute.
+  std::string trace_path;
+  std::string metrics_path;
+  std::string worker_trace_path;
+  std::string worker_metrics_path;
 };
 
 /// Knobs of one orchestrated run.
@@ -153,6 +167,18 @@ struct OrchestrateOptions {
   /// Host-health knobs (quarantine threshold, re-probe backoff, dead
   /// threshold).
   FleetHealthOptions health;
+  /// Run-telemetry directory. Empty = telemetry off (the default; the
+  /// run pays nothing but one relaxed load per instrumented site).
+  /// Non-empty: the orchestrator enables its own span recorder and
+  /// metrics registry, gives every attempt per-attempt
+  /// `shard_<i>.attempt<a>.trace` / `.metrics.json` paths under this
+  /// directory (fetched back over the `fetch` transport for remote
+  /// hosts, best-effort), and on success merges every intact `.trace`
+  /// lane into `<trace_dir>/trace.json` plus a `run_metrics.json`
+  /// rollup. Telemetry is provably inert: every result artifact
+  /// (shards, manifest modulo the `info` summary line, merged.csv) is
+  /// byte-identical with or without it.
+  std::string trace_dir;
 };
 
 /// Fleet statistics of a finished (or failed) orchestration.
@@ -187,6 +213,10 @@ struct OrchestrateStats {
   std::size_t host_quarantines = 0;
   std::size_t host_recoveries = 0;
   std::size_t hosts_dead = 0;
+  /// Failed attempts by classified cause label (`timeout`, `exit-3`,
+  /// `signal-9`, `corrupt-transfer`, ...). Feeds the run summary's
+  /// retries-by-class breakdown.
+  std::map<std::string, std::size_t> failures_by_class;
 };
 
 /// Outcome of an orchestrated run.
@@ -209,11 +239,19 @@ struct OrchestrateResult {
   std::string merged_path;
   /// The merged document itself; empty unless ok.
   std::string merged;
+  /// The one-line run summary (wall time, attempts, retries by class,
+  /// cache tally); also appended to the manifest as an `info` line.
+  /// Empty only when the run failed before the manifest existed.
+  std::string summary;
   OrchestrateStats stats;
 };
 
 /// Durable shard file name within the run directory.
 std::string shard_file_name(std::size_t shard);
+
+/// Per-attempt telemetry file names within the trace directory.
+std::string trace_file_name(std::size_t shard, std::size_t attempt);
+std::string metrics_file_name(std::size_t shard, std::size_t attempt);
 
 /// Run the whole orchestration: plan -> worker fleet -> durable shard
 /// files + manifest in `out_dir` -> merged grid. Creates `out_dir` if

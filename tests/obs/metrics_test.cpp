@@ -1,0 +1,221 @@
+/// The metrics registry and its JSON document: golden-pinned rendering,
+/// log2-bucket histogram semantics, parse round-trip, fleet merge
+/// rules, and value reset without handle invalidation.
+///
+/// The registry is a process-wide singleton shared by every test in
+/// this binary, so registry-level tests use uniquely-prefixed metric
+/// names and assert only on their own entries; the golden document test
+/// renders a hand-built snapshot instead (render_metrics_json is a pure
+/// function of its input).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/durable_io.hpp"
+
+namespace railcorr::obs {
+namespace {
+
+MetricsSnapshot golden_snapshot() {
+  MetricsSnapshot snap;
+  snap.ok = true;
+  snap.counters.emplace_back("sweep.cells", 64);
+  snap.gauges.emplace_back("pool.queue_depth", -3);
+  MetricsSnapshot::Hist hist;
+  hist.count = 5;
+  hist.sum = 10;
+  hist.min = 0;
+  hist.max = 4;
+  hist.buckets = {{0, 1}, {1, 1}, {2, 2}, {3, 1}};
+  snap.histograms.emplace_back("pool.task_usec", hist);
+  return snap;
+}
+
+TEST(MetricsJson, GoldenRendering) {
+  const std::string expected =
+      "{\"railcorrMetrics\":1,\"sources\":1,\n"
+      "\"counters\":{\"sweep.cells\":64},\n"
+      "\"gauges\":{\"pool.queue_depth\":-3},\n"
+      "\"histograms\":{\n"
+      "\"pool.task_usec\":{\"count\":5,\"sum\":10,\"min\":0,\"max\":4,"
+      "\"buckets\":[[0,1],[1,1],[2,2],[3,1]]}}}\n";
+  EXPECT_EQ(render_metrics_json(golden_snapshot()), expected);
+}
+
+TEST(MetricsJson, EmptySectionsRender) {
+  MetricsSnapshot snap;
+  snap.ok = true;
+  EXPECT_EQ(render_metrics_json(snap),
+            "{\"railcorrMetrics\":1,\"sources\":1,\n"
+            "\"counters\":{},\n"
+            "\"gauges\":{},\n"
+            "\"histograms\":{}}\n");
+  EXPECT_TRUE(parse_metrics_json(render_metrics_json(snap)).ok);
+}
+
+TEST(MetricsJson, RoundTripsThroughParser) {
+  const auto parsed = parse_metrics_json(render_metrics_json(golden_snapshot()));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.sources, 1u);
+  ASSERT_EQ(parsed.counters.size(), 1u);
+  EXPECT_EQ(parsed.counters[0].first, "sweep.cells");
+  EXPECT_EQ(parsed.counters[0].second, 64u);
+  ASSERT_EQ(parsed.gauges.size(), 1u);
+  EXPECT_EQ(parsed.gauges[0].second, -3);
+  ASSERT_EQ(parsed.histograms.size(), 1u);
+  const auto& hist = parsed.histograms[0].second;
+  EXPECT_EQ(hist.count, 5u);
+  EXPECT_EQ(hist.sum, 10u);
+  EXPECT_EQ(hist.max, 4u);
+  ASSERT_EQ(hist.buckets.size(), 4u);
+  EXPECT_EQ(hist.buckets[2].first, 2u);
+  EXPECT_EQ(hist.buckets[2].second, 2u);
+  // Re-rendering the parse reproduces the document byte for byte.
+  EXPECT_EQ(render_metrics_json(parsed),
+            render_metrics_json(golden_snapshot()));
+}
+
+TEST(MetricsJson, TrailerVerifiedAndCorruptTrailerFails) {
+  std::string doc =
+      util::with_integrity_trailer(render_metrics_json(golden_snapshot()));
+  EXPECT_TRUE(parse_metrics_json(doc).ok);
+  doc[doc.size() - 2] = doc[doc.size() - 2] == '0' ? '1' : '0';
+  const auto corrupt = parse_metrics_json(doc);
+  EXPECT_FALSE(corrupt.ok);
+  EXPECT_FALSE(corrupt.error.empty());
+}
+
+TEST(MetricsJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_metrics_json("").ok);
+  EXPECT_FALSE(parse_metrics_json("{}").ok);
+  EXPECT_FALSE(parse_metrics_json("{\"railcorrMetrics\":2,\"sources\":1,\n"
+                                  "\"counters\":{},\n\"gauges\":{},\n"
+                                  "\"histograms\":{}}\n")
+                   .ok);
+  // Truncated mid-section.
+  EXPECT_FALSE(
+      parse_metrics_json("{\"railcorrMetrics\":1,\"sources\":1,\n"
+                         "\"counters\":{\"a\":1,")
+          .ok);
+}
+
+TEST(Histogram, Log2BucketsByBitWidth) {
+  Histogram hist;
+  for (std::uint64_t v : {0, 1, 2, 3, 4}) hist.record(v);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.sum(), 10u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 4u);
+  EXPECT_EQ(hist.bucket(0), 1u);  // {0}
+  EXPECT_EQ(hist.bucket(1), 1u);  // {1}
+  EXPECT_EQ(hist.bucket(2), 2u);  // {2, 3}
+  EXPECT_EQ(hist.bucket(3), 1u);  // {4..7}
+  EXPECT_EQ(hist.bucket(4), 0u);
+  hist.record(UINT64_MAX);
+  EXPECT_EQ(hist.bucket(64), 1u);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossReset) {
+  auto& reg = MetricsRegistry::instance();
+  auto& counter = reg.counter("test.stable_counter");
+  auto& gauge = reg.gauge("test.stable_gauge");
+  counter.add(7);
+  gauge.record_max(9);
+  EXPECT_EQ(counter.value(), 7u);
+  EXPECT_EQ(gauge.value(), 9);
+  reg.reset_values();
+  // Same references keep working after a value reset.
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  counter.add(1);
+  EXPECT_EQ(&reg.counter("test.stable_counter"), &counter);
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotJsonCarriesRegisteredMetrics) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.snap_counter").add(3);
+  reg.histogram("test.snap_usec").record(100);
+  const auto parsed = parse_metrics_json(reg.snapshot_json());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  bool saw_counter = false;
+  for (const auto& [name, value] : parsed.counters) {
+    if (name == "test.snap_counter") {
+      saw_counter = true;
+      EXPECT_EQ(value, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  bool saw_hist = false;
+  for (const auto& [name, hist] : parsed.histograms) {
+    if (name == "test.snap_usec") {
+      saw_hist = true;
+      EXPECT_EQ(hist.count, 1u);
+      EXPECT_EQ(hist.sum, 100u);
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+  reg.reset_values();
+}
+
+TEST(MetricsMerge, FleetRollupRules) {
+  MetricsSnapshot a;
+  a.ok = true;
+  a.counters.emplace_back("cells", 10);
+  a.counters.emplace_back("only_a", 1);
+  a.gauges.emplace_back("depth", 4);
+  MetricsSnapshot::Hist ha;
+  ha.count = 2;
+  ha.sum = 6;
+  ha.min = 2;
+  ha.max = 4;
+  ha.buckets = {{2, 2}};
+  a.histograms.emplace_back("usec", ha);
+
+  MetricsSnapshot b;
+  b.ok = true;
+  b.counters.emplace_back("cells", 5);
+  b.gauges.emplace_back("depth", 9);
+  MetricsSnapshot::Hist hb;
+  hb.count = 1;
+  hb.sum = 16;
+  hb.min = 16;
+  hb.max = 16;
+  hb.buckets = {{5, 1}};
+  b.histograms.emplace_back("usec", hb);
+
+  const auto merged = merge_metrics({a, b});
+  ASSERT_TRUE(merged.ok);
+  EXPECT_EQ(merged.sources, 2u);
+  ASSERT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters[0].first, "cells");
+  EXPECT_EQ(merged.counters[0].second, 15u);  // Counters sum.
+  EXPECT_EQ(merged.counters[1].first, "only_a");
+  EXPECT_EQ(merged.counters[1].second, 1u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_EQ(merged.gauges[0].second, 9);  // Gauges take the fleet max.
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const auto& hist = merged.histograms[0].second;
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_EQ(hist.sum, 22u);
+  EXPECT_EQ(hist.min, 2u);
+  EXPECT_EQ(hist.max, 16u);
+  ASSERT_EQ(hist.buckets.size(), 2u);
+  EXPECT_EQ(hist.buckets[0].first, 2u);
+  EXPECT_EQ(hist.buckets[1].first, 5u);
+  // A merged snapshot renders and re-parses like any other document.
+  const auto reparsed = parse_metrics_json(render_metrics_json(merged));
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  EXPECT_EQ(reparsed.sources, 2u);
+}
+
+}  // namespace
+}  // namespace railcorr::obs

@@ -1,0 +1,129 @@
+/// Deterministic fuzz pass over the strict trace/metrics parsers that
+/// back `railcorr trace merge|stats`: every prefix truncation and a
+/// seeded battery of single-byte corruptions must either parse cleanly
+/// or fail with a diagnostic — never crash, never yield a half-parsed
+/// document the merge verb would silently propagate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/durable_io.hpp"
+
+namespace railcorr::obs {
+namespace {
+
+/// SplitMix64: the house PRNG for seeded chaos (matches the chaos
+/// harness — deterministic across platforms, no <random> distribution
+/// variance).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d4a68ca7952dd3ULL;
+  return z ^ (z >> 31);
+}
+
+std::string sample_trace() {
+  std::uint64_t t = 0;
+  auto& rec = TraceRecorder::instance();
+  rec.enable();
+  rec.set_clock([&t] { return t += 3; });
+  rec.set_epoch_usec(12345);
+  { const ObsSpan span("cell", "sweep", "index", 7); }
+  rec.instant("launch", "orch", "shard", 1);
+  { const ObsSpan span("flush", "cache"); }
+  const std::string doc = rec.serialize();
+  rec.disable();
+  return doc;
+}
+
+TEST(TraceFuzz, EveryPrefixTruncationFailsCleanly) {
+  const std::string doc = sample_trace();
+  ASSERT_TRUE(parse_trace(doc).ok);
+  // Every strict prefix (bar the one that only loses the final
+  // newline, whose status we don't pin) must be rejected with a
+  // diagnostic — a torn tail must never read as a complete trace.
+  for (std::size_t len = 0; len + 1 < doc.size(); ++len) {
+    const auto parsed = parse_trace(doc.substr(0, len));
+    EXPECT_FALSE(parsed.ok) << "prefix of length " << len << " parsed";
+    EXPECT_FALSE(parsed.error.empty());
+  }
+}
+
+TEST(TraceFuzz, SeededByteCorruptionsNeverCrashOrHalfParse) {
+  const std::string doc = sample_trace();
+  const std::string trailered = util::with_integrity_trailer(doc);
+  std::uint64_t state = 0xc0ffee;
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = doc;
+    const std::size_t pos = splitmix64(state) % mutated.size();
+    mutated[pos] = static_cast<char>(splitmix64(state) & 0xff);
+    const auto parsed = parse_trace(mutated);
+    if (!parsed.ok) {
+      EXPECT_FALSE(parsed.error.empty());
+    } else {
+      // A mutation that stays in-grammar (e.g. a digit flip) must
+      // still produce a fully-formed event list.
+      EXPECT_EQ(parsed.events.size(), 3u);
+    }
+    // A trailered document rejects *every* body mutation: the checksum
+    // catches what the grammar alone might let through.
+    std::string mutated_trailered = trailered;
+    const std::size_t tpos = splitmix64(state) % doc.size();
+    const char flip = static_cast<char>(splitmix64(state) & 0xff);
+    if (mutated_trailered[tpos] != flip) {
+      mutated_trailered[tpos] = flip;
+      EXPECT_FALSE(parse_trace(mutated_trailered).ok);
+    }
+  }
+}
+
+TEST(TraceFuzz, SeededGarbageDocumentsFailCleanly) {
+  std::uint64_t state = 0xdecade;
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    const std::size_t len = splitmix64(state) % 256;
+    garbage.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(splitmix64(state) & 0xff));
+    }
+    const auto parsed = parse_trace(garbage);
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_FALSE(parsed.error.empty());
+  }
+}
+
+TEST(MetricsFuzz, SeededByteCorruptionsNeverCrashOrHalfParse) {
+  MetricsSnapshot snap;
+  snap.ok = true;
+  snap.counters.emplace_back("sweep.cells", 64);
+  snap.gauges.emplace_back("pool.queue_depth", 3);
+  MetricsSnapshot::Hist hist;
+  hist.count = 1;
+  hist.sum = 9;
+  hist.min = 9;
+  hist.max = 9;
+  hist.buckets = {{4, 1}};
+  snap.histograms.emplace_back("pool.task_usec", hist);
+  const std::string doc = render_metrics_json(snap);
+  ASSERT_TRUE(parse_metrics_json(doc).ok);
+
+  std::uint64_t state = 0xfeedbeef;
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = doc;
+    const std::size_t pos = splitmix64(state) % mutated.size();
+    mutated[pos] = static_cast<char>(splitmix64(state) & 0xff);
+    const auto parsed = parse_metrics_json(mutated);
+    if (!parsed.ok) EXPECT_FALSE(parsed.error.empty());
+  }
+  for (std::size_t len = 0; len + 1 < doc.size(); ++len) {
+    EXPECT_FALSE(parse_metrics_json(doc.substr(0, len)).ok)
+        << "prefix of length " << len << " parsed";
+  }
+}
+
+}  // namespace
+}  // namespace railcorr::obs

@@ -158,6 +158,39 @@ TEST(RunManifest, TornFinalLineIsDroppedNotFatal) {
                util::ConfigError);
 }
 
+TEST(RunManifest, InfoLinesRoundTripAsFreeTextHistory) {
+  const auto manifest = RunManifest::plan_run(tiny_plan(), 2, false);
+  EXPECT_EQ(RunManifest::info_line("run summary: wall=1.00s attempts=2"),
+            "info run summary: wall=1.00s attempts=2");
+
+  std::string text = manifest.header_text();
+  text += RunManifest::info_line("run summary: wall=0.50s attempts=2 "
+                                 "retried=0 speculative=0 resumed=0") +
+          "\n";
+  text += RunManifest::done_line(0, "shard_0.csv") + "\n";
+  text += RunManifest::info_line("second note") + "\n";
+
+  const auto parsed = RunManifest::parse(text);
+  ASSERT_EQ(parsed.infos.size(), 2u);
+  EXPECT_EQ(parsed.infos[0],
+            "run summary: wall=0.50s attempts=2 retried=0 speculative=0 "
+            "resumed=0");
+  EXPECT_EQ(parsed.infos[1], "second note");
+  // Info lines are history, not resume state.
+  EXPECT_TRUE(parsed.is_done(0));
+  EXPECT_FALSE(parsed.is_done(1));
+
+  // A crash mid-append tears the final info line: dropped, not fatal,
+  // like every other trailing torn line.
+  const auto torn = RunManifest::parse(text + "inf");
+  ASSERT_EQ(torn.infos.size(), 2u);
+  EXPECT_TRUE(torn.is_done(0));
+  // Complete-but-for-the-newline is kept.
+  const auto kept = RunManifest::parse(text + RunManifest::info_line("tail"));
+  ASSERT_EQ(kept.infos.size(), 3u);
+  EXPECT_EQ(kept.infos[2], "tail");
+}
+
 TEST(RunManifest, MismatchChecksCoverFingerprintShardsAndSizing) {
   const auto plan = tiny_plan();
   const auto recorded = RunManifest::plan_run(plan, 2, false);

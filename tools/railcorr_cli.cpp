@@ -16,6 +16,15 @@
 ///   cache  stats|verify|gc --dir DIR
 ///                                  inspect / repair / bound the
 ///                                  content-addressed result cache
+///   trace  merge|stats FILE...     merge per-worker .trace files into
+///                                  one Perfetto timeline / summarize
+///                                  them
+///
+/// `--trace FILE` / `--metrics FILE` (sweep) and `--trace-dir DIR`
+/// (orchestrate) turn on run telemetry (src/obs): span traces in
+/// Chrome trace-event JSON and a counters/histograms rollup. Telemetry
+/// is inert by contract — every result artifact is byte-identical with
+/// or without it.
 ///
 /// `--cache-dir DIR` (sweep / orchestrate) attaches a content-addressed
 /// result store (src/cache): cells whose rows are already cached skip
@@ -39,6 +48,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -59,6 +69,8 @@
 #include "corridor/planner.hpp"
 #include "corridor/sweep.hpp"
 #include "exec/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orch/faultpoint.hpp"
 #include "orch/orchestrator.hpp"
 #include "orch/process.hpp"
@@ -87,6 +99,7 @@ int usage(std::ostream& os) {
         "        [--include-sizing] [--threads N] [--accuracy MODE]\n"
         "        [--progress] [--heartbeat SECONDS] [--fault SPEC]\n"
         "        [--cache-dir DIR] [--cache-max-mb N]\n"
+        "        [--trace FILE] [--metrics FILE]\n"
         "                            evaluate (a shard of) a sweep grid;\n"
         "                            --progress streams the worker line\n"
         "                            protocol on stdout (requires --out);\n"
@@ -117,6 +130,7 @@ int usage(std::ostream& os) {
         "              [--cache-dir DIR] [--cache-max-mb N]\n"
         "              [--hosts H1,H2,...] [--launcher TEMPLATE]\n"
         "              [--fetch TEMPLATE] [--fetch-timeout SECONDS]\n"
+        "              [--trace-dir DIR]\n"
         "  orchestrate --resume DIR [same options]\n"
         "                            evaluate a grid with a worker fleet:\n"
         "                            shard queue, straggler retry,\n"
@@ -147,6 +161,18 @@ int usage(std::ostream& os) {
         "  cache gc     --dir DIR --max-mb N\n"
         "                            evict least-recently-used segments\n"
         "                            until the store fits N MiB\n"
+        "  trace merge [--out FILE] TRACE_FILE...\n"
+        "                            merge worker .trace files into one\n"
+        "                            Perfetto-loadable timeline (every\n"
+        "                            input parsed up front; any malformed\n"
+        "                            file exits 1 with no output written)\n"
+        "  trace stats TRACE_FILE... per-file event/span/instant counts\n"
+        "\n"
+        "run telemetry: `sweep --trace FILE --metrics FILE` records span\n"
+        "traces + metrics for one worker; `orchestrate --trace-dir DIR`\n"
+        "collects per-attempt telemetry for the whole fleet and merges\n"
+        "it into DIR/trace.json + DIR/run_metrics.json on success.\n"
+        "Telemetry never changes result bytes.\n"
         "\n"
         "scenario selection (show/run):\n"
         "  --scenario NAME           registry entry (default: paper)\n"
@@ -457,6 +483,8 @@ int cmd_sweep(std::vector<std::string> args) {
   std::optional<std::string> plan_path;
   std::optional<std::string> out_path;
   std::optional<std::string> cache_dir;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
   std::size_t cache_max_mb = 0;
   railcorr::corridor::ShardSpec shard;
   railcorr::core::SweepRunOptions options;
@@ -512,9 +540,20 @@ int cmd_sweep(std::vector<std::string> args) {
     } else if (args[i] == "--cache-max-mb") {
       cache_max_mb =
           parse_u64_option("--cache-max-mb", value_of("--cache-max-mb"));
+    } else if (args[i] == "--trace") {
+      trace_path = value_of("--trace");
+    } else if (args[i] == "--metrics") {
+      metrics_path = value_of("--metrics");
     } else {
       throw ConfigError("sweep: unknown option '" + args[i] + "'");
     }
+  }
+  // Telemetry turns on before any instrumented work (cache open, cell
+  // evaluation). It is inert by contract: the recorder/registry write
+  // only to their own files, after the shard document is out.
+  if (trace_path.has_value()) railcorr::obs::TraceRecorder::instance().enable();
+  if (metrics_path.has_value()) {
+    railcorr::obs::MetricsRegistry::instance().enable();
   }
   if (!plan_path.has_value()) throw ConfigError("sweep: --plan FILE required");
   if (progress && !out_path.has_value()) {
@@ -581,10 +620,10 @@ int cmd_sweep(std::vector<std::string> args) {
     options.progress = [progress, kill_after, stall_after, flap_after,
                         protocol_mutex, heartbeat_ptr](
                            std::size_t index, std::size_t done,
-                           std::size_t total) {
+                           std::size_t total, std::uint64_t usec) {
       if (progress) {
         std::lock_guard<std::mutex> lock(*protocol_mutex);
-        std::cout << railcorr::orch::cell_line(index, done, total)
+        std::cout << railcorr::orch::cell_line(index, done, total, usec)
                   << std::endl;
       }
       if (kill_after.has_value() &&
@@ -622,7 +661,45 @@ int cmd_sweep(std::vector<std::string> args) {
   } else {
     std::cout << document;
   }
+  // Telemetry files land strictly after the shard document: a crash
+  // while writing them can tear a trace, never a result, and the
+  // orchestrator treats a torn trace as a lost lane, not a retry.
+  if (trace_path.has_value()) {
+    std::string error;
+    if (!railcorr::util::atomic_write_file(
+            *trace_path,
+            railcorr::util::with_integrity_trailer(
+                railcorr::obs::TraceRecorder::instance().serialize()),
+            &error)) {
+      std::cerr << "sweep: cannot write trace '" << *trace_path
+                << "': " << error << "\n";
+    }
+  }
+  if (metrics_path.has_value()) {
+    std::string error;
+    if (!railcorr::util::atomic_write_file(
+            *metrics_path,
+            railcorr::util::with_integrity_trailer(
+                railcorr::obs::MetricsRegistry::instance().snapshot_json()),
+            &error)) {
+      std::cerr << "sweep: cannot write metrics '" << *metrics_path
+                << "': " << error << "\n";
+    }
+  }
   if (progress) {
+    if (metrics_path.has_value()) {
+      // The latest-per-shard metrics event: counter totals the
+      // aggregator sums across the fleet (like the cache tally line).
+      std::vector<std::pair<std::string, std::size_t>> pairs;
+      const auto snap = railcorr::obs::MetricsRegistry::instance().snapshot();
+      pairs.reserve(snap.counters.size());
+      for (const auto& [name, value] : snap.counters) {
+        pairs.emplace_back(name, static_cast<std::size_t>(value));
+      }
+      if (!pairs.empty()) {
+        std::cout << railcorr::orch::metrics_line(pairs) << std::endl;
+      }
+    }
     if (cache.is_open()) {
       std::cout << railcorr::orch::cache_line(cache.stats().hits,
                                               cache.stats().misses)
@@ -803,6 +880,8 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
         throw ConfigError("--fetch-timeout must be >= 0 seconds");
       }
       fetch_timeout_given = true;
+    } else if (args[i] == "--trace-dir") {
+      options.trace_dir = value_of("--trace-dir");
     } else {
       throw ConfigError("orchestrate: unknown option '" + args[i] + "'");
     }
@@ -956,6 +1035,16 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
           argv.push_back("--heartbeat");
           argv.push_back(std::to_string(heartbeat_s));
         }
+        // Per-attempt telemetry files (the orchestrator assigned the
+        // paths when --trace-dir is set). Extra worker flags cannot
+        // perturb the chaos schedule: chaos_fault_for keys on (seed,
+        // shard, attempt), never on the argv.
+        if (!attempt.worker_trace_path.empty()) {
+          argv.push_back("--trace");
+          argv.push_back(attempt.worker_trace_path);
+          argv.push_back("--metrics");
+          argv.push_back(attempt.worker_metrics_path);
+        }
         if (cache_dir.has_value()) {
           // The whole fleet shares one store: the segment publish /
           // lock protocol makes concurrent workers safe, and the
@@ -1048,6 +1137,9 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
     for (const auto& error : result.errors) {
       std::cerr << "orchestrate: " << error << "\n";
     }
+    if (!result.summary.empty()) {
+      std::cerr << "orchestrate: " << result.summary << "\n";
+    }
     // Exit 2 mirrors merge: determinism-contract violations AND
     // refused resumes (fingerprint / accuracy-banner mismatch) are
     // "the grid you asked for is not the grid on disk" conditions.
@@ -1062,6 +1154,9 @@ int cmd_orchestrate(std::vector<std::string> args, const char* argv0) {
             << result.stats.timed_out << " timed out, "
             << result.stats.stalled << " stalled, "
             << result.stats.corrupt << " corrupt)\n";
+  if (!result.summary.empty()) {
+    std::cout << "orchestrate: " << result.summary << "\n";
+  }
   if (result.stats.cache_hits + result.stats.cache_misses > 0) {
     std::cout << "orchestrate: cache " << result.stats.cache_hits
               << " hit(s) / " << result.stats.cache_misses << " miss(es)\n";
@@ -1149,6 +1244,100 @@ int cmd_cache(std::vector<std::string> args) {
   return 0;
 }
 
+/// `railcorr trace merge|stats`: offline tooling over the strict trace
+/// grammar (src/obs/trace.hpp). `merge` is all-or-nothing: every input
+/// is parsed before a single byte is written, and any malformed file
+/// exits 1 with no output produced — a half-merged timeline is worse
+/// than none. `stats` summarizes each input without writing anything.
+int cmd_trace(std::vector<std::string> args) {
+  if (args.empty()) {
+    throw ConfigError("trace: expected a verb (merge or stats)");
+  }
+  const std::string verb = args.front();
+  args.erase(args.begin());
+  if (verb != "merge" && verb != "stats") {
+    throw ConfigError("trace: unknown verb '" + verb +
+                      "' (expected merge or stats)");
+  }
+
+  std::optional<std::string> out_path;
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && verb == "merge") {
+      if (i + 1 >= args.size()) throw ConfigError("--out expects an argument");
+      out_path = args[++i];
+    } else if (args[i].starts_with("--")) {
+      throw ConfigError("trace " + verb + ": unknown option '" + args[i] +
+                        "'");
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (inputs.empty()) {
+    throw ConfigError("trace " + verb + ": at least one trace file required");
+  }
+
+  std::vector<railcorr::obs::TraceInput> parsed;
+  parsed.reserve(inputs.size());
+  bool bad = false;
+  for (const auto& path : inputs) {
+    std::string text;
+    try {
+      text = read_file(path);
+    } catch (const ConfigError& error) {
+      std::cerr << "trace " << verb << ": " << error.what() << "\n";
+      bad = true;
+      continue;
+    }
+    auto trace = railcorr::obs::parse_trace(text);
+    if (!trace.ok) {
+      std::cerr << "trace " << verb << ": " << path << ": " << trace.error
+                << "\n";
+      bad = true;
+      continue;
+    }
+    parsed.push_back(railcorr::obs::TraceInput{
+        std::filesystem::path(path).stem().string(), std::move(trace)});
+  }
+  if (bad) return 1;
+
+  if (verb == "merge") {
+    const std::string merged = railcorr::obs::merge_traces(parsed);
+    if (out_path.has_value()) {
+      // Plain JSON on purpose — Perfetto and `python3 -m json.tool`
+      // must load it directly, so no integrity trailer.
+      std::string error;
+      if (!railcorr::util::atomic_write_file(*out_path, merged, &error)) {
+        throw ConfigError("cannot write '" + *out_path + "': " + error);
+      }
+    } else {
+      std::cout << merged;
+    }
+    return 0;
+  }
+
+  for (const auto& input : parsed) {
+    std::size_t spans = 0, instants = 0, metadata = 0;
+    std::uint64_t span_usec = 0;
+    for (const auto& event : input.trace.events) {
+      if (event.phase == 'X') {
+        ++spans;
+        span_usec += event.dur_usec;
+      } else if (event.phase == 'i') {
+        ++instants;
+      } else {
+        ++metadata;
+      }
+    }
+    std::cout << "trace stats: " << input.label << " events="
+              << input.trace.events.size() << " spans=" << spans
+              << " instants=" << instants << " lanes=" << metadata
+              << " span_usec=" << span_usec
+              << " epoch_usec=" << input.trace.epoch_usec << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1165,6 +1354,7 @@ int main(int argc, char** argv) {
       return cmd_orchestrate(std::move(args), argv[0]);
     }
     if (command == "cache") return cmd_cache(std::move(args));
+    if (command == "trace") return cmd_trace(std::move(args));
     if (command == "--help" || command == "-h" || command == "help") {
       return usage(std::cout) * 0;
     }
